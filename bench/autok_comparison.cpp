@@ -1,0 +1,65 @@
+// Extension bench: automatic cluster-count discovery.
+//
+// Tables 1-2 handicap the baselines by GIVING them the true k. This bench
+// levels the field with X-means (§2's BIC-based auto-k k-means) — the
+// natural non-parametric comparator — across true cluster counts and
+// dimensionalities. KeyBin2's characteristic over-segmentation (small
+// outlier cells, high precision) contrasts with X-means' BIC parsimony.
+#include <cstdio>
+
+#include "baselines/xmeans.hpp"
+#include "bench/bench_util.hpp"
+#include "common/timer.hpp"
+#include "core/keybin2.hpp"
+#include "data/gaussian_mixture.hpp"
+
+int main(int argc, char** argv) {
+  using namespace keybin2;
+  const auto opt = bench::Options::parse(argc, argv);
+  std::printf(
+      "Auto-k comparison: KeyBin2 vs X-means (neither is told k).\n\n");
+
+  for (std::size_t dims : {20ul, 160ul}) {
+    std::printf("== %zu dimensions ==\n", dims);
+    std::printf("%-7s | %22s %10s %8s | %22s %10s %8s\n", "true k",
+                "KeyBin2 clusters", "F1", "time", "X-means clusters", "F1",
+                "time");
+    for (std::size_t k : {2ul, 4ul, 8ul}) {
+      bench::Series kb_clusters, kb_f1, kb_time;
+      bench::Series xm_clusters, xm_f1, xm_time;
+      for (int run = 0; run < opt.runs; ++run) {
+        const std::uint64_t seed = opt.seed + 100 * run + k;
+        const auto spec = data::make_paper_mixture(dims, k, seed);
+        const auto d = data::sample(spec, 1000 * k, seed + 1);
+
+        {
+          core::Params params;
+          params.seed = seed;
+          WallTimer timer;
+          const auto result = core::fit(d.points, params);
+          kb_time.add(timer.seconds());
+          const auto acc = bench::score_labels(result.labels, d.labels);
+          kb_clusters.add(acc.clusters);
+          kb_f1.add(acc.f1);
+        }
+        {
+          baselines::XMeansParams params;
+          params.k_max = 4 * k;
+          params.seed = seed;
+          WallTimer timer;
+          const auto result = baselines::xmeans(d.points, params);
+          xm_time.add(timer.seconds());
+          const auto acc = bench::score_labels(result.labels, d.labels);
+          xm_clusters.add(acc.clusters);
+          xm_f1.add(acc.f1);
+        }
+      }
+      std::printf("%-7zu | %22s %10s %7.2fs | %22s %10s %7.2fs\n", k,
+                  kb_clusters.str(1).c_str(), kb_f1.str(2).c_str(),
+                  kb_time.mean(), xm_clusters.str(1).c_str(),
+                  xm_f1.str(2).c_str(), xm_time.mean());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

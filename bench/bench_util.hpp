@@ -1,0 +1,137 @@
+// Shared plumbing for the table/figure reproduction harnesses.
+//
+// Every bench accepts:
+//   --points-per-rank N   shard size (default: scaled-down for a laptop/CI)
+//   --ranks N             simulated MPI ranks
+//   --runs N              independent repetitions (paper: 20)
+//   --seed S              base seed
+//   --full                the paper's sizes (80,000 points per rank, 20 runs)
+// and prints the same rows the paper's table/figure reports, as
+// mean +/- stddev over the runs.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "stats/metrics.hpp"
+
+namespace keybin2::bench {
+
+struct Options {
+  std::size_t points_per_rank = 2000;
+  int ranks = 16;
+  int runs = 3;
+  std::uint64_t seed = 42;
+  bool full = false;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      auto next = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", flag);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (!std::strcmp(argv[i], "--points-per-rank")) {
+        o.points_per_rank = std::strtoull(next("--points-per-rank"), nullptr, 10);
+      } else if (!std::strcmp(argv[i], "--ranks")) {
+        o.ranks = std::atoi(next("--ranks"));
+      } else if (!std::strcmp(argv[i], "--runs")) {
+        o.runs = std::atoi(next("--runs"));
+      } else if (!std::strcmp(argv[i], "--seed")) {
+        o.seed = std::strtoull(next("--seed"), nullptr, 10);
+      } else if (!std::strcmp(argv[i], "--full")) {
+        o.full = true;
+        o.points_per_rank = 80000;
+        o.runs = 20;
+      } else if (!std::strcmp(argv[i], "--help")) {
+        std::printf(
+            "usage: %s [--points-per-rank N] [--ranks N] [--runs N] "
+            "[--seed S] [--full]\n",
+            argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+        std::exit(2);
+      }
+    }
+    return o;
+  }
+};
+
+/// mean +/- stddev accumulator over runs.
+class Series {
+ public:
+  void add(double x) { m_.add(x); }
+  double mean() const { return m_.mean(); }
+  double stddev() const { return m_.stddev(); }
+  std::string str(int precision = 3) const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f +/- %.*f", precision, mean(),
+                  precision, stddev());
+    return buf;
+  }
+
+ private:
+  stats::OnlineMoments m_;
+};
+
+/// Accuracy row for one method on one run: noise labels (-1) become
+/// singletons, matching how the paper scores pdsdbscan's output.
+struct Accuracy {
+  double clusters = 0.0;
+  double recall = 0.0;
+  double precision = 0.0;
+  double f1 = 0.0;
+};
+
+inline Accuracy score_labels(std::vector<int> predicted,
+                             const std::vector<int>& truth) {
+  int next = 0;
+  for (int l : predicted) next = std::max(next, l + 1);
+  for (auto& l : predicted) {
+    if (l < 0) l = next++;
+  }
+  const auto s = stats::pairwise_scores(predicted, truth);
+  Accuracy a;
+  a.clusters = static_cast<double>(stats::distinct_labels(predicted));
+  a.recall = s.recall;
+  a.precision = s.precision;
+  a.f1 = s.f1;
+  return a;
+}
+
+/// One printed table row, paper format:
+/// method | clusters | recall | precision | F1 | time (s)
+struct MethodSeries {
+  Series clusters, recall, precision, f1, time;
+
+  void add(const Accuracy& a, double seconds) {
+    clusters.add(a.clusters);
+    recall.add(a.recall);
+    precision.add(a.precision);
+    f1.add(a.f1);
+    time.add(seconds);
+  }
+
+  void print_row(const char* method) const {
+    std::printf("%-18s %18s %16s %16s %16s %18s\n", method,
+                clusters.str(2).c_str(), recall.str(3).c_str(),
+                precision.str(3).c_str(), f1.str(3).c_str(),
+                time.str(2).c_str());
+  }
+};
+
+inline void print_header() {
+  std::printf("%-18s %18s %16s %16s %16s %18s\n", "Method", "Clusters",
+              "Recall", "Precision", "F1", "Time (sec)");
+}
+
+}  // namespace keybin2::bench

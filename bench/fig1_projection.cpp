@@ -1,0 +1,93 @@
+// Figure 1: random projections decorrelate clusters whose axis-aligned
+// projections overlap.
+//
+// The paper shows a correlated 2-D dataset (a) and five random projections
+// (b)-(f): some separate the clusters, some do not. We quantify what the
+// figure shows visually: for the original axes and each of 5 projections,
+// the per-dimension class overlap (two-sample KS separation between the two
+// clusters' 1-D histograms — higher = more separable) and the
+// histogram-space Calinski-Harabasz score KeyBin2 uses to pick a winner.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/keybin2.hpp"
+#include "core/projection.hpp"
+#include "data/shapes.hpp"
+#include "stats/histogram.hpp"
+#include "stats/ks_test.hpp"
+
+namespace {
+
+using namespace keybin2;
+
+/// Per-dimension separability of the two labelled clusters: the two-sample
+/// KS statistic between their 1-D marginals (1.0 = perfectly separable,
+/// ~0 = fully overlapping projections).
+std::vector<double> per_dimension_separation(const Matrix& points,
+                                             const std::vector<int>& labels) {
+  std::vector<double> out;
+  for (std::size_t j = 0; j < points.cols(); ++j) {
+    double lo = points(0, j), hi = points(0, j);
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+      lo = std::min(lo, points(i, j));
+      hi = std::max(hi, points(i, j));
+    }
+    stats::Histogram h0(lo, hi + 1e-9, 64), h1(lo, hi + 1e-9, 64);
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+      (labels[i] == 0 ? h0 : h1).add(points(i, j));
+    }
+    out.push_back(stats::ks_statistic(h0.counts(), h1.counts()));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::Options::parse(argc, argv);
+  const std::size_t n = opt.full ? 50000 : 5000;
+  std::printf(
+      "Figure 1 reproduction: two correlated 2-D clusters (%zu points), "
+      "original axes vs 5 random projections.\n\n",
+      2 * n);
+  const auto d = data::correlated_pair(n, 4.0, opt.seed);
+
+  std::printf("%-16s %12s %12s %14s\n", "View", "sep(dim 0)", "sep(dim 1)",
+              "KeyBin2 F1");
+  auto report = [&](const char* name, const Matrix& points,
+                    std::uint64_t fit_seed) {
+    const auto sep = per_dimension_separation(points, d.labels);
+    // Cluster THIS view with axis-aligned KeyBin2 (no further projection) to
+    // show which views are separable by binning.
+    core::Params params;
+    params.use_projection = false;
+    params.seed = fit_seed;
+    const auto result = core::fit(points, params);
+    const auto acc = bench::score_labels(result.labels, d.labels);
+    std::printf("%-16s %12.3f %12.3f %14.3f\n", name, sep[0], sep[1], acc.f1);
+  };
+
+  report("(a) original", d.points, opt.seed);
+  for (int p = 0; p < 5; ++p) {
+    const auto a =
+        core::make_projection_matrix(2, 2, opt.seed + 100 + static_cast<std::uint64_t>(p));
+    const auto projected = core::project(d.points, a);
+    char name[32];
+    std::snprintf(name, sizeof(name), "(%c) projection", 'b' + p);
+    report(name, projected, opt.seed);
+  }
+
+  // And the punchline: full KeyBin2 (bootstrapped random projections) on the
+  // original data picks a separating view automatically.
+  core::Params params;
+  params.bootstrap_trials = 12;
+  params.n_rp = 2;
+  params.seed = opt.seed;
+  const auto result = core::fit(d.points, params);
+  const auto acc = bench::score_labels(result.labels, d.labels);
+  std::printf(
+      "\nKeyBin2 with bootstrapped projections (t=12): %d clusters, F1 = "
+      "%.3f (model score %.1f)\n",
+      result.n_clusters(), acc.f1, result.model.score());
+  return 0;
+}

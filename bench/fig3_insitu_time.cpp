@@ -1,0 +1,104 @@
+// Figure 3: execution time for clustering the 31 protein trajectories.
+//
+// Paper: KeyBin2 clusters all 31 MoDEL trajectories in ~4 s total
+// (~0.0004 s/frame) — far below kmeans++ and DBSCAN on the same
+// featurization. We regenerate the figure's series: per-trajectory wall
+// time for each method, plus totals and time-per-frame.
+//
+// Scaled-down defaults cap frames per trajectory (KeyBin2 itself handles
+// full trajectories easily, but serial DBSCAN's O(n^2) neighbour search
+// dominates the harness); --full lifts the caps.
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/dbscan.hpp"
+#include "baselines/kmeans.hpp"
+#include "bench/bench_util.hpp"
+#include "common/timer.hpp"
+#include "core/keybin2.hpp"
+#include "md/synthetic.hpp"
+#include "md/trajectory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace keybin2;
+  auto opt = bench::Options::parse(argc, argv);
+  const std::size_t frame_cap = opt.full ? SIZE_MAX : 1500;
+  const std::size_t dbscan_cap = opt.full ? 5000 : 500;
+  const std::size_t count = opt.full ? 31 : 10;
+
+  auto library = md::make_model_library(opt.seed, count);
+  std::printf(
+      "Figure 3 reproduction: clustering time for %zu synthetic "
+      "trajectories (frame cap %zu; DBSCAN additionally capped to %zu "
+      "frames, scaled to a full-trajectory estimate).\n\n",
+      library.size(), frame_cap, dbscan_cap);
+
+  std::printf("%-6s %9s %8s | %12s %12s %14s\n", "Traj", "Residues",
+              "Frames", "KeyBin2 (s)", "kmeans++ (s)", "DBSCAN est (s)");
+
+  double total_keybin2 = 0.0, total_kmeans = 0.0, total_dbscan = 0.0;
+  std::size_t total_frames = 0;
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    auto cfg = library[i];
+    cfg.frames = std::min(cfg.frames, frame_cap);
+    cfg.transition_frames = std::min(cfg.transition_frames, cfg.frames / 10);
+    const auto st = md::generate_trajectory(cfg);
+    const auto features = md::featurize_secondary_structure(st.trajectory);
+    total_frames += features.rows();
+
+    double t_keybin2 = 0.0;
+    {
+      core::Params params;
+      params.seed = opt.seed + i;
+      WallTimer timer;
+      const auto result = core::fit(features, params);
+      t_keybin2 = timer.seconds();
+      (void)result;
+    }
+
+    double t_kmeans = 0.0;
+    {
+      baselines::KMeansParams params;
+      params.k = cfg.phases;  // baselines get the true structure count
+      params.seed = opt.seed + i;
+      params.n_init = 10;  // scikit-learn's default, matching the comparator
+      WallTimer timer;
+      baselines::kmeans(features, params);
+      t_kmeans = timer.seconds();
+    }
+
+    double t_dbscan = 0.0;
+    {
+      const auto sub = features.slice_rows(
+          0, std::min(features.rows(), dbscan_cap));
+      const double eps =
+          baselines::estimate_eps(sub, 5, 256, opt.seed + i) + 1e-9;
+      WallTimer timer;
+      baselines::dbscan(sub, {.eps = eps, .min_points = 5});
+      const double measured = timer.seconds();
+      // O(n^2) extrapolation to the full (capped) trajectory.
+      const double scale =
+          static_cast<double>(features.rows()) /
+          static_cast<double>(sub.rows());
+      t_dbscan = measured * scale * scale;
+    }
+
+    std::printf("%-6zu %9zu %8zu | %12.3f %12.3f %14.3f\n", i + 1,
+                cfg.residues, features.rows(), t_keybin2, t_kmeans,
+                t_dbscan);
+    total_keybin2 += t_keybin2;
+    total_kmeans += t_kmeans;
+    total_dbscan += t_dbscan;
+  }
+
+  std::printf("\n%-25s | %12.3f %12.3f %14.3f\n", "TOTAL (s)", total_keybin2,
+              total_kmeans, total_dbscan);
+  std::printf("%-25s | %12.6f %12.6f %14.6f\n", "per frame (s)",
+              total_keybin2 / static_cast<double>(total_frames),
+              total_kmeans / static_cast<double>(total_frames),
+              total_dbscan / static_cast<double>(total_frames));
+  std::printf(
+      "\nPaper reference: KeyBin2 ~4 s total (~0.0004 s/frame), far below "
+      "the comparators.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 4: qualitative clustering validation on a 10,000-frame trajectory.
+//
+// The paper overlays (1) stable segments found by the offline probabilistic
+// HDR method (Eq. 3-4) — the "rectangles" — with (2) KeyBin2's cluster
+// fingerprints — the "vertical dots" — and argues the fingerprint changes
+// line up with metastable-phase boundaries while carrying finer-grained
+// structure. We print both timelines against the generator's ground truth
+// and score the alignment.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "md/fingerprint.hpp"
+#include "md/insitu.hpp"
+#include "md/stability.hpp"
+#include "md/synthetic.hpp"
+#include "stats/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace keybin2;
+  auto opt = bench::Options::parse(argc, argv);
+  md::SyntheticTrajectoryConfig cfg;
+  cfg.residues = 97;  // 1a70 has 97 residues
+  cfg.frames = opt.full ? 10000 : 4000;
+  cfg.phases = 6;  // the paper's Figure 4 shows six meta-stable phases
+  cfg.transition_frames = cfg.frames / 80;
+  cfg.change_fraction = 0.45;
+  cfg.seed = opt.seed;
+  const auto st = md::generate_trajectory(cfg);
+  std::printf(
+      "Figure 4 reproduction: %zu-frame trajectory of a %zu-residue protein "
+      "with %zu metastable phases.\n\n",
+      cfg.frames, cfg.residues, cfg.phases);
+
+  // (1) Offline probabilistic stability (the rectangles).
+  md::StabilityParams sparams;
+  sparams.n_representatives = 8;
+  sparams.threshold_w = 0.05;
+  sparams.seed = opt.seed;
+  const auto stability = md::analyze_stability(st.trajectory, sparams);
+
+  // (2) In-situ KeyBin2 fingerprints (the dots).
+  md::InSituAnalyzer analyzer(cfg.residues, {}, cfg.frames / 8);
+  for (std::size_t f = 0; f < st.trajectory.frames(); ++f) {
+    analyzer.push_frame(st.trajectory, f);
+  }
+  analyzer.refit();
+  const auto fingerprint = analyzer.relabel_all();
+  const auto fp_segments =
+      md::fingerprint_segments(fingerprint, /*min_run=*/cfg.frames / 400);
+
+  std::printf("HDR-stable segments (rectangles):\n");
+  for (const auto& seg : stability.segments) {
+    if (seg.end - seg.begin < sparams.window) continue;  // sub-window noise
+    std::printf("  frames [%5zu, %5zu)  label %d\n", seg.begin, seg.end,
+                seg.label);
+  }
+  std::printf("\nKeyBin2 fingerprint segments (dots):\n");
+  for (const auto& seg : fp_segments) {
+    std::printf("  frames [%5zu, %5zu)  cluster %d\n", seg.begin, seg.end,
+                seg.label);
+  }
+
+  // Ground truth phase boundaries for scoring.
+  std::vector<std::size_t> true_boundaries;
+  for (std::size_t f = 1; f < st.phase.size(); ++f) {
+    if (st.phase[f] != st.phase[f - 1]) true_boundaries.push_back(f);
+  }
+  const auto predicted =
+      md::change_points(fingerprint, /*min_run=*/cfg.frames / 400);
+  const auto boundary = md::boundary_agreement(
+      predicted, true_boundaries, /*tolerance=*/cfg.transition_frames * 2);
+  std::vector<int> truth(st.phase.begin(), st.phase.end());
+  const double ari = stats::adjusted_rand_index(fingerprint, truth);
+
+  std::printf("\nAlignment of fingerprints with ground-truth phases:\n");
+  std::printf("  fingerprint clusters: %zu (true phases: %zu)\n",
+              stats::distinct_labels(fingerprint), cfg.phases);
+  std::printf("  boundary recall %.3f, precision %.3f (tolerance %zu "
+              "frames)\n",
+              boundary.recall, boundary.precision,
+              cfg.transition_frames * 2);
+  std::printf("  adjusted Rand index vs phases: %.3f\n", ari);
+  std::printf(
+      "\nPaper reference: fingerprints change exactly where the HDR method "
+      "marks phase changes, with finer-grained structure inside phases.\n");
+  return 0;
+}

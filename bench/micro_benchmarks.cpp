@@ -1,0 +1,140 @@
+// Micro benchmarks (google-benchmark) for KeyBin2's kernels — the pieces
+// whose complexity §3.4 analyses:
+//   * key assignment         O(M * N_rp * log B)
+//   * histogram construction O(M * N_rp)
+//   * random projection      O(M * N * N_rp)
+//   * smoothing/partitioning O(N_rp * B * w)
+//   * histogram-space CH     O(B) — independent of M
+//   * collectives            O(message size), the only communication
+#include <benchmark/benchmark.h>
+
+#include "comm/launch.hpp"
+#include "common/rng.hpp"
+#include "core/assess.hpp"
+#include "core/binner.hpp"
+#include "core/cells.hpp"
+#include "core/keybin2.hpp"
+#include "core/partitioner.hpp"
+#include "core/projection.hpp"
+#include "data/gaussian_mixture.hpp"
+
+namespace {
+
+using namespace keybin2;
+
+Matrix random_points(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (auto& v : m.flat()) v = rng.normal();
+  return m;
+}
+
+void BM_KeyAssignment(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto points = random_points(m, 8, 1);
+  const std::vector<core::Range> ranges(8, core::Range{-5.0, 5.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_keys(points, ranges, 7));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(m * 8) *
+                          state.iterations());
+}
+BENCHMARK(BM_KeyAssignment)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HistogramBuild(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto points = random_points(m, 8, 2);
+  const std::vector<core::Range> ranges(8, core::Range{-5.0, 5.0});
+  const auto keys = core::compute_keys(points, ranges, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_histograms(keys, ranges));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(m * 8) *
+                          state.iterations());
+}
+BENCHMARK(BM_HistogramBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RandomProjection(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  const auto points = random_points(2000, dims, 3);
+  const auto a =
+      core::make_projection_matrix(dims, core::choose_n_rp(dims), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::project(points, a));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(2000 * dims * a.cols()) * state.iterations());
+}
+BENCHMARK(BM_RandomProjection)->Arg(20)->Arg(80)->Arg(320)->Arg(1280);
+
+void BM_PartitionHistogram(benchmark::State& state) {
+  const auto bins = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  stats::Histogram h(0.0, 1.0, bins);
+  for (int i = 0; i < 50000; ++i) {
+    h.add(rng.normal(i % 2 ? 0.3 : 0.7, 0.07));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::partition_discrete_opt(h.counts(), 0.04));
+  }
+}
+BENCHMARK(BM_PartitionHistogram)->Arg(32)->Arg(128)->Arg(1024);
+
+void BM_HistogramCalinskiHarabasz(benchmark::State& state) {
+  // Cost must not depend on the number of points — only on bins/cells.
+  Rng rng(6);
+  std::vector<stats::Histogram> hists;
+  std::vector<core::DimensionPartition> partitions;
+  for (int j = 0; j < 8; ++j) {
+    stats::Histogram h(0.0, 1.0, 128);
+    for (int i = 0; i < 10000; ++i) {
+      h.add(rng.normal(i % 2 ? 0.3 : 0.7, 0.07));
+    }
+    core::DimensionPartition p;
+    p.bins = 128;
+    p.cuts = {64};
+    hists.push_back(std::move(h));
+    partitions.push_back(std::move(p));
+  }
+  std::vector<core::Cell> cells;
+  for (std::uint32_t c = 0; c < 16; ++c) {
+    core::Cell cell;
+    for (int j = 0; j < 8; ++j) cell.coord.push_back((c >> (j % 4)) & 1);
+    cell.density = 100.0 + c;
+    cells.push_back(std::move(cell));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::histogram_calinski_harabasz(hists, partitions, cells));
+  }
+}
+BENCHMARK(BM_HistogramCalinskiHarabasz);
+
+void BM_AllreduceHistograms(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  // One KeyBin2 histogram exchange: n_rp=11 dims x 128 bins of doubles.
+  const std::size_t len = 11 * 128;
+  for (auto _ : state) {
+    comm::run_ranks(ranks, [&](comm::Communicator& c) {
+      std::vector<double> local(len, static_cast<double>(c.rank()));
+      benchmark::DoNotOptimize(c.allreduce(local, comm::ReduceOp::kSum));
+    });
+  }
+}
+BENCHMARK(BM_AllreduceHistograms)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EndToEndFit(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  const auto spec = data::make_paper_mixture(dims, 4, 7);
+  const auto d = data::sample(spec, 5000, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fit(d.points));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(5000) *
+                          state.iterations());
+}
+BENCHMARK(BM_EndToEndFit)->Arg(20)->Arg(320)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

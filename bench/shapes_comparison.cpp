@@ -1,0 +1,108 @@
+// Cluster-shape comparison (paper §2's qualitative claims).
+//
+// "K-means performs well in finding sphere-shape clusters but has a tendency
+// to mislabel some points on the corners of box-shape clusters... In
+// contrast, KeyBin2 determines automatically the number of clusters, is able
+// to deal well with convex clusters, and can handle points in box corners."
+// Density methods in turn own non-convex shapes. This bench scores KeyBin2,
+// kmeans++ (given k), and DBSCAN (given good eps) on spheres, unequal
+// adjacent boxes (the corner trap), rings, and moons.
+#include <cstdio>
+
+#include "baselines/dbscan.hpp"
+#include "baselines/kmeans.hpp"
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/keybin2.hpp"
+#include "data/gaussian_mixture.hpp"
+#include "data/shapes.hpp"
+
+namespace {
+
+using namespace keybin2;
+
+/// Two adjacent axis-aligned boxes of very different widths: the wide box's
+/// near corners are closer to the narrow box's centroid than to their own —
+/// the k-means corner trap. A density valley still separates them.
+data::Dataset corner_trap(std::size_t n_per_box, std::uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset d;
+  d.points = Matrix(2 * n_per_box, 2);
+  d.labels.resize(2 * n_per_box);
+  for (std::size_t i = 0; i < 2 * n_per_box; ++i) {
+    const bool wide = i < n_per_box;
+    auto row = d.points.row(i);
+    if (wide) {
+      row[0] = rng.uniform(-8.0, 0.0);  // centroid x = -4
+      row[1] = rng.uniform(0.0, 8.0);
+    } else {
+      row[0] = rng.uniform(1.0, 3.0);   // centroid x = 2
+      row[1] = rng.uniform(0.0, 8.0);
+    }
+    d.labels[i] = wide ? 0 : 1;
+  }
+  return d;
+}
+
+void score_all(const char* name, const data::Dataset& d, std::size_t true_k,
+               double eps, const bench::Options& opt) {
+  bench::Series kb, km, db;
+  for (int run = 0; run < opt.runs; ++run) {
+    const std::uint64_t seed = opt.seed + 100 * run;
+    {
+      core::Params params;
+      params.seed = seed;
+      params.bootstrap_trials = 10;
+      const auto result = core::fit(d.points, params);
+      kb.add(bench::score_labels(result.labels, d.labels).f1);
+    }
+    {
+      baselines::KMeansParams params;
+      params.k = true_k;
+      params.seed = seed;
+      params.n_init = 10;
+      const auto result = baselines::kmeans(d.points, params);
+      km.add(bench::score_labels(result.labels, d.labels).f1);
+    }
+    {
+      const auto result =
+          baselines::dbscan(d.points, {.eps = eps, .min_points = 5});
+      db.add(bench::score_labels(result.labels, d.labels).f1);
+    }
+  }
+  std::printf("%-22s %18s %18s %18s\n", name, kb.str().c_str(),
+              km.str().c_str(), db.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  std::printf("Cluster-shape comparison (F1; k / eps GIVEN to the "
+              "baselines, KeyBin2 non-parametric):\n\n");
+  std::printf("%-22s %18s %18s %18s\n", "shape", "KeyBin2", "kmeans++",
+              "DBSCAN");
+
+  {
+    // Three well-separated isotropic Gaussians on a triangle (the random
+    // lattice-corner generator can collide centres in 2-D).
+    data::GaussianMixtureSpec spec;
+    spec.components.push_back({{0.0, 0.0}, {1.5, 1.5}, 1.0});
+    spec.components.push_back({{20.0, 0.0}, {1.5, 1.5}, 1.0});
+    spec.components.push_back({{10.0, 17.0}, {1.5, 1.5}, 1.0});
+    score_all("spheres (3)", data::sample(spec, 3000, opt.seed + 1), 3, 1.8,
+              opt);
+  }
+  score_all("box corner trap (2)", corner_trap(2000, opt.seed + 2), 2, 0.8,
+            opt);
+  score_all("rings (2)", data::rings(2, 1200, 6.0, 0.12, opt.seed + 3), 2,
+            0.9, opt);
+  score_all("moons (2)", data::moons(1200, 0.05, opt.seed + 4), 2, 0.22, opt);
+
+  std::printf(
+      "\nExpected shape (paper §2): kmeans wins spheres, stumbles on box\n"
+      "corners; KeyBin2 handles boxes; density methods own rings/moons\n"
+      "(KeyBin2's axis/projection binning, like k-means, is not designed\n"
+      "for non-convex shapes — the paper claims convex robustness only).\n");
+  return 0;
+}

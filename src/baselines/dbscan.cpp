@@ -1,0 +1,234 @@
+#include "baselines/dbscan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+
+#include "baselines/disjoint_set.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace keybin2::baselines {
+
+namespace {
+
+double sq_distance(std::span<const double> a, std::span<const double> b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = a[i] - b[i];
+    d += x * x;
+  }
+  return d;
+}
+
+/// Rebuild the full point set from every rank's shard. The real PDSDBSCAN
+/// uses a spatial partitioning with halo exchange; gathering is the
+/// single-node equivalent that preserves the parallel structure of the
+/// algorithm (each rank still owns the neighbour computation for its slice).
+Matrix allgather_points(comm::Communicator& comm, const Matrix& local,
+                        std::vector<std::size_t>& slice_offsets) {
+  ByteWriter w;
+  w.write<std::uint64_t>(local.rows());
+  w.write<std::uint64_t>(local.cols());
+  w.write_span(local.flat());
+  auto blobs = comm.allgather(w.bytes());
+
+  Matrix all;
+  slice_offsets.assign(blobs.size() + 1, 0);
+  std::size_t cols = 0;
+  for (std::size_t r = 0; r < blobs.size(); ++r) {
+    ByteReader reader(blobs[r]);
+    const auto rows = reader.read<std::uint64_t>();
+    const auto rcols = reader.read<std::uint64_t>();
+    auto flat = reader.read_vec<double>();
+    if (rows > 0) {
+      KB2_CHECK_MSG(cols == 0 || rcols == cols,
+                    "ranks disagree on dimensionality");
+      cols = rcols;
+      for (std::size_t i = 0; i < rows; ++i) {
+        all.append_row(std::span<const double>(flat.data() + i * rcols, rcols));
+      }
+    }
+    slice_offsets[r + 1] = slice_offsets[r] + rows;
+  }
+  return all;
+}
+
+}  // namespace
+
+DbscanResult pdsdbscan(comm::Communicator& comm, const Matrix& local_points,
+                       const DbscanParams& params) {
+  KB2_CHECK_MSG(params.eps > 0.0, "eps must be positive");
+  KB2_CHECK_MSG(params.min_points >= 1, "min_points must be >= 1");
+  const double eps2 = params.eps * params.eps;
+
+  std::vector<std::size_t> offsets;
+  const Matrix all = allgather_points(comm, local_points, offsets);
+  const std::size_t n = all.rows();
+  const auto me = static_cast<std::size_t>(comm.rank());
+  const std::size_t begin = offsets[me], end = offsets[me + 1];
+
+  // Phase 1 (parallel): core flags for this rank's slice.
+  std::vector<std::uint64_t> core(n, 0);
+  global_pool().parallel_for(end - begin, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      const std::size_t i = begin + s;
+      auto row = all.row(i);
+      std::size_t count = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (sq_distance(row, all.row(j)) <= eps2) ++count;
+      }
+      if (count >= params.min_points) core[i] = 1;
+    }
+  });
+  core = comm.allreduce(core, comm::ReduceOp::kMax);
+
+  // Phase 2 (parallel): union edges (core-core) and border attachments for
+  // this rank's slice.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> attachments;
+  {
+    std::mutex mu;
+    global_pool().parallel_for(
+        end - begin, [&](std::size_t lo, std::size_t hi) {
+          std::vector<std::pair<std::uint64_t, std::uint64_t>> my_edges;
+          std::vector<std::pair<std::uint64_t, std::uint64_t>> my_attach;
+          for (std::size_t s = lo; s < hi; ++s) {
+            const std::size_t i = begin + s;
+            auto row = all.row(i);
+            if (core[i]) {
+              for (std::size_t j = i + 1; j < n; ++j) {
+                if (core[j] && sq_distance(row, all.row(j)) <= eps2) {
+                  my_edges.emplace_back(i, j);
+                }
+              }
+            } else {
+              for (std::size_t j = 0; j < n; ++j) {
+                if (core[j] && sq_distance(row, all.row(j)) <= eps2) {
+                  my_attach.emplace_back(i, j);
+                  break;  // a border point joins its first core neighbour
+                }
+              }
+            }
+          }
+          std::lock_guard lk(mu);
+          edges.insert(edges.end(), my_edges.begin(), my_edges.end());
+          attachments.insert(attachments.end(), my_attach.begin(),
+                             my_attach.end());
+        });
+  }
+
+  // Merge phase: gather edge lists, replay into one union-find at the root,
+  // broadcast the final labels.
+  ByteWriter w;
+  w.write<std::uint64_t>(edges.size());
+  for (const auto& [a, b] : edges) {
+    w.write(a);
+    w.write(b);
+  }
+  w.write<std::uint64_t>(attachments.size());
+  for (const auto& [a, b] : attachments) {
+    w.write(a);
+    w.write(b);
+  }
+  auto gathered = comm.gather(w.bytes(), /*root=*/0);
+
+  std::vector<int> global_labels;
+  ByteWriter label_writer;
+  if (comm.rank() == 0) {
+    DisjointSet dsu(n);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> all_attach;
+    for (const auto& blob : gathered) {
+      ByteReader r(blob);
+      const auto n_edges = r.read<std::uint64_t>();
+      for (std::uint64_t e = 0; e < n_edges; ++e) {
+        const auto a = r.read<std::uint64_t>();
+        const auto b = r.read<std::uint64_t>();
+        dsu.unite(a, b);
+      }
+      const auto n_attach = r.read<std::uint64_t>();
+      for (std::uint64_t e = 0; e < n_attach; ++e) {
+        const auto a = r.read<std::uint64_t>();
+        const auto b = r.read<std::uint64_t>();
+        all_attach.emplace_back(a, b);
+      }
+    }
+    // Compact cluster ids over core components only.
+    global_labels.assign(n, -1);
+    std::unordered_map<std::size_t, int> ids;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!core[i]) continue;
+      const auto root = dsu.find(i);
+      auto [it, inserted] = ids.try_emplace(root, static_cast<int>(ids.size()));
+      global_labels[i] = it->second;
+    }
+    for (const auto& [border, host] : all_attach) {
+      global_labels[border] = global_labels[host];
+    }
+    label_writer.write_vec(global_labels);
+  }
+  auto label_bytes = label_writer.take();
+  comm.broadcast(label_bytes, /*root=*/0);
+  if (comm.rank() != 0) {
+    ByteReader r(label_bytes);
+    global_labels = r.read_vec<int>();
+  }
+
+  DbscanResult result;
+  result.labels.assign(global_labels.begin() + static_cast<std::ptrdiff_t>(begin),
+                       global_labels.begin() + static_cast<std::ptrdiff_t>(end));
+  int max_label = -1;
+  for (int l : global_labels) max_label = std::max(max_label, l);
+  result.clusters = static_cast<std::size_t>(max_label + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (core[i]) ++result.core_points;
+    if (global_labels[i] < 0) ++result.noise_points;
+  }
+  return result;
+}
+
+DbscanResult dbscan(const Matrix& points, const DbscanParams& params) {
+  comm::SelfComm self;
+  return pdsdbscan(self, points, params);
+}
+
+double estimate_eps(const Matrix& points, std::size_t k, std::size_t sample,
+                    std::uint64_t seed) {
+  KB2_CHECK_MSG(points.rows() >= 2, "need at least two points");
+  KB2_CHECK_MSG(k >= 1, "k must be >= 1");
+  Rng rng(seed);
+  const std::size_t s = std::min(sample, points.rows());
+
+  // Sample without replacement via partial Fisher-Yates on an index vector.
+  std::vector<std::size_t> idx(points.rows());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  for (std::size_t i = 0; i < s; ++i) {
+    std::swap(idx[i], idx[i + rng.uniform_int(idx.size() - i)]);
+  }
+
+  std::vector<double> kth(s, 0.0);
+  global_pool().parallel_for(s, [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> dist;
+    for (std::size_t a = lo; a < hi; ++a) {
+      dist.clear();
+      auto row = points.row(idx[a]);
+      for (std::size_t b = 0; b < s; ++b) {
+        if (a == b) continue;
+        dist.push_back(sq_distance(row, points.row(idx[b])));
+      }
+      const std::size_t kk = std::min(k - 1, dist.size() - 1);
+      std::nth_element(dist.begin(),
+                       dist.begin() + static_cast<std::ptrdiff_t>(kk),
+                       dist.end());
+      kth[a] = std::sqrt(dist[kk]);
+    }
+  });
+  std::nth_element(kth.begin(), kth.begin() + static_cast<std::ptrdiff_t>(s / 2),
+                   kth.end());
+  return kth[s / 2];
+}
+
+}  // namespace keybin2::baselines

@@ -1,0 +1,53 @@
+// DBSCAN baselines (paper §4 comparator #3).
+//
+// * dbscan()      — single-site density clustering (a single-rank run of the
+//                   parallel formulation below). Neighbour search is exact
+//                   brute force, parallelized over the thread pool — the
+//                   evaluation's data is high-dimensional (up to 1280-d),
+//                   where spatial indexes degenerate to linear scans anyway.
+// * pdsdbscan()   — the disjoint-set parallel formulation of Patwary et al.
+//                   (PDSDBSCAN, SC'12): ranks compute union edges for their
+//                   slice of the points independently, the edge lists are
+//                   merged into one union-find, and labels are broadcast.
+//                   Our merge is centralized rather than tree-based — on a
+//                   histogram-scale workload the difference is immaterial,
+//                   and the parallel phase (the O(n^2 d) neighbour search)
+//                   is where all the time goes.
+//
+// Labels: clusters are 0..k-1; noise is -1 (pairwise metrics treat each
+// noise point as its own singleton cluster, matching the paper's scoring of
+// pdsdbscan's degenerate single-cluster output).
+#pragma once
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "common/matrix.hpp"
+
+namespace keybin2::baselines {
+
+struct DbscanParams {
+  double eps = 0.5;
+  std::size_t min_points = 5;  // including the point itself
+};
+
+struct DbscanResult {
+  std::vector<int> labels;  // -1 = noise
+  std::size_t clusters = 0;
+  std::size_t core_points = 0;
+  std::size_t noise_points = 0;
+};
+
+DbscanResult dbscan(const Matrix& points, const DbscanParams& params);
+
+/// SPMD parallel DBSCAN over `comm`; every rank holds a shard and receives
+/// labels for its own points (globally consistent cluster ids).
+DbscanResult pdsdbscan(comm::Communicator& comm, const Matrix& local_points,
+                       const DbscanParams& params);
+
+/// Median distance to the `k`-th nearest neighbour over a sample — the usual
+/// way to pick eps ("provide the optimal eps", §4).
+double estimate_eps(const Matrix& points, std::size_t k,
+                    std::size_t sample = 512, std::uint64_t seed = 42);
+
+}  // namespace keybin2::baselines

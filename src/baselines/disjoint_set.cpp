@@ -1,0 +1,49 @@
+#include "baselines/disjoint_set.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace keybin2::baselines {
+
+DisjointSet::DisjointSet(std::size_t n) : parent_(n), rank_(n, 0) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t DisjointSet::find(std::size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool DisjointSet::unite(std::size_t a, std::size_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  return true;
+}
+
+std::size_t DisjointSet::count_sets() {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    if (find(i) == i) ++count;
+  }
+  return count;
+}
+
+std::vector<int> DisjointSet::labels() {
+  std::vector<int> out(parent_.size());
+  std::unordered_map<std::size_t, int> ids;
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    const auto root = find(i);
+    auto [it, inserted] = ids.try_emplace(root, static_cast<int>(ids.size()));
+    out[i] = it->second;
+  }
+  return out;
+}
+
+}  // namespace keybin2::baselines

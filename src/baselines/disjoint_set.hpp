@@ -1,0 +1,35 @@
+// Disjoint-set forest (union-find) with path halving and union by rank —
+// the data structure at the heart of PDSDBSCAN (Patwary et al., SC'12).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace keybin2::baselines {
+
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n);
+
+  std::size_t size() const { return parent_.size(); }
+
+  /// Representative of x's set (path halving).
+  std::size_t find(std::size_t x);
+
+  /// Merge the sets of a and b; returns true if they were distinct.
+  bool unite(std::size_t a, std::size_t b);
+
+  /// Number of distinct sets.
+  std::size_t count_sets();
+
+  /// Compact label per element: representatives numbered 0..count-1 in order
+  /// of first appearance.
+  std::vector<int> labels();
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> rank_;
+};
+
+}  // namespace keybin2::baselines

@@ -1,0 +1,151 @@
+#include "baselines/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace keybin2::baselines {
+
+namespace {
+
+double sq_distance(std::span<const double> a, std::span<const double> b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = a[i] - b[i];
+    d += x * x;
+  }
+  return d;
+}
+
+/// Assign each point to its nearest centre; returns total inertia.
+double assign(const Matrix& points, const Matrix& centers,
+              std::vector<int>& labels) {
+  double inertia = 0.0;
+  std::vector<double> partial(points.rows(), 0.0);
+  global_pool().parallel_for(
+      points.rows(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          auto row = points.row(i);
+          double best = std::numeric_limits<double>::infinity();
+          int best_c = 0;
+          for (std::size_t c = 0; c < centers.rows(); ++c) {
+            const double d = sq_distance(row, centers.row(c));
+            if (d < best) {
+              best = d;
+              best_c = static_cast<int>(c);
+            }
+          }
+          labels[i] = best_c;
+          partial[i] = best;
+        }
+      });
+  for (double p : partial) inertia += p;
+  return inertia;
+}
+
+}  // namespace
+
+Matrix kmeanspp_init(const Matrix& points, std::size_t k, std::uint64_t seed) {
+  KB2_CHECK_MSG(k >= 1 && k <= points.rows(),
+                "k=" << k << " invalid for " << points.rows() << " points");
+  Rng rng(seed);
+  Matrix centers(k, points.cols());
+
+  // First centre: uniform.
+  const auto first = rng.uniform_int(points.rows());
+  std::copy_n(points.row(first).begin(), points.cols(),
+              centers.row(0).begin());
+
+  std::vector<double> d2(points.rows(),
+                         std::numeric_limits<double>::infinity());
+  for (std::size_t c = 1; c < k; ++c) {
+    // Update shortest distance to the chosen set.
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+      d2[i] = std::min(d2[i], sq_distance(points.row(i), centers.row(c - 1)));
+      total += d2[i];
+    }
+    // D^2-weighted draw (falls back to uniform if all points coincide).
+    std::size_t chosen = points.rows() - 1;
+    if (total > 0.0) {
+      double u = rng.uniform() * total;
+      for (std::size_t i = 0; i < points.rows(); ++i) {
+        u -= d2[i];
+        if (u <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.uniform_int(points.rows());
+    }
+    std::copy_n(points.row(chosen).begin(), points.cols(),
+                centers.row(c).begin());
+  }
+  return centers;
+}
+
+KMeansResult lloyd(const Matrix& points, Matrix centers, int max_iters,
+                   double tol) {
+  const std::size_t k = centers.rows();
+  const std::size_t dims = points.cols();
+  KMeansResult result;
+  result.labels.assign(points.rows(), 0);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    result.inertia = assign(points, centers, result.labels);
+    result.iterations = iter + 1;
+
+    // Recompute centres.
+    Matrix next(k, dims);
+    std::vector<double> counts(k, 0.0);
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+      const auto c = static_cast<std::size_t>(result.labels[i]);
+      auto row = points.row(i);
+      auto acc = next.row(c);
+      for (std::size_t j = 0; j < dims; ++j) acc[j] += row[j];
+      counts[c] += 1.0;
+    }
+    double shift = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      auto nc = next.row(c);
+      auto oc = centers.row(c);
+      if (counts[c] > 0.0) {
+        for (std::size_t j = 0; j < dims; ++j) nc[j] /= counts[c];
+      } else {
+        // Empty cluster keeps its old centre (scikit-learn reseeds; keeping
+        // the centre is simpler and only matters for pathological inputs).
+        std::copy(oc.begin(), oc.end(), nc.begin());
+      }
+      shift += sq_distance(nc, oc);
+    }
+    centers = std::move(next);
+    if (shift <= tol * tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.inertia = assign(points, centers, result.labels);
+  result.centers = std::move(centers);
+  return result;
+}
+
+KMeansResult kmeans(const Matrix& points, const KMeansParams& params) {
+  KB2_CHECK_MSG(params.n_init >= 1, "n_init must be >= 1");
+  Rng seed_stream(params.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < params.n_init; ++r) {
+    auto centers = kmeanspp_init(points, params.k, seed_stream.fork_seed());
+    auto result =
+        lloyd(points, std::move(centers), params.max_iters, params.tol);
+    if (result.inertia < best.inertia) best = std::move(result);
+  }
+  return best;
+}
+
+}  // namespace keybin2::baselines

@@ -1,0 +1,55 @@
+// k-means++ baseline (paper §4 comparator #1: "K-means++, an optimized
+// version of the popular K-means algorithm from scikit-learn").
+//
+// D^2-weighted seeding (Arthur & Vassilvitskii) followed by Lloyd iterations.
+// Unlike KeyBin2, k must be given — exactly the handicap the paper gives the
+// baselines ("we provide the true number of clusters to kmeans++").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace keybin2::baselines {
+
+/// How the distributed variant picks initial centres.
+enum class Seeding {
+  /// Liao's parallel-kmeans: the first k points of the dataset. Cheap and
+  /// faithful to the paper's comparator — and the reason it degrades in
+  /// high dimension (centres seeded inside one cluster cannot escape once
+  /// clusters are far apart).
+  kFirstKPoints,
+  /// k-means++ on a cross-rank sample (a stronger, modern seeding).
+  kSampledKMeansPP,
+};
+
+struct KMeansParams {
+  std::size_t k = 4;
+  int max_iters = 300;
+  double tol = 1e-6;        // relative centre-shift convergence threshold
+  std::uint64_t seed = 42;
+  int n_init = 1;           // restarts; best inertia wins
+  Seeding seeding = Seeding::kFirstKPoints;  // parallel_kmeans only
+};
+
+struct KMeansResult {
+  std::vector<int> labels;
+  Matrix centers;  // k x dims
+  double inertia = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// D^2-weighted initial centres.
+Matrix kmeanspp_init(const Matrix& points, std::size_t k, std::uint64_t seed);
+
+/// Full k-means++: seeding + Lloyd, optionally restarted n_init times.
+KMeansResult kmeans(const Matrix& points, const KMeansParams& params);
+
+/// One Lloyd run from the given initial centres (exposed for the
+/// distributed variant and for tests).
+KMeansResult lloyd(const Matrix& points, Matrix centers, int max_iters,
+                   double tol);
+
+}  // namespace keybin2::baselines

@@ -1,0 +1,171 @@
+#include "baselines/parallel_kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace keybin2::baselines {
+
+namespace {
+
+double sq_distance(std::span<const double> a, std::span<const double> b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = a[i] - b[i];
+    d += x * x;
+  }
+  return d;
+}
+
+/// One full distributed k-means run with a specific seeding stream.
+KMeansResult run_one_init(comm::Communicator& comm, const Matrix& local_points,
+                          const KMeansParams& params, std::uint64_t seed) {
+  const std::size_t k = params.k;
+  const auto dims64 = comm.allreduce(
+      static_cast<std::uint64_t>(local_points.cols()), comm::ReduceOp::kMax);
+  const auto dims = static_cast<std::size_t>(dims64);
+  KB2_CHECK_MSG(local_points.rows() == 0 || local_points.cols() == dims,
+                "ranks disagree on dimensionality");
+
+  // Seeding. kFirstKPoints: the first k points of the dataset (rank 0's
+  // shard leads), exactly like Liao's parallel-kmeans — and the reason that
+  // baseline degrades in high dimension, where centres seeded inside one
+  // cluster cannot cross the widening gaps. kSampledKMeansPP: every rank
+  // contributes a slice of its shard to a root-side sample and the root
+  // runs k-means++ on it.
+  Matrix centers;
+  {
+    constexpr std::size_t kSeedSample = 1024;
+    const auto per_rank =
+        params.seeding == Seeding::kFirstKPoints
+            ? (comm.rank() == 0 ? k : std::size_t{0})
+            : std::max<std::size_t>(
+                  k, kSeedSample / static_cast<std::size_t>(comm.size()));
+    const auto take = std::min(per_rank, local_points.rows());
+    ByteWriter w;
+    w.write<std::uint64_t>(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      w.write_span(local_points.row(i));
+    }
+    auto gathered = comm.gather(w.bytes(), /*root=*/0);
+
+    ByteWriter centers_msg;
+    if (comm.rank() == 0) {
+      Matrix sample;
+      for (const auto& blob : gathered) {
+        ByteReader r(blob);
+        const auto rows = r.read<std::uint64_t>();
+        for (std::uint64_t i = 0; i < rows; ++i) {
+          sample.append_row(r.read_vec<double>());
+        }
+      }
+      KB2_CHECK_MSG(sample.rows() >= k,
+                    "seed sample has fewer points than k");
+      if (params.seeding == Seeding::kFirstKPoints) {
+        centers = sample.slice_rows(0, k);  // verbatim first-k seeding
+      } else {
+        centers = kmeanspp_init(sample, k, seed);
+      }
+      centers_msg.write_span(centers.flat());
+    }
+    auto bytes = centers_msg.take();
+    comm.broadcast(bytes, /*root=*/0);
+    if (comm.rank() != 0) {
+      ByteReader r(bytes);
+      centers = Matrix(k, dims, r.read_vec<double>());
+    }
+  }
+
+  KMeansResult result;
+  result.labels.assign(local_points.rows(), 0);
+
+  for (int iter = 0; iter < params.max_iters; ++iter) {
+    result.iterations = iter + 1;
+
+    // Local assignment + partial sums. Layout: k*dims sums, then k counts,
+    // then 1 inertia — one allreduce per iteration.
+    std::vector<double> acc(k * dims + k + 1, 0.0);
+    for (std::size_t i = 0; i < local_points.rows(); ++i) {
+      auto row = local_points.row(i);
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_distance(row, centers.row(c));
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.labels[i] = static_cast<int>(best_c);
+      for (std::size_t j = 0; j < dims; ++j) acc[best_c * dims + j] += row[j];
+      acc[k * dims + best_c] += 1.0;
+      acc[k * dims + k] += best;
+    }
+    acc = comm.allreduce(acc, comm::ReduceOp::kSum);
+    result.inertia = acc[k * dims + k];
+
+    double shift = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double count = acc[k * dims + c];
+      auto oc = centers.row(c);
+      if (count > 0.0) {
+        for (std::size_t j = 0; j < dims; ++j) {
+          const double v = acc[c * dims + j] / count;
+          const double d = v - oc[j];
+          shift += d * d;
+          oc[j] = v;
+        }
+      }
+    }
+    if (shift <= params.tol * params.tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final assignment against the converged centres.
+  double local_inertia = 0.0;
+  for (std::size_t i = 0; i < local_points.rows(); ++i) {
+    auto row = local_points.row(i);
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double d = sq_distance(row, centers.row(c));
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    result.labels[i] = static_cast<int>(best_c);
+    local_inertia += best;
+  }
+  result.inertia = comm.allreduce(local_inertia, comm::ReduceOp::kSum);
+  result.centers = std::move(centers);
+  return result;
+}
+
+}  // namespace
+
+KMeansResult parallel_kmeans(comm::Communicator& comm,
+                             const Matrix& local_points,
+                             const KMeansParams& params) {
+  KB2_CHECK_MSG(params.n_init >= 1, "n_init must be >= 1");
+  // Restart seeds are derived identically on every rank, so all ranks agree
+  // on which run wins without extra communication (inertia is global).
+  // First-k seeding is deterministic, so restarts would be identical.
+  const int inits =
+      params.seeding == Seeding::kFirstKPoints ? 1 : params.n_init;
+  Rng seed_stream(params.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < inits; ++r) {
+    auto result =
+        run_one_init(comm, local_points, params, seed_stream.fork_seed());
+    if (result.inertia < best.inertia) best = std::move(result);
+  }
+  return best;
+}
+
+}  // namespace keybin2::baselines

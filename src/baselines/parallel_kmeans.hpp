@@ -1,0 +1,21 @@
+// Distributed k-means baseline (paper §4 comparator #2: Liao's
+// "parallel-kmeans", which distributes the dataset across MPI ranks).
+//
+// Classic distributed Lloyd: every rank assigns its local points to the
+// current centres, then per-cluster coordinate sums and counts are
+// allreduced so all ranks update identical centres. Seeding is done on the
+// root's local shard with k-means++ and broadcast.
+#pragma once
+
+#include "baselines/kmeans.hpp"
+#include "comm/communicator.hpp"
+
+namespace keybin2::baselines {
+
+/// SPMD distributed k-means; every rank passes its shard and receives its
+/// local labels plus the (identical) global centres and global inertia.
+KMeansResult parallel_kmeans(comm::Communicator& comm,
+                             const Matrix& local_points,
+                             const KMeansParams& params);
+
+}  // namespace keybin2::baselines

@@ -1,0 +1,139 @@
+#include "baselines/xmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace keybin2::baselines {
+
+namespace {
+
+/// Maximum-likelihood shared spherical variance of a clustering.
+double spherical_variance(const Matrix& points, std::span<const int> labels,
+                          const Matrix& centers) {
+  const std::size_t n = points.rows();
+  const std::size_t k = centers.rows();
+  if (n <= k) return 0.0;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(labels[i]);
+    auto row = points.row(i);
+    auto center = centers.row(c);
+    for (std::size_t j = 0; j < points.cols(); ++j) {
+      const double d = row[j] - center[j];
+      ss += d * d;
+    }
+  }
+  return ss / (static_cast<double>(n - k) * static_cast<double>(points.cols()));
+}
+
+}  // namespace
+
+double kmeans_bic(const Matrix& points, std::span<const int> labels,
+                  const Matrix& centers) {
+  const std::size_t n = points.rows();
+  const std::size_t k = centers.rows();
+  const std::size_t dims = points.cols();
+  KB2_CHECK_MSG(labels.size() == n, "labels/points mismatch");
+  if (n == 0) return 0.0;
+
+  const double variance =
+      std::max(spherical_variance(points, labels, centers), 1e-12);
+
+  std::vector<std::size_t> sizes(k, 0);
+  for (int l : labels) sizes[static_cast<std::size_t>(l)]++;
+
+  // Log likelihood of the spherical mixture (Pelleg & Moore):
+  //   ll = sum_c [ n_c ln n_c - n_c ln n - (n_c d / 2) ln(2 pi sigma^2) ]
+  //        - (n - k) d / 2
+  const double d = static_cast<double>(dims);
+  double log_likelihood =
+      -(static_cast<double>(n - k) * d) / 2.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double nc = static_cast<double>(sizes[c]);
+    if (nc <= 0.0) continue;
+    log_likelihood += nc * std::log(nc) -
+                      nc * std::log(static_cast<double>(n)) -
+                      nc * d / 2.0 * std::log(2.0 * std::numbers::pi * variance);
+  }
+
+  const double free_params =
+      static_cast<double>(k) * (static_cast<double>(dims) + 1.0);
+  return log_likelihood -
+         free_params / 2.0 * std::log(static_cast<double>(n));
+}
+
+XMeansResult xmeans(const Matrix& points, const XMeansParams& params) {
+  KB2_CHECK_MSG(params.k_min >= 1 && params.k_min <= params.k_max,
+                "invalid k range [" << params.k_min << ", " << params.k_max
+                                    << "]");
+  KB2_CHECK_MSG(points.rows() > params.k_min, "not enough points");
+  Rng rng(params.seed);
+
+  // Start: k_min-means.
+  auto centers = kmeanspp_init(points, params.k_min, rng.fork_seed());
+  auto model = lloyd(points, std::move(centers), params.max_iters, params.tol);
+
+  XMeansResult result;
+  for (int round = 0; round < 16; ++round) {
+    const std::size_t k = model.centers.rows();
+    if (k >= params.k_max) break;
+
+    // Improve-structure: try to split each cluster locally.
+    Matrix next_centers;
+    bool any_split = false;
+    for (std::size_t c = 0; c < k; ++c) {
+      // Collect this cluster's points.
+      Matrix members;
+      for (std::size_t i = 0; i < points.rows(); ++i) {
+        if (model.labels[i] == static_cast<int>(c)) {
+          members.append_row(points.row(i));
+        }
+      }
+      if (members.rows() < 4 || k + 1 > params.k_max) {
+        next_centers.append_row(model.centers.row(c));
+        continue;
+      }
+
+      // Parent BIC (one centre) vs child BIC (2-means on the region).
+      Matrix parent_center;
+      parent_center.append_row(model.centers.row(c));
+      std::vector<int> parent_labels(members.rows(), 0);
+      const double parent_bic =
+          kmeans_bic(members, parent_labels, parent_center);
+
+      auto child_init = kmeanspp_init(members, 2, rng.fork_seed());
+      auto child =
+          lloyd(members, std::move(child_init), params.max_iters, params.tol);
+      const double child_bic = kmeans_bic(members, child.labels, child.centers);
+
+      if (child_bic > parent_bic && next_centers.rows() + 2 <=
+                                        params.k_max + (k - c - 1)) {
+        next_centers.append_row(child.centers.row(0));
+        next_centers.append_row(child.centers.row(1));
+        any_split = true;
+      } else {
+        next_centers.append_row(model.centers.row(c));
+      }
+    }
+    result.split_rounds = round + 1;
+    if (!any_split) break;
+
+    // Global refinement with the enlarged centre set.
+    model = lloyd(points, std::move(next_centers), params.max_iters,
+                  params.tol);
+  }
+
+  result.labels = std::move(model.labels);
+  result.centers = std::move(model.centers);
+  result.k = result.centers.rows();
+  result.bic = kmeans_bic(points, result.labels, result.centers);
+  return result;
+}
+
+}  // namespace keybin2::baselines

@@ -1,0 +1,44 @@
+// X-means baseline (paper §2: "X-means proposes handling [the unknown k]
+// with Bayesian Information Criterion (BIC) in order to automatically select
+// the optimal K values") — the classic non-parametric comparator for
+// KeyBin2's automatic cluster-count discovery.
+//
+// Pelleg & Moore's improve-structure loop: start from k_min centres, and for
+// every cluster test a 2-means split of its points; keep the split when the
+// two-cluster BIC of the region beats the one-cluster BIC. Repeat until no
+// cluster splits or k_max is reached, with a global Lloyd refinement between
+// rounds. BIC uses the identical spherical-Gaussian likelihood of the
+// original paper.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/kmeans.hpp"
+
+namespace keybin2::baselines {
+
+struct XMeansParams {
+  std::size_t k_min = 1;
+  std::size_t k_max = 32;
+  int max_iters = 100;       // Lloyd iterations per refinement
+  double tol = 1e-6;
+  std::uint64_t seed = 42;
+};
+
+struct XMeansResult {
+  std::vector<int> labels;
+  Matrix centers;
+  std::size_t k = 0;
+  double bic = 0.0;
+  int split_rounds = 0;
+};
+
+/// BIC of a k-means model under the identical spherical Gaussian assumption
+/// X-means uses: ln L - (p/2) ln n with p = k*(dims+1) free parameters.
+/// Exposed for tests.
+double kmeans_bic(const Matrix& points, std::span<const int> labels,
+                  const Matrix& centers);
+
+XMeansResult xmeans(const Matrix& points, const XMeansParams& params);
+
+}  // namespace keybin2::baselines

@@ -1,0 +1,298 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace keybin2::comm {
+
+namespace {
+
+// Reserved tag bases for collective plumbing (above kUserTagLimit).
+constexpr int kTagBcast = Communicator::kUserTagLimit + 1;
+constexpr int kTagReduceDouble = Communicator::kUserTagLimit + 2;
+constexpr int kTagReduceU64 = Communicator::kUserTagLimit + 3;
+constexpr int kTagGather = Communicator::kUserTagLimit + 4;
+constexpr int kTagRingAccumulate = Communicator::kUserTagLimit + 5;
+constexpr int kTagRingDistribute = Communicator::kUserTagLimit + 6;
+
+template <typename T>
+void apply_op(std::vector<T>& acc, const std::vector<T>& in, ReduceOp op) {
+  KB2_CHECK_MSG(acc.size() == in.size(),
+                "reduce length mismatch: " << acc.size() << " vs "
+                                           << in.size());
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::min(acc[i], in[i]);
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::max(acc[i], in[i]);
+      break;
+  }
+}
+
+template <typename T>
+int reduce_tag();
+template <>
+int reduce_tag<double>() {
+  return kTagReduceDouble;
+}
+template <>
+int reduce_tag<std::uint64_t>() {
+  return kTagReduceU64;
+}
+
+}  // namespace
+
+void Communicator::check_rank(int r) const {
+  KB2_CHECK_MSG(r >= 0 && r < size(), "rank " << r << " out of group size "
+                                              << size());
+}
+
+void Communicator::check_user_tag(int tag) const {
+  KB2_CHECK_MSG(tag >= 0 && tag < kUserTagLimit, "user tag " << tag
+                                                             << " out of range");
+}
+
+void Communicator::broadcast(std::vector<std::byte>& data, int root) {
+  check_rank(root);
+  const int p = size();
+  if (p == 1) return;
+  const int me = rank();
+  const int rel = (me - root + p) % p;
+
+  // Binomial tree (MPICH-style): receive from the parent, then forward to
+  // children at decreasing strides.
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      int src = me - mask;
+      if (src < 0) src += p;
+      data = recv(src, kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < p) {
+      int dst = me + mask;
+      if (dst >= p) dst -= p;
+      send(dst, kTagBcast, data);
+    }
+    mask >>= 1;
+  }
+}
+
+template <typename T>
+std::vector<T> Communicator::reduce_impl(std::span<const T> local, ReduceOp op,
+                                         int root, int base_tag) {
+  check_rank(root);
+  const int p = size();
+  std::vector<T> acc(local.begin(), local.end());
+  if (p == 1) return acc;
+  const int me = rank();
+  const int rel = (me - root + p) % p;
+
+  int mask = 1;
+  bool sent = false;
+  while (mask < p) {
+    if ((rel & mask) == 0) {
+      const int src_rel = rel | mask;
+      if (src_rel < p) {
+        const int src = (src_rel + root) % p;
+        auto bytes = recv(src, base_tag);
+        ByteReader reader(bytes);
+        auto in = reader.template read_vec<T>();
+        apply_op(acc, in, op);
+      }
+    } else {
+      const int dst = ((rel & ~mask) + root) % p;
+      ByteWriter writer;
+      writer.write_vec(acc);
+      send(dst, base_tag, writer.bytes());
+      sent = true;
+      break;
+    }
+    mask <<= 1;
+  }
+  if (sent) acc.clear();  // non-root holds no result
+  return acc;
+}
+
+std::vector<double> Communicator::reduce(std::span<const double> local,
+                                         ReduceOp op, int root) {
+  return reduce_impl<double>(local, op, root, reduce_tag<double>());
+}
+
+std::vector<std::uint64_t> Communicator::reduce(
+    std::span<const std::uint64_t> local, ReduceOp op, int root) {
+  return reduce_impl<std::uint64_t>(local, op, root,
+                                    reduce_tag<std::uint64_t>());
+}
+
+template <typename T>
+std::vector<T> Communicator::allreduce_impl(std::span<const T> local,
+                                            ReduceOp op) {
+  auto result = reduce_impl<T>(local, op, /*root=*/0, reduce_tag<T>());
+  ByteWriter writer;
+  if (rank() == 0) writer.write_vec(result);
+  auto bytes = writer.take();
+  broadcast(bytes, /*root=*/0);
+  if (rank() != 0) {
+    ByteReader reader(bytes);
+    result = reader.template read_vec<T>();
+  }
+  return result;
+}
+
+std::vector<double> Communicator::allreduce(std::span<const double> local,
+                                            ReduceOp op) {
+  return allreduce_impl<double>(local, op);
+}
+
+std::vector<std::uint64_t> Communicator::allreduce(
+    std::span<const std::uint64_t> local, ReduceOp op) {
+  return allreduce_impl<std::uint64_t>(local, op);
+}
+
+double Communicator::allreduce(double value, ReduceOp op) {
+  return allreduce(std::span<const double>(&value, 1), op)[0];
+}
+
+std::uint64_t Communicator::allreduce(std::uint64_t value, ReduceOp op) {
+  return allreduce(std::span<const std::uint64_t>(&value, 1), op)[0];
+}
+
+std::vector<double> Communicator::ring_allreduce(
+    std::span<const double> local) {
+  const int p = size();
+  std::vector<double> acc(local.begin(), local.end());
+  if (p == 1) return acc;
+  const int me = rank();
+  const int next = (me + 1) % p;
+  const int prev = (me - 1 + p) % p;
+
+  // Accumulating pass: 0 starts; each rank adds its share and forwards.
+  if (me == 0) {
+    ByteWriter w;
+    w.write_vec(acc);
+    send(next, kTagRingAccumulate, w.bytes());
+  } else {
+    auto bytes = recv(prev, kTagRingAccumulate);
+    ByteReader r(bytes);
+    auto partial = r.read_vec<double>();
+    apply_op(partial, acc, ReduceOp::kSum);
+    acc = std::move(partial);
+    if (me != p - 1) {
+      ByteWriter w;
+      w.write_vec(acc);
+      send(next, kTagRingAccumulate, w.bytes());
+    }
+  }
+
+  // Distribution pass: the last rank holds the total; walk the ring again.
+  if (me == p - 1) {
+    ByteWriter w;
+    w.write_vec(acc);
+    send(next, kTagRingDistribute, w.bytes());
+  } else {
+    auto bytes = recv(prev, kTagRingDistribute);
+    ByteReader r(bytes);
+    acc = r.read_vec<double>();
+    if (next != p - 1) {
+      ByteWriter w;
+      w.write_vec(acc);
+      send(next, kTagRingDistribute, w.bytes());
+    }
+  }
+  return acc;
+}
+
+std::vector<std::vector<std::byte>> Communicator::gather(
+    std::span<const std::byte> local, int root) {
+  check_rank(root);
+  const int p = size();
+  const int me = rank();
+  std::vector<std::vector<std::byte>> out;
+  if (me == root) {
+    out.resize(p);
+    out[static_cast<std::size_t>(me)].assign(local.begin(), local.end());
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      out[static_cast<std::size_t>(r)] = recv(r, kTagGather);
+    }
+  } else {
+    send(root, kTagGather, local);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Communicator::allgather(
+    std::span<const std::byte> local) {
+  auto gathered = gather(local, /*root=*/0);
+  ByteWriter writer;
+  if (rank() == 0) {
+    writer.write<std::uint64_t>(gathered.size());
+    for (const auto& blob : gathered) {
+      writer.write<std::uint64_t>(blob.size());
+      for (std::byte b : blob) writer.write(b);
+    }
+  }
+  auto bytes = writer.take();
+  broadcast(bytes, /*root=*/0);
+  if (rank() != 0) {
+    ByteReader reader(bytes);
+    const auto n = reader.read<std::uint64_t>();
+    gathered.resize(n);
+    for (auto& blob : gathered) {
+      const auto len = reader.read<std::uint64_t>();
+      blob.resize(len);
+      for (auto& b : blob) b = reader.read<std::byte>();
+    }
+  }
+  return gathered;
+}
+
+void Communicator::send_doubles(int dest, int tag, std::span<const double> v) {
+  check_user_tag(tag);
+  ByteWriter writer;
+  writer.write_span(v);
+  send(dest, tag, writer.bytes());
+}
+
+std::vector<double> Communicator::recv_doubles(int src, int tag) {
+  check_user_tag(tag);
+  auto bytes = recv(src, tag);
+  ByteReader reader(bytes);
+  return reader.read_vec<double>();
+}
+
+// ---- SelfComm ----
+
+void SelfComm::send(int dest, int tag, std::span<const std::byte> data) {
+  KB2_CHECK_MSG(dest == 0, "SelfComm can only send to rank 0");
+  queue_.emplace_back(tag, std::vector<std::byte>(data.begin(), data.end()));
+  ++stats_.messages_sent;
+  stats_.bytes_sent += data.size();
+}
+
+std::vector<std::byte> SelfComm::recv(int src, int tag) {
+  KB2_CHECK_MSG(src == 0, "SelfComm can only receive from rank 0");
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->first == tag) {
+      auto data = std::move(it->second);
+      queue_.erase(it);
+      return data;
+    }
+  }
+  throw Error("SelfComm::recv would deadlock: no queued message with tag " +
+              std::to_string(tag));
+}
+
+}  // namespace keybin2::comm

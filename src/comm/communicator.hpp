@@ -1,0 +1,130 @@
+// Message-passing substrate for KeyBin2's distributed drivers.
+//
+// The paper's implementation uses mpi4py on an Infiniband cluster. This
+// environment has no MPI runtime, so keybin2::comm provides the same
+// programming model from scratch: a fixed group of ranks exchanging typed
+// messages, with collectives (barrier, broadcast, reduce, allreduce, gather,
+// allgather) built on top of point-to-point send/recv using the standard
+// binomial-tree algorithms. Backends:
+//   * SelfComm   — a single rank (serial execution, no copies).
+//   * ThreadComm — N ranks simulated by N threads in one process, talking
+//                  through mailboxes. Exercises the identical code path a
+//                  real MPI deployment would (serialize → send → reduce →
+//                  broadcast), with real concurrency.
+//
+// All collective calls must be entered by every rank in the same order
+// (SPMD discipline), exactly as in MPI.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace keybin2::comm {
+
+/// Reduction operators supported by reduce/allreduce.
+enum class ReduceOp { kSum, kMin, kMax };
+
+/// Per-rank traffic counters; used by benches to report communication volume
+/// (the paper claims the histogram exchange is "as small as several Kbytes").
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Point-to-point: deliver bytes to `dest` under `tag`. User tags must be
+  /// in [0, kUserTagLimit); higher tags are reserved for collectives.
+  virtual void send(int dest, int tag, std::span<const std::byte> data) = 0;
+
+  /// Blocking receive of the next message from `src` with `tag` (FIFO per
+  /// (src, tag) channel).
+  virtual std::vector<std::byte> recv(int src, int tag) = 0;
+
+  virtual void barrier() = 0;
+
+  virtual TrafficStats stats() const = 0;
+
+  static constexpr int kUserTagLimit = 1 << 20;
+
+  // ---- Collectives (implemented once, over send/recv) ----
+
+  /// Broadcast `data` from `root` to all ranks (binomial tree).
+  void broadcast(std::vector<std::byte>& data, int root);
+
+  /// Elementwise reduction to `root`; every rank passes a vector of the same
+  /// length. On non-root ranks the result is empty.
+  std::vector<double> reduce(std::span<const double> local, ReduceOp op,
+                             int root);
+  std::vector<std::uint64_t> reduce(std::span<const std::uint64_t> local,
+                                    ReduceOp op, int root);
+
+  /// Elementwise reduction, result available on every rank.
+  std::vector<double> allreduce(std::span<const double> local, ReduceOp op);
+  std::vector<std::uint64_t> allreduce(std::span<const std::uint64_t> local,
+                                       ReduceOp op);
+
+  /// Scalar conveniences.
+  double allreduce(double value, ReduceOp op);
+  std::uint64_t allreduce(std::uint64_t value, ReduceOp op);
+
+  /// Ring allreduce (sum): the accumulating pass walks the ring 0 -> 1 ->
+  /// ... -> p-1, then the distribution pass walks it again, so no central
+  /// authority ever exists — the topology the paper notes KeyBin2 also
+  /// supports for its histogram merge (§3 step 3). 2(p-1) messages.
+  std::vector<double> ring_allreduce(std::span<const double> local);
+
+  /// Gather per-rank byte blobs to `root` (index = source rank). On non-root
+  /// ranks the result is empty.
+  std::vector<std::vector<std::byte>> gather(std::span<const std::byte> local,
+                                             int root);
+
+  /// Gather per-rank blobs to every rank.
+  std::vector<std::vector<std::byte>> allgather(
+      std::span<const std::byte> local);
+
+  // ---- Typed helpers ----
+
+  /// Send a double vector (length prefix included).
+  void send_doubles(int dest, int tag, std::span<const double> v);
+  std::vector<double> recv_doubles(int src, int tag);
+
+ protected:
+  void check_rank(int r) const;
+  void check_user_tag(int tag) const;
+
+ private:
+  template <typename T>
+  std::vector<T> reduce_impl(std::span<const T> local, ReduceOp op, int root,
+                             int base_tag);
+  template <typename T>
+  std::vector<T> allreduce_impl(std::span<const T> local, ReduceOp op);
+};
+
+/// Single-rank communicator: all collectives are identity operations and
+/// send/recv works as a loopback queue (so SPMD code runs unchanged).
+class SelfComm final : public Communicator {
+ public:
+  int rank() const override { return 0; }
+  int size() const override { return 1; }
+  void send(int dest, int tag, std::span<const std::byte> data) override;
+  std::vector<std::byte> recv(int src, int tag) override;
+  void barrier() override {}
+  TrafficStats stats() const override { return stats_; }
+
+ private:
+  // (tag -> FIFO of messages); loopback only.
+  std::vector<std::pair<int, std::vector<std::byte>>> queue_;
+  TrafficStats stats_;
+};
+
+}  // namespace keybin2::comm

@@ -1,0 +1,50 @@
+#include "comm/launch.hpp"
+
+#include "common/error.hpp"
+
+namespace keybin2::comm {
+
+TrafficStats run_ranks(int n_ranks,
+                       const std::function<void(Communicator&)>& fn) {
+  KB2_CHECK_MSG(n_ranks >= 1, "need at least one rank, got " << n_ranks);
+  ThreadCommHub hub(n_ranks);
+
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      ThreadComm c = hub.comm(r);
+      try {
+        fn(c);
+      } catch (const std::exception& e) {
+        {
+          std::lock_guard lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Wake every rank blocked on this one (MPI_Abort semantics).
+        hub.poison(std::string("rank ") + std::to_string(r) + ": " + e.what());
+      } catch (...) {
+        {
+          std::lock_guard lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        hub.poison("rank " + std::to_string(r) + " failed");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  TrafficStats total;
+  for (int r = 0; r < n_ranks; ++r) {
+    const auto s = hub.stats(r);
+    total.messages_sent += s.messages_sent;
+    total.bytes_sent += s.bytes_sent;
+  }
+  return total;
+}
+
+}  // namespace keybin2::comm

@@ -1,0 +1,36 @@
+// SPMD launch harness: run the same function on N simulated ranks.
+//
+// run_ranks() is the moral equivalent of `mpirun -np N`: it spawns one thread
+// per rank, hands each a Communicator endpoint, joins them, and rethrows the
+// first rank exception on the caller (so tests see failures).
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/thread_comm.hpp"
+
+namespace keybin2::comm {
+
+/// Run `fn(comm)` on `n_ranks` simulated ranks; blocks until all complete.
+/// Returns the aggregate traffic stats (sum over ranks).
+TrafficStats run_ranks(int n_ranks,
+                       const std::function<void(Communicator&)>& fn);
+
+/// Run `fn(comm) -> T` on `n_ranks` ranks and collect per-rank results,
+/// indexed by rank.
+template <typename T>
+std::vector<T> run_ranks_collect(
+    int n_ranks, const std::function<T(Communicator&)>& fn) {
+  std::vector<T> results(static_cast<std::size_t>(n_ranks));
+  run_ranks(n_ranks, [&](Communicator& c) {
+    results[static_cast<std::size_t>(c.rank())] = fn(c);
+  });
+  return results;
+}
+
+}  // namespace keybin2::comm

@@ -1,0 +1,125 @@
+#include "comm/thread_comm.hpp"
+
+#include "common/error.hpp"
+
+namespace keybin2::comm {
+
+ThreadCommHub::ThreadCommHub(int size) {
+  KB2_CHECK_MSG(size >= 1, "hub size must be >= 1, got " << size);
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  traffic_.resize(static_cast<std::size_t>(size));
+}
+
+ThreadComm ThreadCommHub::comm(int rank) {
+  KB2_CHECK_MSG(rank >= 0 && rank < size(),
+                "rank " << rank << " out of hub size " << size());
+  return ThreadComm(this, rank);
+}
+
+TrafficStats ThreadCommHub::stats(int rank) const {
+  std::lock_guard lk(traffic_mu_);
+  return traffic_[static_cast<std::size_t>(rank)];
+}
+
+void ThreadCommHub::push(int src, int dest, int tag,
+                         std::span<const std::byte> data) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lk(box.mu);
+    box.queues[{src, tag}].emplace_back(data.begin(), data.end());
+  }
+  box.cv.notify_all();
+  {
+    std::lock_guard lk(traffic_mu_);
+    auto& t = traffic_[static_cast<std::size_t>(src)];
+    ++t.messages_sent;
+    t.bytes_sent += data.size();
+  }
+}
+
+std::vector<std::byte> ThreadCommHub::pop(int self, int src, int tag) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(self)];
+  std::unique_lock lk(box.mu);
+  const auto key = std::make_pair(src, tag);
+  box.cv.wait(lk, [&] {
+    if (poisoned_.load()) return true;
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  // Drain pending messages even when poisoned; only block-forever is fatal.
+  auto it = box.queues.find(key);
+  if (it == box.queues.end() || it->second.empty()) {
+    lk.unlock();
+    check_poisoned();  // the only way the wait can end with an empty queue
+    throw Error("ThreadComm::recv woke without a message");
+  }
+  auto data = std::move(it->second.front());
+  it->second.pop_front();
+  return data;
+}
+
+void ThreadCommHub::barrier_wait() {
+  std::unique_lock lk(barrier_mu_);
+  check_poisoned();
+  const auto my_generation = barrier_generation_;
+  if (++barrier_count_ == size()) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lk, [&] {
+      return poisoned_.load() || barrier_generation_ != my_generation;
+    });
+    if (barrier_generation_ == my_generation) {
+      lk.unlock();
+      check_poisoned();
+    }
+  }
+}
+
+void ThreadCommHub::poison(const std::string& reason) {
+  {
+    std::lock_guard lk(poison_mu_);
+    if (poisoned_.load()) return;
+    poison_reason_ = reason;
+  }
+  poisoned_.store(true);
+  for (auto& box : mailboxes_) {
+    std::lock_guard lk(box->mu);
+    box->cv.notify_all();
+  }
+  {
+    std::lock_guard lk(barrier_mu_);
+    barrier_cv_.notify_all();
+  }
+}
+
+void ThreadCommHub::check_poisoned() const {
+  if (poisoned_.load()) {
+    std::lock_guard lk(poison_mu_);
+    throw Error("communicator group failed: " + poison_reason_);
+  }
+}
+
+int ThreadComm::size() const { return hub_->size(); }
+
+void ThreadComm::send(int dest, int tag, std::span<const std::byte> data) {
+  KB2_CHECK_MSG(dest >= 0 && dest < size(),
+                "send dest " << dest << " out of group size " << size());
+  hub_->push(rank_, dest, tag, data);
+}
+
+std::vector<std::byte> ThreadComm::recv(int src, int tag) {
+  KB2_CHECK_MSG(src >= 0 && src < size(),
+                "recv src " << src << " out of group size " << size());
+  return hub_->pop(rank_, src, tag);
+}
+
+void ThreadComm::barrier() { hub_->barrier_wait(); }
+
+TrafficStats ThreadComm::stats() const { return hub_->stats(rank_); }
+
+}  // namespace keybin2::comm

@@ -1,0 +1,92 @@
+// ThreadComm: an in-process group of ranks backed by threads.
+//
+// A Hub owns one mailbox per rank; a mailbox is a FIFO of messages keyed by
+// (source, tag). send() enqueues into the destination's mailbox; recv()
+// blocks on the destination's condition variable until a matching message is
+// available. The barrier is a classic generation-counting central barrier.
+//
+// This gives the distributed KeyBin2 driver a faithful stand-in for MPI on a
+// single node: real concurrency, real serialization, rank-private memory by
+// convention (each rank only touches its own data slices).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <string>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace keybin2::comm {
+
+class ThreadCommHub;
+
+/// A rank's endpoint inside a ThreadCommHub. Create via ThreadCommHub::comm().
+class ThreadComm final : public Communicator {
+ public:
+  int rank() const override { return rank_; }
+  int size() const override;
+  void send(int dest, int tag, std::span<const std::byte> data) override;
+  std::vector<std::byte> recv(int src, int tag) override;
+  void barrier() override;
+  TrafficStats stats() const override;
+
+ private:
+  friend class ThreadCommHub;
+  ThreadComm(ThreadCommHub* hub, int rank) : hub_(hub), rank_(rank) {}
+
+  ThreadCommHub* hub_;
+  int rank_;
+};
+
+class ThreadCommHub {
+ public:
+  explicit ThreadCommHub(int size);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+
+  /// The communicator endpoint for `rank`. The hub must outlive it.
+  ThreadComm comm(int rank);
+
+  TrafficStats stats(int rank) const;
+
+  /// Mark the group failed (e.g. a rank threw): every blocked or future
+  /// recv()/barrier() throws instead of waiting on a dead rank — the
+  /// moral equivalent of MPI_Abort, so one rank's failure can never
+  /// deadlock the others.
+  void poison(const std::string& reason);
+
+ private:
+  friend class ThreadComm;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> queues;
+  };
+
+  void push(int src, int dest, int tag, std::span<const std::byte> data);
+  std::vector<std::byte> pop(int self, int src, int tag);
+  void barrier_wait();
+  void check_poisoned() const;
+
+  std::atomic<bool> poisoned_{false};
+  std::string poison_reason_;
+  mutable std::mutex poison_mu_;
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<TrafficStats> traffic_;
+  mutable std::mutex traffic_mu_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace keybin2::comm

@@ -1,0 +1,50 @@
+// Error handling primitives for the KeyBin2 library.
+//
+// All precondition violations and invariant failures throw keybin2::Error
+// (never abort), so distributed drivers can surface a failing rank's message
+// instead of tearing the process down.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace keybin2 {
+
+/// Exception type thrown for all precondition and invariant violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "KB2_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace keybin2
+
+/// Check a precondition; throws keybin2::Error with expression and location.
+#define KB2_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::keybin2::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Check a precondition with a streamed message:
+///   KB2_CHECK_MSG(k > 0, "k must be positive, got " << k);
+#define KB2_CHECK_MSG(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream kb2_os_;                                             \
+      kb2_os_ << msg;                                                         \
+      ::keybin2::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                             kb2_os_.str());                  \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,44 @@
+#include "common/matrix.hpp"
+
+#include <algorithm>
+
+namespace keybin2 {
+
+void Matrix::append_row(std::span<const double> v) {
+  if (rows_ == 0 && cols_ == 0) cols_ = v.size();
+  KB2_CHECK_MSG(v.size() == cols_,
+                "append_row length " << v.size() << " != cols " << cols_);
+  data_.insert(data_.end(), v.begin(), v.end());
+  ++rows_;
+}
+
+Matrix Matrix::slice_rows(std::size_t begin, std::size_t end) const {
+  KB2_CHECK_MSG(begin <= end && end <= rows_,
+                "slice [" << begin << ", " << end << ") of " << rows_);
+  Matrix out(end - begin, cols_);
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * cols_),
+            data_.begin() + static_cast<std::ptrdiff_t>(end * cols_),
+            out.data_.begin());
+  return out;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  KB2_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch: " << a.cols()
+                                                                << " vs "
+                                                                << b.rows());
+  Matrix out(a.rows(), b.cols());
+  const std::size_t m = a.rows(), n = a.cols(), p = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    auto out_row = out.row(i);
+    auto a_row = a.row(i);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      auto b_row = b.row(k);
+      for (std::size_t j = 0; j < p; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace keybin2

@@ -1,0 +1,81 @@
+// Dense row-major matrix of doubles.
+//
+// KeyBin2 treats a dataset as an M x N matrix (M points, N features); rows are
+// the unit of distribution across ranks and the unit of parallelism inside a
+// rank, so the storage is row-major and row views are spans (Per.16/Per.19:
+// compact, predictable memory access).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace keybin2 {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Adopt existing storage; data.size() must equal rows*cols.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    KB2_CHECK_MSG(data_.size() == rows_ * cols_,
+                  "storage size " << data_.size() << " != " << rows_ << "x"
+                                  << cols_);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable view of row r.
+  std::span<double> row(std::size_t r) {
+    KB2_CHECK_MSG(r < rows_, "row " << r << " out of range " << rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Read-only view of row r.
+  std::span<const double> row(std::size_t r) const {
+    KB2_CHECK_MSG(r < rows_, "row " << r << " out of range " << rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> flat() { return data_; }
+  std::span<const double> flat() const { return data_; }
+
+  /// Append a row (point). len must equal cols(); sets cols on first append
+  /// to an empty matrix.
+  void append_row(std::span<const double> v);
+
+  /// Copy of rows [begin, end).
+  Matrix slice_rows(std::size_t begin, std::size_t end) const;
+
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a * b where a is (m x n) and b is (n x p); used for random
+/// projection (X' = X A). Plain triple loop with the k-loop in the middle for
+/// streaming access on both operands.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+}  // namespace keybin2

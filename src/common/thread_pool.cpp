@@ -1,0 +1,92 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace keybin2 {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, workers_.size());
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::condition_variable done_cv;
+  std::mutex done_mu;
+
+  const std::size_t base = n / chunks, extra = n % chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    auto task = [&, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == chunks) {
+        std::lock_guard lk(done_mu);
+        done_cv.notify_one();
+      }
+    };
+    {
+      std::lock_guard lk(mu_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+    begin = end;
+  }
+  {
+    std::unique_lock lk(done_mu);
+    done_cv.wait(lk, [&] { return done.load() == chunks; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace keybin2

@@ -1,0 +1,48 @@
+// Rank-local worker pool for data-parallel kernels.
+//
+// The paper offloads key assignment and histogram construction to a GPU; here
+// the same per-point / per-dimension decomposition runs on a thread pool
+// (CP.4: think in tasks; CP.24: the pool joins in its destructor).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace keybin2 {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency() (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(begin, end) over [0, n) split into contiguous chunks, one chunk
+  /// per worker, and wait for completion. Exceptions from tasks are rethrown
+  /// on the calling thread (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool shared by kernels that do not need a private pool.
+ThreadPool& global_pool();
+
+}  // namespace keybin2

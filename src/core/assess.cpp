@@ -1,0 +1,88 @@
+#include "core/assess.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/distributions.hpp"
+
+namespace keybin2::core {
+
+double histogram_calinski_harabasz(
+    const std::vector<stats::Histogram>& dim_hists,
+    const std::vector<DimensionPartition>& partitions,
+    const std::vector<Cell>& cells, AssessBreakdown* breakdown) {
+  KB2_CHECK_MSG(dim_hists.size() == partitions.size(),
+                "one histogram per partitioned dimension required");
+  const std::size_t q_count = cells.size();
+  if (breakdown) *breakdown = AssessBreakdown{};
+  if (q_count < 2) return 0.0;
+
+  const std::size_t dims = dim_hists.size();
+  std::size_t total_bins = 0;
+  for (const auto& h : dim_hists) total_bins += h.bins();
+
+  // Global centre: 50th percentile bin per dimension.
+  std::vector<std::size_t> global_center(dims, 0);
+  for (std::size_t j = 0; j < dims; ++j) {
+    global_center[j] = stats::percentile_bin(dim_hists[j].counts(), 50.0);
+  }
+
+  double w_q = 0.0, b_q = 0.0;
+  std::vector<std::vector<std::size_t>> centroids;
+  centroids.reserve(q_count);
+  for (const auto& cell : cells) {
+    KB2_CHECK_MSG(cell.coord.size() == dims, "cell arity mismatch");
+    std::vector<std::size_t> centroid(dims, 0);
+    for (std::size_t j = 0; j < dims; ++j) {
+      const auto [begin, end] = partitions[j].range_of(cell.coord[j]);
+      const auto counts = dim_hists[j].counts();
+
+      // Centroid: the mode bin inside the primary cluster's range.
+      std::size_t mode = begin;
+      double mode_density = counts[begin];
+      double range_mass = 0.0;
+      for (std::size_t b = begin; b < end; ++b) {
+        range_mass += counts[b];
+        if (counts[b] > mode_density) {
+          mode_density = counts[b];
+          mode = b;
+        }
+      }
+      centroid[j] = mode;
+
+      // Within-cluster dispersion over this dimension's range.
+      for (std::size_t b = begin; b < end; ++b) {
+        const double d = static_cast<double>(b) - static_cast<double>(mode);
+        w_q += d * d * counts[b];
+      }
+
+      // Between-cluster dispersion against the global centre.
+      const double dc = static_cast<double>(mode) -
+                        static_cast<double>(global_center[j]);
+      b_q += dc * dc * range_mass;
+    }
+    centroids.push_back(std::move(centroid));
+  }
+
+  double score = 0.0;
+  if (b_q > 0.0 && total_bins > q_count) {
+    const double w_safe = std::max(w_q, 1e-12);
+    const double dof = static_cast<double>(total_bins - q_count) /
+                       static_cast<double>(q_count - 1);
+    const double spread_factor =
+        std::max(1.0, std::log2(static_cast<double>(q_count - 1)));
+    score = (b_q / w_safe) * dof * spread_factor;
+  }
+
+  if (breakdown) {
+    breakdown->within = w_q;
+    breakdown->between = b_q;
+    breakdown->score = score;
+    breakdown->centroids = std::move(centroids);
+    breakdown->global_center = std::move(global_center);
+  }
+  return score;
+}
+
+}  // namespace keybin2::core

@@ -1,0 +1,43 @@
+// Assessing projected subspaces (paper §3.3, Eq. 2a-2c).
+//
+// Random projections vary in quality, so KeyBin2 bootstraps several and rates
+// each candidate clustering with a Calinski–Harabasz index computed ENTIRELY
+// in histogram space — bins, their densities, and primary-cluster ranges —
+// never touching the data points, so the cost is independent of M:
+//
+//   cal = [B_Q / W_Q] * [(|Bins| - |Q|) / (|Q| - 1)] * log2(|Q| - 1)
+//   W_Q = sum_q sum_j sum_{b in C_q} (b[j] - c_q[j])^2 * Density_b[j]
+//   B_Q = sum_q sum_j (c_q[j] - c[j])^2 * sum_{b in C_q} Density_b[j]
+//
+// with c_q the cluster's per-dimension mode bin and c the per-dimension 50th
+// percentile bin. One deviation from the printed formula: log2(|Q|-1) is
+// floored at 1, because taken literally it zeroes out every two-cluster
+// model (see DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/partitioner.hpp"
+#include "stats/histogram.hpp"
+
+namespace keybin2::core {
+
+struct AssessBreakdown {
+  double within = 0.0;    // W_Q
+  double between = 0.0;   // B_Q
+  double score = 0.0;     // cal
+  std::vector<std::vector<std::size_t>> centroids;  // c_q[j] per cell
+  std::vector<std::size_t> global_center;           // c[j]
+};
+
+/// Histogram-space CH of a candidate model. `dim_hists[j]` is the merged
+/// histogram of kept dimension j at the candidate depth; `partitions[j]` its
+/// primary clusters; `cells` the occupied cells with global densities.
+/// Returns 0 when fewer than two cells exist.
+double histogram_calinski_harabasz(
+    const std::vector<stats::Histogram>& dim_hists,
+    const std::vector<DimensionPartition>& partitions,
+    const std::vector<Cell>& cells, AssessBreakdown* breakdown = nullptr);
+
+}  // namespace keybin2::core

@@ -1,0 +1,59 @@
+#include "core/binner.hpp"
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace keybin2::core {
+
+std::vector<stats::HierarchicalHistogram> build_histograms(
+    const KeyTable& keys, const std::vector<Range>& ranges) {
+  KB2_CHECK_MSG(ranges.size() == keys.dims(),
+                "ranges size " << ranges.size() << " != key dims "
+                               << keys.dims());
+  const int d_max = keys.d_max();
+  std::vector<stats::HierarchicalHistogram> hists;
+  hists.reserve(ranges.size());
+  for (const auto& r : ranges) {
+    hists.emplace_back(r.lo, r.hi, d_max);
+  }
+  // Parallel over dimensions: each worker owns whole histograms, no sharing.
+  global_pool().parallel_for(
+      ranges.size(), [&](std::size_t dim_begin, std::size_t dim_end) {
+        const std::size_t m = keys.points();
+        for (std::size_t j = dim_begin; j < dim_end; ++j) {
+          std::vector<double> counts(
+              stats::HierarchicalHistogram::bins_at(d_max), 0.0);
+          for (std::size_t i = 0; i < m; ++i) {
+            counts[keys.at(i, j)] += 1.0;
+          }
+          hists[j].set_deepest_counts(std::move(counts));
+        }
+      });
+  return hists;
+}
+
+std::vector<double> flatten_counts(
+    const std::vector<stats::HierarchicalHistogram>& hists) {
+  std::vector<double> flat;
+  for (const auto& h : hists) {
+    auto c = h.deepest_counts();
+    flat.insert(flat.end(), c.begin(), c.end());
+  }
+  return flat;
+}
+
+void unflatten_counts(std::span<const double> flat,
+                      std::vector<stats::HierarchicalHistogram>& hists) {
+  std::size_t offset = 0;
+  for (auto& h : hists) {
+    const std::size_t n = h.deepest_counts().size();
+    KB2_CHECK_MSG(offset + n <= flat.size(), "unflatten_counts underflow");
+    h.set_deepest_counts(
+        std::vector<double>(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                            flat.begin() + static_cast<std::ptrdiff_t>(offset + n)));
+    offset += n;
+  }
+  KB2_CHECK_MSG(offset == flat.size(), "unflatten_counts length mismatch");
+}
+
+}  // namespace keybin2::core

@@ -1,0 +1,28 @@
+// Per-dimension binning histograms from keys (paper §3, steps 2-3).
+//
+// Bins update their density as points are seen; the resulting per-dimension
+// hierarchical histograms are the ONLY state that ever leaves a rank — they
+// are orders of magnitude smaller than the data and cannot reconstruct it.
+#pragma once
+
+#include <vector>
+
+#include "core/keys.hpp"
+#include "stats/histogram.hpp"
+
+namespace keybin2::core {
+
+/// Build one HierarchicalHistogram per dimension from a key table. Dimension
+/// j's histogram spans ranges[j] with depth keys.d_max(); counting is done
+/// at the deepest level straight from the keys (no re-binning error).
+std::vector<stats::HierarchicalHistogram> build_histograms(
+    const KeyTable& keys, const std::vector<Range>& ranges);
+
+/// Flatten per-dimension deepest-level counts into one vector (for a single
+/// allreduce) and restore them. Layout: dim-major.
+std::vector<double> flatten_counts(
+    const std::vector<stats::HierarchicalHistogram>& hists);
+void unflatten_counts(std::span<const double> flat,
+                      std::vector<stats::HierarchicalHistogram>& hists);
+
+}  // namespace keybin2::core

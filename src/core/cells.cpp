@@ -1,0 +1,58 @@
+#include "core/cells.hpp"
+
+#include "common/serialize.hpp"
+
+namespace keybin2::core {
+
+CellMap count_cells(const KeyTable& keys, const std::vector<int>& kept_dims,
+                    const std::vector<DimensionPartition>& partitions,
+                    int depth, double weight_per_point) {
+  const std::vector<int> depths(kept_dims.size(), depth);
+  return count_cells(keys, kept_dims, partitions, depths, weight_per_point);
+}
+
+CellMap count_cells(const KeyTable& keys, const std::vector<int>& kept_dims,
+                    const std::vector<DimensionPartition>& partitions,
+                    std::span<const int> depths, double weight_per_point) {
+  CellMap cells;
+  std::vector<std::uint32_t> coord(kept_dims.size());
+  for (std::size_t i = 0; i < keys.points(); ++i) {
+    for (std::size_t k = 0; k < kept_dims.size(); ++k) {
+      const auto j = static_cast<std::size_t>(kept_dims[k]);
+      coord[k] = partitions[k].primary_of(keys.at_depth(i, j, depths[k]));
+    }
+    cells[coord] += weight_per_point;
+  }
+  return cells;
+}
+
+std::vector<std::byte> serialize_cells(const CellMap& cells) {
+  ByteWriter w;
+  w.write<std::uint64_t>(cells.size());
+  for (const auto& [coord, density] : cells) {
+    w.write_vec(coord);
+    w.write(density);
+  }
+  return w.take();
+}
+
+void merge_cells(CellMap& into, std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  const auto n = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto coord = r.read_vec<std::uint32_t>();
+    const auto density = r.read<double>();
+    into[std::move(coord)] += density;
+  }
+}
+
+std::vector<Cell> to_cell_vector(const CellMap& cells) {
+  std::vector<Cell> out;
+  out.reserve(cells.size());
+  for (const auto& [coord, density] : cells) {
+    out.push_back(Cell{coord, density, -1});
+  }
+  return out;
+}
+
+}  // namespace keybin2::core

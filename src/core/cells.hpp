@@ -1,0 +1,40 @@
+// Occupied-cell bookkeeping shared by the batch and streaming pipelines.
+//
+// A cell is identified by its per-dimension primary-cluster indices; its
+// density is the (possibly weighted) number of points observed inside it.
+// Cell maps are rank-local and merged at the root — like histograms, they
+// are histogram-scale objects, never point-scale.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/keys.hpp"
+#include "core/model.hpp"
+#include "core/partitioner.hpp"
+
+namespace keybin2::core {
+
+using CellMap = std::map<std::vector<std::uint32_t>, double>;
+
+/// Count local occupied cells from a key table at `depth`, with an optional
+/// per-point weight (streaming scales reservoir points to stream mass).
+CellMap count_cells(const KeyTable& keys, const std::vector<int>& kept_dims,
+                    const std::vector<DimensionPartition>& partitions,
+                    int depth, double weight_per_point = 1.0);
+
+/// Per-dimension-depth variant: depths[k] keys kept_dims[k].
+CellMap count_cells(const KeyTable& keys, const std::vector<int>& kept_dims,
+                    const std::vector<DimensionPartition>& partitions,
+                    std::span<const int> depths,
+                    double weight_per_point = 1.0);
+
+std::vector<std::byte> serialize_cells(const CellMap& cells);
+void merge_cells(CellMap& into, std::span<const std::byte> bytes);
+
+/// Flatten to the Model's Cell representation (labels unassigned).
+std::vector<Cell> to_cell_vector(const CellMap& cells);
+
+}  // namespace keybin2::core

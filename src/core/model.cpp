@@ -1,0 +1,216 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/projection.hpp"
+
+namespace keybin2::core {
+
+namespace {
+
+std::uint64_t l1_distance(std::span<const std::uint32_t> a,
+                          std::span<const std::uint32_t> b) {
+  std::uint64_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d += a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+  }
+  return d;
+}
+
+}  // namespace
+
+Model::Model(std::size_t input_dims, Matrix projection, int depth,
+             std::vector<int> kept_dims, std::vector<Range> ranges,
+             std::vector<DimensionPartition> partitions,
+             std::vector<Cell> cells, double score, double total_points,
+             double min_cluster_fraction) {
+  // Materialize the uniform depth vector BEFORE kept_dims is moved from
+  // (constructor arguments are unsequenced).
+  std::vector<int> depths(kept_dims.size(), depth);
+  *this = Model(input_dims, std::move(projection), std::move(depths),
+                std::move(kept_dims), std::move(ranges), std::move(partitions),
+                std::move(cells), score, total_points, min_cluster_fraction);
+}
+
+Model::Model(std::size_t input_dims, Matrix projection,
+             std::vector<int> depths, std::vector<int> kept_dims,
+             std::vector<Range> ranges,
+             std::vector<DimensionPartition> partitions,
+             std::vector<Cell> cells, double score, double total_points,
+             double min_cluster_fraction)
+    : input_dims_(input_dims),
+      projection_(std::move(projection)),
+      depths_(std::move(depths)),
+      kept_dims_(std::move(kept_dims)),
+      ranges_(std::move(ranges)),
+      partitions_(std::move(partitions)),
+      cells_(std::move(cells)),
+      score_(score) {
+  KB2_CHECK_MSG(partitions_.size() == kept_dims_.size(),
+                "one partition per kept dimension required");
+  KB2_CHECK_MSG(depths_.size() == kept_dims_.size(),
+                "one depth per kept dimension required");
+  for (const auto& c : cells_) {
+    KB2_CHECK_MSG(c.coord.size() == kept_dims_.size(),
+                  "cell coordinate arity mismatch");
+  }
+
+  // Densest-first ordering; lexicographic coordinate tie-break keeps label
+  // assignment deterministic across runs and rank counts.
+  std::sort(cells_.begin(), cells_.end(), [](const Cell& a, const Cell& b) {
+    if (a.density != b.density) return a.density > b.density;
+    return a.coord < b.coord;
+  });
+
+  // Absorb tiny cells into the nearest dense cell (outlier absorption).
+  const double min_density = min_cluster_fraction * total_points;
+  int next_label = 0;
+  for (auto& c : cells_) {
+    if (c.density >= min_density || next_label == 0) {
+      c.label = next_label++;
+    } else {
+      c.label = -1;  // to be absorbed below
+    }
+  }
+  // An empty cell set (all dimensions collapsed) is one global cluster.
+  n_clusters_ = next_label > 0 ? next_label : 1;
+  for (auto& c : cells_) {
+    if (c.label >= 0) continue;
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& host : cells_) {
+      if (host.label < 0) continue;
+      const auto d = l1_distance(c.coord, host.coord);
+      if (d < best) {
+        best = d;
+        c.label = host.label;
+      }
+    }
+  }
+}
+
+int Model::depth() const {
+  int deepest = 0;
+  for (int d : depths_) deepest = std::max(deepest, d);
+  return deepest;
+}
+
+int Model::label_of_cell(std::span<const std::uint32_t> coord) const {
+  KB2_CHECK_MSG(coord.size() == kept_dims_.size(),
+                "cell arity " << coord.size() << " != " << kept_dims_.size());
+  if (cells_.empty()) return 0;
+  int best_label = cells_.front().label;
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& c : cells_) {
+    const auto d = l1_distance(coord, c.coord);
+    if (d == 0) return c.label;
+    if (d < best) {
+      best = d;
+      best_label = c.label;
+    }
+  }
+  return best_label;
+}
+
+int Model::predict(std::span<const double> x) const {
+  KB2_CHECK_MSG(x.size() == input_dims_,
+                "point has " << x.size() << " dims, model expects "
+                             << input_dims_);
+  if (kept_dims_.empty()) return 0;  // degenerate single-cluster model
+
+  std::vector<std::uint32_t> coord(kept_dims_.size());
+  if (uses_projection()) {
+    std::vector<double> projected(projection_.cols(), 0.0);
+    project_point(x, projection_, projected);
+    for (std::size_t k = 0; k < kept_dims_.size(); ++k) {
+      const auto j = static_cast<std::size_t>(kept_dims_[k]);
+      const auto key = key_of(projected[j], ranges_[j], depths_[k]);
+      coord[k] = partitions_[k].primary_of(key);
+    }
+  } else {
+    for (std::size_t k = 0; k < kept_dims_.size(); ++k) {
+      const auto j = static_cast<std::size_t>(kept_dims_[k]);
+      const auto key = key_of(x[j], ranges_[j], depths_[k]);
+      coord[k] = partitions_[k].primary_of(key);
+    }
+  }
+  return label_of_cell(coord);
+}
+
+std::vector<int> Model::predict(const Matrix& points) const {
+  std::vector<int> labels(points.rows(), 0);
+  global_pool().parallel_for(points.rows(),
+                             [&](std::size_t begin, std::size_t end) {
+                               for (std::size_t i = begin; i < end; ++i) {
+                                 labels[i] = predict(points.row(i));
+                               }
+                             });
+  return labels;
+}
+
+void Model::serialize(ByteWriter& w) const {
+  w.write<std::uint64_t>(input_dims_);
+  w.write<std::uint64_t>(projection_.rows());
+  w.write<std::uint64_t>(projection_.cols());
+  w.write_span(projection_.flat());
+  w.write_vec(depths_);
+  w.write_vec(kept_dims_);
+  w.write<std::uint64_t>(ranges_.size());
+  for (const auto& r : ranges_) {
+    w.write(r.lo);
+    w.write(r.hi);
+  }
+  w.write<std::uint64_t>(partitions_.size());
+  for (const auto& p : partitions_) {
+    w.write<std::uint64_t>(p.bins);
+    w.write_vec(p.cuts);
+  }
+  w.write<std::uint64_t>(cells_.size());
+  for (const auto& c : cells_) {
+    w.write_vec(c.coord);
+    w.write(c.density);
+    w.write<std::int32_t>(c.label);
+  }
+  w.write(score_);
+  w.write<std::int32_t>(n_clusters_);
+}
+
+Model Model::deserialize(ByteReader& r) {
+  Model m;
+  m.input_dims_ = r.read<std::uint64_t>();
+  const auto prows = r.read<std::uint64_t>();
+  const auto pcols = r.read<std::uint64_t>();
+  auto flat = r.read_vec<double>();
+  if (prows * pcols > 0) {
+    m.projection_ = Matrix(prows, pcols, std::move(flat));
+  }
+  m.depths_ = r.read_vec<int>();
+  m.kept_dims_ = r.read_vec<int>();
+  const auto n_ranges = r.read<std::uint64_t>();
+  m.ranges_.resize(n_ranges);
+  for (auto& range : m.ranges_) {
+    range.lo = r.read<double>();
+    range.hi = r.read<double>();
+  }
+  const auto n_parts = r.read<std::uint64_t>();
+  m.partitions_.resize(n_parts);
+  for (auto& p : m.partitions_) {
+    p.bins = r.read<std::uint64_t>();
+    p.cuts = r.read_vec<std::size_t>();
+  }
+  const auto n_cells = r.read<std::uint64_t>();
+  m.cells_.resize(n_cells);
+  for (auto& c : m.cells_) {
+    c.coord = r.read_vec<std::uint32_t>();
+    c.density = r.read<double>();
+    c.label = r.read<std::int32_t>();
+  }
+  m.score_ = r.read<double>();
+  m.n_clusters_ = r.read<std::int32_t>();
+  return m;
+}
+
+}  // namespace keybin2::core

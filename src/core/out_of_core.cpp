@@ -1,0 +1,114 @@
+#include "core/out_of_core.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "core/streaming.hpp"
+
+namespace keybin2::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4b42324453ULL;  // data/io.cpp's "KB2DS"
+
+struct BinaryHeader {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  bool has_labels = false;
+};
+
+BinaryHeader read_header(std::ifstream& in, const std::string& path) {
+  std::uint64_t magic = 0;
+  BinaryHeader h;
+  std::uint8_t has_labels = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  KB2_CHECK_MSG(in.good() && magic == kMagic,
+                path << " is not a KB2 dataset file");
+  in.read(reinterpret_cast<char*>(&h.rows), sizeof(h.rows));
+  in.read(reinterpret_cast<char*>(&h.cols), sizeof(h.cols));
+  in.read(reinterpret_cast<char*>(&has_labels), sizeof(has_labels));
+  KB2_CHECK_MSG(in.good(), "truncated dataset header in " << path);
+  h.has_labels = has_labels != 0;
+  return h;
+}
+
+/// Invoke fn(points_chunk) over the file's rows, `chunk_points` at a time.
+template <typename Fn>
+std::size_t for_each_chunk(const std::string& path, std::size_t chunk_points,
+                           Fn&& fn) {
+  std::ifstream in(path, std::ios::binary);
+  KB2_CHECK_MSG(in.good(), "cannot open " << path);
+  const auto header = read_header(in, path);
+  KB2_CHECK_MSG(header.cols >= 1, "dataset has no columns");
+
+  std::size_t chunks = 0;
+  std::uint64_t remaining = header.rows;
+  while (remaining > 0) {
+    const auto take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, chunk_points));
+    std::vector<double> flat(take * header.cols);
+    in.read(reinterpret_cast<char*>(flat.data()),
+            static_cast<std::streamsize>(flat.size() * sizeof(double)));
+    KB2_CHECK_MSG(in.good(), "truncated dataset body in " << path);
+    fn(Matrix(take, header.cols, std::move(flat)));
+    remaining -= take;
+    ++chunks;
+  }
+  return chunks;
+}
+
+}  // namespace
+
+OutOfCoreResult fit_from_file(const std::string& input_path,
+                              const std::string& labels_path,
+                              const Params& params,
+                              std::size_t chunk_points) {
+  KB2_CHECK_MSG(chunk_points >= 1, "chunk size must be positive");
+
+  // Peek the header for the schema.
+  BinaryHeader header;
+  {
+    std::ifstream in(input_path, std::ios::binary);
+    KB2_CHECK_MSG(in.good(), "cannot open " << input_path);
+    header = read_header(in, input_path);
+  }
+  KB2_CHECK_MSG(header.rows > 0, input_path << " holds no points");
+
+  // Pass 1: histograms (and reservoir) only.
+  StreamingKeyBin2 engine(header.cols, params);
+  OutOfCoreResult result;
+  result.dims = header.cols;
+  result.chunks = for_each_chunk(
+      input_path, chunk_points,
+      [&](const Matrix& chunk) { engine.push_batch(chunk); });
+  result.points = engine.points_seen();
+  result.model = engine.refit();
+
+  // Pass 2: label every point against the final model, streaming again.
+  std::ofstream out(labels_path, std::ios::binary);
+  KB2_CHECK_MSG(out.good(), "cannot open " << labels_path << " for writing");
+  for_each_chunk(input_path, chunk_points, [&](const Matrix& chunk) {
+    const auto labels = result.model.predict(chunk);
+    out.write(reinterpret_cast<const char*>(labels.data()),
+              static_cast<std::streamsize>(labels.size() * sizeof(int)));
+  });
+  KB2_CHECK_MSG(out.good(), "write to " << labels_path << " failed");
+  return result;
+}
+
+std::vector<int> read_labels(const std::string& labels_path) {
+  std::ifstream in(labels_path, std::ios::binary | std::ios::ate);
+  KB2_CHECK_MSG(in.good(), "cannot open " << labels_path);
+  const auto bytes = static_cast<std::size_t>(in.tellg());
+  KB2_CHECK_MSG(bytes % sizeof(int) == 0,
+                labels_path << " is not a label stream");
+  std::vector<int> labels(bytes / sizeof(int));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(labels.data()),
+          static_cast<std::streamsize>(bytes));
+  KB2_CHECK_MSG(in.good(), "truncated label stream " << labels_path);
+  return labels;
+}
+
+}  // namespace keybin2::core

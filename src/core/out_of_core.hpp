@@ -1,0 +1,41 @@
+// Out-of-core KeyBin2 (paper §3.4): "every point needs to be read once,
+// then multiplied by the random matrix to reduce its dimensionality, and
+// assigned a key. After that, the point can be either discarded or sent to
+// secondary storage awaiting its final clustering assignment."
+//
+// fit_from_file() clusters a dataset that never fits in memory: it streams
+// the binary file in bounded chunks through the streaming engine (pass 1 —
+// histograms only), refits, then streams it again to write labels (pass 2).
+// Peak memory is O(chunk + histograms), independent of the dataset size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/params.hpp"
+
+namespace keybin2::core {
+
+struct OutOfCoreResult {
+  Model model;
+  std::uint64_t points = 0;
+  std::size_t dims = 0;
+  std::size_t chunks = 0;
+};
+
+/// Cluster the dataset stored at `input_path` (keybin2::data binary format,
+/// see data/io.hpp) reading at most `chunk_points` rows at a time. Labels
+/// are written to `labels_path` as one int per point (raw little-endian
+/// stream, same order as the input). Ground-truth labels in the input are
+/// ignored.
+OutOfCoreResult fit_from_file(const std::string& input_path,
+                              const std::string& labels_path,
+                              const Params& params = {},
+                              std::size_t chunk_points = 8192);
+
+/// Read back a label stream written by fit_from_file.
+std::vector<int> read_labels(const std::string& labels_path);
+
+}  // namespace keybin2::core

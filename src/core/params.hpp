@@ -1,0 +1,84 @@
+// Tuning parameters for KeyBin2 (paper §3).
+//
+// KeyBin2 is non-parametric in the statistical sense — it is never told the
+// number of clusters — but it has a small set of structural knobs, all with
+// paper-faithful defaults. Ablation benches flip `use_projection` and
+// `use_discrete_opt` to recover KeyBin-v1 behaviour.
+#pragma once
+
+#include <cstdint>
+
+namespace keybin2::core {
+
+/// Histogram smoothing used by the partitioner. The paper's method is the
+/// moving average + local regression (§3.2); the Gaussian KDE it compares
+/// against is available for the smoothing ablation ("our smoothing
+/// technique is much faster" than KDE, with similar accuracy).
+enum class Smoothing {
+  kMovingAverage,
+  kKernelDensity,
+};
+
+/// How ranks exchange histograms. §3 step 3: the merge "does not
+/// necessarily have to be made to a central authority. The algorithm works
+/// as well for a ring topology."
+enum class Topology {
+  kTree,  // binomial-tree reduce + broadcast (MPI-style allreduce)
+  kRing,  // ring pass: each rank adds its histograms and forwards
+};
+
+struct Params {
+  /// Deepest key level d_max; depth d has 2^d bins. The partitioner sweeps
+  /// depths [min_depth, max_depth] and the subspace assessment picks the
+  /// winner (paper: "2 to 4 histograms per dimension suffice").
+  int max_depth = 7;
+  int min_depth = 3;
+
+  /// Bootstrap trials t: independent random projections evaluated with the
+  /// histogram-space Calinski–Harabasz index (§3.3).
+  int bootstrap_trials = 8;
+
+  /// Projected dimensionality N_rp; 0 selects the paper's rule
+  /// max(2, round(1.5 * ln N)).
+  int n_rp = 0;
+
+  /// A projected dimension is collapsed when its histogram is statistically
+  /// indistinguishable from a single Gaussian (no multimodal structure):
+  /// KS distance below this threshold (§3.1's KS-based collapsing).
+  double collapse_threshold = 0.08;
+
+  /// Minimum mode/valley prominence for the discrete-optimization
+  /// partitioner, as a fraction of the smoothed histogram's peak density.
+  double min_prominence = 0.04;
+
+  /// Cells holding fewer than this fraction of the points are absorbed into
+  /// the nearest dense cell at assignment time (outlier absorption). Kept
+  /// small so KeyBin2 still reports more clusters than ground truth, as in
+  /// the paper's Tables 1-2.
+  double min_cluster_fraction = 0.001;
+
+  /// Base seed for projection matrices and bootstrapping.
+  std::uint64_t seed = 42;
+
+  /// Ablations: identity projection reproduces KeyBin v1's axis-aligned
+  /// binning; disabling discrete optimization falls back to the v1 density
+  /// threshold heuristic (with `v1_density_threshold`).
+  bool use_projection = true;
+  bool use_discrete_opt = true;
+  double v1_density_threshold = 0.05;
+
+  /// Partitioner smoothing (moving average is the paper's method).
+  Smoothing smoothing = Smoothing::kMovingAverage;
+
+  /// Extension: choose the key depth independently PER DIMENSION (each
+  /// dimension keeps the depth whose partition maximizes its own 1-D
+  /// histogram-space CH) instead of sweeping one global depth. The paper
+  /// keeps "at most d_max binning histograms" per dimension and notes 2-4
+  /// usually suffice — nothing forces all dimensions to agree.
+  bool per_dimension_depth = false;
+
+  /// Histogram-exchange topology (§3 step 3).
+  Topology topology = Topology::kTree;
+};
+
+}  // namespace keybin2::core

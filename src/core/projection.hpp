@@ -1,0 +1,34 @@
+// Random projection into a lower space (paper §3.1).
+//
+// A projection matrix A (N x N_rp) with unit-norm Gaussian columns maps each
+// point x to x' = x A. In high dimension random unit vectors are near
+// orthogonal, so the mapping both rotates the data (decorrelating clusters
+// whose axis-aligned projections overlap — Figure 1) and compresses it to
+// N_rp = 1.5 ln N dimensions. KeyBin2 needs only that the ordering of points
+// along each column is informative, a far weaker requirement than the
+// Johnson–Lindenstrauss distance-preservation bound.
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+
+namespace keybin2::core {
+
+/// The paper's target-dimension rule N_rp = 1.5 log(N), floored at 2 and
+/// capped at N (projecting up makes no sense).
+int choose_n_rp(std::size_t input_dims);
+
+/// N x n_rp matrix with i.i.d. Gaussian entries, columns normalized to unit
+/// length. Deterministic in `seed`.
+Matrix make_projection_matrix(std::size_t input_dims, int n_rp,
+                              std::uint64_t seed);
+
+/// X' = X A, parallelized over rows via the global thread pool.
+Matrix project(const Matrix& points, const Matrix& a);
+
+/// Project a single point: out[j] = sum_i x[i] * a(i, j).
+void project_point(std::span<const double> x, const Matrix& a,
+                   std::span<double> out);
+
+}  // namespace keybin2::core

@@ -1,0 +1,256 @@
+#include "core/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/assess.hpp"
+#include "core/cells.hpp"
+#include "core/projection.hpp"
+#include "stats/ks_test.hpp"
+
+namespace keybin2::core {
+
+StreamingKeyBin2::StreamingKeyBin2(std::size_t input_dims, Params params,
+                                   std::size_t reservoir_capacity)
+    : input_dims_(input_dims),
+      params_(params),
+      n_rp_(params.use_projection
+                ? (params.n_rp > 0 ? params.n_rp : choose_n_rp(input_dims))
+                : static_cast<int>(input_dims)),
+      reservoir_capacity_(reservoir_capacity),
+      reservoir_(0, input_dims),
+      reservoir_rng_(params.seed ^ 0x5eedbeefULL) {
+  KB2_CHECK_MSG(input_dims >= 1, "stream schema needs >= 1 dimension");
+  KB2_CHECK_MSG(reservoir_capacity >= 16,
+                "reservoir capacity " << reservoir_capacity << " too small");
+  const int trials = params_.use_projection ? params_.bootstrap_trials : 1;
+  Rng seed_stream(params_.seed);
+  trials_.resize(static_cast<std::size_t>(trials));
+  for (auto& trial : trials_) {
+    if (params_.use_projection) {
+      trial.projection =
+          make_projection_matrix(input_dims, n_rp_, seed_stream.fork_seed());
+    }
+    trial.anchored.assign(static_cast<std::size_t>(n_rp_), false);
+    trial.hists.resize(static_cast<std::size_t>(n_rp_));
+    trial.seen_lo.assign(static_cast<std::size_t>(n_rp_),
+                         std::numeric_limits<double>::infinity());
+    trial.seen_hi.assign(static_cast<std::size_t>(n_rp_),
+                         -std::numeric_limits<double>::infinity());
+  }
+  scratch_.resize(static_cast<std::size_t>(n_rp_));
+}
+
+void StreamingKeyBin2::ingest(TrialState& trial,
+                              std::span<const double> projected) {
+  for (std::size_t j = 0; j < projected.size(); ++j) {
+    const double v = projected[j];
+    trial.seen_lo[j] = std::min(trial.seen_lo[j], v);
+    trial.seen_hi[j] = std::max(trial.seen_hi[j], v);
+    if (!trial.anchored[j]) {
+      // Anchor the key range on the first observed value; the unit-width
+      // start range doubles as needed afterwards.
+      const double base = std::floor(v);
+      trial.hists[j] = stats::HierarchicalHistogram(base, base + 1.0,
+                                                    params_.max_depth);
+      trial.anchored[j] = true;
+    }
+    auto& h = trial.hists[j];
+    // Grow the range geometrically until the value fits (amortized O(1)).
+    while (v >= h.hi()) h.expand_right();
+    while (v < h.lo()) h.expand_left();
+    h.add(v);
+  }
+}
+
+void StreamingKeyBin2::push(std::span<const double> point) {
+  KB2_CHECK_MSG(point.size() == input_dims_,
+                "point has " << point.size() << " dims, stream expects "
+                             << input_dims_);
+  for (auto& trial : trials_) {
+    if (params_.use_projection) {
+      project_point(point, trial.projection, scratch_);
+      ingest(trial, scratch_);
+    } else {
+      ingest(trial, point);
+    }
+  }
+
+  // Reservoir sampling (algorithm R) over the raw points.
+  if (reservoir_.rows() < reservoir_capacity_) {
+    reservoir_.append_row(point);
+  } else {
+    const auto slot = reservoir_rng_.uniform_int(points_seen_ + 1);
+    if (slot < reservoir_capacity_) {
+      auto row = reservoir_.row(static_cast<std::size_t>(slot));
+      std::copy(point.begin(), point.end(), row.begin());
+    }
+  }
+  ++points_seen_;
+}
+
+void StreamingKeyBin2::push_batch(const Matrix& batch) {
+  for (std::size_t i = 0; i < batch.rows(); ++i) push(batch.row(i));
+}
+
+const Model& StreamingKeyBin2::refit(comm::Communicator& comm) {
+  const bool is_root = comm.rank() == 0;
+  const double total_points = comm.allreduce(
+      static_cast<double>(points_seen_), comm::ReduceOp::kSum);
+  KB2_CHECK_MSG(total_points > 0.0, "refit before any point was pushed");
+  const double local_weight =
+      reservoir_.rows() > 0
+          ? static_cast<double>(points_seen_) /
+                static_cast<double>(reservoir_.rows())
+          : 0.0;
+
+  struct Best {
+    double score = -1.0;
+    int depth = 0;
+    Matrix projection;
+    std::vector<int> kept_dims;
+    std::vector<Range> ranges;
+    std::vector<DimensionPartition> partitions;
+    std::vector<Cell> cells;
+  } best;
+
+  const auto dims = static_cast<std::size_t>(n_rp_);
+  for (auto& trial : trials_) {
+    // Reconcile per-dimension ranges across ranks onto the tight global
+    // envelope of observed values: ranks that saw different data anchored
+    // and expanded differently, so each rebins onto the common geometry
+    // (placement error bounded by one source-bin width).
+    auto lo = comm.allreduce(trial.seen_lo, comm::ReduceOp::kMin);
+    auto hi = comm.allreduce(trial.seen_hi, comm::ReduceOp::kMax);
+
+    std::vector<Range> ranges(dims);
+    std::vector<stats::HierarchicalHistogram> merged;
+    merged.reserve(dims);
+    for (std::size_t j = 0; j < dims; ++j) {
+      KB2_CHECK_MSG(std::isfinite(lo[j]) && std::isfinite(hi[j]),
+                    "dimension " << j << " never received data on any rank");
+      ranges[j] = Range{lo[j], hi[j] > lo[j] ? hi[j] : lo[j] + 1.0};
+      if (trial.anchored[j]) {
+        if (trial.hists[j].lo() != ranges[j].lo ||
+            trial.hists[j].hi() != ranges[j].hi) {
+          trial.hists[j] =
+              stats::rebin_hierarchy(trial.hists[j], ranges[j].lo,
+                                     ranges[j].hi);
+        }
+      } else {
+        trial.hists[j] = stats::HierarchicalHistogram(ranges[j].lo,
+                                                      ranges[j].hi,
+                                                      params_.max_depth);
+        trial.anchored[j] = true;
+      }
+      merged.push_back(trial.hists[j]);
+    }
+
+    // Merge histograms across ranks (allreduce of deepest counts).
+    {
+      std::vector<double> flat;
+      for (const auto& h : merged) {
+        auto c = h.deepest_counts();
+        flat.insert(flat.end(), c.begin(), c.end());
+      }
+      flat = comm.allreduce(flat, comm::ReduceOp::kSum);
+      std::size_t offset = 0;
+      for (auto& h : merged) {
+        const std::size_t n = h.deepest_counts().size();
+        h.set_deepest_counts(std::vector<double>(
+            flat.begin() + static_cast<std::ptrdiff_t>(offset),
+            flat.begin() + static_cast<std::ptrdiff_t>(offset + n)));
+        offset += n;
+      }
+    }
+
+    // KS collapsing, as in batch fit.
+    const int collapse_depth = std::min(params_.max_depth, 6);
+    std::vector<int> kept_dims;
+    for (std::size_t j = 0; j < dims; ++j) {
+      const auto level = merged[j].level(collapse_depth);
+      const double ks = stats::ks_statistic_gaussian(level.counts(),
+                                                     level.lo(), level.hi());
+      if (ks >= params_.collapse_threshold)
+        kept_dims.push_back(static_cast<int>(j));
+    }
+    // No structure under this projection: single-cluster fallback candidate.
+    if (kept_dims.empty()) {
+      if (is_root && best.score < 0.0) {
+        best.score = 0.0;
+        best.depth = params_.min_depth;
+        best.projection = trial.projection;
+        best.ranges = ranges;
+      }
+      continue;
+    }
+
+    // Reservoir keys under this trial's projection and the merged ranges.
+    Matrix projected_reservoir =
+        params_.use_projection ? project(reservoir_, trial.projection)
+                               : reservoir_;
+    const auto keys =
+        compute_keys(projected_reservoir, ranges, params_.max_depth);
+
+    for (int depth = params_.min_depth; depth <= params_.max_depth; ++depth) {
+      std::vector<stats::Histogram> dim_hists;
+      std::vector<DimensionPartition> partitions;
+      for (int j : kept_dims) {
+        auto level = merged[static_cast<std::size_t>(j)].level(depth);
+        partitions.push_back(partition(level.counts(), params_));
+        dim_hists.push_back(std::move(level));
+      }
+      const auto local_cells =
+          count_cells(keys, kept_dims, partitions, depth, local_weight);
+      auto gathered = comm.gather(serialize_cells(local_cells), /*root=*/0);
+      if (is_root) {
+        CellMap global_cells;
+        for (const auto& blob : gathered) merge_cells(global_cells, blob);
+        auto cells = to_cell_vector(global_cells);
+        const double score =
+            histogram_calinski_harabasz(dim_hists, partitions, cells);
+        if (score > best.score) {
+          best.score = score;
+          best.depth = depth;
+          best.projection = trial.projection;
+          best.kept_dims = kept_dims;
+          best.ranges = ranges;
+          best.partitions = std::move(partitions);
+          best.cells = std::move(cells);
+        }
+      }
+    }
+  }
+
+  ByteWriter writer;
+  if (is_root) {
+    Model model(input_dims_, std::move(best.projection), best.depth,
+                std::move(best.kept_dims), std::move(best.ranges),
+                std::move(best.partitions), std::move(best.cells), best.score,
+                total_points, params_.min_cluster_fraction);
+    model.serialize(writer);
+  }
+  auto bytes = writer.take();
+  comm.broadcast(bytes, /*root=*/0);
+  ByteReader reader(bytes);
+  model_ = Model::deserialize(reader);
+  return *model_;
+}
+
+const Model& StreamingKeyBin2::refit() {
+  comm::SelfComm self;
+  return refit(self);
+}
+
+const Model& StreamingKeyBin2::model() const {
+  KB2_CHECK_MSG(model_.has_value(), "no model yet: call refit() first");
+  return *model_;
+}
+
+int StreamingKeyBin2::label(std::span<const double> point) const {
+  return model().predict(point);
+}
+
+}  // namespace keybin2::core

@@ -1,0 +1,93 @@
+// Streaming / in-situ KeyBin2 (paper §3: "extrapolates for data streams with
+// M = 1"; §5's protein-folding analysis runs in this mode).
+//
+// A stream engine holds, per bootstrap trial, a fixed random projection and
+// one hierarchical histogram per projected dimension. push() costs
+// O(n_rp * d_max) per point and retains nothing point-sized: when a value
+// falls outside a histogram's current range the range doubles (pairs of
+// deepest bins collapse), so early points never need re-keying.
+//
+// refit() rebuilds the model from the accumulated histograms — after a batch,
+// or periodically for a stream, exactly as the paper communicates histograms
+// "after a number of updates". Occupied-cell densities (which are not
+// derivable from per-dimension marginals) are estimated from a bounded
+// reservoir sample, scaled to the stream's total mass; the points themselves
+// may be discarded, matching the paper's "the point can be either discarded
+// or sent to secondary storage awaiting its final clustering assignment".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/model.hpp"
+#include "core/params.hpp"
+#include "stats/histogram.hpp"
+
+namespace keybin2::core {
+
+class StreamingKeyBin2 {
+ public:
+  /// `input_dims` must be known up front (stream schema).
+  explicit StreamingKeyBin2(std::size_t input_dims, Params params = {},
+                            std::size_t reservoir_capacity = 4096);
+
+  std::size_t input_dims() const { return input_dims_; }
+  std::uint64_t points_seen() const { return points_seen_; }
+
+  /// Ingest one point (O(trials * n_rp * d_max), no allocation on the steady
+  /// path).
+  void push(std::span<const double> point);
+
+  /// Ingest a batch of rows.
+  void push_batch(const Matrix& batch);
+
+  /// Rebuild the model from current histograms, merging state across the
+  /// ranks of `comm` (every rank must call refit in step). Single-site use
+  /// passes a SelfComm via the overload below.
+  const Model& refit(comm::Communicator& comm);
+
+  /// Single-site refit.
+  const Model& refit();
+
+  /// True once refit() has produced a model.
+  bool has_model() const { return model_.has_value(); }
+
+  /// Last refit model; throws if refit was never called.
+  const Model& model() const;
+
+  /// Label one point with the current model.
+  int label(std::span<const double> point) const;
+
+ private:
+  struct TrialState {
+    Matrix projection;  // empty => identity
+    std::vector<stats::HierarchicalHistogram> hists;  // lazily anchored
+    std::vector<bool> anchored;
+    // Tight per-dimension envelope of the values actually seen; refit
+    // reconciles all ranks onto the global envelope (the doubling ranges of
+    // the histograms overshoot and would waste bin resolution).
+    std::vector<double> seen_lo, seen_hi;
+  };
+
+  void ingest(TrialState& trial, std::span<const double> projected);
+
+  std::size_t input_dims_;
+  Params params_;
+  int n_rp_;
+  std::vector<TrialState> trials_;
+  std::uint64_t points_seen_ = 0;
+
+  // Reservoir sample (algorithm R) of raw points for cell-density estimates.
+  std::size_t reservoir_capacity_;
+  Matrix reservoir_;
+  Rng reservoir_rng_;
+
+  std::optional<Model> model_;
+  std::vector<double> scratch_;  // projected-point buffer
+};
+
+}  // namespace keybin2::core

@@ -1,0 +1,51 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace keybin2::data {
+
+Dataset concat(const std::vector<Dataset>& parts) {
+  Dataset out;
+  bool all_labelled = true;
+  for (const auto& p : parts) {
+    all_labelled = all_labelled && p.labelled();
+  }
+  for (const auto& p : parts) {
+    if (!p.points.empty() && !out.points.empty()) {
+      KB2_CHECK_MSG(p.dims() == out.dims(),
+                    "concat dims mismatch: " << p.dims() << " vs "
+                                             << out.dims());
+    }
+    for (std::size_t i = 0; i < p.size(); ++i) out.points.append_row(p.points.row(i));
+    if (all_labelled)
+      out.labels.insert(out.labels.end(), p.labels.begin(), p.labels.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> minmax_normalize(Matrix& points) {
+  const std::size_t n = points.cols();
+  std::vector<std::pair<double, double>> bounds(
+      n, {std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()});
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    auto row = points.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      bounds[j].first = std::min(bounds[j].first, row[j]);
+      bounds[j].second = std::max(bounds[j].second, row[j]);
+    }
+  }
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    auto row = points.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double span = bounds[j].second - bounds[j].first;
+      row[j] = span > 0.0 ? (row[j] - bounds[j].first) / span : 0.5;
+    }
+  }
+  return bounds;
+}
+
+}  // namespace keybin2::data

@@ -1,0 +1,31 @@
+// Labelled dataset container.
+//
+// The evaluation uses classification problems so clustering accuracy can be
+// quantified (paper §4); labels ride along with the points but are never
+// visible to the clustering algorithms.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace keybin2::data {
+
+struct Dataset {
+  Matrix points;            // M x N
+  std::vector<int> labels;  // ground truth, empty if unlabelled
+
+  std::size_t size() const { return points.rows(); }
+  std::size_t dims() const { return points.cols(); }
+  bool labelled() const { return !labels.empty(); }
+};
+
+/// Concatenate datasets (same dimensionality); labels concatenate when all
+/// parts are labelled, otherwise the result is unlabelled.
+Dataset concat(const std::vector<Dataset>& parts);
+
+/// Min-max normalize each column into [0, 1] in place. Constant columns map
+/// to 0.5. Returns per-column (min, max) so streams can reuse the bounds.
+std::vector<std::pair<double, double>> minmax_normalize(Matrix& points);
+
+}  // namespace keybin2::data

@@ -1,0 +1,88 @@
+#include "data/gaussian_mixture.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace keybin2::data {
+
+GaussianMixtureSpec make_paper_mixture(std::size_t dims, std::size_t k,
+                                       std::uint64_t seed, double separation) {
+  KB2_CHECK_MSG(dims >= 1 && k >= 1, "need dims >= 1 and k >= 1");
+  Rng rng(seed);
+  GaussianMixtureSpec spec;
+  spec.components.resize(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    auto& comp = spec.components[c];
+    comp.mean.resize(dims);
+    comp.stddev.resize(dims);
+    for (std::size_t j = 0; j < dims; ++j) {
+      // Lattice-corner centres: each coordinate is 0 or `separation`, chosen
+      // at random, plus jitter so no two components coincide. With enough
+      // dimensions components are separated with overwhelming probability.
+      comp.mean[j] = (rng.uniform() < 0.5 ? 0.0 : separation) +
+                     rng.uniform(-0.5, 0.5);
+      comp.stddev[j] = rng.uniform(0.5, 1.0);
+    }
+    comp.weight = 1.0;
+  }
+  return spec;
+}
+
+GaussianMixtureSpec make_redundant_mixture(std::size_t dims,
+                                           std::size_t informative,
+                                           std::size_t k, std::uint64_t seed,
+                                           double separation) {
+  KB2_CHECK_MSG(informative <= dims,
+                "informative " << informative << " > dims " << dims);
+  Rng rng(seed);
+  auto spec = make_paper_mixture(dims, k, rng.fork_seed(), separation);
+  // Overwrite the non-informative tail with component-independent noise.
+  for (std::size_t j = informative; j < dims; ++j) {
+    const double shared_mean = rng.uniform(0.0, separation);
+    const double shared_std = rng.uniform(0.5, 1.5);
+    for (auto& comp : spec.components) {
+      comp.mean[j] = shared_mean;
+      comp.stddev[j] = shared_std;
+    }
+  }
+  return spec;
+}
+
+Dataset sample(const GaussianMixtureSpec& spec, std::size_t n,
+               std::uint64_t seed) {
+  KB2_CHECK_MSG(!spec.components.empty(), "mixture has no components");
+  const std::size_t dims = spec.dims();
+  for (const auto& c : spec.components) {
+    KB2_CHECK_MSG(c.mean.size() == dims && c.stddev.size() == dims,
+                  "component dimensionality mismatch");
+  }
+  const double total_weight = std::accumulate(
+      spec.components.begin(), spec.components.end(), 0.0,
+      [](double acc, const GaussianComponent& c) { return acc + c.weight; });
+  KB2_CHECK_MSG(total_weight > 0.0, "mixture weights sum to zero");
+
+  Rng rng(seed);
+  Dataset out;
+  out.points = Matrix(n, dims);
+  out.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Pick a component by weight.
+    double u = rng.uniform() * total_weight;
+    std::size_t c = 0;
+    for (; c + 1 < spec.components.size(); ++c) {
+      u -= spec.components[c].weight;
+      if (u <= 0.0) break;
+    }
+    const auto& comp = spec.components[c];
+    auto row = out.points.row(i);
+    for (std::size_t j = 0; j < dims; ++j) {
+      row[j] = rng.normal(comp.mean[j], comp.stddev[j]);
+    }
+    out.labels[i] = static_cast<int>(c);
+  }
+  return out;
+}
+
+}  // namespace keybin2::data

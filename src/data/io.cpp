@@ -1,0 +1,122 @@
+#include "data/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace keybin2::data {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4b42324453ULL;  // "KB2DS"
+}
+
+void write_csv(const Dataset& d, const std::string& path) {
+  std::ofstream out(path);
+  KB2_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.precision(17);
+  for (std::size_t j = 0; j < d.dims(); ++j) {
+    if (j) out << ',';
+    out << 'f' << j;
+  }
+  if (d.labelled()) out << ",label";
+  out << '\n';
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    auto row = d.points.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j) out << ',';
+      out << row[j];
+    }
+    if (d.labelled()) out << ',' << d.labels[i];
+    out << '\n';
+  }
+  KB2_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+Dataset read_csv(const std::string& path) {
+  std::ifstream in(path);
+  KB2_CHECK_MSG(in.good(), "cannot open " << path);
+  std::string line;
+  KB2_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                "empty CSV " << path);
+
+  // Parse header; the dataset is labelled iff the last column is "label".
+  std::vector<std::string> header;
+  {
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) header.push_back(cell);
+  }
+  KB2_CHECK_MSG(!header.empty(), "CSV header empty in " << path);
+  const bool labelled = header.back() == "label";
+  const std::size_t dims = header.size() - (labelled ? 1 : 0);
+  KB2_CHECK_MSG(dims >= 1, "CSV has no feature columns: " << path);
+
+  Dataset d;
+  std::vector<double> row(dims);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    for (std::size_t j = 0; j < dims; ++j) {
+      KB2_CHECK_MSG(static_cast<bool>(std::getline(ss, cell, ',')),
+                    "short row in " << path);
+      row[j] = std::stod(cell);
+    }
+    d.points.append_row(row);
+    if (labelled) {
+      KB2_CHECK_MSG(static_cast<bool>(std::getline(ss, cell, ',')),
+                    "missing label in " << path);
+      d.labels.push_back(std::stoi(cell));
+    }
+  }
+  return d;
+}
+
+void write_binary(const Dataset& d, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  KB2_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  const std::uint64_t rows = d.size(), cols = d.dims();
+  const std::uint8_t has_labels = d.labelled() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(&has_labels), sizeof(has_labels));
+  const auto flat = d.points.flat();
+  out.write(reinterpret_cast<const char*>(flat.data()),
+            static_cast<std::streamsize>(flat.size_bytes()));
+  if (has_labels) {
+    out.write(reinterpret_cast<const char*>(d.labels.data()),
+              static_cast<std::streamsize>(d.labels.size() * sizeof(int)));
+  }
+  KB2_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+Dataset read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  KB2_CHECK_MSG(in.good(), "cannot open " << path);
+  std::uint64_t magic = 0, rows = 0, cols = 0;
+  std::uint8_t has_labels = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  KB2_CHECK_MSG(magic == kMagic, path << " is not a KB2 dataset file");
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  in.read(reinterpret_cast<char*>(&has_labels), sizeof(has_labels));
+  std::vector<double> flat(rows * cols);
+  in.read(reinterpret_cast<char*>(flat.data()),
+          static_cast<std::streamsize>(flat.size() * sizeof(double)));
+  Dataset d;
+  d.points = Matrix(rows, cols, std::move(flat));
+  if (has_labels) {
+    d.labels.resize(rows);
+    in.read(reinterpret_cast<char*>(d.labels.data()),
+            static_cast<std::streamsize>(rows * sizeof(int)));
+  }
+  KB2_CHECK_MSG(in.good(), "truncated dataset file " << path);
+  return d;
+}
+
+}  // namespace keybin2::data

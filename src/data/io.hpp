@@ -1,0 +1,23 @@
+// Dataset persistence: CSV (human-inspectable, interoperable with the
+// paper's Python tooling) and a raw binary format (fast reload for benches).
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace keybin2::data {
+
+/// Write points (and a trailing `label` column when labelled) as CSV with a
+/// header row "f0,f1,...,label".
+void write_csv(const Dataset& d, const std::string& path);
+
+/// Read a CSV produced by write_csv (a final `label` column is recognised by
+/// the header).
+Dataset read_csv(const std::string& path);
+
+/// Binary format: magic, rows, cols, has_labels, row-major doubles, labels.
+void write_binary(const Dataset& d, const std::string& path);
+Dataset read_binary(const std::string& path);
+
+}  // namespace keybin2::data

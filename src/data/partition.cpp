@@ -1,0 +1,38 @@
+#include "data/partition.hpp"
+
+#include "common/error.hpp"
+
+namespace keybin2::data {
+
+std::vector<RowRange> partition_rows(std::size_t rows, int ranks) {
+  KB2_CHECK_MSG(ranks >= 1, "need at least one rank");
+  const auto p = static_cast<std::size_t>(ranks);
+  std::vector<RowRange> out(p);
+  const std::size_t base = rows / p, extra = rows % p;
+  std::size_t begin = 0;
+  for (std::size_t r = 0; r < p; ++r) {
+    const std::size_t len = base + (r < extra ? 1 : 0);
+    out[r] = {begin, begin + len};
+    begin += len;
+  }
+  return out;
+}
+
+std::vector<Dataset> shard(const Dataset& d, int ranks) {
+  auto ranges = partition_rows(d.size(), ranks);
+  std::vector<Dataset> out;
+  out.reserve(ranges.size());
+  for (const auto& r : ranges) {
+    Dataset part;
+    part.points = d.points.slice_rows(r.begin, r.end);
+    if (d.labelled()) {
+      part.labels.assign(
+          d.labels.begin() + static_cast<std::ptrdiff_t>(r.begin),
+          d.labels.begin() + static_cast<std::ptrdiff_t>(r.end));
+    }
+    out.push_back(std::move(part));
+  }
+  return out;
+}
+
+}  // namespace keybin2::data

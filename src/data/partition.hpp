@@ -1,0 +1,29 @@
+// Row partitioning across ranks.
+//
+// The paper's setting: "The data is produced and stored on K MPI processes."
+// These helpers describe the contiguous row range each rank owns and carve a
+// dataset into per-rank shards (for tests that compare distributed runs with
+// the serial reference on identical data).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace keybin2::data {
+
+struct RowRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // exclusive
+  std::size_t count() const { return end - begin; }
+};
+
+/// Split `rows` rows into `ranks` contiguous, balanced ranges (sizes differ
+/// by at most one; earlier ranks take the extras).
+std::vector<RowRange> partition_rows(std::size_t rows, int ranks);
+
+/// Shard a dataset into per-rank datasets along partition_rows().
+std::vector<Dataset> shard(const Dataset& d, int ranks);
+
+}  // namespace keybin2::data

@@ -1,0 +1,102 @@
+#include "data/shapes.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace keybin2::data {
+
+Dataset correlated_pair(std::size_t n_per_cluster, double gap,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = 2 * n_per_cluster;
+  Dataset out;
+  out.points = Matrix(n, 2);
+  out.labels.resize(n);
+  // Each cluster is N(0, diag(3, 0.3)) rotated 45 degrees, i.e. stretched
+  // along y = x; cluster 1 is shifted by `gap` perpendicular to the diagonal.
+  const double c45 = std::numbers::sqrt2 / 2.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = i < n_per_cluster ? 0 : 1;
+    const double along = rng.normal(0.0, 3.0);
+    const double across = rng.normal(0.0, 0.3) +
+                          (label == 1 ? gap : 0.0);
+    auto row = out.points.row(i);
+    row[0] = c45 * along - c45 * across;
+    row[1] = c45 * along + c45 * across;
+    out.labels[i] = label;
+  }
+  return out;
+}
+
+Dataset boxes(std::size_t k, std::size_t n_per_box, double side,
+              double spacing, std::uint64_t seed) {
+  KB2_CHECK_MSG(spacing > side, "boxes must not touch: spacing " << spacing
+                                                                 << " <= side "
+                                                                 << side);
+  Rng rng(seed);
+  const auto grid = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(k))));
+  Dataset out;
+  out.points = Matrix(k * n_per_box, 2);
+  out.labels.resize(k * n_per_box);
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double cx = static_cast<double>(c % grid) * spacing;
+    const double cy = static_cast<double>(c / grid) * spacing;
+    for (std::size_t i = 0; i < n_per_box; ++i, ++idx) {
+      auto row = out.points.row(idx);
+      row[0] = cx + rng.uniform(-side / 2.0, side / 2.0);
+      row[1] = cy + rng.uniform(-side / 2.0, side / 2.0);
+      out.labels[idx] = static_cast<int>(c);
+    }
+  }
+  return out;
+}
+
+Dataset rings(std::size_t k, std::size_t n_per_ring, double gap, double noise,
+              std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset out;
+  out.points = Matrix(k * n_per_ring, 2);
+  out.labels.resize(k * n_per_ring);
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double radius = gap * static_cast<double>(c + 1);
+    for (std::size_t i = 0; i < n_per_ring; ++i, ++idx) {
+      const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const double r = radius + rng.normal(0.0, noise);
+      auto row = out.points.row(idx);
+      row[0] = r * std::cos(theta);
+      row[1] = r * std::sin(theta);
+      out.labels[idx] = static_cast<int>(c);
+    }
+  }
+  return out;
+}
+
+Dataset moons(std::size_t n_per_moon, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = 2 * n_per_moon;
+  Dataset out;
+  out.points = Matrix(n, 2);
+  out.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = i < n_per_moon ? 0 : 1;
+    const double t = rng.uniform(0.0, std::numbers::pi);
+    auto row = out.points.row(i);
+    if (label == 0) {
+      row[0] = std::cos(t) + rng.normal(0.0, noise);
+      row[1] = std::sin(t) + rng.normal(0.0, noise);
+    } else {
+      row[0] = 1.0 - std::cos(t) + rng.normal(0.0, noise);
+      row[1] = 0.5 - std::sin(t) + rng.normal(0.0, noise);
+    }
+    out.labels[i] = label;
+  }
+  return out;
+}
+
+}  // namespace keybin2::data

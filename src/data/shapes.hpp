@@ -1,0 +1,36 @@
+// Structured 2-D workloads for figure reproductions and robustness tests.
+//
+// * correlated_pair — Figure 1's input: two elongated, correlated clusters
+//   whose axis-aligned projections overlap in both dimensions (the case
+//   KeyBin v1 cannot separate and random projection fixes).
+// * boxes — uniform axis-aligned boxes; §2 notes k-means mislabels box
+//   corners while KeyBin2 handles them.
+// * rings — concentric annuli (non-convex clusters).
+// * moons — two interleaving half-moons (classic non-convex benchmark).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace keybin2::data {
+
+/// Two 2-D clusters stretched along the diagonal y = x, offset perpendicular
+/// to it by `gap`. Their x- and y-projections overlap, so axis-aligned
+/// binning cannot separate them; a rotation (random projection) can.
+Dataset correlated_pair(std::size_t n_per_cluster, double gap,
+                        std::uint64_t seed);
+
+/// `k` axis-aligned uniform boxes of side `side` centred on a grid with
+/// spacing `spacing` (requires spacing > side for separability).
+Dataset boxes(std::size_t k, std::size_t n_per_box, double side,
+              double spacing, std::uint64_t seed);
+
+/// `k` concentric rings with radial gap `gap` and radial noise `noise`.
+Dataset rings(std::size_t k, std::size_t n_per_ring, double gap, double noise,
+              std::uint64_t seed);
+
+/// Two interleaving half-moons with Gaussian noise.
+Dataset moons(std::size_t n_per_moon, double noise, std::uint64_t seed);
+
+}  // namespace keybin2::data

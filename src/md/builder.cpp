@@ -1,0 +1,115 @@
+#include "md/builder.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace keybin2::md {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+}
+
+Vec3 place_atom(const Vec3& a, const Vec3& b, const Vec3& c, double length,
+                double angle_deg, double torsion_deg) {
+  // NeRF: express D in the local frame of (a, b, c), then map to world.
+  const double angle = angle_deg * kDegToRad;
+  const double torsion = torsion_deg * kDegToRad;
+
+  // Local displacement from c with the bond along -x of the frame; the sign
+  // of the z term fixes the handedness so the achieved dihedral equals the
+  // requested one under dihedral_deg's convention.
+  const Vec3 d_local{
+      -length * std::cos(angle),
+      length * std::sin(angle) * std::cos(torsion),
+      -length * std::sin(angle) * std::sin(torsion),
+  };
+
+  // Frame: x along bc, z along bc x ab plane normal, y completing it.
+  Vec3 bc = c - b;
+  const double bc_len = norm(bc);
+  KB2_CHECK_MSG(bc_len > 0.0, "degenerate frame: b == c");
+  bc = bc * (1.0 / bc_len);
+  const Vec3 ab = b - a;
+  Vec3 n = cross(ab, bc);
+  const double n_len = norm(n);
+  KB2_CHECK_MSG(n_len > 0.0, "degenerate frame: collinear a, b, c");
+  n = n * (1.0 / n_len);
+  const Vec3 m = cross(n, bc);
+
+  return Vec3{
+      c.x - (bc.x * d_local.x + m.x * d_local.y + n.x * d_local.z) * -1.0,
+      c.y - (bc.y * d_local.x + m.y * d_local.y + n.y * d_local.z) * -1.0,
+      c.z - (bc.z * d_local.x + m.z * d_local.y + n.z * d_local.z) * -1.0,
+  };
+}
+
+std::vector<BackboneResidue> build_backbone(std::span<const double> phi,
+                                            std::span<const double> psi,
+                                            std::span<const double> omega,
+                                            const BackboneGeometry& geom) {
+  const std::size_t n_res = phi.size();
+  KB2_CHECK_MSG(n_res >= 1, "need at least one residue");
+  KB2_CHECK_MSG(psi.size() == n_res && omega.size() == n_res,
+                "phi/psi/omega must have equal length");
+
+  std::vector<BackboneResidue> chain(n_res);
+
+  // Seed the first residue in a canonical pose.
+  chain[0].n = Vec3{0.0, 0.0, 0.0};
+  chain[0].ca = Vec3{geom.n_ca, 0.0, 0.0};
+  const double theta = geom.angle_n_ca_c * kDegToRad;
+  chain[0].c = Vec3{geom.n_ca - geom.ca_c * std::cos(theta),
+                    geom.ca_c * std::sin(theta), 0.0};
+
+  for (std::size_t r = 1; r < n_res; ++r) {
+    const auto& prev = chain[r - 1];
+    // N(r):  torsion psi(r-1) about CA(r-1)-C(r-1).
+    chain[r].n = place_atom(prev.n, prev.ca, prev.c, geom.c_n,
+                            geom.angle_ca_c_n, psi[r - 1]);
+    // CA(r): torsion omega(r-1) about C(r-1)-N(r).
+    chain[r].ca = place_atom(prev.ca, prev.c, chain[r].n, geom.n_ca,
+                             geom.angle_c_n_ca, omega[r - 1]);
+    // C(r):  torsion phi(r) about N(r)-CA(r).
+    chain[r].c = place_atom(prev.c, chain[r].n, chain[r].ca, geom.ca_c,
+                            geom.angle_n_ca_c, phi[r]);
+  }
+  return chain;
+}
+
+std::vector<BackboneResidue> build_backbone(const Trajectory& traj,
+                                            std::size_t frame,
+                                            const BackboneGeometry& geom) {
+  const std::size_t n_res = traj.residues();
+  std::vector<double> phi(n_res), psi(n_res), omega(n_res);
+  for (std::size_t r = 0; r < n_res; ++r) {
+    phi[r] = traj.phi(frame, r);
+    psi[r] = traj.psi(frame, r);
+    omega[r] = traj.omega(frame, r);
+  }
+  return build_backbone(phi, psi, omega, geom);
+}
+
+RecoveredTorsions recover_torsions(std::span<const BackboneResidue> chain) {
+  const std::size_t n = chain.size();
+  RecoveredTorsions out;
+  out.phi.assign(n, 0.0);
+  out.psi.assign(n, 180.0);
+  out.omega.assign(n, 180.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (r > 0) {
+      out.phi[r] = dihedral_deg(chain[r - 1].c, chain[r].n, chain[r].ca,
+                                chain[r].c);
+    }
+    if (r + 1 < n) {
+      out.psi[r] = dihedral_deg(chain[r].n, chain[r].ca, chain[r].c,
+                                chain[r + 1].n);
+      out.omega[r] = dihedral_deg(chain[r].ca, chain[r].c, chain[r + 1].n,
+                                  chain[r + 1].ca);
+    }
+  }
+  return out;
+}
+
+}  // namespace keybin2::md

@@ -1,0 +1,59 @@
+// Backbone construction from torsion angles (NeRF — Natural Extension
+// Reference Frame).
+//
+// The paper characterizes conformations by (phi, psi, omega); real MD data
+// arrives as 3-D atom coordinates. This module closes the loop: it builds a
+// physically-plausible N-CA-C backbone from torsions using ideal bond
+// geometry, and recovers the torsions from coordinates via dihedrals — so
+// tests can verify torsions -> coordinates -> torsions roundtrips exactly,
+// and the Kabsch RMSD in md/kabsch.hpp has honest 3-D conformations to work
+// on.
+#pragma once
+
+#include <vector>
+
+#include "md/geometry.hpp"
+#include "md/trajectory.hpp"
+
+namespace keybin2::md {
+
+/// One residue's backbone atoms.
+struct BackboneResidue {
+  Vec3 n, ca, c;
+};
+
+/// Ideal backbone geometry (Engh & Huber averages, in angstroms/degrees).
+struct BackboneGeometry {
+  double n_ca = 1.458;
+  double ca_c = 1.525;
+  double c_n = 1.329;
+  double angle_n_ca_c = 111.2;
+  double angle_ca_c_n = 116.2;
+  double angle_c_n_ca = 121.7;
+};
+
+/// Place atom D at `length` from C, with angle B-C-D = `angle_deg` and
+/// torsion A-B-C-D = `torsion_deg` (the NeRF step).
+Vec3 place_atom(const Vec3& a, const Vec3& b, const Vec3& c, double length,
+                double angle_deg, double torsion_deg);
+
+/// Build a backbone for `residues` residues from per-residue (phi, psi,
+/// omega). phi[0] is undefined by convention and ignored; psi and omega of
+/// the last residue position the (nonexistent) next residue and are ignored.
+std::vector<BackboneResidue> build_backbone(
+    std::span<const double> phi, std::span<const double> psi,
+    std::span<const double> omega, const BackboneGeometry& geom = {});
+
+/// Build the backbone of one trajectory frame.
+std::vector<BackboneResidue> build_backbone(const Trajectory& traj,
+                                            std::size_t frame,
+                                            const BackboneGeometry& geom = {});
+
+/// Recover (phi, psi, omega) per residue from backbone coordinates (the
+/// first phi and the last psi/omega are reported as 0 / 180 / 180).
+struct RecoveredTorsions {
+  std::vector<double> phi, psi, omega;
+};
+RecoveredTorsions recover_torsions(std::span<const BackboneResidue> chain);
+
+}  // namespace keybin2::md

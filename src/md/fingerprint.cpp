@@ -1,0 +1,89 @@
+#include "md/fingerprint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace keybin2::md {
+
+std::vector<FingerprintSegment> fingerprint_segments(
+    std::span<const int> labels, std::size_t min_run) {
+  std::vector<FingerprintSegment> segments;
+  if (labels.empty()) return segments;
+
+  std::size_t start = 0;
+  for (std::size_t i = 1; i <= labels.size(); ++i) {
+    if (i == labels.size() || labels[i] != labels[start]) {
+      segments.push_back(FingerprintSegment{start, i, labels[start]});
+      start = i;
+    }
+  }
+  if (min_run <= 1) return segments;
+
+  // Debounce: fold short runs into their successor (or predecessor at the
+  // tail) and re-merge equal neighbours.
+  std::vector<FingerprintSegment> out;
+  for (const auto& seg : segments) {
+    const bool s = seg.end - seg.begin >= min_run;
+    if (!out.empty() && (!s || out.back().label == seg.label)) {
+      if (s && out.back().end - out.back().begin < min_run &&
+          out.back().label != seg.label) {
+        // Previous run was short flicker: absorb it into this long run.
+        out.back() = FingerprintSegment{out.back().begin, seg.end, seg.label};
+      } else if (out.back().label == seg.label) {
+        out.back().end = seg.end;
+      } else {
+        out.back().end = seg.end;  // short run absorbed into predecessor
+      }
+    } else {
+      out.push_back(seg);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> change_points(std::span<const int> labels,
+                                       std::size_t min_run) {
+  const auto segments = fingerprint_segments(labels, min_run);
+  std::vector<std::size_t> points;
+  for (std::size_t s = 1; s < segments.size(); ++s) {
+    points.push_back(segments[s].begin);
+  }
+  return points;
+}
+
+BoundaryScore boundary_agreement(std::span<const std::size_t> predicted,
+                                 std::span<const std::size_t> truth,
+                                 std::size_t tolerance) {
+  BoundaryScore score;
+  std::vector<bool> used(truth.size(), false);
+  for (std::size_t p : predicted) {
+    std::size_t best = truth.size();
+    std::size_t best_dist = tolerance + 1;
+    for (std::size_t t = 0; t < truth.size(); ++t) {
+      if (used[t]) continue;
+      const std::size_t dist = p > truth[t] ? p - truth[t] : truth[t] - p;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = t;
+      }
+    }
+    if (best < truth.size()) {
+      used[best] = true;
+      ++score.matched;
+    }
+  }
+  score.precision = predicted.empty()
+                        ? 0.0
+                        : static_cast<double>(score.matched) /
+                              static_cast<double>(predicted.size());
+  score.recall = truth.empty() ? 0.0
+                               : static_cast<double>(score.matched) /
+                                     static_cast<double>(truth.size());
+  score.f1 = (score.precision + score.recall) > 0.0
+                 ? 2.0 * score.precision * score.recall /
+                       (score.precision + score.recall)
+                 : 0.0;
+  return score;
+}
+
+}  // namespace keybin2::md

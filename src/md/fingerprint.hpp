@@ -1,0 +1,45 @@
+// Cluster fingerprints (paper §5.1-5.2, Figure 4).
+//
+// "Sequences of fine grained clusters will form a cluster fingerprint. This
+// fingerprint can be used to identify stable phases and to differentiate
+// conformational search spaces." A fingerprint is the per-frame sequence of
+// KeyBin2 cluster labels; its change points should line up with the
+// trajectory's metastable-phase boundaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace keybin2::md {
+
+struct FingerprintSegment {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // one past last frame
+  int label = -1;
+};
+
+/// Maximal constant-label runs, ignoring runs shorter than `min_run` frames
+/// (which are folded into the following run — debouncing against single-frame
+/// flicker during transitions).
+std::vector<FingerprintSegment> fingerprint_segments(
+    std::span<const int> labels, std::size_t min_run = 1);
+
+/// Frames where the (debounced) fingerprint changes.
+std::vector<std::size_t> change_points(std::span<const int> labels,
+                                       std::size_t min_run = 1);
+
+/// Boundary-detection score: a predicted change point matches a true one if
+/// within `tolerance` frames (greedy one-to-one matching); returns pairwise
+/// (precision, recall, f1) over boundaries.
+struct BoundaryScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t matched = 0;
+};
+BoundaryScore boundary_agreement(std::span<const std::size_t> predicted,
+                                 std::span<const std::size_t> truth,
+                                 std::size_t tolerance);
+
+}  // namespace keybin2::md

@@ -1,0 +1,31 @@
+#include "md/geometry.hpp"
+
+#include <numbers>
+
+namespace keybin2::md {
+
+double dihedral_deg(const Vec3& p1, const Vec3& p2, const Vec3& p3,
+                    const Vec3& p4) {
+  const Vec3 b1 = p2 - p1;
+  const Vec3 b2 = p3 - p2;
+  const Vec3 b3 = p4 - p3;
+  const Vec3 n1 = cross(b1, b2);
+  const Vec3 n2 = cross(b2, b3);
+  const Vec3 m = cross(n1, b2 * (1.0 / norm(b2)));
+  const double x = dot(n1, n2);
+  const double y = dot(m, n2);
+  return std::atan2(y, x) * 180.0 / std::numbers::pi;
+}
+
+double wrap_deg(double angle) {
+  while (angle > 180.0) angle -= 360.0;
+  while (angle <= -180.0) angle += 360.0;
+  return angle;
+}
+
+double angular_distance_deg(double a, double b) {
+  const double d = std::fabs(wrap_deg(a - b));
+  return d > 180.0 ? 360.0 - d : d;
+}
+
+}  // namespace keybin2::md

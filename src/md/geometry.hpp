@@ -1,0 +1,42 @@
+// Minimal 3-D geometry for molecular conformations.
+//
+// The in-situ case study characterizes each conformation by backbone torsion
+// angles; dihedral() is the textbook four-atom torsion (the angle between the
+// planes (p1,p2,p3) and (p2,p3,p4)), which is how phi/psi/omega are defined.
+#pragma once
+
+#include <cmath>
+
+namespace keybin2::md {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+};
+
+inline double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+inline Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+inline double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+
+/// Signed dihedral angle in degrees, in (-180, 180], defined by the four
+/// atoms p1-p2-p3-p4 (e.g. C-N-CA-C for phi).
+double dihedral_deg(const Vec3& p1, const Vec3& p2, const Vec3& p3,
+                    const Vec3& p4);
+
+/// Wrap an angle in degrees into (-180, 180].
+double wrap_deg(double angle);
+
+/// Shortest angular difference |a - b| on the circle, in [0, 180].
+double angular_distance_deg(double a, double b);
+
+}  // namespace keybin2::md

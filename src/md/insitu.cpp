@@ -1,0 +1,42 @@
+#include "md/insitu.hpp"
+
+#include "common/error.hpp"
+
+namespace keybin2::md {
+
+InSituAnalyzer::InSituAnalyzer(std::size_t residues, core::Params params,
+                               std::size_t refit_interval)
+    : engine_(residues, params), refit_interval_(refit_interval),
+      history_(0, residues) {
+  KB2_CHECK_MSG(refit_interval >= 1, "refit interval must be >= 1");
+}
+
+int InSituAnalyzer::push_features(std::span<const double> features) {
+  engine_.push(features);
+  history_.append_row(features);
+  if (++since_refit_ >= refit_interval_) {
+    engine_.refit();
+    since_refit_ = 0;
+  }
+  const int label =
+      engine_.has_model() ? engine_.label(features) : -1;
+  fingerprint_.push_back(label);
+  return label;
+}
+
+int InSituAnalyzer::push_frame(const Trajectory& traj, std::size_t frame) {
+  const auto features = featurize_frame(traj, frame);
+  return push_features(features);
+}
+
+void InSituAnalyzer::refit() {
+  engine_.refit();
+  since_refit_ = 0;
+}
+
+std::vector<int> InSituAnalyzer::relabel_all() {
+  KB2_CHECK_MSG(engine_.has_model(), "no model yet: push more frames or refit");
+  return engine_.model().predict(history_);
+}
+
+}  // namespace keybin2::md

@@ -1,0 +1,57 @@
+// In-situ trajectory analysis pipeline (paper §5).
+//
+// InSituAnalyzer couples a running simulation with KeyBin2: frames arrive
+// one at a time, are featurized into per-residue secondary structures, and
+// feed the streaming engine. The model refits every `refit_interval` frames
+// ("histograms are communicated periodically"), and each frame is labelled
+// with the model current at its arrival — so the analysis runs alongside the
+// simulation rather than after it. fingerprint() returns the per-frame
+// cluster sequence used in Figure 4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/streaming.hpp"
+#include "md/trajectory.hpp"
+
+namespace keybin2::md {
+
+class InSituAnalyzer {
+ public:
+  /// `residues` fixes the stream schema; `refit_interval` is how often the
+  /// model is rebuilt from the accumulated histograms.
+  InSituAnalyzer(std::size_t residues, core::Params params = {},
+                 std::size_t refit_interval = 500);
+
+  /// Ingest the next simulation frame; returns the cluster label under the
+  /// model in effect when the frame arrived (-1 before the first refit).
+  int push_frame(const Trajectory& traj, std::size_t frame);
+
+  /// Ingest a pre-featurized frame (per-residue structure classes).
+  int push_features(std::span<const double> features);
+
+  std::size_t frames_seen() const { return fingerprint_.size(); }
+
+  /// Per-frame labels as assigned on arrival (the in-situ fingerprint).
+  const std::vector<int>& fingerprint() const { return fingerprint_; }
+
+  /// Relabel every frame seen so far with the CURRENT model — the offline
+  /// consolidation pass the paper runs once a trajectory completes.
+  std::vector<int> relabel_all();
+
+  /// Force a refit now (e.g. at end of trajectory).
+  void refit();
+
+  const core::StreamingKeyBin2& engine() const { return engine_; }
+
+ private:
+  core::StreamingKeyBin2 engine_;
+  std::size_t refit_interval_;
+  std::size_t since_refit_ = 0;
+  Matrix history_;  // featurized frames, for relabel_all()
+  std::vector<int> fingerprint_;
+};
+
+}  // namespace keybin2::md

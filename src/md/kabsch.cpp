@@ -1,0 +1,77 @@
+#include "md/kabsch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/eigen.hpp"
+
+namespace keybin2::md {
+
+double kabsch_rmsd(std::span<const Vec3> p, std::span<const Vec3> q) {
+  KB2_CHECK_MSG(p.size() == q.size() && !p.empty(),
+                "point sets must be equal-length and non-empty");
+  const auto n = static_cast<double>(p.size());
+
+  // Centre both sets.
+  Vec3 cp{}, cq{};
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    cp = cp + p[i];
+    cq = cq + q[i];
+  }
+  cp = cp * (1.0 / n);
+  cq = cq * (1.0 / n);
+
+  // Covariance (correlation matrix R) and total squared norms.
+  double r[3][3] = {};
+  double gp = 0.0, gq = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const Vec3 a = p[i] - cp;
+    const Vec3 b = q[i] - cq;
+    const double av[3] = {a.x, a.y, a.z};
+    const double bv[3] = {b.x, b.y, b.z};
+    for (int x = 0; x < 3; ++x) {
+      for (int y = 0; y < 3; ++y) r[x][y] += av[x] * bv[y];
+      gp += av[x] * av[x];
+      gq += bv[x] * bv[x];
+    }
+  }
+
+  // Horn's 4x4 key matrix; its largest eigenvalue lambda gives
+  // rmsd^2 = (gp + gq - 2 lambda) / n.
+  Matrix k(4, 4);
+  k(0, 0) = r[0][0] + r[1][1] + r[2][2];
+  k(0, 1) = r[1][2] - r[2][1];
+  k(0, 2) = r[2][0] - r[0][2];
+  k(0, 3) = r[0][1] - r[1][0];
+  k(1, 1) = r[0][0] - r[1][1] - r[2][2];
+  k(1, 2) = r[0][1] + r[1][0];
+  k(1, 3) = r[2][0] + r[0][2];
+  k(2, 2) = -r[0][0] + r[1][1] - r[2][2];
+  k(2, 3) = r[1][2] + r[2][1];
+  k(3, 3) = -r[0][0] - r[1][1] + r[2][2];
+
+  const auto eig = stats::jacobi_eigen(k);
+  const double lambda = eig.values.back();
+  const double ms = std::max(0.0, (gp + gq - 2.0 * lambda) / n);
+  return std::sqrt(ms);
+}
+
+double backbone_rmsd(std::span<const BackboneResidue> a,
+                     std::span<const BackboneResidue> b) {
+  KB2_CHECK_MSG(a.size() == b.size(), "backbones differ in length");
+  std::vector<Vec3> p, q;
+  p.reserve(3 * a.size());
+  q.reserve(3 * b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    p.push_back(a[i].n);
+    p.push_back(a[i].ca);
+    p.push_back(a[i].c);
+    q.push_back(b[i].n);
+    q.push_back(b[i].ca);
+    q.push_back(b[i].c);
+  }
+  return kabsch_rmsd(p, q);
+}
+
+}  // namespace keybin2::md

@@ -1,0 +1,25 @@
+// Optimal-superposition RMSD (Kabsch, via Horn's quaternion method).
+//
+// The paper's offline validation computes "the root mean squared deviation
+// with respect to each frame in the trajectory"; for 3-D conformations the
+// standard metric superimposes the structures first (remove rigid-body
+// translation and rotation). Horn's method finds the optimal rotation as
+// the top eigenvector of a 4x4 quaternion matrix — no 3x3 SVD needed.
+#pragma once
+
+#include <span>
+
+#include "md/builder.hpp"
+#include "md/geometry.hpp"
+
+namespace keybin2::md {
+
+/// Minimum RMSD between two equal-length 3-D point sets over all rigid
+/// superpositions (rotation + translation; no reflection).
+double kabsch_rmsd(std::span<const Vec3> p, std::span<const Vec3> q);
+
+/// RMSD between two backbone conformations over all atoms (N, CA, C).
+double backbone_rmsd(std::span<const BackboneResidue> a,
+                     std::span<const BackboneResidue> b);
+
+}  // namespace keybin2::md

@@ -1,0 +1,82 @@
+#include "md/ramachandran.hpp"
+
+#include <cmath>
+
+namespace keybin2::md {
+
+namespace {
+
+bool in_box(double v, double lo, double hi) { return v >= lo && v <= hi; }
+
+}  // namespace
+
+SecondaryStructure classify(double phi_deg, double psi_deg,
+                            double omega_deg) {
+  // Cis-peptide: omega restricted to ~0 deg (trans is ~180 deg).
+  if (std::fabs(omega_deg) < 30.0) return SecondaryStructure::kCisPeptide;
+
+  // Right-handed alpha helix: phi ~ -60, psi ~ -45.
+  if (in_box(phi_deg, -100.0, -30.0) && in_box(psi_deg, -80.0, -5.0)) {
+    return SecondaryStructure::kAlphaHelix;
+  }
+  // Beta strand: phi ~ -120, psi ~ 130 (extended).
+  if (in_box(phi_deg, -180.0, -90.0) &&
+      (in_box(psi_deg, 90.0, 180.0) || in_box(psi_deg, -180.0, -150.0))) {
+    return SecondaryStructure::kBetaStrand;
+  }
+  // Polyproline II helix: phi ~ -75, psi ~ +150.
+  if (in_box(phi_deg, -90.0, -50.0) && in_box(psi_deg, 120.0, 180.0)) {
+    return SecondaryStructure::kPPIIHelix;
+  }
+  // Inverse gamma turn (gamma'): phi ~ -85, psi ~ +70.
+  if (in_box(phi_deg, -110.0, -60.0) && in_box(psi_deg, 40.0, 100.0)) {
+    return SecondaryStructure::kGammaPrimeTurn;
+  }
+  // Classic gamma turn: phi ~ +75, psi ~ -60.
+  if (in_box(phi_deg, 40.0, 110.0) && in_box(psi_deg, -100.0, -20.0)) {
+    return SecondaryStructure::kGammaTurn;
+  }
+  return SecondaryStructure::kOther;
+}
+
+TorsionTriple canonical_torsions(SecondaryStructure ss) {
+  switch (ss) {
+    case SecondaryStructure::kAlphaHelix:
+      return {-63.0, -43.0, 180.0};
+    case SecondaryStructure::kBetaStrand:
+      return {-120.0, 130.0, 180.0};
+    case SecondaryStructure::kPPIIHelix:
+      return {-75.0, 150.0, 180.0};
+    case SecondaryStructure::kGammaPrimeTurn:
+      return {-85.0, 70.0, 180.0};
+    case SecondaryStructure::kGammaTurn:
+      return {75.0, -60.0, 180.0};
+    case SecondaryStructure::kCisPeptide:
+      return {-75.0, 160.0, 0.0};
+    case SecondaryStructure::kOther:
+      return {60.0, 60.0, 180.0};
+  }
+  return {};
+}
+
+std::string_view to_string(SecondaryStructure ss) {
+  switch (ss) {
+    case SecondaryStructure::kAlphaHelix:
+      return "alpha-helix";
+    case SecondaryStructure::kBetaStrand:
+      return "beta-strand";
+    case SecondaryStructure::kPPIIHelix:
+      return "PPII-helix";
+    case SecondaryStructure::kGammaPrimeTurn:
+      return "gamma'-turn";
+    case SecondaryStructure::kGammaTurn:
+      return "gamma-turn";
+    case SecondaryStructure::kCisPeptide:
+      return "cis-peptide";
+    case SecondaryStructure::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+}  // namespace keybin2::md

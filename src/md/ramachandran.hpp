@@ -1,0 +1,42 @@
+// Ramachandran secondary-structure classification (paper §5.1).
+//
+// "Based on the constraints of the torsion angles (phi, psi, and omega) as
+// described by the Ramachandran [plot], we can associate each amino acid
+// residue with one of six types of secondary structures: alpha-helix,
+// beta-strand, Polyproline PII-helix, gamma'-turn, gamma-turn, and
+// cis-peptide bonds." The regions below are standard Ramachandran boxes;
+// omega near 0 deg marks the rare cis case, near 180 deg the trans case.
+#pragma once
+
+#include <string_view>
+
+namespace keybin2::md {
+
+enum class SecondaryStructure : int {
+  kAlphaHelix = 0,
+  kBetaStrand = 1,
+  kPPIIHelix = 2,
+  kGammaPrimeTurn = 3,
+  kGammaTurn = 4,
+  kCisPeptide = 5,
+  kOther = 6,
+};
+
+inline constexpr int kSecondaryStructureCount = 7;
+
+/// Classify one residue's (phi, psi, omega) torsion triple (degrees,
+/// wrapped to (-180, 180]). Cis-peptide (|omega| < 30 deg) takes precedence;
+/// conformations outside every canonical box are kOther.
+SecondaryStructure classify(double phi_deg, double psi_deg, double omega_deg);
+
+/// Canonical (phi, psi, omega) centre of a secondary-structure region — the
+/// synthetic trajectory generator emits angles around these centres, which
+/// guarantees generator/classifier agreement.
+struct TorsionTriple {
+  double phi = 0.0, psi = 0.0, omega = 180.0;
+};
+TorsionTriple canonical_torsions(SecondaryStructure ss);
+
+std::string_view to_string(SecondaryStructure ss);
+
+}  // namespace keybin2::md

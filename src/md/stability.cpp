@@ -1,0 +1,165 @@
+#include "md/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "md/builder.hpp"
+#include "md/kabsch.hpp"
+
+namespace keybin2::md {
+
+std::vector<std::size_t> sample_representatives(const Trajectory& traj,
+                                                std::size_t n, double alpha,
+                                                std::uint64_t seed) {
+  KB2_CHECK_MSG(n >= 2 && n <= traj.frames(),
+                "need 2 <= n <= frames, got n=" << n);
+  const auto mean = mean_conformation(traj);
+
+  // Rank all frames by distance to the mean conformation, farthest first.
+  std::vector<std::pair<double, std::size_t>> ranked(traj.frames());
+  for (std::size_t f = 0; f < traj.frames(); ++f) {
+    ranked[f] = {frame_rmsd(traj, f, mean), f};
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  // Power-law draw over ranks, without replacement.
+  Rng rng(seed);
+  std::vector<double> weight(ranked.size());
+  for (std::size_t r = 0; r < ranked.size(); ++r) {
+    weight[r] = std::pow(static_cast<double>(r + 1), -alpha);
+  }
+  std::vector<std::size_t> chosen;
+  chosen.reserve(n);
+  std::vector<bool> used(ranked.size(), false);
+  while (chosen.size() < n) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < weight.size(); ++r) {
+      if (!used[r]) total += weight[r];
+    }
+    double u = rng.uniform() * total;
+    std::size_t pick = ranked.size() - 1;
+    for (std::size_t r = 0; r < weight.size(); ++r) {
+      if (used[r]) continue;
+      u -= weight[r];
+      if (u <= 0.0) {
+        pick = r;
+        break;
+      }
+    }
+    used[pick] = true;
+    chosen.push_back(ranked[pick].second);
+  }
+  return chosen;
+}
+
+double hdr_center(std::vector<double> samples, double mass) {
+  KB2_CHECK_MSG(!samples.empty(), "hdr_center of no samples");
+  KB2_CHECK_MSG(mass > 0.0 && mass <= 1.0, "HDR mass must be in (0, 1]");
+  std::sort(samples.begin(), samples.end());
+  const auto n = samples.size();
+  const auto span = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(mass * static_cast<double>(n))));
+  if (span >= n) return (samples.front() + samples.back()) / 2.0;
+  // Narrowest window containing `span` consecutive sorted samples.
+  std::size_t best = 0;
+  double best_width = samples[span - 1] - samples[0];
+  for (std::size_t i = 1; i + span <= n; ++i) {
+    const double width = samples[i + span - 1] - samples[i];
+    if (width < best_width) {
+      best_width = width;
+      best = i;
+    }
+  }
+  return (samples[best] + samples[best + span - 1]) / 2.0;
+}
+
+StabilityAnalysis analyze_stability(const Trajectory& traj,
+                                    const StabilityParams& params) {
+  const std::size_t frames = traj.frames();
+  const std::size_t n = params.n_representatives;
+  KB2_CHECK_MSG(params.window >= 2, "window must be >= 2 frames");
+
+  StabilityAnalysis out;
+  out.representatives = sample_representatives(traj, n, params.power_law_alpha,
+                                               params.seed);
+
+  // Eq. 3: per-frame stability probabilities over the representatives,
+  // under the configured conformation distance.
+  const bool cartesian =
+      params.distance == ConformationDistance::kCartesian;
+  std::vector<std::vector<BackboneResidue>> rep_chains;
+  if (cartesian) {
+    rep_chains.reserve(n);
+    for (std::size_t l = 0; l < n; ++l) {
+      rep_chains.push_back(build_backbone(traj, out.representatives[l]));
+    }
+  }
+  std::vector<std::vector<double>> prob(frames, std::vector<double>(n, 0.0));
+  constexpr double kMinDistance = 1e-6;  // a frame identical to a label
+  for (std::size_t i = 0; i < frames; ++i) {
+    double denom = 0.0;
+    // Cartesian mode rebuilds the frame's backbone once, not once per rep.
+    std::vector<BackboneResidue> frame_chain;
+    if (cartesian) frame_chain = build_backbone(traj, i);
+    for (std::size_t l = 0; l < n; ++l) {
+      const double raw = cartesian
+                             ? backbone_rmsd(frame_chain, rep_chains[l])
+                             : frame_rmsd(traj, i, out.representatives[l]);
+      const double d = std::max(kMinDistance, raw);
+      prob[i][l] = 1.0 / d;
+      denom += prob[i][l];
+    }
+    for (std::size_t l = 0; l < n; ++l) prob[i][l] /= denom;
+  }
+
+  // Rolling 70% HDR centre over the previous `window` frames.
+  out.scores.assign(frames, std::vector<double>(n, 0.0));
+  std::vector<double> window_buf;
+  for (std::size_t i = 0; i < frames; ++i) {
+    const std::size_t begin = i >= params.window ? i - params.window + 1 : 0;
+    for (std::size_t l = 0; l < n; ++l) {
+      window_buf.clear();
+      for (std::size_t j = begin; j <= i; ++j) window_buf.push_back(prob[j][l]);
+      out.scores[i][l] = hdr_center(window_buf, params.hdr_mass);
+    }
+  }
+
+  // Eq. 4: compare the two highest scores.
+  out.stable_label.assign(frames, -1);
+  for (std::size_t i = 0; i < frames; ++i) {
+    std::size_t p = 0, q = 1;
+    if (out.scores[i][q] > out.scores[i][p]) std::swap(p, q);
+    for (std::size_t l = 2; l < n; ++l) {
+      if (out.scores[i][l] > out.scores[i][p]) {
+        q = p;
+        p = l;
+      } else if (out.scores[i][l] > out.scores[i][q]) {
+        q = l;
+      }
+    }
+    if (out.scores[i][p] - out.scores[i][q] >= params.threshold_w) {
+      out.stable_label[i] = static_cast<int>(p);
+    }
+  }
+
+  // Maximal stable runs.
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i <= frames; ++i) {
+    const bool boundary = i == frames ||
+                          out.stable_label[i] != out.stable_label[run_start];
+    if (boundary) {
+      if (out.stable_label[run_start] >= 0) {
+        out.segments.push_back(
+            StableSegment{run_start, i, out.stable_label[run_start]});
+      }
+      run_start = i;
+    }
+  }
+  return out;
+}
+
+}  // namespace keybin2::md

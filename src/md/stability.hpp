@@ -1,0 +1,75 @@
+// Offline probabilistic validation of trajectory clustering (paper §5.2).
+//
+// After a trajectory completes, N representative conformations ("labels")
+// are drawn by power-law sampling over distance to the mean conformation.
+// For each frame i and representative l:
+//     Pr(l stable at i) = (1/d_{l,i}) / sum_k (1/d_{k,i})          (Eq. 3)
+// A rolling window (100 frames) of these probabilities gives, per label, a
+// stability score in [0,1] — the centre of the 70% High Density Region of
+// the windowed distribution. A frame is stable iff the top two label scores
+// differ by at least w:
+//     s_{p,i} - s_{q,i} < w  ->  not stable; otherwise p is stable  (Eq. 4)
+// Runs of stable frames with the same top label form the paper's rectangles
+// in Figure 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "md/trajectory.hpp"
+
+namespace keybin2::md {
+
+/// Distance used for Eq. 3's d_{l,i}.
+enum class ConformationDistance {
+  /// Angular RMSD in torsion space (fast; the in-situ default).
+  kTorsion,
+  /// Kabsch-superposed backbone RMSD in 3-D Cartesian space — the metric MD
+  /// practitioners usually mean by "RMSD"; conformations are rebuilt from
+  /// torsions with the NeRF chain builder (md/builder.hpp).
+  kCartesian,
+};
+
+struct StabilityParams {
+  std::size_t n_representatives = 8;  // N distinct conformations
+  std::size_t window = 100;           // rolling window (frames)
+  double hdr_mass = 0.70;             // High Density Region mass
+  double threshold_w = 0.10;          // Eq. 4 separation threshold
+  double power_law_alpha = 1.5;       // representative sampling exponent
+  std::uint64_t seed = 42;
+  ConformationDistance distance = ConformationDistance::kTorsion;
+};
+
+struct StableSegment {
+  std::size_t begin = 0;  // first frame
+  std::size_t end = 0;    // one past last frame
+  int label = -1;         // representative conformation id
+};
+
+struct StabilityAnalysis {
+  /// Frame-major stability scores, frames x n_representatives.
+  std::vector<std::vector<double>> scores;
+  /// Top label per frame, -1 while not stable.
+  std::vector<int> stable_label;
+  /// Maximal runs of stable frames with a common label.
+  std::vector<StableSegment> segments;
+  /// Frames picked as representative conformations.
+  std::vector<std::size_t> representatives;
+};
+
+/// Power-law sampling of n distinct representative frames: frames are ranked
+/// by distance to the mean conformation and rank r is drawn with probability
+/// proportional to (r+1)^-alpha, preferring diverse, far-from-mean poses.
+std::vector<std::size_t> sample_representatives(const Trajectory& traj,
+                                                std::size_t n, double alpha,
+                                                std::uint64_t seed);
+
+/// Full Eq.3/Eq.4 analysis of a completed trajectory.
+StabilityAnalysis analyze_stability(const Trajectory& traj,
+                                    const StabilityParams& params);
+
+/// Centre of the narrowest interval holding `mass` of the sorted samples
+/// (the 70% HDR centre). Exposed for tests.
+double hdr_center(std::vector<double> samples, double mass);
+
+}  // namespace keybin2::md

@@ -1,0 +1,132 @@
+#include "md/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "md/geometry.hpp"
+
+namespace keybin2::md {
+
+namespace {
+
+/// Structures a generated residue may adopt (kOther excluded: it is the
+/// classifier's reject region, not a real conformation).
+constexpr SecondaryStructure kGenerable[] = {
+    SecondaryStructure::kAlphaHelix,     SecondaryStructure::kBetaStrand,
+    SecondaryStructure::kPPIIHelix,      SecondaryStructure::kGammaPrimeTurn,
+    SecondaryStructure::kGammaTurn,      SecondaryStructure::kCisPeptide,
+};
+
+SecondaryStructure random_structure(Rng& rng) {
+  // Cis-peptide is rare in nature; keep it rare here too.
+  const double u = rng.uniform();
+  if (u < 0.02) return SecondaryStructure::kCisPeptide;
+  return kGenerable[rng.uniform_int(5)];
+}
+
+/// Interpolate between two angles along the shortest arc.
+double lerp_angle(double a, double b, double t) {
+  const double d = wrap_deg(b - a);
+  return wrap_deg(a + d * t);
+}
+
+}  // namespace
+
+SyntheticTrajectory generate_trajectory(const SyntheticTrajectoryConfig& cfg) {
+  KB2_CHECK_MSG(cfg.residues >= 1 && cfg.frames >= 2 && cfg.phases >= 1,
+                "degenerate trajectory configuration");
+  KB2_CHECK_MSG(cfg.phases * std::max<std::size_t>(cfg.transition_frames, 1) <=
+                    cfg.frames,
+                "transitions longer than the trajectory");
+  Rng rng(cfg.seed);
+
+  SyntheticTrajectory out;
+  out.trajectory = Trajectory(cfg.frames, cfg.residues);
+  out.phase.assign(cfg.frames, 0);
+  out.in_transition.assign(cfg.frames, false);
+
+  // Phase targets: phase 0 random; each later phase flips a random subset.
+  out.phase_structures.resize(cfg.phases);
+  out.phase_structures[0].resize(cfg.residues);
+  for (auto& ss : out.phase_structures[0]) ss = random_structure(rng);
+  for (std::size_t p = 1; p < cfg.phases; ++p) {
+    out.phase_structures[p] = out.phase_structures[p - 1];
+    const auto flips = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg.change_fraction *
+                                    static_cast<double>(cfg.residues)));
+    for (std::size_t f = 0; f < flips; ++f) {
+      const auto r = rng.uniform_int(cfg.residues);
+      auto next = random_structure(rng);
+      while (next == out.phase_structures[p][r]) next = random_structure(rng);
+      out.phase_structures[p][r] = next;
+    }
+  }
+
+  // Phase boundaries: phases get roughly equal spans.
+  std::vector<std::size_t> starts(cfg.phases);
+  for (std::size_t p = 0; p < cfg.phases; ++p) {
+    starts[p] = p * cfg.frames / cfg.phases;
+  }
+
+  for (std::size_t f = 0; f < cfg.frames; ++f) {
+    // Locate the phase and whether f is inside the entry transition window.
+    std::size_t p = cfg.phases - 1;
+    while (p > 0 && f < starts[p]) --p;
+    const bool transition =
+        p > 0 && f < starts[p] + cfg.transition_frames;
+    out.phase[f] = static_cast<int>(p);
+    out.in_transition[f] = transition;
+
+    const double t =
+        transition ? static_cast<double>(f - starts[p]) /
+                         static_cast<double>(cfg.transition_frames)
+                   : 1.0;
+    const double jitter =
+        transition ? cfg.transition_jitter_deg : cfg.jitter_deg;
+
+    for (std::size_t r = 0; r < cfg.residues; ++r) {
+      const auto target = canonical_torsions(out.phase_structures[p][r]);
+      TorsionTriple current = target;
+      if (transition) {
+        const auto prev = canonical_torsions(out.phase_structures[p - 1][r]);
+        current.phi = lerp_angle(prev.phi, target.phi, t);
+        current.psi = lerp_angle(prev.psi, target.psi, t);
+        current.omega = lerp_angle(prev.omega, target.omega, t);
+      }
+      out.trajectory.phi(f, r) = wrap_deg(current.phi + rng.normal(0.0, jitter));
+      out.trajectory.psi(f, r) = wrap_deg(current.psi + rng.normal(0.0, jitter));
+      // Omega is stiff: tiny jitter so trans/cis never flips by noise.
+      out.trajectory.omega(f, r) =
+          wrap_deg(current.omega + rng.normal(0.0, jitter * 0.25));
+    }
+  }
+  return out;
+}
+
+std::vector<SyntheticTrajectoryConfig> make_model_library(std::uint64_t seed,
+                                                          std::size_t count) {
+  Rng rng(seed);
+  std::vector<SyntheticTrajectoryConfig> configs;
+  configs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    SyntheticTrajectoryConfig cfg;
+    // Residues: log-normal-ish spread matching Table 3 (mean 193, sd 145,
+    // min 58, max 747).
+    const double ln = rng.normal(std::log(160.0), 0.55);
+    cfg.residues = static_cast<std::size_t>(
+        std::clamp(std::exp(ln), 58.0, 747.0));
+    // Frames ("simulation time"): 2,000-20,000 with a peak near 10,000.
+    const double frames = rng.normal(9800.0, 3400.0);
+    cfg.frames = static_cast<std::size_t>(
+        std::clamp(frames, 2000.0, 20000.0));
+    cfg.phases = 3 + rng.uniform_int(5);  // 3..7 metastable phases
+    cfg.transition_frames = 30 + rng.uniform_int(70);
+    cfg.seed = rng.fork_seed();
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+}  // namespace keybin2::md

@@ -1,0 +1,54 @@
+// Synthetic molecular-dynamics trajectories (substitute for MoDEL, §5).
+//
+// MoDEL is a proprietary-download library of real MD trajectories; what the
+// paper's analysis consumes from it is torsion-angle time series with
+// metastable and transition phases ("in a metastable stage, consecutive
+// conformations keep a similar structure ... in a transition stage [they]
+// change from one meta-stable stage to another"). The generator reproduces
+// exactly that structure with known ground truth:
+//   * each phase assigns every residue a target secondary structure,
+//     consecutive phases differing in a random subset of residues;
+//   * within a phase, torsions jitter around the structure's canonical
+//     Ramachandran centre (metastable);
+//   * between phases, torsions interpolate over a transition window with
+//     extra jitter (transition).
+// make_model_library() instantiates 31 trajectories whose residue and frame
+// counts match Table 3's statistics (58-747 residues, 2,000-20,000 frames).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "md/trajectory.hpp"
+
+namespace keybin2::md {
+
+struct SyntheticTrajectoryConfig {
+  std::size_t residues = 100;
+  std::size_t frames = 5000;
+  std::size_t phases = 5;           // number of metastable phases
+  std::size_t transition_frames = 50;  // length of each transition window
+  double jitter_deg = 8.0;          // torsion noise inside a phase
+  double transition_jitter_deg = 25.0;
+  double change_fraction = 0.35;    // residues whose structure changes/phase
+  std::uint64_t seed = 42;
+};
+
+struct SyntheticTrajectory {
+  Trajectory trajectory;
+  /// Ground-truth phase id per frame; transition frames carry the id of the
+  /// phase being entered, and `in_transition` marks them.
+  std::vector<int> phase;
+  std::vector<bool> in_transition;
+  /// Target secondary structure per (phase, residue).
+  std::vector<std::vector<SecondaryStructure>> phase_structures;
+};
+
+SyntheticTrajectory generate_trajectory(const SyntheticTrajectoryConfig& cfg);
+
+/// Per-trajectory (residues, frames) sizes for a 31-trajectory library with
+/// Table 3's spread; deterministic in `seed`.
+std::vector<SyntheticTrajectoryConfig> make_model_library(
+    std::uint64_t seed = 42, std::size_t count = 31);
+
+}  // namespace keybin2::md

@@ -1,0 +1,77 @@
+#include "md/trajectory.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "md/geometry.hpp"
+
+namespace keybin2::md {
+
+Matrix featurize_secondary_structure(const Trajectory& traj) {
+  Matrix out(traj.frames(), traj.residues());
+  for (std::size_t f = 0; f < traj.frames(); ++f) {
+    auto row = out.row(f);
+    for (std::size_t r = 0; r < traj.residues(); ++r) {
+      row[r] = static_cast<double>(static_cast<int>(traj.structure(f, r)));
+    }
+  }
+  return out;
+}
+
+std::vector<double> featurize_frame(const Trajectory& traj,
+                                    std::size_t frame) {
+  std::vector<double> out(traj.residues());
+  for (std::size_t r = 0; r < traj.residues(); ++r) {
+    out[r] = static_cast<double>(static_cast<int>(traj.structure(frame, r)));
+  }
+  return out;
+}
+
+namespace {
+
+double rmsd_between(std::span<const double> a, std::span<const double> b) {
+  KB2_CHECK_MSG(a.size() == b.size(), "torsion vectors differ in length");
+  // Only phi and psi enter the deviation (omega is essentially binary and
+  // would swamp the metric); layout is [phi, psi, omega] per residue.
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i + 1 < a.size(); i += 3) {
+    const double dphi = angular_distance_deg(a[i], b[i]);
+    const double dpsi = angular_distance_deg(a[i + 1], b[i + 1]);
+    sum += dphi * dphi + dpsi * dpsi;
+    n += 2;
+  }
+  return n > 0 ? std::sqrt(sum / static_cast<double>(n)) : 0.0;
+}
+
+}  // namespace
+
+double frame_rmsd(const Trajectory& traj, std::size_t a, std::size_t b) {
+  return rmsd_between(traj.torsions(a), traj.torsions(b));
+}
+
+double frame_rmsd(const Trajectory& traj, std::size_t frame,
+                  std::span<const double> torsions) {
+  return rmsd_between(traj.torsions(frame), torsions);
+}
+
+std::vector<double> mean_conformation(const Trajectory& traj) {
+  const std::size_t cols = traj.residues() * 3;
+  std::vector<double> sin_sum(cols, 0.0), cos_sum(cols, 0.0);
+  for (std::size_t f = 0; f < traj.frames(); ++f) {
+    auto row = traj.torsions(f);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double rad = row[c] * std::numbers::pi / 180.0;
+      sin_sum[c] += std::sin(rad);
+      cos_sum[c] += std::cos(rad);
+    }
+  }
+  std::vector<double> mean(cols, 0.0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    mean[c] = std::atan2(sin_sum[c], cos_sum[c]) * 180.0 / std::numbers::pi;
+  }
+  return mean;
+}
+
+}  // namespace keybin2::md

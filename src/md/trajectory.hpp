@@ -1,0 +1,86 @@
+// Protein folding trajectories in torsion space.
+//
+// A trajectory is F frames x R residues; each residue carries a
+// (phi, psi, omega) torsion triple per frame. Featurization for clustering
+// follows the paper: "every residue was characterized by the torsion angle
+// phi versus psi and omega" and mapped to one of six secondary structures,
+// so a frame becomes an R-dimensional vector of structure classes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "md/ramachandran.hpp"
+
+namespace keybin2::md {
+
+class Trajectory {
+ public:
+  Trajectory() = default;
+
+  /// frames x residues trajectory; torsions stored frame-major as
+  /// [phi_0, psi_0, omega_0, phi_1, ...].
+  Trajectory(std::size_t frames, std::size_t residues)
+      : residues_(residues), torsions_(frames, residues * 3) {}
+
+  std::size_t frames() const { return torsions_.rows(); }
+  std::size_t residues() const { return residues_; }
+
+  double& phi(std::size_t frame, std::size_t residue) {
+    return torsions_(frame, residue * 3);
+  }
+  double& psi(std::size_t frame, std::size_t residue) {
+    return torsions_(frame, residue * 3 + 1);
+  }
+  double& omega(std::size_t frame, std::size_t residue) {
+    return torsions_(frame, residue * 3 + 2);
+  }
+  double phi(std::size_t frame, std::size_t residue) const {
+    return torsions_(frame, residue * 3);
+  }
+  double psi(std::size_t frame, std::size_t residue) const {
+    return torsions_(frame, residue * 3 + 1);
+  }
+  double omega(std::size_t frame, std::size_t residue) const {
+    return torsions_(frame, residue * 3 + 2);
+  }
+
+  /// Raw torsion row of one frame.
+  std::span<const double> torsions(std::size_t frame) const {
+    return torsions_.row(frame);
+  }
+
+  /// Secondary structure of one residue in one frame.
+  SecondaryStructure structure(std::size_t frame, std::size_t residue) const {
+    return classify(phi(frame, residue), psi(frame, residue),
+                    omega(frame, residue));
+  }
+
+ private:
+  std::size_t residues_ = 0;
+  Matrix torsions_;
+};
+
+/// Paper featurization: frames x residues matrix of secondary-structure
+/// class indices (as doubles, ready for KeyBin2).
+Matrix featurize_secondary_structure(const Trajectory& traj);
+
+/// One frame's feature vector (for streaming ingestion).
+std::vector<double> featurize_frame(const Trajectory& traj, std::size_t frame);
+
+/// Torsion-space distance between two frames: root mean squared angular
+/// deviation over all (phi, psi) pairs, with periodic wrap (degrees). This
+/// plays the role of the paper's "root mean squared deviation with respect
+/// to each frame" for the offline validation.
+double frame_rmsd(const Trajectory& traj, std::size_t a, std::size_t b);
+
+/// RMSD of a frame against an explicit torsion vector (e.g. the mean
+/// conformation).
+double frame_rmsd(const Trajectory& traj, std::size_t frame,
+                  std::span<const double> torsions);
+
+/// Per-coordinate circular mean conformation of the whole trajectory.
+std::vector<double> mean_conformation(const Trajectory& traj);
+
+}  // namespace keybin2::md

@@ -1,0 +1,65 @@
+#include "stats/calinski.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace keybin2::stats {
+
+double calinski_harabasz(const Matrix& points, std::span<const int> labels) {
+  KB2_CHECK_MSG(points.rows() == labels.size(),
+                "points/labels mismatch: " << points.rows() << " vs "
+                                           << labels.size());
+  const std::size_t dims = points.cols();
+
+  std::unordered_map<int, std::pair<std::vector<double>, std::size_t>> sums;
+  std::vector<double> global(dims, 0.0);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    if (labels[i] < 0) continue;  // noise
+    auto& [sum, count] = sums[labels[i]];
+    if (sum.empty()) sum.assign(dims, 0.0);
+    auto row = points.row(i);
+    for (std::size_t j = 0; j < dims; ++j) {
+      sum[j] += row[j];
+      global[j] += row[j];
+    }
+    ++count;
+    ++n;
+  }
+  const std::size_t k = sums.size();
+  if (k < 2 || n <= k) return 0.0;
+  for (auto& g : global) g /= static_cast<double>(n);
+
+  // Between-cluster dispersion.
+  double b = 0.0;
+  std::unordered_map<int, std::vector<double>> centroids;
+  for (auto& [label, entry] : sums) {
+    auto& [sum, count] = entry;
+    std::vector<double> c(dims);
+    for (std::size_t j = 0; j < dims; ++j)
+      c[j] = sum[j] / static_cast<double>(count);
+    for (std::size_t j = 0; j < dims; ++j) {
+      const double d = c[j] - global[j];
+      b += static_cast<double>(count) * d * d;
+    }
+    centroids[label] = std::move(c);
+  }
+
+  // Within-cluster dispersion.
+  double w = 0.0;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    if (labels[i] < 0) continue;
+    const auto& c = centroids[labels[i]];
+    auto row = points.row(i);
+    for (std::size_t j = 0; j < dims; ++j) {
+      const double d = row[j] - c[j];
+      w += d * d;
+    }
+  }
+  if (w == 0.0) return 0.0;
+  return (b / static_cast<double>(k - 1)) / (w / static_cast<double>(n - k));
+}
+
+}  // namespace keybin2::stats

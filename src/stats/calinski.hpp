@@ -1,0 +1,17 @@
+// Classic (point-space) Calinski–Harabasz index, used to sanity-check the
+// histogram-space variant in src/core/assess.hpp and to score baselines.
+#pragma once
+
+#include <span>
+
+#include "common/matrix.hpp"
+
+namespace keybin2::stats {
+
+/// CH = [B/(k-1)] / [W/(n-k)] where B is between-cluster and W is
+/// within-cluster dispersion (sum of squared distances to the respective
+/// centroids). Returns 0 when k < 2 or k >= n. Labels may be any integers;
+/// negative labels (noise) are ignored.
+double calinski_harabasz(const Matrix& points, std::span<const int> labels);
+
+}  // namespace keybin2::stats

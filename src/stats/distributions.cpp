@@ -1,0 +1,69 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace keybin2::stats {
+
+double log_choose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double hypergeometric_pmf(std::uint64_t total, std::uint64_t marked,
+                          std::uint64_t draws, std::uint64_t k) {
+  KB2_CHECK_MSG(marked <= total && draws <= total,
+                "hypergeometric parameters out of range");
+  if (k > draws || k > marked) return 0.0;
+  if (draws - k > total - marked) return 0.0;
+  const double lp = log_choose(marked, k) +
+                    log_choose(total - marked, draws - k) -
+                    log_choose(total, draws);
+  return std::exp(lp);
+}
+
+double hypergeometric_mean(std::uint64_t total, std::uint64_t marked,
+                           std::uint64_t draws) {
+  KB2_CHECK_MSG(total > 0, "empty population");
+  return static_cast<double>(draws) * static_cast<double>(marked) /
+         static_cast<double>(total);
+}
+
+std::size_t percentile_bin(std::span<const double> counts, double p) {
+  KB2_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile " << p << " out of range");
+  double total = 0.0;
+  for (double c : counts) total += c;
+  if (total <= 0.0 || counts.empty()) return 0;
+  const double target = total * p / 100.0;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (cum >= target) return i;
+  }
+  return counts.size() - 1;
+}
+
+void OnlineMoments::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineMoments::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineMoments::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace keybin2::stats

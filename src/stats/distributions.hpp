@@ -1,0 +1,48 @@
+// Distribution helpers used by KeyBin2's dimensionality analysis (paper §3.1)
+// and by the evaluation harnesses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace keybin2::stats {
+
+/// log(n choose k) via lgamma; returns -inf for invalid (k > n).
+double log_choose(std::uint64_t n, std::uint64_t k);
+
+/// Hypergeometric PMF: probability of drawing exactly `k` marked items when
+/// sampling `draws` without replacement from a population of `total` with
+/// `marked` marked items (paper Eq. 1 models selecting informative projected
+/// dimensions this way).
+double hypergeometric_pmf(std::uint64_t total, std::uint64_t marked,
+                          std::uint64_t draws, std::uint64_t k);
+
+/// Expectation draws * marked / total of the hypergeometric distribution.
+double hypergeometric_mean(std::uint64_t total, std::uint64_t marked,
+                           std::uint64_t draws);
+
+/// Percentile (p in [0,100]) of a binned distribution: the smallest bin whose
+/// cumulative mass reaches p% of the total. The paper's global centre `c` is
+/// the 50th percentile bin per dimension. Returns 0 for empty histograms.
+std::size_t percentile_bin(std::span<const double> counts, double p);
+
+/// Welford online mean/variance/min/max accumulator.
+class OnlineMoments {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace keybin2::stats

@@ -1,0 +1,78 @@
+#include "stats/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace keybin2::stats {
+
+EigenDecomposition jacobi_eigen(const Matrix& input, int max_sweeps) {
+  KB2_CHECK_MSG(input.rows() == input.cols(), "jacobi_eigen needs a square "
+                                              "matrix");
+  const std::size_t n = input.rows();
+  Matrix a = input;
+  // Symmetrize from the upper triangle so callers can pass either half.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) a(j, i) = a(i, j);
+  }
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    }
+    if (off < 1e-24) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (a(p, q) == 0.0) continue;
+        // Classic Jacobi rotation annihilating a(p, q).
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        const double app = a(p, p), aqq = a(q, q), apq = a(p, q);
+        a(p, p) = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+        a(q, q) = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+        a(p, q) = 0.0;
+        a(q, p) = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (i == p || i == q) continue;
+          const double aip = a(i, p), aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(p, i) = a(i, p);
+          a(i, q) = s * aip + c * aiq;
+          a(q, i) = a(i, q);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting the vectors accordingly.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a(x, x) < a(y, y); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace keybin2::stats

@@ -1,0 +1,24 @@
+// Symmetric eigendecomposition (cyclic Jacobi).
+//
+// Needed by the Kabsch/Horn superposition in md/kabsch.cpp (largest
+// eigenvector of a 4x4 quaternion matrix); exposed generally because it is
+// independently useful and independently testable.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace keybin2::stats {
+
+struct EigenDecomposition {
+  std::vector<double> values;  // ascending
+  Matrix vectors;              // column j is the eigenvector of values[j]
+};
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+/// Throws if `a` is not square; symmetry is assumed (the strictly lower
+/// triangle is ignored). Converges quadratically; `max_sweeps` bounds work.
+EigenDecomposition jacobi_eigen(const Matrix& a, int max_sweeps = 64);
+
+}  // namespace keybin2::stats

@@ -1,0 +1,189 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace keybin2::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  KB2_CHECK_MSG(hi > lo, "histogram range [" << lo << ", " << hi << "] empty");
+  KB2_CHECK_MSG(bins >= 1, "histogram needs at least one bin");
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return bins() - 1;
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto b = static_cast<std::size_t>(t * static_cast<double>(bins()));
+  return std::min(b, bins() - 1);
+}
+
+double Histogram::bin_center(std::size_t b) const {
+  KB2_CHECK_MSG(b < bins(), "bin " << b << " out of " << bins());
+  return lo_ + width() * (static_cast<double>(b) + 0.5);
+}
+
+double Histogram::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), 0.0);
+}
+
+void Histogram::merge(const Histogram& other) {
+  KB2_CHECK_MSG(other.bins() == bins() && other.lo_ == lo_ && other.hi_ == hi_,
+                "merging histograms with different geometry");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+}
+
+std::vector<double> Histogram::normalized() const {
+  std::vector<double> out(counts_.begin(), counts_.end());
+  const double t = total();
+  if (t > 0.0) {
+    for (auto& c : out) c /= t;
+  }
+  return out;
+}
+
+void Histogram::set_counts(std::vector<double> counts) {
+  KB2_CHECK_MSG(counts.size() == counts_.size(),
+                "set_counts size " << counts.size() << " != " << counts_.size());
+  counts_ = std::move(counts);
+}
+
+HierarchicalHistogram::HierarchicalHistogram(double lo, double hi,
+                                             int max_depth)
+    : lo_(lo), hi_(hi), max_depth_(max_depth) {
+  KB2_CHECK_MSG(hi > lo, "range [" << lo << ", " << hi << "] empty");
+  KB2_CHECK_MSG(max_depth >= 1 && max_depth <= 24,
+                "max_depth " << max_depth << " out of [1, 24]");
+  deepest_.assign(bins_at(max_depth), 0.0);
+}
+
+void HierarchicalHistogram::check_depth(int depth) const {
+  KB2_CHECK_MSG(depth >= 1 && depth <= max_depth_,
+                "depth " << depth << " out of [1, " << max_depth_ << "]");
+}
+
+std::size_t HierarchicalHistogram::bin_of(double x, int depth) const {
+  check_depth(depth);
+  const std::size_t nb = bins_at(depth);
+  if (x <= lo_) return 0;
+  if (x >= hi_) return nb - 1;
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto b = static_cast<std::size_t>(t * static_cast<double>(nb));
+  return std::min(b, nb - 1);
+}
+
+void HierarchicalHistogram::add(double x, double weight) {
+  deepest_[bin_of(x, max_depth_)] += weight;
+}
+
+Histogram HierarchicalHistogram::level(int depth) const {
+  check_depth(depth);
+  Histogram h(lo_, hi_, bins_at(depth));
+  const std::size_t children = bins_at(max_depth_ - depth);
+  for (std::size_t b = 0; b < bins_at(depth); ++b) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < children; ++c) sum += deepest_[b * children + c];
+    h.add_to_bin(b, sum);
+  }
+  return h;
+}
+
+void HierarchicalHistogram::set_deepest_counts(std::vector<double> counts) {
+  KB2_CHECK_MSG(counts.size() == deepest_.size(),
+                "deepest counts size " << counts.size() << " != "
+                                       << deepest_.size());
+  deepest_ = std::move(counts);
+}
+
+double HierarchicalHistogram::total() const {
+  return std::accumulate(deepest_.begin(), deepest_.end(), 0.0);
+}
+
+void HierarchicalHistogram::merge(const HierarchicalHistogram& other) {
+  KB2_CHECK_MSG(other.lo_ == lo_ && other.hi_ == hi_ &&
+                    other.max_depth_ == max_depth_,
+                "merging hierarchies with different geometry");
+  for (std::size_t i = 0; i < deepest_.size(); ++i)
+    deepest_[i] += other.deepest_[i];
+}
+
+void HierarchicalHistogram::expand_right() {
+  const std::size_t nb = deepest_.size();
+  // Collapse bin pairs into the left half; the right half covers new range.
+  for (std::size_t i = 0; i < nb / 2; ++i)
+    deepest_[i] = deepest_[2 * i] + deepest_[2 * i + 1];
+  std::fill(deepest_.begin() + static_cast<std::ptrdiff_t>(nb / 2),
+            deepest_.end(), 0.0);
+  hi_ = lo_ + 2.0 * (hi_ - lo_);
+}
+
+void HierarchicalHistogram::expand_left() {
+  const std::size_t nb = deepest_.size();
+  // The old range becomes the right half of the doubled range: bin pairs
+  // collapse into bins [nb/2, nb), and the left half covers new territory.
+  std::vector<double> next(nb, 0.0);
+  for (std::size_t i = 0; i < nb / 2; ++i)
+    next[nb / 2 + i] = deepest_[2 * i] + deepest_[2 * i + 1];
+  deepest_ = std::move(next);
+  lo_ = hi_ - 2.0 * (hi_ - lo_);
+}
+
+Histogram rebin_proportional(const Histogram& src, double lo, double hi,
+                             std::size_t bins) {
+  Histogram out(lo, hi, bins);
+  const double out_width = out.width();
+  for (std::size_t b = 0; b < src.bins(); ++b) {
+    const double mass = src.count(b);
+    if (mass == 0.0) continue;
+    const double a0 = src.bin_left(b);
+    const double a1 = a0 + src.width();
+    // Clamp the source interval into the target range (mass outside piles
+    // into the edge bins, mirroring bin_of's clamping).
+    const double c0 = std::clamp(a0, lo, hi);
+    const double c1 = std::clamp(a1, lo, hi);
+    if (c1 <= c0) {
+      out.add_to_bin(a1 <= lo ? 0 : bins - 1, mass);
+      continue;
+    }
+    const double clamped_frac = (c1 - c0) / (a1 - a0);
+    double left_spill = 0.0, right_spill = 0.0;
+    if (a0 < lo) left_spill = (lo - a0) / (a1 - a0) * mass;
+    if (a1 > hi) right_spill = (a1 - hi) / (a1 - a0) * mass;
+    if (left_spill > 0.0) out.add_to_bin(0, left_spill);
+    if (right_spill > 0.0) out.add_to_bin(bins - 1, right_spill);
+
+    const double inner_mass = mass * clamped_frac;
+    std::size_t t0 = static_cast<std::size_t>((c0 - lo) / out_width);
+    std::size_t t1 = static_cast<std::size_t>((c1 - lo) / out_width);
+    t0 = std::min(t0, bins - 1);
+    t1 = std::min(t1, bins - 1);
+    if (t0 == t1) {
+      out.add_to_bin(t0, inner_mass);
+    } else {
+      for (std::size_t t = t0; t <= t1; ++t) {
+        const double o0 = std::max(c0, lo + out_width * static_cast<double>(t));
+        const double o1 =
+            std::min(c1, lo + out_width * static_cast<double>(t + 1));
+        if (o1 > o0) out.add_to_bin(t, inner_mass * (o1 - o0) / (c1 - c0));
+      }
+    }
+  }
+  return out;
+}
+
+HierarchicalHistogram rebin_hierarchy(const HierarchicalHistogram& src,
+                                      double lo, double hi) {
+  HierarchicalHistogram out(lo, hi, src.max_depth());
+  const auto deepest = src.level(src.max_depth());
+  const auto rebinned = rebin_proportional(
+      deepest, lo, hi, HierarchicalHistogram::bins_at(src.max_depth()));
+  std::vector<double> counts(rebinned.counts().begin(),
+                             rebinned.counts().end());
+  out.set_deepest_counts(std::move(counts));
+  return out;
+}
+
+}  // namespace keybin2::stats

@@ -1,0 +1,123 @@
+// Binning histograms — the only data structure KeyBin2 ever communicates.
+//
+// Histogram is a fixed-range, fixed-width histogram with weighted (double)
+// counts so merged/reduced histograms from many ranks stay exact.
+// HierarchicalHistogram stores counts only at the deepest level (2^d_max
+// bins); any coarser level d is derived by summing 2^(d_max-d) children, so
+// all depths are consistent by construction (the paper keeps "at most d_max
+// binning histograms" per dimension; 2-4 usually suffice).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace keybin2::stats {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Histogram over [lo, hi] with `bins` equal-width bins. Requires hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bins() const { return counts_.size(); }
+
+  /// Bin index for x; values outside [lo, hi] clamp to the edge bins.
+  std::size_t bin_of(double x) const;
+
+  /// Center coordinate of bin b.
+  double bin_center(std::size_t b) const;
+
+  /// Left edge of bin b.
+  double bin_left(std::size_t b) const { return lo_ + width() * static_cast<double>(b); }
+
+  double width() const { return (hi_ - lo_) / static_cast<double>(bins()); }
+
+  void add(double x, double weight = 1.0) { counts_[bin_of(x)] += weight; }
+  void add_to_bin(std::size_t b, double weight) { counts_.at(b) += weight; }
+
+  double count(std::size_t b) const { return counts_.at(b); }
+  std::span<const double> counts() const { return counts_; }
+
+  /// Total mass.
+  double total() const;
+
+  /// Merge another histogram with identical geometry.
+  void merge(const Histogram& other);
+
+  /// Counts normalized to sum 1 (empty histogram stays all-zero).
+  std::vector<double> normalized() const;
+
+  /// Replace counts wholesale (e.g. after an allreduce); size must match.
+  void set_counts(std::vector<double> counts);
+
+ private:
+  double lo_ = 0.0, hi_ = 1.0;
+  std::vector<double> counts_;
+};
+
+class HierarchicalHistogram {
+ public:
+  HierarchicalHistogram() = default;
+
+  /// Hierarchy over [lo, hi] with depths 1..max_depth; depth d has 2^d bins.
+  HierarchicalHistogram(double lo, double hi, int max_depth);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  int max_depth() const { return max_depth_; }
+
+  /// Number of bins at depth d (2^d).
+  static std::size_t bins_at(int depth) {
+    return std::size_t{1} << static_cast<unsigned>(depth);
+  }
+
+  /// Bin index of x at depth d; out-of-range values clamp to edge bins.
+  std::size_t bin_of(double x, int depth) const;
+
+  void add(double x, double weight = 1.0);
+
+  /// Histogram at depth d, derived from deepest-level counts.
+  Histogram level(int depth) const;
+
+  /// Deepest-level counts (depth == max_depth), for communication.
+  std::span<const double> deepest_counts() const { return deepest_; }
+  void set_deepest_counts(std::vector<double> counts);
+
+  double total() const;
+
+  void merge(const HierarchicalHistogram& other);
+
+  /// Double the covered range to the right (hi' = lo + 2*(hi-lo)) or to the
+  /// left (lo' = hi - 2*(hi-lo)), preserving mass: pairs of deepest bins
+  /// collapse into one, freeing half the bins for the new territory. Used by
+  /// the streaming engine when a point falls outside the current range.
+  void expand_right();
+  void expand_left();
+
+ private:
+  void check_depth(int depth) const;
+
+  double lo_ = 0.0, hi_ = 1.0;
+  int max_depth_ = 0;
+  std::vector<double> deepest_;
+};
+
+/// Redistribute a histogram's mass onto a new geometry, splitting each source
+/// bin's mass across the target bins it overlaps (mass is conserved exactly;
+/// placement error is bounded by one source-bin width). Used by the streaming
+/// engine to reconcile ranks whose ranges expanded differently.
+Histogram rebin_proportional(const Histogram& src, double lo, double hi,
+                             std::size_t bins);
+
+/// Rebin a hierarchy's deepest level onto [lo, hi] (same max_depth).
+HierarchicalHistogram rebin_hierarchy(const HierarchicalHistogram& src,
+                                      double lo, double hi);
+
+}  // namespace keybin2::stats

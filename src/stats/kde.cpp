@@ -1,0 +1,70 @@
+#include "stats/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace keybin2::stats {
+
+std::vector<double> kde_smooth(std::span<const double> counts,
+                               double bandwidth_bins) {
+  KB2_CHECK_MSG(bandwidth_bins > 0.0, "bandwidth must be positive");
+  const std::size_t n = counts.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+
+  // Kernel support truncated at 4 sigma; precompute the window.
+  const auto radius = static_cast<std::size_t>(
+      std::ceil(4.0 * bandwidth_bins));
+  std::vector<double> kernel(radius + 1);
+  const double norm = 1.0 / (bandwidth_bins * std::sqrt(2.0 * std::numbers::pi));
+  for (std::size_t r = 0; r <= radius; ++r) {
+    const double z = static_cast<double>(r) / bandwidth_bins;
+    kernel[r] = norm * std::exp(-0.5 * z * z);
+  }
+
+  double in_mass = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double m = counts[j];
+    if (m == 0.0) continue;
+    in_mass += m;
+    const std::size_t lo = j >= radius ? j - radius : 0;
+    const std::size_t hi = std::min(n - 1, j + radius);
+    for (std::size_t i = lo; i <= hi; ++i) {
+      const std::size_t r = i > j ? i - j : j - i;
+      out[i] += m * kernel[r];
+    }
+  }
+
+  // Renormalize so smoothing conserves mass (edge truncation loses some).
+  double out_mass = 0.0;
+  for (double v : out) out_mass += v;
+  if (out_mass > 0.0) {
+    const double scale = in_mass / out_mass;
+    for (auto& v : out) v *= scale;
+  }
+  return out;
+}
+
+double silverman_bandwidth(std::span<const double> counts) {
+  double mass = 0.0, mean = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    mass += counts[i];
+    mean += static_cast<double>(i) * counts[i];
+  }
+  if (mass <= 0.0) return 1.0;
+  mean /= mass;
+  double var = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double d = static_cast<double>(i) - mean;
+    var += d * d * counts[i];
+  }
+  var /= mass;
+  const double sigma = std::sqrt(var);
+  const double h = 1.06 * sigma * std::pow(mass, -0.2);
+  return std::max(0.5, h);
+}
+
+}  // namespace keybin2::stats

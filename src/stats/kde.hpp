@@ -1,0 +1,30 @@
+// Kernel density estimation on binned data (paper §3.2's comparison point).
+//
+// "The kernel density estimation (KDE) is an alternative method that can
+// produce an approximation of the true probability density function...
+// Our simpler method reaches similar accuracy compared to KDE curves, but
+// our smoothing technique is much faster." This module provides the KDE
+// the paper compares against, operating on histogram counts (a binned KDE:
+// each bin's mass is spread by a Gaussian kernel), so the
+// ablation_smoothing bench can reproduce the accuracy/speed claim.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace keybin2::stats {
+
+/// Gaussian-kernel density estimate over bin indices: out[i] =
+/// sum_j counts[j] * K((i-j)/h) with K the standard normal kernel,
+/// normalized so total mass is preserved. h is the bandwidth in bins.
+std::vector<double> kde_smooth(std::span<const double> counts,
+                               double bandwidth_bins);
+
+/// Silverman's rule-of-thumb bandwidth for binned data (in bins):
+/// h = 1.06 * sigma_hat * n^(-1/5), where sigma_hat is the mass-weighted
+/// standard deviation of the bin index and n the total mass. Floored at
+/// 0.5 bins.
+double silverman_bandwidth(std::span<const double> counts);
+
+}  // namespace keybin2::stats

@@ -1,0 +1,93 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace keybin2::stats {
+
+double ks_statistic_uniform(std::span<const double> counts) {
+  const std::size_t n = counts.size();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (double c : counts) total += c;
+  if (total <= 0.0) return 0.0;
+  double ecdf = 0.0, d = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ecdf += counts[i] / total;
+    const double ucdf = static_cast<double>(i + 1) / static_cast<double>(n);
+    d = std::max(d, std::abs(ecdf - ucdf));
+  }
+  return d;
+}
+
+double ks_statistic(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  double ta = 0.0, tb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ta += a[i];
+    tb += b[i];
+  }
+  if (ta <= 0.0 || tb <= 0.0) return 0.0;
+  double ca = 0.0, cb = 0.0, d = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ca += a[i] / ta;
+    cb += b[i] / tb;
+    d = std::max(d, std::abs(ca - cb));
+  }
+  return d;
+}
+
+double ks_statistic_gaussian(std::span<const double> counts, double lo,
+                             double hi) {
+  const std::size_t n = counts.size();
+  if (n == 0 || hi <= lo) return 0.0;
+  double total = 0.0;
+  for (double c : counts) total += c;
+  if (total <= 0.0) return 0.0;
+
+  // Moment-match a Gaussian on bin centres.
+  const double width = (hi - lo) / static_cast<double>(n);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = lo + width * (static_cast<double>(i) + 0.5);
+    mean += x * counts[i];
+  }
+  mean /= total;
+  double var = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = lo + width * (static_cast<double>(i) + 0.5);
+    var += (x - mean) * (x - mean) * counts[i];
+  }
+  var /= total;
+  if (var <= 0.0) return 0.0;
+  const double sigma = std::sqrt(var);
+
+  auto phi = [&](double x) {
+    return 0.5 * std::erfc(-(x - mean) / (sigma * std::numbers::sqrt2));
+  };
+  double ecdf = 0.0, d = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ecdf += counts[i] / total;
+    const double edge = lo + width * static_cast<double>(i + 1);
+    d = std::max(d, std::abs(ecdf - phi(edge)));
+  }
+  return d;
+}
+
+double ks_pvalue(double d, double n) {
+  if (d <= 0.0 || n <= 0.0) return 1.0;
+  const double sn = std::sqrt(n);
+  const double lambda = d * (sn + 0.12 + 0.11 / sn);
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace keybin2::stats

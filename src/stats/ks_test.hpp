@@ -1,0 +1,39 @@
+// Kolmogorov–Smirnov statistics on histogram space (paper §3.1).
+//
+// After histograms are collected, "statistically anomalous dimensions are
+// identified with the Kolmogorov–Smirnov test and collapsed": a projected
+// dimension whose density is indistinguishable from a structureless
+// (uniform) profile carries no clustering signal and is dropped before
+// partitioning. The tests below operate on binned counts, never raw points.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace keybin2::stats {
+
+/// One-sample KS statistic of a binned empirical distribution against the
+/// uniform distribution over the same range: sup |ECDF - uniform CDF|
+/// evaluated at bin edges. Returns 0 for an empty histogram.
+double ks_statistic_uniform(std::span<const double> counts);
+
+/// Two-sample KS statistic between two binned distributions with the same
+/// binning: sup |ECDF_a - ECDF_b| at bin edges.
+double ks_statistic(std::span<const double> a, std::span<const double> b);
+
+/// One-sample KS statistic of a binned distribution against the Gaussian
+/// fitted to its own binned mean/stddev (moment matching on bin centres over
+/// [lo, hi]). A unimodal, structureless dimension scores near 0; multimodal
+/// structure scores high. This is the collapsing criterion: dimensions that
+/// look like one Gaussian carry no clustering signal. Degenerate histograms
+/// (zero variance or zero mass) return 0 so they collapse too.
+double ks_statistic_gaussian(std::span<const double> counts, double lo,
+                             double hi);
+
+/// Asymptotic Kolmogorov p-value Q_KS(lambda) for statistic d with effective
+/// sample size n (for one sample) — the classical series
+/// 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2), lambda = d*(sqrt(n)+0.12+
+/// 0.11/sqrt(n)). Clamped to [0, 1].
+double ks_pvalue(double d, double n);
+
+}  // namespace keybin2::stats

@@ -1,0 +1,111 @@
+#include "stats/metrics.hpp"
+
+#include <set>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace keybin2::stats {
+
+namespace {
+
+std::uint64_t choose2(std::uint64_t n) { return n * (n - 1) / 2; }
+
+}  // namespace
+
+std::map<std::pair<int, int>, std::uint64_t> contingency_table(
+    std::span<const int> predicted, std::span<const int> truth) {
+  KB2_CHECK_MSG(predicted.size() == truth.size(),
+                "label vectors differ in length: " << predicted.size() << " vs "
+                                                   << truth.size());
+  std::map<std::pair<int, int>, std::uint64_t> cells;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    ++cells[{predicted[i], truth[i]}];
+  }
+  return cells;
+}
+
+PairwiseScores pairwise_scores(std::span<const int> predicted,
+                               std::span<const int> truth) {
+  const auto cells = contingency_table(predicted, truth);
+
+  std::unordered_map<int, std::uint64_t> pred_sizes, truth_sizes;
+  PairwiseScores s;
+  for (const auto& [key, n] : cells) {
+    pred_sizes[key.first] += n;
+    truth_sizes[key.second] += n;
+    s.true_positive_pairs += choose2(n);
+  }
+  for (const auto& [label, n] : pred_sizes) {
+    (void)label;
+    s.predicted_pairs += choose2(n);
+  }
+  for (const auto& [label, n] : truth_sizes) {
+    (void)label;
+    s.truth_pairs += choose2(n);
+  }
+
+  s.precision = s.predicted_pairs > 0
+                    ? static_cast<double>(s.true_positive_pairs) /
+                          static_cast<double>(s.predicted_pairs)
+                    : 0.0;
+  s.recall = s.truth_pairs > 0 ? static_cast<double>(s.true_positive_pairs) /
+                                     static_cast<double>(s.truth_pairs)
+                               : 0.0;
+  s.f1 = (s.precision + s.recall) > 0.0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  return s;
+}
+
+double adjusted_rand_index(std::span<const int> predicted,
+                           std::span<const int> truth) {
+  const auto cells = contingency_table(predicted, truth);
+  std::unordered_map<int, std::uint64_t> pred_sizes, truth_sizes;
+  double sum_cells = 0.0;
+  for (const auto& [key, n] : cells) {
+    pred_sizes[key.first] += n;
+    truth_sizes[key.second] += n;
+    sum_cells += static_cast<double>(choose2(n));
+  }
+  double sum_pred = 0.0, sum_truth = 0.0;
+  for (const auto& [l, n] : pred_sizes) {
+    (void)l;
+    sum_pred += static_cast<double>(choose2(n));
+  }
+  for (const auto& [l, n] : truth_sizes) {
+    (void)l;
+    sum_truth += static_cast<double>(choose2(n));
+  }
+  const double total =
+      static_cast<double>(choose2(static_cast<std::uint64_t>(predicted.size())));
+  if (total == 0.0) return 1.0;
+  const double expected = sum_pred * sum_truth / total;
+  const double max_index = 0.5 * (sum_pred + sum_truth);
+  const double denom = max_index - expected;
+  if (denom == 0.0) return 1.0;
+  return (sum_cells - expected) / denom;
+}
+
+double purity(std::span<const int> predicted, std::span<const int> truth) {
+  if (predicted.empty()) return 0.0;
+  const auto cells = contingency_table(predicted, truth);
+  std::unordered_map<int, std::uint64_t> best_in_cluster;
+  for (const auto& [key, n] : cells) {
+    auto& best = best_in_cluster[key.first];
+    if (n > best) best = n;
+  }
+  std::uint64_t correct = 0;
+  for (const auto& [l, n] : best_in_cluster) {
+    (void)l;
+    correct += n;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+std::size_t distinct_labels(std::span<const int> labels) {
+  std::set<int> s(labels.begin(), labels.end());
+  return s.size();
+}
+
+}  // namespace keybin2::stats

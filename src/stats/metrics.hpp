@@ -1,0 +1,46 @@
+// Clustering quality metrics (paper §4).
+//
+// The paper evaluates clustering as a classification problem over point
+// pairs: precision = tp/(tp+fp), recall = tp/(tp+fn) where a true positive
+// is a pair of points placed in the same predicted cluster that also share a
+// ground-truth class. All quantities are computed in O(#distinct label
+// pairs) from the contingency table — never by enumerating the M^2 pairs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace keybin2::stats {
+
+struct PairwiseScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::uint64_t true_positive_pairs = 0;
+  std::uint64_t predicted_pairs = 0;  // tp + fp
+  std::uint64_t truth_pairs = 0;      // tp + fn
+};
+
+/// Pairwise precision/recall/F1 of `predicted` against `truth`
+/// (same length, any integer label alphabet).
+PairwiseScores pairwise_scores(std::span<const int> predicted,
+                               std::span<const int> truth);
+
+/// Adjusted Rand Index in [-1, 1]; 1 = identical partitions, ~0 = random.
+double adjusted_rand_index(std::span<const int> predicted,
+                           std::span<const int> truth);
+
+/// Purity: fraction of points whose predicted cluster's majority class is
+/// their own class.
+double purity(std::span<const int> predicted, std::span<const int> truth);
+
+/// Number of distinct labels in a labelling.
+std::size_t distinct_labels(std::span<const int> labels);
+
+/// Contingency table counts[(pred, truth)] — exposed for tests.
+std::map<std::pair<int, int>, std::uint64_t> contingency_table(
+    std::span<const int> predicted, std::span<const int> truth);
+
+}  // namespace keybin2::stats

@@ -1,0 +1,145 @@
+#include "stats/smoothing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace keybin2::stats {
+
+std::vector<double> moving_average(std::span<const double> y, std::size_t w) {
+  const std::size_t n = y.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  // Prefix sums make each window O(1).
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + y[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= w ? i - w : 0;
+    const std::size_t hi = std::min(n - 1, i + w);
+    out[i] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::size_t smoothing_window(std::size_t bins) {
+  const auto w = static_cast<std::size_t>(
+      std::lround(std::sqrt(static_cast<double>(bins))));
+  return std::max<std::size_t>(1, w);
+}
+
+std::vector<double> local_linear_slope(std::span<const double> y,
+                                       std::size_t w) {
+  const std::size_t n = y.size();
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= w ? i - w : 0;
+    const std::size_t hi = std::min(n == 0 ? 0 : n - 1, i + w);
+    // Least-squares slope over (x, y) pairs with x = index.
+    const double m = static_cast<double>(hi - lo + 1);
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const double x = static_cast<double>(j);
+      sx += x;
+      sy += y[j];
+      sxx += x * x;
+      sxy += x * y[j];
+    }
+    const double denom = m * sxx - sx * sx;
+    out[i] = denom != 0.0 ? (m * sxy - sx * sy) / denom : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> first_difference(std::span<const double> y) {
+  std::vector<double> out;
+  if (y.size() < 2) return out;
+  out.reserve(y.size() - 1);
+  for (std::size_t i = 0; i + 1 < y.size(); ++i) out.push_back(y[i + 1] - y[i]);
+  return out;
+}
+
+std::vector<std::size_t> sign_changes(std::span<const double> d2) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i + 1 < d2.size(); ++i) {
+    if ((d2[i] > 0.0 && d2[i + 1] < 0.0) || (d2[i] < 0.0 && d2[i + 1] > 0.0)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Plateau-aware local extrema, INCLUDING boundary extrema: a histogram
+/// cluster hugging the range edge is a legitimate mode, so an edge plateau
+/// that dominates inward counts. A constant series has no extrema. Plateaus
+/// report their midpoint.
+std::vector<std::size_t> plateau_extrema(std::span<const double> y,
+                                         bool maxima) {
+  std::vector<std::size_t> out;
+  const std::size_t n = y.size();
+  if (n < 2) return out;
+  auto better = [&](double a, double b) { return maxima ? a > b : a < b; };
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;  // walk the plateau [i, j]
+    while (j + 1 < n && y[j + 1] == y[i]) ++j;
+    const bool left_ok = i == 0 || better(y[i], y[i - 1]);
+    const bool right_ok = j == n - 1 || better(y[i], y[j + 1]);
+    const bool whole_series = i == 0 && j == n - 1;
+    if (left_ok && right_ok && !whole_series) out.push_back((i + j) / 2);
+    i = j + 1;
+  }
+  return out;
+}
+
+/// Prominence of a peak (maxima==true) or depth of a valley (maxima==false):
+/// walk each direction until a more extreme value appears; the reference
+/// level on that side is the least favourable value crossed. Prominence is
+/// the smaller one-sided contrast; a side with no elements (boundary
+/// extremum) does not constrain it.
+double extremum_prominence(std::span<const double> y, std::size_t idx,
+                           bool maxima) {
+  const double v = y[idx];
+  auto side = [&](int dir) {
+    std::ptrdiff_t i = static_cast<std::ptrdiff_t>(idx) + dir;
+    if (i < 0 || i >= static_cast<std::ptrdiff_t>(y.size())) {
+      return std::numeric_limits<double>::infinity();
+    }
+    double worst = v;
+    while (i >= 0 && i < static_cast<std::ptrdiff_t>(y.size())) {
+      const double u = y[static_cast<std::size_t>(i)];
+      if (maxima ? u > v : u < v) break;  // found a higher peak / lower valley
+      worst = maxima ? std::min(worst, u) : std::max(worst, u);
+      i += dir;
+    }
+    return maxima ? v - worst : worst - v;
+  };
+  return std::min(side(-1), side(+1));
+}
+
+std::vector<std::size_t> prominent_extrema(std::span<const double> y,
+                                           double min_prominence,
+                                           bool maxima) {
+  std::vector<std::size_t> out;
+  for (std::size_t idx : plateau_extrema(y, maxima)) {
+    if (extremum_prominence(y, idx, maxima) >= min_prominence) {
+      out.push_back(idx);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> prominent_minima(std::span<const double> y,
+                                          double min_prominence) {
+  return prominent_extrema(y, min_prominence, /*maxima=*/false);
+}
+
+std::vector<std::size_t> prominent_maxima(std::span<const double> y,
+                                          double min_prominence) {
+  return prominent_extrema(y, min_prominence, /*maxima=*/true);
+}
+
+}  // namespace keybin2::stats

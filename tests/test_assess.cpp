@@ -1,0 +1,128 @@
+#include "core/assess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace keybin2::core {
+namespace {
+
+/// A 1-D assessment scenario: one dimension, histogram over [0,1] with
+/// `bins` bins, two modes at the given centres.
+struct Scenario {
+  std::vector<stats::Histogram> hists;
+  std::vector<DimensionPartition> partitions;
+  std::vector<Cell> cells;
+};
+
+Scenario make_bimodal(double c0, double c1, double sigma, std::uint64_t seed) {
+  Scenario s;
+  stats::Histogram h(0.0, 1.0, 64);
+  Rng rng(seed);
+  double mass0 = 0.0, mass1 = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    h.add(rng.normal(c0, sigma));
+    mass0 += 1.0;
+    h.add(rng.normal(c1, sigma));
+    mass1 += 1.0;
+  }
+  s.hists.push_back(h);
+
+  DimensionPartition p;
+  p.bins = 64;
+  p.cuts = {static_cast<std::size_t>((c0 + c1) / 2.0 * 64.0)};
+  s.partitions.push_back(p);
+
+  s.cells.push_back(Cell{{0}, mass0, -1});
+  s.cells.push_back(Cell{{1}, mass1, -1});
+  return s;
+}
+
+TEST(Assess, FewerThanTwoCellsScoresZero) {
+  Scenario s = make_bimodal(0.3, 0.7, 0.05, 1);
+  std::vector<Cell> one_cell{s.cells[0]};
+  EXPECT_EQ(histogram_calinski_harabasz(s.hists, s.partitions, one_cell), 0.0);
+  EXPECT_EQ(histogram_calinski_harabasz(s.hists, s.partitions, {}), 0.0);
+}
+
+TEST(Assess, SeparatedModesScoreHigherThanOverlapping) {
+  const auto separated = make_bimodal(0.2, 0.8, 0.04, 2);
+  const auto overlapping = make_bimodal(0.45, 0.55, 0.08, 3);
+  const double s1 = histogram_calinski_harabasz(
+      separated.hists, separated.partitions, separated.cells);
+  const double s2 = histogram_calinski_harabasz(
+      overlapping.hists, overlapping.partitions, overlapping.cells);
+  EXPECT_GT(s1, s2 * 2.0);
+}
+
+TEST(Assess, TighterModesScoreHigher) {
+  const auto tight = make_bimodal(0.25, 0.75, 0.02, 4);
+  const auto loose = make_bimodal(0.25, 0.75, 0.10, 5);
+  const double st = histogram_calinski_harabasz(tight.hists, tight.partitions,
+                                                tight.cells);
+  const double sl = histogram_calinski_harabasz(loose.hists, loose.partitions,
+                                                loose.cells);
+  EXPECT_GT(st, sl);
+}
+
+TEST(Assess, BreakdownReportsCentroidsAndCenter) {
+  const auto s = make_bimodal(0.25, 0.75, 0.04, 6);
+  AssessBreakdown breakdown;
+  const double score = histogram_calinski_harabasz(s.hists, s.partitions,
+                                                   s.cells, &breakdown);
+  EXPECT_DOUBLE_EQ(score, breakdown.score);
+  EXPECT_GT(breakdown.between, 0.0);
+  EXPECT_GT(breakdown.within, 0.0);
+  ASSERT_EQ(breakdown.centroids.size(), 2u);
+  // Mode bins near 16 (0.25) and 48 (0.75).
+  EXPECT_NEAR(static_cast<double>(breakdown.centroids[0][0]), 16.0, 4.0);
+  EXPECT_NEAR(static_cast<double>(breakdown.centroids[1][0]), 48.0, 4.0);
+  // Global centre = 50th percentile bin, between the two modes.
+  ASSERT_EQ(breakdown.global_center.size(), 1u);
+  EXPECT_GT(breakdown.global_center[0], 10u);
+  EXPECT_LT(breakdown.global_center[0], 54u);
+}
+
+TEST(Assess, ArityMismatchThrows) {
+  auto s = make_bimodal(0.3, 0.7, 0.05, 7);
+  // 2-dim coords against a 1-dim partition set (two cells so the arity
+  // check is reached past the |Q| < 2 early-out).
+  std::vector<Cell> bad_cells{Cell{{0, 1}, 1.0, -1}, Cell{{1, 0}, 1.0, -1}};
+  EXPECT_THROW(
+      histogram_calinski_harabasz(s.hists, s.partitions, bad_cells), Error);
+  std::vector<DimensionPartition> no_parts;
+  EXPECT_THROW(histogram_calinski_harabasz(s.hists, no_parts, s.cells), Error);
+}
+
+TEST(Assess, TwoDimensionalCellsCombineDimensions) {
+  // Two dims, each bimodal; four cells on the 2x2 primary grid.
+  auto d0 = make_bimodal(0.25, 0.75, 0.04, 8);
+  auto d1 = make_bimodal(0.3, 0.7, 0.04, 9);
+  std::vector<stats::Histogram> hists{d0.hists[0], d1.hists[0]};
+  std::vector<DimensionPartition> partitions{d0.partitions[0],
+                                             d1.partitions[0]};
+  std::vector<Cell> cells;
+  for (std::uint32_t a = 0; a < 2; ++a) {
+    for (std::uint32_t b = 0; b < 2; ++b) {
+      cells.push_back(Cell{{a, b}, 2500.0, -1});
+    }
+  }
+  const double score = histogram_calinski_harabasz(hists, partitions, cells);
+  EXPECT_GT(score, 0.0);
+}
+
+TEST(Assess, MoreBinsThanCellsRequiredForPositiveScore) {
+  // |Bins| == |Q| makes the dof factor zero.
+  stats::Histogram h(0.0, 1.0, 2);
+  h.add_to_bin(0, 10.0);
+  h.add_to_bin(1, 10.0);
+  DimensionPartition p;
+  p.bins = 2;
+  p.cuts = {1};
+  std::vector<Cell> cells{Cell{{0}, 10.0, -1}, Cell{{1}, 10.0, -1}};
+  EXPECT_EQ(histogram_calinski_harabasz({h}, {p}, cells), 0.0);
+}
+
+}  // namespace
+}  // namespace keybin2::core

@@ -1,0 +1,115 @@
+#include "core/binner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace keybin2::core {
+namespace {
+
+TEST(Binner, HistogramTotalsEqualPointCount) {
+  Rng rng(1);
+  Matrix points(500, 4);
+  for (auto& v : points.flat()) v = rng.uniform(0.0, 1.0);
+  const std::vector<Range> ranges(4, Range{0.0, 1.0});
+  const auto keys = compute_keys(points, ranges, 6);
+  const auto hists = build_histograms(keys, ranges);
+  ASSERT_EQ(hists.size(), 4u);
+  for (const auto& h : hists) {
+    EXPECT_DOUBLE_EQ(h.total(), 500.0);
+    EXPECT_EQ(h.max_depth(), 6);
+  }
+}
+
+TEST(Binner, MatchesDirectHistogramConstruction) {
+  Rng rng(2);
+  Matrix points(300, 2);
+  for (auto& v : points.flat()) v = rng.normal(0.0, 2.0);
+  const std::vector<Range> ranges(2, Range{-8.0, 8.0});
+  const auto keys = compute_keys(points, ranges, 5);
+  const auto hists = build_histograms(keys, ranges);
+
+  for (std::size_t j = 0; j < 2; ++j) {
+    stats::HierarchicalHistogram direct(-8.0, 8.0, 5);
+    for (std::size_t i = 0; i < points.rows(); ++i) direct.add(points(i, j));
+    auto a = hists[j].deepest_counts();
+    auto b = direct.deepest_counts();
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_DOUBLE_EQ(a[k], b[k]) << "dim " << j << " bin " << k;
+    }
+  }
+}
+
+TEST(Binner, FlattenUnflattenRoundtrip) {
+  Rng rng(3);
+  Matrix points(100, 3);
+  for (auto& v : points.flat()) v = rng.uniform(0.0, 1.0);
+  const std::vector<Range> ranges(3, Range{0.0, 1.0});
+  const auto keys = compute_keys(points, ranges, 4);
+  const auto hists = build_histograms(keys, ranges);
+
+  const auto flat = flatten_counts(hists);
+  EXPECT_EQ(flat.size(), 3u * 16u);
+
+  auto copy = hists;
+  for (auto& h : copy) {
+    h.set_deepest_counts(std::vector<double>(16, 0.0));
+  }
+  unflatten_counts(flat, copy);
+  for (std::size_t j = 0; j < 3; ++j) {
+    auto a = hists[j].deepest_counts();
+    auto b = copy[j].deepest_counts();
+    for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+TEST(Binner, UnflattenValidatesLength) {
+  const std::vector<Range> ranges(2, Range{0.0, 1.0});
+  const auto keys = compute_keys(Matrix(1, 2), ranges, 3);
+  auto hists = build_histograms(keys, ranges);
+  std::vector<double> short_flat(7, 0.0);
+  EXPECT_THROW(unflatten_counts(short_flat, hists), Error);
+  std::vector<double> long_flat(17, 0.0);
+  EXPECT_THROW(unflatten_counts(long_flat, hists), Error);
+}
+
+TEST(Binner, MergedHistogramsEqualUnionOfParts) {
+  // Histogram reduce is the distributed core: bin(A) + bin(B) == bin(A u B).
+  Rng rng(4);
+  Matrix part_a(200, 2), part_b(150, 2);
+  for (auto& v : part_a.flat()) v = rng.normal(1.0, 1.0);
+  for (auto& v : part_b.flat()) v = rng.normal(-1.0, 1.0);
+  const std::vector<Range> ranges(2, Range{-6.0, 6.0});
+
+  auto hists_a = build_histograms(compute_keys(part_a, ranges, 6), ranges);
+  const auto hists_b = build_histograms(compute_keys(part_b, ranges, 6), ranges);
+
+  Matrix all(350, 2);
+  for (std::size_t i = 0; i < 200; ++i) {
+    std::copy_n(part_a.row(i).begin(), 2, all.row(i).begin());
+  }
+  for (std::size_t i = 0; i < 150; ++i) {
+    std::copy_n(part_b.row(i).begin(), 2, all.row(200 + i).begin());
+  }
+  const auto hists_all = build_histograms(compute_keys(all, ranges, 6), ranges);
+
+  for (std::size_t j = 0; j < 2; ++j) {
+    hists_a[j].merge(hists_b[j]);
+    auto merged = hists_a[j].deepest_counts();
+    auto direct = hists_all[j].deepest_counts();
+    for (std::size_t k = 0; k < merged.size(); ++k) {
+      EXPECT_DOUBLE_EQ(merged[k], direct[k]);
+    }
+  }
+}
+
+TEST(Binner, EmptyPointSetYieldsEmptyHistograms) {
+  const std::vector<Range> ranges(2, Range{0.0, 1.0});
+  const auto keys = compute_keys(Matrix(0, 2), ranges, 4);
+  const auto hists = build_histograms(keys, ranges);
+  for (const auto& h : hists) EXPECT_EQ(h.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace keybin2::core

@@ -1,0 +1,125 @@
+#include "md/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "md/kabsch.hpp"
+#include "md/synthetic.hpp"
+
+namespace keybin2::md {
+namespace {
+
+TEST(PlaceAtom, RespectsBondLength) {
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{1.5, 1.0, 0};
+  const Vec3 d = place_atom(a, b, c, 1.33, 115.0, 60.0);
+  EXPECT_NEAR(norm(d - c), 1.33, 1e-9);
+}
+
+TEST(PlaceAtom, RespectsBondAngle) {
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{2, 0.8, 0};
+  const double angle = 111.2;
+  const Vec3 d = place_atom(a, b, c, 1.5, angle, -47.0);
+  const Vec3 cb = b - c;
+  const Vec3 cd = d - c;
+  const double cos_angle =
+      dot(cb, cd) / (norm(cb) * norm(cd));
+  EXPECT_NEAR(std::acos(cos_angle) * 180.0 / std::numbers::pi, angle, 1e-6);
+}
+
+TEST(PlaceAtom, RespectsTorsion) {
+  const Vec3 a{0, 1, 0}, b{0, 0, 0}, c{1.4, 0, 0};
+  for (double torsion : {-150.0, -60.0, 0.0, 45.0, 120.0, 180.0}) {
+    const Vec3 d = place_atom(a, b, c, 1.5, 110.0, torsion);
+    EXPECT_NEAR(wrap_deg(dihedral_deg(a, b, c, d) - torsion), 0.0, 1e-6)
+        << "torsion " << torsion;
+  }
+}
+
+TEST(PlaceAtom, DegenerateFrameThrows) {
+  const Vec3 a{0, 0, 0}, b{1, 0, 0};
+  EXPECT_THROW(place_atom(a, b, b, 1.0, 100.0, 0.0), Error);
+  EXPECT_THROW(place_atom(a, b, Vec3{2, 0, 0}, 1.0, 100.0, 0.0), Error);
+}
+
+TEST(Builder, ChainHasIdealGeometry) {
+  std::vector<double> phi{0.0, -63.0, -120.0, -75.0};
+  std::vector<double> psi{-43.0, 130.0, 150.0, 180.0};
+  std::vector<double> omega{180.0, 180.0, 180.0, 180.0};
+  const auto chain = build_backbone(phi, psi, omega);
+  ASSERT_EQ(chain.size(), 4u);
+  const BackboneGeometry geom;
+  for (std::size_t r = 0; r < chain.size(); ++r) {
+    EXPECT_NEAR(norm(chain[r].ca - chain[r].n), geom.n_ca, 1e-9);
+    EXPECT_NEAR(norm(chain[r].c - chain[r].ca), geom.ca_c, 1e-9);
+    if (r + 1 < chain.size()) {
+      EXPECT_NEAR(norm(chain[r + 1].n - chain[r].c), geom.c_n, 1e-9);
+    }
+  }
+}
+
+TEST(Builder, TorsionRoundtrip) {
+  // torsions -> coordinates -> torsions must be the identity (within float
+  // noise) for every interior angle.
+  Rng rng(7);
+  const std::size_t n = 12;
+  std::vector<double> phi(n), psi(n), omega(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    phi[r] = rng.uniform(-179.0, 179.0);
+    psi[r] = rng.uniform(-179.0, 179.0);
+    omega[r] = rng.uniform() < 0.9 ? 180.0 + rng.normal(0.0, 3.0)
+                                   : rng.normal(0.0, 3.0);
+    omega[r] = wrap_deg(omega[r]);
+  }
+  const auto chain = build_backbone(phi, psi, omega);
+  const auto back = recover_torsions(chain);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (r > 0) {
+      EXPECT_NEAR(angular_distance_deg(back.phi[r], phi[r]), 0.0, 1e-6)
+          << "phi residue " << r;
+    }
+    if (r + 1 < n) {
+      EXPECT_NEAR(angular_distance_deg(back.psi[r], psi[r]), 0.0, 1e-6)
+          << "psi residue " << r;
+      EXPECT_NEAR(angular_distance_deg(back.omega[r], omega[r]), 0.0, 1e-6)
+          << "omega residue " << r;
+    }
+  }
+}
+
+TEST(Builder, TrajectoryFrameOverloadAgrees) {
+  const auto st = generate_trajectory({.residues = 8, .frames = 5,
+                                       .phases = 2, .transition_frames = 1,
+                                       .seed = 9});
+  const auto chain = build_backbone(st.trajectory, 2);
+  EXPECT_EQ(chain.size(), 8u);
+  const auto back = recover_torsions(chain);
+  for (std::size_t r = 1; r + 1 < 8; ++r) {
+    EXPECT_NEAR(angular_distance_deg(back.phi[r], st.trajectory.phi(2, r)),
+                0.0, 1e-6);
+  }
+}
+
+TEST(Builder, AlphaHelixIsCompactComparedToStrand) {
+  // Sanity of the geometry: 16 residues of ideal alpha helix span much less
+  // end-to-end distance than an extended beta strand.
+  const std::size_t n = 16;
+  std::vector<double> helix_phi(n, -63.0), helix_psi(n, -43.0),
+      strand_phi(n, -120.0), strand_psi(n, 130.0), omega(n, 180.0);
+  const auto helix = build_backbone(helix_phi, helix_psi, omega);
+  const auto strand = build_backbone(strand_phi, strand_psi, omega);
+  const double helix_span = norm(helix.back().ca - helix.front().ca);
+  const double strand_span = norm(strand.back().ca - strand.front().ca);
+  EXPECT_LT(helix_span, strand_span * 0.55);
+}
+
+TEST(Builder, ValidatesInputs) {
+  std::vector<double> three(3, 0.0), two(2, 0.0);
+  EXPECT_THROW(build_backbone(three, two, three), Error);
+  EXPECT_THROW(build_backbone({}, {}, {}), Error);
+}
+
+}  // namespace
+}  // namespace keybin2::md

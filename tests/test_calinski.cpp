@@ -1,0 +1,61 @@
+#include "stats/calinski.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/gaussian_mixture.hpp"
+
+namespace keybin2::stats {
+namespace {
+
+TEST(Calinski, SeparatedClustersScoreHigherThanShuffled) {
+  const auto spec = data::make_paper_mixture(4, 3, 1);
+  const auto d = data::sample(spec, 600, 2);
+  const double good = calinski_harabasz(d.points, d.labels);
+
+  // Shuffle labels: same sizes, meaningless assignment.
+  auto shuffled = d.labels;
+  for (std::size_t i = 0; i < shuffled.size(); ++i) {
+    shuffled[i] = static_cast<int>(i % 3);
+  }
+  const double bad = calinski_harabasz(d.points, shuffled);
+  EXPECT_GT(good, 10.0 * bad);
+}
+
+TEST(Calinski, DegenerateCasesAreZero) {
+  Matrix points(4, 2);
+  std::vector<int> one_cluster{0, 0, 0, 0};
+  EXPECT_EQ(calinski_harabasz(points, one_cluster), 0.0);
+  std::vector<int> all_distinct{0, 1, 2, 3};  // k == n
+  EXPECT_EQ(calinski_harabasz(points, all_distinct), 0.0);
+}
+
+TEST(Calinski, NoiseLabelsAreIgnored) {
+  const auto spec = data::make_paper_mixture(3, 2, 5);
+  auto d = data::sample(spec, 200, 6);
+  const double base = calinski_harabasz(d.points, d.labels);
+  auto with_noise = d.labels;
+  with_noise[0] = -1;
+  with_noise[1] = -1;
+  const double noisy = calinski_harabasz(d.points, with_noise);
+  EXPECT_GT(noisy, 0.0);
+  EXPECT_NEAR(noisy, base, base * 0.2);
+}
+
+TEST(Calinski, MismatchedSizesThrow) {
+  Matrix points(3, 2);
+  std::vector<int> labels{0, 1};
+  EXPECT_THROW(calinski_harabasz(points, labels), Error);
+}
+
+TEST(Calinski, MoreSeparationScoresHigher) {
+  const auto near_spec = data::make_paper_mixture(4, 2, 7, /*separation=*/3.0);
+  const auto far_spec = data::make_paper_mixture(4, 2, 7, /*separation=*/30.0);
+  const auto near_d = data::sample(near_spec, 400, 8);
+  const auto far_d = data::sample(far_spec, 400, 8);
+  EXPECT_GT(calinski_harabasz(far_d.points, far_d.labels),
+            calinski_harabasz(near_d.points, near_d.labels));
+}
+
+}  // namespace
+}  // namespace keybin2::stats

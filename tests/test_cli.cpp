@@ -1,0 +1,98 @@
+// End-to-end tests of the keybin2 command-line tool: generate a dataset,
+// cluster it with each algorithm, and check outputs and exit codes.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "data/io.hpp"
+#include "stats/metrics.hpp"
+
+namespace {
+
+#ifndef KB2_CLI_PATH
+#error "KB2_CLI_PATH must be defined by the build"
+#endif
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run(const std::string& args) {
+  const std::string cmd = std::string(KB2_CLI_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buf{};
+  CommandResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  while (fgets(buf.data(), buf.size(), pipe)) result.output += buf.data();
+  result.exit_code = pclose(pipe);
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_path_ = "/tmp/kb2_cli_test_data.csv";
+    out_path_ = "/tmp/kb2_cli_test_out.csv";
+    const auto gen = run("generate " + data_path_ +
+                         " --points 1500 --dims 8 --k 3 --seed 5");
+    ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  }
+
+  void TearDown() override {
+    std::remove(data_path_.c_str());
+    std::remove(out_path_.c_str());
+  }
+
+  std::string data_path_, out_path_;
+};
+
+TEST_F(CliTest, GenerateProducesLabelledCsv) {
+  const auto d = keybin2::data::read_csv(data_path_);
+  EXPECT_EQ(d.size(), 1500u);
+  EXPECT_EQ(d.dims(), 8u);
+  EXPECT_TRUE(d.labelled());
+}
+
+TEST_F(CliTest, ClusterKeyBin2WritesAssignments) {
+  const auto r = run("cluster " + data_path_ + " --out " + out_path_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("keybin2:"), std::string::npos);
+  EXPECT_NE(r.output.find("F1"), std::string::npos);
+
+  const auto d = keybin2::data::read_csv(data_path_);
+  const auto out = keybin2::data::read_csv(out_path_);
+  ASSERT_EQ(out.size(), d.size());
+  ASSERT_TRUE(out.labelled());
+  // The written assignments must actually cluster the data.
+  EXPECT_GT(keybin2::stats::pairwise_scores(out.labels, d.labels).f1, 0.8);
+}
+
+TEST_F(CliTest, EveryAlgorithmRuns) {
+  for (const char* algo : {"kmeans", "xmeans", "dbscan"}) {
+    const auto r = run("cluster " + data_path_ + " --algo " + algo +
+                       " --k 3");
+    EXPECT_EQ(r.exit_code, 0) << algo << ": " << r.output;
+    EXPECT_NE(r.output.find(algo), std::string::npos) << r.output;
+  }
+}
+
+TEST_F(CliTest, UnknownAlgorithmFails) {
+  const auto r = run("cluster " + data_path_ + " --algo nonsense");
+  EXPECT_NE(r.exit_code, 0);
+}
+
+TEST_F(CliTest, MissingInputFileFails) {
+  const auto r = run("cluster /tmp/kb2_does_not_exist_42.csv");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, BadUsageFails) {
+  EXPECT_NE(run("frobnicate x").exit_code, 0);
+  EXPECT_NE(run("cluster").exit_code, 0);
+}
+
+}  // namespace

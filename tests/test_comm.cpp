@@ -1,0 +1,305 @@
+#include "comm/communicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "comm/launch.hpp"
+#include "comm/thread_comm.hpp"
+#include "common/error.hpp"
+
+namespace keybin2::comm {
+namespace {
+
+std::vector<std::byte> to_bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = std::byte(s[i]);
+  return out;
+}
+
+std::string to_string(const std::vector<std::byte>& b) {
+  std::string out(b.size(), '\0');
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] = static_cast<char>(b[i]);
+  return out;
+}
+
+TEST(SelfComm, RankAndSize) {
+  SelfComm c;
+  EXPECT_EQ(c.rank(), 0);
+  EXPECT_EQ(c.size(), 1);
+}
+
+TEST(SelfComm, LoopbackSendRecv) {
+  SelfComm c;
+  c.send(0, 5, to_bytes("ping"));
+  EXPECT_EQ(to_string(c.recv(0, 5)), "ping");
+}
+
+TEST(SelfComm, RecvWithoutMessageThrows) {
+  SelfComm c;
+  EXPECT_THROW(c.recv(0, 1), Error);
+}
+
+TEST(SelfComm, TagsAreIndependentChannels) {
+  SelfComm c;
+  c.send(0, 1, to_bytes("a"));
+  c.send(0, 2, to_bytes("b"));
+  EXPECT_EQ(to_string(c.recv(0, 2)), "b");
+  EXPECT_EQ(to_string(c.recv(0, 1)), "a");
+}
+
+TEST(SelfComm, CollectivesAreIdentity) {
+  SelfComm c;
+  std::vector<double> v{1.0, 2.0};
+  EXPECT_EQ(c.allreduce(v, ReduceOp::kSum), v);
+  auto bytes = to_bytes("x");
+  c.broadcast(bytes, 0);
+  EXPECT_EQ(to_string(bytes), "x");
+  auto gathered = c.gather(bytes, 0);
+  ASSERT_EQ(gathered.size(), 1u);
+  EXPECT_EQ(to_string(gathered[0]), "x");
+}
+
+TEST(ThreadComm, PointToPointDelivery) {
+  run_ranks(2, [&](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send(1, 7, to_bytes("hello"));
+    } else {
+      EXPECT_EQ(to_string(c.recv(0, 7)), "hello");
+    }
+  });
+}
+
+TEST(ThreadComm, FifoPerChannel) {
+  run_ranks(2, [&](Communicator& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        c.send(1, 3, to_bytes("msg" + std::to_string(i)));
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(to_string(c.recv(0, 3)), "msg" + std::to_string(i));
+      }
+    }
+  });
+}
+
+TEST(ThreadComm, TagsDoNotCross) {
+  run_ranks(2, [&](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, to_bytes("one"));
+      c.send(1, 2, to_bytes("two"));
+    } else {
+      EXPECT_EQ(to_string(c.recv(0, 2)), "two");
+      EXPECT_EQ(to_string(c.recv(0, 1)), "one");
+    }
+  });
+}
+
+TEST(ThreadComm, BarrierSynchronizes) {
+  std::atomic<int> counter{0};
+  run_ranks(4, [&](Communicator& c) {
+    counter.fetch_add(1);
+    c.barrier();
+    // After the barrier every rank must see all increments.
+    EXPECT_EQ(counter.load(), 4);
+  });
+}
+
+TEST(ThreadComm, TrafficStatsCountMessages) {
+  auto total = run_ranks(2, [&](Communicator& c) {
+    if (c.rank() == 0) c.send(1, 0, to_bytes("12345"));
+    if (c.rank() == 1) c.recv(0, 0);
+  });
+  EXPECT_EQ(total.messages_sent, 1u);
+  EXPECT_EQ(total.bytes_sent, 5u);
+}
+
+TEST(ThreadComm, SendToInvalidRankThrows) {
+  EXPECT_THROW(run_ranks(2,
+                         [&](Communicator& c) {
+                           if (c.rank() == 0) c.send(5, 0, to_bytes("x"));
+                         }),
+               Error);
+}
+
+TEST(ThreadComm, TypedDoubleRoundtrip) {
+  run_ranks(2, [&](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send_doubles(1, 4, std::vector<double>{1.5, 2.5, 3.5});
+    } else {
+      EXPECT_EQ(c.recv_doubles(0, 4), (std::vector<double>{1.5, 2.5, 3.5}));
+    }
+  });
+}
+
+// ---- Collectives across a sweep of group sizes ----
+
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSweep, BroadcastFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    run_ranks(p, [&](Communicator& c) {
+      auto data = c.rank() == root ? to_bytes("payload-" + std::to_string(root))
+                                   : std::vector<std::byte>{};
+      c.broadcast(data, root);
+      EXPECT_EQ(to_string(data), "payload-" + std::to_string(root));
+    });
+  }
+}
+
+TEST_P(CollectiveSweep, ReduceSumToEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    run_ranks(p, [&](Communicator& c) {
+      std::vector<double> local{static_cast<double>(c.rank()), 1.0};
+      auto result = c.reduce(local, ReduceOp::kSum, root);
+      if (c.rank() == root) {
+        ASSERT_EQ(result.size(), 2u);
+        EXPECT_DOUBLE_EQ(result[0], p * (p - 1) / 2.0);
+        EXPECT_DOUBLE_EQ(result[1], p);
+      } else {
+        EXPECT_TRUE(result.empty());
+      }
+    });
+  }
+}
+
+TEST_P(CollectiveSweep, AllreduceSumMatchesOnAllRanks) {
+  const int p = GetParam();
+  run_ranks(p, [&](Communicator& c) {
+    std::vector<double> local{static_cast<double>(c.rank() + 1)};
+    auto result = c.allreduce(local, ReduceOp::kSum);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_DOUBLE_EQ(result[0], p * (p + 1) / 2.0);
+  });
+}
+
+TEST_P(CollectiveSweep, AllreduceMinMax) {
+  const int p = GetParam();
+  run_ranks(p, [&](Communicator& c) {
+    const double mine = static_cast<double>(c.rank());
+    EXPECT_DOUBLE_EQ(c.allreduce(mine, ReduceOp::kMin), 0.0);
+    EXPECT_DOUBLE_EQ(c.allreduce(mine, ReduceOp::kMax),
+                     static_cast<double>(p - 1));
+  });
+}
+
+TEST_P(CollectiveSweep, AllreduceU64) {
+  const int p = GetParam();
+  run_ranks(p, [&](Communicator& c) {
+    const std::uint64_t mine = 1ULL << c.rank();
+    EXPECT_EQ(c.allreduce(mine, ReduceOp::kSum), (1ULL << p) - 1);
+  });
+}
+
+TEST_P(CollectiveSweep, GatherCollectsInRankOrder) {
+  const int p = GetParam();
+  run_ranks(p, [&](Communicator& c) {
+    auto blob = to_bytes("r" + std::to_string(c.rank()));
+    auto gathered = c.gather(blob, 0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(gathered.size(), static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(to_string(gathered[static_cast<std::size_t>(r)]),
+                  "r" + std::to_string(r));
+      }
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllgatherGivesEveryoneEverything) {
+  const int p = GetParam();
+  run_ranks(p, [&](Communicator& c) {
+    auto blob = to_bytes(std::to_string(c.rank() * 11));
+    auto gathered = c.allgather(blob);
+    ASSERT_EQ(gathered.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(to_string(gathered[static_cast<std::size_t>(r)]),
+                std::to_string(r * 11));
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ConsecutiveCollectivesDoNotInterfere) {
+  const int p = GetParam();
+  run_ranks(p, [&](Communicator& c) {
+    for (int round = 0; round < 5; ++round) {
+      const double sum = c.allreduce(static_cast<double>(round), ReduceOp::kSum);
+      EXPECT_DOUBLE_EQ(sum, static_cast<double>(round * p));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, CollectiveSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+
+// ---- Ring allreduce (§3 step 3: "works as well for a ring topology") ----
+
+class RingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingSweep, RingAllreduceMatchesTreeAllreduce) {
+  const int p = GetParam();
+  run_ranks(p, [&](Communicator& c) {
+    std::vector<double> local{static_cast<double>(c.rank() + 1),
+                              static_cast<double>(c.rank()) * 0.5};
+    const auto ring = c.ring_allreduce(local);
+    const auto tree = c.allreduce(local, ReduceOp::kSum);
+    ASSERT_EQ(ring.size(), tree.size());
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      EXPECT_DOUBLE_EQ(ring[i], tree[i]);
+    }
+  });
+}
+
+TEST_P(RingSweep, RingUsesExactlyTwoPMinusOneMessages) {
+  const int p = GetParam();
+  const auto traffic = run_ranks(p, [&](Communicator& c) {
+    std::vector<double> local(8, 1.0);
+    c.ring_allreduce(local);
+  });
+  if (p == 1) {
+    EXPECT_EQ(traffic.messages_sent, 0u);
+  } else {
+    EXPECT_EQ(traffic.messages_sent, static_cast<std::uint64_t>(2 * (p - 1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, RingSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(Ring, ConsecutiveRingOpsDoNotInterfere) {
+  run_ranks(4, [&](Communicator& c) {
+    for (int round = 1; round <= 4; ++round) {
+      std::vector<double> local{static_cast<double>(round)};
+      EXPECT_DOUBLE_EQ(c.ring_allreduce(local)[0], 4.0 * round);
+    }
+  });
+}
+
+TEST(RunRanks, CollectGathersPerRankResults) {
+  auto results = run_ranks_collect<int>(
+      4, [](Communicator& c) { return c.rank() * 10; });
+  EXPECT_EQ(results, (std::vector<int>{0, 10, 20, 30}));
+}
+
+TEST(RunRanks, PropagatesRankException) {
+  EXPECT_THROW(run_ranks(3,
+                         [](Communicator& c) {
+                           if (c.rank() == 2) throw Error("rank failure");
+                           // Other ranks exit cleanly without waiting.
+                         }),
+               Error);
+}
+
+TEST(RunRanks, ZeroRanksRejected) {
+  EXPECT_THROW(run_ranks(0, [](Communicator&) {}), Error);
+}
+
+}  // namespace
+}  // namespace keybin2::comm

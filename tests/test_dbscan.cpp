@@ -1,0 +1,176 @@
+#include "baselines/dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/disjoint_set.hpp"
+#include "baselines/kmeans.hpp"
+#include "comm/launch.hpp"
+#include "common/error.hpp"
+#include "data/gaussian_mixture.hpp"
+#include "data/partition.hpp"
+#include "data/shapes.hpp"
+#include "stats/metrics.hpp"
+
+namespace keybin2::baselines {
+namespace {
+
+TEST(DisjointSet, BasicUnionFind) {
+  DisjointSet dsu(6);
+  EXPECT_EQ(dsu.count_sets(), 6u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(1, 2));
+  EXPECT_FALSE(dsu.unite(0, 2));  // already joined
+  EXPECT_EQ(dsu.find(0), dsu.find(2));
+  EXPECT_NE(dsu.find(0), dsu.find(3));
+  EXPECT_EQ(dsu.count_sets(), 4u);
+}
+
+TEST(DisjointSet, LabelsAreCompactAndConsistent) {
+  DisjointSet dsu(5);
+  dsu.unite(0, 4);
+  dsu.unite(1, 2);
+  const auto labels = dsu.labels();
+  EXPECT_EQ(labels[0], labels[4]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[3]);
+  for (int l : labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 3);
+  }
+}
+
+TEST(Dbscan, SeparatesWellSpacedBlobs) {
+  const auto spec = data::make_paper_mixture(2, 3, 1, /*separation=*/25.0);
+  const auto d = data::sample(spec, 900, 2);
+  const auto result = dbscan(d.points, {.eps = 3.0, .min_points = 5});
+  EXPECT_EQ(result.clusters, 3u);
+  // Treat noise as singletons for scoring (standard practice).
+  auto labels = result.labels;
+  int next = static_cast<int>(result.clusters);
+  for (auto& l : labels) {
+    if (l < 0) l = next++;
+  }
+  EXPECT_GT(stats::pairwise_scores(labels, d.labels).f1, 0.95);
+}
+
+TEST(Dbscan, FindsNonConvexRings) {
+  // The classic case where k-means fails and density clustering wins.
+  const auto d = data::rings(2, 800, 6.0, 0.12, 3);
+  const auto db = dbscan(d.points, {.eps = 1.0, .min_points = 4});
+  auto db_labels = db.labels;
+  int next = static_cast<int>(db.clusters);
+  for (auto& l : db_labels) {
+    if (l < 0) l = next++;
+  }
+  const double db_f1 = stats::pairwise_scores(db_labels, d.labels).f1;
+
+  KMeansParams kp;
+  kp.k = 2;
+  const double km_f1 =
+      stats::pairwise_scores(kmeans(d.points, kp).labels, d.labels).f1;
+
+  EXPECT_GT(db_f1, 0.95);
+  EXPECT_GT(db_f1, km_f1);
+}
+
+TEST(Dbscan, EverythingNoiseWithTinyEps) {
+  const auto spec = data::make_paper_mixture(2, 2, 5);
+  const auto d = data::sample(spec, 200, 6);
+  const auto result = dbscan(d.points, {.eps = 1e-9, .min_points = 3});
+  EXPECT_EQ(result.clusters, 0u);
+  EXPECT_EQ(result.noise_points, 200u);
+}
+
+TEST(Dbscan, OneClusterWithHugeEps) {
+  const auto spec = data::make_paper_mixture(2, 3, 7);
+  const auto d = data::sample(spec, 300, 8);
+  const auto result = dbscan(d.points, {.eps = 1e6, .min_points = 3});
+  EXPECT_EQ(result.clusters, 1u);
+  EXPECT_EQ(result.noise_points, 0u);
+}
+
+TEST(Dbscan, HighDimensionalDistanceConcentrationCollapses) {
+  // Table 2's pdsdbscan row: in 1280-d, within-cluster distances concentrate
+  // and any eps that connects a cluster connects everything — the paper saw
+  // exactly one cluster with precision 0.286 (= 1/k with k=4 sharing).
+  const auto spec = data::make_paper_mixture(256, 4, 9);
+  const auto d = data::sample(spec, 400, 10);
+  const double eps = estimate_eps(d.points, 4) * 1.5;
+  const auto result = dbscan(d.points, {.eps = eps, .min_points = 5});
+  EXPECT_LE(result.clusters, 4u);
+}
+
+TEST(Dbscan, ParamsValidated) {
+  Matrix points(10, 2);
+  EXPECT_THROW(dbscan(points, {.eps = 0.0, .min_points = 3}), Error);
+  EXPECT_THROW(dbscan(points, {.eps = 1.0, .min_points = 0}), Error);
+}
+
+TEST(Dbscan, BorderPointsJoinACoreCluster) {
+  // Line of 5 dense points plus one border point within eps of the end.
+  Matrix points(6, 1, {0.0, 0.1, 0.2, 0.3, 0.4, 0.9});
+  const auto result = dbscan(points, {.eps = 0.55, .min_points = 4});
+  EXPECT_EQ(result.clusters, 1u);
+  EXPECT_EQ(result.labels[5], result.labels[0]);  // border attached
+}
+
+TEST(EstimateEps, ScalesWithDataSpread) {
+  const auto tight_spec = data::make_paper_mixture(4, 1, 11, 1.0);
+  const auto tight = data::sample(tight_spec, 500, 12);
+  auto loose = tight;
+  for (auto& v : loose.points.flat()) v *= 10.0;
+  EXPECT_GT(estimate_eps(loose.points, 4), estimate_eps(tight.points, 4) * 5);
+}
+
+TEST(EstimateEps, Validation) {
+  Matrix one(1, 2);
+  EXPECT_THROW(estimate_eps(one, 4), Error);
+  Matrix two(2, 2);
+  EXPECT_THROW(estimate_eps(two, 0), Error);
+}
+
+class PdsdbscanSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PdsdbscanSweep, MatchesSerialDbscanExactly) {
+  const int ranks = GetParam();
+  const auto spec = data::make_paper_mixture(2, 3, 13, 20.0);
+  const auto d = data::sample(spec, 600, 14);
+  const DbscanParams params{.eps = 3.0, .min_points = 5};
+
+  const auto serial = dbscan(d.points, params);
+
+  const auto shards = data::shard(d, ranks);
+  std::vector<int> combined(d.size());
+  std::vector<std::size_t> cluster_counts(static_cast<std::size_t>(ranks));
+  comm::run_ranks(ranks, [&](comm::Communicator& c) {
+    const auto r = static_cast<std::size_t>(c.rank());
+    const auto result = pdsdbscan(c, shards[r].points, params);
+    const auto ranges = data::partition_rows(d.size(), ranks);
+    std::copy(result.labels.begin(), result.labels.end(),
+              combined.begin() + static_cast<std::ptrdiff_t>(ranges[r].begin));
+    cluster_counts[r] = result.clusters;
+  });
+
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_EQ(cluster_counts[static_cast<std::size_t>(r)], serial.clusters);
+  }
+  // Same clusters up to labelling (union order differs across rank counts).
+  std::vector<int> serial_labels = serial.labels;
+  int next = static_cast<int>(serial.clusters);
+  for (auto& l : serial_labels) {
+    if (l < 0) l = next++;
+  }
+  auto combined_pos = combined;
+  next = static_cast<int>(serial.clusters);
+  for (auto& l : combined_pos) {
+    if (l < 0) l = next++;
+  }
+  EXPECT_DOUBLE_EQ(stats::adjusted_rand_index(combined_pos, serial_labels),
+                   1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, PdsdbscanSweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace keybin2::baselines

@@ -1,0 +1,122 @@
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace keybin2::stats {
+namespace {
+
+TEST(LogChoose, KnownValues) {
+  EXPECT_NEAR(std::exp(log_choose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 10)), 1.0, 1e-9);
+  EXPECT_EQ(log_choose(3, 5), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Hypergeometric, PmfSumsToOne) {
+  const std::uint64_t total = 30, marked = 12, draws = 7;
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k <= draws; ++k) {
+    sum += hypergeometric_pmf(total, marked, draws, k);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Hypergeometric, MeanMatchesFormulaAndPmf) {
+  const std::uint64_t total = 40, marked = 10, draws = 8;
+  EXPECT_DOUBLE_EQ(hypergeometric_mean(total, marked, draws), 2.0);
+  double mean = 0.0;
+  for (std::uint64_t k = 0; k <= draws; ++k) {
+    mean += static_cast<double>(k) *
+            hypergeometric_pmf(total, marked, draws, k);
+  }
+  EXPECT_NEAR(mean, 2.0, 1e-9);
+}
+
+TEST(Hypergeometric, ImpossibleOutcomesAreZero) {
+  EXPECT_EQ(hypergeometric_pmf(10, 3, 5, 4), 0.0);   // k > marked
+  EXPECT_EQ(hypergeometric_pmf(10, 8, 5, 1), 0.0);   // too few unmarked
+  EXPECT_EQ(hypergeometric_pmf(10, 3, 2, 3), 0.0);   // k > draws
+}
+
+TEST(Hypergeometric, InvalidParametersThrow) {
+  EXPECT_THROW(hypergeometric_pmf(10, 11, 5, 2), Error);
+  EXPECT_THROW(hypergeometric_pmf(10, 5, 11, 2), Error);
+  EXPECT_THROW(hypergeometric_mean(0, 0, 0), Error);
+}
+
+TEST(Hypergeometric, PaperEquationOneInterpretation) {
+  // §3.1: with R informative of N dims and N_rp draws, E[informative picks]
+  // = N_rp * R / N >= 1 requires N_rp >= N / R.
+  const double e = hypergeometric_mean(1280, 128, 11);  // N_rp = 1.5 ln 1280
+  EXPECT_GT(e, 1.0);
+}
+
+TEST(PercentileBin, MedianOfSymmetricMass) {
+  std::vector<double> counts{1.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(percentile_bin(counts, 50.0), 1u);
+  EXPECT_EQ(percentile_bin(counts, 100.0), 3u);
+  EXPECT_EQ(percentile_bin(counts, 1.0), 0u);
+}
+
+TEST(PercentileBin, SkewedMass) {
+  std::vector<double> counts{0.0, 0.0, 10.0, 0.0};
+  EXPECT_EQ(percentile_bin(counts, 50.0), 2u);
+  EXPECT_EQ(percentile_bin(counts, 99.0), 2u);
+}
+
+TEST(PercentileBin, EmptyOrZeroReturnsZero) {
+  EXPECT_EQ(percentile_bin({}, 50.0), 0u);
+  std::vector<double> zeros(4, 0.0);
+  EXPECT_EQ(percentile_bin(zeros, 50.0), 0u);
+}
+
+TEST(PercentileBin, OutOfRangePercentileThrows) {
+  std::vector<double> counts{1.0};
+  EXPECT_THROW(percentile_bin(counts, -1.0), Error);
+  EXPECT_THROW(percentile_bin(counts, 101.0), Error);
+}
+
+TEST(OnlineMoments, MatchesDirectComputation) {
+  Rng rng(9);
+  OnlineMoments om;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    xs.push_back(x);
+    om.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size();
+  EXPECT_EQ(om.count(), 1000u);
+  EXPECT_NEAR(om.mean(), mean, 1e-9);
+  EXPECT_NEAR(om.variance(), var, 1e-9);
+  EXPECT_NEAR(om.stddev(), std::sqrt(var), 1e-9);
+}
+
+TEST(OnlineMoments, TracksMinMax) {
+  OnlineMoments om;
+  om.add(5.0);
+  om.add(-2.0);
+  om.add(3.0);
+  EXPECT_DOUBLE_EQ(om.min(), -2.0);
+  EXPECT_DOUBLE_EQ(om.max(), 5.0);
+}
+
+TEST(OnlineMoments, EmptyIsZero) {
+  OnlineMoments om;
+  EXPECT_EQ(om.count(), 0u);
+  EXPECT_EQ(om.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace keybin2::stats

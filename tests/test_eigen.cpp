@@ -1,0 +1,125 @@
+#include "stats/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace keybin2::stats {
+namespace {
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const auto eig = jacobi_eigen(a);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  Matrix a(2, 2, {2.0, 1.0, 1.0, 2.0});
+  const auto eig = jacobi_eigen(a);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+  // Eigenvector of 3 is (1, 1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(eig.vectors(0, 1)), std::sqrt(0.5), 1e-9);
+  EXPECT_NEAR(std::fabs(eig.vectors(1, 1)), std::sqrt(0.5), 1e-9);
+}
+
+TEST(Jacobi, ReconstructsTheMatrix) {
+  Rng rng(1);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = rng.normal();
+      a(j, i) = a(i, j);
+    }
+  }
+  const auto eig = jacobi_eigen(a);
+  // A == V diag(L) V^T.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += eig.vectors(i, k) * eig.values[k] * eig.vectors(j, k);
+      }
+      EXPECT_NEAR(sum, a(i, j), 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(Jacobi, VectorsAreOrthonormal) {
+  Rng rng(2);
+  Matrix a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i; j < 4; ++j) {
+      a(i, j) = rng.uniform(-2.0, 2.0);
+    }
+  }
+  const auto eig = jacobi_eigen(a);
+  for (std::size_t x = 0; x < 4; ++x) {
+    for (std::size_t y = 0; y < 4; ++y) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < 4; ++i) {
+        dot += eig.vectors(i, x) * eig.vectors(i, y);
+      }
+      EXPECT_NEAR(dot, x == y ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Jacobi, EigenvalueEquationHolds) {
+  Rng rng(3);
+  Matrix a(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i; j < 5; ++j) a(i, j) = rng.normal();
+  }
+  const auto eig = jacobi_eigen(a);
+  // Symmetrize a copy to evaluate A v = lambda v.
+  Matrix s = a;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) s(j, i) = s(i, j);
+  }
+  for (std::size_t k = 0; k < 5; ++k) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      double av = 0.0;
+      for (std::size_t j = 0; j < 5; ++j) av += s(i, j) * eig.vectors(j, k);
+      EXPECT_NEAR(av, eig.values[k] * eig.vectors(i, k), 1e-9);
+    }
+  }
+}
+
+TEST(Jacobi, TraceAndValuesAgree) {
+  Rng rng(4);
+  Matrix a(7, 7);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = i; j < 7; ++j) a(i, j) = rng.normal();
+    trace += a(i, i);
+  }
+  const auto eig = jacobi_eigen(a);
+  double sum = 0.0;
+  for (double v : eig.values) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-9);
+}
+
+TEST(Jacobi, RejectsNonSquare) {
+  EXPECT_THROW(jacobi_eigen(Matrix(2, 3)), Error);
+}
+
+TEST(Jacobi, OneByOne) {
+  Matrix a(1, 1, {5.0});
+  const auto eig = jacobi_eigen(a);
+  EXPECT_DOUBLE_EQ(eig.values[0], 5.0);
+  EXPECT_DOUBLE_EQ(eig.vectors(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace keybin2::stats

@@ -1,0 +1,105 @@
+#include "md/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace keybin2::md {
+namespace {
+
+TEST(Segments, BasicRuns) {
+  std::vector<int> labels{1, 1, 2, 2, 2, 3};
+  const auto segs = fingerprint_segments(labels);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].begin, 0u);
+  EXPECT_EQ(segs[0].end, 2u);
+  EXPECT_EQ(segs[0].label, 1);
+  EXPECT_EQ(segs[2].begin, 5u);
+  EXPECT_EQ(segs[2].end, 6u);
+}
+
+TEST(Segments, EmptyInput) {
+  EXPECT_TRUE(fingerprint_segments({}).empty());
+  EXPECT_TRUE(change_points({}).empty());
+}
+
+TEST(Segments, SingleRun) {
+  std::vector<int> labels{7, 7, 7};
+  const auto segs = fingerprint_segments(labels);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].end, 3u);
+  EXPECT_TRUE(change_points(labels).empty());
+}
+
+TEST(Segments, DebounceAbsorbsFlicker) {
+  // A single-frame flicker (label 9) inside a long run of 1s.
+  std::vector<int> labels{1, 1, 1, 9, 1, 1, 1};
+  const auto raw = fingerprint_segments(labels, 1);
+  EXPECT_EQ(raw.size(), 3u);
+  const auto debounced = fingerprint_segments(labels, 2);
+  ASSERT_EQ(debounced.size(), 1u);
+  EXPECT_EQ(debounced[0].label, 1);
+  EXPECT_EQ(debounced[0].end, 7u);
+}
+
+TEST(Segments, DebounceKeepsRealTransitions) {
+  std::vector<int> labels{1, 1, 1, 1, 2, 2, 2, 2};
+  const auto segs = fingerprint_segments(labels, 3);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[1].begin, 4u);
+}
+
+TEST(ChangePoints, MatchSegmentStarts) {
+  std::vector<int> labels{0, 0, 1, 1, 0, 0};
+  const auto points = change_points(labels);
+  EXPECT_EQ(points, (std::vector<std::size_t>{2, 4}));
+}
+
+TEST(BoundaryAgreement, ExactMatchesScorePerfect) {
+  const std::vector<std::size_t> truth{100, 200, 300};
+  const auto s = boundary_agreement(truth, truth, 0);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(BoundaryAgreement, ToleranceAllowsNearMisses) {
+  const std::vector<std::size_t> predicted{105, 195, 290};
+  const std::vector<std::size_t> truth{100, 200, 300};
+  EXPECT_DOUBLE_EQ(boundary_agreement(predicted, truth, 10).f1, 1.0);
+  EXPECT_LT(boundary_agreement(predicted, truth, 2).f1, 0.5);
+}
+
+TEST(BoundaryAgreement, ExtraPredictionsCostPrecision) {
+  const std::vector<std::size_t> predicted{100, 150, 200, 250};
+  const std::vector<std::size_t> truth{100, 200};
+  const auto s = boundary_agreement(predicted, truth, 5);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+}
+
+TEST(BoundaryAgreement, MissedBoundariesCostRecall) {
+  const std::vector<std::size_t> predicted{100};
+  const std::vector<std::size_t> truth{100, 200, 300};
+  const auto s = boundary_agreement(predicted, truth, 5);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_NEAR(s.recall, 1.0 / 3.0, 1e-12);
+}
+
+TEST(BoundaryAgreement, OneToOneMatching) {
+  // Two predictions near one true boundary: only one may claim it.
+  const std::vector<std::size_t> predicted{99, 101};
+  const std::vector<std::size_t> truth{100};
+  const auto s = boundary_agreement(predicted, truth, 5);
+  EXPECT_EQ(s.matched, 1u);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+}
+
+TEST(BoundaryAgreement, EmptyInputs) {
+  const std::vector<std::size_t> some{10};
+  EXPECT_DOUBLE_EQ(boundary_agreement({}, some, 5).f1, 0.0);
+  EXPECT_DOUBLE_EQ(boundary_agreement(some, {}, 5).f1, 0.0);
+}
+
+}  // namespace
+}  // namespace keybin2::md

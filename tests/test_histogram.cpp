@@ -1,0 +1,233 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace keybin2::stats {
+namespace {
+
+TEST(Histogram, BinOfInteriorValues) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.bin_of(0.5), 0u);
+  EXPECT_EQ(h.bin_of(5.5), 5u);
+  EXPECT_EQ(h.bin_of(9.99), 9u);
+}
+
+TEST(Histogram, BinOfClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.bin_of(-100.0), 0u);
+  EXPECT_EQ(h.bin_of(100.0), 9u);
+  EXPECT_EQ(h.bin_of(10.0), 9u);  // right edge goes to last bin
+  EXPECT_EQ(h.bin_of(0.0), 0u);
+}
+
+TEST(Histogram, BinBoundariesAreHalfOpen) {
+  Histogram h(0.0, 4.0, 4);
+  EXPECT_EQ(h.bin_of(1.0), 1u);
+  EXPECT_EQ(h.bin_of(0.999999), 0u);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Histogram, AddAccumulatesWeights) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  h.add(0.2, 2.5);
+  h.add(0.9);
+  EXPECT_DOUBLE_EQ(h.count(0), 3.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.5);
+}
+
+TEST(Histogram, BinCenterAndLeft) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_DOUBLE_EQ(h.bin_left(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.width(), 2.0);
+}
+
+TEST(Histogram, MergeRequiresSameGeometry) {
+  Histogram a(0.0, 1.0, 4), b(0.0, 1.0, 4), c(0.0, 2.0, 4);
+  a.add(0.1);
+  b.add(0.1);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.count(0), 2.0);
+  EXPECT_THROW(a.merge(c), Error);
+}
+
+TEST(Histogram, NormalizedSumsToOne) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1, 3.0);
+  h.add(0.9, 1.0);
+  auto n = h.normalized();
+  double sum = 0.0;
+  for (double v : n) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_DOUBLE_EQ(n[0], 0.75);
+}
+
+TEST(Histogram, NormalizedEmptyStaysZero) {
+  Histogram h(0.0, 1.0, 4);
+  auto n = h.normalized();
+  for (double v : n) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Histogram, SetCountsValidatesSize) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.set_counts({1.0, 2.0}), Error);
+  h.set_counts({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.total(), 10.0);
+}
+
+// ---- HierarchicalHistogram ----
+
+TEST(Hierarchy, BinsAtDepth) {
+  EXPECT_EQ(HierarchicalHistogram::bins_at(1), 2u);
+  EXPECT_EQ(HierarchicalHistogram::bins_at(6), 64u);
+}
+
+TEST(Hierarchy, LevelsAreConsistentByConstruction) {
+  HierarchicalHistogram h(0.0, 1.0, 6);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform());
+  for (int d = 1; d <= 6; ++d) {
+    EXPECT_DOUBLE_EQ(h.level(d).total(), 1000.0) << "depth " << d;
+  }
+  // Parent count equals the sum of its two children.
+  const auto l3 = h.level(3);
+  const auto l4 = h.level(4);
+  for (std::size_t b = 0; b < l3.bins(); ++b) {
+    EXPECT_DOUBLE_EQ(l3.count(b), l4.count(2 * b) + l4.count(2 * b + 1));
+  }
+}
+
+TEST(Hierarchy, BinOfMatchesLevelHistogram) {
+  HierarchicalHistogram h(-5.0, 5.0, 5);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    for (int d = 1; d <= 5; ++d) {
+      EXPECT_EQ(h.bin_of(x, d), h.level(d).bin_of(x));
+    }
+  }
+}
+
+TEST(Hierarchy, InvalidDepthThrows) {
+  HierarchicalHistogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.level(0), Error);
+  EXPECT_THROW(h.level(5), Error);
+  EXPECT_THROW(h.bin_of(0.5, 0), Error);
+  EXPECT_THROW(HierarchicalHistogram(0.0, 1.0, 0), Error);
+  EXPECT_THROW(HierarchicalHistogram(0.0, 1.0, 30), Error);
+}
+
+TEST(Hierarchy, MergeAddsCounts) {
+  HierarchicalHistogram a(0.0, 1.0, 3), b(0.0, 1.0, 3);
+  a.add(0.1);
+  b.add(0.1);
+  b.add(0.9);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total(), 3.0);
+  EXPECT_THROW(a.merge(HierarchicalHistogram(0.0, 2.0, 3)), Error);
+}
+
+TEST(Hierarchy, ExpandRightDoublesRangePreservingMass) {
+  HierarchicalHistogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 64; ++i) h.add(i / 64.0);
+  const double before = h.total();
+  h.expand_right();
+  EXPECT_DOUBLE_EQ(h.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), before);
+  // All original mass sits in the lower half.
+  const auto l1 = h.level(1);
+  EXPECT_DOUBLE_EQ(l1.count(0), before);
+  EXPECT_DOUBLE_EQ(l1.count(1), 0.0);
+}
+
+TEST(Hierarchy, ExpandLeftDoublesRangePreservingMass) {
+  HierarchicalHistogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 64; ++i) h.add(i / 64.0);
+  const double before = h.total();
+  h.expand_left();
+  EXPECT_DOUBLE_EQ(h.lo(), -1.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), before);
+  const auto l1 = h.level(1);
+  EXPECT_DOUBLE_EQ(l1.count(0), 0.0);
+  EXPECT_DOUBLE_EQ(l1.count(1), before);
+}
+
+TEST(Hierarchy, ExpandKeepsValuesInCorrectBins) {
+  HierarchicalHistogram h(0.0, 1.0, 6);
+  h.add(0.25);
+  h.expand_right();  // range now [0, 2)
+  h.add(1.5);
+  // 0.25 is in the first quarter, 1.5 in the fourth quarter at depth 2.
+  const auto l2 = h.level(2);
+  EXPECT_DOUBLE_EQ(l2.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(l2.count(3), 1.0);
+}
+
+// ---- Rebinning ----
+
+TEST(Rebin, IdentityGeometryPreservesCounts) {
+  Histogram src(0.0, 1.0, 8);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) src.add(rng.uniform());
+  const auto out = rebin_proportional(src, 0.0, 1.0, 8);
+  for (std::size_t b = 0; b < 8; ++b) {
+    EXPECT_NEAR(out.count(b), src.count(b), 1e-9);
+  }
+}
+
+TEST(Rebin, ConservesMassAcrossArbitraryGeometry) {
+  Histogram src(0.0, 1.0, 16);
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) src.add(rng.uniform(), rng.uniform(0.5, 2.0));
+  for (const auto& [lo, hi, bins] :
+       {std::tuple{-1.0, 2.0, 16ul}, std::tuple{0.0, 3.0, 8ul},
+        std::tuple{-0.5, 1.5, 64ul}}) {
+    const auto out = rebin_proportional(src, lo, hi, bins);
+    EXPECT_NEAR(out.total(), src.total(), 1e-9);
+  }
+}
+
+TEST(Rebin, MassOutsideTargetClampsToEdges) {
+  Histogram src(0.0, 10.0, 10);
+  src.add(0.5, 4.0);   // far left
+  src.add(9.5, 6.0);   // far right
+  const auto out = rebin_proportional(src, 4.0, 6.0, 4);
+  EXPECT_NEAR(out.count(0), 4.0, 1e-9);
+  EXPECT_NEAR(out.count(3), 6.0, 1e-9);
+}
+
+TEST(Rebin, AlignedCoarseningIsExact) {
+  Histogram src(0.0, 1.0, 8);
+  for (std::size_t b = 0; b < 8; ++b) src.add_to_bin(b, static_cast<double>(b));
+  const auto out = rebin_proportional(src, 0.0, 1.0, 4);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_NEAR(out.count(b), src.count(2 * b) + src.count(2 * b + 1), 1e-9);
+  }
+}
+
+TEST(Rebin, HierarchyRebinConservesMassAndGeometry) {
+  HierarchicalHistogram src(0.0, 1.0, 5);
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) src.add(rng.uniform());
+  const auto out = rebin_hierarchy(src, -1.0, 3.0);
+  EXPECT_DOUBLE_EQ(out.lo(), -1.0);
+  EXPECT_DOUBLE_EQ(out.hi(), 3.0);
+  EXPECT_EQ(out.max_depth(), 5);
+  EXPECT_NEAR(out.total(), src.total(), 1e-9);
+}
+
+}  // namespace
+}  // namespace keybin2::stats

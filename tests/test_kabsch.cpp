@@ -1,0 +1,119 @@
+#include "md/kabsch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "md/synthetic.hpp"
+
+namespace keybin2::md {
+namespace {
+
+std::vector<Vec3> random_cloud(std::size_t n, Rng& rng) {
+  std::vector<Vec3> out(n);
+  for (auto& v : out) {
+    v = Vec3{rng.normal(0.0, 3.0), rng.normal(0.0, 3.0),
+             rng.normal(0.0, 3.0)};
+  }
+  return out;
+}
+
+Vec3 rotate_z(const Vec3& v, double deg) {
+  const double rad = deg * std::numbers::pi / 180.0;
+  return Vec3{v.x * std::cos(rad) - v.y * std::sin(rad),
+              v.x * std::sin(rad) + v.y * std::cos(rad), v.z};
+}
+
+TEST(Kabsch, IdenticalCloudsScoreZero) {
+  Rng rng(1);
+  const auto p = random_cloud(30, rng);
+  EXPECT_NEAR(kabsch_rmsd(p, p), 0.0, 1e-9);
+}
+
+TEST(Kabsch, TranslationIsRemoved) {
+  Rng rng(2);
+  const auto p = random_cloud(25, rng);
+  auto q = p;
+  for (auto& v : q) v = v + Vec3{10.0, -4.0, 7.5};
+  EXPECT_NEAR(kabsch_rmsd(p, q), 0.0, 1e-9);
+}
+
+TEST(Kabsch, RotationIsRemoved) {
+  Rng rng(3);
+  const auto p = random_cloud(40, rng);
+  for (double deg : {15.0, 90.0, 178.0}) {
+    auto q = p;
+    for (auto& v : q) v = rotate_z(v, deg);
+    EXPECT_NEAR(kabsch_rmsd(p, q), 0.0, 1e-8) << deg << " degrees";
+  }
+}
+
+TEST(Kabsch, RigidMotionPlusNoiseRecoversNoiseLevel) {
+  Rng rng(4);
+  const auto p = random_cloud(500, rng);
+  auto q = p;
+  const double sigma = 0.2;
+  for (auto& v : q) {
+    v = rotate_z(v, 37.0) + Vec3{1.0, 2.0, 3.0};
+    v = v + Vec3{rng.normal(0.0, sigma), rng.normal(0.0, sigma),
+                 rng.normal(0.0, sigma)};
+  }
+  // Expected RMSD ~ sigma * sqrt(3); superposition cannot remove it.
+  const double rmsd = kabsch_rmsd(p, q);
+  EXPECT_NEAR(rmsd, sigma * std::sqrt(3.0), 0.05);
+}
+
+TEST(Kabsch, KnownTwoPointDisplacement) {
+  // Two unit points pulled apart symmetrically: optimal superposition
+  // aligns them; rmsd reflects the residual stretch.
+  std::vector<Vec3> p{Vec3{-1, 0, 0}, Vec3{1, 0, 0}};
+  std::vector<Vec3> q{Vec3{-2, 0, 0}, Vec3{2, 0, 0}};
+  EXPECT_NEAR(kabsch_rmsd(p, q), 1.0, 1e-9);  // each point off by 1 after fit
+}
+
+TEST(Kabsch, SymmetricInArguments) {
+  Rng rng(5);
+  const auto p = random_cloud(20, rng);
+  auto q = random_cloud(20, rng);
+  EXPECT_NEAR(kabsch_rmsd(p, q), kabsch_rmsd(q, p), 1e-9);
+}
+
+TEST(Kabsch, Validation) {
+  std::vector<Vec3> a(3), b(4);
+  EXPECT_THROW(kabsch_rmsd(a, b), Error);
+  EXPECT_THROW(kabsch_rmsd({}, {}), Error);
+}
+
+TEST(BackboneRmsd, SameConformationDifferentPlacementIsZero) {
+  const auto st = generate_trajectory({.residues = 20, .frames = 4,
+                                       .phases = 1, .transition_frames = 1,
+                                       .jitter_deg = 0.0, .seed = 6});
+  const auto a = build_backbone(st.trajectory, 0);
+  // Same torsions build the same shape: frames of a jitter-free,
+  // single-phase trajectory are identical conformations.
+  const auto b = build_backbone(st.trajectory, 3);
+  EXPECT_NEAR(backbone_rmsd(a, b), 0.0, 1e-6);
+}
+
+TEST(BackboneRmsd, DifferentPhasesDiffer) {
+  const auto st = generate_trajectory({.residues = 24, .frames = 600,
+                                       .phases = 2, .transition_frames = 20,
+                                       .jitter_deg = 2.0,
+                                       .change_fraction = 0.5, .seed = 7});
+  const auto a = build_backbone(st.trajectory, 50);    // phase 0
+  const auto b = build_backbone(st.trajectory, 60);    // phase 0
+  const auto c = build_backbone(st.trajectory, 550);   // phase 1
+  EXPECT_LT(backbone_rmsd(a, b), backbone_rmsd(a, c));
+  EXPECT_GT(backbone_rmsd(a, c), 1.0);  // structurally different (angstroms)
+}
+
+TEST(BackboneRmsd, MismatchedLengthsThrow) {
+  std::vector<BackboneResidue> a(3), b(4);
+  EXPECT_THROW(backbone_rmsd(a, b), Error);
+}
+
+}  // namespace
+}  // namespace keybin2::md

@@ -1,0 +1,105 @@
+#include "stats/kde.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/partitioner.hpp"
+#include "stats/histogram.hpp"
+#include "stats/smoothing.hpp"
+
+namespace keybin2::stats {
+namespace {
+
+TEST(Kde, ConservesMass) {
+  Rng rng(1);
+  std::vector<double> counts(64, 0.0);
+  for (int i = 0; i < 64; ++i) counts[static_cast<std::size_t>(i)] = rng.uniform(0.0, 10.0);
+  double in = 0.0;
+  for (double c : counts) in += c;
+  for (double h : {0.6, 1.5, 4.0}) {
+    const auto out = kde_smooth(counts, h);
+    double total = 0.0;
+    for (double v : out) total += v;
+    EXPECT_NEAR(total, in, 1e-9) << "bandwidth " << h;
+  }
+}
+
+TEST(Kde, PointMassBecomesGaussianBump) {
+  std::vector<double> counts(41, 0.0);
+  counts[20] = 100.0;
+  const auto out = kde_smooth(counts, 2.0);
+  // Symmetric around the spike, peaked there, decaying outward.
+  EXPECT_GT(out[20], out[18]);
+  EXPECT_GT(out[18], out[15]);
+  EXPECT_NEAR(out[18], out[22], 1e-9);
+  EXPECT_LT(out[0], out[20] * 0.01);
+}
+
+TEST(Kde, WiderBandwidthSmoothsMore) {
+  std::vector<double> counts(64, 0.0);
+  counts[20] = 100.0;
+  counts[40] = 100.0;
+  const auto narrow = kde_smooth(counts, 1.0);
+  const auto wide = kde_smooth(counts, 10.0);
+  // The valley between the spikes fills in as bandwidth grows.
+  EXPECT_LT(narrow[30], wide[30]);
+  // Peaks flatten.
+  EXPECT_GT(narrow[20], wide[20]);
+}
+
+TEST(Kde, PreservesBimodalStructureAtModerateBandwidth) {
+  Rng rng(2);
+  Histogram h(0.0, 1.0, 64);
+  for (int i = 0; i < 20000; ++i) {
+    h.add(rng.normal(i % 2 ? 0.3 : 0.7, 0.06));
+  }
+  const auto smoothed = kde_smooth(h.counts(), silverman_bandwidth(h.counts()));
+  const double peak = *std::max_element(smoothed.begin(), smoothed.end());
+  const auto modes = prominent_maxima(smoothed, 0.05 * peak);
+  EXPECT_EQ(modes.size(), 2u);
+}
+
+TEST(Kde, EmptyAndInvalidInputs) {
+  EXPECT_TRUE(kde_smooth({}, 1.0).empty());
+  std::vector<double> counts(4, 1.0);
+  EXPECT_THROW(kde_smooth(counts, 0.0), Error);
+  EXPECT_THROW(kde_smooth(counts, -1.0), Error);
+}
+
+TEST(Silverman, ScalesWithSpread) {
+  std::vector<double> tight(64, 0.0), wide(64, 0.0);
+  for (int i = 30; i < 34; ++i) tight[static_cast<std::size_t>(i)] = 100.0;
+  for (int i = 8; i < 56; ++i) wide[static_cast<std::size_t>(i)] = 100.0;
+  EXPECT_GT(silverman_bandwidth(wide), silverman_bandwidth(tight));
+}
+
+TEST(Silverman, DegenerateInputsGetFloor) {
+  std::vector<double> zeros(8, 0.0);
+  EXPECT_GE(silverman_bandwidth(zeros), 0.5);
+  std::vector<double> spike(8, 0.0);
+  spike[3] = 10.0;
+  EXPECT_GE(silverman_bandwidth(spike), 0.5);
+}
+
+TEST(KdePartitioner, AgreesWithMovingAverageOnCleanBimodal) {
+  // §3.2's claim: "our simpler method reaches similar accuracy compared to
+  // KDE curves". Both partitioners must find the same single cut region.
+  Rng rng(3);
+  Histogram h(0.0, 1.0, 64);
+  for (int i = 0; i < 30000; ++i) {
+    h.add(rng.normal(i % 2 ? 0.25 : 0.75, 0.07));
+  }
+  const auto ma = core::partition_discrete_opt(h.counts(), 0.04, nullptr,
+                                               core::Smoothing::kMovingAverage);
+  const auto kde = core::partition_discrete_opt(h.counts(), 0.04, nullptr,
+                                                core::Smoothing::kKernelDensity);
+  ASSERT_EQ(ma.cuts.size(), 1u);
+  ASSERT_EQ(kde.cuts.size(), 1u);
+  const auto diff = ma.cuts[0] > kde.cuts[0] ? ma.cuts[0] - kde.cuts[0]
+                                             : kde.cuts[0] - ma.cuts[0];
+  EXPECT_LE(diff, 6u);
+}
+
+}  // namespace
+}  // namespace keybin2::stats

@@ -1,0 +1,105 @@
+#include "stats/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/histogram.hpp"
+
+namespace keybin2::stats {
+namespace {
+
+TEST(KsUniform, UniformCountsScoreZero) {
+  std::vector<double> counts(20, 5.0);
+  EXPECT_NEAR(ks_statistic_uniform(counts), 0.0, 1e-12);
+}
+
+TEST(KsUniform, PointMassScoresHigh) {
+  std::vector<double> counts(20, 0.0);
+  counts[0] = 100.0;
+  EXPECT_GT(ks_statistic_uniform(counts), 0.9);
+}
+
+TEST(KsUniform, EmptyAndZeroMassAreZero) {
+  EXPECT_EQ(ks_statistic_uniform({}), 0.0);
+  std::vector<double> zeros(5, 0.0);
+  EXPECT_EQ(ks_statistic_uniform(zeros), 0.0);
+}
+
+TEST(KsTwoSample, IdenticalDistributionsScoreZero) {
+  std::vector<double> a{1, 2, 3, 4}, b{2, 4, 6, 8};  // same shape, scaled
+  EXPECT_NEAR(ks_statistic(a, b), 0.0, 1e-12);
+}
+
+TEST(KsTwoSample, DisjointMassesScoreOne) {
+  std::vector<double> a{10, 0, 0, 0}, b{0, 0, 0, 10};
+  EXPECT_NEAR(ks_statistic(a, b), 1.0, 1e-12);
+}
+
+TEST(KsGaussian, SingleGaussianScoresLow) {
+  Histogram h(-5.0, 5.0, 64);
+  Rng rng(1);
+  for (int i = 0; i < 50000; ++i) h.add(rng.normal());
+  const double d =
+      ks_statistic_gaussian(h.counts(), h.lo(), h.hi());
+  EXPECT_LT(d, 0.05);
+}
+
+TEST(KsGaussian, WellSeparatedBimodalScoresHigh) {
+  Histogram h(-10.0, 10.0, 64);
+  Rng rng(2);
+  for (int i = 0; i < 25000; ++i) {
+    h.add(rng.normal(-5.0, 0.8));
+    h.add(rng.normal(5.0, 0.8));
+  }
+  const double d = ks_statistic_gaussian(h.counts(), h.lo(), h.hi());
+  EXPECT_GT(d, 0.15);
+}
+
+TEST(KsGaussian, UniformDataIsDistinguishable) {
+  Histogram h(0.0, 1.0, 64);
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) h.add(rng.uniform());
+  // A uniform distribution is measurably non-Gaussian but less so than a
+  // separated bimodal one.
+  const double d = ks_statistic_gaussian(h.counts(), h.lo(), h.hi());
+  EXPECT_GT(d, 0.02);
+  EXPECT_LT(d, 0.2);
+}
+
+TEST(KsGaussian, DegenerateHistogramsScoreZero) {
+  std::vector<double> zeros(8, 0.0);
+  EXPECT_EQ(ks_statistic_gaussian(zeros, 0.0, 1.0), 0.0);
+  std::vector<double> spike(8, 0.0);
+  spike[3] = 10.0;  // zero variance after binning
+  EXPECT_EQ(ks_statistic_gaussian(spike, 0.0, 1.0), 0.0);
+  EXPECT_EQ(ks_statistic_gaussian({}, 0.0, 1.0), 0.0);
+}
+
+TEST(KsGaussian, BimodalBeatsUnimodalOrdering) {
+  // The collapse criterion only needs the ORDERING to be right.
+  Rng rng(4);
+  Histogram uni(-4.0, 4.0, 64), bi(-8.0, 8.0, 64);
+  for (int i = 0; i < 20000; ++i) {
+    uni.add(rng.normal());
+    bi.add(i % 2 == 0 ? rng.normal(-4.0, 1.0) : rng.normal(4.0, 1.0));
+  }
+  EXPECT_GT(ks_statistic_gaussian(bi.counts(), bi.lo(), bi.hi()),
+            ks_statistic_gaussian(uni.counts(), uni.lo(), uni.hi()) * 3);
+}
+
+TEST(KsPvalue, BoundsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(ks_pvalue(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(ks_pvalue(0.5, 0.0), 1.0);
+  const double p_small = ks_pvalue(0.01, 1000.0);
+  const double p_large = ks_pvalue(0.2, 1000.0);
+  EXPECT_GT(p_small, p_large);
+  EXPECT_GE(p_small, 0.0);
+  EXPECT_LE(p_small, 1.0);
+  EXPECT_LT(ks_pvalue(0.9, 10000.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace keybin2::stats

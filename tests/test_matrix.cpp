@@ -1,0 +1,121 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace keybin2 {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(Matrix, ElementAccessIsRowMajor) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(0, 2) = 3.0;
+  m(1, 1) = 5.0;
+  auto flat = m.flat();
+  EXPECT_EQ(flat[0], 1.0);
+  EXPECT_EQ(flat[2], 3.0);
+  EXPECT_EQ(flat[4], 5.0);
+}
+
+TEST(Matrix, AdoptStorageValidatesSize) {
+  EXPECT_NO_THROW(Matrix(2, 2, {1.0, 2.0, 3.0, 4.0}));
+  EXPECT_THROW(Matrix(2, 2, {1.0, 2.0, 3.0}), Error);
+}
+
+TEST(Matrix, RowViewIsWritable) {
+  Matrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = 7.0;
+  EXPECT_EQ(m(1, 0), 7.0);
+}
+
+TEST(Matrix, RowOutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.row(2), Error);
+}
+
+TEST(Matrix, AppendRowGrowsAndSetsColsOnFirst) {
+  Matrix m;
+  const double r0[] = {1.0, 2.0, 3.0};
+  m.append_row(r0);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  const double r1[] = {4.0, 5.0, 6.0};
+  m.append_row(r1);
+  EXPECT_EQ(m(1, 2), 6.0);
+}
+
+TEST(Matrix, AppendRowRejectsWrongLength) {
+  Matrix m(1, 3);
+  const double bad[] = {1.0, 2.0};
+  EXPECT_THROW(m.append_row(bad), Error);
+}
+
+TEST(Matrix, SliceRowsCopiesRange) {
+  Matrix m(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) m(i, 0) = static_cast<double>(i);
+  auto s = m.slice_rows(1, 3);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s(0, 0), 1.0);
+  EXPECT_EQ(s(1, 0), 2.0);
+}
+
+TEST(Matrix, SliceRowsValidatesBounds) {
+  Matrix m(4, 2);
+  EXPECT_THROW(m.slice_rows(3, 2), Error);
+  EXPECT_THROW(m.slice_rows(0, 5), Error);
+}
+
+TEST(Matrix, EqualityComparesShapeAndData) {
+  Matrix a(2, 2), b(2, 2);
+  EXPECT_TRUE(a == b);
+  b(1, 1) = 1.0;
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == Matrix(2, 3));
+}
+
+TEST(Matmul, IdentityPreserves) {
+  Matrix a(2, 2, {1.0, 2.0, 3.0, 4.0});
+  Matrix id(2, 2, {1.0, 0.0, 0.0, 1.0});
+  EXPECT_TRUE(matmul(a, id) == a);
+}
+
+TEST(Matmul, KnownProduct) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  auto c = matmul(a, b);
+  EXPECT_EQ(c(0, 0), 58.0);
+  EXPECT_EQ(c(0, 1), 64.0);
+  EXPECT_EQ(c(1, 0), 139.0);
+  EXPECT_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(Matmul, SkipsZeroEntries) {
+  // Sparse-ish input exercises the aik == 0 fast path.
+  Matrix a(1, 3, {0.0, 2.0, 0.0});
+  Matrix b(3, 1, {5.0, 7.0, 9.0});
+  EXPECT_EQ(matmul(a, b)(0, 0), 14.0);
+}
+
+}  // namespace
+}  // namespace keybin2

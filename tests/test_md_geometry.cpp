@@ -1,0 +1,80 @@
+#include "md/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace keybin2::md {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  const Vec3 s = a + b;
+  EXPECT_DOUBLE_EQ(s.x, 5.0);
+  const Vec3 d = b - a;
+  EXPECT_DOUBLE_EQ(d.z, 3.0);
+  const Vec3 m = a * 2.0;
+  EXPECT_DOUBLE_EQ(m.y, 4.0);
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(dot(x, x), 1.0);
+  const Vec3 c = cross(x, y);
+  EXPECT_DOUBLE_EQ(c.x, z.x);
+  EXPECT_DOUBLE_EQ(c.y, z.y);
+  EXPECT_DOUBLE_EQ(c.z, z.z);
+  EXPECT_DOUBLE_EQ(norm(Vec3{3, 4, 0}), 5.0);
+}
+
+TEST(Dihedral, PlanarTransIs180) {
+  // Four atoms in a plane, zig-zag (trans): dihedral = ±180.
+  const Vec3 p1{0, 1, 0}, p2{0, 0, 0}, p3{1, 0, 0}, p4{1, -1, 0};
+  EXPECT_NEAR(std::fabs(dihedral_deg(p1, p2, p3, p4)), 180.0, 1e-9);
+}
+
+TEST(Dihedral, PlanarCisIsZero) {
+  // Cis: first and last atoms on the same side.
+  const Vec3 p1{0, 1, 0}, p2{0, 0, 0}, p3{1, 0, 0}, p4{1, 1, 0};
+  EXPECT_NEAR(dihedral_deg(p1, p2, p3, p4), 0.0, 1e-9);
+}
+
+TEST(Dihedral, RightAngleIsNinety) {
+  const Vec3 p1{0, 1, 0}, p2{0, 0, 0}, p3{1, 0, 0}, p4{1, 0, 1};
+  EXPECT_NEAR(std::fabs(dihedral_deg(p1, p2, p3, p4)), 90.0, 1e-9);
+}
+
+TEST(Dihedral, SignDistinguishesChirality) {
+  const Vec3 p1{0, 1, 0}, p2{0, 0, 0}, p3{1, 0, 0};
+  const Vec3 up{1, 0, 1}, down{1, 0, -1};
+  EXPECT_NEAR(dihedral_deg(p1, p2, p3, up) + dihedral_deg(p1, p2, p3, down),
+              0.0, 1e-9);
+}
+
+TEST(WrapDeg, MapsIntoHalfOpenInterval) {
+  EXPECT_DOUBLE_EQ(wrap_deg(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_deg(190.0), -170.0);
+  EXPECT_DOUBLE_EQ(wrap_deg(-190.0), 170.0);
+  EXPECT_DOUBLE_EQ(wrap_deg(360.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_deg(540.0), 180.0);
+  EXPECT_DOUBLE_EQ(wrap_deg(-180.0), 180.0);
+}
+
+TEST(AngularDistance, ShortestArc) {
+  EXPECT_DOUBLE_EQ(angular_distance_deg(10.0, 350.0), 20.0);
+  EXPECT_DOUBLE_EQ(angular_distance_deg(-170.0, 170.0), 20.0);
+  EXPECT_DOUBLE_EQ(angular_distance_deg(0.0, 180.0), 180.0);
+  EXPECT_DOUBLE_EQ(angular_distance_deg(45.0, 45.0), 0.0);
+}
+
+TEST(AngularDistance, SymmetricAndBounded) {
+  for (double a : {-170.0, -45.0, 0.0, 90.0, 179.0}) {
+    for (double b : {-120.0, 33.0, 178.0}) {
+      EXPECT_DOUBLE_EQ(angular_distance_deg(a, b), angular_distance_deg(b, a));
+      EXPECT_GE(angular_distance_deg(a, b), 0.0);
+      EXPECT_LE(angular_distance_deg(a, b), 180.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace keybin2::md

@@ -1,0 +1,134 @@
+#include "stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace keybin2::stats {
+namespace {
+
+TEST(Pairwise, PerfectClusteringScoresOne) {
+  std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  auto s = pairwise_scores(truth, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(Pairwise, LabelPermutationInvariant) {
+  std::vector<int> truth{0, 0, 1, 1};
+  std::vector<int> permuted{7, 7, 3, 3};
+  auto s = pairwise_scores(permuted, truth);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(Pairwise, HandComputedExample) {
+  // Pred: {a,b,c} {d,e}; Truth: {a,b} {c,d,e}
+  std::vector<int> pred{0, 0, 0, 1, 1};
+  std::vector<int> truth{0, 0, 1, 1, 1};
+  auto s = pairwise_scores(pred, truth);
+  // Pred pairs: C(3,2)+C(2,2) = 4; truth pairs: C(2,2)+C(3,2) = 4.
+  // TP pairs: (a,b) and (d,e) = 2.
+  EXPECT_EQ(s.predicted_pairs, 4u);
+  EXPECT_EQ(s.truth_pairs, 4u);
+  EXPECT_EQ(s.true_positive_pairs, 2u);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.f1, 0.5);
+}
+
+TEST(Pairwise, AllSingletonsHasFullPrecisionZeroRecall) {
+  std::vector<int> pred{0, 1, 2, 3};
+  std::vector<int> truth{0, 0, 1, 1};
+  auto s = pairwise_scores(pred, truth);
+  EXPECT_EQ(s.predicted_pairs, 0u);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);  // no predicted pairs at all
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+}
+
+TEST(Pairwise, SingleMegaClusterHasFullRecall) {
+  std::vector<int> pred{5, 5, 5, 5};
+  std::vector<int> truth{0, 0, 1, 1};
+  auto s = pairwise_scores(pred, truth);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_LT(s.precision, 0.5);  // 2 tp of 6 predicted pairs
+  EXPECT_NEAR(s.precision, 2.0 / 6.0, 1e-12);
+}
+
+TEST(Pairwise, SplittingClustersKeepsPrecision) {
+  // Splitting a true cluster in two: precision stays 1, recall drops — the
+  // paper's characteristic KeyBin2 signature (more clusters than truth).
+  std::vector<int> pred{0, 0, 1, 1};
+  std::vector<int> truth{0, 0, 0, 0};
+  auto s = pairwise_scores(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_NEAR(s.recall, 2.0 / 6.0, 1e-12);
+}
+
+TEST(Pairwise, MismatchedLengthsThrow) {
+  std::vector<int> a{0, 1}, b{0};
+  EXPECT_THROW(pairwise_scores(a, b), Error);
+}
+
+TEST(Pairwise, EmptyInputsScoreZero) {
+  std::vector<int> empty;
+  auto s = pairwise_scores(empty, empty);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(Contingency, CountsCells) {
+  std::vector<int> pred{0, 0, 1}, truth{1, 1, 2};
+  auto cells = contingency_table(pred, truth);
+  EXPECT_EQ(cells.size(), 2u);
+  EXPECT_EQ((cells[{0, 1}]), 2u);
+  EXPECT_EQ((cells[{1, 2}]), 1u);
+}
+
+TEST(Ari, IdenticalPartitionsScoreOne) {
+  std::vector<int> l{0, 0, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(l, l), 1.0);
+}
+
+TEST(Ari, PermutedLabelsScoreOne) {
+  std::vector<int> a{0, 0, 1, 1}, b{9, 9, 4, 4};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(Ari, IndependentPartitionsScoreNearZero) {
+  // A checkerboard assignment against blocks.
+  std::vector<int> pred, truth;
+  for (int i = 0; i < 400; ++i) {
+    pred.push_back(i % 2);
+    truth.push_back(i < 200 ? 0 : 1);
+  }
+  EXPECT_NEAR(adjusted_rand_index(pred, truth), 0.0, 0.05);
+}
+
+TEST(Ari, DegenerateSingleClusterIsDefinedAsOne) {
+  std::vector<int> ones{1, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(ones, ones), 1.0);
+}
+
+TEST(Purity, MajorityVote) {
+  // Cluster 0: classes {0,0,1} -> 2 correct; cluster 1: {1,1} -> 2 correct.
+  std::vector<int> pred{0, 0, 0, 1, 1};
+  std::vector<int> truth{0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(purity(pred, truth), 0.8);
+}
+
+TEST(Purity, PerfectAndEmpty) {
+  std::vector<int> l{0, 1, 0};
+  EXPECT_DOUBLE_EQ(purity(l, l), 1.0);
+  EXPECT_DOUBLE_EQ(purity({}, {}), 0.0);
+}
+
+TEST(DistinctLabels, CountsUnique) {
+  std::vector<int> l{3, 1, 3, -1, 1};
+  EXPECT_EQ(distinct_labels(l), 3u);
+  EXPECT_EQ(distinct_labels({}), 0u);
+}
+
+}  // namespace
+}  // namespace keybin2::stats

@@ -1,0 +1,171 @@
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/projection.hpp"
+
+namespace keybin2::core {
+namespace {
+
+/// A hand-built 1-D model over [0, 1]: depth 3 (8 bins), cut at bin 4,
+/// two cells.
+Model tiny_model(double cell0_density = 100.0, double cell1_density = 50.0,
+                 double min_fraction = 0.0) {
+  DimensionPartition p;
+  p.bins = 8;
+  p.cuts = {4};
+  std::vector<Cell> cells{Cell{{0}, cell0_density, -1},
+                          Cell{{1}, cell1_density, -1}};
+  return Model(/*input_dims=*/1, /*projection=*/Matrix(), /*depth=*/3,
+               /*kept_dims=*/{0}, /*ranges=*/{Range{0.0, 1.0}},
+               /*partitions=*/{p}, std::move(cells), /*score=*/5.0,
+               /*total_points=*/cell0_density + cell1_density, min_fraction);
+}
+
+TEST(Model, PredictMapsValueThroughPartition) {
+  const auto m = tiny_model();
+  EXPECT_EQ(m.n_clusters(), 2);
+  const double left[] = {0.1};
+  const double right[] = {0.9};
+  // Densest cell (cell 0, the left half) gets label 0.
+  EXPECT_EQ(m.predict(left), 0);
+  EXPECT_EQ(m.predict(right), 1);
+}
+
+TEST(Model, LabelsAreDensityOrdered) {
+  // Flip densities: now the right cell is densest and gets label 0.
+  const auto m = tiny_model(50.0, 100.0);
+  const double left[] = {0.1};
+  const double right[] = {0.9};
+  EXPECT_EQ(m.predict(left), 1);
+  EXPECT_EQ(m.predict(right), 0);
+}
+
+TEST(Model, TinyCellsAreAbsorbed) {
+  // Cell 1 holds 1% of the mass; with min_cluster_fraction 5% it is absorbed
+  // into cell 0.
+  const auto m = tiny_model(990.0, 10.0, 0.05);
+  EXPECT_EQ(m.n_clusters(), 1);
+  const double right[] = {0.9};
+  EXPECT_EQ(m.predict(right), 0);
+}
+
+TEST(Model, BatchPredictMatchesScalar) {
+  const auto m = tiny_model();
+  Matrix points(10, 1);
+  for (std::size_t i = 0; i < 10; ++i) points(i, 0) = i / 10.0;
+  const auto labels = m.predict(points);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(labels[i], m.predict(points.row(i)));
+  }
+}
+
+TEST(Model, PredictValidatesDimensionality) {
+  const auto m = tiny_model();
+  const double wrong[] = {0.1, 0.2};
+  EXPECT_THROW(m.predict(wrong), Error);
+}
+
+TEST(Model, EmptyKeptDimsIsSingleCluster) {
+  Model m(3, Matrix(), 3, {}, {}, {}, {}, 0.0, 10.0, 0.0);
+  EXPECT_EQ(m.n_clusters(), 1);
+  const double x[] = {1.0, 2.0, 3.0};
+  EXPECT_EQ(m.predict(x), 0);
+}
+
+TEST(Model, UnseenCellSnapsToNearestOccupied) {
+  // Two kept dims, cells only at (0,0) and (3,3): a point in cell (0,1)
+  // must land in (0,0)'s cluster, one in (3,2) in (3,3)'s.
+  DimensionPartition p;
+  p.bins = 8;
+  p.cuts = {2, 4, 6};  // 4 primaries per dim
+  std::vector<Cell> cells{Cell{{0, 0}, 10.0, -1}, Cell{{3, 3}, 5.0, -1}};
+  Model m(2, Matrix(), 3, {0, 1}, {Range{0, 1}, Range{0, 1}},
+          {p, p}, std::move(cells), 1.0, 15.0, 0.0);
+  const double near_origin[] = {0.05, 0.4};   // primaries (0, 1)
+  const double near_corner[] = {0.95, 0.6};   // primaries (3, 2)
+  EXPECT_EQ(m.predict(near_origin), 0);
+  EXPECT_EQ(m.predict(near_corner), 1);
+}
+
+TEST(Model, ProjectionIsAppliedBeforeKeying) {
+  // Projection matrix [[2],[0]] doubles x and ignores y: a model over the
+  // projected dim [0, 2] cut at 1 separates x < 0.5 from x > 0.5.
+  Matrix proj(2, 1, {2.0, 0.0});
+  DimensionPartition p;
+  p.bins = 8;
+  p.cuts = {4};
+  std::vector<Cell> cells{Cell{{0}, 10.0, -1}, Cell{{1}, 10.0, -1}};
+  Model m(2, std::move(proj), 3, {0}, {Range{0.0, 2.0}}, {p},
+          std::move(cells), 1.0, 20.0, 0.0);
+  const double low[] = {0.2, 99.0};  // y is ignored by the projection
+  const double high[] = {0.8, -99.0};
+  EXPECT_NE(m.predict(low), m.predict(high));
+}
+
+TEST(Model, SerializationRoundtrip) {
+  const auto m = tiny_model(100.0, 50.0, 0.0);
+  ByteWriter w;
+  m.serialize(w);
+  ByteReader r(w.bytes());
+  const auto back = Model::deserialize(r);
+
+  EXPECT_EQ(back.input_dims(), m.input_dims());
+  EXPECT_EQ(back.depth(), m.depth());
+  EXPECT_EQ(back.kept_dims(), m.kept_dims());
+  EXPECT_EQ(back.n_clusters(), m.n_clusters());
+  EXPECT_DOUBLE_EQ(back.score(), m.score());
+  ASSERT_EQ(back.cells().size(), m.cells().size());
+  for (std::size_t i = 0; i < m.cells().size(); ++i) {
+    EXPECT_EQ(back.cells()[i].coord, m.cells()[i].coord);
+    EXPECT_EQ(back.cells()[i].label, m.cells()[i].label);
+    EXPECT_DOUBLE_EQ(back.cells()[i].density, m.cells()[i].density);
+  }
+  // Behavioural equality.
+  for (double x : {0.05, 0.3, 0.55, 0.95}) {
+    const double point[] = {x};
+    EXPECT_EQ(back.predict(point), m.predict(point));
+  }
+}
+
+TEST(Model, SerializationRoundtripWithProjection) {
+  const auto proj = make_projection_matrix(6, 3, 11);
+  DimensionPartition p;
+  p.bins = 16;
+  p.cuts = {8};
+  std::vector<Cell> cells{Cell{{0}, 3.0, -1}, Cell{{1}, 2.0, -1}};
+  Model m(6, proj, 4, {1}, {Range{-1, 1}, Range{-2, 2}, Range{0, 1}}, {p},
+          std::move(cells), 2.5, 5.0, 0.0);
+  ByteWriter w;
+  m.serialize(w);
+  ByteReader r(w.bytes());
+  const auto back = Model::deserialize(r);
+  EXPECT_TRUE(back.projection() == m.projection());
+  EXPECT_EQ(back.ranges().size(), 3u);
+  EXPECT_DOUBLE_EQ(back.ranges()[1].hi, 2.0);
+}
+
+TEST(Model, DeterministicLabelTieBreak) {
+  // Equal densities: lexicographically smaller coordinate gets label 0.
+  DimensionPartition p;
+  p.bins = 8;
+  p.cuts = {4};
+  std::vector<Cell> cells{Cell{{1}, 10.0, -1}, Cell{{0}, 10.0, -1}};
+  Model m(1, Matrix(), 3, {0}, {Range{0, 1}}, {p}, std::move(cells), 0.0,
+          20.0, 0.0);
+  const double left[] = {0.1};
+  EXPECT_EQ(m.predict(left), 0);
+}
+
+TEST(Model, CellArityIsValidated) {
+  DimensionPartition p;
+  p.bins = 8;
+  std::vector<Cell> bad{Cell{{0, 1}, 1.0, -1}};  // 2 coords for 1 kept dim
+  EXPECT_THROW(Model(1, Matrix(), 3, {0}, {Range{0, 1}}, {p}, std::move(bad),
+                     0.0, 1.0, 0.0),
+               Error);
+}
+
+}  // namespace
+}  // namespace keybin2::core

@@ -1,0 +1,139 @@
+#include "core/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace keybin2::core {
+namespace {
+
+TEST(ChooseNrp, FollowsPaperRule) {
+  // N_rp = max(2, round(1.5 ln N)), capped at N.
+  EXPECT_EQ(choose_n_rp(20), 4);     // 1.5 ln 20 = 4.49
+  EXPECT_EQ(choose_n_rp(80), 7);     // 6.57
+  EXPECT_EQ(choose_n_rp(320), 9);    // 8.65
+  EXPECT_EQ(choose_n_rp(1280), 11);  // 10.73
+}
+
+TEST(ChooseNrp, SmallInputsAreCappedAndFloored) {
+  EXPECT_EQ(choose_n_rp(1), 1);  // cap at N
+  EXPECT_EQ(choose_n_rp(2), 2);
+  EXPECT_EQ(choose_n_rp(4), 2);  // floor at 2
+  EXPECT_THROW(choose_n_rp(0), Error);
+}
+
+TEST(ProjectionMatrix, ColumnsAreUnitVectors) {
+  const auto a = make_projection_matrix(100, 7, 42);
+  EXPECT_EQ(a.rows(), 100u);
+  EXPECT_EQ(a.cols(), 7u);
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) norm2 += a(i, j) * a(i, j);
+    EXPECT_NEAR(norm2, 1.0, 1e-12);
+  }
+}
+
+TEST(ProjectionMatrix, HighDimColumnsAreNearOrthogonal) {
+  // §3.1: "In high dimensional spaces, there are a large number of
+  // orthogonal vectors" — random unit columns should be near orthogonal.
+  const auto a = make_projection_matrix(2000, 6, 7);
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t k = j + 1; k < a.cols(); ++k) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.rows(); ++i) dot += a(i, j) * a(i, k);
+      EXPECT_LT(std::fabs(dot), 0.1) << "columns " << j << ", " << k;
+    }
+  }
+}
+
+TEST(ProjectionMatrix, DeterministicInSeed) {
+  const auto a = make_projection_matrix(10, 3, 5);
+  const auto b = make_projection_matrix(10, 3, 5);
+  EXPECT_TRUE(a == b);
+  const auto c = make_projection_matrix(10, 3, 6);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Project, MatchesPerPointProjection) {
+  Rng rng(11);
+  Matrix points(20, 8);
+  for (auto& v : points.flat()) v = rng.normal();
+  const auto a = make_projection_matrix(8, 3, 13);
+  const auto projected = project(points, a);
+  ASSERT_EQ(projected.rows(), 20u);
+  ASSERT_EQ(projected.cols(), 3u);
+  std::vector<double> out(3);
+  for (std::size_t i = 0; i < 20; ++i) {
+    project_point(points.row(i), a, out);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(projected(i, j), out[j], 1e-12);
+    }
+  }
+}
+
+TEST(Project, EqualsMatmul) {
+  Rng rng(17);
+  Matrix points(15, 6);
+  for (auto& v : points.flat()) v = rng.uniform(-2.0, 2.0);
+  const auto a = make_projection_matrix(6, 2, 19);
+  const auto p1 = project(points, a);
+  const auto p2 = matmul(points, a);
+  for (std::size_t i = 0; i < p1.rows(); ++i) {
+    for (std::size_t j = 0; j < p1.cols(); ++j) {
+      EXPECT_NEAR(p1(i, j), p2(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Project, PreservesLengthApproximately) {
+  // With N_rp = N the random rotation is nearly an isometry; with fewer
+  // dims, projected length can only shrink (columns are unit vectors).
+  Rng rng(23);
+  Matrix points(50, 64);
+  for (auto& v : points.flat()) v = rng.normal();
+  const auto a = make_projection_matrix(64, 8, 29);
+  const auto projected = project(points, a);
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    double orig = 0.0, proj = 0.0;
+    for (double v : points.row(i)) orig += v * v;
+    for (double v : projected.row(i)) proj += v * v;
+    EXPECT_LT(proj, orig * 1.5);
+  }
+}
+
+TEST(Project, SinglePointShapeChecks) {
+  const auto a = make_projection_matrix(4, 2, 31);
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> out(3);  // wrong size
+  EXPECT_THROW(project_point(x, a, out), Error);
+}
+
+TEST(Project, OrderingAlongColumnIsLinear) {
+  // Points along a line map to a line: the relative ordering along any
+  // projected dimension is monotone in the line parameter (the property §3.1
+  // argues makes binning safe under projection).
+  const auto a = make_projection_matrix(16, 4, 37);
+  Matrix points(10, 16);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      points(i, j) = static_cast<double>(i) * 0.5;  // along the all-ones dir
+    }
+  }
+  const auto projected = project(points, a);
+  for (std::size_t j = 0; j < 4; ++j) {
+    const bool increasing = projected(1, j) > projected(0, j);
+    for (std::size_t i = 2; i < 10; ++i) {
+      if (increasing) {
+        EXPECT_GT(projected(i, j), projected(i - 1, j));
+      } else {
+        EXPECT_LT(projected(i, j), projected(i - 1, j));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace keybin2::core

@@ -1,0 +1,168 @@
+// Property-based sweeps: pipeline invariants that must hold across the whole
+// (dims, k, ranks, seed) grid, not just hand-picked scenarios.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include <algorithm>
+
+#include "comm/launch.hpp"
+#include "common/rng.hpp"
+#include "core/binner.hpp"
+#include "core/keybin2.hpp"
+#include "core/keys.hpp"
+#include "data/gaussian_mixture.hpp"
+#include "data/partition.hpp"
+#include "stats/metrics.hpp"
+
+namespace keybin2::core {
+namespace {
+
+// ---- Full pipeline across the (dims, k) grid ----
+
+struct GridCase {
+  std::size_t dims;
+  std::size_t k;
+};
+
+class FitGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(FitGrid, InvariantsHoldOnSeparatedMixtures) {
+  const auto [dims, k] = GetParam();
+  // Separation 15 keeps every case in the separable regime the
+  // invariants describe (crowded low-dim lattices genuinely overlap).
+  const auto spec = data::make_paper_mixture(dims, k, 7 * dims + k, 15.0);
+  const auto d = data::sample(spec, 800 * k, 11 * dims + k);
+  const auto result = fit(d.points);
+
+  // (1) Labels are dense, non-negative ids below the reported count.
+  std::set<int> labels(result.labels.begin(), result.labels.end());
+  for (int l : labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, result.n_clusters());
+  }
+
+  // (2) Non-parametric discovery: at least the true structure, at most a
+  // bounded amount of outlier over-segmentation.
+  EXPECT_GE(result.n_clusters(), static_cast<int>(k));
+  EXPECT_LE(result.n_clusters(), static_cast<int>(4 * k + 8));
+
+  // (3) Precision stays near 1 (the paper's signature: splits, not merges).
+  const auto scores = stats::pairwise_scores(result.labels, d.labels);
+  EXPECT_GT(scores.precision, 0.85) << "dims=" << dims << " k=" << k;
+  EXPECT_GT(scores.f1, 0.7) << "dims=" << dims << " k=" << k;
+
+  // (4) The model relabels its own training data identically.
+  EXPECT_EQ(result.model.predict(d.points), result.labels);
+
+  // (5) Serialization is behaviour-preserving.
+  ByteWriter w;
+  result.model.serialize(w);
+  ByteReader r(w.bytes());
+  const auto back = Model::deserialize(r);
+  EXPECT_EQ(back.predict(d.points), result.labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FitGrid,
+    ::testing::Values(GridCase{8, 2}, GridCase{32, 4}, GridCase{16, 2},
+                      GridCase{16, 4}, GridCase{64, 3}, GridCase{64, 8},
+                      GridCase{256, 4}, GridCase{256, 2}),
+    [](const auto& info) {
+      return "dims" + std::to_string(info.param.dims) + "_k" +
+             std::to_string(info.param.k);
+    });
+
+// ---- Distributed invariance across rank counts AND data order ----
+
+class RankInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankInvariance, ShardOrderDoesNotMatter) {
+  // Histograms are sums: permuting which rank holds which shard must not
+  // change the model (only the local label slices move around).
+  const int ranks = GetParam();
+  const auto spec = data::make_paper_mixture(12, 3, 31);
+  const auto d = data::sample(spec, 300 * ranks, 32);
+  auto shards = data::shard(d, ranks);
+
+  auto model_score = [&](const std::vector<data::Dataset>& parts) {
+    double score = 0.0;
+    comm::run_ranks(ranks, [&](comm::Communicator& c) {
+      const auto result =
+          fit(c, parts[static_cast<std::size_t>(c.rank())].points);
+      if (c.rank() == 0) score = result.model.score();
+    });
+    return score;
+  };
+
+  const double forward = model_score(shards);
+  std::reverse(shards.begin(), shards.end());
+  const double reversed = model_score(shards);
+  EXPECT_DOUBLE_EQ(forward, reversed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RankInvariance, ::testing::Values(2, 3, 5));
+
+// ---- Key-space properties across depths ----
+
+class KeyDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeyDepthSweep, KeysPartitionTheRange) {
+  const int depth = GetParam();
+  const Range range{-7.0, 13.0};
+  Rng rng(static_cast<std::uint64_t>(depth));
+  std::uint32_t prev_key = 0;
+  // Sorted random values get monotone keys covering only valid ids.
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.uniform(-7.0, 13.0));
+  std::sort(xs.begin(), xs.end());
+  for (double x : xs) {
+    const auto key = key_of(x, range, depth);
+    EXPECT_LT(key, std::uint32_t{1} << depth);
+    EXPECT_GE(key, prev_key);
+    prev_key = key;
+  }
+}
+
+TEST_P(KeyDepthSweep, HistogramMassMatchesKeyCounts) {
+  const int depth = GetParam();
+  Rng rng(100 + static_cast<std::uint64_t>(depth));
+  Matrix points(500, 2);
+  for (auto& v : points.flat()) v = rng.normal();
+  const std::vector<Range> ranges(2, Range{-5.0, 5.0});
+  const auto keys = compute_keys(points, ranges, depth);
+  const auto hists = build_histograms(keys, ranges);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const auto level = hists[j].level(depth);
+    std::vector<double> direct(level.bins(), 0.0);
+    for (std::size_t i = 0; i < 500; ++i) direct[keys.at(i, j)] += 1.0;
+    for (std::size_t b = 0; b < level.bins(); ++b) {
+      EXPECT_DOUBLE_EQ(level.count(b), direct[b]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, KeyDepthSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16));
+
+// ---- Seed stability: different seeds, same qualitative answer ----
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, QualityIsSeedRobust) {
+  const auto seed = GetParam();
+  const auto spec = data::make_paper_mixture(24, 4, 51);
+  const auto d = data::sample(spec, 4000, 52);
+  Params params;
+  params.seed = seed;
+  const auto result = fit(d.points, params);
+  const auto scores = stats::pairwise_scores(result.labels, d.labels);
+  EXPECT_GT(scores.f1, 0.75) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ULL, 1337ULL, 0xabcdefULL,
+                                           987654321ULL));
+
+}  // namespace
+}  // namespace keybin2::core

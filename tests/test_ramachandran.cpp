@@ -1,0 +1,84 @@
+#include "md/ramachandran.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+#include "md/geometry.hpp"
+
+namespace keybin2::md {
+namespace {
+
+constexpr SecondaryStructure kAll[] = {
+    SecondaryStructure::kAlphaHelix,     SecondaryStructure::kBetaStrand,
+    SecondaryStructure::kPPIIHelix,      SecondaryStructure::kGammaPrimeTurn,
+    SecondaryStructure::kGammaTurn,      SecondaryStructure::kCisPeptide,
+};
+
+class CanonicalCenters : public ::testing::TestWithParam<SecondaryStructure> {
+};
+
+TEST_P(CanonicalCenters, ClassifyToThemselves) {
+  const auto ss = GetParam();
+  const auto t = canonical_torsions(ss);
+  EXPECT_EQ(classify(t.phi, t.psi, t.omega), ss) << to_string(ss);
+}
+
+TEST_P(CanonicalCenters, RobustToSmallJitter) {
+  // The generator adds ~8 deg of noise; classification must be stable well
+  // inside that envelope.
+  const auto ss = GetParam();
+  const auto t = canonical_torsions(ss);
+  Rng rng(7);
+  int correct = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const double phi = wrap_deg(t.phi + rng.normal(0.0, 5.0));
+    const double psi = wrap_deg(t.psi + rng.normal(0.0, 5.0));
+    const double omega = wrap_deg(t.omega + rng.normal(0.0, 2.0));
+    correct += classify(phi, psi, omega) == ss;
+  }
+  EXPECT_GT(correct, trials * 9 / 10) << to_string(ss);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStructures, CanonicalCenters,
+                         ::testing::ValuesIn(kAll));
+
+TEST(Classify, CisPeptideTakesPrecedence) {
+  // Alpha-helix phi/psi but omega ~ 0 is still a cis-peptide bond.
+  EXPECT_EQ(classify(-63.0, -43.0, 5.0), SecondaryStructure::kCisPeptide);
+  EXPECT_EQ(classify(-63.0, -43.0, -20.0), SecondaryStructure::kCisPeptide);
+}
+
+TEST(Classify, TransOmegaDoesNotTriggerCis) {
+  EXPECT_EQ(classify(-63.0, -43.0, 180.0), SecondaryStructure::kAlphaHelix);
+  EXPECT_EQ(classify(-63.0, -43.0, -175.0), SecondaryStructure::kAlphaHelix);
+}
+
+TEST(Classify, OutsideAllBoxesIsOther) {
+  EXPECT_EQ(classify(150.0, 150.0, 180.0), SecondaryStructure::kOther);
+  EXPECT_EQ(classify(0.0, 0.0, 180.0), SecondaryStructure::kOther);
+}
+
+TEST(Classify, BetaAndPPIIAreSeparatedByPhi) {
+  // Both live at high psi; beta is more extended (phi < -90).
+  EXPECT_EQ(classify(-120.0, 140.0, 180.0), SecondaryStructure::kBetaStrand);
+  EXPECT_EQ(classify(-75.0, 150.0, 180.0), SecondaryStructure::kPPIIHelix);
+}
+
+TEST(Classify, GammaTurnsAreMirrored) {
+  EXPECT_EQ(classify(75.0, -60.0, 180.0), SecondaryStructure::kGammaTurn);
+  EXPECT_EQ(classify(-85.0, 70.0, 180.0), SecondaryStructure::kGammaPrimeTurn);
+}
+
+TEST(ToString, AllNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (auto ss : kAll) names.insert(to_string(ss));
+  names.insert(to_string(SecondaryStructure::kOther));
+  EXPECT_EQ(names.size(), 7u);
+}
+
+}  // namespace
+}  // namespace keybin2::md

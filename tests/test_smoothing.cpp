@@ -1,0 +1,152 @@
+#include "stats/smoothing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace keybin2::stats {
+namespace {
+
+TEST(MovingAverage, ConstantSeriesUnchanged) {
+  std::vector<double> y(20, 5.0);
+  for (double v : moving_average(y, 3)) EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(MovingAverage, WindowZeroIsIdentity) {
+  std::vector<double> y{1.0, 5.0, 2.0};
+  EXPECT_EQ(moving_average(y, 0), y);
+}
+
+TEST(MovingAverage, CentredWindowAveragesNeighbours) {
+  std::vector<double> y{0.0, 3.0, 6.0};
+  auto s = moving_average(y, 1);
+  EXPECT_DOUBLE_EQ(s[1], 3.0);
+  // Edges truncate the window instead of zero-padding.
+  EXPECT_DOUBLE_EQ(s[0], 1.5);
+  EXPECT_DOUBLE_EQ(s[2], 4.5);
+}
+
+TEST(MovingAverage, EmptyInput) {
+  EXPECT_TRUE(moving_average({}, 2).empty());
+}
+
+TEST(MovingAverage, PreservesTotalOrderOfScale) {
+  // Smoothing must not invent mass far above the peak.
+  std::vector<double> y{0, 0, 10, 0, 0};
+  auto s = moving_average(y, 1);
+  for (double v : s) EXPECT_LE(v, 10.0);
+}
+
+TEST(SmoothingWindow, FollowsSqrtRule) {
+  EXPECT_EQ(smoothing_window(64), 8u);
+  EXPECT_EQ(smoothing_window(16), 4u);
+  EXPECT_EQ(smoothing_window(1), 1u);
+  EXPECT_EQ(smoothing_window(0), 1u);  // floored
+}
+
+TEST(LocalSlope, LinearSeriesHasConstantSlope) {
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) y.push_back(2.0 * i + 1.0);
+  auto s = local_linear_slope(y, 3);
+  for (double v : s) EXPECT_NEAR(v, 2.0, 1e-9);
+}
+
+TEST(LocalSlope, FlatSeriesHasZeroSlope) {
+  std::vector<double> y(10, 4.0);
+  for (double v : local_linear_slope(y, 2)) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(LocalSlope, SignFlipsAtPeak) {
+  std::vector<double> y{0, 1, 2, 3, 4, 3, 2, 1, 0};
+  auto s = local_linear_slope(y, 2);
+  EXPECT_GT(s[1], 0.0);
+  EXPECT_LT(s[7], 0.0);
+}
+
+TEST(FirstDifference, KnownValues) {
+  std::vector<double> y{1.0, 4.0, 2.0};
+  auto d = first_difference(y);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], -2.0);
+}
+
+TEST(FirstDifference, ShortInputs) {
+  EXPECT_TRUE(first_difference({}).empty());
+  EXPECT_TRUE(first_difference(std::vector<double>{1.0}).empty());
+}
+
+TEST(SignChanges, DetectsCrossings) {
+  std::vector<double> d2{1.0, 2.0, -1.0, -2.0, 3.0};
+  auto c = sign_changes(d2);
+  EXPECT_EQ(c, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(SignChanges, IgnoresTouchingZero) {
+  std::vector<double> d2{1.0, 0.0, 1.0};
+  EXPECT_TRUE(sign_changes(d2).empty());
+}
+
+TEST(ProminentMaxima, FindsTwoCleanModes) {
+  //               0    1    2    3    4    5    6    7    8
+  std::vector<double> y{0.0, 5.0, 8.0, 5.0, 1.0, 6.0, 9.0, 6.0, 0.0};
+  auto m = prominent_maxima(y, 2.0);
+  EXPECT_EQ(m, (std::vector<std::size_t>{2, 6}));
+}
+
+TEST(ProminentMaxima, FiltersShallowBump) {
+  std::vector<double> y{0.0, 8.0, 7.5, 7.8, 7.0, 2.0, 0.0};
+  // The bump at index 3 has prominence 0.3 — below threshold 1.0.
+  auto m = prominent_maxima(y, 1.0);
+  EXPECT_EQ(m, (std::vector<std::size_t>{1}));
+}
+
+TEST(ProminentMaxima, PlateauReportsMidpoint) {
+  std::vector<double> y{0.0, 5.0, 5.0, 5.0, 0.0};
+  auto m = prominent_maxima(y, 1.0);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], 2u);
+}
+
+TEST(ProminentMaxima, MonotoneSeriesHasEdgeModeOnly) {
+  // A density rising to the range boundary is a single mode AT the edge
+  // (a cluster hugging the histogram border).
+  std::vector<double> y{0, 1, 2, 3, 4};
+  EXPECT_EQ(prominent_maxima(y, 0.5), (std::vector<std::size_t>{4}));
+}
+
+TEST(ProminentMaxima, EdgeClusterIsAMode) {
+  // Mass piled at bin 0, decaying inward: the edge is the mode.
+  std::vector<double> y{10.0, 6.0, 2.0, 1.0, 0.5};
+  auto m = prominent_maxima(y, 1.0);
+  EXPECT_EQ(m, (std::vector<std::size_t>{0}));
+}
+
+TEST(ProminentMaxima, TwoEdgeClustersAreTwoModes) {
+  std::vector<double> y{9.0, 3.0, 0.5, 0.5, 3.0, 8.0};
+  auto m = prominent_maxima(y, 2.0);
+  EXPECT_EQ(m, (std::vector<std::size_t>{0, 5}));
+}
+
+TEST(ProminentMinima, FindsValleyBetweenModes) {
+  std::vector<double> y{0.0, 8.0, 2.0, 9.0, 0.0};
+  // The interior valley plus the two edge minima.
+  auto m = prominent_minima(y, 3.0);
+  EXPECT_EQ(m, (std::vector<std::size_t>{0, 2, 4}));
+}
+
+TEST(ProminentMinima, ShallowInteriorDipFiltered) {
+  std::vector<double> y{0.0, 8.0, 7.5, 9.0, 0.0};
+  // The 0.5-deep interior dip is filtered; edges survive (unconstrained).
+  auto m = prominent_minima(y, 1.0);
+  EXPECT_EQ(m, (std::vector<std::size_t>{0, 4}));
+}
+
+TEST(ProminentExtrema, ConstantAndEmptySeriesHaveNone) {
+  EXPECT_TRUE(prominent_maxima(std::vector<double>{2.0, 2.0, 2.0}, 0.1).empty());
+  EXPECT_TRUE(prominent_minima(std::vector<double>{}, 0.1).empty());
+  EXPECT_TRUE(prominent_maxima(std::vector<double>{1.0}, 0.1).empty());
+}
+
+}  // namespace
+}  // namespace keybin2::stats

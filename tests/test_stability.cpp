@@ -1,0 +1,193 @@
+#include "md/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "md/builder.hpp"
+#include "md/kabsch.hpp"
+#include "md/synthetic.hpp"
+
+namespace keybin2::md {
+namespace {
+
+TEST(HdrCenter, FullMassIsMidrange) {
+  EXPECT_DOUBLE_EQ(hdr_center({1.0, 2.0, 3.0}, 1.0), 2.0);
+}
+
+TEST(HdrCenter, FindsDensestRegion) {
+  // Mass concentrated near 0 with one far outlier: the 70% HDR ignores the
+  // outlier.
+  std::vector<double> samples{0.0, 0.05, 0.1, 0.12, 0.15, 0.2, 9.0};
+  const double c = hdr_center(samples, 0.7);
+  EXPECT_LT(c, 0.3);
+}
+
+TEST(HdrCenter, SymmetricDataIsCentred) {
+  std::vector<double> samples;
+  for (int i = 0; i <= 100; ++i) samples.push_back(i / 100.0);
+  EXPECT_NEAR(hdr_center(samples, 0.7), 0.5, 0.16);
+}
+
+TEST(HdrCenter, Validation) {
+  EXPECT_THROW(hdr_center({}, 0.7), Error);
+  EXPECT_THROW(hdr_center({1.0}, 0.0), Error);
+  EXPECT_THROW(hdr_center({1.0}, 1.5), Error);
+  EXPECT_DOUBLE_EQ(hdr_center({5.0}, 0.7), 5.0);
+}
+
+TEST(Representatives, AreDistinctFrames) {
+  const auto st = generate_trajectory({.residues = 20, .frames = 400,
+                                       .phases = 3, .transition_frames = 20,
+                                       .seed = 1});
+  const auto reps = sample_representatives(st.trajectory, 6, 1.5, 2);
+  EXPECT_EQ(reps.size(), 6u);
+  std::set<std::size_t> unique(reps.begin(), reps.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (auto f : reps) EXPECT_LT(f, 400u);
+}
+
+TEST(Representatives, Validation) {
+  const auto st = generate_trajectory({.residues = 5, .frames = 50,
+                                       .phases = 2, .transition_frames = 5,
+                                       .seed = 3});
+  EXPECT_THROW(sample_representatives(st.trajectory, 1, 1.5, 1), Error);
+  EXPECT_THROW(sample_representatives(st.trajectory, 51, 1.5, 1), Error);
+}
+
+TEST(Stability, ScoresAreProbabilityLike) {
+  const auto st = generate_trajectory({.residues = 20, .frames = 500,
+                                       .phases = 3, .transition_frames = 25,
+                                       .seed = 4});
+  StabilityParams params;
+  params.n_representatives = 5;
+  params.window = 50;
+  const auto analysis = analyze_stability(st.trajectory, params);
+  ASSERT_EQ(analysis.scores.size(), 500u);
+  for (const auto& frame_scores : analysis.scores) {
+    ASSERT_EQ(frame_scores.size(), 5u);
+    for (double s : frame_scores) {
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST(Stability, SegmentsAreOrderedAndLabelled) {
+  const auto st = generate_trajectory({.residues = 30, .frames = 1200,
+                                       .phases = 4, .transition_frames = 40,
+                                       .seed = 5});
+  StabilityParams params;
+  params.n_representatives = 8;
+  const auto analysis = analyze_stability(st.trajectory, params);
+  std::size_t prev_end = 0;
+  for (const auto& seg : analysis.segments) {
+    EXPECT_GE(seg.begin, prev_end);
+    EXPECT_LT(seg.begin, seg.end);
+    EXPECT_GE(seg.label, 0);
+    prev_end = seg.end;
+  }
+}
+
+TEST(Stability, StableLabelMatchesSegments) {
+  const auto st = generate_trajectory({.residues = 25, .frames = 800,
+                                       .phases = 3, .transition_frames = 30,
+                                       .seed = 6});
+  const auto analysis = analyze_stability(st.trajectory, {});
+  for (const auto& seg : analysis.segments) {
+    for (std::size_t f = seg.begin; f < seg.end; ++f) {
+      EXPECT_EQ(analysis.stable_label[f], seg.label);
+    }
+  }
+}
+
+TEST(Stability, FindsStableMassInsideMetastablePhases) {
+  // The probabilistic method should mark a decent share of metastable frames
+  // as stable — this is the paper's Figure 4 "rectangles".
+  const auto st = generate_trajectory({.residues = 40, .frames = 2000,
+                                       .phases = 4, .transition_frames = 60,
+                                       .seed = 7});
+  StabilityParams params;
+  params.n_representatives = 8;
+  params.threshold_w = 0.05;
+  const auto analysis = analyze_stability(st.trajectory, params);
+  std::size_t stable = 0;
+  for (int l : analysis.stable_label) stable += l >= 0;
+  EXPECT_GT(static_cast<double>(stable) / 2000.0, 0.3);
+  EXPECT_FALSE(analysis.segments.empty());
+}
+
+
+TEST(Stability, CartesianAnalysisRunsAndDetectsStability) {
+  // The Cartesian Eq.3 variant (NeRF backbone + Kabsch RMSD) must be a
+  // drop-in replacement: probability-like scores and non-degenerate
+  // stable segments on a phased trajectory.
+  const auto st = generate_trajectory({.residues = 15, .frames = 400,
+                                       .phases = 2, .transition_frames = 20,
+                                       .change_fraction = 0.6, .seed = 9});
+  StabilityParams params;
+  params.n_representatives = 4;
+  params.window = 40;
+  params.threshold_w = 0.03;
+  params.distance = ConformationDistance::kCartesian;
+  const auto analysis = analyze_stability(st.trajectory, params);
+  std::size_t stable = 0;
+  for (int l : analysis.stable_label) stable += l >= 0;
+  EXPECT_GT(stable, 50u);
+  EXPECT_LT(stable, 400u);
+  EXPECT_FALSE(analysis.segments.empty());
+}
+
+TEST(Stability, CartesianAndTorsionDistancesCorrelate) {
+  // The torsion metric is the fast in-situ proxy for the Cartesian RMSD MD
+  // practitioners use offline — across frame pairs the two must be
+  // positively correlated.
+  const auto st = generate_trajectory({.residues = 20, .frames = 300,
+                                       .phases = 3, .transition_frames = 15,
+                                       .change_fraction = 0.5, .seed = 10});
+  std::vector<double> torsion_d, cartesian_d;
+  for (std::size_t a = 0; a < 300; a += 29) {
+    const auto chain_a = build_backbone(st.trajectory, a);
+    for (std::size_t b = a + 7; b < 300; b += 31) {
+      torsion_d.push_back(frame_rmsd(st.trajectory, a, b));
+      cartesian_d.push_back(
+          backbone_rmsd(chain_a, build_backbone(st.trajectory, b)));
+    }
+  }
+  // Pearson correlation.
+  const auto n = static_cast<double>(torsion_d.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < torsion_d.size(); ++i) {
+    mx += torsion_d[i];
+    my += cartesian_d[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < torsion_d.size(); ++i) {
+    sxy += (torsion_d[i] - mx) * (cartesian_d[i] - my);
+    sxx += (torsion_d[i] - mx) * (torsion_d[i] - mx);
+    syy += (cartesian_d[i] - my) * (cartesian_d[i] - my);
+  }
+  EXPECT_GT(sxy / std::sqrt(sxx * syy), 0.5);
+}
+
+TEST(Stability, ThresholdWidensOrNarrowsStability) {
+  const auto st = generate_trajectory({.residues = 20, .frames = 600,
+                                       .phases = 3, .transition_frames = 30,
+                                       .seed = 8});
+  StabilityParams lax, strict;
+  lax.threshold_w = 0.01;
+  strict.threshold_w = 0.4;
+  const auto a = analyze_stability(st.trajectory, lax);
+  const auto b = analyze_stability(st.trajectory, strict);
+  std::size_t stable_lax = 0, stable_strict = 0;
+  for (int l : a.stable_label) stable_lax += l >= 0;
+  for (int l : b.stable_label) stable_strict += l >= 0;
+  EXPECT_GE(stable_lax, stable_strict);
+}
+
+}  // namespace
+}  // namespace keybin2::md

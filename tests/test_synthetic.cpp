@@ -1,0 +1,132 @@
+#include "md/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "stats/distributions.hpp"
+
+namespace keybin2::md {
+namespace {
+
+TEST(Synthetic, RespectsConfiguredShape) {
+  const auto st = generate_trajectory({.residues = 25, .frames = 400,
+                                       .phases = 4, .transition_frames = 20,
+                                       .seed = 1});
+  EXPECT_EQ(st.trajectory.frames(), 400u);
+  EXPECT_EQ(st.trajectory.residues(), 25u);
+  EXPECT_EQ(st.phase.size(), 400u);
+  EXPECT_EQ(st.phase_structures.size(), 4u);
+}
+
+TEST(Synthetic, PhasesAreContiguousAndComplete) {
+  const auto st = generate_trajectory({.residues = 10, .frames = 500,
+                                       .phases = 5, .transition_frames = 10,
+                                       .seed = 2});
+  std::set<int> seen;
+  for (std::size_t f = 1; f < 500; ++f) {
+    EXPECT_GE(st.phase[f], st.phase[f - 1]);  // monotone phase ids
+    seen.insert(st.phase[f]);
+  }
+  seen.insert(st.phase[0]);
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Synthetic, TransitionsMarkPhaseEntries) {
+  const auto st = generate_trajectory({.residues = 10, .frames = 600,
+                                       .phases = 3, .transition_frames = 40,
+                                       .seed = 3});
+  // Frames right after a phase switch are transitions; deep inside a phase
+  // they are not.
+  for (std::size_t f = 1; f < 600; ++f) {
+    if (st.phase[f] != st.phase[f - 1]) {
+      EXPECT_TRUE(st.in_transition[f]);
+      EXPECT_FALSE(st.in_transition[f - 1]);
+    }
+  }
+  EXPECT_FALSE(st.in_transition[0]);
+}
+
+TEST(Synthetic, MetastableFramesMatchTargetStructures) {
+  const auto st = generate_trajectory({.residues = 40, .frames = 800,
+                                       .phases = 2, .transition_frames = 30,
+                                       .jitter_deg = 6.0, .seed = 4});
+  std::size_t checked = 0, correct = 0;
+  for (std::size_t f = 0; f < 800; f += 13) {
+    if (st.in_transition[f]) continue;
+    const auto& targets =
+        st.phase_structures[static_cast<std::size_t>(st.phase[f])];
+    for (std::size_t r = 0; r < 40; ++r) {
+      ++checked;
+      correct += st.trajectory.structure(f, r) == targets[r];
+    }
+  }
+  // With 6-deg jitter, the overwhelming majority must classify correctly.
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(checked), 0.9);
+}
+
+TEST(Synthetic, ConsecutivePhasesDifferInSomeResidues) {
+  const auto st = generate_trajectory({.residues = 50, .frames = 300,
+                                       .phases = 4, .transition_frames = 10,
+                                       .change_fraction = 0.3, .seed = 5});
+  for (std::size_t p = 1; p < 4; ++p) {
+    std::size_t diff = 0;
+    for (std::size_t r = 0; r < 50; ++r) {
+      diff += st.phase_structures[p][r] != st.phase_structures[p - 1][r];
+    }
+    EXPECT_GE(diff, 1u);
+    EXPECT_LE(diff, 20u);  // at most change_fraction worth of flips
+  }
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  const SyntheticTrajectoryConfig cfg{.residues = 15, .frames = 100,
+                                      .phases = 2, .transition_frames = 10,
+                                      .seed = 6};
+  const auto a = generate_trajectory(cfg);
+  const auto b = generate_trajectory(cfg);
+  EXPECT_EQ(a.phase, b.phase);
+  for (std::size_t f = 0; f < 100; ++f) {
+    for (std::size_t r = 0; r < 15; ++r) {
+      EXPECT_DOUBLE_EQ(a.trajectory.phi(f, r), b.trajectory.phi(f, r));
+    }
+  }
+}
+
+TEST(Synthetic, DegenerateConfigsThrow) {
+  EXPECT_THROW(generate_trajectory({.residues = 0}), Error);
+  EXPECT_THROW(generate_trajectory({.residues = 5, .frames = 1}), Error);
+  EXPECT_THROW(
+      generate_trajectory({.residues = 5, .frames = 50, .phases = 10,
+                           .transition_frames = 20}),
+      Error);
+}
+
+TEST(ModelLibrary, MatchesTableThreeEnvelope) {
+  // Table 3: residues in [58, 747], mean 193 +/- 145; frames in
+  // [2000, 20000], mean ~9779.
+  const auto lib = make_model_library(42);
+  ASSERT_EQ(lib.size(), 31u);
+  stats::OnlineMoments residues, frames;
+  for (const auto& cfg : lib) {
+    EXPECT_GE(cfg.residues, 58u);
+    EXPECT_LE(cfg.residues, 747u);
+    EXPECT_GE(cfg.frames, 2000u);
+    EXPECT_LE(cfg.frames, 20000u);
+    residues.add(static_cast<double>(cfg.residues));
+    frames.add(static_cast<double>(cfg.frames));
+  }
+  EXPECT_NEAR(residues.mean(), 193.0, 90.0);
+  EXPECT_NEAR(frames.mean(), 9779.0, 2500.0);
+}
+
+TEST(ModelLibrary, SeedsAreDistinct) {
+  const auto lib = make_model_library(7);
+  std::set<std::uint64_t> seeds;
+  for (const auto& cfg : lib) seeds.insert(cfg.seed);
+  EXPECT_EQ(seeds.size(), lib.size());
+}
+
+}  // namespace
+}  // namespace keybin2::md

@@ -1,0 +1,106 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace keybin2 {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElementRunsInline) {
+  ThreadPool pool(4);
+  int value = 0;
+  pool.parallel_for(1, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t begin, std::size_t) {
+                          if (begin == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(10, [](std::size_t, std::size_t) {
+      throw std::runtime_error("first");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, [&](std::size_t begin, std::size_t end) {
+    sum.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultHasAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolIsShared) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+}
+
+class ThreadPoolShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ThreadPoolShapes, PartitionIsExact) {
+  const auto [workers, n] = GetParam();
+  ThreadPool pool(workers);
+  std::atomic<std::size_t> total{0};
+  std::atomic<int> chunks{0};
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    EXPECT_LT(begin, end);
+    total.fetch_add(end - begin);
+    chunks.fetch_add(1);
+  });
+  EXPECT_EQ(total.load(), n);
+  EXPECT_LE(static_cast<std::size_t>(chunks.load()), std::max<std::size_t>(workers, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ThreadPoolShapes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 10},
+                      std::pair<std::size_t, std::size_t>{2, 3},
+                      std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{4, 1000},
+                      std::pair<std::size_t, std::size_t>{8, 7},
+                      std::pair<std::size_t, std::size_t>{3, 100}));
+
+}  // namespace
+}  // namespace keybin2

@@ -1,0 +1,134 @@
+#include "md/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/synthetic.hpp"
+
+namespace keybin2::md {
+namespace {
+
+TEST(Trajectory, TorsionAccessorsAreConsistent) {
+  Trajectory t(3, 2);
+  t.phi(1, 0) = -60.0;
+  t.psi(1, 0) = -45.0;
+  t.omega(1, 1) = 180.0;
+  EXPECT_DOUBLE_EQ(t.phi(1, 0), -60.0);
+  EXPECT_DOUBLE_EQ(t.psi(1, 0), -45.0);
+  EXPECT_DOUBLE_EQ(t.omega(1, 1), 180.0);
+  auto row = t.torsions(1);
+  EXPECT_DOUBLE_EQ(row[0], -60.0);
+  EXPECT_DOUBLE_EQ(row[1], -45.0);
+  EXPECT_DOUBLE_EQ(row[5], 180.0);
+}
+
+TEST(Trajectory, StructureUsesClassifier) {
+  Trajectory t(1, 1);
+  const auto alpha = canonical_torsions(SecondaryStructure::kAlphaHelix);
+  t.phi(0, 0) = alpha.phi;
+  t.psi(0, 0) = alpha.psi;
+  t.omega(0, 0) = alpha.omega;
+  EXPECT_EQ(t.structure(0, 0), SecondaryStructure::kAlphaHelix);
+}
+
+TEST(Featurize, MatrixOfClassIndices) {
+  Trajectory t(2, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto beta = canonical_torsions(SecondaryStructure::kBetaStrand);
+    t.phi(0, r) = beta.phi;
+    t.psi(0, r) = beta.psi;
+    t.omega(0, r) = beta.omega;
+    const auto cis = canonical_torsions(SecondaryStructure::kCisPeptide);
+    t.phi(1, r) = cis.phi;
+    t.psi(1, r) = cis.psi;
+    t.omega(1, r) = cis.omega;
+  }
+  const auto features = featurize_secondary_structure(t);
+  EXPECT_EQ(features.rows(), 2u);
+  EXPECT_EQ(features.cols(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(features(0, r),
+                     static_cast<double>(
+                         static_cast<int>(SecondaryStructure::kBetaStrand)));
+    EXPECT_DOUBLE_EQ(features(1, r),
+                     static_cast<double>(
+                         static_cast<int>(SecondaryStructure::kCisPeptide)));
+  }
+  // Per-frame featurization agrees.
+  const auto frame0 = featurize_frame(t, 0);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(frame0[r], features(0, r));
+  }
+}
+
+TEST(FrameRmsd, IdentityIsZero) {
+  const auto st = generate_trajectory({.residues = 10, .frames = 20,
+                                       .phases = 2, .transition_frames = 3,
+                                       .seed = 1});
+  for (std::size_t f = 0; f < 20; ++f) {
+    EXPECT_DOUBLE_EQ(frame_rmsd(st.trajectory, f, f), 0.0);
+  }
+}
+
+TEST(FrameRmsd, SymmetricAndNonNegative) {
+  const auto st = generate_trajectory({.residues = 8, .frames = 30,
+                                       .phases = 3, .transition_frames = 4,
+                                       .seed = 2});
+  for (std::size_t a = 0; a < 30; a += 7) {
+    for (std::size_t b = 0; b < 30; b += 5) {
+      const double ab = frame_rmsd(st.trajectory, a, b);
+      EXPECT_DOUBLE_EQ(ab, frame_rmsd(st.trajectory, b, a));
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 180.0);
+    }
+  }
+}
+
+TEST(FrameRmsd, HandlesPeriodicWrap) {
+  // phi = +179 vs -179 differ by 2 degrees, not 358.
+  Trajectory t(2, 1);
+  t.phi(0, 0) = 179.0;
+  t.psi(0, 0) = 0.0;
+  t.phi(1, 0) = -179.0;
+  t.psi(1, 0) = 0.0;
+  EXPECT_NEAR(frame_rmsd(t, 0, 1), std::sqrt((2.0 * 2.0) / 2.0), 1e-9);
+}
+
+TEST(FrameRmsd, FramesInSamePhaseAreCloserThanAcrossPhases) {
+  const auto st = generate_trajectory({.residues = 30, .frames = 600,
+                                       .phases = 2, .transition_frames = 30,
+                                       .seed = 3});
+  // Frames 100 & 200 share phase 0; frame 500 is in phase 1.
+  const double within = frame_rmsd(st.trajectory, 100, 200);
+  const double across = frame_rmsd(st.trajectory, 100, 500);
+  EXPECT_LT(within, across);
+}
+
+TEST(MeanConformation, ConstantTrajectoryIsItself) {
+  Trajectory t(5, 2);
+  for (std::size_t f = 0; f < 5; ++f) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      t.phi(f, r) = -60.0;
+      t.psi(f, r) = 120.0;
+      t.omega(f, r) = 180.0;
+    }
+  }
+  const auto mean = mean_conformation(t);
+  EXPECT_NEAR(mean[0], -60.0, 1e-9);
+  EXPECT_NEAR(mean[1], 120.0, 1e-9);
+  EXPECT_NEAR(std::fabs(mean[2]), 180.0, 1e-9);
+}
+
+TEST(MeanConformation, CircularMeanHandlesWrap) {
+  // Two frames at +170 and -170: linear mean is 0 (wrong side); circular
+  // mean is ±180.
+  Trajectory t(2, 1);
+  t.phi(0, 0) = 170.0;
+  t.phi(1, 0) = -170.0;
+  const auto mean = mean_conformation(t);
+  EXPECT_NEAR(std::fabs(mean[0]), 180.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace keybin2::md

@@ -1,0 +1,98 @@
+#include "baselines/xmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/gaussian_mixture.hpp"
+#include "stats/metrics.hpp"
+
+namespace keybin2::baselines {
+namespace {
+
+TEST(XMeansBic, PrefersTrueStructure) {
+  // BIC of the true 3-cluster model beats a forced 1-cluster model.
+  const auto spec = data::make_paper_mixture(6, 3, 1, 15.0);
+  const auto d = data::sample(spec, 600, 2);
+
+  KMeansParams k3;
+  k3.k = 3;
+  k3.n_init = 3;
+  const auto m3 = kmeans(d.points, k3);
+  KMeansParams k1;
+  k1.k = 1;
+  const auto m1 = kmeans(d.points, k1);
+
+  EXPECT_GT(kmeans_bic(d.points, m3.labels, m3.centers),
+            kmeans_bic(d.points, m1.labels, m1.centers));
+}
+
+TEST(XMeansBic, PenalizesGratuitousClusters) {
+  // On single-cluster data, k=1 must out-BIC k=8.
+  const auto spec = data::make_paper_mixture(6, 1, 3);
+  const auto d = data::sample(spec, 500, 4);
+  KMeansParams k1, k8;
+  k1.k = 1;
+  k8.k = 8;
+  const auto m1 = kmeans(d.points, k1);
+  const auto m8 = kmeans(d.points, k8);
+  EXPECT_GT(kmeans_bic(d.points, m1.labels, m1.centers),
+            kmeans_bic(d.points, m8.labels, m8.centers));
+}
+
+class XMeansRecovery : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(XMeansRecovery, FindsApproximatelyTrueK) {
+  const std::size_t true_k = GetParam();
+  const auto spec = data::make_paper_mixture(10, true_k, 5 + true_k, 15.0);
+  const auto d = data::sample(spec, 400 * true_k, 6 + true_k);
+  XMeansParams params;
+  params.k_max = 16;
+  params.seed = 7;
+  const auto result = xmeans(d.points, params);
+  EXPECT_GE(result.k, true_k);
+  EXPECT_LE(result.k, true_k + 3);
+  const auto scores = stats::pairwise_scores(result.labels, d.labels);
+  EXPECT_GT(scores.recall, 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(TrueK, XMeansRecovery, ::testing::Values(2, 3, 5));
+
+TEST(XMeans, SingleClusterDataStaysSingle) {
+  const auto spec = data::make_paper_mixture(8, 1, 11);
+  const auto d = data::sample(spec, 800, 12);
+  XMeansParams params;
+  params.seed = 13;
+  const auto result = xmeans(d.points, params);
+  EXPECT_LE(result.k, 2u);
+}
+
+TEST(XMeans, RespectsKMax) {
+  const auto spec = data::make_paper_mixture(6, 6, 15, 20.0);
+  const auto d = data::sample(spec, 1200, 16);
+  XMeansParams params;
+  params.k_max = 3;
+  const auto result = xmeans(d.points, params);
+  EXPECT_LE(result.k, 3u);
+}
+
+TEST(XMeans, ValidatesParameters) {
+  Matrix points(10, 2);
+  XMeansParams bad;
+  bad.k_min = 5;
+  bad.k_max = 2;
+  EXPECT_THROW(xmeans(points, bad), Error);
+}
+
+TEST(XMeans, DeterministicInSeed) {
+  const auto spec = data::make_paper_mixture(5, 3, 17);
+  const auto d = data::sample(spec, 600, 18);
+  XMeansParams params;
+  params.seed = 19;
+  const auto a = xmeans(d.points, params);
+  const auto b = xmeans(d.points, params);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.k, b.k);
+}
+
+}  // namespace
+}  // namespace keybin2::baselines
