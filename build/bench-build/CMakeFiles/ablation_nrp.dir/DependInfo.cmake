@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_nrp.cpp" "bench-build/CMakeFiles/ablation_nrp.dir/ablation_nrp.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_nrp.dir/ablation_nrp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kb2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/kb2_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/kb2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kb2_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kb2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/kb2_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/kb2_md.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

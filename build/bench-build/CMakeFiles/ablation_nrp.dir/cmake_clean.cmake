@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_nrp"
+  "../bench/ablation_nrp.pdb"
+  "CMakeFiles/ablation_nrp.dir/ablation_nrp.cpp.o"
+  "CMakeFiles/ablation_nrp.dir/ablation_nrp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

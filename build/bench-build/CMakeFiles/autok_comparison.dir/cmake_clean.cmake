@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/autok_comparison"
+  "../bench/autok_comparison.pdb"
+  "CMakeFiles/autok_comparison.dir/autok_comparison.cpp.o"
+  "CMakeFiles/autok_comparison.dir/autok_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autok_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_projection"
+  "../bench/fig1_projection.pdb"
+  "CMakeFiles/fig1_projection.dir/fig1_projection.cpp.o"
+  "CMakeFiles/fig1_projection.dir/fig1_projection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

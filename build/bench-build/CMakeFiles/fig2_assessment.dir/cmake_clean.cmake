@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_assessment"
+  "../bench/fig2_assessment.pdb"
+  "CMakeFiles/fig2_assessment.dir/fig2_assessment.cpp.o"
+  "CMakeFiles/fig2_assessment.dir/fig2_assessment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

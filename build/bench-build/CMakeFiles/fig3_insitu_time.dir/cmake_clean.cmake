@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_insitu_time"
+  "../bench/fig3_insitu_time.pdb"
+  "CMakeFiles/fig3_insitu_time.dir/fig3_insitu_time.cpp.o"
+  "CMakeFiles/fig3_insitu_time.dir/fig3_insitu_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_insitu_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_fingerprints"
+  "../bench/fig4_fingerprints.pdb"
+  "CMakeFiles/fig4_fingerprints.dir/fig4_fingerprints.cpp.o"
+  "CMakeFiles/fig4_fingerprints.dir/fig4_fingerprints.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fingerprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/shapes_comparison"
+  "../bench/shapes_comparison.pdb"
+  "CMakeFiles/shapes_comparison.dir/shapes_comparison.cpp.o"
+  "CMakeFiles/shapes_comparison.dir/shapes_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapes_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_dims"
+  "../bench/table1_dims.pdb"
+  "CMakeFiles/table1_dims.dir/table1_dims.cpp.o"
+  "CMakeFiles/table1_dims.dir/table1_dims.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_scaling"
+  "../bench/table2_scaling.pdb"
+  "CMakeFiles/table2_scaling.dir/table2_scaling.cpp.o"
+  "CMakeFiles/table2_scaling.dir/table2_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

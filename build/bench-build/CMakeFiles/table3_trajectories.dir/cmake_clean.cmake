@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_trajectories"
+  "../bench/table3_trajectories.pdb"
+  "CMakeFiles/table3_trajectories.dir/table3_trajectories.cpp.o"
+  "CMakeFiles/table3_trajectories.dir/table3_trajectories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_trajectories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

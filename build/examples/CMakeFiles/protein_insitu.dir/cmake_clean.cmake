@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_insitu.dir/protein_insitu.cpp.o"
+  "CMakeFiles/protein_insitu.dir/protein_insitu.cpp.o.d"
+  "protein_insitu"
+  "protein_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

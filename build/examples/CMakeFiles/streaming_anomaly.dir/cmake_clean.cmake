@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_anomaly.dir/streaming_anomaly.cpp.o"
+  "CMakeFiles/streaming_anomaly.dir/streaming_anomaly.cpp.o.d"
+  "streaming_anomaly"
+  "streaming_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

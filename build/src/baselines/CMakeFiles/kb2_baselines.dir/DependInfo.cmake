@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dbscan.cpp" "src/baselines/CMakeFiles/kb2_baselines.dir/dbscan.cpp.o" "gcc" "src/baselines/CMakeFiles/kb2_baselines.dir/dbscan.cpp.o.d"
+  "/root/repo/src/baselines/disjoint_set.cpp" "src/baselines/CMakeFiles/kb2_baselines.dir/disjoint_set.cpp.o" "gcc" "src/baselines/CMakeFiles/kb2_baselines.dir/disjoint_set.cpp.o.d"
+  "/root/repo/src/baselines/kmeans.cpp" "src/baselines/CMakeFiles/kb2_baselines.dir/kmeans.cpp.o" "gcc" "src/baselines/CMakeFiles/kb2_baselines.dir/kmeans.cpp.o.d"
+  "/root/repo/src/baselines/parallel_kmeans.cpp" "src/baselines/CMakeFiles/kb2_baselines.dir/parallel_kmeans.cpp.o" "gcc" "src/baselines/CMakeFiles/kb2_baselines.dir/parallel_kmeans.cpp.o.d"
+  "/root/repo/src/baselines/xmeans.cpp" "src/baselines/CMakeFiles/kb2_baselines.dir/xmeans.cpp.o" "gcc" "src/baselines/CMakeFiles/kb2_baselines.dir/xmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kb2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/kb2_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

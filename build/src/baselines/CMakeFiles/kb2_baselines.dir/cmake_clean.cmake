@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb2_baselines.dir/dbscan.cpp.o"
+  "CMakeFiles/kb2_baselines.dir/dbscan.cpp.o.d"
+  "CMakeFiles/kb2_baselines.dir/disjoint_set.cpp.o"
+  "CMakeFiles/kb2_baselines.dir/disjoint_set.cpp.o.d"
+  "CMakeFiles/kb2_baselines.dir/kmeans.cpp.o"
+  "CMakeFiles/kb2_baselines.dir/kmeans.cpp.o.d"
+  "CMakeFiles/kb2_baselines.dir/parallel_kmeans.cpp.o"
+  "CMakeFiles/kb2_baselines.dir/parallel_kmeans.cpp.o.d"
+  "CMakeFiles/kb2_baselines.dir/xmeans.cpp.o"
+  "CMakeFiles/kb2_baselines.dir/xmeans.cpp.o.d"
+  "libkb2_baselines.a"
+  "libkb2_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb2_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

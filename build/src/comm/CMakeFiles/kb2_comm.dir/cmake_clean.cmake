@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb2_comm.dir/communicator.cpp.o"
+  "CMakeFiles/kb2_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/kb2_comm.dir/launch.cpp.o"
+  "CMakeFiles/kb2_comm.dir/launch.cpp.o.d"
+  "CMakeFiles/kb2_comm.dir/thread_comm.cpp.o"
+  "CMakeFiles/kb2_comm.dir/thread_comm.cpp.o.d"
+  "libkb2_comm.a"
+  "libkb2_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb2_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

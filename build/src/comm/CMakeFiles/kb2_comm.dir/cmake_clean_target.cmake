@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkb2_comm.a"
+)

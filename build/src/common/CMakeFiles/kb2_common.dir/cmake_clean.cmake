@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb2_common.dir/matrix.cpp.o"
+  "CMakeFiles/kb2_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/kb2_common.dir/rng.cpp.o"
+  "CMakeFiles/kb2_common.dir/rng.cpp.o.d"
+  "CMakeFiles/kb2_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/kb2_common.dir/thread_pool.cpp.o.d"
+  "libkb2_common.a"
+  "libkb2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

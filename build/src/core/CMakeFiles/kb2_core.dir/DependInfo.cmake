@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assess.cpp" "src/core/CMakeFiles/kb2_core.dir/assess.cpp.o" "gcc" "src/core/CMakeFiles/kb2_core.dir/assess.cpp.o.d"
+  "/root/repo/src/core/binner.cpp" "src/core/CMakeFiles/kb2_core.dir/binner.cpp.o" "gcc" "src/core/CMakeFiles/kb2_core.dir/binner.cpp.o.d"
+  "/root/repo/src/core/cells.cpp" "src/core/CMakeFiles/kb2_core.dir/cells.cpp.o" "gcc" "src/core/CMakeFiles/kb2_core.dir/cells.cpp.o.d"
+  "/root/repo/src/core/keybin2.cpp" "src/core/CMakeFiles/kb2_core.dir/keybin2.cpp.o" "gcc" "src/core/CMakeFiles/kb2_core.dir/keybin2.cpp.o.d"
+  "/root/repo/src/core/keys.cpp" "src/core/CMakeFiles/kb2_core.dir/keys.cpp.o" "gcc" "src/core/CMakeFiles/kb2_core.dir/keys.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/kb2_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/kb2_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/out_of_core.cpp" "src/core/CMakeFiles/kb2_core.dir/out_of_core.cpp.o" "gcc" "src/core/CMakeFiles/kb2_core.dir/out_of_core.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/core/CMakeFiles/kb2_core.dir/partitioner.cpp.o" "gcc" "src/core/CMakeFiles/kb2_core.dir/partitioner.cpp.o.d"
+  "/root/repo/src/core/projection.cpp" "src/core/CMakeFiles/kb2_core.dir/projection.cpp.o" "gcc" "src/core/CMakeFiles/kb2_core.dir/projection.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/kb2_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/kb2_core.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kb2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/kb2_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/kb2_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

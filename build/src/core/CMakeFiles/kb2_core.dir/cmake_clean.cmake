@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb2_core.dir/assess.cpp.o"
+  "CMakeFiles/kb2_core.dir/assess.cpp.o.d"
+  "CMakeFiles/kb2_core.dir/binner.cpp.o"
+  "CMakeFiles/kb2_core.dir/binner.cpp.o.d"
+  "CMakeFiles/kb2_core.dir/cells.cpp.o"
+  "CMakeFiles/kb2_core.dir/cells.cpp.o.d"
+  "CMakeFiles/kb2_core.dir/keybin2.cpp.o"
+  "CMakeFiles/kb2_core.dir/keybin2.cpp.o.d"
+  "CMakeFiles/kb2_core.dir/keys.cpp.o"
+  "CMakeFiles/kb2_core.dir/keys.cpp.o.d"
+  "CMakeFiles/kb2_core.dir/model.cpp.o"
+  "CMakeFiles/kb2_core.dir/model.cpp.o.d"
+  "CMakeFiles/kb2_core.dir/out_of_core.cpp.o"
+  "CMakeFiles/kb2_core.dir/out_of_core.cpp.o.d"
+  "CMakeFiles/kb2_core.dir/partitioner.cpp.o"
+  "CMakeFiles/kb2_core.dir/partitioner.cpp.o.d"
+  "CMakeFiles/kb2_core.dir/projection.cpp.o"
+  "CMakeFiles/kb2_core.dir/projection.cpp.o.d"
+  "CMakeFiles/kb2_core.dir/streaming.cpp.o"
+  "CMakeFiles/kb2_core.dir/streaming.cpp.o.d"
+  "libkb2_core.a"
+  "libkb2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

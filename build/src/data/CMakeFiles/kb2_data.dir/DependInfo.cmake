@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/kb2_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/kb2_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/gaussian_mixture.cpp" "src/data/CMakeFiles/kb2_data.dir/gaussian_mixture.cpp.o" "gcc" "src/data/CMakeFiles/kb2_data.dir/gaussian_mixture.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/data/CMakeFiles/kb2_data.dir/io.cpp.o" "gcc" "src/data/CMakeFiles/kb2_data.dir/io.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/data/CMakeFiles/kb2_data.dir/partition.cpp.o" "gcc" "src/data/CMakeFiles/kb2_data.dir/partition.cpp.o.d"
+  "/root/repo/src/data/shapes.cpp" "src/data/CMakeFiles/kb2_data.dir/shapes.cpp.o" "gcc" "src/data/CMakeFiles/kb2_data.dir/shapes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kb2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb2_data.dir/dataset.cpp.o"
+  "CMakeFiles/kb2_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/kb2_data.dir/gaussian_mixture.cpp.o"
+  "CMakeFiles/kb2_data.dir/gaussian_mixture.cpp.o.d"
+  "CMakeFiles/kb2_data.dir/io.cpp.o"
+  "CMakeFiles/kb2_data.dir/io.cpp.o.d"
+  "CMakeFiles/kb2_data.dir/partition.cpp.o"
+  "CMakeFiles/kb2_data.dir/partition.cpp.o.d"
+  "CMakeFiles/kb2_data.dir/shapes.cpp.o"
+  "CMakeFiles/kb2_data.dir/shapes.cpp.o.d"
+  "libkb2_data.a"
+  "libkb2_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb2_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/builder.cpp" "src/md/CMakeFiles/kb2_md.dir/builder.cpp.o" "gcc" "src/md/CMakeFiles/kb2_md.dir/builder.cpp.o.d"
+  "/root/repo/src/md/fingerprint.cpp" "src/md/CMakeFiles/kb2_md.dir/fingerprint.cpp.o" "gcc" "src/md/CMakeFiles/kb2_md.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/md/geometry.cpp" "src/md/CMakeFiles/kb2_md.dir/geometry.cpp.o" "gcc" "src/md/CMakeFiles/kb2_md.dir/geometry.cpp.o.d"
+  "/root/repo/src/md/insitu.cpp" "src/md/CMakeFiles/kb2_md.dir/insitu.cpp.o" "gcc" "src/md/CMakeFiles/kb2_md.dir/insitu.cpp.o.d"
+  "/root/repo/src/md/kabsch.cpp" "src/md/CMakeFiles/kb2_md.dir/kabsch.cpp.o" "gcc" "src/md/CMakeFiles/kb2_md.dir/kabsch.cpp.o.d"
+  "/root/repo/src/md/ramachandran.cpp" "src/md/CMakeFiles/kb2_md.dir/ramachandran.cpp.o" "gcc" "src/md/CMakeFiles/kb2_md.dir/ramachandran.cpp.o.d"
+  "/root/repo/src/md/stability.cpp" "src/md/CMakeFiles/kb2_md.dir/stability.cpp.o" "gcc" "src/md/CMakeFiles/kb2_md.dir/stability.cpp.o.d"
+  "/root/repo/src/md/synthetic.cpp" "src/md/CMakeFiles/kb2_md.dir/synthetic.cpp.o" "gcc" "src/md/CMakeFiles/kb2_md.dir/synthetic.cpp.o.d"
+  "/root/repo/src/md/trajectory.cpp" "src/md/CMakeFiles/kb2_md.dir/trajectory.cpp.o" "gcc" "src/md/CMakeFiles/kb2_md.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kb2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kb2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/kb2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/kb2_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb2_md.dir/builder.cpp.o"
+  "CMakeFiles/kb2_md.dir/builder.cpp.o.d"
+  "CMakeFiles/kb2_md.dir/fingerprint.cpp.o"
+  "CMakeFiles/kb2_md.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/kb2_md.dir/geometry.cpp.o"
+  "CMakeFiles/kb2_md.dir/geometry.cpp.o.d"
+  "CMakeFiles/kb2_md.dir/insitu.cpp.o"
+  "CMakeFiles/kb2_md.dir/insitu.cpp.o.d"
+  "CMakeFiles/kb2_md.dir/kabsch.cpp.o"
+  "CMakeFiles/kb2_md.dir/kabsch.cpp.o.d"
+  "CMakeFiles/kb2_md.dir/ramachandran.cpp.o"
+  "CMakeFiles/kb2_md.dir/ramachandran.cpp.o.d"
+  "CMakeFiles/kb2_md.dir/stability.cpp.o"
+  "CMakeFiles/kb2_md.dir/stability.cpp.o.d"
+  "CMakeFiles/kb2_md.dir/synthetic.cpp.o"
+  "CMakeFiles/kb2_md.dir/synthetic.cpp.o.d"
+  "CMakeFiles/kb2_md.dir/trajectory.cpp.o"
+  "CMakeFiles/kb2_md.dir/trajectory.cpp.o.d"
+  "libkb2_md.a"
+  "libkb2_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb2_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

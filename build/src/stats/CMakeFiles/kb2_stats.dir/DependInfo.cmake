@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/calinski.cpp" "src/stats/CMakeFiles/kb2_stats.dir/calinski.cpp.o" "gcc" "src/stats/CMakeFiles/kb2_stats.dir/calinski.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/kb2_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/kb2_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/eigen.cpp" "src/stats/CMakeFiles/kb2_stats.dir/eigen.cpp.o" "gcc" "src/stats/CMakeFiles/kb2_stats.dir/eigen.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/kb2_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/kb2_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/kde.cpp" "src/stats/CMakeFiles/kb2_stats.dir/kde.cpp.o" "gcc" "src/stats/CMakeFiles/kb2_stats.dir/kde.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/kb2_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/kb2_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/stats/CMakeFiles/kb2_stats.dir/metrics.cpp.o" "gcc" "src/stats/CMakeFiles/kb2_stats.dir/metrics.cpp.o.d"
+  "/root/repo/src/stats/smoothing.cpp" "src/stats/CMakeFiles/kb2_stats.dir/smoothing.cpp.o" "gcc" "src/stats/CMakeFiles/kb2_stats.dir/smoothing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kb2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb2_stats.dir/calinski.cpp.o"
+  "CMakeFiles/kb2_stats.dir/calinski.cpp.o.d"
+  "CMakeFiles/kb2_stats.dir/distributions.cpp.o"
+  "CMakeFiles/kb2_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/kb2_stats.dir/eigen.cpp.o"
+  "CMakeFiles/kb2_stats.dir/eigen.cpp.o.d"
+  "CMakeFiles/kb2_stats.dir/histogram.cpp.o"
+  "CMakeFiles/kb2_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/kb2_stats.dir/kde.cpp.o"
+  "CMakeFiles/kb2_stats.dir/kde.cpp.o.d"
+  "CMakeFiles/kb2_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/kb2_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/kb2_stats.dir/metrics.cpp.o"
+  "CMakeFiles/kb2_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/kb2_stats.dir/smoothing.cpp.o"
+  "CMakeFiles/kb2_stats.dir/smoothing.cpp.o.d"
+  "libkb2_stats.a"
+  "libkb2_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb2_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

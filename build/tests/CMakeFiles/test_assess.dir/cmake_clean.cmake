@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assess.dir/test_assess.cpp.o"
+  "CMakeFiles/test_assess.dir/test_assess.cpp.o.d"
+  "test_assess"
+  "test_assess.pdb"
+  "test_assess[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

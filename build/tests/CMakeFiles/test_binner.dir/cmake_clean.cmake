@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binner.dir/test_binner.cpp.o"
+  "CMakeFiles/test_binner.dir/test_binner.cpp.o.d"
+  "test_binner"
+  "test_binner.pdb"
+  "test_binner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calinski.dir/test_calinski.cpp.o"
+  "CMakeFiles/test_calinski.dir/test_calinski.cpp.o.d"
+  "test_calinski"
+  "test_calinski.pdb"
+  "test_calinski[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calinski.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keybin2.dir/test_keybin2.cpp.o"
+  "CMakeFiles/test_keybin2.dir/test_keybin2.cpp.o.d"
+  "test_keybin2"
+  "test_keybin2.pdb"
+  "test_keybin2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keybin2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

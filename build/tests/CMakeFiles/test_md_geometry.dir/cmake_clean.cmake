@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_geometry.dir/test_md_geometry.cpp.o"
+  "CMakeFiles/test_md_geometry.dir/test_md_geometry.cpp.o.d"
+  "test_md_geometry"
+  "test_md_geometry.pdb"
+  "test_md_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

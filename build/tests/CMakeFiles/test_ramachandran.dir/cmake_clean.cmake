@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ramachandran.dir/test_ramachandran.cpp.o"
+  "CMakeFiles/test_ramachandran.dir/test_ramachandran.cpp.o.d"
+  "test_ramachandran"
+  "test_ramachandran.pdb"
+  "test_ramachandran[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ramachandran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

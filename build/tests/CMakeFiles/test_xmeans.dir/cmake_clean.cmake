@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xmeans.dir/test_xmeans.cpp.o"
+  "CMakeFiles/test_xmeans.dir/test_xmeans.cpp.o.d"
+  "test_xmeans"
+  "test_xmeans.pdb"
+  "test_xmeans[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keybin2_cli.dir/keybin2_cli.cpp.o"
+  "CMakeFiles/keybin2_cli.dir/keybin2_cli.cpp.o.d"
+  "keybin2"
+  "keybin2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keybin2_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
