@@ -6,6 +6,7 @@
 //   --runs N              independent repetitions (paper: 20)
 //   --seed S              base seed
 //   --full                the paper's sizes (80,000 points per rank, 20 runs)
+//   --trace               per-stage pipeline breakdown (wall time + traffic)
 // and prints the same rows the paper's table/figure reports, as
 // mean +/- stddev over the runs.
 #pragma once
@@ -17,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/tracer.hpp"
 #include "stats/distributions.hpp"
 #include "stats/metrics.hpp"
 
@@ -28,6 +30,7 @@ struct Options {
   int runs = 3;
   std::uint64_t seed = 42;
   bool full = false;
+  bool trace = false;
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -51,10 +54,12 @@ struct Options {
         o.full = true;
         o.points_per_rank = 80000;
         o.runs = 20;
+      } else if (!std::strcmp(argv[i], "--trace")) {
+        o.trace = true;
       } else if (!std::strcmp(argv[i], "--help")) {
         std::printf(
             "usage: %s [--points-per-rank N] [--ranks N] [--runs N] "
-            "[--seed S] [--full]\n",
+            "[--seed S] [--full] [--trace]\n",
             argv[0]);
         std::exit(0);
       } else {
@@ -65,6 +70,14 @@ struct Options {
     return o;
   }
 };
+
+/// Print a merged per-stage trace (from Context::trace_report()) under a
+/// caption. No-op for empty reports, so non-root ranks can call it freely.
+inline void print_trace(const char* caption,
+                        const runtime::TraceReport& report) {
+  if (report.empty()) return;
+  std::printf("-- %s --\n%s", caption, report.format().c_str());
+}
 
 /// mean +/- stddev accumulator over runs.
 class Series {

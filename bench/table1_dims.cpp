@@ -46,10 +46,14 @@ void run_dimension(std::size_t dims, const bench::Options& opt) {
       WallTimer timer;
       comm::run_ranks(opt.ranks, [&](comm::Communicator& c) {
         const auto r = static_cast<std::size_t>(c.rank());
-        const auto result = core::fit(c, shards[r].points, params);
+        runtime::Context ctx(c, params.seed);
+        const auto result = core::fit(ctx, shards[r].points, params);
         std::copy(result.labels.begin(), result.labels.end(),
                   combined.begin() +
                       static_cast<std::ptrdiff_t>(ranges[r].begin));
+        if (opt.trace && run == 0) {  // uniform across ranks: collective OK
+          bench::print_trace("keybin2 per-stage, run 0", ctx.trace_report());
+        }
       });
       keybin2_row.add(bench::score_labels(combined, d.labels),
                       timer.seconds());

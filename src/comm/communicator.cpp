@@ -288,6 +288,8 @@ std::vector<std::byte> SelfComm::recv(int src, int tag) {
     if (it->first == tag) {
       auto data = std::move(it->second);
       queue_.erase(it);
+      ++stats_.messages_received;
+      stats_.bytes_received += data.size();
       return data;
     }
   }

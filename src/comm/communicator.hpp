@@ -28,11 +28,32 @@ namespace keybin2::comm {
 /// Reduction operators supported by reduce/allreduce.
 enum class ReduceOp { kSum, kMin, kMax };
 
-/// Per-rank traffic counters; used by benches to report communication volume
-/// (the paper claims the histogram exchange is "as small as several Kbytes").
+/// Per-rank traffic counters; used by benches and the runtime tracer to
+/// report communication volume (the paper claims the histogram exchange is
+/// "as small as several Kbytes"). Send and receive sides are counted
+/// symmetrically: within a group, the sums over all ranks must match.
 struct TrafficStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+
+  TrafficStats& operator+=(const TrafficStats& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    messages_received += o.messages_received;
+    bytes_received += o.bytes_received;
+    return *this;
+  }
+
+  /// Counter-wise difference (for per-scope deltas); counters are monotone,
+  /// so `later - earlier` never underflows.
+  TrafficStats operator-(const TrafficStats& o) const {
+    return TrafficStats{messages_sent - o.messages_sent,
+                        bytes_sent - o.bytes_sent,
+                        messages_received - o.messages_received,
+                        bytes_received - o.bytes_received};
+  }
 };
 
 class Communicator {

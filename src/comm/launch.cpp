@@ -39,11 +39,7 @@ TrafficStats run_ranks(int n_ranks,
   if (first_error) std::rethrow_exception(first_error);
 
   TrafficStats total;
-  for (int r = 0; r < n_ranks; ++r) {
-    const auto s = hub.stats(r);
-    total.messages_sent += s.messages_sent;
-    total.bytes_sent += s.bytes_sent;
-  }
+  for (int r = 0; r < n_ranks; ++r) total += hub.stats(r);
   return total;
 }
 

@@ -58,6 +58,13 @@ std::vector<std::byte> ThreadCommHub::pop(int self, int src, int tag) {
   }
   auto data = std::move(it->second.front());
   it->second.pop_front();
+  lk.unlock();
+  {
+    std::lock_guard tlk(traffic_mu_);
+    auto& t = traffic_[static_cast<std::size_t>(self)];
+    ++t.messages_received;
+    t.bytes_received += data.size();
+  }
   return data;
 }
 

@@ -1,16 +1,12 @@
 #include "core/keybin2.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <map>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "core/assess.hpp"
-#include "core/binner.hpp"
-#include "core/cells.hpp"
+#include "core/pipeline.hpp"
 #include "core/projection.hpp"
-#include "stats/ks_test.hpp"
 
 namespace keybin2::core {
 
@@ -28,31 +24,17 @@ struct BestCandidate {
   std::vector<Cell> cells;
 };
 
-/// 1-D histogram-space CH of a single dimension's partition (its primaries
-/// act as the cells) — the per-dimension depth-selection criterion.
-double single_dimension_score(const stats::Histogram& level,
-                              const DimensionPartition& partition) {
-  std::vector<Cell> cells;
-  for (std::size_t p = 0; p < partition.primary_count(); ++p) {
-    const auto [begin, end] = partition.range_of(p);
-    double mass = 0.0;
-    for (std::size_t b = begin; b < end; ++b) mass += level.count(b);
-    if (mass > 0.0) {
-      cells.push_back(Cell{{static_cast<std::uint32_t>(p)}, mass, -1});
-    }
-  }
-  return histogram_calinski_harabasz({level}, {partition}, cells);
-}
-
 }  // namespace
 
-FitResult fit(comm::Communicator& comm, const Matrix& local_points,
+FitResult fit(runtime::Context& ctx, const Matrix& local_points,
               const Params& params) {
   KB2_CHECK_MSG(params.min_depth >= 1 && params.min_depth <= params.max_depth,
                 "invalid depth range [" << params.min_depth << ", "
                                         << params.max_depth << "]");
   KB2_CHECK_MSG(params.bootstrap_trials >= 1, "need at least one trial");
 
+  auto fit_scope = ctx.tracer().scope("fit");
+  auto& comm = ctx.comm();
   const auto n_dims = static_cast<std::uint64_t>(local_points.cols());
   // All ranks must agree on the dimensionality (empty shards report the max).
   const auto global_dims = comm.allreduce(n_dims, comm::ReduceOp::kMax);
@@ -65,7 +47,7 @@ FitResult fit(comm::Communicator& comm, const Matrix& local_points,
       static_cast<double>(local_points.rows()), comm::ReduceOp::kSum);
   KB2_CHECK_MSG(total_points > 0.0, "dataset has no points");
 
-  const bool is_root = comm.rank() == 0;
+  const bool is_root = ctx.is_root();
   const int n_rp =
       params.use_projection
           ? (params.n_rp > 0 ? params.n_rp : choose_n_rp(global_dims))
@@ -83,59 +65,27 @@ FitResult fit(comm::Communicator& comm, const Matrix& local_points,
   std::vector<TrialDiagnostics> diagnostics;
 
   for (int t = 0; t < trials; ++t) {
+    auto trial_scope =
+        ctx.tracer().scope("trial" + std::to_string(t));
+
     // (1) Project into a lower space.
-    Matrix projection;
-    Matrix projected;
-    if (params.use_projection) {
-      projection = make_projection_matrix(global_dims, n_rp, trial_seeds[static_cast<std::size_t>(t)]);
-      projected = project(local_points, projection);
-    } else {
-      projected = local_points;
-    }
+    auto trial =
+        stage_project(ctx, local_points, global_dims, n_rp,
+                      params.use_projection,
+                      trial_seeds[static_cast<std::size_t>(t)]);
 
-    // Agree on per-dimension key ranges [r_min, r_max].
-    const auto dims = static_cast<std::size_t>(n_rp);
-    std::vector<double> lo(dims, std::numeric_limits<double>::infinity());
-    std::vector<double> hi(dims, -std::numeric_limits<double>::infinity());
-    for (std::size_t i = 0; i < projected.rows(); ++i) {
-      auto row = projected.row(i);
-      for (std::size_t j = 0; j < dims; ++j) {
-        lo[j] = std::min(lo[j], row[j]);
-        hi[j] = std::max(hi[j], row[j]);
-      }
-    }
-    lo = comm.allreduce(lo, comm::ReduceOp::kMin);
-    hi = comm.allreduce(hi, comm::ReduceOp::kMax);
-    std::vector<Range> ranges(dims);
-    for (std::size_t j = 0; j < dims; ++j) {
-      ranges[j].lo = lo[j];
-      ranges[j].hi = hi[j] > lo[j] ? hi[j] : lo[j] + 1.0;
-    }
+    // (2a) Agree on per-dimension key ranges [r_min, r_max].
+    const auto ranges = stage_agree_ranges(ctx, trial.projected,
+                                           static_cast<std::size_t>(n_rp));
 
-    // (2) Assign keys; build local histograms.
-    const auto keys = compute_keys(projected, ranges, params.max_depth);
-    auto hists = build_histograms(keys, ranges);
+    // (2b) Assign keys; build local histograms.
+    auto binned = stage_bin(ctx, trial.projected, ranges, params.max_depth);
 
-    // (3) Communicate binning histograms — the only point-derived data that
-    // ever crosses ranks, O(dims * 2^max_depth) doubles. Either through the
-    // tree allreduce or around a ring (§3 step 3).
-    auto merged = params.topology == Topology::kRing
-                      ? comm.ring_allreduce(flatten_counts(hists))
-                      : comm.allreduce(flatten_counts(hists),
-                                       comm::ReduceOp::kSum);
-    unflatten_counts(merged, hists);
+    // (3) Communicate binning histograms.
+    stage_merge_histograms(ctx, binned.hists, params.topology);
 
-    // KS-based dimension collapsing on a mid-level histogram (64 bins).
-    const int collapse_depth = std::min(params.max_depth, 6);
-    std::vector<int> kept_dims;
-    for (std::size_t j = 0; j < dims; ++j) {
-      const auto level = hists[j].level(collapse_depth);
-      const double ks = stats::ks_statistic_gaussian(level.counts(),
-                                                     level.lo(), level.hi());
-      if (ks >= params.collapse_threshold) {
-        kept_dims.push_back(static_cast<int>(j));
-      }
-    }
+    // KS-based dimension collapsing.
+    const auto kept_dims = collapse_dimensions(ctx, binned.hists, params);
     // Every dimension collapsed: this projection sees no multimodal
     // structure anywhere, i.e. a single cluster. Register a score-0
     // single-cluster candidate (adopted only if no trial ever finds
@@ -146,7 +96,7 @@ FitResult fit(comm::Communicator& comm, const Matrix& local_points,
         if (best.trial < 0) {
           best.score = 0.0;
           best.trial = t;
-          best.projection = projection;
+          best.projection = trial.projection;
           best.ranges = ranges;
         }
       }
@@ -158,107 +108,76 @@ FitResult fit(comm::Communicator& comm, const Matrix& local_points,
     // [min_depth, max_depth]; the per-dimension extension lets every kept
     // dimension pick its own depth first, then evaluates that single
     // combined candidate.
-    std::vector<std::vector<int>> depth_candidates;
-    if (params.per_dimension_depth) {
-      std::vector<int> chosen;
-      chosen.reserve(kept_dims.size());
-      for (int j : kept_dims) {
-        int best_depth = params.min_depth;
-        double best_dim_score = -1.0;
-        for (int depth = params.min_depth; depth <= params.max_depth;
-             ++depth) {
-          const auto level = hists[static_cast<std::size_t>(j)].level(depth);
-          const auto part = partition(level.counts(), params);
-          const double s = single_dimension_score(level, part);
-          if (s > best_dim_score) {
-            best_dim_score = s;
-            best_depth = depth;
-          }
-        }
-        chosen.push_back(best_depth);
-      }
-      depth_candidates.push_back(std::move(chosen));
-    } else {
-      for (int depth = params.min_depth; depth <= params.max_depth; ++depth) {
-        depth_candidates.emplace_back(kept_dims.size(), depth);
-      }
-    }
+    for (const auto& depths : depth_candidates(binned.hists, kept_dims,
+                                               params)) {
+      auto candidate =
+          stage_partition(ctx, binned.hists, kept_dims, depths, params);
+      auto assessed = stage_assess(ctx, binned.keys, kept_dims, candidate);
 
-    for (const auto& depths : depth_candidates) {
-      std::vector<stats::Histogram> dim_hists;
-      std::vector<DimensionPartition> partitions;
-      dim_hists.reserve(kept_dims.size());
-      partitions.reserve(kept_dims.size());
-      for (std::size_t k = 0; k < kept_dims.size(); ++k) {
-        const auto j = static_cast<std::size_t>(kept_dims[k]);
-        auto level = hists[j].level(depths[k]);
-        partitions.push_back(partition(level.counts(), params));
-        dim_hists.push_back(std::move(level));
-      }
-
-      // Occupied cells: local count, merged at the root.
-      const auto local_cells =
-          count_cells(keys, kept_dims, partitions, depths);
-      auto gathered = comm.gather(serialize_cells(local_cells), /*root=*/0);
-
-      if (is_root) {
-        CellMap global_cells;
-        for (const auto& blob : gathered) merge_cells(global_cells, blob);
-        auto cells = to_cell_vector(global_cells);
-        const double score =
-            histogram_calinski_harabasz(dim_hists, partitions, cells);
+      if (assessed.scored) {
         diagnostics.push_back(TrialDiagnostics{
-            t, *std::max_element(depths.begin(), depths.end()),
+            t, *std::max_element(candidate.depths.begin(),
+                                 candidate.depths.end()),
             static_cast<int>(kept_dims.size()),
-            static_cast<int>(cells.size()), score});
+            static_cast<int>(assessed.cells.size()), assessed.score});
         // The initial sentinel score is -1, so the first candidate is always
         // adopted even when it scores 0 (a genuine one-cluster dataset).
-        if (score > best.score) {
-          best.score = score;
+        if (assessed.score > best.score) {
+          best.score = assessed.score;
           best.trial = t;
-          best.depths = depths;
-          best.projection = projection;
+          best.depths = candidate.depths;
+          best.projection = trial.projection;
           best.kept_dims = kept_dims;
           best.ranges = ranges;
-          best.partitions = std::move(partitions);
-          best.cells = std::move(cells);
+          best.partitions = std::move(candidate.partitions);
+          best.cells = std::move(assessed.cells);
         }
       }
     }
   }
 
   // Root finalizes the model and broadcasts it; everyone labels locally (5).
-  ByteWriter writer;
+  std::optional<Model> root_model;
   if (is_root) {
     // The all-collapsed fallback has no kept dims, hence no depths.
     if (best.depths.size() != best.kept_dims.size()) {
       best.depths.assign(best.kept_dims.size(), params.min_depth);
     }
-    Model model(global_dims, std::move(best.projection),
-                std::move(best.depths), std::move(best.kept_dims),
-                std::move(best.ranges), std::move(best.partitions),
-                std::move(best.cells), best.score, total_points,
-                params.min_cluster_fraction);
-    model.serialize(writer);
-    writer.write<std::uint64_t>(diagnostics.size());
-    for (const auto& d : diagnostics) writer.write(d);
+    root_model.emplace(global_dims, std::move(best.projection),
+                       std::move(best.depths), std::move(best.kept_dims),
+                       std::move(best.ranges), std::move(best.partitions),
+                       std::move(best.cells), best.score, total_points,
+                       params.min_cluster_fraction);
   }
-  auto bytes = writer.take();
-  comm.broadcast(bytes, /*root=*/0);
 
-  ByteReader reader(bytes);
   FitResult result;
-  result.model = Model::deserialize(reader);
-  const auto n_diag = reader.read<std::uint64_t>();
-  result.trials.resize(n_diag);
-  for (auto& d : result.trials) d = reader.read<TrialDiagnostics>();
-  result.labels = result.model.predict(local_points);
+  result.model = stage_share_model(
+      ctx, std::move(root_model),
+      [&](ByteWriter& writer) {
+        writer.write<std::uint64_t>(diagnostics.size());
+        for (const auto& d : diagnostics) writer.write(d);
+      },
+      [&](ByteReader& reader) {
+        const auto n_diag = reader.read<std::uint64_t>();
+        result.trials.resize(n_diag);
+        for (auto& d : result.trials) d = reader.read<TrialDiagnostics>();
+      });
+  {
+    auto label_scope = ctx.tracer().scope("label");
+    result.labels = result.model.predict(local_points);
+  }
   return result;
 }
 
+FitResult fit(comm::Communicator& comm, const Matrix& local_points,
+              const Params& params) {
+  runtime::Context ctx(comm, params.seed);
+  return fit(ctx, local_points, params);
+}
+
 FitResult fit(const Matrix& points, const Params& params) {
-  comm::SelfComm self;
-  return fit(self, points, params);
+  runtime::Context ctx(params.seed);
+  return fit(ctx, points, params);
 }
 
 }  // namespace keybin2::core

@@ -21,6 +21,7 @@
 #include "common/matrix.hpp"
 #include "core/model.hpp"
 #include "core/params.hpp"
+#include "runtime/context.hpp"
 
 namespace keybin2::core {
 
@@ -43,7 +44,15 @@ struct FitResult {
 };
 
 /// Cluster `local_points` (this rank's shard) jointly with all other ranks
-/// of `comm`. Every rank receives the same model and its own local labels.
+/// of the context's communicator, executing through the shared
+/// core/pipeline stages. Every rank receives the same model and its own
+/// local labels; the context's tracer accumulates per-stage wall time and
+/// traffic under "fit/trial{t}/{stage}" scopes.
+FitResult fit(runtime::Context& ctx, const Matrix& local_points,
+              const Params& params = {});
+
+/// Convenience: fit over a bare communicator (a fresh Context is built
+/// around it; its trace is discarded).
 FitResult fit(comm::Communicator& comm, const Matrix& local_points,
               const Params& params = {});
 

@@ -60,11 +60,13 @@ std::size_t for_each_chunk(const std::string& path, std::size_t chunk_points,
 
 }  // namespace
 
-OutOfCoreResult fit_from_file(const std::string& input_path,
+OutOfCoreResult fit_from_file(runtime::Context& ctx,
+                              const std::string& input_path,
                               const std::string& labels_path,
                               const Params& params,
                               std::size_t chunk_points) {
   KB2_CHECK_MSG(chunk_points >= 1, "chunk size must be positive");
+  auto ooc_scope = ctx.tracer().scope("out_of_core");
 
   // Peek the header for the schema.
   BinaryHeader header;
@@ -79,13 +81,17 @@ OutOfCoreResult fit_from_file(const std::string& input_path,
   StreamingKeyBin2 engine(header.cols, params);
   OutOfCoreResult result;
   result.dims = header.cols;
-  result.chunks = for_each_chunk(
-      input_path, chunk_points,
-      [&](const Matrix& chunk) { engine.push_batch(chunk); });
+  {
+    auto pass1_scope = ctx.tracer().scope("pass1_histograms");
+    result.chunks = for_each_chunk(
+        input_path, chunk_points,
+        [&](const Matrix& chunk) { engine.push_batch(chunk); });
+  }
   result.points = engine.points_seen();
-  result.model = engine.refit();
+  result.model = engine.refit(ctx);
 
   // Pass 2: label every point against the final model, streaming again.
+  auto pass2_scope = ctx.tracer().scope("pass2_label");
   std::ofstream out(labels_path, std::ios::binary);
   KB2_CHECK_MSG(out.good(), "cannot open " << labels_path << " for writing");
   for_each_chunk(input_path, chunk_points, [&](const Matrix& chunk) {
@@ -95,6 +101,14 @@ OutOfCoreResult fit_from_file(const std::string& input_path,
   });
   KB2_CHECK_MSG(out.good(), "write to " << labels_path << " failed");
   return result;
+}
+
+OutOfCoreResult fit_from_file(const std::string& input_path,
+                              const std::string& labels_path,
+                              const Params& params,
+                              std::size_t chunk_points) {
+  runtime::Context ctx(params.seed);
+  return fit_from_file(ctx, input_path, labels_path, params, chunk_points);
 }
 
 std::vector<int> read_labels(const std::string& labels_path) {

@@ -15,6 +15,7 @@
 
 #include "core/model.hpp"
 #include "core/params.hpp"
+#include "runtime/context.hpp"
 
 namespace keybin2::core {
 
@@ -29,7 +30,16 @@ struct OutOfCoreResult {
 /// see data/io.hpp) reading at most `chunk_points` rows at a time. Labels
 /// are written to `labels_path` as one int per point (raw little-endian
 /// stream, same order as the input). Ground-truth labels in the input are
-/// ignored.
+/// ignored. The context's tracer accumulates the two I/O passes under
+/// "out_of_core/pass1_histograms" and "out_of_core/pass2_label", with the
+/// refit's pipeline stages nested between them.
+OutOfCoreResult fit_from_file(runtime::Context& ctx,
+                              const std::string& input_path,
+                              const std::string& labels_path,
+                              const Params& params = {},
+                              std::size_t chunk_points = 8192);
+
+/// Convenience: serial out-of-core fit over an internal single-rank context.
 OutOfCoreResult fit_from_file(const std::string& input_path,
                               const std::string& labels_path,
                               const Params& params = {},

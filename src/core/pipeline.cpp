@@ -1,0 +1,221 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/assess.hpp"
+#include "core/projection.hpp"
+#include "stats/ks_test.hpp"
+
+namespace keybin2::core {
+
+namespace {
+
+/// 1-D histogram-space CH of a single dimension's partition (its primaries
+/// act as the cells) — the per-dimension depth-selection criterion.
+double single_dimension_score(const stats::Histogram& level,
+                              const DimensionPartition& partition) {
+  std::vector<Cell> cells;
+  for (std::size_t p = 0; p < partition.primary_count(); ++p) {
+    const auto [begin, end] = partition.range_of(p);
+    double mass = 0.0;
+    for (std::size_t b = begin; b < end; ++b) mass += level.count(b);
+    if (mass > 0.0) {
+      cells.push_back(Cell{{static_cast<std::uint32_t>(p)}, mass, -1});
+    }
+  }
+  return histogram_calinski_harabasz({level}, {partition}, cells);
+}
+
+}  // namespace
+
+ProjectedTrial stage_project(runtime::Context& ctx, const Matrix& local_points,
+                             std::size_t input_dims, int n_rp,
+                             bool use_projection, std::uint64_t trial_seed) {
+  auto scope = ctx.tracer().scope("project");
+  ProjectedTrial out;
+  if (use_projection) {
+    out.projection = make_projection_matrix(input_dims, n_rp, trial_seed);
+    out.projected = project(local_points, out.projection);
+  } else {
+    out.projected = local_points;
+  }
+  return out;
+}
+
+std::vector<Range> stage_agree_ranges(runtime::Context& ctx,
+                                      const Matrix& projected,
+                                      std::size_t dims) {
+  std::vector<double> lo(dims, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(dims, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < projected.rows(); ++i) {
+    auto row = projected.row(i);
+    for (std::size_t j = 0; j < dims; ++j) {
+      lo[j] = std::min(lo[j], row[j]);
+      hi[j] = std::max(hi[j], row[j]);
+    }
+  }
+  return stage_agree_ranges(ctx, lo, hi);
+}
+
+std::vector<Range> stage_agree_ranges(runtime::Context& ctx,
+                                      std::span<const double> local_lo,
+                                      std::span<const double> local_hi) {
+  KB2_CHECK_MSG(local_lo.size() == local_hi.size(),
+                "agree_ranges envelope length mismatch: "
+                    << local_lo.size() << " vs " << local_hi.size());
+  auto scope = ctx.tracer().scope("agree_ranges");
+  const auto lo = ctx.comm().allreduce(local_lo, comm::ReduceOp::kMin);
+  const auto hi = ctx.comm().allreduce(local_hi, comm::ReduceOp::kMax);
+  std::vector<Range> ranges(lo.size());
+  for (std::size_t j = 0; j < lo.size(); ++j) {
+    if (!std::isfinite(lo[j]) || !std::isfinite(hi[j])) {
+      // No rank observed any value in this dimension (every shard empty):
+      // the +inf/-inf sentinels survived the allreduce. Clamp to a valid
+      // degenerate range so keys and histograms stay well-defined.
+      ranges[j] = Range{0.0, 1.0};
+    } else {
+      ranges[j] = Range{lo[j], hi[j] > lo[j] ? hi[j] : lo[j] + 1.0};
+    }
+  }
+  return ranges;
+}
+
+BinnedTrial stage_bin(runtime::Context& ctx, const Matrix& projected,
+                      const std::vector<Range>& ranges, int max_depth) {
+  auto scope = ctx.tracer().scope("bin");
+  BinnedTrial out;
+  out.keys = compute_keys(projected, ranges, max_depth);
+  out.hists = build_histograms(out.keys, ranges);
+  return out;
+}
+
+void stage_merge_histograms(runtime::Context& ctx,
+                            std::vector<stats::HierarchicalHistogram>& hists,
+                            Topology topology) {
+  auto scope = ctx.tracer().scope("merge_histograms");
+  // The only point-derived data that ever crosses ranks,
+  // O(dims * 2^max_depth) doubles — through the tree allreduce or around a
+  // ring (§3 step 3).
+  auto merged = topology == Topology::kRing
+                    ? ctx.comm().ring_allreduce(flatten_counts(hists))
+                    : ctx.comm().allreduce(flatten_counts(hists),
+                                           comm::ReduceOp::kSum);
+  unflatten_counts(merged, hists);
+}
+
+std::vector<int> collapse_dimensions(
+    runtime::Context& ctx,
+    const std::vector<stats::HierarchicalHistogram>& hists,
+    const Params& params) {
+  auto scope = ctx.tracer().scope("collapse");
+  // KS-based dimension collapsing on a mid-level histogram (64 bins).
+  const int collapse_depth = std::min(params.max_depth, 6);
+  std::vector<int> kept_dims;
+  for (std::size_t j = 0; j < hists.size(); ++j) {
+    const auto level = hists[j].level(collapse_depth);
+    const double ks =
+        stats::ks_statistic_gaussian(level.counts(), level.lo(), level.hi());
+    if (ks >= params.collapse_threshold) {
+      kept_dims.push_back(static_cast<int>(j));
+    }
+  }
+  return kept_dims;
+}
+
+std::vector<std::vector<int>> depth_candidates(
+    const std::vector<stats::HierarchicalHistogram>& hists,
+    const std::vector<int>& kept_dims, const Params& params) {
+  std::vector<std::vector<int>> candidates;
+  if (params.per_dimension_depth) {
+    std::vector<int> chosen;
+    chosen.reserve(kept_dims.size());
+    for (int j : kept_dims) {
+      int best_depth = params.min_depth;
+      double best_dim_score = -1.0;
+      for (int depth = params.min_depth; depth <= params.max_depth; ++depth) {
+        const auto level = hists[static_cast<std::size_t>(j)].level(depth);
+        const auto part = partition(level.counts(), params);
+        const double s = single_dimension_score(level, part);
+        if (s > best_dim_score) {
+          best_dim_score = s;
+          best_depth = depth;
+        }
+      }
+      chosen.push_back(best_depth);
+    }
+    candidates.push_back(std::move(chosen));
+  } else {
+    for (int depth = params.min_depth; depth <= params.max_depth; ++depth) {
+      candidates.emplace_back(kept_dims.size(), depth);
+    }
+  }
+  return candidates;
+}
+
+PartitionedCandidate stage_partition(
+    runtime::Context& ctx,
+    const std::vector<stats::HierarchicalHistogram>& hists,
+    const std::vector<int>& kept_dims, std::vector<int> depths,
+    const Params& params) {
+  KB2_CHECK_MSG(depths.size() == kept_dims.size(),
+                "stage_partition: " << depths.size() << " depths for "
+                                    << kept_dims.size() << " kept dims");
+  auto scope = ctx.tracer().scope("partition");
+  PartitionedCandidate out;
+  out.depths = std::move(depths);
+  out.dim_hists.reserve(kept_dims.size());
+  out.partitions.reserve(kept_dims.size());
+  for (std::size_t k = 0; k < kept_dims.size(); ++k) {
+    const auto j = static_cast<std::size_t>(kept_dims[k]);
+    auto level = hists[j].level(out.depths[k]);
+    out.partitions.push_back(partition(level.counts(), params));
+    out.dim_hists.push_back(std::move(level));
+  }
+  return out;
+}
+
+AssessedCandidate stage_assess(runtime::Context& ctx, const KeyTable& keys,
+                               const std::vector<int>& kept_dims,
+                               const PartitionedCandidate& candidate,
+                               double weight_per_point) {
+  auto scope = ctx.tracer().scope("assess");
+  // Occupied cells: local count, merged at the root.
+  const auto local_cells = count_cells(keys, kept_dims, candidate.partitions,
+                                       candidate.depths, weight_per_point);
+  auto gathered = ctx.comm().gather(serialize_cells(local_cells), /*root=*/0);
+
+  AssessedCandidate out;
+  if (ctx.is_root()) {
+    CellMap global_cells;
+    for (const auto& blob : gathered) merge_cells(global_cells, blob);
+    out.cells = to_cell_vector(global_cells);
+    out.score = histogram_calinski_harabasz(candidate.dim_hists,
+                                            candidate.partitions, out.cells);
+    out.scored = true;
+  }
+  return out;
+}
+
+Model stage_share_model(runtime::Context& ctx, std::optional<Model> root_model,
+                        const std::function<void(ByteWriter&)>& write_extra,
+                        const std::function<void(ByteReader&)>& read_extra) {
+  KB2_CHECK_MSG(root_model.has_value() == ctx.is_root(),
+                "stage_share_model: exactly the root supplies the model");
+  auto scope = ctx.tracer().scope("share_model");
+  ByteWriter writer;
+  if (root_model.has_value()) {
+    root_model->serialize(writer);
+    if (write_extra) write_extra(writer);
+  }
+  auto bytes = writer.take();
+  ctx.comm().broadcast(bytes, /*root=*/0);
+  ByteReader reader(bytes);
+  Model model = Model::deserialize(reader);
+  if (read_extra) read_extra(reader);
+  return model;
+}
+
+}  // namespace keybin2::core

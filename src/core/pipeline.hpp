@@ -1,0 +1,145 @@
+// The staged KeyBin2 pipeline (paper §3), shared by every clustering driver.
+//
+// The paper's scalability rests on this stage sequence:
+//
+//   project -> agree-ranges -> key/bin -> merge-histograms -> partition
+//           -> assess
+//
+// Batch fit(), the streaming engine's refit(), the out-of-core driver, and
+// the md::insitu analyzer all used to carry their own copy of this sequence;
+// they now compose the stage functions below, each of which opens a tracer
+// scope on the supplied runtime::Context (paths like "fit/trial0/bin") so
+// wall time and communication volume are attributable per stage.
+//
+// Collective discipline: stages marked [collective] must be entered by every
+// rank of the context's communicator in the same order (SPMD), exactly like
+// the MPI calls they wrap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/binner.hpp"
+#include "core/cells.hpp"
+#include "core/keys.hpp"
+#include "core/model.hpp"
+#include "core/params.hpp"
+#include "core/partitioner.hpp"
+#include "runtime/context.hpp"
+#include "stats/histogram.hpp"
+
+namespace keybin2::core {
+
+/// Stage 1 output: one bootstrap trial's projection.
+struct ProjectedTrial {
+  Matrix projection;  // empty => identity (no projection)
+  Matrix projected;   // this rank's shard in the projected space
+};
+
+/// Stage 1 [local]: build the trial's `input_dims` x `n_rp` random
+/// projection from `trial_seed` (deterministic — every rank derives the
+/// identical matrix with no communication) and project the local shard.
+/// With `use_projection` false the shard passes through unchanged under an
+/// identity projection.
+ProjectedTrial stage_project(runtime::Context& ctx, const Matrix& local_points,
+                             std::size_t input_dims, int n_rp,
+                             bool use_projection, std::uint64_t trial_seed);
+
+/// Stage 2 [collective]: agree on per-dimension key ranges [r_min, r_max]
+/// from the local extremes of `projected` via min/max allreduces. Dimensions
+/// for which no rank observed any value (every shard empty) come back as the
+/// degenerate-but-valid range [0, 1) instead of the +inf/-inf extremes the
+/// empty shards contributed.
+std::vector<Range> stage_agree_ranges(runtime::Context& ctx,
+                                      const Matrix& projected,
+                                      std::size_t dims);
+
+/// Stage 2 variant [collective]: agree from precomputed per-dimension
+/// envelopes (the streaming engine tracks lo/hi incrementally instead of
+/// rescanning points). Same allreduces, same degenerate-range clamping.
+std::vector<Range> stage_agree_ranges(runtime::Context& ctx,
+                                      std::span<const double> local_lo,
+                                      std::span<const double> local_hi);
+
+/// Stage 3 output: the local key table and per-dimension histograms.
+struct BinnedTrial {
+  KeyTable keys;
+  std::vector<stats::HierarchicalHistogram> hists;
+};
+
+/// Stage 3 [local]: assign hierarchical keys to every (point, dimension) and
+/// build the per-dimension local histograms — the only point-derived state
+/// that will ever leave this rank.
+BinnedTrial stage_bin(runtime::Context& ctx, const Matrix& projected,
+                      const std::vector<Range>& ranges, int max_depth);
+
+/// Stage 4 [collective]: merge per-dimension histograms across ranks
+/// (elementwise sum of deepest-level counts), through the binomial tree or
+/// around the ring (§3 step 3). On return every rank holds the global
+/// histograms.
+void stage_merge_histograms(runtime::Context& ctx,
+                            std::vector<stats::HierarchicalHistogram>& hists,
+                            Topology topology);
+
+/// KS-based dimension collapsing on a mid-level histogram (§3.1): returns
+/// the indices of dimensions showing multimodal structure. [local; input
+/// histograms are already global, so all ranks agree.]
+std::vector<int> collapse_dimensions(
+    runtime::Context& ctx,
+    const std::vector<stats::HierarchicalHistogram>& hists,
+    const Params& params);
+
+/// Depth candidates for the partition sweep: classic mode yields one
+/// uniform-depth vector per depth in [min_depth, max_depth]; the
+/// per-dimension extension yields the single combined candidate where every
+/// kept dimension picked its own depth by 1-D histogram-space CH.
+std::vector<std::vector<int>> depth_candidates(
+    const std::vector<stats::HierarchicalHistogram>& hists,
+    const std::vector<int>& kept_dims, const Params& params);
+
+/// Stage 5 output: one depth candidate's partitions.
+struct PartitionedCandidate {
+  std::vector<int> depths;  // one per kept dimension
+  std::vector<stats::Histogram> dim_hists;
+  std::vector<DimensionPartition> partitions;
+};
+
+/// Stage 5 [local]: cut each kept dimension's global histogram at the given
+/// depth with the discrete-optimization partitioner. Deterministic from the
+/// merged histograms, so every rank computes identical partitions.
+PartitionedCandidate stage_partition(
+    runtime::Context& ctx,
+    const std::vector<stats::HierarchicalHistogram>& hists,
+    const std::vector<int>& kept_dims, std::vector<int> depths,
+    const Params& params);
+
+/// Stage 6 output: the candidate's occupied cells and histogram-space CH
+/// score, valid at the root rank only (`scored` false elsewhere).
+struct AssessedCandidate {
+  bool scored = false;
+  double score = 0.0;
+  std::vector<Cell> cells;
+};
+
+/// Stage 6 [collective]: count this rank's occupied cells, gather and merge
+/// at root, and rate the candidate with the histogram-space
+/// Calinski–Harabasz index. `weight_per_point` scales local counts (the
+/// streaming engine weighs its reservoir up to the stream's total mass).
+AssessedCandidate stage_assess(runtime::Context& ctx, const KeyTable& keys,
+                               const std::vector<int>& kept_dims,
+                               const PartitionedCandidate& candidate,
+                               double weight_per_point = 1.0);
+
+/// Final stage [collective]: root serializes the winning model (plus any
+/// driver extras via `write_extra`), broadcasts it, and every rank returns
+/// the deserialized copy. `read_extra` runs on every rank after the model
+/// bytes.
+Model stage_share_model(
+    runtime::Context& ctx, std::optional<Model> root_model,
+    const std::function<void(ByteWriter&)>& write_extra = {},
+    const std::function<void(ByteReader&)>& read_extra = {});
+
+}  // namespace keybin2::core

@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/error.hpp"
-#include "core/assess.hpp"
-#include "core/cells.hpp"
+#include "core/pipeline.hpp"
 #include "core/projection.hpp"
-#include "stats/ks_test.hpp"
 
 namespace keybin2::core {
 
@@ -95,9 +94,10 @@ void StreamingKeyBin2::push_batch(const Matrix& batch) {
   for (std::size_t i = 0; i < batch.rows(); ++i) push(batch.row(i));
 }
 
-const Model& StreamingKeyBin2::refit(comm::Communicator& comm) {
-  const bool is_root = comm.rank() == 0;
-  const double total_points = comm.allreduce(
+const Model& StreamingKeyBin2::refit(runtime::Context& ctx) {
+  auto refit_scope = ctx.tracer().scope("refit");
+  const bool is_root = ctx.is_root();
+  const double total_points = ctx.comm().allreduce(
       static_cast<double>(points_seen_), comm::ReduceOp::kSum);
   KB2_CHECK_MSG(total_points > 0.0, "refit before any point was pushed");
   const double local_weight =
@@ -108,7 +108,7 @@ const Model& StreamingKeyBin2::refit(comm::Communicator& comm) {
 
   struct Best {
     double score = -1.0;
-    int depth = 0;
+    std::vector<int> depths;  // one per kept dimension
     Matrix projection;
     std::vector<int> kept_dims;
     std::vector<Range> ranges;
@@ -117,70 +117,49 @@ const Model& StreamingKeyBin2::refit(comm::Communicator& comm) {
   } best;
 
   const auto dims = static_cast<std::size_t>(n_rp_);
-  for (auto& trial : trials_) {
-    // Reconcile per-dimension ranges across ranks onto the tight global
-    // envelope of observed values: ranks that saw different data anchored
-    // and expanded differently, so each rebins onto the common geometry
-    // (placement error bounded by one source-bin width).
-    auto lo = comm.allreduce(trial.seen_lo, comm::ReduceOp::kMin);
-    auto hi = comm.allreduce(trial.seen_hi, comm::ReduceOp::kMax);
+  for (std::size_t t = 0; t < trials_.size(); ++t) {
+    auto& trial = trials_[t];
+    auto trial_scope = ctx.tracer().scope("trial" + std::to_string(t));
 
-    std::vector<Range> ranges(dims);
+    // (2a) Reconcile per-dimension ranges across ranks onto the tight global
+    // envelope of observed values (same stage as batch fit, fed from the
+    // incrementally tracked extremes instead of a point rescan).
+    const auto ranges = stage_agree_ranges(ctx, trial.seen_lo, trial.seen_hi);
+
+    // Ranks that saw different data anchored and expanded their doubling
+    // histograms differently, so each rebins onto the common geometry
+    // (placement error bounded by one source-bin width).
     std::vector<stats::HierarchicalHistogram> merged;
     merged.reserve(dims);
-    for (std::size_t j = 0; j < dims; ++j) {
-      KB2_CHECK_MSG(std::isfinite(lo[j]) && std::isfinite(hi[j]),
-                    "dimension " << j << " never received data on any rank");
-      ranges[j] = Range{lo[j], hi[j] > lo[j] ? hi[j] : lo[j] + 1.0};
-      if (trial.anchored[j]) {
-        if (trial.hists[j].lo() != ranges[j].lo ||
-            trial.hists[j].hi() != ranges[j].hi) {
-          trial.hists[j] =
-              stats::rebin_hierarchy(trial.hists[j], ranges[j].lo,
-                                     ranges[j].hi);
+    {
+      auto rebin_scope = ctx.tracer().scope("rebin");
+      for (std::size_t j = 0; j < dims; ++j) {
+        if (trial.anchored[j]) {
+          if (trial.hists[j].lo() != ranges[j].lo ||
+              trial.hists[j].hi() != ranges[j].hi) {
+            trial.hists[j] = stats::rebin_hierarchy(trial.hists[j],
+                                                    ranges[j].lo,
+                                                    ranges[j].hi);
+          }
+        } else {
+          trial.hists[j] = stats::HierarchicalHistogram(ranges[j].lo,
+                                                        ranges[j].hi,
+                                                        params_.max_depth);
+          trial.anchored[j] = true;
         }
-      } else {
-        trial.hists[j] = stats::HierarchicalHistogram(ranges[j].lo,
-                                                      ranges[j].hi,
-                                                      params_.max_depth);
-        trial.anchored[j] = true;
+        merged.push_back(trial.hists[j]);
       }
-      merged.push_back(trial.hists[j]);
     }
 
-    // Merge histograms across ranks (allreduce of deepest counts).
-    {
-      std::vector<double> flat;
-      for (const auto& h : merged) {
-        auto c = h.deepest_counts();
-        flat.insert(flat.end(), c.begin(), c.end());
-      }
-      flat = comm.allreduce(flat, comm::ReduceOp::kSum);
-      std::size_t offset = 0;
-      for (auto& h : merged) {
-        const std::size_t n = h.deepest_counts().size();
-        h.set_deepest_counts(std::vector<double>(
-            flat.begin() + static_cast<std::ptrdiff_t>(offset),
-            flat.begin() + static_cast<std::ptrdiff_t>(offset + n)));
-        offset += n;
-      }
-    }
+    // (3) Merge histograms across ranks.
+    stage_merge_histograms(ctx, merged, params_.topology);
 
     // KS collapsing, as in batch fit.
-    const int collapse_depth = std::min(params_.max_depth, 6);
-    std::vector<int> kept_dims;
-    for (std::size_t j = 0; j < dims; ++j) {
-      const auto level = merged[j].level(collapse_depth);
-      const double ks = stats::ks_statistic_gaussian(level.counts(),
-                                                     level.lo(), level.hi());
-      if (ks >= params_.collapse_threshold)
-        kept_dims.push_back(static_cast<int>(j));
-    }
+    const auto kept_dims = collapse_dimensions(ctx, merged, params_);
     // No structure under this projection: single-cluster fallback candidate.
     if (kept_dims.empty()) {
       if (is_root && best.score < 0.0) {
         best.score = 0.0;
-        best.depth = params_.min_depth;
         best.projection = trial.projection;
         best.ranges = ranges;
       }
@@ -188,60 +167,59 @@ const Model& StreamingKeyBin2::refit(comm::Communicator& comm) {
     }
 
     // Reservoir keys under this trial's projection and the merged ranges.
-    Matrix projected_reservoir =
-        params_.use_projection ? project(reservoir_, trial.projection)
-                               : reservoir_;
-    const auto keys =
-        compute_keys(projected_reservoir, ranges, params_.max_depth);
+    KeyTable keys;
+    {
+      auto keys_scope = ctx.tracer().scope("reservoir_keys");
+      Matrix projected_reservoir =
+          params_.use_projection ? project(reservoir_, trial.projection)
+                                 : reservoir_;
+      keys = compute_keys(projected_reservoir, ranges, params_.max_depth);
+    }
 
-    for (int depth = params_.min_depth; depth <= params_.max_depth; ++depth) {
-      std::vector<stats::Histogram> dim_hists;
-      std::vector<DimensionPartition> partitions;
-      for (int j : kept_dims) {
-        auto level = merged[static_cast<std::size_t>(j)].level(depth);
-        partitions.push_back(partition(level.counts(), params_));
-        dim_hists.push_back(std::move(level));
-      }
-      const auto local_cells =
-          count_cells(keys, kept_dims, partitions, depth, local_weight);
-      auto gathered = comm.gather(serialize_cells(local_cells), /*root=*/0);
-      if (is_root) {
-        CellMap global_cells;
-        for (const auto& blob : gathered) merge_cells(global_cells, blob);
-        auto cells = to_cell_vector(global_cells);
-        const double score =
-            histogram_calinski_harabasz(dim_hists, partitions, cells);
-        if (score > best.score) {
-          best.score = score;
-          best.depth = depth;
-          best.projection = trial.projection;
-          best.kept_dims = kept_dims;
-          best.ranges = ranges;
-          best.partitions = std::move(partitions);
-          best.cells = std::move(cells);
-        }
+    // (4) + (6) Partition every depth candidate and rate it; the root
+    // tracks the best model, with reservoir counts scaled to stream mass.
+    for (const auto& depths : depth_candidates(merged, kept_dims, params_)) {
+      auto candidate =
+          stage_partition(ctx, merged, kept_dims, depths, params_);
+      auto assessed =
+          stage_assess(ctx, keys, kept_dims, candidate, local_weight);
+      if (assessed.scored && assessed.score > best.score) {
+        best.score = assessed.score;
+        best.depths = candidate.depths;
+        best.projection = trial.projection;
+        best.kept_dims = kept_dims;
+        best.ranges = ranges;
+        best.partitions = std::move(candidate.partitions);
+        best.cells = std::move(assessed.cells);
       }
     }
   }
 
-  ByteWriter writer;
+  std::optional<Model> root_model;
   if (is_root) {
-    Model model(input_dims_, std::move(best.projection), best.depth,
-                std::move(best.kept_dims), std::move(best.ranges),
-                std::move(best.partitions), std::move(best.cells), best.score,
-                total_points, params_.min_cluster_fraction);
-    model.serialize(writer);
+    // The all-collapsed fallback has no kept dims, hence no depths.
+    if (best.depths.size() != best.kept_dims.size()) {
+      best.depths.assign(best.kept_dims.size(), params_.min_depth);
+    }
+    root_model.emplace(input_dims_, std::move(best.projection),
+                       std::move(best.depths), std::move(best.kept_dims),
+                       std::move(best.ranges), std::move(best.partitions),
+                       std::move(best.cells), best.score, total_points,
+                       params_.min_cluster_fraction);
   }
-  auto bytes = writer.take();
-  comm.broadcast(bytes, /*root=*/0);
-  ByteReader reader(bytes);
-  model_ = Model::deserialize(reader);
+  model_ = stage_share_model(ctx, std::move(root_model));
   return *model_;
+}
+
+const Model& StreamingKeyBin2::refit(comm::Communicator& comm) {
+  runtime::Context ctx(comm, params_.seed);
+  return refit(ctx);
 }
 
 const Model& StreamingKeyBin2::refit() {
   comm::SelfComm self;
-  return refit(self);
+  runtime::Context ctx(self, params_.seed);
+  return refit(ctx);
 }
 
 const Model& StreamingKeyBin2::model() const {

@@ -25,6 +25,7 @@
 #include "common/rng.hpp"
 #include "core/model.hpp"
 #include "core/params.hpp"
+#include "runtime/context.hpp"
 #include "stats/histogram.hpp"
 
 namespace keybin2::core {
@@ -46,8 +47,14 @@ class StreamingKeyBin2 {
   void push_batch(const Matrix& batch);
 
   /// Rebuild the model from current histograms, merging state across the
-  /// ranks of `comm` (every rank must call refit in step). Single-site use
-  /// passes a SelfComm via the overload below.
+  /// ranks of the context's communicator (every rank must call refit in
+  /// step). Executes through the shared core/pipeline stages; the context's
+  /// tracer accumulates per-stage time and traffic under
+  /// "refit/trial{t}/{stage}" scopes.
+  const Model& refit(runtime::Context& ctx);
+
+  /// Convenience: refit over a bare communicator (a fresh Context is built
+  /// around it; its trace is discarded).
   const Model& refit(comm::Communicator& comm);
 
   /// Single-site refit.

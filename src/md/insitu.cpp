@@ -11,12 +11,19 @@ InSituAnalyzer::InSituAnalyzer(std::size_t residues, core::Params params,
   KB2_CHECK_MSG(refit_interval >= 1, "refit interval must be >= 1");
 }
 
+InSituAnalyzer::InSituAnalyzer(runtime::Context& ctx, std::size_t residues,
+                               core::Params params,
+                               std::size_t refit_interval)
+    : engine_(residues, params), ctx_(&ctx),
+      refit_interval_(refit_interval), history_(0, residues) {
+  KB2_CHECK_MSG(refit_interval >= 1, "refit interval must be >= 1");
+}
+
 int InSituAnalyzer::push_features(std::span<const double> features) {
   engine_.push(features);
   history_.append_row(features);
   if (++since_refit_ >= refit_interval_) {
-    engine_.refit();
-    since_refit_ = 0;
+    refit();
   }
   const int label =
       engine_.has_model() ? engine_.label(features) : -1;
@@ -30,7 +37,11 @@ int InSituAnalyzer::push_frame(const Trajectory& traj, std::size_t frame) {
 }
 
 void InSituAnalyzer::refit() {
-  engine_.refit();
+  if (ctx_ != nullptr) {
+    engine_.refit(*ctx_);
+  } else {
+    engine_.refit();
+  }
   since_refit_ = 0;
 }
 

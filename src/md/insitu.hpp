@@ -15,6 +15,7 @@
 #include "core/params.hpp"
 #include "core/streaming.hpp"
 #include "md/trajectory.hpp"
+#include "runtime/context.hpp"
 
 namespace keybin2::md {
 
@@ -24,6 +25,12 @@ class InSituAnalyzer {
   /// model is rebuilt from the accumulated histograms.
   InSituAnalyzer(std::size_t residues, core::Params params = {},
                  std::size_t refit_interval = 500);
+
+  /// Like above, but refits run through `ctx` — periodic refits merge across
+  /// the context's communicator ranks and are traced under its tracer
+  /// ("refit/..." scopes). The context must outlive the analyzer.
+  InSituAnalyzer(runtime::Context& ctx, std::size_t residues,
+                 core::Params params = {}, std::size_t refit_interval = 500);
 
   /// Ingest the next simulation frame; returns the cluster label under the
   /// model in effect when the frame arrived (-1 before the first refit).
@@ -48,6 +55,7 @@ class InSituAnalyzer {
 
  private:
   core::StreamingKeyBin2 engine_;
+  runtime::Context* ctx_ = nullptr;  // borrowed; nullptr => serial refits
   std::size_t refit_interval_;
   std::size_t since_refit_ = 0;
   Matrix history_;  // featurized frames, for relabel_all()

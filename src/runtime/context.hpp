@@ -1,0 +1,70 @@
+// The runtime Context: everything a pipeline stage needs from its
+// environment, bundled per rank.
+//
+//   Context
+//   ├── comm::Communicator  — this rank's endpoint (owned SelfComm for
+//   │                         serial runs, or borrowed from the SPMD harness)
+//   ├── ThreadPool          — worker pool for data-parallel kernels
+//   │                         (defaults to the process-wide global_pool())
+//   ├── Rng                 — deterministic per-context random stream,
+//   │                         seeded explicitly
+//   └── Tracer              — per-rank timed scopes + traffic attribution
+//
+// Every clustering driver (batch fit, streaming refit, out-of-core,
+// md::insitu) executes its stages against a Context, so timing,
+// communication volume, and randomness are owned in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "comm/communicator.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "runtime/tracer.hpp"
+
+namespace keybin2::runtime {
+
+class Context {
+ public:
+  /// Distributed context: borrow this rank's communicator endpoint (the
+  /// caller — typically run_ranks() — keeps it alive for the context's
+  /// lifetime).
+  explicit Context(comm::Communicator& comm, std::uint64_t seed = 42,
+                   ThreadPool* pool = nullptr)
+      : comm_(&comm), pool_(pool != nullptr ? pool : &global_pool()),
+        rng_(seed), tracer_(&comm) {}
+
+  /// Serial context: owns a single-rank SelfComm.
+  explicit Context(std::uint64_t seed = 42, ThreadPool* pool = nullptr)
+      : owned_comm_(std::make_unique<comm::SelfComm>()),
+        comm_(owned_comm_.get()),
+        pool_(pool != nullptr ? pool : &global_pool()), rng_(seed),
+        tracer_(owned_comm_.get()) {}
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  comm::Communicator& comm() { return *comm_; }
+  const comm::Communicator& comm() const { return *comm_; }
+  ThreadPool& pool() { return *pool_; }
+  Rng& rng() { return rng_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  int rank() const { return comm_->rank(); }
+  int size() const { return comm_->size(); }
+  bool is_root() const { return comm_->rank() == 0; }
+
+  /// Merge all ranks' traces at root (collective; see reduce_report()).
+  TraceReport trace_report() { return reduce_report(tracer_, *comm_); }
+
+ private:
+  std::unique_ptr<comm::Communicator> owned_comm_;  // serial mode only
+  comm::Communicator* comm_;
+  ThreadPool* pool_;
+  Rng rng_;
+  Tracer tracer_;
+};
+
+}  // namespace keybin2::runtime

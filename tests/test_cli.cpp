@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <string>
 
+#include <unistd.h>
+
 #include "data/io.hpp"
 #include "stats/metrics.hpp"
 
@@ -34,8 +36,12 @@ CommandResult run(const std::string& args) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    data_path_ = "/tmp/kb2_cli_test_data.csv";
-    out_path_ = "/tmp/kb2_cli_test_out.csv";
+    // ctest runs each discovered test as its own process, possibly in
+    // parallel — unique paths keep one test's teardown from deleting a
+    // file another test is still reading.
+    const std::string tag = std::to_string(getpid());
+    data_path_ = "/tmp/kb2_cli_test_data_" + tag + ".csv";
+    out_path_ = "/tmp/kb2_cli_test_out_" + tag + ".csv";
     const auto gen = run("generate " + data_path_ +
                          " --points 1500 --dims 8 --k 3 --seed 5");
     ASSERT_EQ(gen.exit_code, 0) << gen.output;

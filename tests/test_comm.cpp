@@ -114,6 +114,54 @@ TEST(ThreadComm, TrafficStatsCountMessages) {
   });
   EXPECT_EQ(total.messages_sent, 1u);
   EXPECT_EQ(total.bytes_sent, 5u);
+  EXPECT_EQ(total.messages_received, 1u);
+  EXPECT_EQ(total.bytes_received, 5u);
+}
+
+TEST(ThreadComm, ReceiveCountersAttributedToReceiver) {
+  run_ranks(2, [&](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send(1, 0, to_bytes("abc"));
+      c.barrier();
+      // The sender's receive side stays untouched (barrier moves no bytes).
+      EXPECT_EQ(c.stats().messages_sent, 1u);
+      EXPECT_EQ(c.stats().messages_received, 0u);
+    } else {
+      c.recv(0, 0);
+      const auto before_barrier = c.stats();
+      EXPECT_EQ(before_barrier.messages_received, 1u);
+      EXPECT_EQ(before_barrier.bytes_received, 3u);
+      EXPECT_EQ(before_barrier.messages_sent, 0u);
+      c.barrier();
+    }
+  });
+}
+
+TEST(SelfComm, LoopbackCountsBothDirections) {
+  SelfComm c;
+  c.send(0, 1, to_bytes("1234"));
+  c.recv(0, 1);
+  EXPECT_EQ(c.stats().messages_sent, 1u);
+  EXPECT_EQ(c.stats().bytes_sent, 4u);
+  EXPECT_EQ(c.stats().messages_received, 1u);
+  EXPECT_EQ(c.stats().bytes_received, 4u);
+}
+
+TEST(ThreadComm, GroupSendReceiveTotalsSymmetric) {
+  // Every message enqueued is eventually dequeued, so group-wide send and
+  // receive totals must agree after any collective-heavy workload.
+  auto total = run_ranks(4, [&](Communicator& c) {
+    std::vector<double> v{static_cast<double>(c.rank()), 1.0};
+    c.allreduce(v, ReduceOp::kSum);
+    c.ring_allreduce(v);
+    auto bytes = to_bytes("payload");
+    c.broadcast(bytes, 0);
+    c.gather(bytes, 0);
+    c.barrier();
+  });
+  EXPECT_EQ(total.messages_received, total.messages_sent);
+  EXPECT_EQ(total.bytes_received, total.bytes_sent);
+  EXPECT_GT(total.messages_sent, 0u);
 }
 
 TEST(ThreadComm, SendToInvalidRankThrows) {

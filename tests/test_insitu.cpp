@@ -34,6 +34,23 @@ TEST(InSitu, RelabelRequiresAModel) {
   EXPECT_THROW(analyzer.relabel_all(), Error);
 }
 
+TEST(InSitu, ContextBackedRefitMatchesSerial) {
+  const auto st = generate_trajectory({.residues = 20, .frames = 600,
+                                       .phases = 2, .transition_frames = 20,
+                                       .seed = 1});
+  InSituAnalyzer serial(20, {}, /*refit_interval=*/200);
+  runtime::Context ctx(core::Params{}.seed);
+  InSituAnalyzer traced(ctx, 20, {}, /*refit_interval=*/200);
+  for (std::size_t f = 0; f < 400; ++f) {
+    const int a = serial.push_frame(st.trajectory, f);
+    const int b = traced.push_frame(st.trajectory, f);
+    EXPECT_EQ(a, b) << "frame " << f;
+  }
+  // The periodic refits ran through the context's tracer.
+  EXPECT_EQ(ctx.tracer().entries().count("refit"), 1u);
+  EXPECT_EQ(ctx.tracer().entries().at("refit").calls, 2u);
+}
+
 TEST(InSitu, FingerprintTracksMetastablePhases) {
   // The paper's Figure 4 claim: fingerprint changes line up with
   // metastable-phase changes.

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+
+#include <unistd.h>
 
 #include "common/error.hpp"
 #include "core/streaming.hpp"
@@ -16,8 +19,11 @@ namespace {
 class OutOfCoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    input_ = "/tmp/kb2_ooc_input.bin";
-    labels_ = "/tmp/kb2_ooc_labels.bin";
+    // Unique per process: parallel ctest runs each test in its own process
+    // and a shared path would let one teardown delete another's input.
+    const std::string tag = std::to_string(getpid());
+    input_ = "/tmp/kb2_ooc_input_" + tag + ".bin";
+    labels_ = "/tmp/kb2_ooc_labels_" + tag + ".bin";
     const auto spec = data::make_paper_mixture(12, 3, 1);
     dataset_ = data::sample(spec, 6000, 2);
     data::write_binary(dataset_, input_);

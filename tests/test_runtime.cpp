@@ -1,0 +1,198 @@
+#include "runtime/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "comm/launch.hpp"
+#include "common/error.hpp"
+#include "runtime/context.hpp"
+
+namespace keybin2::runtime {
+namespace {
+
+std::vector<std::byte> payload(std::size_t n) {
+  return std::vector<std::byte>(n, std::byte{0x5a});
+}
+
+TEST(Tracer, ScopesNestIntoSlashPaths) {
+  Tracer tracer;
+  {
+    auto outer = tracer.scope("fit");
+    {
+      auto trial = tracer.scope("trial0");
+      auto stage = tracer.scope("bin");
+    }
+    { auto trial = tracer.scope("trial1"); }
+  }
+  const auto& e = tracer.entries();
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_EQ(e.count("fit"), 1u);
+  EXPECT_EQ(e.count("fit/trial0"), 1u);
+  EXPECT_EQ(e.count("fit/trial0/bin"), 1u);
+  EXPECT_EQ(e.count("fit/trial1"), 1u);
+}
+
+TEST(Tracer, RepeatedScopesAccumulateCalls) {
+  Tracer tracer;
+  for (int i = 0; i < 3; ++i) {
+    auto s = tracer.scope("stage");
+  }
+  ASSERT_EQ(tracer.entries().count("stage"), 1u);
+  EXPECT_EQ(tracer.entries().at("stage").calls, 3u);
+  EXPECT_GE(tracer.entries().at("stage").seconds, 0.0);
+}
+
+TEST(Tracer, CloseIsIdempotentAndEarly) {
+  Tracer tracer;
+  auto s = tracer.scope("a");
+  s.close();
+  s.close();  // no-op
+  EXPECT_EQ(tracer.entries().at("a").calls, 1u);
+}
+
+TEST(Tracer, ParentTimeIncludesChild) {
+  Tracer tracer;
+  {
+    auto parent = tracer.scope("p");
+    auto child = tracer.scope("c");
+    // Burn a little time inside the child.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  }
+  EXPECT_GE(tracer.entries().at("p").seconds,
+            tracer.entries().at("p/c").seconds);
+}
+
+TEST(Tracer, CountersAccumulate) {
+  Tracer tracer;
+  tracer.counter("points", 10.0);
+  tracer.counter("points", 5.0);
+  EXPECT_DOUBLE_EQ(tracer.counters().at("points"), 15.0);
+}
+
+TEST(Tracer, ResetClearsState) {
+  Tracer tracer;
+  { auto s = tracer.scope("x"); }
+  tracer.counter("n", 1.0);
+  tracer.reset();
+  EXPECT_TRUE(tracer.entries().empty());
+  EXPECT_TRUE(tracer.counters().empty());
+}
+
+TEST(Tracer, TrafficAttributedExclusivelyToInnermostScope) {
+  comm::SelfComm comm;
+  Tracer tracer(&comm);
+  {
+    auto outer = tracer.scope("outer");
+    comm.send(0, 1, payload(100));
+    comm.recv(0, 1);
+    {
+      auto inner = tracer.scope("inner");
+      comm.send(0, 2, payload(40));
+      comm.recv(0, 2);
+    }
+  }
+  const auto& outer = tracer.entries().at("outer").traffic;
+  const auto& inner = tracer.entries().at("outer/inner").traffic;
+  EXPECT_EQ(outer.bytes_sent, 100u);
+  EXPECT_EQ(outer.messages_sent, 1u);
+  EXPECT_EQ(inner.bytes_sent, 40u);
+  EXPECT_EQ(inner.messages_sent, 1u);
+  EXPECT_EQ(outer.bytes_received, 100u);
+  EXPECT_EQ(inner.bytes_received, 40u);
+}
+
+TEST(Tracer, TotalTrafficMatchesCommunicatorStats) {
+  comm::SelfComm comm;
+  Tracer tracer(&comm);
+  {
+    auto a = tracer.scope("a");
+    comm.send(0, 1, payload(8));
+    comm.recv(0, 1);
+    auto b = tracer.scope("b");
+    comm.send(0, 2, payload(16));
+    comm.recv(0, 2);
+  }
+  const auto total = tracer.total_traffic();
+  const auto stats = comm.stats();
+  EXPECT_EQ(total.messages_sent, stats.messages_sent);
+  EXPECT_EQ(total.bytes_sent, stats.bytes_sent);
+  EXPECT_EQ(total.messages_received, stats.messages_received);
+  EXPECT_EQ(total.bytes_received, stats.bytes_received);
+}
+
+TEST(Context, SerialContextOwnsSingleRankComm) {
+  Context ctx(/*seed=*/7);
+  EXPECT_EQ(ctx.rank(), 0);
+  EXPECT_EQ(ctx.size(), 1);
+  EXPECT_TRUE(ctx.is_root());
+}
+
+TEST(Context, SameSeedSameRngStream) {
+  Context a(123), b(123);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.rng().next(), b.rng().next());
+  }
+}
+
+TEST(Context, BorrowedCommIsShared) {
+  comm::SelfComm comm;
+  Context ctx(comm, 1);
+  EXPECT_EQ(&ctx.comm(), static_cast<comm::Communicator*>(&comm));
+}
+
+TEST(ReduceReport, MergesRanksIntoMinMeanMax) {
+  auto report_text = std::string{};
+  comm::run_ranks(4, [&](comm::Communicator& c) {
+    Context ctx(c, 1);
+    {
+      auto s = ctx.tracer().scope("work");
+      // Rank-dependent traffic so the summed columns are easy to predict.
+      if (c.rank() > 0) c.send(0, 1, payload(10));
+      if (c.rank() == 0) {
+        for (int r = 1; r < 4; ++r) c.recv(r, 1);
+      }
+    }
+    ctx.tracer().counter("items", static_cast<double>(c.rank()));
+    auto report = ctx.trace_report();
+    if (c.rank() == 0) {
+      ASSERT_EQ(report.ranks, 4);
+      ASSERT_EQ(report.stages.size(), 1u);
+      const auto& stage = report.stages[0];
+      EXPECT_EQ(stage.path, "work");
+      EXPECT_EQ(stage.ranks, 4);
+      EXPECT_EQ(stage.calls, 1u);
+      EXPECT_LE(stage.min_seconds, stage.mean_seconds);
+      EXPECT_LE(stage.mean_seconds, stage.max_seconds);
+      // Summed over ranks: 3 sends of 10 bytes, 3 receives at root.
+      EXPECT_EQ(stage.traffic.messages_sent, 3u);
+      EXPECT_EQ(stage.traffic.bytes_sent, 30u);
+      EXPECT_EQ(stage.traffic.messages_received, 3u);
+      EXPECT_EQ(stage.traffic.bytes_received, 30u);
+      EXPECT_DOUBLE_EQ(report.counters.at("items"), 0.0 + 1 + 2 + 3);
+      report_text = report.format();
+    } else {
+      EXPECT_TRUE(report.empty());
+    }
+  });
+  // The formatted table carries the stage row and the counter.
+  EXPECT_NE(report_text.find("work"), std::string::npos);
+  EXPECT_NE(report_text.find("items"), std::string::npos);
+}
+
+TEST(ReduceReport, StagesMissingOnSomeRanksStillMerge) {
+  comm::run_ranks(2, [&](comm::Communicator& c) {
+    Context ctx(c, 1);
+    if (c.rank() == 1) {
+      auto s = ctx.tracer().scope("only_rank1");
+    }
+    auto report = ctx.trace_report();
+    if (c.rank() == 0) {
+      ASSERT_EQ(report.stages.size(), 1u);
+      EXPECT_EQ(report.stages[0].path, "only_rank1");
+      EXPECT_EQ(report.stages[0].ranks, 1);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace keybin2::runtime

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the test suite.
+#
+#   tools/check_tier1.sh           # full suite (what CI runs)
+#   tools/check_tier1.sh --quick   # skip suites labelled `slow` (ctest -LE slow)
+#
+# Extra arguments after the flags are forwarded to ctest.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+
+ctest_args=()
+for arg in "$@"; do
+  case "${arg}" in
+    --quick) ctest_args+=(-LE slow) ;;
+    *) ctest_args+=("${arg}") ;;
+  esac
+done
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j
+ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)" \
+  "${ctest_args[@]}"

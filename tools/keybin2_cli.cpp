@@ -9,6 +9,10 @@
 // treated as ground truth and scored, never shown to the algorithm) and
 // writes the input with a `cluster` column appended. `generate` emits a
 // labelled Gaussian mixture for experimentation.
+//
+// `--ranks N` (keybin2 only) shards the input across N simulated ranks and
+// runs the distributed fit over the thread-backed communicator; `--trace`
+// prints the per-stage wall-time / traffic report merged across ranks.
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -17,11 +21,13 @@
 #include "baselines/dbscan.hpp"
 #include "baselines/kmeans.hpp"
 #include "baselines/xmeans.hpp"
+#include "comm/launch.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/keybin2.hpp"
 #include "data/gaussian_mixture.hpp"
 #include "data/io.hpp"
+#include "data/partition.hpp"
 #include "stats/metrics.hpp"
 
 namespace {
@@ -40,6 +46,8 @@ struct CliArgs {
   std::size_t min_points = 5;
   int trials = 8;
   std::uint64_t seed = 42;
+  int ranks = 1;
+  bool trace = false;
 };
 
 [[noreturn]] void usage(int code) {
@@ -50,6 +58,7 @@ struct CliArgs {
       "kmeans|xmeans|dbscan]\n"
       "                  [--k K] [--eps E] [--min-points P] [--trials T] "
       "[--seed S]\n"
+      "                  [--ranks N] [--trace]\n"
       "  keybin2 generate <output.csv> [--points N] [--dims D] [--k K] "
       "[--seed S]\n");
   std::exit(code);
@@ -86,6 +95,14 @@ CliArgs parse(int argc, char** argv) {
       a.trials = std::atoi(next("--trials"));
     } else if (!std::strcmp(argv[i], "--seed")) {
       a.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--ranks")) {
+      a.ranks = std::atoi(next("--ranks"));
+      if (a.ranks < 1) {
+        std::fprintf(stderr, "--ranks must be >= 1\n");
+        usage(2);
+      }
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      a.trace = true;
     } else if (!std::strcmp(argv[i], "--help")) {
       usage(0);
     } else {
@@ -116,10 +133,62 @@ int run_cluster(const CliArgs& a) {
     core::Params params;
     params.seed = a.seed;
     params.bootstrap_trials = a.trials;
-    const auto result = core::fit(d.points, params);
-    labels = result.labels;
-    std::printf("keybin2: %d clusters (model score %.1f) in %.3f s\n",
-                result.n_clusters(), result.model.score(), timer.seconds());
+    double score = 0.0;
+    int n_clusters = 0;
+    std::string trace_text;
+    if (a.ranks > 1) {
+      // Shard contiguously across simulated (thread-backed) ranks; labels
+      // concatenate back in input order.
+      const auto shards = data::shard(d, a.ranks);
+      std::vector<std::vector<int>> rank_labels(
+          static_cast<std::size_t>(a.ranks));
+      std::vector<comm::TrafficStats> rank_stats(
+          static_cast<std::size_t>(a.ranks));
+      comm::run_ranks(a.ranks, [&](comm::Communicator& comm) {
+        runtime::Context ctx(comm, params.seed);
+        auto result = core::fit(
+            ctx, shards[static_cast<std::size_t>(comm.rank())].points,
+            params);
+        if (a.trace) {
+          // Snapshot stats before the trace gather, so the printed totals
+          // cover exactly what the per-stage table attributes.
+          rank_stats[static_cast<std::size_t>(comm.rank())] = comm.stats();
+          auto report = ctx.trace_report();  // collective
+          if (ctx.is_root()) trace_text = report.format();
+        }
+        if (ctx.is_root()) {
+          score = result.model.score();
+          n_clusters = result.n_clusters();
+        }
+        rank_labels[static_cast<std::size_t>(comm.rank())] =
+            std::move(result.labels);
+      });
+      for (auto& part : rank_labels)
+        labels.insert(labels.end(), part.begin(), part.end());
+      std::printf("keybin2: %d clusters (model score %.1f) on %d ranks in "
+                  "%.3f s\n",
+                  n_clusters, score, a.ranks, timer.seconds());
+      if (a.trace) {
+        std::fputs(trace_text.c_str(), stdout);
+        comm::TrafficStats totals;
+        for (const auto& s : rank_stats) totals += s;
+        std::printf("communicator totals: %llu msgs / %llu bytes sent, "
+                    "%llu msgs / %llu bytes received\n",
+                    static_cast<unsigned long long>(totals.messages_sent),
+                    static_cast<unsigned long long>(totals.bytes_sent),
+                    static_cast<unsigned long long>(totals.messages_received),
+                    static_cast<unsigned long long>(totals.bytes_received));
+      }
+    } else {
+      runtime::Context ctx(params.seed);
+      auto result = core::fit(ctx, d.points, params);
+      labels = std::move(result.labels);
+      score = result.model.score();
+      n_clusters = result.n_clusters();
+      std::printf("keybin2: %d clusters (model score %.1f) in %.3f s\n",
+                  n_clusters, score, timer.seconds());
+      if (a.trace) std::fputs(ctx.trace_report().format().c_str(), stdout);
+    }
   } else if (a.algo == "kmeans") {
     baselines::KMeansParams params;
     params.k = a.k;
