@@ -1,7 +1,9 @@
 #include "comm/communicator.hpp"
 
 #include <algorithm>
+#include <cstring>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace keybin2::comm {
@@ -15,6 +17,9 @@ constexpr int kTagReduceU64 = Communicator::kUserTagLimit + 3;
 constexpr int kTagGather = Communicator::kUserTagLimit + 4;
 constexpr int kTagRingAccumulate = Communicator::kUserTagLimit + 5;
 constexpr int kTagRingDistribute = Communicator::kUserTagLimit + 6;
+constexpr int kTagSubBarrier = Communicator::kUserTagLimit + 7;
+
+constexpr std::size_t kFrameHeaderBytes = sizeof(std::uint32_t);
 
 template <typename T>
 void apply_op(std::vector<T>& acc, const std::vector<T>& in, ReduceOp op) {
@@ -59,6 +64,55 @@ void Communicator::check_user_tag(int tag) const {
                                                              << " out of range");
 }
 
+std::vector<int> Communicator::agree_survivors() {
+  const auto failed = failed_ranks();
+  std::vector<int> survivors;
+  survivors.reserve(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    if (std::find(failed.begin(), failed.end(), r) == failed.end()) {
+      survivors.push_back(r);
+    }
+  }
+  return survivors;
+}
+
+void Communicator::send_frame(int dest, int tag,
+                              std::span<const std::byte> payload) {
+  std::vector<std::byte> framed(kFrameHeaderBytes + payload.size());
+  const std::uint32_t crc = crc32(payload);
+  std::memcpy(framed.data(), &crc, sizeof(crc));
+  if (!payload.empty()) {
+    std::memcpy(framed.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
+  send(dest, tag, framed);
+}
+
+std::vector<std::byte> Communicator::recv_frame(int src, int tag) {
+  auto framed = recv(src, tag);
+  if (framed.size() < kFrameHeaderBytes) {
+    std::ostringstream os;
+    os << "rank " << rank() << " recv(src=" << src << ", tag=" << tag
+       << "): frame truncated to " << framed.size()
+       << " bytes (missing checksum header)";
+    throw CorruptFrameError(os.str());
+  }
+  std::uint32_t expected = 0;
+  std::memcpy(&expected, framed.data(), sizeof(expected));
+  const std::span<const std::byte> payload(framed.data() + kFrameHeaderBytes,
+                                           framed.size() - kFrameHeaderBytes);
+  const std::uint32_t actual = crc32(payload);
+  if (actual != expected) {
+    std::ostringstream os;
+    os << "rank " << rank() << " recv(src=" << src << ", tag=" << tag
+       << "): CRC32 mismatch on " << payload.size() << "-byte payload";
+    throw CorruptFrameError(os.str());
+  }
+  framed.erase(framed.begin(),
+               framed.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes));
+  return framed;
+}
+
 void Communicator::broadcast(std::vector<std::byte>& data, int root) {
   check_rank(root);
   const int p = size();
@@ -73,7 +127,7 @@ void Communicator::broadcast(std::vector<std::byte>& data, int root) {
     if (rel & mask) {
       int src = me - mask;
       if (src < 0) src += p;
-      data = recv(src, kTagBcast);
+      data = recv_frame(src, kTagBcast);
       break;
     }
     mask <<= 1;
@@ -83,7 +137,7 @@ void Communicator::broadcast(std::vector<std::byte>& data, int root) {
     if (rel + mask < p) {
       int dst = me + mask;
       if (dst >= p) dst -= p;
-      send(dst, kTagBcast, data);
+      send_frame(dst, kTagBcast, data);
     }
     mask >>= 1;
   }
@@ -106,7 +160,7 @@ std::vector<T> Communicator::reduce_impl(std::span<const T> local, ReduceOp op,
       const int src_rel = rel | mask;
       if (src_rel < p) {
         const int src = (src_rel + root) % p;
-        auto bytes = recv(src, base_tag);
+        auto bytes = recv_frame(src, base_tag);
         ByteReader reader(bytes);
         auto in = reader.template read_vec<T>();
         apply_op(acc, in, op);
@@ -115,7 +169,7 @@ std::vector<T> Communicator::reduce_impl(std::span<const T> local, ReduceOp op,
       const int dst = ((rel & ~mask) + root) % p;
       ByteWriter writer;
       writer.write_vec(acc);
-      send(dst, base_tag, writer.bytes());
+      send_frame(dst, base_tag, writer.bytes());
       sent = true;
       break;
     }
@@ -182,9 +236,9 @@ std::vector<double> Communicator::ring_allreduce(
   if (me == 0) {
     ByteWriter w;
     w.write_vec(acc);
-    send(next, kTagRingAccumulate, w.bytes());
+    send_frame(next, kTagRingAccumulate, w.bytes());
   } else {
-    auto bytes = recv(prev, kTagRingAccumulate);
+    auto bytes = recv_frame(prev, kTagRingAccumulate);
     ByteReader r(bytes);
     auto partial = r.read_vec<double>();
     apply_op(partial, acc, ReduceOp::kSum);
@@ -192,7 +246,7 @@ std::vector<double> Communicator::ring_allreduce(
     if (me != p - 1) {
       ByteWriter w;
       w.write_vec(acc);
-      send(next, kTagRingAccumulate, w.bytes());
+      send_frame(next, kTagRingAccumulate, w.bytes());
     }
   }
 
@@ -200,15 +254,15 @@ std::vector<double> Communicator::ring_allreduce(
   if (me == p - 1) {
     ByteWriter w;
     w.write_vec(acc);
-    send(next, kTagRingDistribute, w.bytes());
+    send_frame(next, kTagRingDistribute, w.bytes());
   } else {
-    auto bytes = recv(prev, kTagRingDistribute);
+    auto bytes = recv_frame(prev, kTagRingDistribute);
     ByteReader r(bytes);
     acc = r.read_vec<double>();
     if (next != p - 1) {
       ByteWriter w;
       w.write_vec(acc);
-      send(next, kTagRingDistribute, w.bytes());
+      send_frame(next, kTagRingDistribute, w.bytes());
     }
   }
   return acc;
@@ -225,10 +279,10 @@ std::vector<std::vector<std::byte>> Communicator::gather(
     out[static_cast<std::size_t>(me)].assign(local.begin(), local.end());
     for (int r = 0; r < p; ++r) {
       if (r == root) continue;
-      out[static_cast<std::size_t>(r)] = recv(r, kTagGather);
+      out[static_cast<std::size_t>(r)] = recv_frame(r, kTagGather);
     }
   } else {
-    send(root, kTagGather, local);
+    send_frame(root, kTagGather, local);
   }
   return out;
 }
@@ -263,12 +317,12 @@ void Communicator::send_doubles(int dest, int tag, std::span<const double> v) {
   check_user_tag(tag);
   ByteWriter writer;
   writer.write_span(v);
-  send(dest, tag, writer.bytes());
+  send_frame(dest, tag, writer.bytes());
 }
 
 std::vector<double> Communicator::recv_doubles(int src, int tag) {
   check_user_tag(tag);
-  auto bytes = recv(src, tag);
+  auto bytes = recv_frame(src, tag);
   ByteReader reader(bytes);
   return reader.read_vec<double>();
 }
@@ -293,8 +347,100 @@ std::vector<std::byte> SelfComm::recv(int src, int tag) {
       return data;
     }
   }
-  throw Error("SelfComm::recv would deadlock: no queued message with tag " +
-              std::to_string(tag));
+  // No peer exists, so a missing message can never arrive: the deadline —
+  // whatever it is — has effectively already expired.
+  throw TimeoutError(
+      "rank 0 recv(src=0, tag=" + std::to_string(tag) +
+          ") timed out immediately: SelfComm has no queued message and no "
+          "peer can ever send one",
+      /*self=*/0, src, tag, /*elapsed_seconds=*/0.0);
+}
+
+// ---- SubgroupComm ----
+
+SubgroupComm::SubgroupComm(Communicator& parent, std::vector<int> members)
+    : parent_(&parent), members_(std::move(members)) {
+  KB2_CHECK_MSG(!members_.empty(), "subgroup needs at least one member");
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    KB2_CHECK_MSG(members_[i] >= 0 && members_[i] < parent.size(),
+                  "subgroup member " << members_[i]
+                                     << " out of parent group size "
+                                     << parent.size());
+    KB2_CHECK_MSG(i == 0 || members_[i - 1] < members_[i],
+                  "subgroup members must be strictly ascending");
+    if (members_[i] == parent.rank()) my_rank_ = static_cast<int>(i);
+  }
+  KB2_CHECK_MSG(my_rank_ >= 0, "rank " << parent.rank()
+                                       << " is not a member of the subgroup");
+  // Inherit the deadline the parent endpoint is already operating under.
+  Communicator::set_timeout(parent.timeout());
+}
+
+int SubgroupComm::to_parent(int r) const {
+  KB2_CHECK_MSG(r >= 0 && r < size(),
+                "subgroup rank " << r << " out of group size " << size());
+  return members_[static_cast<std::size_t>(r)];
+}
+
+void SubgroupComm::send(int dest, int tag, std::span<const std::byte> data) {
+  parent_->send(to_parent(dest), tag, data);
+}
+
+std::vector<std::byte> SubgroupComm::recv(int src, int tag) {
+  return parent_->recv(to_parent(src), tag);
+}
+
+void SubgroupComm::barrier() {
+  // The parent's barrier counts every parent rank (including the dead ones
+  // this subgroup exists to exclude), so synchronize with a members-only
+  // binomial gather + release over point-to-point sends.
+  const int p = size();
+  if (p == 1) return;
+  const int me = rank();
+  ByteWriter token;
+  token.write<std::uint8_t>(1);
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (me & mask) {
+      send_frame(me & ~mask, kTagSubBarrier, token.bytes());
+      break;
+    }
+    if (me + mask < p) recv_frame(me + mask, kTagSubBarrier);
+  }
+  std::vector<std::byte> release;
+  broadcast(release, /*root=*/0);
+}
+
+void SubgroupComm::set_timeout(double seconds) {
+  Communicator::set_timeout(seconds);
+  // The parent endpoint is what actually blocks inside recv(), so the
+  // deadline has to reach it.
+  parent_->set_timeout(seconds);
+}
+
+std::vector<int> SubgroupComm::failed_ranks() const {
+  const auto parent_failed = parent_->failed_ranks();
+  std::vector<int> out;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (std::find(parent_failed.begin(), parent_failed.end(), members_[i]) !=
+        parent_failed.end()) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<int> SubgroupComm::agree_survivors() {
+  // The rendezvous runs among all live ranks of the underlying transport;
+  // translate the agreed parent-space survivor set into this group's ranks.
+  const auto parent_survivors = parent_->agree_survivors();
+  std::vector<int> out;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (std::find(parent_survivors.begin(), parent_survivors.end(),
+                  members_[i]) != parent_survivors.end()) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
 }
 
 }  // namespace keybin2::comm

@@ -6,24 +6,87 @@
 // messages, with collectives (barrier, broadcast, reduce, allreduce, gather,
 // allgather) built on top of point-to-point send/recv using the standard
 // binomial-tree algorithms. Backends:
-//   * SelfComm   — a single rank (serial execution, no copies).
-//   * ThreadComm — N ranks simulated by N threads in one process, talking
-//                  through mailboxes. Exercises the identical code path a
-//                  real MPI deployment would (serialize → send → reduce →
-//                  broadcast), with real concurrency.
+//   * SelfComm     — a single rank (serial execution, no copies).
+//   * ThreadComm   — N ranks simulated by N threads in one process, talking
+//                    through mailboxes. Exercises the identical code path a
+//                    real MPI deployment would (serialize → send → reduce →
+//                    broadcast), with real concurrency.
+//   * SubgroupComm — a densely renumbered view of a parent communicator
+//                    restricted to the survivors of a failure (ULFM-style
+//                    shrink-and-continue).
 //
 // All collective calls must be entered by every rank in the same order
 // (SPMD discipline), exactly as in MPI.
+//
+// Fault model: recv()/barrier() honor a per-endpoint deadline
+// (set_timeout()) and throw TimeoutError instead of hanging; a peer's death
+// surfaces as RankFailedError naming the dead rank; every collective payload
+// travels in a CRC32-checked frame so corruption that passes length checks
+// still throws CorruptFrameError. All three derive from CommError — the
+// recoverable class a driver may answer with agree_survivors() + retry.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/serialize.hpp"
 
 namespace keybin2::comm {
+
+/// Base class of recoverable transport failures: a driver that catches a
+/// CommError may call agree_survivors() and retry over the shrunken group.
+/// Non-comm errors (bad parameters, broken invariants) stay plain Error and
+/// are never retried.
+class CommError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// recv()/barrier() exceeded the endpoint's deadline (set_timeout()); the
+/// message names (self, src, tag, elapsed) so a hung collective is
+/// attributable to one missing peer.
+class TimeoutError final : public CommError {
+ public:
+  TimeoutError(const std::string& what, int self, int src, int tag,
+               double elapsed_seconds)
+      : CommError(what), self_(self), src_(src), tag_(tag),
+        elapsed_seconds_(elapsed_seconds) {}
+
+  int self() const { return self_; }
+  int src() const { return src_; }
+  int tag() const { return tag_; }
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+ private:
+  int self_, src_, tag_;
+  double elapsed_seconds_;
+};
+
+/// A peer rank died (threw out of its rank function) or left the group; the
+/// message names the caller, the operation, and every dead rank with its
+/// recorded reason.
+class RankFailedError final : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+/// Another rank has begun survivor agreement: the current operation is
+/// abandoned so this rank converges into agree_survivors() too.
+class RecoveryError final : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+/// A framed message failed its CRC32 integrity check (zero-fill, bit-flip,
+/// or truncation that still parsed).
+class CorruptFrameError final : public CommError {
+ public:
+  using CommError::CommError;
+};
 
 /// Reduction operators supported by reduce/allreduce.
 enum class ReduceOp { kSum, kMin, kMax };
@@ -68,16 +131,41 @@ class Communicator {
   virtual void send(int dest, int tag, std::span<const std::byte> data) = 0;
 
   /// Blocking receive of the next message from `src` with `tag` (FIFO per
-  /// (src, tag) channel).
+  /// (src, tag) channel). Honors the endpoint deadline (set_timeout()).
   virtual std::vector<std::byte> recv(int src, int tag) = 0;
 
   virtual void barrier() = 0;
 
   virtual TrafficStats stats() const = 0;
 
+  // ---- Fault surface ----
+
+  /// Deadline, in seconds, for recv()/barrier()/agree_survivors() to make
+  /// progress before throwing TimeoutError. 0 (the default) waits forever.
+  /// Virtual so decorators and subgroup views can forward to the transport
+  /// that actually blocks.
+  virtual void set_timeout(double seconds) { timeout_seconds_ = seconds; }
+  double timeout() const { return timeout_seconds_; }
+
+  /// Ranks of this group known to have failed (empty for healthy backends).
+  virtual std::vector<int> failed_ranks() const { return {}; }
+
+  /// Collective among the *live* ranks: agree on the surviving member set
+  /// after a failure and return it (in this communicator's rank space, so
+  /// the result can seed a SubgroupComm). Dead and departed ranks are
+  /// excluded; every live rank must call this (blocked peers are woken with
+  /// RecoveryError so they converge). The default covers backends that
+  /// cannot lose ranks.
+  virtual std::vector<int> agree_survivors();
+
   static constexpr int kUserTagLimit = 1 << 20;
 
   // ---- Collectives (implemented once, over send/recv) ----
+  //
+  // Every collective payload is framed with a CRC32 checksum (see
+  // send_frame/recv_frame), so zero-fill or bit-flip corruption injected
+  // under the collective is detected even when every length prefix still
+  // parses. Raw send()/recv() stay unframed for user payloads.
 
   /// Broadcast `data` from `root` to all ranks (binomial tree).
   void broadcast(std::vector<std::byte>& data, int root);
@@ -115,7 +203,7 @@ class Communicator {
 
   // ---- Typed helpers ----
 
-  /// Send a double vector (length prefix included).
+  /// Send a double vector (length prefix included, CRC-framed).
   void send_doubles(int dest, int tag, std::span<const double> v);
   std::vector<double> recv_doubles(int src, int tag);
 
@@ -123,12 +211,21 @@ class Communicator {
   void check_rank(int r) const;
   void check_user_tag(int tag) const;
 
+  /// Frame `payload` as [u32 crc32][payload] and send it.
+  void send_frame(int dest, int tag, std::span<const std::byte> payload);
+
+  /// Receive a frame from `src`, verify the checksum, and return the
+  /// payload; throws CorruptFrameError naming (self, src, tag) on mismatch.
+  std::vector<std::byte> recv_frame(int src, int tag);
+
  private:
   template <typename T>
   std::vector<T> reduce_impl(std::span<const T> local, ReduceOp op, int root,
                              int base_tag);
   template <typename T>
   std::vector<T> allreduce_impl(std::span<const T> local, ReduceOp op);
+
+  double timeout_seconds_ = 0.0;
 };
 
 /// Single-rank communicator: all collectives are identity operations and
@@ -138,6 +235,8 @@ class SelfComm final : public Communicator {
   int rank() const override { return 0; }
   int size() const override { return 1; }
   void send(int dest, int tag, std::span<const std::byte> data) override;
+  /// Honors the deadline API trivially: with no peer, a missing message can
+  /// never arrive, so an empty queue is an immediate TimeoutError.
   std::vector<std::byte> recv(int src, int tag) override;
   void barrier() override {}
   TrafficStats stats() const override { return stats_; }
@@ -146,6 +245,38 @@ class SelfComm final : public Communicator {
   // (tag -> FIFO of messages); loopback only.
   std::vector<std::pair<int, std::vector<std::byte>>> queue_;
   TrafficStats stats_;
+};
+
+/// A densely renumbered view of `parent` restricted to `members` (parent
+/// ranks, strictly ascending; must contain the calling rank). This is the
+/// shrunken group a driver continues on after agree_survivors(): subgroup
+/// rank i maps to parent rank members[i], traffic keeps accumulating on the
+/// parent's counters (stats() delegates), and barrier() is rebuilt over
+/// point-to-point sends so it only involves the members. The parent must
+/// outlive the subgroup.
+class SubgroupComm final : public Communicator {
+ public:
+  SubgroupComm(Communicator& parent, std::vector<int> members);
+
+  int rank() const override { return my_rank_; }
+  int size() const override { return static_cast<int>(members_.size()); }
+  void send(int dest, int tag, std::span<const std::byte> data) override;
+  std::vector<std::byte> recv(int src, int tag) override;
+  void barrier() override;
+  TrafficStats stats() const override { return parent_->stats(); }
+
+  void set_timeout(double seconds) override;
+  std::vector<int> failed_ranks() const override;
+  std::vector<int> agree_survivors() override;
+
+  const std::vector<int>& members() const { return members_; }
+
+ private:
+  int to_parent(int r) const;
+
+  Communicator* parent_;
+  std::vector<int> members_;  // subgroup rank -> parent rank
+  int my_rank_ = -1;
 };
 
 }  // namespace keybin2::comm

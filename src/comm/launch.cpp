@@ -19,19 +19,23 @@ TrafficStats run_ranks(int n_ranks,
       ThreadComm c = hub.comm(r);
       try {
         fn(c);
+        // Normal return: the rank leaves the group. Survivors blocked on it
+        // (or waiting for it in agree_survivors) are woken rather than hung.
+        hub.mark_departed(r);
       } catch (const std::exception& e) {
         {
           std::lock_guard lk(err_mu);
           if (!first_error) first_error = std::current_exception();
         }
-        // Wake every rank blocked on this one (MPI_Abort semantics).
-        hub.poison(std::string("rank ") + std::to_string(r) + ": " + e.what());
+        // Per-rank failure flag: peers blocked on this rank wake with a
+        // RankFailedError naming it, and may shrink-and-continue without it.
+        hub.mark_failed(r, e.what());
       } catch (...) {
         {
           std::lock_guard lk(err_mu);
           if (!first_error) first_error = std::current_exception();
         }
-        hub.poison("rank " + std::to_string(r) + " failed");
+        hub.mark_failed(r, "unknown exception");
       }
     });
   }

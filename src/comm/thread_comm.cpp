@@ -1,8 +1,26 @@
 #include "comm/thread_comm.hpp"
 
+#include <chrono>
+#include <sstream>
+
 #include "common/error.hpp"
 
 namespace keybin2::comm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point deadline_after(Clock::time_point start, double seconds) {
+  return start + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(seconds));
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
 
 ThreadCommHub::ThreadCommHub(int size) {
   KB2_CHECK_MSG(size >= 1, "hub size must be >= 1, got " << size);
@@ -11,6 +29,10 @@ ThreadCommHub::ThreadCommHub(int size) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
   traffic_.resize(static_cast<std::size_t>(size));
+  rank_state_ =
+      std::make_unique<std::atomic<std::uint8_t>[]>(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) rank_state_[i].store(kLive);
+  fail_reasons_.resize(static_cast<std::size_t>(size));
 }
 
 ThreadComm ThreadCommHub::comm(int rank) {
@@ -24,8 +46,100 @@ TrafficStats ThreadCommHub::stats(int rank) const {
   return traffic_[static_cast<std::size_t>(rank)];
 }
 
+int ThreadCommHub::live_count_locked() const {
+  int live = 0;
+  for (int r = 0; r < size(); ++r) {
+    if (rank_state_[r].load() == kLive) ++live;
+  }
+  return live;
+}
+
+void ThreadCommHub::wake_everyone() {
+  for (auto& box : mailboxes_) {
+    std::lock_guard lk(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+void ThreadCommHub::throw_rank_failed(const char* op, int self, int peer,
+                                      int tag) {
+  std::ostringstream os;
+  os << "rank " << self << " " << op;
+  if (peer >= 0) os << "(peer=" << peer << ", tag=" << tag << ")";
+  os << " aborted:";
+  {
+    std::lock_guard lk(state_mu_);
+    for (int r = 0; r < size(); ++r) {
+      const auto st = rank_state_[r].load();
+      if (st == kFailed) {
+        os << " [rank " << r << " failed: "
+           << fail_reasons_[static_cast<std::size_t>(r)] << "]";
+      } else if (st == kDeparted) {
+        os << " [rank " << r << " left the group]";
+      }
+    }
+  }
+  throw RankFailedError(os.str());
+}
+
+void ThreadCommHub::mark_failed(int rank, const std::string& reason) {
+  {
+    std::lock_guard lk(state_mu_);
+    if (rank_state_[rank].load() != kLive) return;
+    rank_state_[rank].store(kFailed);
+    fail_reasons_[static_cast<std::size_t>(rank)] = reason;
+    unacked_failures_.fetch_add(1);
+    // The dead rank will never arrive at a pending agreement; re-check the
+    // quorum with it removed from the live count.
+    maybe_finalize_shrink_locked();
+    barrier_cv_.notify_all();
+    shrink_cv_.notify_all();
+  }
+  wake_everyone();
+}
+
+void ThreadCommHub::mark_departed(int rank) {
+  {
+    std::lock_guard lk(state_mu_);
+    if (rank_state_[rank].load() != kLive) return;
+    rank_state_[rank].store(kDeparted);
+    maybe_finalize_shrink_locked();
+    barrier_cv_.notify_all();
+    shrink_cv_.notify_all();
+  }
+  wake_everyone();
+}
+
+std::vector<int> ThreadCommHub::failed_ranks() const {
+  std::lock_guard lk(state_mu_);
+  std::vector<int> out;
+  for (int r = 0; r < size(); ++r) {
+    if (rank_state_[r].load() == kFailed) out.push_back(r);
+  }
+  return out;
+}
+
+void ThreadCommHub::poison(const std::string& reason) {
+  for (int r = 0; r < size(); ++r) mark_failed(r, reason);
+}
+
 void ThreadCommHub::push(int src, int dest, int tag,
                          std::span<const std::byte> data) {
+  if (shrink_pending_.load()) {
+    std::ostringstream os;
+    os << "rank " << src << " send(peer=" << dest << ", tag=" << tag
+       << ") abandoned: survivor agreement in progress";
+    throw RecoveryError(os.str());
+  }
+  const auto dest_state = rank_state_[dest].load();
+  if (dest_state == kFailed) throw_rank_failed("send", src, dest, tag);
+  if (dest_state == kDeparted) {
+    std::ostringstream os;
+    os << "rank " << src << " send(peer=" << dest << ", tag=" << tag
+       << ") aborted: rank " << dest << " left the group";
+    throw RankFailedError(os.str());
+  }
+
   auto& box = *mailboxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard lk(box.mu);
@@ -40,75 +154,193 @@ void ThreadCommHub::push(int src, int dest, int tag,
   }
 }
 
-std::vector<std::byte> ThreadCommHub::pop(int self, int src, int tag) {
+std::vector<std::byte> ThreadCommHub::pop(int self, int src, int tag,
+                                          double timeout_seconds) {
   auto& box = *mailboxes_[static_cast<std::size_t>(self)];
-  std::unique_lock lk(box.mu);
   const auto key = std::make_pair(src, tag);
-  box.cv.wait(lk, [&] {
-    if (poisoned_.load()) return true;
+  const auto start = Clock::now();
+  std::unique_lock lk(box.mu);
+
+  for (;;) {
+    const auto ready = [&] {
+      if (shrink_pending_.load() || unacked_failures_.load() > 0 ||
+          rank_state_[src].load() == kDeparted) {
+        return true;
+      }
+      auto it = box.queues.find(key);
+      return it != box.queues.end() && !it->second.empty();
+    };
+    bool timed_out = false;
+    if (timeout_seconds > 0.0) {
+      timed_out =
+          !box.cv.wait_until(lk, deadline_after(start, timeout_seconds), ready);
+    } else {
+      box.cv.wait(lk, ready);
+    }
+
+    // Deliver pending messages even when the group is disturbed: in-flight
+    // traffic drains; only block-forever is fatal.
     auto it = box.queues.find(key);
-    return it != box.queues.end() && !it->second.empty();
-  });
-  // Drain pending messages even when poisoned; only block-forever is fatal.
-  auto it = box.queues.find(key);
-  if (it == box.queues.end() || it->second.empty()) {
-    lk.unlock();
-    check_poisoned();  // the only way the wait can end with an empty queue
-    throw Error("ThreadComm::recv woke without a message");
+    if (it != box.queues.end() && !it->second.empty()) {
+      auto data = std::move(it->second.front());
+      it->second.pop_front();
+      lk.unlock();
+      {
+        std::lock_guard tlk(traffic_mu_);
+        auto& t = traffic_[static_cast<std::size_t>(self)];
+        ++t.messages_received;
+        t.bytes_received += data.size();
+      }
+      return data;
+    }
+
+    if (shrink_pending_.load()) {
+      lk.unlock();
+      std::ostringstream os;
+      os << "rank " << self << " recv(peer=" << src << ", tag=" << tag
+         << ") abandoned: survivor agreement in progress";
+      throw RecoveryError(os.str());
+    }
+    if (unacked_failures_.load() > 0) {
+      lk.unlock();
+      throw_rank_failed("recv", self, src, tag);
+    }
+    if (rank_state_[src].load() == kDeparted) {
+      lk.unlock();
+      std::ostringstream os;
+      os << "rank " << self << " recv(peer=" << src << ", tag=" << tag
+         << ") will never complete: rank " << src << " left the group";
+      throw RankFailedError(os.str());
+    }
+    if (timed_out) {
+      lk.unlock();
+      const double elapsed = seconds_since(start);
+      std::ostringstream os;
+      os << "rank " << self << " recv(peer=" << src << ", tag=" << tag
+         << ") timed out after " << elapsed << "s";
+      throw TimeoutError(os.str(), self, src, tag, elapsed);
+    }
+    // A disturbance was acknowledged between the wake-up and the checks
+    // above (possible but rare); go back to waiting.
   }
-  auto data = std::move(it->second.front());
-  it->second.pop_front();
-  lk.unlock();
-  {
-    std::lock_guard tlk(traffic_mu_);
-    auto& t = traffic_[static_cast<std::size_t>(self)];
-    ++t.messages_received;
-    t.bytes_received += data.size();
-  }
-  return data;
 }
 
-void ThreadCommHub::barrier_wait() {
-  std::unique_lock lk(barrier_mu_);
-  check_poisoned();
+void ThreadCommHub::barrier_wait(int self, double timeout_seconds) {
+  const auto start = Clock::now();
+  std::unique_lock lk(state_mu_);
+  if (shrink_pending_.load()) {
+    lk.unlock();
+    std::ostringstream os;
+    os << "rank " << self
+       << " barrier() abandoned: survivor agreement in progress";
+    throw RecoveryError(os.str());
+  }
+  // The hub barrier is a full-group collective: once any rank is dead or
+  // gone it can never complete, acknowledged failure or not. (Shrunken
+  // groups synchronize through SubgroupComm::barrier instead.)
+  if (live_count_locked() < size()) {
+    lk.unlock();
+    throw_rank_failed("barrier", self, /*peer=*/-1, /*tag=*/-1);
+  }
+
   const auto my_generation = barrier_generation_;
   if (++barrier_count_ == size()) {
     barrier_count_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
+    return;
+  }
+
+  const auto woken = [&] {
+    return barrier_generation_ != my_generation || shrink_pending_.load() ||
+           unacked_failures_.load() > 0;
+  };
+  bool timed_out = false;
+  if (timeout_seconds > 0.0) {
+    timed_out = !barrier_cv_.wait_until(
+        lk, deadline_after(start, timeout_seconds), woken);
   } else {
-    barrier_cv_.wait(lk, [&] {
-      return poisoned_.load() || barrier_generation_ != my_generation;
-    });
-    if (barrier_generation_ == my_generation) {
+    barrier_cv_.wait(lk, woken);
+  }
+  if (barrier_generation_ != my_generation) return;  // barrier completed
+
+  --barrier_count_;  // withdraw so a later barrier is not miscounted
+  if (shrink_pending_.load()) {
+    lk.unlock();
+    std::ostringstream os;
+    os << "rank " << self
+       << " barrier() abandoned: survivor agreement in progress";
+    throw RecoveryError(os.str());
+  }
+  if (unacked_failures_.load() > 0) {
+    lk.unlock();
+    throw_rank_failed("barrier", self, /*peer=*/-1, /*tag=*/-1);
+  }
+  lk.unlock();
+  KB2_CHECK_MSG(timed_out, "barrier woke without progress or failure");
+  const double elapsed = seconds_since(start);
+  std::ostringstream os;
+  os << "rank " << self << " barrier() timed out after " << elapsed << "s";
+  throw TimeoutError(os.str(), self, /*src=*/-1, /*tag=*/-1, elapsed);
+}
+
+void ThreadCommHub::maybe_finalize_shrink_locked() {
+  if (!shrink_pending_.load()) return;
+  if (shrink_arrived_ < live_count_locked()) return;
+  // Every live rank is inside agree_survivors(): nobody can be mid-send, so
+  // after the purge below the retried protocol starts from a clean slate.
+  survivors_.clear();
+  for (int r = 0; r < size(); ++r) {
+    if (rank_state_[r].load() == kLive) survivors_.push_back(r);
+  }
+  for (auto& box : mailboxes_) {
+    std::lock_guard blk(box->mu);
+    box->queues.clear();
+  }
+  unacked_failures_.store(0);
+  shrink_arrived_ = 0;
+  barrier_count_ = 0;  // a rank that died inside a barrier never withdrew
+  shrink_pending_.store(false);
+  ++shrink_generation_;
+  shrink_cv_.notify_all();
+}
+
+std::vector<int> ThreadCommHub::agree_survivors(int self,
+                                                double timeout_seconds) {
+  const auto start = Clock::now();
+  std::unique_lock lk(state_mu_);
+  if (!shrink_pending_.load()) {
+    shrink_pending_.store(true);
+    // Wake every blocked operation so the other live ranks converge here.
+    barrier_cv_.notify_all();
+    lk.unlock();
+    wake_everyone();
+    lk.lock();
+  }
+
+  const auto my_generation = shrink_generation_;
+  ++shrink_arrived_;
+  maybe_finalize_shrink_locked();
+  if (shrink_generation_ == my_generation) {
+    const auto done = [&] { return shrink_generation_ != my_generation; };
+    bool timed_out = false;
+    if (timeout_seconds > 0.0) {
+      timed_out = !shrink_cv_.wait_until(
+          lk, deadline_after(start, timeout_seconds), done);
+    } else {
+      shrink_cv_.wait(lk, done);
+    }
+    if (timed_out) {
+      --shrink_arrived_;  // withdraw; a retry will re-arrive
       lk.unlock();
-      check_poisoned();
+      const double elapsed = seconds_since(start);
+      std::ostringstream os;
+      os << "rank " << self << " agree_survivors() timed out after " << elapsed
+         << "s waiting for the live ranks to converge";
+      throw TimeoutError(os.str(), self, /*src=*/-1, /*tag=*/-1, elapsed);
     }
   }
-}
-
-void ThreadCommHub::poison(const std::string& reason) {
-  {
-    std::lock_guard lk(poison_mu_);
-    if (poisoned_.load()) return;
-    poison_reason_ = reason;
-  }
-  poisoned_.store(true);
-  for (auto& box : mailboxes_) {
-    std::lock_guard lk(box->mu);
-    box->cv.notify_all();
-  }
-  {
-    std::lock_guard lk(barrier_mu_);
-    barrier_cv_.notify_all();
-  }
-}
-
-void ThreadCommHub::check_poisoned() const {
-  if (poisoned_.load()) {
-    std::lock_guard lk(poison_mu_);
-    throw Error("communicator group failed: " + poison_reason_);
-  }
+  return survivors_;
 }
 
 int ThreadComm::size() const { return hub_->size(); }
@@ -122,11 +354,19 @@ void ThreadComm::send(int dest, int tag, std::span<const std::byte> data) {
 std::vector<std::byte> ThreadComm::recv(int src, int tag) {
   KB2_CHECK_MSG(src >= 0 && src < size(),
                 "recv src " << src << " out of group size " << size());
-  return hub_->pop(rank_, src, tag);
+  return hub_->pop(rank_, src, tag, timeout());
 }
 
-void ThreadComm::barrier() { hub_->barrier_wait(); }
+void ThreadComm::barrier() { hub_->barrier_wait(rank_, timeout()); }
 
 TrafficStats ThreadComm::stats() const { return hub_->stats(rank_); }
+
+std::vector<int> ThreadComm::failed_ranks() const {
+  return hub_->failed_ranks();
+}
+
+std::vector<int> ThreadComm::agree_survivors() {
+  return hub_->agree_survivors(rank_, timeout());
+}
 
 }  // namespace keybin2::comm

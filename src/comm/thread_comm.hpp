@@ -8,16 +8,30 @@
 // This gives the distributed KeyBin2 driver a faithful stand-in for MPI on a
 // single node: real concurrency, real serialization, rank-private memory by
 // convention (each rank only touches its own data slices).
+//
+// Failure model (DESIGN.md §4b): the hub tracks per-rank status — live,
+// failed (the rank's function threw), or departed (it returned normally).
+// A blocked recv()/barrier() wakes and throws RankFailedError the moment any
+// rank fails, naming the caller, the peer, the tag, and every dead rank with
+// its reason; with a deadline set (Communicator::set_timeout) the same calls
+// throw TimeoutError instead of waiting forever on a silently lost message.
+// agree_survivors() is the ULFM-style recovery rendezvous: every live rank
+// converges into it (blocked peers are woken with RecoveryError), and once
+// all have arrived the hub snapshots the survivor set, purges every mailbox
+// (no stale in-flight messages can leak into the retried protocol), and
+// acknowledges the failures so the survivors' subsequent traffic is not
+// disturbed by the already-handled deaths.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <string>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -35,6 +49,9 @@ class ThreadComm final : public Communicator {
   std::vector<std::byte> recv(int src, int tag) override;
   void barrier() override;
   TrafficStats stats() const override;
+
+  std::vector<int> failed_ranks() const override;
+  std::vector<int> agree_survivors() override;
 
  private:
   friend class ThreadCommHub;
@@ -55,10 +72,24 @@ class ThreadCommHub {
 
   TrafficStats stats(int rank) const;
 
-  /// Mark the group failed (e.g. a rank threw): every blocked or future
-  /// recv()/barrier() throws instead of waiting on a dead rank — the
-  /// moral equivalent of MPI_Abort, so one rank's failure can never
-  /// deadlock the others.
+  /// Record that `rank`'s function threw: blocked and future recv()/barrier()
+  /// calls on other ranks throw RankFailedError naming it (and its reason)
+  /// instead of waiting on a dead rank, so one failure can never deadlock
+  /// the group.
+  void mark_failed(int rank, const std::string& reason);
+
+  /// Record that `rank` returned normally and left the group. Departed ranks
+  /// no longer count toward the survivor-agreement quorum, and a recv()
+  /// blocked on one (after its pending messages drain) throws instead of
+  /// hanging.
+  void mark_departed(int rank);
+
+  /// Ranks currently marked failed, ascending.
+  std::vector<int> failed_ranks() const;
+
+  /// Mark every rank failed (legacy whole-group abort — the moral
+  /// equivalent of MPI_Abort). Kept for callers that want all-or-nothing
+  /// semantics; per-rank mark_failed() is what run_ranks() uses.
   void poison(const std::string& reason);
 
  private:
@@ -70,20 +101,45 @@ class ThreadCommHub {
     std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> queues;
   };
 
-  void push(int src, int dest, int tag, std::span<const std::byte> data);
-  std::vector<std::byte> pop(int self, int src, int tag);
-  void barrier_wait();
-  void check_poisoned() const;
+  // Per-rank lifecycle. The enum lives in an atomic array so mailbox waits
+  // can poll it without taking state_mu_; reasons stay under state_mu_.
+  enum : std::uint8_t { kLive = 0, kFailed = 1, kDeparted = 2 };
 
-  std::atomic<bool> poisoned_{false};
-  std::string poison_reason_;
-  mutable std::mutex poison_mu_;
+  void push(int src, int dest, int tag, std::span<const std::byte> data);
+  std::vector<std::byte> pop(int self, int src, int tag,
+                             double timeout_seconds);
+  void barrier_wait(int self, double timeout_seconds);
+  std::vector<int> agree_survivors(int self, double timeout_seconds);
+
+  int live_count_locked() const;
+  void maybe_finalize_shrink_locked();
+  void wake_everyone();
+  /// Compose and throw the RankFailedError for an operation `op` on
+  /// (self, src, tag); takes state_mu_ itself.
+  [[noreturn]] void throw_rank_failed(const char* op, int self, int src,
+                                      int tag);
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<TrafficStats> traffic_;
   mutable std::mutex traffic_mu_;
 
-  std::mutex barrier_mu_;
+  // Lock order: state_mu_ before any Mailbox::mu; never the reverse.
+  mutable std::mutex state_mu_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> rank_state_;
+  std::vector<std::string> fail_reasons_;
+  /// Failed ranks not yet acknowledged by a completed survivor agreement;
+  /// nonzero wakes every blocked operation.
+  std::atomic<int> unacked_failures_{0};
+
+  // Survivor agreement (guarded by state_mu_; the flag is atomic so mailbox
+  // waits and send() can poll it).
+  std::atomic<bool> shrink_pending_{false};
+  std::condition_variable shrink_cv_;
+  int shrink_arrived_ = 0;
+  std::uint64_t shrink_generation_ = 0;
+  std::vector<int> survivors_;  // snapshot of the last completed agreement
+
+  // Barrier (guarded by state_mu_).
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;

@@ -79,6 +79,24 @@ class Rng {
   /// Derive an independent child seed (for per-rank / per-trial streams).
   std::uint64_t fork_seed() { return next(); }
 
+  /// Complete generator state, for exact checkpoint/restart: restoring a
+  /// saved state resumes the identical random stream (including the cached
+  /// Box–Muller spare), which is what makes killed-then-resumed runs
+  /// bit-identical to uninterrupted ones.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    bool has_spare = false;
+    double spare = 0.0;
+  };
+
+  State state() const { return State{state_, has_spare_, spare_}; }
+
+  void set_state(const State& st) {
+    state_ = st.s;
+    has_spare_ = st.has_spare;
+    spare_ = st.spare;
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,75 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace keybin2::core {
+
+void write_checkpoint_file(const std::string& path,
+                           std::span<const std::byte> payload) {
+  ByteWriter header;
+  header.write<std::uint64_t>(kCheckpointMagic);
+  header.write<std::uint32_t>(kCheckpointVersion);
+  header.write<std::uint64_t>(static_cast<std::uint64_t>(payload.size()));
+  header.write<std::uint32_t>(crc32(payload));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    KB2_CHECK_MSG(out.is_open(), "cannot open checkpoint file " << tmp
+                                                                << " for writing");
+    out.write(reinterpret_cast<const char*>(header.bytes().data()),
+              static_cast<std::streamsize>(header.bytes().size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    KB2_CHECK_MSG(out.good(), "short write to checkpoint file " << tmp);
+  }
+  KB2_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot move checkpoint " << tmp << " into place at " << path);
+}
+
+std::vector<std::byte> read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  KB2_CHECK_MSG(in.is_open(), "cannot open checkpoint file " << path);
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  KB2_CHECK_MSG(raw.size() >= kCheckpointHeaderBytes,
+                "checkpoint " << path << " truncated: " << raw.size()
+                              << " bytes, header alone needs "
+                              << kCheckpointHeaderBytes);
+
+  ByteReader r(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(raw.data()), raw.size()));
+  const auto magic = r.read<std::uint64_t>();
+  KB2_CHECK_MSG(magic == kCheckpointMagic,
+                "checkpoint " << path << " has bad magic (not a KB2CKPT file)");
+  const auto version = r.read<std::uint32_t>();
+  KB2_CHECK_MSG(version == kCheckpointVersion,
+                "checkpoint " << path << " has version " << version
+                              << ", this build reads version "
+                              << kCheckpointVersion);
+  const auto payload_size = r.read<std::uint64_t>();
+  KB2_CHECK_MSG(payload_size == raw.size() - kCheckpointHeaderBytes,
+                "checkpoint " << path << " truncated: header promises "
+                              << payload_size << " payload bytes, file holds "
+                              << raw.size() - kCheckpointHeaderBytes);
+  const auto expected_crc = r.read<std::uint32_t>();
+
+  std::vector<std::byte> payload(static_cast<std::size_t>(payload_size));
+  std::memcpy(payload.data(), raw.data() + kCheckpointHeaderBytes,
+              payload.size());
+  const auto actual_crc = crc32(payload);
+  KB2_CHECK_MSG(actual_crc == expected_crc,
+                "checkpoint " << path << " failed its CRC32 integrity check"
+                              << " (stored " << expected_crc << ", computed "
+                              << actual_crc << ")");
+  return payload;
+}
+
+}  // namespace keybin2::core

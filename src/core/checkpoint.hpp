@@ -1,0 +1,44 @@
+// Versioned, CRC32-checked checkpoint container (DESIGN.md §4b).
+//
+// A checkpoint file is
+//
+//   [u64 magic "KB2CKPT"] [u32 version] [u64 payload_size] [u32 payload_crc]
+//   [payload bytes]
+//
+// written atomically (tmp file + rename) so a crash mid-save never clobbers
+// the previous good checkpoint. The payload is an opaque byte blob produced
+// by the owning driver (StreamingKeyBin2::serialize, the out-of-core
+// driver's resume record); this layer only guards its integrity: truncated
+// files, foreign files, version skew, and bit corruption are all rejected
+// with a keybin2::Error before a single payload byte is interpreted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace keybin2::core {
+
+/// "KB2CKPT" packed little-endian into a u64 (high byte zero).
+inline constexpr std::uint64_t kCheckpointMagic = 0x0054504b43324b42ULL;
+
+/// Bumped whenever the container layout (not the payload schema) changes.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Container header size in bytes: magic + version + payload_size + crc.
+inline constexpr std::size_t kCheckpointHeaderBytes = 8 + 4 + 8 + 4;
+
+/// Write `payload` to `path` inside the container above. The bytes land in
+/// `path + ".tmp"` first and are renamed into place only after a successful
+/// flush, so readers never observe a half-written checkpoint.
+void write_checkpoint_file(const std::string& path,
+                           std::span<const std::byte> payload);
+
+/// Read and validate a checkpoint written by write_checkpoint_file().
+/// Throws keybin2::Error naming the file and the specific defect on bad
+/// magic, unsupported version, truncation/size mismatch, or CRC mismatch.
+std::vector<std::byte> read_checkpoint_file(const std::string& path);
+
+}  // namespace keybin2::core

@@ -24,10 +24,8 @@ struct BestCandidate {
   std::vector<Cell> cells;
 };
 
-}  // namespace
-
-FitResult fit(runtime::Context& ctx, const Matrix& local_points,
-              const Params& params) {
+FitResult fit_once(runtime::Context& ctx, const Matrix& local_points,
+                   const Params& params) {
   KB2_CHECK_MSG(params.min_depth >= 1 && params.min_depth <= params.max_depth,
                 "invalid depth range [" << params.min_depth << ", "
                                         << params.max_depth << "]");
@@ -167,6 +165,41 @@ FitResult fit(runtime::Context& ctx, const Matrix& local_points,
     result.labels = result.model.predict(local_points);
   }
   return result;
+}
+
+}  // namespace
+
+FitResult fit(runtime::Context& ctx, const Matrix& local_points,
+              const Params& params) {
+  if (params.comm_timeout_seconds > 0.0) {
+    ctx.comm().set_timeout(params.comm_timeout_seconds);
+  }
+
+  // Recovery loop: a recoverable transport failure (timeout, corrupt frame,
+  // dead rank) restarts the WHOLE fit rather than one stage — ranks detect a
+  // failure at different points of the protocol, so per-stage retry would
+  // desynchronize them, while agree_survivors() (inside
+  // shrink_to_survivors) is a rendezvous of all live ranks and the restarted
+  // protocol begins from an agreed clean slate. The stages are pure in their
+  // inputs, so rerunning them is safe; with ranks lost the retry runs over
+  // the shrunken survivor group (the merged histograms of the survivors
+  // remain a valid subsample — see DESIGN.md §4b).
+  int attempt = 0;
+  bool recover = false;
+  for (;;) {
+    try {
+      if (recover) {
+        recover = false;
+        ctx.shrink_to_survivors();
+        if (ctx.is_root()) ctx.tracer().counter("fit_retries", 1.0);
+      }
+      return fit_once(ctx, local_points, params);
+    } catch (const comm::CommError&) {
+      if (attempt >= params.max_shrink_retries) throw;
+      ++attempt;
+      recover = true;
+    }
+  }
 }
 
 FitResult fit(comm::Communicator& comm, const Matrix& local_points,

@@ -24,6 +24,28 @@ struct OutOfCoreResult {
   std::uint64_t points = 0;
   std::size_t dims = 0;
   std::size_t chunks = 0;
+  /// False when the run stopped at a CheckpointOptions::max_chunks budget
+  /// pause; the model is then default-constructed and a checkpoint holding
+  /// the partial pass-1 state awaits the next fit_from_file() call.
+  bool completed = true;
+};
+
+/// Checkpoint/restart policy for fit_from_file (DESIGN.md §4b).
+///
+/// With a non-empty `path`, pass 1 persists the streaming engine plus the
+/// chunk cursor to `path` (versioned, CRC32-checked; see checkpoint.hpp)
+/// every `every_chunks` chunks; a later call with the same arguments finds
+/// the file, validates it against the dataset, seeks the input to the saved
+/// chunk boundary, and continues — the resumed run's model is bit-identical
+/// to an uninterrupted one. The file is removed on success. `max_chunks`
+/// > 0 additionally pauses the run after ingesting that many chunks
+/// (completed=false), which is how the kill-and-resume tests realize a
+/// deterministic mid-run death. Checkpointing is single-rank only: a
+/// collective pass cannot restart from one rank's private file offset.
+struct CheckpointOptions {
+  std::string path;               // empty = checkpointing disabled
+  std::size_t every_chunks = 8;   // save cadence during pass 1
+  std::size_t max_chunks = 0;     // 0 = no budget pause
 };
 
 /// Cluster the dataset stored at `input_path` (keybin2::data binary format,
@@ -37,13 +59,15 @@ OutOfCoreResult fit_from_file(runtime::Context& ctx,
                               const std::string& input_path,
                               const std::string& labels_path,
                               const Params& params = {},
-                              std::size_t chunk_points = 8192);
+                              std::size_t chunk_points = 8192,
+                              const CheckpointOptions& checkpoint = {});
 
 /// Convenience: serial out-of-core fit over an internal single-rank context.
 OutOfCoreResult fit_from_file(const std::string& input_path,
                               const std::string& labels_path,
                               const Params& params = {},
-                              std::size_t chunk_points = 8192);
+                              std::size_t chunk_points = 8192,
+                              const CheckpointOptions& checkpoint = {});
 
 /// Read back a label stream written by fit_from_file.
 std::vector<int> read_labels(const std::string& labels_path);

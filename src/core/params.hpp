@@ -79,6 +79,18 @@ struct Params {
 
   /// Histogram-exchange topology (§3 step 3).
   Topology topology = Topology::kTree;
+
+  /// Fault tolerance: deadline, in seconds, for any recv/barrier inside the
+  /// distributed stages to make progress before throwing a TimeoutError
+  /// (0 = wait forever, the classic MPI behaviour). A lost or dropped
+  /// message then surfaces as a recoverable error instead of a hang.
+  double comm_timeout_seconds = 0.0;
+
+  /// Fault tolerance: how many times fit()/refit() may restart after a
+  /// recoverable comm failure (rank death -> shrink to the survivors and
+  /// rerun; transient corruption -> rerun over the same group) before the
+  /// error propagates.
+  int max_shrink_retries = 2;
 };
 
 }  // namespace keybin2::core

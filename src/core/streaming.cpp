@@ -6,6 +6,8 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "core/checkpoint.hpp"
 #include "core/pipeline.hpp"
 #include "core/projection.hpp"
 
@@ -94,7 +96,7 @@ void StreamingKeyBin2::push_batch(const Matrix& batch) {
   for (std::size_t i = 0; i < batch.rows(); ++i) push(batch.row(i));
 }
 
-const Model& StreamingKeyBin2::refit(runtime::Context& ctx) {
+const Model& StreamingKeyBin2::refit_once(runtime::Context& ctx) {
   auto refit_scope = ctx.tracer().scope("refit");
   const bool is_root = ctx.is_root();
   const double total_points = ctx.comm().allreduce(
@@ -211,6 +213,34 @@ const Model& StreamingKeyBin2::refit(runtime::Context& ctx) {
   return *model_;
 }
 
+const Model& StreamingKeyBin2::refit(runtime::Context& ctx) {
+  if (params_.comm_timeout_seconds > 0.0) {
+    ctx.comm().set_timeout(params_.comm_timeout_seconds);
+  }
+
+  // Same recovery loop as core::fit (see keybin2.cpp): restart the whole
+  // refit after a recoverable transport failure, over the survivor group if
+  // ranks died. The retried pass rebins each rank's doubling histograms onto
+  // the freshly agreed ranges — rebinning conserves mass, so a second pass
+  // over already-rebinned state is harmless.
+  int attempt = 0;
+  bool recover = false;
+  for (;;) {
+    try {
+      if (recover) {
+        recover = false;
+        ctx.shrink_to_survivors();
+        if (ctx.is_root()) ctx.tracer().counter("fit_retries", 1.0);
+      }
+      return refit_once(ctx);
+    } catch (const comm::CommError&) {
+      if (attempt >= params_.max_shrink_retries) throw;
+      ++attempt;
+      recover = true;
+    }
+  }
+}
+
 const Model& StreamingKeyBin2::refit(comm::Communicator& comm) {
   runtime::Context ctx(comm, params_.seed);
   return refit(ctx);
@@ -229,6 +259,168 @@ const Model& StreamingKeyBin2::model() const {
 
 int StreamingKeyBin2::label(std::span<const double> point) const {
   return model().predict(point);
+}
+
+void StreamingKeyBin2::serialize(ByteWriter& w) const {
+  // Structural fields first, so restore() can reject a checkpoint taken
+  // under incompatible Params before touching any state.
+  w.write<std::uint64_t>(input_dims_);
+  w.write<std::int32_t>(n_rp_);
+  w.write<std::int32_t>(params_.max_depth);
+  w.write<std::uint64_t>(params_.seed);
+  w.write<std::uint64_t>(static_cast<std::uint64_t>(trials_.size()));
+  w.write<std::uint64_t>(points_seen_);
+
+  for (const auto& trial : trials_) {
+    w.write<std::uint64_t>(trial.projection.rows());
+    w.write<std::uint64_t>(trial.projection.cols());
+    w.write_span(trial.projection.flat());
+    w.write<std::uint64_t>(static_cast<std::uint64_t>(trial.anchored.size()));
+    for (const bool a : trial.anchored) {
+      w.write<std::uint8_t>(a ? std::uint8_t{1} : std::uint8_t{0});
+    }
+    w.write_vec(trial.seen_lo);
+    w.write_vec(trial.seen_hi);
+    w.write<std::uint64_t>(static_cast<std::uint64_t>(trial.hists.size()));
+    for (const auto& h : trial.hists) {
+      // Unanchored slots hold a default-constructed hierarchy: max_depth 0,
+      // no bins. Writing (lo, hi, depth, counts) covers both cases.
+      w.write<double>(h.lo());
+      w.write<double>(h.hi());
+      w.write<std::int32_t>(h.max_depth());
+      w.write_span(h.deepest_counts());
+    }
+  }
+
+  w.write<std::uint64_t>(reservoir_.rows());
+  w.write<std::uint64_t>(reservoir_.cols());
+  w.write_span(reservoir_.flat());
+  // RNG state field by field — serializing the State struct wholesale would
+  // embed padding bytes, which poisons the checkpoint CRC with garbage.
+  const Rng::State rng_state = reservoir_rng_.state();
+  for (const std::uint64_t s : rng_state.s) w.write<std::uint64_t>(s);
+  w.write<std::uint8_t>(rng_state.has_spare ? std::uint8_t{1}
+                                            : std::uint8_t{0});
+  w.write<double>(rng_state.spare);
+
+  w.write<std::uint8_t>(model_.has_value() ? std::uint8_t{1}
+                                           : std::uint8_t{0});
+  if (model_.has_value()) model_->serialize(w);
+}
+
+void StreamingKeyBin2::restore(ByteReader& r) {
+  const auto dims = r.read<std::uint64_t>();
+  KB2_CHECK_MSG(dims == input_dims_,
+                "checkpoint was taken with input_dims=" << dims
+                                                        << ", engine has "
+                                                        << input_dims_);
+  const auto n_rp = r.read<std::int32_t>();
+  KB2_CHECK_MSG(n_rp == n_rp_, "checkpoint was taken with n_rp="
+                                   << n_rp << ", engine has " << n_rp_);
+  const auto max_depth = r.read<std::int32_t>();
+  KB2_CHECK_MSG(max_depth == params_.max_depth,
+                "checkpoint was taken with max_depth=" << max_depth
+                                                       << ", engine has "
+                                                       << params_.max_depth);
+  const auto seed = r.read<std::uint64_t>();
+  KB2_CHECK_MSG(seed == params_.seed,
+                "checkpoint was taken with seed=" << seed << ", engine has "
+                                                  << params_.seed);
+  const auto n_trials = r.read<std::uint64_t>();
+  KB2_CHECK_MSG(n_trials == trials_.size(),
+                "checkpoint holds " << n_trials << " trials, engine has "
+                                    << trials_.size());
+  points_seen_ = r.read<std::uint64_t>();
+
+  for (auto& trial : trials_) {
+    const auto prows = r.read<std::uint64_t>();
+    const auto pcols = r.read<std::uint64_t>();
+    auto pdata = r.read_vec<double>();
+    trial.projection = Matrix(static_cast<std::size_t>(prows),
+                              static_cast<std::size_t>(pcols),
+                              std::move(pdata));
+    const auto n_anchored = r.read<std::uint64_t>();
+    KB2_CHECK_MSG(n_anchored == static_cast<std::uint64_t>(n_rp_),
+                  "checkpoint trial has " << n_anchored
+                                          << " dimensions, engine has "
+                                          << n_rp_);
+    trial.anchored.assign(static_cast<std::size_t>(n_anchored), false);
+    for (std::size_t j = 0; j < trial.anchored.size(); ++j) {
+      trial.anchored[j] = r.read<std::uint8_t>() != 0;
+    }
+    trial.seen_lo = r.read_vec<double>();
+    trial.seen_hi = r.read_vec<double>();
+    const auto n_hists = r.read<std::uint64_t>();
+    KB2_CHECK_MSG(n_hists == static_cast<std::uint64_t>(n_rp_),
+                  "checkpoint trial has " << n_hists
+                                          << " histograms, engine has "
+                                          << n_rp_);
+    trial.hists.clear();
+    trial.hists.reserve(static_cast<std::size_t>(n_hists));
+    for (std::uint64_t j = 0; j < n_hists; ++j) {
+      const auto lo = r.read<double>();
+      const auto hi = r.read<double>();
+      const auto depth = r.read<std::int32_t>();
+      auto counts = r.read_vec<double>();
+      if (depth == 0) {
+        KB2_CHECK_MSG(counts.empty(),
+                      "unanchored histogram carries " << counts.size()
+                                                      << " counts");
+        trial.hists.emplace_back();
+      } else {
+        stats::HierarchicalHistogram h(lo, hi, depth);
+        h.set_deepest_counts(std::move(counts));
+        trial.hists.push_back(std::move(h));
+      }
+    }
+  }
+
+  const auto rrows = r.read<std::uint64_t>();
+  const auto rcols = r.read<std::uint64_t>();
+  auto rdata = r.read_vec<double>();
+  KB2_CHECK_MSG(rcols == input_dims_,
+                "checkpoint reservoir has " << rcols << " columns, engine has "
+                                            << input_dims_);
+  KB2_CHECK_MSG(rrows <= reservoir_capacity_,
+                "checkpoint reservoir holds " << rrows
+                                              << " rows, engine capacity is "
+                                              << reservoir_capacity_);
+  reservoir_ = Matrix(static_cast<std::size_t>(rrows),
+                      static_cast<std::size_t>(rcols), std::move(rdata));
+
+  Rng::State rng_state;
+  for (auto& s : rng_state.s) s = r.read<std::uint64_t>();
+  rng_state.has_spare = r.read<std::uint8_t>() != 0;
+  rng_state.spare = r.read<double>();
+  reservoir_rng_.set_state(rng_state);
+
+  if (r.read<std::uint8_t>() != 0) {
+    model_ = Model::deserialize(r);
+  } else {
+    model_.reset();
+  }
+}
+
+void StreamingKeyBin2::save_checkpoint(const std::string& path) const {
+  ByteWriter w;
+  serialize(w);
+  write_checkpoint_file(path, w.bytes());
+}
+
+StreamingKeyBin2 StreamingKeyBin2::resume_from(const std::string& path,
+                                               Params params,
+                                               std::size_t reservoir_capacity) {
+  const auto payload = read_checkpoint_file(path);
+  ByteReader peek(payload);
+  const auto dims = peek.read<std::uint64_t>();
+  StreamingKeyBin2 engine(static_cast<std::size_t>(dims), params,
+                          reservoir_capacity);
+  ByteReader r(payload);
+  engine.restore(r);
+  KB2_CHECK_MSG(r.exhausted(),
+                "checkpoint " << path << " payload has " << r.remaining()
+                              << " trailing bytes");
+  return engine;
 }
 
 }  // namespace keybin2::core

@@ -18,11 +18,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "comm/communicator.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
+#include "common/serialize.hpp"
 #include "core/model.hpp"
 #include "core/params.hpp"
 #include "runtime/context.hpp"
@@ -50,7 +52,10 @@ class StreamingKeyBin2 {
   /// ranks of the context's communicator (every rank must call refit in
   /// step). Executes through the shared core/pipeline stages; the context's
   /// tracer accumulates per-stage time and traffic under
-  /// "refit/trial{t}/{stage}" scopes.
+  /// "refit/trial{t}/{stage}" scopes. Recoverable comm failures restart the
+  /// refit up to Params::max_shrink_retries times, shrinking to the
+  /// survivors after a rank death (same recovery loop as core::fit; the
+  /// re-run's rebinning pass is mass-conserving, so retrying is safe).
   const Model& refit(runtime::Context& ctx);
 
   /// Convenience: refit over a bare communicator (a fresh Context is built
@@ -69,6 +74,32 @@ class StreamingKeyBin2 {
   /// Label one point with the current model.
   int label(std::span<const double> point) const;
 
+  // ---- Checkpoint/restart (DESIGN.md §4b) ----
+  //
+  // serialize() captures the engine EXACTLY — doubling histograms, seen
+  // envelopes, reservoir contents, the reservoir RNG's internal state, the
+  // model if any — so a deserialized engine continues the identical point
+  // stream bit-for-bit: a killed-then-resumed run reproduces an
+  // uninterrupted run's model fingerprint.
+
+  /// Append the full engine state to `w`.
+  void serialize(ByteWriter& w) const;
+
+  /// Restore state previously written by serialize(); the engine must have
+  /// been constructed with the same input_dims and compatible Params.
+  void restore(ByteReader& r);
+
+  /// Write the engine state to `path` as a versioned, CRC32-checked
+  /// checkpoint file (see core/checkpoint.hpp).
+  void save_checkpoint(const std::string& path) const;
+
+  /// Rebuild an engine from a checkpoint written by save_checkpoint().
+  /// `params` must match the ones the checkpointed engine was built with
+  /// (the structural fields are validated against the payload).
+  static StreamingKeyBin2 resume_from(const std::string& path,
+                                      Params params = {},
+                                      std::size_t reservoir_capacity = 4096);
+
  private:
   struct TrialState {
     Matrix projection;  // empty => identity
@@ -81,6 +112,7 @@ class StreamingKeyBin2 {
   };
 
   void ingest(TrialState& trial, std::span<const double> projected);
+  const Model& refit_once(runtime::Context& ctx);
 
   std::size_t input_dims_;
   Params params_;

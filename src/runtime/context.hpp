@@ -59,12 +59,48 @@ class Context {
   /// Merge all ranks' traces at root (collective; see reduce_report()).
   TraceReport trace_report() { return reduce_report(tracer_, *comm_); }
 
+  /// ULFM-style shrink-and-continue: after a comm::CommError, every
+  /// surviving rank calls this in step. It runs the agree_survivors()
+  /// rendezvous and, if ranks were lost, swaps this context's communicator
+  /// for a SubgroupComm over the survivors (densely renumbered; rank()/
+  /// size()/is_root() all reflect the shrunken group afterwards), rebinds
+  /// the tracer, and records the loss in the "degraded_ranks" counter (at
+  /// the new root only, so the cross-rank counter sum equals the total
+  /// number of excluded ranks). Returns false when nobody was lost — the
+  /// failure was transient (e.g. a corrupt frame) and the caller should
+  /// simply retry over the same group.
+  bool shrink_to_survivors() {
+    auto survivors = comm_->agree_survivors();
+    const int lost = comm_->size() - static_cast<int>(survivors.size());
+    if (lost == 0) return false;
+    auto sub =
+        std::make_unique<comm::SubgroupComm>(*comm_, std::move(survivors));
+    comm_ = sub.get();
+    // Earlier subgroups must stay alive: each SubgroupComm borrows its
+    // parent, so repeated shrinks form a chain down to the original comm.
+    subgroups_.push_back(std::move(sub));
+    tracer_.rebind(comm_);
+    excluded_ranks_ += lost;
+    if (comm_->rank() == 0) {
+      tracer_.counter("degraded_ranks", static_cast<double>(lost));
+    }
+    return true;
+  }
+
+  /// True once shrink_to_survivors() has excluded at least one rank.
+  bool degraded() const { return excluded_ranks_ > 0; }
+
+  /// Total ranks excluded across all shrinks of this context.
+  int excluded_ranks() const { return excluded_ranks_; }
+
  private:
   std::unique_ptr<comm::Communicator> owned_comm_;  // serial mode only
   comm::Communicator* comm_;
   ThreadPool* pool_;
   Rng rng_;
   Tracer tracer_;
+  std::vector<std::unique_ptr<comm::SubgroupComm>> subgroups_;
+  int excluded_ranks_ = 0;
 };
 
 }  // namespace keybin2::runtime

@@ -37,6 +37,13 @@ class Tracer {
   /// nullptr to trace wall time only.
   explicit Tracer(const comm::Communicator* comm = nullptr) : comm_(comm) {}
 
+  /// Swap the communicator the traffic counters are sampled from — used when
+  /// a Context shrinks to a survivor subgroup mid-run. Safe with scopes open
+  /// as long as the new communicator's stats() continue the old one's
+  /// counters (SubgroupComm delegates to its parent, so they do): open
+  /// frames hold their at-open sample by value and deltas stay monotone.
+  void rebind(const comm::Communicator* comm) { comm_ = comm; }
+
   /// RAII handle closing its scope on destruction. Scopes must nest: close
   /// (destroy) inner scopes before outer ones.
   class Scope {

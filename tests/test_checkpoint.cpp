@@ -1,0 +1,303 @@
+// Checkpoint/restart (DESIGN.md §4b): the container must reject every form
+// of on-disk damage, the streaming engine must round-trip its exact state,
+// and a killed-then-resumed out-of-core run must reproduce the uninterrupted
+// run's model bit for bit.
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "core/out_of_core.hpp"
+#include "core/streaming.hpp"
+#include "data/gaussian_mixture.hpp"
+#include "data/io.hpp"
+
+namespace keybin2::core {
+namespace {
+
+std::vector<std::byte> model_bytes(const Model& m) {
+  ByteWriter w;
+  m.serialize(w);
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+std::vector<std::byte> engine_bytes(const StreamingKeyBin2& e) {
+  ByteWriter w;
+  e.serialize(w);
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<char>& raw) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+}
+
+class CheckpointFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "/tmp/kb2_ckpt_" + std::to_string(getpid()) + ".bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CheckpointFile, RoundTripPreservesPayload) {
+  std::vector<std::byte> payload(1000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i * 37 + 5);
+  }
+  write_checkpoint_file(path_, payload);
+  EXPECT_EQ(read_checkpoint_file(path_), payload);
+}
+
+TEST_F(CheckpointFile, WriteIsAtomic) {
+  // The temp file must not linger after a successful rename.
+  write_checkpoint_file(path_, std::vector<std::byte>(16, std::byte{9}));
+  std::ifstream tmp(path_ + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.is_open());
+}
+
+TEST_F(CheckpointFile, RejectsMissingFile) {
+  EXPECT_THROW(read_checkpoint_file("/tmp/kb2_no_such_ckpt.bin"), Error);
+}
+
+TEST_F(CheckpointFile, RejectsTruncatedFile) {
+  write_checkpoint_file(path_, std::vector<std::byte>(256, std::byte{3}));
+  auto raw = slurp(path_);
+  ASSERT_GT(raw.size(), kCheckpointHeaderBytes);
+
+  // Lose the payload tail: header now promises more bytes than exist.
+  auto cut = raw;
+  cut.resize(raw.size() - 40);
+  spit(path_, cut);
+  EXPECT_THROW(read_checkpoint_file(path_), Error);
+
+  // Lose part of the header itself.
+  cut.resize(kCheckpointHeaderBytes / 2);
+  spit(path_, cut);
+  EXPECT_THROW(read_checkpoint_file(path_), Error);
+}
+
+TEST_F(CheckpointFile, RejectsCorruptedPayload) {
+  write_checkpoint_file(path_, std::vector<std::byte>(256, std::byte{3}));
+  auto raw = slurp(path_);
+  raw[kCheckpointHeaderBytes + 17] ^= 0x40;  // one flipped payload bit
+  spit(path_, raw);
+  EXPECT_THROW(read_checkpoint_file(path_), Error);
+}
+
+TEST_F(CheckpointFile, RejectsBadMagicAndVersion) {
+  {  // not a checkpoint at all
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << "this is nobody's checkpoint file, honest                  ";
+  }
+  EXPECT_THROW(read_checkpoint_file(path_), Error);
+
+  // Right magic, wrong version — a future format this build cannot read.
+  write_checkpoint_file(path_, std::vector<std::byte>(8, std::byte{1}));
+  auto raw = slurp(path_);
+  raw[8] = 99;  // version field follows the u64 magic
+  spit(path_, raw);
+  EXPECT_THROW(read_checkpoint_file(path_), Error);
+}
+
+// ---- Streaming engine state capture ----
+
+data::Dataset stream_data(std::size_t n, unsigned seed) {
+  return data::sample(data::make_paper_mixture(6, 3, 1), n, seed);
+}
+
+TEST(StreamingCheckpoint, SerializeRestoreRoundTripsExactly) {
+  const auto d = stream_data(900, 5);
+  StreamingKeyBin2 a(6);
+  a.push_batch(d.points);
+  a.refit();
+
+  StreamingKeyBin2 b(6);
+  {
+    ByteWriter w;
+    a.serialize(w);
+    ByteReader r(w.bytes());
+    b.restore(r);
+    EXPECT_TRUE(r.exhausted());
+  }
+  EXPECT_EQ(b.points_seen(), a.points_seen());
+  ASSERT_TRUE(b.has_model());
+  EXPECT_EQ(engine_bytes(b), engine_bytes(a));
+  EXPECT_EQ(model_bytes(b.model()), model_bytes(a.model()));
+}
+
+TEST(StreamingCheckpoint, ResumedEngineContinuesTheStreamBitForBit) {
+  // Feed half the stream, checkpoint, then feed the second half into both
+  // the original and the resumed engine: every divergence — histogram
+  // doubling, reservoir RNG draws, envelope tracking — would show up in the
+  // final serialized bytes.
+  const auto d = stream_data(1200, 6);
+  const std::string path =
+      "/tmp/kb2_ckpt_stream_" + std::to_string(getpid()) + ".bin";
+
+  StreamingKeyBin2 original(6);
+  for (std::size_t i = 0; i < 600; ++i) original.push(d.points.row(i));
+  original.save_checkpoint(path);
+  auto resumed = StreamingKeyBin2::resume_from(path);
+  std::remove(path.c_str());
+
+  for (std::size_t i = 600; i < 1200; ++i) {
+    original.push(d.points.row(i));
+    resumed.push(d.points.row(i));
+  }
+  original.refit();
+  resumed.refit();
+  EXPECT_EQ(engine_bytes(resumed), engine_bytes(original));
+  EXPECT_EQ(model_bytes(resumed.model()), model_bytes(original.model()));
+}
+
+TEST(StreamingCheckpoint, RestoreRejectsMismatchedDims) {
+  StreamingKeyBin2 a(6);
+  a.push_batch(stream_data(50, 7).points);
+  ByteWriter w;
+  a.serialize(w);
+
+  StreamingKeyBin2 wrong(7);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(wrong.restore(r), Error);
+}
+
+TEST(StreamingCheckpoint, RestoreRejectsTrailingGarbage) {
+  StreamingKeyBin2 a(6);
+  a.push_batch(stream_data(50, 7).points);
+  ByteWriter w;
+  a.serialize(w);
+  w.write<std::uint32_t>(0xDEADBEEF);  // bytes serialize() never wrote
+
+  const std::string path =
+      "/tmp/kb2_ckpt_trail_" + std::to_string(getpid()) + ".bin";
+  write_checkpoint_file(path, w.bytes());
+  EXPECT_THROW(StreamingKeyBin2::resume_from(path), Error);
+  std::remove(path.c_str());
+}
+
+// ---- Out-of-core kill-and-resume ----
+
+class OutOfCoreCheckpoint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string tag = std::to_string(getpid());
+    input_ = "/tmp/kb2_ckpt_input_" + tag + ".bin";
+    labels_ = "/tmp/kb2_ckpt_labels_" + tag + ".bin";
+    ckpt_ = "/tmp/kb2_ckpt_state_" + tag + ".bin";
+    const auto spec = data::make_paper_mixture(10, 3, 1);
+    data::write_binary(data::sample(spec, 4000, 2), input_);
+  }
+  void TearDown() override {
+    std::remove(input_.c_str());
+    std::remove(labels_.c_str());
+    std::remove(ckpt_.c_str());
+  }
+  std::string input_, labels_, ckpt_;
+};
+
+TEST_F(OutOfCoreCheckpoint, KilledThenResumedRunMatchesUninterruptedRun) {
+  // Reference: one uninterrupted pass.
+  const auto clean = fit_from_file(input_, labels_, {}, /*chunk=*/512);
+  const auto clean_labels = read_labels(labels_);
+  const auto clean_model = model_bytes(clean.model);
+
+  // "Kill" the run after 3 of 8 chunks: the budget pause models a rank dying
+  // between a checkpoint save and the next one.
+  CheckpointOptions opts;
+  opts.path = ckpt_;
+  opts.every_chunks = 2;
+  opts.max_chunks = 3;
+  const auto paused = fit_from_file(input_, labels_, {}, 512, opts);
+  EXPECT_FALSE(paused.completed);
+  {
+    std::ifstream probe(ckpt_, std::ios::binary);
+    EXPECT_TRUE(probe.is_open());  // partial state survived the "death"
+  }
+
+  // Restart with the same arguments: resume from the checkpoint, finish,
+  // and reproduce the reference fingerprint bit-identically.
+  opts.max_chunks = 0;
+  const auto resumed = fit_from_file(input_, labels_, {}, 512, opts);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.points, clean.points);
+  EXPECT_EQ(resumed.chunks, clean.chunks);
+  EXPECT_EQ(read_labels(labels_), clean_labels);
+  EXPECT_EQ(model_bytes(resumed.model), clean_model);
+
+  // Success removes the checkpoint: nothing stale to resume from.
+  std::ifstream probe(ckpt_, std::ios::binary);
+  EXPECT_FALSE(probe.is_open());
+}
+
+TEST_F(OutOfCoreCheckpoint, ResumeAcrossRepeatedPausesStillMatches) {
+  const auto clean = fit_from_file(input_, labels_, {}, 512);
+  const auto clean_labels = read_labels(labels_);
+
+  CheckpointOptions opts;
+  opts.path = ckpt_;
+  opts.every_chunks = 1;
+  opts.max_chunks = 2;
+  OutOfCoreResult last;
+  // Die every 2 chunks until the run finally completes.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    last = fit_from_file(input_, labels_, {}, 512, opts);
+    if (last.completed) break;
+  }
+  ASSERT_TRUE(last.completed);
+  EXPECT_EQ(read_labels(labels_), clean_labels);
+  EXPECT_EQ(model_bytes(last.model),
+            model_bytes(clean.model));
+}
+
+TEST_F(OutOfCoreCheckpoint, ResumeRejectsMismatchedChunkSize) {
+  CheckpointOptions opts;
+  opts.path = ckpt_;
+  opts.every_chunks = 1;
+  opts.max_chunks = 2;
+  ASSERT_FALSE(fit_from_file(input_, labels_, {}, 512, opts).completed);
+
+  // Same checkpoint, different chunking: the saved cursor is meaningless.
+  opts.max_chunks = 0;
+  EXPECT_THROW(fit_from_file(input_, labels_, {}, 256, opts), Error);
+}
+
+TEST_F(OutOfCoreCheckpoint, ResumeRejectsCorruptedCheckpoint) {
+  CheckpointOptions opts;
+  opts.path = ckpt_;
+  opts.every_chunks = 1;
+  opts.max_chunks = 2;
+  ASSERT_FALSE(fit_from_file(input_, labels_, {}, 512, opts).completed);
+
+  auto raw = slurp(ckpt_);
+  ASSERT_GT(raw.size(), kCheckpointHeaderBytes + 8);
+  raw[raw.size() - 3] ^= 0x10;
+  spit(ckpt_, raw);
+  opts.max_chunks = 0;
+  EXPECT_THROW(fit_from_file(input_, labels_, {}, 512, opts), Error);
+}
+
+TEST_F(OutOfCoreCheckpoint, CadenceValidationRejectsZeroEveryChunks) {
+  CheckpointOptions opts;
+  opts.path = ckpt_;
+  opts.every_chunks = 0;
+  EXPECT_THROW(fit_from_file(input_, labels_, {}, 512, opts), Error);
+}
+
+}  // namespace
+}  // namespace keybin2::core

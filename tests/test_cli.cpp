@@ -101,4 +101,65 @@ TEST_F(CliTest, BadUsageFails) {
   EXPECT_NE(run("cluster").exit_code, 0);
 }
 
+TEST_F(CliTest, DistributedRunAcceptsFaultToleranceKnobs) {
+  const auto r = run("cluster " + data_path_ +
+                     " --ranks 2 --timeout 30 --retries 3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("on 2 ranks"), std::string::npos) << r.output;
+}
+
+class CliFitFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string tag = std::to_string(getpid());
+    bin_path_ = "/tmp/kb2_cli_test_bin_" + tag + ".bin";
+    labels_path_ = "/tmp/kb2_cli_test_bin_labels_" + tag + ".bin";
+    ckpt_path_ = "/tmp/kb2_cli_test_ckpt_" + tag + ".bin";
+    const auto gen = run("generate " + bin_path_ +
+                         " --points 2000 --dims 8 --k 3 --seed 5 --binary");
+    ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  }
+
+  void TearDown() override {
+    std::remove(bin_path_.c_str());
+    std::remove(labels_path_.c_str());
+    std::remove(ckpt_path_.c_str());
+  }
+
+  std::string bin_path_, labels_path_, ckpt_path_;
+};
+
+TEST_F(CliFitFileTest, FitFileClustersABinaryDataset) {
+  const auto r = run("fit-file " + bin_path_ + " --out " + labels_path_ +
+                     " --chunk 256");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("keybin2 fit-file:"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("2000 points"), std::string::npos) << r.output;
+}
+
+TEST_F(CliFitFileTest, CheckpointPausesAndResumesAcrossInvocations) {
+  // A budget-limited first invocation "dies" partway through pass 1 …
+  const std::string common = "fit-file " + bin_path_ + " --out " +
+                             labels_path_ + " --chunk 256 --checkpoint " +
+                             ckpt_path_;
+  const auto paused = run(common + " --budget-chunks 3");
+  EXPECT_EQ(paused.exit_code, 0) << paused.output;
+  EXPECT_NE(paused.output.find("paused"), std::string::npos) << paused.output;
+  {
+    std::FILE* f = std::fopen(ckpt_path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);  // resumable state left behind
+    std::fclose(f);
+  }
+
+  // … and rerunning the identical command finishes the job.
+  const auto resumed = run(common);
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("keybin2 fit-file:"), std::string::npos)
+      << resumed.output;
+  std::FILE* gone = std::fopen(ckpt_path_.c_str(), "rb");
+  EXPECT_EQ(gone, nullptr);  // checkpoint consumed on success
+  if (gone) std::fclose(gone);
+}
+
 }  // namespace

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "comm/launch.hpp"
 #include "comm/thread_comm.hpp"
@@ -347,6 +349,202 @@ TEST(RunRanks, PropagatesRankException) {
 
 TEST(RunRanks, ZeroRanksRejected) {
   EXPECT_THROW(run_ranks(0, [](Communicator&) {}), Error);
+}
+
+// ---- Fault surface: timeouts, failure flags, recovery, subgroups ----
+
+TEST(Timeout, RecvDeadlineThrowsTimeoutErrorWithAttribution) {
+  run_ranks(2, [&](Communicator& c) {
+    if (c.rank() == 0) {
+      c.set_timeout(0.1);
+      try {
+        c.recv(1, 7);
+        ADD_FAILURE() << "recv should have timed out";
+      } catch (const TimeoutError& e) {
+        EXPECT_EQ(e.self(), 0);
+        EXPECT_EQ(e.src(), 1);
+        EXPECT_EQ(e.tag(), 7);
+        EXPECT_GE(e.elapsed_seconds(), 0.09);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("rank 0"), std::string::npos);
+        EXPECT_NE(what.find("peer=1"), std::string::npos);
+        EXPECT_NE(what.find("tag=7"), std::string::npos);
+      }
+    } else {
+      // Stay alive past rank 0's deadline so the failure mode under test
+      // is the timeout, not "peer departed".
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    }
+  });
+}
+
+TEST(Timeout, BarrierDeadlineThrowsInsteadOfHanging) {
+  run_ranks(2, [&](Communicator& c) {
+    if (c.rank() == 0) {
+      c.set_timeout(0.1);
+      EXPECT_THROW(c.barrier(), TimeoutError);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    }
+  });
+}
+
+TEST(Timeout, SelfCommRecvReportsImmediateTimeout) {
+  // SelfComm honors the deadline API trivially: no peer exists, so an empty
+  // queue can never fill and the timeout is immediate.
+  SelfComm c;
+  try {
+    c.recv(0, 3);
+    ADD_FAILURE() << "recv should have thrown";
+  } catch (const TimeoutError& e) {
+    EXPECT_EQ(e.self(), 0);
+    EXPECT_EQ(e.tag(), 3);
+    EXPECT_DOUBLE_EQ(e.elapsed_seconds(), 0.0);
+  }
+}
+
+TEST(FailureFlags, PoisonErrorNamesRankPeerAndTag) {
+  // Regression: a poisoned hub's abort must say WHO was doing WHAT — the
+  // originating rank, the peer it waited on, and the tag — not just that
+  // the group died.
+  ThreadCommHub hub(2);
+  auto c0 = hub.comm(0);
+  std::thread waiter([&] {
+    try {
+      c0.recv(1, 42);
+      ADD_FAILURE() << "recv should have aborted";
+    } catch (const RankFailedError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("rank 0 recv(peer=1, tag=42)"), std::string::npos)
+          << what;
+      EXPECT_NE(what.find("cancelled by test"), std::string::npos) << what;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  hub.poison("cancelled by test");
+  waiter.join();
+  EXPECT_EQ(hub.failed_ranks(), (std::vector<int>{0, 1}));
+}
+
+TEST(FailureFlags, RankDeathWakesBlockedReceiverNamingTheDeadRank) {
+  EXPECT_THROW(
+      run_ranks(3,
+                [&](Communicator& c) {
+                  if (c.rank() == 0) {
+                    try {
+                      c.recv(1, 5);  // waiting on rank 1, but rank 2 dies
+                      ADD_FAILURE() << "recv should have aborted";
+                    } catch (const RankFailedError& e) {
+                      const std::string what = e.what();
+                      EXPECT_NE(what.find("rank 2 failed: boom"),
+                                std::string::npos)
+                          << what;
+                    }
+                  } else if (c.rank() == 2) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+                    throw Error("boom");
+                  } else {
+                    // Outlive the check so rank 0 is not disturbed by a
+                    // clean departure first.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(400));
+                  }
+                }),
+      Error);
+}
+
+TEST(FailureFlags, SendToFailedRankThrows) {
+  EXPECT_THROW(
+      run_ranks(2,
+                [&](Communicator& c) {
+                  if (c.rank() == 1) throw Error("early death");
+                  std::this_thread::sleep_for(
+                      std::chrono::milliseconds(100));
+                  const auto payload = to_bytes("x");
+                  EXPECT_THROW(c.send(1, 0, payload), RankFailedError);
+                }),
+      Error);
+}
+
+TEST(Recovery, SurvivorsAgreeAndContinueInSubgroup) {
+  std::atomic<int> recovered{0};
+  EXPECT_THROW(
+      run_ranks(4,
+                [&](Communicator& c) {
+                  if (c.rank() == 2) throw Error("node death");
+                  try {
+                    const double sum = c.allreduce(1.0, ReduceOp::kSum);
+                    ADD_FAILURE()
+                        << "allreduce completed without rank 2: " << sum;
+                  } catch (const CommError&) {
+                    const auto survivors = c.agree_survivors();
+                    EXPECT_EQ(survivors, (std::vector<int>{0, 1, 3}));
+                    SubgroupComm sub(c, survivors);
+                    EXPECT_EQ(sub.size(), 3);
+                    EXPECT_DOUBLE_EQ(sub.allreduce(1.0, ReduceOp::kSum),
+                                     3.0);
+                    sub.barrier();
+                    recovered.fetch_add(1);
+                  }
+                }),
+      Error);
+  EXPECT_EQ(recovered.load(), 3);
+}
+
+TEST(Recovery, AgreeWithNoFailuresReturnsEveryone) {
+  run_ranks(3, [&](Communicator& c) {
+    EXPECT_EQ(c.agree_survivors(), (std::vector<int>{0, 1, 2}));
+  });
+}
+
+TEST(Subgroup, DenselyRenumbersAndRunsCollectives) {
+  run_ranks(4, [&](Communicator& c) {
+    if (c.rank() == 1) {
+      // Not a member; leave quietly. The members' traffic never names
+      // this rank, so its departure cannot disturb them.
+      return;
+    }
+    SubgroupComm sub(c, {0, 2, 3});
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.members()[static_cast<std::size_t>(sub.rank())], c.rank());
+
+    // Sum of parent ranks over the members.
+    const double sum =
+        sub.allreduce(static_cast<double>(c.rank()), ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(sum, 5.0);
+
+    // Broadcast from the subgroup root (parent rank 0).
+    auto blob = sub.rank() == 0 ? to_bytes("hello") : std::vector<std::byte>{};
+    sub.broadcast(blob, 0);
+    EXPECT_EQ(to_string(blob), "hello");
+
+    sub.barrier();
+  });
+}
+
+TEST(Subgroup, SubgroupsCompose) {
+  run_ranks(4, [&](Communicator& c) {
+    if (c.rank() == 1) return;
+    SubgroupComm sub(c, {0, 2, 3});
+    if (c.rank() == 2) return;  // sub rank 1 leaves the nested group
+    SubgroupComm nested(sub, {0, 2});
+    EXPECT_EQ(nested.size(), 2);
+    const double sum =
+        nested.allreduce(static_cast<double>(c.rank()), ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(sum, 3.0);  // parent ranks 0 and 3
+  });
+}
+
+TEST(Subgroup, RejectsBadMemberLists) {
+  run_ranks(2, [&](Communicator& c) {
+    if (c.rank() == 1) {
+      EXPECT_THROW(SubgroupComm(c, {0}), Error);      // caller not a member
+    } else {
+      EXPECT_THROW(SubgroupComm(c, {1, 0}), Error);   // not ascending
+      EXPECT_THROW(SubgroupComm(c, {0, 5}), Error);   // out of range
+    }
+  });
 }
 
 }  // namespace

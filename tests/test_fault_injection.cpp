@@ -1,11 +1,16 @@
-// Failure injection: corrupt, truncate, or misroute inter-rank messages and
-// verify the pipeline surfaces a keybin2::Error instead of hanging or
-// silently computing garbage. The decorator wraps a real ThreadComm
-// endpoint, so all timing/concurrency behaviour is genuine.
+// Failure injection: corrupt, truncate, delay, drop, or kill inter-rank
+// traffic through the first-class comm::fault subsystem and verify the
+// pipeline surfaces a keybin2::Error instead of hanging or silently
+// computing garbage. The decorator wraps a real ThreadComm endpoint, so all
+// timing/concurrency behaviour is genuine.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
 
+#include "comm/fault.hpp"
 #include "comm/launch.hpp"
 #include "common/error.hpp"
 #include "core/keybin2.hpp"
@@ -15,82 +20,185 @@
 namespace keybin2::comm {
 namespace {
 
-enum class Fault {
-  kNone,
-  kTruncate,       // drop the tail of every payload over 16 bytes
-  kCorruptLength,  // flip bits in the first 8 bytes (vector length prefixes)
-  kZeroFill,       // deliver the right size but all-zero content
-};
+/// Params that keep faulty runs terminating fast: a deadline turns lost
+/// messages into TimeoutError, and a single retry keeps the recovery loop
+/// short before the error propagates to the test.
+core::Params tolerant_params() {
+  core::Params p;
+  p.comm_timeout_seconds = 5.0;
+  p.max_shrink_retries = 1;
+  return p;
+}
 
-/// Decorator that injures messages SENT by one designated rank.
-class FaultyComm final : public Communicator {
- public:
-  FaultyComm(Communicator& inner, Fault fault, bool active)
-      : inner_(inner), fault_(fault), active_(active) {}
-
-  int rank() const override { return inner_.rank(); }
-  int size() const override { return inner_.size(); }
-  void barrier() override { inner_.barrier(); }
-  TrafficStats stats() const override { return inner_.stats(); }
-
-  void send(int dest, int tag, std::span<const std::byte> data) override {
-    if (!active_ || fault_ == Fault::kNone) {
-      inner_.send(dest, tag, data);
-      return;
-    }
-    std::vector<std::byte> mutated(data.begin(), data.end());
-    switch (fault_) {
-      case Fault::kTruncate:
-        if (mutated.size() > 16) mutated.resize(mutated.size() / 2);
-        break;
-      case Fault::kCorruptLength:
-        for (std::size_t i = 0; i < std::min<std::size_t>(8, mutated.size());
-             ++i) {
-          mutated[i] = std::byte(0xFF);
-        }
-        break;
-      case Fault::kZeroFill:
-        std::fill(mutated.begin(), mutated.end(), std::byte(0));
-        break;
-      case Fault::kNone:
-        break;
-    }
-    inner_.send(dest, tag, mutated);
-  }
-
-  std::vector<std::byte> recv(int src, int tag) override {
-    return inner_.recv(src, tag);
-  }
-
- private:
-  Communicator& inner_;
-  Fault fault_;
-  bool active_;
-};
-
-/// Run a distributed fit with rank 1's outgoing messages injured.
-void run_faulty_fit(Fault fault) {
+/// Run a distributed fit with rank 1's traffic injured per `schedule`.
+void run_faulty_fit(const fault::FaultSchedule& schedule) {
   const auto spec = data::make_paper_mixture(10, 3, 1);
   const auto d = data::sample(spec, 800, 2);
   const auto shards = data::shard(d, 4);
   run_ranks(4, [&](Communicator& c) {
-    FaultyComm faulty(c, fault, /*active=*/c.rank() == 1);
-    core::fit(faulty, shards[static_cast<std::size_t>(c.rank())].points);
+    fault::FaultSchedule s;  // benign everywhere but rank 1
+    if (c.rank() == 1) s = schedule;
+    fault::FaultyComm faulty(c, s);
+    core::fit(faulty, shards[static_cast<std::size_t>(c.rank())].points,
+              tolerant_params());
   });
 }
 
 TEST(FaultInjection, BaselineWithoutFaultSucceeds) {
-  EXPECT_NO_THROW(run_faulty_fit(Fault::kNone));
+  EXPECT_NO_THROW(run_faulty_fit(fault::FaultSchedule{}));
+}
+
+TEST(FaultInjection, DelayedMessagesStillComplete) {
+  // Delay reorders timing but not content: the run must simply succeed.
+  fault::FaultSchedule s;
+  s.delay_prob = 0.5;
+  s.delay_ms = 2.0;
+  EXPECT_NO_THROW(run_faulty_fit(s));
 }
 
 TEST(FaultInjection, TruncatedMessagesRaiseErrors) {
-  // A truncated payload trips ByteReader's bounds checks (or a collective's
-  // length validation) — never a hang, never a silent wrong answer.
-  EXPECT_THROW(run_faulty_fit(Fault::kTruncate), Error);
+  // A truncated frame trips the CRC32 check (or loses the checksum header
+  // entirely) — never a hang, never a silent wrong answer.
+  fault::FaultSchedule s;
+  s.truncate_prob = 1.0;
+  EXPECT_THROW(run_faulty_fit(s), Error);
 }
 
 TEST(FaultInjection, CorruptedLengthPrefixesRaiseErrors) {
-  EXPECT_THROW(run_faulty_fit(Fault::kCorruptLength), Error);
+  // fix_crc re-stamps a valid frame checksum over the corrupted payload, so
+  // the damage penetrates the transport layer and must be caught by the
+  // serialize layer's own bounds checks.
+  fault::FaultSchedule s;
+  s.corrupt_length_prob = 1.0;
+  s.fix_crc = true;
+  EXPECT_THROW(run_faulty_fit(s), Error);
+}
+
+TEST(FaultInjection, ZeroFilledHistogramsStillTerminate) {
+  // An all-zero frame carries a zero checksum over a non-empty payload,
+  // which crc32() can never produce — CorruptFrameError, then recovery or
+  // propagation. Either way the run must terminate quickly.
+  fault::FaultSchedule s;
+  s.zero_fill_prob = 1.0;
+  try {
+    run_faulty_fit(s);
+  } catch (const Error&) {
+    // acceptable: the corruption was detected
+  }
+  SUCCEED();
+}
+
+TEST(FaultInjection, DroppedMessageSurfacesAsTimeout) {
+  EXPECT_THROW(
+      run_ranks(2,
+                [&](Communicator& c) {
+                  c.set_timeout(0.2);
+                  if (c.rank() == 1) {
+                    fault::FaultSchedule s;
+                    s.drop_prob = 1.0;
+                    fault::FaultyComm f(c, s);
+                    const std::vector<std::byte> payload(8, std::byte{1});
+                    f.send(0, 3, payload);
+                    // Outlive the receiver's deadline: if this rank exited
+                    // now, the receiver would see "peer departed" instead
+                    // of the drop-induced timeout under test.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(600));
+                  } else {
+                    c.recv(1, 3);  // the drop means this can never arrive
+                  }
+                }),
+      TimeoutError);
+}
+
+TEST(FaultInjection, RingAllreduceDetectsCorruption) {
+  EXPECT_THROW(run_ranks(4,
+                         [&](Communicator& c) {
+                           fault::FaultSchedule s;
+                           if (c.rank() == 1) s.zero_fill_prob = 1.0;
+                           fault::FaultyComm f(c, s);
+                           f.set_timeout(2.0);
+                           std::vector<double> v(32, 1.0);
+                           f.ring_allreduce(v);
+                         }),
+               CommError);
+}
+
+TEST(FaultInjection, AllgatherDetectsTruncation) {
+  EXPECT_THROW(run_ranks(4,
+                         [&](Communicator& c) {
+                           fault::FaultSchedule s;
+                           if (c.rank() == 3) s.truncate_prob = 1.0;
+                           fault::FaultyComm f(c, s);
+                           f.set_timeout(2.0);
+                           const std::vector<std::byte> blob(64,
+                                                             std::byte{7});
+                           f.allgather(blob);
+                         }),
+               CommError);
+}
+
+TEST(FaultInjection, KillMidCollectiveIsDetectedByPeers) {
+  // Rank 2 dies partway into a stream of allreduces; its peers must observe
+  // a recoverable CommError (not hang), and the group's first recorded
+  // error is the kill itself.
+  std::atomic<int> peer_errors{0};
+  EXPECT_THROW(run_ranks(4,
+                         [&](Communicator& c) {
+                           fault::FaultSchedule s;
+                           if (c.rank() == 2) s.kill_at_op = 5;
+                           fault::FaultyComm f(c, s);
+                           f.set_timeout(5.0);
+                           std::vector<double> v(16, 1.0);
+                           try {
+                             for (int i = 0; i < 64; ++i) {
+                               f.allreduce(v, ReduceOp::kSum);
+                             }
+                           } catch (const CommError&) {
+                             peer_errors.fetch_add(1);
+                             throw;
+                           }
+                         }),
+               fault::KilledError);
+  EXPECT_GE(peer_errors.load(), 1);
+}
+
+TEST(FaultInjection, KilledRankStaysDead) {
+  // Once the kill step is reached, EVERY subsequent operation throws.
+  SelfComm self;
+  fault::FaultSchedule s;
+  s.kill_at_op = 2;
+  fault::FaultyComm f(self, s);
+  f.barrier();
+  EXPECT_THROW(f.barrier(), fault::KilledError);
+  EXPECT_THROW(f.barrier(), fault::KilledError);
+  EXPECT_THROW(f.agree_survivors(), fault::KilledError);
+}
+
+TEST(FaultInjection, ScheduleIsDeterministicPerSeed) {
+  // Same seed => identical mutation decisions: two runs over the same
+  // schedule produce byte-identical outcomes (here: both drop, observed as
+  // both receivers timing out).
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    EXPECT_THROW(
+        run_ranks(2,
+                  [&](Communicator& c) {
+                    c.set_timeout(0.2);
+                    fault::FaultSchedule s;
+                    s.seed = 99;
+                    s.drop_prob = 1.0;
+                    if (c.rank() == 0) {
+                      fault::FaultyComm f(c, s);
+                      const std::vector<std::byte> b(4, std::byte{2});
+                      f.send(1, 0, b);
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(600));
+                    } else {
+                      c.recv(0, 0);
+                    }
+                  }),
+        TimeoutError);
+  }
 }
 
 TEST(FaultInjection, CollectiveLengthMismatchIsDetected) {
@@ -112,22 +220,10 @@ TEST(FaultInjection, SerializeLayerRejectsGarbageModelBytes) {
   EXPECT_THROW(core::Model::deserialize(r), Error);
 }
 
-TEST(FaultInjection, ZeroFilledHistogramsStillTerminate) {
-  // All-zero payloads are structurally valid (lengths intact in some paths)
-  // or invalid (length prefix zeroed). Either way the run must terminate
-  // quickly — an exception or a (wrong, but local) result, never a hang.
-  try {
-    run_faulty_fit(Fault::kZeroFill);
-  } catch (const Error&) {
-    // acceptable: the corruption was detected
-  }
-  SUCCEED();
-}
-
 TEST(FaultInjection, UserTagRangeIsEnforced) {
   run_ranks(2, [&](Communicator& c) {
     std::vector<double> payload{1.0};
-    EXPECT_THROW(c.send_doubles(0, Communicator::kUserTagLimit + 7, payload),
+    EXPECT_THROW(c.send_doubles(0, Communicator::kUserTagLimit + 9, payload),
                  Error);
     EXPECT_THROW(c.recv_doubles(0, -1), Error);
   });

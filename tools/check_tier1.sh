@@ -3,6 +3,13 @@
 #
 #   tools/check_tier1.sh           # full suite (what CI runs)
 #   tools/check_tier1.sh --quick   # skip suites labelled `slow` (ctest -LE slow)
+#   tools/check_tier1.sh --tsan    # ThreadSanitizer build, comm/fault suites only
+#   tools/check_tier1.sh --asan    # AddressSanitizer build, comm/fault suites only
+#
+# The sanitizer modes build into their own directories (build-tsan/build-asan)
+# so they never dirty the primary build, and run only the `comm`-labelled
+# suites (thread_comm, fault injection, resilience soak) — the lock-heavy code
+# where a sanitizer earns its ~10x slowdown.
 #
 # Extra arguments after the flags are forwarded to ctest.
 set -euo pipefail
@@ -10,15 +17,29 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-${repo_root}/build}"
 
+sanitize=""
 ctest_args=()
 for arg in "$@"; do
   case "${arg}" in
     --quick) ctest_args+=(-LE slow) ;;
+    --tsan) sanitize="thread" ;;
+    --asan) sanitize="address" ;;
     *) ctest_args+=("${arg}") ;;
   esac
 done
 
-cmake -B "${build_dir}" -S "${repo_root}"
+cmake_args=()
+if [[ "${sanitize}" == "thread" ]]; then
+  build_dir="${BUILD_DIR:-${repo_root}/build-tsan}"
+  cmake_args+=(-DKB2_SANITIZE=thread)
+  ctest_args+=(-L comm)
+elif [[ "${sanitize}" == "address" ]]; then
+  build_dir="${BUILD_DIR:-${repo_root}/build-asan}"
+  cmake_args+=(-DKB2_SANITIZE=address)
+  ctest_args+=(-L comm)
+fi
+
+cmake -B "${build_dir}" -S "${repo_root}" "${cmake_args[@]}"
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)" \
   "${ctest_args[@]}"

@@ -2,17 +2,30 @@
 //
 //   keybin2 cluster <input.csv> [--out labels.csv] [--algo keybin2|kmeans|
 //       xmeans|dbscan] [--k K] [--eps E] [--min-points P] [--trials T]
-//       [--seed S]
+//       [--seed S] [--timeout SEC] [--retries N]
+//   keybin2 fit-file <input.bin> [--out labels.bin] [--chunk N]
+//       [--checkpoint path] [--budget-chunks N] [--trials T] [--seed S]
 //   keybin2 generate <output.csv> [--points N] [--dims D] [--k K] [--seed S]
+//       [--binary]
 //
 // `cluster` reads a CSV (header row; an optional trailing `label` column is
 // treated as ground truth and scored, never shown to the algorithm) and
 // writes the input with a `cluster` column appended. `generate` emits a
-// labelled Gaussian mixture for experimentation.
+// labelled Gaussian mixture for experimentation (`--binary` writes the
+// out-of-core binary format instead of CSV).
 //
 // `--ranks N` (keybin2 only) shards the input across N simulated ranks and
 // runs the distributed fit over the thread-backed communicator; `--trace`
 // prints the per-stage wall-time / traffic report merged across ranks.
+// `--timeout` bounds every blocking receive (a dead rank surfaces as a
+// TimeoutError instead of a hang) and `--retries` caps how many times the
+// fit restarts over the surviving ranks (DESIGN.md §4b).
+//
+// `fit-file` clusters a binary dataset out of core. With `--checkpoint` the
+// histogram pass persists resumable state every few chunks: re-running the
+// identical command after a crash continues from the last checkpoint and
+// produces the same model bit for bit. `--budget-chunks` pauses the run
+// after N chunks (exit 0, checkpoint left behind) for drain/restart drills.
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -25,6 +38,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/keybin2.hpp"
+#include "core/out_of_core.hpp"
 #include "data/gaussian_mixture.hpp"
 #include "data/io.hpp"
 #include "data/partition.hpp"
@@ -48,6 +62,12 @@ struct CliArgs {
   std::uint64_t seed = 42;
   int ranks = 1;
   bool trace = false;
+  bool binary = false;
+  double timeout = 0.0;  // comm deadline, 0 = wait forever
+  int retries = 2;       // shrink-and-continue restarts
+  std::string checkpoint;
+  std::size_t chunk = 8192;
+  std::size_t budget_chunks = 0;
 };
 
 [[noreturn]] void usage(int code) {
@@ -58,9 +78,13 @@ struct CliArgs {
       "kmeans|xmeans|dbscan]\n"
       "                  [--k K] [--eps E] [--min-points P] [--trials T] "
       "[--seed S]\n"
-      "                  [--ranks N] [--trace]\n"
+      "                  [--ranks N] [--trace] [--timeout SEC] [--retries N]"
+      "\n"
+      "  keybin2 fit-file <input.bin> [--out labels.bin] [--chunk N] "
+      "[--checkpoint path]\n"
+      "                  [--budget-chunks N] [--trials T] [--seed S]\n"
       "  keybin2 generate <output.csv> [--points N] [--dims D] [--k K] "
-      "[--seed S]\n");
+      "[--seed S] [--binary]\n");
   std::exit(code);
 }
 
@@ -103,6 +127,18 @@ CliArgs parse(int argc, char** argv) {
       }
     } else if (!std::strcmp(argv[i], "--trace")) {
       a.trace = true;
+    } else if (!std::strcmp(argv[i], "--binary")) {
+      a.binary = true;
+    } else if (!std::strcmp(argv[i], "--timeout")) {
+      a.timeout = std::strtod(next("--timeout"), nullptr);
+    } else if (!std::strcmp(argv[i], "--retries")) {
+      a.retries = std::atoi(next("--retries"));
+    } else if (!std::strcmp(argv[i], "--checkpoint")) {
+      a.checkpoint = next("--checkpoint");
+    } else if (!std::strcmp(argv[i], "--chunk")) {
+      a.chunk = std::strtoull(next("--chunk"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--budget-chunks")) {
+      a.budget_chunks = std::strtoull(next("--budget-chunks"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--help")) {
       usage(0);
     } else {
@@ -116,9 +152,42 @@ CliArgs parse(int argc, char** argv) {
 int run_generate(const CliArgs& a) {
   const auto spec = data::make_paper_mixture(a.dims, a.k, a.seed);
   const auto d = data::sample(spec, a.points, a.seed + 1);
-  data::write_csv(d, a.input);  // positional arg is the output path here
+  // Positional arg is the output path here.
+  if (a.binary) {
+    data::write_binary(d, a.input);
+  } else {
+    data::write_csv(d, a.input);
+  }
   std::printf("wrote %zu labelled points (%zu dims, k=%zu) to %s\n", d.size(),
               d.dims(), a.k, a.input.c_str());
+  return 0;
+}
+
+int run_fit_file(const CliArgs& a) {
+  core::Params params;
+  params.seed = a.seed;
+  params.bootstrap_trials = a.trials;
+  const std::string labels_path =
+      a.out.empty() ? a.input + ".labels" : a.out;
+  core::CheckpointOptions ckpt;
+  ckpt.path = a.checkpoint;
+  ckpt.max_chunks = a.budget_chunks;
+
+  WallTimer timer;
+  const auto result =
+      core::fit_from_file(a.input, labels_path, params, a.chunk, ckpt);
+  if (!result.completed) {
+    std::printf("paused after the chunk budget; resumable state saved to "
+                "%s (rerun the same command to continue)\n",
+                a.checkpoint.c_str());
+    return 0;
+  }
+  std::printf("keybin2 fit-file: %d clusters (model score %.1f) over %llu "
+              "points (%zu dims, %zu chunks) in %.3f s\n",
+              result.model.n_clusters(), result.model.score(),
+              static_cast<unsigned long long>(result.points), result.dims,
+              result.chunks, timer.seconds());
+  std::printf("wrote labels to %s\n", labels_path.c_str());
   return 0;
 }
 
@@ -133,6 +202,8 @@ int run_cluster(const CliArgs& a) {
     core::Params params;
     params.seed = a.seed;
     params.bootstrap_trials = a.trials;
+    params.comm_timeout_seconds = a.timeout;
+    params.max_shrink_retries = a.retries;
     double score = 0.0;
     int n_clusters = 0;
     std::string trace_text;
@@ -243,6 +314,7 @@ int main(int argc, char** argv) {
   try {
     const auto args = parse(argc, argv);
     if (args.command == "cluster") return run_cluster(args);
+    if (args.command == "fit-file") return run_fit_file(args);
     if (args.command == "generate") return run_generate(args);
     usage(2);
   } catch (const keybin2::Error& e) {
