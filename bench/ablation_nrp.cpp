@@ -86,5 +86,6 @@ int main(int argc, char** argv) {
     }
     std::printf("%-8d %16s %14s\n", t, f1.str().c_str(), time.str(3).c_str());
   }
+  bench::Reporter::global().write(opt);
   return 0;
 }

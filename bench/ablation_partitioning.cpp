@@ -82,5 +82,6 @@ int main(int argc, char** argv) {
   std::printf("Ablation A: partitioning mechanism (KeyBin2 vs KeyBin v1).\n\n");
   pipeline_comparison(opt);
   cut_recovery(opt);
+  bench::Reporter::global().write(opt);
   return 0;
 }

@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: parity on the separable mixture; the projected "
       "variant wins on correlated/rotated data.\n");
+  bench::Reporter::global().write(opt);
   return 0;
 }

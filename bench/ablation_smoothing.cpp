@@ -85,5 +85,6 @@ int main(int argc, char** argv) {
   speed_comparison();
   std::printf(
       "\nPaper claim: similar accuracy, moving average much faster.\n");
+  bench::Reporter::global().write(opt);
   return 0;
 }

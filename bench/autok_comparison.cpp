@@ -61,5 +61,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  bench::Reporter::global().write(opt);
   return 0;
 }

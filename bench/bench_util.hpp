@@ -16,8 +16,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "comm/launch.hpp"
+#include "core/keybin2.hpp"
+#include "data/gaussian_mixture.hpp"
+#include "data/partition.hpp"
+#include "runtime/context.hpp"
+#include "runtime/json.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/tracer.hpp"
 #include "stats/distributions.hpp"
 #include "stats/metrics.hpp"
@@ -31,9 +40,18 @@ struct Options {
   std::uint64_t seed = 42;
   bool full = false;
   bool trace = false;
+  std::string name = "bench";  // argv[0] basename; names BENCH_<name>.json
 
   static Options parse(int argc, char** argv) {
     Options o;
+    if (argc >= 1 && argv[0] != nullptr) {
+      std::string_view path = argv[0];
+      if (const auto slash = path.find_last_of('/');
+          slash != std::string_view::npos) {
+        path.remove_prefix(slash + 1);
+      }
+      if (!path.empty()) o.name = std::string(path);
+    }
     for (int i = 1; i < argc; ++i) {
       auto next = [&](const char* flag) -> const char* {
         if (i + 1 >= argc) {
@@ -121,6 +139,180 @@ inline Accuracy score_labels(std::vector<int> predicted,
   return a;
 }
 
+/// Machine-readable mirror of what a bench prints, written to
+/// BENCH_<name>.json at exit. Collects three kinds of payload:
+///   * rows    — every MethodSeries::print_row call (mean/stddev per column),
+///   * series  — ad-hoc named scalar series a bench wants persisted,
+///   * captures — merged trace + metrics reports from instrumented fits.
+/// Benches that never capture still get comm metrics: write() runs a small
+/// probe fit (4 ranks, comm metrics enabled) and stores it labeled "probe",
+/// so every BENCH json carries a traffic matrix, stage walls, and latency
+/// quantiles. A singleton so print_row can feed it without threading a
+/// handle through every harness.
+class Reporter {
+ public:
+  static Reporter& global() {
+    static Reporter r;
+    return r;
+  }
+
+  /// Label attached to subsequently recorded rows (e.g. "ranks=4").
+  void set_section(std::string section) { section_ = std::move(section); }
+
+  void add_row(const char* method, const Series& clusters,
+               const Series& recall, const Series& precision, const Series& f1,
+               const Series& time) {
+    rows_.push_back(Row{section_, method, clusters, recall, precision, f1,
+                        time});
+  }
+
+  void add_series(const std::string& key, const Series& s) {
+    series_.emplace_back(key, s);
+  }
+
+  /// Collective over ctx.comm(): merge this fit's trace + metrics; the root
+  /// rank stores them under `label`, every other rank stores nothing. Call
+  /// ctx.enable_comm_metrics() before the fit or the traffic matrix and wait
+  /// histograms come back empty.
+  void capture(runtime::Context& ctx, const std::string& label) {
+    auto trace = ctx.trace_report();
+    auto metrics = ctx.metrics_report();
+    if (ctx.is_root()) {
+      captures_.push_back(
+          Capture{label, std::move(trace), std::move(metrics)});
+    }
+  }
+
+  /// Write BENCH_<opt.name>.json into the working directory.
+  void write(const Options& opt) {
+    if (captures_.empty()) probe_capture(opt);
+
+    runtime::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value(opt.name);
+    w.key("options").begin_object();
+    w.key("points_per_rank").value(static_cast<std::uint64_t>(
+        opt.points_per_rank));
+    w.key("ranks").value(opt.ranks);
+    w.key("runs").value(opt.runs);
+    w.key("seed").value(opt.seed);
+    w.key("full").value(opt.full);
+    w.end_object();
+
+    w.key("rows").begin_array();
+    for (const auto& r : rows_) {
+      w.begin_object();
+      if (!r.section.empty()) w.key("section").value(r.section);
+      w.key("method").value(r.method);
+      emit_series(w, "clusters", r.clusters);
+      emit_series(w, "recall", r.recall);
+      emit_series(w, "precision", r.precision);
+      emit_series(w, "f1", r.f1);
+      emit_series(w, "time_s", r.time);
+      w.end_object();
+    }
+    w.end_array();
+
+    w.key("series").begin_object();
+    for (const auto& [key, s] : series_) emit_series(w, key, s);
+    w.end_object();
+
+    w.key("captures").begin_array();
+    for (const auto& c : captures_) {
+      w.begin_object();
+      w.key("label").value(c.label);
+      emit_trace(w, c.trace);
+      w.key("metrics");
+      c.metrics.to_json(w);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
+    const std::string path = "BENCH_" + opt.name + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows, %zu captures)\n", path.c_str(),
+                rows_.size(), captures_.size());
+  }
+
+ private:
+  struct Row {
+    std::string section;
+    std::string method;
+    Series clusters, recall, precision, f1, time;
+  };
+  struct Capture {
+    std::string label;
+    runtime::TraceReport trace;
+    runtime::MetricsReport metrics;
+  };
+
+  static void emit_series(runtime::JsonWriter& w, std::string_view key,
+                          const Series& s) {
+    w.key(key).begin_object();
+    w.key("mean").value(s.mean());
+    w.key("stddev").value(s.stddev());
+    w.end_object();
+  }
+
+  static void emit_trace(runtime::JsonWriter& w,
+                         const runtime::TraceReport& trace) {
+    w.key("trace").begin_object();
+    w.key("ranks").value(trace.ranks);
+    w.key("counters").begin_object();
+    for (const auto& [name, v] : trace.counters) w.key(name).value(v);
+    w.end_object();
+    w.key("stages").begin_array();
+    for (const auto& s : trace.stages) {
+      w.begin_object();
+      w.key("path").value(s.path);
+      w.key("ranks").value(s.ranks);
+      w.key("calls").value(s.calls);
+      w.key("min_s").value(s.min_seconds);
+      w.key("mean_s").value(s.mean_seconds);
+      w.key("max_s").value(s.max_seconds);
+      w.key("messages_sent").value(s.traffic.messages_sent);
+      w.key("bytes_sent").value(s.traffic.bytes_sent);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  /// Fallback for benches that never call capture(): a small instrumented
+  /// fit whose merged reports stand in, labeled "probe" to keep it distinct
+  /// from anything the bench itself measured.
+  void probe_capture(const Options& opt) {
+    constexpr int kProbeRanks = 4;
+    constexpr std::size_t kProbePoints = 4000;
+    const auto spec = data::make_paper_mixture(8, 3, opt.seed);
+    const auto d = data::sample(spec, kProbePoints, opt.seed + 1);
+    const auto shards = data::shard(d, kProbeRanks);
+    core::Params params;
+    params.seed = opt.seed;
+    params.bootstrap_trials = 2;
+    comm::run_ranks(kProbeRanks, [&](comm::Communicator& c) {
+      runtime::Context ctx(c, params.seed);
+      ctx.enable_comm_metrics();
+      (void)core::fit(ctx, shards[static_cast<std::size_t>(c.rank())].points,
+                      params);
+      capture(ctx, "probe");
+    });
+  }
+
+  std::string section_;
+  std::vector<Row> rows_;
+  std::vector<std::pair<std::string, Series>> series_;
+  std::vector<Capture> captures_;
+};
+
 /// One printed table row, paper format:
 /// method | clusters | recall | precision | F1 | time (s)
 struct MethodSeries {
@@ -139,6 +331,7 @@ struct MethodSeries {
                 clusters.str(2).c_str(), recall.str(3).c_str(),
                 precision.str(3).c_str(), f1.str(3).c_str(),
                 time.str(2).c_str());
+    Reporter::global().add_row(method, clusters, recall, precision, f1, time);
   }
 };
 

@@ -89,5 +89,6 @@ int main(int argc, char** argv) {
       "\nKeyBin2 with bootstrapped projections (t=12): %d clusters, F1 = "
       "%.3f (model score %.1f)\n",
       result.n_clusters(), acc.f1, result.model.score());
+  bench::Reporter::global().write(opt);
   return 0;
 }

@@ -99,5 +99,6 @@ int main(int argc, char** argv) {
   std::printf("W_Q (within-cluster dispersion):  %.1f\n", breakdown.within);
   std::printf("B_Q (between-cluster dispersion): %.1f\n", breakdown.between);
   std::printf("cal (Eq. 2a): %.2f over %zu clusters\n", cal, cells.size());
+  bench::Reporter::global().write(opt);
   return 0;
 }

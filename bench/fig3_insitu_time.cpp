@@ -100,5 +100,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper reference: KeyBin2 ~4 s total (~0.0004 s/frame), far below "
       "the comparators.\n");
+  bench::Reporter::global().write(opt);
   return 0;
 }

@@ -83,5 +83,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper reference: fingerprints change exactly where the HDR method "
       "marks phase changes, with finer-grained structure inside phases.\n");
+  bench::Reporter::global().write(opt);
   return 0;
 }

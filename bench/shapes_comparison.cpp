@@ -104,5 +104,6 @@ int main(int argc, char** argv) {
       "corners; KeyBin2 handles boxes; density methods own rings/moons\n"
       "(KeyBin2's axis/projection binning, like k-means, is not designed\n"
       "for non-convex shapes — the paper claims convex robustness only).\n");
+  bench::Reporter::global().write(opt);
   return 0;
 }

@@ -115,5 +115,6 @@ int main(int argc, char** argv) {
   for (std::size_t dims : {20ul, 80ul, 320ul, 1280ul}) {
     run_dimension(dims, opt);
   }
+  bench::Reporter::global().write(opt);
   return 0;
 }

@@ -26,6 +26,7 @@ constexpr std::size_t kDims = 1280;
 
 void run_scale(int ranks, const bench::Options& opt, bool include_dbscan) {
   bench::MethodSeries keybin2_row, parallel_row, dbscan_row;
+  bench::Reporter::global().set_section("ranks=" + std::to_string(ranks));
 
   for (int run = 0; run < opt.runs; ++run) {
     const std::uint64_t run_seed = opt.seed + 1000 * run;
@@ -43,12 +44,20 @@ void run_scale(int ranks, const bench::Options& opt, bool include_dbscan) {
       comm::run_ranks(ranks, [&](comm::Communicator& c) {
         const auto r = static_cast<std::size_t>(c.rank());
         runtime::Context ctx(c, params.seed);
+        // Run 0 is the instrumented run: comm metrics feed the BENCH json's
+        // traffic matrix and wait histograms. Uniform across ranks, so the
+        // collectives below stay in step.
+        if (run == 0) ctx.enable_comm_metrics();
         const auto result = core::fit(ctx, shards[r].points, params);
         std::copy(result.labels.begin(), result.labels.end(),
                   combined.begin() +
                       static_cast<std::ptrdiff_t>(ranges[r].begin));
-        if (opt.trace && run == 0) {  // uniform across ranks: collective OK
+        if (opt.trace && run == 0) {
           bench::print_trace("keybin2 per-stage, run 0", ctx.trace_report());
+        }
+        if (run == 0) {
+          bench::Reporter::global().capture(
+              ctx, "keybin2 ranks=" + std::to_string(ranks));
         }
       });
       keybin2_row.add(bench::score_labels(combined, d.labels),
@@ -124,5 +133,6 @@ int main(int argc, char** argv) {
     // pdsdbscan only for the 1-process row, like the paper.
     run_scale(ranks, opt, /*include_dbscan=*/ranks == 1);
   }
+  bench::Reporter::global().write(opt);
   return 0;
 }

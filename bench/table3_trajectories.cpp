@@ -41,5 +41,6 @@ int main(int argc, char** argv) {
               145.29, 58, 747);
   std::printf("%-22s %10.2f %10.2f %8d %8d\n", "Simulation time (ps)",
               9779.03, 3425.85, 2000, 20000);
+  bench::Reporter::global().write(opt);
   return 0;
 }

@@ -54,6 +54,33 @@ int reduce_tag<std::uint64_t>() {
 
 }  // namespace
 
+std::string tag_name(int tag) {
+  switch (tag) {
+    case kTagBcast: return "bcast";
+    case kTagReduceDouble: return "reduce_f64";
+    case kTagReduceU64: return "reduce_u64";
+    case kTagGather: return "gather";
+    case kTagRingAccumulate: return "ring_acc";
+    case kTagRingDistribute: return "ring_dist";
+    case kTagSubBarrier: return "sub_barrier";
+    default:
+      if (tag >= 0 && tag < Communicator::kUserTagLimit) {
+        return "user:" + std::to_string(tag);
+      }
+      return "reserved:" + std::to_string(tag);
+  }
+}
+
+const char* error_kind(const CommError& e) {
+  if (dynamic_cast<const TimeoutError*>(&e) != nullptr) return "timeout";
+  if (dynamic_cast<const RankFailedError*>(&e) != nullptr) return "rank_failed";
+  if (dynamic_cast<const RecoveryError*>(&e) != nullptr) return "recovery";
+  if (dynamic_cast<const CorruptFrameError*>(&e) != nullptr) {
+    return "corrupt_frame";
+  }
+  return "comm_error";
+}
+
 void Communicator::check_rank(int r) const {
   KB2_CHECK_MSG(r >= 0 && r < size(), "rank " << r << " out of group size "
                                               << size());
@@ -331,19 +358,30 @@ std::vector<double> Communicator::recv_doubles(int src, int tag) {
 
 void SelfComm::send(int dest, int tag, std::span<const std::byte> data) {
   KB2_CHECK_MSG(dest == 0, "SelfComm can only send to rank 0");
-  queue_.emplace_back(tag, std::vector<std::byte>(data.begin(), data.end()));
+  const std::uint64_t flow = next_flow_id_++;
+  queue_.push_back(
+      Queued{tag, flow, std::vector<std::byte>(data.begin(), data.end())});
   ++stats_.messages_sent;
   stats_.bytes_sent += data.size();
+  if (probe()) {
+    probe()->on_send(/*self=*/0, dest, tag, data.size(), flow, queue_.size());
+  }
 }
 
 std::vector<std::byte> SelfComm::recv(int src, int tag) {
   KB2_CHECK_MSG(src == 0, "SelfComm can only receive from rank 0");
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (it->first == tag) {
-      auto data = std::move(it->second);
+    if (it->tag == tag) {
+      auto data = std::move(it->bytes);
+      const std::uint64_t flow = it->flow_id;
       queue_.erase(it);
       ++stats_.messages_received;
       stats_.bytes_received += data.size();
+      if (probe()) {
+        // Loopback delivery never blocks: the message was already queued.
+        probe()->on_recv(/*self=*/0, src, tag, data.size(), flow,
+                         /*wait_ns=*/0);
+      }
       return data;
     }
   }
@@ -415,6 +453,13 @@ void SubgroupComm::set_timeout(double seconds) {
   // The parent endpoint is what actually blocks inside recv(), so the
   // deadline has to reach it.
   parent_->set_timeout(seconds);
+}
+
+void SubgroupComm::set_probe(CommProbe* probe) {
+  Communicator::set_probe(probe);
+  // Observation happens where bytes actually move; the probe then sees
+  // subgroup traffic in the parent's (stable, full-group) rank space.
+  parent_->set_probe(probe);
 }
 
 std::vector<int> SubgroupComm::failed_ranks() const {

@@ -119,6 +119,46 @@ struct TrafficStats {
   }
 };
 
+/// Observation hooks a communicator fires on every point-to-point delivery
+/// and every blocking wait. A probe lives *below* the collectives — each
+/// collective decomposes into send/recv pairs, so attaching one probe at the
+/// leaf transport sees the whole traffic matrix, including frames exchanged
+/// by SubgroupComm and FaultyComm decorators (which forward set_probe()).
+///
+/// Ranks and tags are reported in the leaf transport's rank space (the
+/// original full group), so a traffic matrix stays comparable across a
+/// survivor shrink. Callbacks may run concurrently from different rank
+/// threads; implementations must be thread-safe. All hooks must be cheap:
+/// they run inside the transport's critical path.
+class CommProbe {
+ public:
+  virtual ~CommProbe() = default;
+
+  /// A message left `self` for `dest`. `flow_id` is unique per delivery and
+  /// reappears in the matching on_recv, letting a timeline pair the two ends
+  /// of a flow. `queue_depth` is the destination mailbox depth right after
+  /// enqueue (0 when the transport cannot know it).
+  virtual void on_send(int self, int dest, int tag, std::size_t bytes,
+                       std::uint64_t flow_id, std::size_t queue_depth) = 0;
+
+  /// A message from `src` was delivered to `self` after blocking for
+  /// `wait_ns` nanoseconds (0 when it was already waiting in the mailbox).
+  virtual void on_recv(int self, int src, int tag, std::size_t bytes,
+                       std::uint64_t flow_id, std::int64_t wait_ns) = 0;
+
+  /// `self` completed a barrier after blocking for `wait_ns` nanoseconds.
+  virtual void on_barrier(int self, std::int64_t wait_ns) = 0;
+};
+
+/// Human-readable name for a message tag: user tags print as "user:<n>",
+/// the reserved collective tags above kUserTagLimit print as the collective
+/// that owns them ("bcast", "gather", ...). Used by heatmap/metrics output.
+std::string tag_name(int tag);
+
+/// Stable short name of a CommError's concrete kind ("timeout",
+/// "rank_failed", "recovery", "corrupt_frame") for event-log attribution.
+const char* error_kind(const CommError& e);
+
 class Communicator {
  public:
   virtual ~Communicator() = default;
@@ -159,6 +199,13 @@ class Communicator {
   virtual std::vector<int> agree_survivors();
 
   static constexpr int kUserTagLimit = 1 << 20;
+
+  /// Attach an observation probe (nullptr detaches). Leaf transports record
+  /// into it; decorators and subgroup views forward to the transport that
+  /// actually moves bytes. The probe must outlive the communicator or be
+  /// detached first. Disabled (the default) costs one branch per operation.
+  virtual void set_probe(CommProbe* probe) { probe_ = probe; }
+  CommProbe* probe() const { return probe_; }
 
   // ---- Collectives (implemented once, over send/recv) ----
   //
@@ -226,6 +273,7 @@ class Communicator {
   std::vector<T> allreduce_impl(std::span<const T> local, ReduceOp op);
 
   double timeout_seconds_ = 0.0;
+  CommProbe* probe_ = nullptr;
 };
 
 /// Single-rank communicator: all collectives are identity operations and
@@ -242,9 +290,16 @@ class SelfComm final : public Communicator {
   TrafficStats stats() const override { return stats_; }
 
  private:
-  // (tag -> FIFO of messages); loopback only.
-  std::vector<std::pair<int, std::vector<std::byte>>> queue_;
+  // (tag -> FIFO of messages); loopback only. Each entry carries the flow id
+  // assigned at send time so a probe can pair the two ends.
+  struct Queued {
+    int tag;
+    std::uint64_t flow_id;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<Queued> queue_;
   TrafficStats stats_;
+  std::uint64_t next_flow_id_ = 1;
 };
 
 /// A densely renumbered view of `parent` restricted to `members` (parent
@@ -266,6 +321,7 @@ class SubgroupComm final : public Communicator {
   TrafficStats stats() const override { return parent_->stats(); }
 
   void set_timeout(double seconds) override;
+  void set_probe(CommProbe* probe) override;
   std::vector<int> failed_ranks() const override;
   std::vector<int> agree_survivors() override;
 

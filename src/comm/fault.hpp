@@ -82,6 +82,12 @@ class FaultyComm final : public Communicator {
   TrafficStats stats() const override { return inner_->stats(); }
 
   void set_timeout(double seconds) override;
+  void set_probe(CommProbe* probe) override {
+    Communicator::set_probe(probe);
+    // The inner transport records deliveries, so dropped messages are never
+    // observed (matching TrafficStats, which also only counts real pushes).
+    inner_->set_probe(probe);
+  }
   std::vector<int> failed_ranks() const override {
     return inner_->failed_ranks();
   }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 
 namespace keybin2::comm {
 
@@ -123,8 +124,9 @@ void ThreadCommHub::poison(const std::string& reason) {
   for (int r = 0; r < size(); ++r) mark_failed(r, reason);
 }
 
-void ThreadCommHub::push(int src, int dest, int tag,
-                         std::span<const std::byte> data) {
+ThreadCommHub::SendInfo ThreadCommHub::push(int src, int dest, int tag,
+                                            std::span<const std::byte> data,
+                                            bool want_depth) {
   if (shrink_pending_.load()) {
     std::ostringstream os;
     os << "rank " << src << " send(peer=" << dest << ", tag=" << tag
@@ -140,10 +142,18 @@ void ThreadCommHub::push(int src, int dest, int tag,
     throw RankFailedError(os.str());
   }
 
+  SendInfo info;
+  info.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
   auto& box = *mailboxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard lk(box.mu);
-    box.queues[{src, tag}].emplace_back(data.begin(), data.end());
+    box.queues[{src, tag}].push_back(Mailbox::Message{
+        std::vector<std::byte>(data.begin(), data.end()), info.flow_id});
+    if (want_depth) {
+      // Total messages parked in the destination mailbox across all (src,
+      // tag) channels — the backlog a slow consumer is accumulating.
+      for (const auto& [key, q] : box.queues) info.queue_depth += q.size();
+    }
   }
   box.cv.notify_all();
   {
@@ -152,10 +162,12 @@ void ThreadCommHub::push(int src, int dest, int tag,
     ++t.messages_sent;
     t.bytes_sent += data.size();
   }
+  return info;
 }
 
 std::vector<std::byte> ThreadCommHub::pop(int self, int src, int tag,
-                                          double timeout_seconds) {
+                                          double timeout_seconds,
+                                          std::uint64_t* flow_id_out) {
   auto& box = *mailboxes_[static_cast<std::size_t>(self)];
   const auto key = std::make_pair(src, tag);
   const auto start = Clock::now();
@@ -182,16 +194,17 @@ std::vector<std::byte> ThreadCommHub::pop(int self, int src, int tag,
     // traffic drains; only block-forever is fatal.
     auto it = box.queues.find(key);
     if (it != box.queues.end() && !it->second.empty()) {
-      auto data = std::move(it->second.front());
+      auto msg = std::move(it->second.front());
       it->second.pop_front();
       lk.unlock();
+      if (flow_id_out) *flow_id_out = msg.flow_id;
       {
         std::lock_guard tlk(traffic_mu_);
         auto& t = traffic_[static_cast<std::size_t>(self)];
         ++t.messages_received;
-        t.bytes_received += data.size();
+        t.bytes_received += msg.bytes.size();
       }
-      return data;
+      return std::move(msg.bytes);
     }
 
     if (shrink_pending_.load()) {
@@ -348,16 +361,34 @@ int ThreadComm::size() const { return hub_->size(); }
 void ThreadComm::send(int dest, int tag, std::span<const std::byte> data) {
   KB2_CHECK_MSG(dest >= 0 && dest < size(),
                 "send dest " << dest << " out of group size " << size());
-  hub_->push(rank_, dest, tag, data);
+  CommProbe* p = probe();
+  const auto info = hub_->push(rank_, dest, tag, data, /*want_depth=*/p != nullptr);
+  if (p) p->on_send(rank_, dest, tag, data.size(), info.flow_id,
+                    info.queue_depth);
 }
 
 std::vector<std::byte> ThreadComm::recv(int src, int tag) {
   KB2_CHECK_MSG(src >= 0 && src < size(),
                 "recv src " << src << " out of group size " << size());
-  return hub_->pop(rank_, src, tag, timeout());
+  CommProbe* p = probe();
+  if (!p) return hub_->pop(rank_, src, tag, timeout(), nullptr);
+  std::uint64_t flow = 0;
+  const std::int64_t t0 = now_ns();
+  auto data = hub_->pop(rank_, src, tag, timeout(), &flow);
+  p->on_recv(rank_, src, tag, data.size(), flow, now_ns() - t0);
+  return data;
 }
 
-void ThreadComm::barrier() { hub_->barrier_wait(rank_, timeout()); }
+void ThreadComm::barrier() {
+  CommProbe* p = probe();
+  if (!p) {
+    hub_->barrier_wait(rank_, timeout());
+    return;
+  }
+  const std::int64_t t0 = now_ns();
+  hub_->barrier_wait(rank_, timeout());
+  p->on_barrier(rank_, now_ns() - t0);
+}
 
 TrafficStats ThreadComm::stats() const { return hub_->stats(rank_); }
 

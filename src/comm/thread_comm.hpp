@@ -96,18 +96,33 @@ class ThreadCommHub {
   friend class ThreadComm;
 
   struct Mailbox {
+    /// A queued delivery, stamped with the hub-unique flow id assigned at
+    /// send time so a probe can pair the send with the matching recv.
+    struct Message {
+      std::vector<std::byte> bytes;
+      std::uint64_t flow_id = 0;
+    };
     std::mutex mu;
     std::condition_variable cv;
-    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> queues;
+    std::map<std::pair<int, int>, std::deque<Message>> queues;
+  };
+
+  /// What push() reports back for the sender's probe: the assigned flow id,
+  /// and (only when requested) the destination mailbox depth after enqueue.
+  struct SendInfo {
+    std::uint64_t flow_id = 0;
+    std::size_t queue_depth = 0;
   };
 
   // Per-rank lifecycle. The enum lives in an atomic array so mailbox waits
   // can poll it without taking state_mu_; reasons stay under state_mu_.
   enum : std::uint8_t { kLive = 0, kFailed = 1, kDeparted = 2 };
 
-  void push(int src, int dest, int tag, std::span<const std::byte> data);
+  SendInfo push(int src, int dest, int tag, std::span<const std::byte> data,
+                bool want_depth);
   std::vector<std::byte> pop(int self, int src, int tag,
-                             double timeout_seconds);
+                             double timeout_seconds,
+                             std::uint64_t* flow_id_out);
   void barrier_wait(int self, double timeout_seconds);
   std::vector<int> agree_survivors(int self, double timeout_seconds);
 
@@ -122,6 +137,7 @@ class ThreadCommHub {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<TrafficStats> traffic_;
   mutable std::mutex traffic_mu_;
+  std::atomic<std::uint64_t> next_flow_id_{1};
 
   // Lock order: state_mu_ before any Mailbox::mu; never the reverse.
   mutable std::mutex state_mu_;

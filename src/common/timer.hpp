@@ -2,8 +2,19 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace keybin2 {
+
+/// Monotonic nanoseconds since an arbitrary (per-process) epoch. The single
+/// time source shared by the Tracer, the timeline capture, and the event log
+/// so their timestamps are mutually comparable within a process: all rank
+/// threads of a ThreadComm group read the same steady_clock.
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Monotonic wall-clock stopwatch. Started on construction.
 class WallTimer {

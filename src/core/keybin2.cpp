@@ -194,10 +194,19 @@ FitResult fit(runtime::Context& ctx, const Matrix& local_points,
         if (ctx.is_root()) ctx.tracer().counter("fit_retries", 1.0);
       }
       return fit_once(ctx, local_points, params);
-    } catch (const comm::CommError&) {
-      if (attempt >= params.max_shrink_retries) throw;
+    } catch (const comm::CommError& e) {
+      if (attempt >= params.max_shrink_retries) {
+        ctx.log().error("fit_abandoned",
+                        {{"kind", comm::error_kind(e)},
+                         {"attempts", std::to_string(attempt)}});
+        throw;
+      }
       ++attempt;
       recover = true;
+      ctx.metrics().add("fit_retries");
+      ctx.log().warn("fit_retry", {{"kind", comm::error_kind(e)},
+                                   {"attempt", std::to_string(attempt)},
+                                   {"what", e.what()}});
     }
   }
 }

@@ -140,8 +140,25 @@ OutOfCoreResult fit_from_file(runtime::Context& ctx,
       engine.restore(r);
       KB2_CHECK_MSG(r.exhausted(), "checkpoint " << checkpoint.path
                                                  << " has trailing bytes");
+      ctx.tracer().counter("checkpoint_restores", 1.0);
+      ctx.metrics().add("checkpoint_restores");
+      ctx.log().info("checkpoint_restore",
+                     {{"path", checkpoint.path},
+                      {"chunks_done", std::to_string(chunks_done)}});
     }
   }
+
+  // One bookkeeping point for every resume record written below, so the
+  // tracer counter, the metrics counter, and the event log stay in step.
+  const auto record_checkpoint_write = [&](std::uint64_t cursor,
+                                           const char* why) {
+    ctx.tracer().counter("checkpoint_writes", 1.0);
+    ctx.metrics().add("checkpoint_writes");
+    ctx.log().info("checkpoint_write",
+                   {{"path", checkpoint.path},
+                    {"chunks_done", std::to_string(cursor)},
+                    {"reason", why}});
+  };
 
   // Pass 1: histograms (and reservoir) only. With a resume cursor, seek the
   // input straight to the saved chunk boundary — chunk layout is
@@ -168,6 +185,7 @@ OutOfCoreResult fit_from_file(runtime::Context& ctx,
         // the kill-and-resume tests model a mid-run death deterministically.
         write_resume_record(checkpoint.path, chunks_done, chunk_points,
                             header.rows, header.cols, engine);
+        record_checkpoint_write(chunks_done, "budget_pause");
         result.points = engine.points_seen();
         result.completed = false;
         return result;
@@ -186,6 +204,7 @@ OutOfCoreResult fit_from_file(runtime::Context& ctx,
           chunks_done % checkpoint.every_chunks == 0) {
         write_resume_record(checkpoint.path, chunks_done, chunk_points,
                             header.rows, header.cols, engine);
+        record_checkpoint_write(chunks_done, "cadence");
       }
     }
   }

@@ -89,6 +89,7 @@ BinnedTrial stage_bin(runtime::Context& ctx, const Matrix& projected,
   BinnedTrial out;
   out.keys = compute_keys(projected, ranges, max_depth);
   out.hists = build_histograms(out.keys, ranges);
+  ctx.metrics().add("points_binned", projected.rows());
   return out;
 }
 
@@ -104,6 +105,7 @@ void stage_merge_histograms(runtime::Context& ctx,
                     : ctx.comm().allreduce(flatten_counts(hists),
                                            comm::ReduceOp::kSum);
   unflatten_counts(merged, hists);
+  ctx.metrics().add("histogram_merges");
 }
 
 std::vector<int> collapse_dimensions(
@@ -185,6 +187,7 @@ AssessedCandidate stage_assess(runtime::Context& ctx, const KeyTable& keys,
   // Occupied cells: local count, merged at the root.
   const auto local_cells = count_cells(keys, kept_dims, candidate.partitions,
                                        candidate.depths, weight_per_point);
+  ctx.metrics().add("cells_assessed", local_cells.size());
   auto gathered = ctx.comm().gather(serialize_cells(local_cells), /*root=*/0);
 
   AssessedCandidate out;

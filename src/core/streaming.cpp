@@ -233,10 +233,19 @@ const Model& StreamingKeyBin2::refit(runtime::Context& ctx) {
         if (ctx.is_root()) ctx.tracer().counter("fit_retries", 1.0);
       }
       return refit_once(ctx);
-    } catch (const comm::CommError&) {
-      if (attempt >= params_.max_shrink_retries) throw;
+    } catch (const comm::CommError& e) {
+      if (attempt >= params_.max_shrink_retries) {
+        ctx.log().error("refit_abandoned",
+                        {{"kind", comm::error_kind(e)},
+                         {"attempts", std::to_string(attempt)}});
+        throw;
+      }
       ++attempt;
       recover = true;
+      ctx.metrics().add("fit_retries");
+      ctx.log().warn("refit_retry", {{"kind", comm::error_kind(e)},
+                                     {"attempt", std::to_string(attempt)},
+                                     {"what", e.what()}});
     }
   }
 }

@@ -8,7 +8,12 @@
 //   │                         (defaults to the process-wide global_pool())
 //   ├── Rng                 — deterministic per-context random stream,
 //   │                         seeded explicitly
-//   └── Tracer              — per-rank timed scopes + traffic attribution
+//   ├── Tracer              — per-rank timed scopes + traffic attribution
+//   ├── MetricsRegistry     — counters/gauges/latency histograms + traffic
+//   │                         matrix (populated once enable_comm_metrics())
+//   ├── EventLog            — structured events (silent until a sink is set)
+//   └── Timeline            — span/flow capture for Perfetto export
+//                             (allocated by enable_timeline())
 //
 // Every clustering driver (batch fit, streaming refit, out-of-core,
 // md::insitu) executes its stages against a Context, so timing,
@@ -21,6 +26,9 @@
 #include "comm/communicator.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "runtime/log.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/timeline.hpp"
 #include "runtime/tracer.hpp"
 
 namespace keybin2::runtime {
@@ -33,7 +41,7 @@ class Context {
   explicit Context(comm::Communicator& comm, std::uint64_t seed = 42,
                    ThreadPool* pool = nullptr)
       : comm_(&comm), pool_(pool != nullptr ? pool : &global_pool()),
-        rng_(seed), tracer_(&comm) {}
+        rng_(seed), tracer_(&comm), log_(comm.rank()) {}
 
   /// Serial context: owns a single-rank SelfComm.
   explicit Context(std::uint64_t seed = 42, ThreadPool* pool = nullptr)
@@ -44,6 +52,12 @@ class Context {
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
+
+  ~Context() {
+    // The communicator may be borrowed and outlive us; never leave it
+    // holding a probe into this context's (about to die) monitor.
+    if (monitor_ != nullptr) comm_->set_probe(nullptr);
+  }
 
   comm::Communicator& comm() { return *comm_; }
   const comm::Communicator& comm() const { return *comm_; }
@@ -56,8 +70,37 @@ class Context {
   int size() const { return comm_->size(); }
   bool is_root() const { return comm_->rank() == 0; }
 
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  EventLog& log() { return log_; }
+  /// Non-null once enable_timeline() was called.
+  Timeline* timeline() { return timeline_.get(); }
+
+  /// Start deep comm instrumentation: attach a probe feeding this context's
+  /// MetricsRegistry with the per-(peer, tag) traffic matrix, recv/barrier
+  /// wait histograms, and mailbox depth gauges. Idempotent.
+  void enable_comm_metrics() {
+    if (monitor_ == nullptr) monitor_ = std::make_unique<CommMonitor>(&metrics_);
+    comm_->set_probe(monitor_.get());
+  }
+
+  /// Start timeline capture: tracer scopes become spans, and (via the comm
+  /// probe, enabled as a side effect) each send/recv becomes one end of a
+  /// flow event. Idempotent.
+  void enable_timeline() {
+    if (timeline_ == nullptr) {
+      timeline_ = std::make_unique<Timeline>(comm_->rank());
+    }
+    tracer_.set_timeline(timeline_.get());
+    enable_comm_metrics();
+    monitor_->set_timeline(timeline_.get());
+  }
+
   /// Merge all ranks' traces at root (collective; see reduce_report()).
   TraceReport trace_report() { return reduce_report(tracer_, *comm_); }
+
+  /// Merge all ranks' metrics at root (collective; see merge_metrics()).
+  MetricsReport metrics_report() { return merge_metrics(metrics_, *comm_); }
 
   /// ULFM-style shrink-and-continue: after a comm::CommError, every
   /// surviving rank calls this in step. It runs the agree_survivors()
@@ -81,6 +124,13 @@ class Context {
     subgroups_.push_back(std::move(sub));
     tracer_.rebind(comm_);
     excluded_ranks_ += lost;
+    metrics_.add("survivor_shrinks");
+    log_.warn("survivor_shrink",
+              {{"lost", std::to_string(lost)},
+               {"survivors", std::to_string(comm_->size())}});
+    if (timeline_ != nullptr) {
+      timeline_->add_instant("survivor_shrink", now_ns());
+    }
     if (comm_->rank() == 0) {
       tracer_.counter("degraded_ranks", static_cast<double>(lost));
     }
@@ -99,6 +149,10 @@ class Context {
   ThreadPool* pool_;
   Rng rng_;
   Tracer tracer_;
+  MetricsRegistry metrics_;
+  EventLog log_;
+  std::unique_ptr<Timeline> timeline_;
+  std::unique_ptr<CommMonitor> monitor_;
   std::vector<std::unique_ptr<comm::SubgroupComm>> subgroups_;
   int excluded_ranks_ = 0;
 };

@@ -1,0 +1,61 @@
+// Minimal JSON emission and validation for the observability layer.
+//
+// The repo deliberately has no third-party JSON dependency, so the trace
+// exporter, the event log, and the bench reporters share this tiny writer:
+// a streaming emitter that tracks container nesting and inserts commas, plus
+// a recursive-descent syntax validator used by tests and tools/trace_check
+// to assert that everything we emit is well-formed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace keybin2::runtime {
+
+/// Escape a string for inclusion inside JSON quotes (adds no quotes itself).
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer. Call begin_object()/begin_array() to open
+/// containers, key() before each object member, and the value overloads to
+/// emit scalars; commas are inserted automatically. str() returns the
+/// document. The writer does not validate that keys/values alternate
+/// correctly — json_validate() in tests keeps it honest.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit `"name":` for the next object member.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool b);
+
+  /// Splice a pre-rendered JSON fragment in as a value (no escaping).
+  JsonWriter& raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  // One entry per open container: the number of values emitted so far.
+  std::vector<std::size_t> counts_;
+  bool after_key_ = false;
+};
+
+/// True iff `text` is a single well-formed JSON value (object, array,
+/// string, number, bool, or null) with nothing but whitespace after it.
+bool json_validate(std::string_view text);
+
+}  // namespace keybin2::runtime

@@ -1,0 +1,81 @@
+#include "runtime/log.hpp"
+
+#include "common/timer.hpp"
+#include "runtime/json.hpp"
+
+namespace keybin2::runtime {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+std::string LogEvent::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("t_ns").value(std::int64_t(t_ns));
+  w.key("rank").value(rank);
+  w.key("level").value(log_level_name(level));
+  w.key("event").value(name);
+  if (!attrs.empty()) {
+    w.key("attrs").begin_object();
+    for (const auto& [key, value] : attrs) w.key(key).value(value);
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+void MemorySink::emit(const LogEvent& event) {
+  std::lock_guard lk(mu_);
+  events_.push_back(event);
+}
+
+std::vector<LogEvent> MemorySink::events() const {
+  std::lock_guard lk(mu_);
+  return events_;
+}
+
+std::vector<LogEvent> MemorySink::events_named(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  std::vector<LogEvent> out;
+  for (const auto& e : events_) {
+    if (e.name == name) out.push_back(e);
+  }
+  return out;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+JsonlFileSink::~JsonlFileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlFileSink::emit(const LogEvent& event) {
+  if (file_ == nullptr) return;
+  const std::string line = event.to_json();
+  std::lock_guard lk(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);  // events must survive the rank dying right after
+}
+
+void EventLog::event(LogLevel level, std::string_view name,
+                     std::vector<std::pair<std::string, std::string>> attrs) {
+  if (!enabled(level)) return;
+  LogEvent e;
+  e.level = level;
+  e.t_ns = now_ns();
+  e.rank = rank_;
+  e.name = std::string(name);
+  e.attrs = std::move(attrs);
+  sink_->emit(e);
+}
+
+}  // namespace keybin2::runtime

@@ -1,0 +1,122 @@
+// Structured event log for the runtime: leveled events with rank, shared
+// monotonic timestamp, and key-value attribution, delivered to pluggable
+// sinks.
+//
+// The fault-tolerance path emits through this: timeouts, CRC failures,
+// survivor shrinks, fit retries, and checkpoint writes/restores become
+// machine-readable events instead of silent control flow. One JSONL line per
+// event:
+//
+//   {"t_ns":123456,"rank":2,"level":"warn","event":"fit_retry",
+//    "attrs":{"kind":"timeout","attempt":"1"}}
+//
+// Sinks must be thread-safe: rank threads of one ThreadComm group commonly
+// share a single JsonlFileSink. An EventLog with no sink attached costs one
+// branch per emit, so leaving logging wired in release paths is free.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace keybin2::runtime {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* log_level_name(LogLevel level);
+
+struct LogEvent {
+  LogLevel level = LogLevel::kInfo;
+  std::int64_t t_ns = 0;  // shared now_ns() clock
+  int rank = 0;
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  /// The event as one JSONL line (no trailing newline).
+  std::string to_json() const;
+};
+
+/// Receives every event at or above the log's threshold. Implementations
+/// must tolerate concurrent emit() calls from different rank threads.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void emit(const LogEvent& event) = 0;
+};
+
+/// Collects events in memory; for tests.
+class MemorySink final : public LogSink {
+ public:
+  void emit(const LogEvent& event) override;
+
+  std::vector<LogEvent> events() const;
+
+  /// Events with the given name, in emission order.
+  std::vector<LogEvent> events_named(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogEvent> events_;
+};
+
+/// Appends one JSON line per event to a file. Open once, share across the
+/// rank contexts of a run.
+class JsonlFileSink final : public LogSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void emit(const LogEvent& event) override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Per-rank logging front end. Cheap to construct; emits only when a sink is
+/// attached and the event's level passes the threshold.
+class EventLog {
+ public:
+  explicit EventLog(int rank = 0) : rank_(rank) {}
+
+  void set_rank(int rank) { rank_ = rank; }
+  void set_sink(std::shared_ptr<LogSink> sink) { sink_ = std::move(sink); }
+  void set_level(LogLevel level) { level_ = level; }
+
+  bool enabled(LogLevel level) const {
+    return sink_ != nullptr && static_cast<int>(level) >=
+                                   static_cast<int>(level_);
+  }
+
+  /// Emit `name` at `level` with key-value attributes:
+  ///   log.event(LogLevel::kWarn, "fit_retry", {{"kind", "timeout"}});
+  void event(LogLevel level, std::string_view name,
+             std::vector<std::pair<std::string, std::string>> attrs = {});
+
+  void info(std::string_view name,
+            std::vector<std::pair<std::string, std::string>> attrs = {}) {
+    event(LogLevel::kInfo, name, std::move(attrs));
+  }
+  void warn(std::string_view name,
+            std::vector<std::pair<std::string, std::string>> attrs = {}) {
+    event(LogLevel::kWarn, name, std::move(attrs));
+  }
+  void error(std::string_view name,
+             std::vector<std::pair<std::string, std::string>> attrs = {}) {
+    event(LogLevel::kError, name, std::move(attrs));
+  }
+
+ private:
+  int rank_;
+  LogLevel level_ = LogLevel::kDebug;
+  std::shared_ptr<LogSink> sink_;
+};
+
+}  // namespace keybin2::runtime

@@ -1,0 +1,116 @@
+#include "runtime/timeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "comm/communicator.hpp"
+#include "runtime/json.hpp"
+
+namespace keybin2::runtime {
+
+namespace {
+
+double to_us(std::int64_t ns, std::int64_t epoch_ns) {
+  return static_cast<double>(ns - epoch_ns) / 1000.0;
+}
+
+void event_header(JsonWriter& w, const char* ph, int tid, double ts_us) {
+  w.begin_object();
+  w.key("ph").value(ph);
+  w.key("pid").value(0);
+  w.key("tid").value(tid);
+  w.key("ts").value(ts_us);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(std::span<const Timeline> ranks) {
+  // Shift all timestamps so the earliest captured event is t=0.
+  std::int64_t epoch = std::numeric_limits<std::int64_t>::max();
+  for (const auto& tl : ranks) {
+    for (const auto& s : tl.spans()) epoch = std::min(epoch, s.start_ns);
+    for (const auto& f : tl.flows()) epoch = std::min(epoch, f.t_ns);
+    for (const auto& i : tl.instants()) epoch = std::min(epoch, i.t_ns);
+  }
+  if (epoch == std::numeric_limits<std::int64_t>::max()) epoch = 0;
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  for (const auto& tl : ranks) {
+    // Name the track even when the rank captured nothing, so a 4-rank trace
+    // always shows 4 timelines.
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("pid").value(0);
+    w.key("tid").value(tl.rank());
+    w.key("name").value("thread_name");
+    w.key("args").begin_object();
+    w.key("name").value("rank " + std::to_string(tl.rank()));
+    w.end_object();
+    w.end_object();
+  }
+
+  // Pair flow ends by id; an arrow is only drawn when both ends exist (a
+  // message sent before capture started, or still in flight at capture end,
+  // has no pair and is dropped).
+  std::map<std::uint64_t, std::pair<const Timeline::Flow*, int>> sends;
+  std::map<std::uint64_t, std::pair<const Timeline::Flow*, int>> recvs;
+  for (const auto& tl : ranks) {
+    for (const auto& f : tl.flows()) {
+      (f.start ? sends : recvs)[f.id] = {&f, tl.rank()};
+    }
+  }
+
+  for (const auto& tl : ranks) {
+    for (const auto& s : tl.spans()) {
+      event_header(w, "X", tl.rank(), to_us(s.start_ns, epoch));
+      w.key("dur").value(to_us(s.end_ns, s.start_ns));
+      w.key("name").value(s.name);
+      w.key("cat").value("scope");
+      w.end_object();
+    }
+    for (const auto& i : tl.instants()) {
+      event_header(w, "i", tl.rank(), to_us(i.t_ns, epoch));
+      w.key("name").value(i.name);
+      w.key("s").value("t");  // thread-scoped instant
+      w.end_object();
+    }
+  }
+
+  for (const auto& [id, send] : sends) {
+    const auto recv_it = recvs.find(id);
+    if (recv_it == recvs.end()) continue;
+    const auto& [sf, send_rank] = send;
+    const auto& [rf, recv_rank] = recv_it->second;
+    const std::string name = "msg:" + comm::tag_name(sf->tag);
+
+    event_header(w, "s", send_rank, to_us(sf->t_ns, epoch));
+    w.key("id").value(std::uint64_t(id));
+    w.key("name").value(name);
+    w.key("cat").value("flow");
+    w.key("args").begin_object();
+    w.key("bytes").value(std::uint64_t(sf->bytes));
+    w.key("dest").value(sf->peer);
+    w.end_object();
+    w.end_object();
+
+    event_header(w, "f", recv_rank, to_us(rf->t_ns, epoch));
+    w.key("id").value(std::uint64_t(id));
+    w.key("name").value(name);
+    w.key("cat").value("flow");
+    w.key("bp").value("e");  // bind to the enclosing slice
+    w.end_object();
+  }
+
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace keybin2::runtime

@@ -1,0 +1,89 @@
+// Per-rank timeline capture: what each rank was doing, when, and which
+// messages flowed between ranks.
+//
+// A Timeline records three kinds of events, all stamped with now_ns():
+//   * Span    — a closed Tracer scope ("fit/trial0/bin") with start/end.
+//   * Flow    — one end of a point-to-point delivery; the hub-unique flow id
+//               pairs the send with the matching recv across ranks.
+//   * Instant — a point event (survivor shrink, checkpoint write, ...).
+//
+// chrome_trace_json() renders a set of rank timelines as Chrome trace-event
+// JSON (the format Perfetto and chrome://tracing load): "X" complete events
+// for spans, "s"/"f" flow-event pairs for message arrows, "i" instants, and
+// "M" metadata naming each rank's track. Timestamps are microseconds
+// relative to the earliest event so traces start at t=0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace keybin2::runtime {
+
+class Timeline {
+ public:
+  struct Span {
+    std::string name;  // full scope path, e.g. "fit/trial0/bin"
+    std::int64_t start_ns = 0;
+    std::int64_t end_ns = 0;
+  };
+
+  /// One end of a message delivery. `start` is true on the send side.
+  struct Flow {
+    std::uint64_t id = 0;
+    std::int64_t t_ns = 0;
+    bool start = false;
+    int peer = -1;
+    int tag = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  struct Instant {
+    std::string name;
+    std::int64_t t_ns = 0;
+  };
+
+  explicit Timeline(int rank = 0) : rank_(rank) {}
+
+  int rank() const { return rank_; }
+
+  void add_span(std::string name, std::int64_t start_ns, std::int64_t end_ns) {
+    spans_.push_back(Span{std::move(name), start_ns, end_ns});
+  }
+  void add_flow(std::uint64_t id, std::int64_t t_ns, bool start, int peer,
+                int tag, std::uint64_t bytes) {
+    flows_.push_back(Flow{id, t_ns, start, peer, tag, bytes});
+  }
+  void add_instant(std::string name, std::int64_t t_ns) {
+    instants_.push_back(Instant{std::move(name), t_ns});
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<Flow>& flows() const { return flows_; }
+  const std::vector<Instant>& instants() const { return instants_; }
+
+  bool empty() const {
+    return spans_.empty() && flows_.empty() && instants_.empty();
+  }
+
+  void clear() {
+    spans_.clear();
+    flows_.clear();
+    instants_.clear();
+  }
+
+ private:
+  int rank_;
+  std::vector<Span> spans_;
+  std::vector<Flow> flows_;
+  std::vector<Instant> instants_;
+};
+
+/// Render one timeline per rank as a Chrome trace-event JSON document
+/// ({"traceEvents": [...]}). Each rank becomes one track (pid 0, tid =
+/// rank); flow pairs appear only when both ends were captured.
+std::string chrome_trace_json(std::span<const Timeline> ranks);
+
+}  // namespace keybin2::runtime

@@ -6,27 +6,10 @@
 
 #include "common/error.hpp"
 #include "common/serialize.hpp"
+#include "runtime/metrics.hpp"   // human_bytes
+#include "runtime/timeline.hpp"
 
 namespace keybin2::runtime {
-
-namespace {
-
-std::string human_bytes(std::uint64_t bytes) {
-  char buf[32];
-  if (bytes >= 10ull * 1024 * 1024) {
-    std::snprintf(buf, sizeof(buf), "%.1f MiB",
-                  static_cast<double>(bytes) / (1024.0 * 1024.0));
-  } else if (bytes >= 10ull * 1024) {
-    std::snprintf(buf, sizeof(buf), "%.1f KiB",
-                  static_cast<double>(bytes) / 1024.0);
-  } else {
-    std::snprintf(buf, sizeof(buf), "%llu B",
-                  static_cast<unsigned long long>(bytes));
-  }
-  return buf;
-}
-
-}  // namespace
 
 Tracer::Scope& Tracer::Scope::operator=(Scope&& o) noexcept {
   if (this != &o) {
@@ -61,9 +44,13 @@ void Tracer::close_top() {
   Frame frame = std::move(stack_.back());
   stack_.pop_back();
 
+  const std::int64_t t1 = now_ns();
+  if (timeline_ != nullptr) {
+    timeline_->add_span(frame.path, frame.t0_ns, t1);
+  }
   auto& entry = entries_[frame.path];
   ++entry.calls;
-  entry.seconds += frame.timer.seconds();
+  entry.seconds += static_cast<double>(t1 - frame.t0_ns) * 1e-9;
   if (comm_ != nullptr) {
     const auto delta = comm_->stats() - frame.at_open;
     // Exclusive attribution: children already claimed their share.

@@ -24,6 +24,8 @@
 
 namespace keybin2::runtime {
 
+class Timeline;
+
 class Tracer {
  public:
   /// Accumulated measurements of one scope path on one rank.
@@ -43,6 +45,11 @@ class Tracer {
   /// counters (SubgroupComm delegates to its parent, so they do): open
   /// frames hold their at-open sample by value and deltas stay monotone.
   void rebind(const comm::Communicator* comm) { comm_ = comm; }
+
+  /// Mirror every closed scope into `timeline` as a span (nullptr detaches).
+  /// Scope timestamps come from the shared now_ns() clock, so spans line up
+  /// with the timeline's flow events and the event log.
+  void set_timeline(Timeline* timeline) { timeline_ = timeline; }
 
   /// RAII handle closing its scope on destruction. Scopes must nest: close
   /// (destroy) inner scopes before outer ones.
@@ -86,7 +93,7 @@ class Tracer {
 
   struct Frame {
     std::string path;
-    WallTimer timer;
+    std::int64_t t0_ns = now_ns();  // shared clock: comparable to flow events
     comm::TrafficStats at_open;
     comm::TrafficStats child_traffic;  // claimed by closed children
   };
@@ -94,6 +101,7 @@ class Tracer {
   void close_top();
 
   const comm::Communicator* comm_;
+  Timeline* timeline_ = nullptr;
   std::vector<Frame> stack_;
   std::map<std::string, Entry> entries_;
   std::map<std::string, double> counters_;

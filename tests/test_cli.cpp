@@ -108,6 +108,58 @@ TEST_F(CliTest, DistributedRunAcceptsFaultToleranceKnobs) {
   EXPECT_NE(r.output.find("on 2 ranks"), std::string::npos) << r.output;
 }
 
+TEST_F(CliTest, TraceJsonExportsLoadableRankTimelines) {
+  const std::string trace_path =
+      "/tmp/kb2_cli_test_trace_" + std::to_string(getpid()) + ".json";
+  const std::string log_path =
+      "/tmp/kb2_cli_test_events_" + std::to_string(getpid()) + ".jsonl";
+  const auto r = run("cluster " + data_path_ +
+                     " --ranks 4 --trace --trace-json " + trace_path +
+                     " --log " + log_path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // --trace printed the per-stage table, the metrics counters, and the
+  // rank-by-rank traffic heatmap.
+  EXPECT_NE(r.output.find("stage"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("points_binned"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("comm heatmap"), std::string::npos) << r.output;
+
+  // The exported trace is one JSON document with all four rank timelines
+  // and at least one completed send->recv flow pair.
+  std::string trace;
+  {
+    std::FILE* f = std::fopen(trace_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::array<char, 4096> chunk{};
+    std::size_t n = 0;
+    while ((n = std::fread(chunk.data(), 1, chunk.size(), f)) > 0) {
+      trace.append(chunk.data(), n);
+    }
+    std::fclose(f);
+  }
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  auto count = [&](const std::string& needle) {
+    std::size_t c = 0;
+    for (auto pos = trace.find(needle); pos != std::string::npos;
+         pos = trace.find(needle, pos + needle.size())) {
+      ++c;
+    }
+    return c;
+  };
+  EXPECT_EQ(count("\"ph\":\"M\""), 4u);  // one named track per rank
+  EXPECT_GE(count("\"ph\":\"X\""), 4u);
+  EXPECT_GE(count("\"ph\":\"s\""), 1u);
+  EXPECT_EQ(count("\"ph\":\"s\""), count("\"ph\":\"f\""));
+
+  // A clean run emits no fault-path events, but --log must leave a (possibly
+  // empty) file rather than failing silently.
+  std::FILE* lf = std::fopen(log_path.c_str(), "rb");
+  EXPECT_NE(lf, nullptr);
+  if (lf) std::fclose(lf);
+
+  std::remove(trace_path.c_str());
+  std::remove(log_path.c_str());
+}
+
 class CliFitFileTest : public ::testing::Test {
  protected:
   void SetUp() override {

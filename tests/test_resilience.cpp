@@ -6,14 +6,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <memory>
 
 #include "comm/fault.hpp"
 #include "comm/launch.hpp"
 #include "common/error.hpp"
 #include "core/keybin2.hpp"
+#include "core/out_of_core.hpp"
 #include "data/gaussian_mixture.hpp"
+#include "data/io.hpp"
 #include "data/partition.hpp"
 #include "runtime/context.hpp"
+#include "runtime/log.hpp"
 
 namespace keybin2 {
 namespace {
@@ -40,6 +45,9 @@ TEST(Resilience, SoakKillOneRankMidTrialCompletesOnSurvivors) {
   std::atomic<int> survivors_done{0};
   std::atomic<bool> killed_rank_died{false};
   std::atomic<double> degraded_counter{-1.0};
+  // Every rank's structured events land here; the fault-tolerance path must
+  // narrate itself through the log, not just through return values.
+  auto sink = std::make_shared<runtime::MemorySink>();
 
   run_ranks(4, [&](Communicator& c) {
     const auto r = static_cast<std::size_t>(c.rank());
@@ -53,6 +61,7 @@ TEST(Resilience, SoakKillOneRankMidTrialCompletesOnSurvivors) {
     }
     comm::fault::FaultyComm faulty(c, s);
     runtime::Context ctx(faulty, params.seed);
+    ctx.log().set_sink(sink);
     try {
       const auto result = core::fit(ctx, shards[r].points, params);
 
@@ -64,13 +73,24 @@ TEST(Resilience, SoakKillOneRankMidTrialCompletesOnSurvivors) {
       EXPECT_EQ(result.labels.size(), shards[r].points.rows());
       for (const int label : result.labels) EXPECT_GE(label, 0);
 
-      // Degraded-mode statistics surface in the merged trace report.
+      // The retry loop recorded itself in this rank's metrics registry.
+      EXPECT_GE(ctx.metrics().counters().at("fit_retries"), 1u);
+      EXPECT_GE(ctx.metrics().counters().at("survivor_shrinks"), 1u);
+
+      // Degraded-mode statistics surface in the merged trace report...
       const auto report = ctx.trace_report();
+      // ...and in the merged metrics report (both are collectives over the
+      // shrunken survivor group, entered by all survivors in step).
+      const auto metrics = ctx.metrics_report();
       if (ctx.is_root()) {
         const auto it = report.counters.find("degraded_ranks");
         ASSERT_NE(it, report.counters.end());
         degraded_counter.store(it->second);
         EXPECT_GE(report.counters.count("fit_retries"), 1u);
+        EXPECT_GE(metrics.counters.at("fit_retries"), 3u);  // every survivor
+        EXPECT_GE(metrics.counters.at("survivor_shrinks"), 3u);
+        EXPECT_NE(metrics.deterministic_fingerprint().find("fit_retries"),
+                  std::string::npos);
       }
       survivors_done.fetch_add(1);
     } catch (const comm::fault::KilledError&) {
@@ -85,6 +105,82 @@ TEST(Resilience, SoakKillOneRankMidTrialCompletesOnSurvivors) {
   EXPECT_TRUE(killed_rank_died.load());
   EXPECT_EQ(survivors_done.load(), 3);
   EXPECT_DOUBLE_EQ(degraded_counter.load(), 1.0);
+
+  // The structured log narrated the recovery: each survivor warned about
+  // the retry and the shrink, with machine-readable attribution.
+  EXPECT_GE(sink->events_named("fit_retry").size(), 3u);
+  const auto shrinks = sink->events_named("survivor_shrink");
+  ASSERT_GE(shrinks.size(), 3u);
+  for (const auto& e : shrinks) {
+    EXPECT_EQ(e.level, runtime::LogLevel::kWarn);
+    ASSERT_GE(e.attrs.size(), 2u);
+    EXPECT_EQ(e.attrs[0].first, "lost");
+    EXPECT_EQ(e.attrs[0].second, "1");
+    EXPECT_EQ(e.attrs[1].first, "survivors");
+    EXPECT_EQ(e.attrs[1].second, "3");
+  }
+}
+
+TEST(Resilience, CheckpointCountersSurfaceInTraceMetricsAndLog) {
+  // A budget-paused out-of-core run followed by a resume must account for
+  // every checkpoint write and the restore — in the tracer counters (what
+  // `--trace` prints), the metrics registry, and the event log.
+  const auto spec = data::make_paper_mixture(6, 3, 11);
+  auto dataset = data::sample(spec, 2000, 12);
+  const std::string input = "/tmp/kb2_resilience_ooc.bin";
+  const std::string labels = "/tmp/kb2_resilience_ooc_labels.bin";
+  const std::string ckpt = "/tmp/kb2_resilience_ooc.ckpt";
+  data::write_binary(dataset, input);
+  std::remove(ckpt.c_str());
+
+  core::CheckpointOptions opts;
+  opts.path = ckpt;
+  opts.every_chunks = 2;
+  opts.max_chunks = 3;  // budget pause after 3 of 8 chunks
+
+  auto sink = std::make_shared<runtime::MemorySink>();
+  {
+    runtime::Context ctx(/*seed=*/42);
+    ctx.log().set_sink(sink);
+    const auto paused =
+        core::fit_from_file(ctx, input, labels, {}, /*chunk=*/256, opts);
+    EXPECT_FALSE(paused.completed);
+    // Cadence write at chunk 2 + the budget-pause write at chunk 3.
+    EXPECT_EQ(ctx.metrics().counters().at("checkpoint_writes"), 2u);
+    const auto report = ctx.trace_report();
+    EXPECT_DOUBLE_EQ(report.counters.at("checkpoint_writes"), 2.0);
+    EXPECT_EQ(report.counters.count("checkpoint_restores"), 0u);
+  }
+  {
+    runtime::Context ctx(/*seed=*/42);
+    ctx.log().set_sink(sink);
+    opts.max_chunks = 0;  // no budget: run to completion
+    const auto done =
+        core::fit_from_file(ctx, input, labels, {}, /*chunk=*/256, opts);
+    EXPECT_TRUE(done.completed);
+    EXPECT_EQ(ctx.metrics().counters().at("checkpoint_restores"), 1u);
+    const auto report = ctx.trace_report();
+    EXPECT_DOUBLE_EQ(report.counters.at("checkpoint_restores"), 1.0);
+  }
+
+  // The log carries one event per write/restore, with the cursor attributed:
+  // cadence at chunk 2, budget pause at 3, then cadence at 4 and 6 during
+  // the resumed run (8 chunks total, none at the final chunk).
+  const auto writes = sink->events_named("checkpoint_write");
+  ASSERT_EQ(writes.size(), 4u);
+  EXPECT_EQ(writes[0].attrs[2].first, "reason");
+  EXPECT_EQ(writes[0].attrs[2].second, "cadence");
+  EXPECT_EQ(writes[1].attrs[2].second, "budget_pause");
+  EXPECT_EQ(writes[2].attrs[2].second, "cadence");
+  EXPECT_EQ(writes[3].attrs[2].second, "cadence");
+  const auto restores = sink->events_named("checkpoint_restore");
+  ASSERT_EQ(restores.size(), 1u);
+  EXPECT_EQ(restores[0].attrs[1].first, "chunks_done");
+  EXPECT_EQ(restores[0].attrs[1].second, "3");
+
+  std::remove(input.c_str());
+  std::remove(labels.c_str());
+  std::remove(ckpt.c_str());
 }
 
 TEST(Resilience, TransientCorruptionRetriesWithoutShrinking) {

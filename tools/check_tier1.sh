@@ -5,6 +5,13 @@
 #   tools/check_tier1.sh --quick   # skip suites labelled `slow` (ctest -LE slow)
 #   tools/check_tier1.sh --tsan    # ThreadSanitizer build, comm/fault suites only
 #   tools/check_tier1.sh --asan    # AddressSanitizer build, comm/fault suites only
+#   tools/check_tier1.sh --trace-smoke
+#                                  # build, then run an instrumented 4-rank
+#                                  # cluster and gate on the observability
+#                                  # outputs: trace_check validates the Chrome
+#                                  # trace JSON (>= 4 rank timelines, >= 1
+#                                  # flow pair), and the printed report must
+#                                  # carry non-empty metrics
 #
 # The sanitizer modes build into their own directories (build-tsan/build-asan)
 # so they never dirty the primary build, and run only the `comm`-labelled
@@ -18,12 +25,14 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-${repo_root}/build}"
 
 sanitize=""
+trace_smoke=0
 ctest_args=()
 for arg in "$@"; do
   case "${arg}" in
     --quick) ctest_args+=(-LE slow) ;;
     --tsan) sanitize="thread" ;;
     --asan) sanitize="address" ;;
+    --trace-smoke) trace_smoke=1 ;;
     *) ctest_args+=("${arg}") ;;
   esac
 done
@@ -41,5 +50,27 @@ fi
 
 cmake -B "${build_dir}" -S "${repo_root}" "${cmake_args[@]}"
 cmake --build "${build_dir}" -j
+
+if [[ "${trace_smoke}" == "1" ]]; then
+  # Observability smoke: an instrumented distributed run must produce a
+  # loadable trace and a non-empty metrics report.
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  "${build_dir}/tools/keybin2" generate "${smoke_dir}/points.csv" \
+    --points 4000 --dims 8 --k 3 --seed 7
+  "${build_dir}/tools/keybin2" cluster "${smoke_dir}/points.csv" \
+    --ranks 4 --trace --trace-json "${smoke_dir}/trace.json" \
+    --log "${smoke_dir}/events.jsonl" | tee "${smoke_dir}/report.txt"
+  "${build_dir}/tools/trace_check" "${smoke_dir}/trace.json" \
+    --min-ranks 4 --min-flows 1
+  # Empty metrics would drop these lines from the report entirely.
+  grep -q "points_binned" "${smoke_dir}/report.txt" \
+    || { echo "trace smoke: no metrics counters in report" >&2; exit 1; }
+  grep -q "comm heatmap" "${smoke_dir}/report.txt" \
+    || { echo "trace smoke: no traffic heatmap in report" >&2; exit 1; }
+  echo "trace smoke: OK"
+  exit 0
+fi
+
 ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)" \
   "${ctest_args[@]}"

@@ -2,9 +2,11 @@
 //
 //   keybin2 cluster <input.csv> [--out labels.csv] [--algo keybin2|kmeans|
 //       xmeans|dbscan] [--k K] [--eps E] [--min-points P] [--trials T]
-//       [--seed S] [--timeout SEC] [--retries N]
+//       [--seed S] [--timeout SEC] [--retries N] [--trace]
+//       [--trace-json out.json] [--log events.jsonl]
 //   keybin2 fit-file <input.bin> [--out labels.bin] [--chunk N]
 //       [--checkpoint path] [--budget-chunks N] [--trials T] [--seed S]
+//       [--trace] [--log events.jsonl]
 //   keybin2 generate <output.csv> [--points N] [--dims D] [--k K] [--seed S]
 //       [--binary]
 //
@@ -16,7 +18,13 @@
 //
 // `--ranks N` (keybin2 only) shards the input across N simulated ranks and
 // runs the distributed fit over the thread-backed communicator; `--trace`
-// prints the per-stage wall-time / traffic report merged across ranks.
+// prints the per-stage wall-time / traffic report merged across ranks, plus
+// the metrics report (counters, recv/barrier wait latency quantiles, and the
+// rank-by-rank comm heatmap). `--trace-json FILE` captures per-rank
+// timelines — tracer scopes as spans, each send→recv as a flow-event pair —
+// and writes Chrome trace-event JSON loadable in Perfetto or
+// chrome://tracing. `--log FILE` appends one JSON line per structured
+// runtime event (fit retries, survivor shrinks, checkpoint writes).
 // `--timeout` bounds every blocking receive (a dead rank surfaces as a
 // TimeoutError instead of a hang) and `--retries` caps how many times the
 // fit restarts over the surviving ranks (DESIGN.md §4b).
@@ -28,6 +36,8 @@
 // after N chunks (exit 0, checkpoint left behind) for drain/restart drills.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -42,6 +52,8 @@
 #include "data/gaussian_mixture.hpp"
 #include "data/io.hpp"
 #include "data/partition.hpp"
+#include "runtime/log.hpp"
+#include "runtime/timeline.hpp"
 #include "stats/metrics.hpp"
 
 namespace {
@@ -62,6 +74,8 @@ struct CliArgs {
   std::uint64_t seed = 42;
   int ranks = 1;
   bool trace = false;
+  std::string trace_json;  // Chrome trace-event output path
+  std::string log_path;    // JSONL event-log output path
   bool binary = false;
   double timeout = 0.0;  // comm deadline, 0 = wait forever
   int retries = 2;       // shrink-and-continue restarts
@@ -78,11 +92,13 @@ struct CliArgs {
       "kmeans|xmeans|dbscan]\n"
       "                  [--k K] [--eps E] [--min-points P] [--trials T] "
       "[--seed S]\n"
-      "                  [--ranks N] [--trace] [--timeout SEC] [--retries N]"
-      "\n"
+      "                  [--ranks N] [--trace] [--trace-json out.json] "
+      "[--log events.jsonl]\n"
+      "                  [--timeout SEC] [--retries N]\n"
       "  keybin2 fit-file <input.bin> [--out labels.bin] [--chunk N] "
       "[--checkpoint path]\n"
-      "                  [--budget-chunks N] [--trials T] [--seed S]\n"
+      "                  [--budget-chunks N] [--trials T] [--seed S] "
+      "[--trace] [--log events.jsonl]\n"
       "  keybin2 generate <output.csv> [--points N] [--dims D] [--k K] "
       "[--seed S] [--binary]\n");
   std::exit(code);
@@ -127,6 +143,10 @@ CliArgs parse(int argc, char** argv) {
       }
     } else if (!std::strcmp(argv[i], "--trace")) {
       a.trace = true;
+    } else if (!std::strcmp(argv[i], "--trace-json")) {
+      a.trace_json = next("--trace-json");
+    } else if (!std::strcmp(argv[i], "--log")) {
+      a.log_path = next("--log");
     } else if (!std::strcmp(argv[i], "--binary")) {
       a.binary = true;
     } else if (!std::strcmp(argv[i], "--timeout")) {
@@ -147,6 +167,24 @@ CliArgs parse(int argc, char** argv) {
     }
   }
   return a;
+}
+
+void write_trace_json(const std::string& path,
+                      std::span<const runtime::Timeline> timelines) {
+  std::ofstream out(path);
+  KB2_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << runtime::chrome_trace_json(timelines);
+  KB2_CHECK_MSG(out.good(), "write to " << path << " failed");
+  std::printf("wrote Chrome trace-event JSON to %s\n", path.c_str());
+}
+
+/// Open the shared JSONL event sink (all ranks log into one file), or null
+/// when --log was not given.
+std::shared_ptr<runtime::JsonlFileSink> open_log_sink(const CliArgs& a) {
+  if (a.log_path.empty()) return nullptr;
+  auto sink = std::make_shared<runtime::JsonlFileSink>(a.log_path);
+  KB2_CHECK_MSG(sink->ok(), "cannot open " << a.log_path << " for writing");
+  return sink;
 }
 
 int run_generate(const CliArgs& a) {
@@ -173,9 +211,18 @@ int run_fit_file(const CliArgs& a) {
   ckpt.path = a.checkpoint;
   ckpt.max_chunks = a.budget_chunks;
 
+  runtime::Context ctx(params.seed);
+  if (a.trace) ctx.enable_comm_metrics();
+  const auto sink = open_log_sink(a);
+  if (sink != nullptr) ctx.log().set_sink(sink);
+
   WallTimer timer;
   const auto result =
-      core::fit_from_file(a.input, labels_path, params, a.chunk, ckpt);
+      core::fit_from_file(ctx, a.input, labels_path, params, a.chunk, ckpt);
+  if (a.trace) {
+    std::fputs(ctx.trace_report().format().c_str(), stdout);
+    std::fputs(ctx.metrics_report().format().c_str(), stdout);
+  }
   if (!result.completed) {
     std::printf("paused after the chunk budget; resumable state saved to "
                 "%s (rerun the same command to continue)\n",
@@ -206,7 +253,8 @@ int run_cluster(const CliArgs& a) {
     params.max_shrink_retries = a.retries;
     double score = 0.0;
     int n_clusters = 0;
-    std::string trace_text;
+    std::string trace_text, metrics_text;
+    const auto sink = open_log_sink(a);
     if (a.ranks > 1) {
       // Shard contiguously across simulated (thread-backed) ranks; labels
       // concatenate back in input order.
@@ -215,8 +263,13 @@ int run_cluster(const CliArgs& a) {
           static_cast<std::size_t>(a.ranks));
       std::vector<comm::TrafficStats> rank_stats(
           static_cast<std::size_t>(a.ranks));
+      std::vector<runtime::Timeline> timelines(
+          static_cast<std::size_t>(a.ranks));
       comm::run_ranks(a.ranks, [&](comm::Communicator& comm) {
         runtime::Context ctx(comm, params.seed);
+        if (a.trace) ctx.enable_comm_metrics();
+        if (!a.trace_json.empty()) ctx.enable_timeline();
+        if (sink != nullptr) ctx.log().set_sink(sink);
         auto result = core::fit(
             ctx, shards[static_cast<std::size_t>(comm.rank())].points,
             params);
@@ -224,8 +277,12 @@ int run_cluster(const CliArgs& a) {
           // Snapshot stats before the trace gather, so the printed totals
           // cover exactly what the per-stage table attributes.
           rank_stats[static_cast<std::size_t>(comm.rank())] = comm.stats();
-          auto report = ctx.trace_report();  // collective
-          if (ctx.is_root()) trace_text = report.format();
+          auto report = ctx.trace_report();      // collective
+          auto metrics = ctx.metrics_report();   // collective
+          if (ctx.is_root()) {
+            trace_text = report.format();
+            metrics_text = metrics.format();
+          }
         }
         if (ctx.is_root()) {
           score = result.model.score();
@@ -233,6 +290,11 @@ int run_cluster(const CliArgs& a) {
         }
         rank_labels[static_cast<std::size_t>(comm.rank())] =
             std::move(result.labels);
+        // The timeline outlives the context so the export below can pair
+        // flows across every rank of the group.
+        if (auto* tl = ctx.timeline()) {
+          timelines[static_cast<std::size_t>(comm.rank())] = std::move(*tl);
+        }
       });
       for (auto& part : rank_labels)
         labels.insert(labels.end(), part.begin(), part.end());
@@ -249,16 +311,27 @@ int run_cluster(const CliArgs& a) {
                     static_cast<unsigned long long>(totals.bytes_sent),
                     static_cast<unsigned long long>(totals.messages_received),
                     static_cast<unsigned long long>(totals.bytes_received));
+        std::fputs(metrics_text.c_str(), stdout);
       }
+      if (!a.trace_json.empty()) write_trace_json(a.trace_json, timelines);
     } else {
       runtime::Context ctx(params.seed);
+      if (a.trace) ctx.enable_comm_metrics();
+      if (!a.trace_json.empty()) ctx.enable_timeline();
+      if (sink != nullptr) ctx.log().set_sink(sink);
       auto result = core::fit(ctx, d.points, params);
       labels = std::move(result.labels);
       score = result.model.score();
       n_clusters = result.n_clusters();
       std::printf("keybin2: %d clusters (model score %.1f) in %.3f s\n",
                   n_clusters, score, timer.seconds());
-      if (a.trace) std::fputs(ctx.trace_report().format().c_str(), stdout);
+      if (a.trace) {
+        std::fputs(ctx.trace_report().format().c_str(), stdout);
+        std::fputs(ctx.metrics_report().format().c_str(), stdout);
+      }
+      if (!a.trace_json.empty()) {
+        write_trace_json(a.trace_json, {ctx.timeline(), 1});
+      }
     }
   } else if (a.algo == "kmeans") {
     baselines::KMeansParams params;

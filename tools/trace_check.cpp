@@ -1,0 +1,125 @@
+// trace_check: validate a Chrome trace-event JSON file produced by
+// `keybin2 cluster --trace-json` (or anything else emitting the same shape).
+//
+//   trace_check trace.json [--min-ranks N] [--min-flows N]
+//
+// Checks, in order:
+//   1. the file parses as a single well-formed JSON value (json_validate),
+//   2. it declares at least --min-ranks rank timelines ("ph":"M" metadata),
+//   3. it holds at least one duration span ("ph":"X") — empty-metrics traces
+//      fail here,
+//   4. it holds at least --min-flows send->recv flow pairs, and the "s" and
+//      "f" ends balance (the exporter only emits completed pairs).
+// Exit 0 when everything holds, 1 with a diagnostic otherwise — which is
+// what lets check_tier1.sh --trace-smoke gate on it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "runtime/json.hpp"
+
+namespace {
+
+std::size_t count_occurrences(std::string_view text, std::string_view needle) {
+  std::size_t n = 0;
+  for (auto pos = text.find(needle); pos != std::string_view::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+int fail(const char* what) {
+  std::fprintf(stderr, "trace_check: FAIL: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  long min_ranks = 1;
+  long min_flows = 0;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "trace_check: missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--min-ranks")) {
+      min_ranks = std::strtol(next("--min-ranks"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--min-flows")) {
+      min_flows = std::strtol(next("--min-flows"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--help")) {
+      std::printf("usage: trace_check trace.json [--min-ranks N] "
+                  "[--min-flows N]\n");
+      return 0;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "trace_check: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: trace_check trace.json [--min-ranks N] "
+                 "[--min-flows N]\n");
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  if (text.empty()) return fail("file is empty");
+  if (!keybin2::runtime::json_validate(text)) {
+    return fail("not well-formed JSON");
+  }
+  if (text.find("\"traceEvents\"") == std::string::npos) {
+    return fail("no traceEvents array");
+  }
+
+  // The exporter writes events with "ph" first, so these fixed substrings
+  // are reliable for its own output (json_validate above already guarantees
+  // we are not counting inside broken syntax).
+  const auto ranks = count_occurrences(text, "\"ph\":\"M\"");
+  const auto spans = count_occurrences(text, "\"ph\":\"X\"");
+  const auto flow_starts = count_occurrences(text, "\"ph\":\"s\"");
+  const auto flow_ends = count_occurrences(text, "\"ph\":\"f\"");
+
+  if (ranks < static_cast<std::size_t>(min_ranks)) {
+    std::fprintf(stderr,
+                 "trace_check: FAIL: %zu rank timeline(s), need >= %ld\n",
+                 ranks, min_ranks);
+    return 1;
+  }
+  if (spans == 0) return fail("no duration spans (empty metrics?)");
+  if (flow_starts != flow_ends) {
+    std::fprintf(stderr,
+                 "trace_check: FAIL: %zu flow starts vs %zu flow ends\n",
+                 flow_starts, flow_ends);
+    return 1;
+  }
+  if (flow_starts < static_cast<std::size_t>(min_flows)) {
+    std::fprintf(stderr,
+                 "trace_check: FAIL: %zu flow pair(s), need >= %ld\n",
+                 flow_starts, min_flows);
+    return 1;
+  }
+
+  std::printf(
+      "trace_check: OK: %zu rank timeline(s), %zu span(s), %zu flow pair(s)\n",
+      ranks, spans, flow_starts);
+  return 0;
+}
