@@ -1,0 +1,239 @@
+// Kernel-fusion + sparse-reduction benchmark (DESIGN.md §4d).
+//
+// Part 1 — data plane: the staged reference pipeline (project, range scan,
+// compute_keys, build_histograms — four traversals) against the fused
+// two-pass plane (fused_project_envelope, fused_key_bin) on one rank. The
+// acceptance configuration is --points-per-rank 1000000 with 16 input
+// dimensions; results must be bit-identical (checked every run) and the
+// fused plane at least 2x faster.
+//
+// Part 2 — comm plane: merging deep (d_max >= 10), genuinely sparse binning
+// histograms across ranks with the dense binomial-tree allreduce vs the
+// sparse recursive-halving allreduce. Reports total reduce bytes for both
+// and the savings fraction; the acceptance bar is >= 40% fewer bytes at
+// --ranks 8.
+//
+// Series written to BENCH_kernel_fusion.json:
+//   staged_seconds, fused_seconds, fused_speedup,
+//   reduce_bytes_dense, reduce_bytes_sparse, reduce_bytes_savings
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/binner.hpp"
+#include "core/fused.hpp"
+#include "core/keys.hpp"
+#include "core/projection.hpp"
+
+namespace keybin2 {
+namespace {
+
+constexpr std::size_t kInputDims = 16;
+constexpr int kProjectedDims = 4;  // the paper's rule for 16 dims
+constexpr int kKernelDepth = 7;
+constexpr int kReduceDepth = 12;  // deep histograms => sparse deepest level
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Matrix clustered_points(std::size_t rows, std::size_t cols,
+                        std::uint64_t seed) {
+  // A handful of tight blobs: realistic fit input whose deep histograms are
+  // sparse (most of the 2^12 bins never see a point).
+  Rng rng(seed);
+  std::vector<std::vector<double>> centers(6, std::vector<double>(cols));
+  for (auto& c : centers) {
+    for (auto& v : c) v = rng.uniform(-40.0, 40.0);
+  }
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto& c = centers[rng.uniform_int(centers.size())];
+    auto row = m.row(i);
+    for (std::size_t j = 0; j < cols; ++j) row[j] = rng.normal(c[j], 0.8);
+  }
+  return m;
+}
+
+std::vector<core::Range> local_ranges(const Matrix& m) {
+  std::vector<core::Range> ranges(m.cols());
+  std::vector<double> lo(m.cols(), std::numeric_limits<double>::infinity());
+  std::vector<double> hi(m.cols(), -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    auto row = m.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      lo[j] = std::min(lo[j], row[j]);
+      hi[j] = std::max(hi[j], row[j]);
+    }
+  }
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    ranges[j] = core::Range{lo[j], hi[j] > lo[j] ? hi[j] : lo[j] + 1.0};
+  }
+  return ranges;
+}
+
+void bench_data_plane(const bench::Options& opt) {
+  const std::size_t n = opt.points_per_rank;
+  std::printf("== data plane: %zu points x %zu dims -> %d projected, "
+              "d_max=%d ==\n",
+              n, kInputDims, kProjectedDims, kKernelDepth);
+  const auto points = clustered_points(n, kInputDims, opt.seed);
+  const auto projection = core::make_projection_matrix(
+      kInputDims, kProjectedDims, opt.seed + 1);
+
+  bench::Series staged_s, fused_s, speedup;
+  core::FusedWorkspace ws;
+  for (int run = 0; run < opt.runs; ++run) {
+    // Staged reference: four traversals.
+    const double t0 = now_seconds();
+    const auto projected = core::project(points, projection);
+    const auto ranges = local_ranges(projected);
+    const auto keys = core::compute_keys(projected, ranges, kKernelDepth);
+    const auto hists = core::build_histograms(keys, ranges);
+    const double t1 = now_seconds();
+
+    // Fused plane: two traversals over the same input.
+    const auto& fused_projected =
+        core::fused_project_envelope(points, projection, kProjectedDims, ws);
+    std::vector<core::Range> fused_ranges(fused_projected.cols());
+    for (std::size_t j = 0; j < fused_projected.cols(); ++j) {
+      fused_ranges[j] = core::Range{
+          ws.env_lo[j],
+          ws.env_hi[j] > ws.env_lo[j] ? ws.env_hi[j] : ws.env_lo[j] + 1.0};
+    }
+    const auto fused_hists = core::fused_key_bin(fused_projected, fused_ranges,
+                                                 kKernelDepth, ws);
+    const double t2 = now_seconds();
+
+    // Bit-identity audit on every run: keys and deepest counts must match.
+    for (std::size_t i = 0; i < keys.points(); ++i) {
+      for (std::size_t j = 0; j < keys.dims(); ++j) {
+        if (ws.keys.at(i, j) != keys.at(i, j)) {
+          std::fprintf(stderr, "FATAL: key mismatch at point %zu dim %zu\n",
+                       i, j);
+          std::exit(1);
+        }
+      }
+    }
+    for (std::size_t j = 0; j < hists.size(); ++j) {
+      const auto want = hists[j].deepest_counts();
+      const auto got = fused_hists[j].deepest_counts();
+      for (std::size_t b = 0; b < want.size(); ++b) {
+        if (want[b] != got[b]) {
+          std::fprintf(stderr, "FATAL: count mismatch dim %zu bin %zu\n", j,
+                       b);
+          std::exit(1);
+        }
+      }
+    }
+
+    staged_s.add(t1 - t0);
+    fused_s.add(t2 - t1);
+    speedup.add((t1 - t0) / (t2 - t1));
+    std::printf("run %d: staged %.3fs  fused %.3fs  speedup %.2fx\n", run,
+                t1 - t0, t2 - t1, (t1 - t0) / (t2 - t1));
+  }
+  std::printf("staged %s s | fused %s s | speedup %s\n",
+              staged_s.str().c_str(), fused_s.str().c_str(),
+              speedup.str(2).c_str());
+  auto& rep = bench::Reporter::global();
+  rep.add_series("staged_seconds", staged_s);
+  rep.add_series("fused_seconds", fused_s);
+  rep.add_series("fused_speedup", speedup);
+}
+
+void bench_reduce_plane(const bench::Options& opt) {
+  const int ranks = opt.ranks;
+  // Per-rank shard kept modest: the reduction cost depends on the histogram
+  // geometry (dims x 2^d_max), not on the point count.
+  const std::size_t shard_rows = std::min<std::size_t>(opt.points_per_rank,
+                                                       20000);
+  std::printf("== reduce plane: %d ranks, %d dims x 2^%d bins ==\n", ranks,
+              kProjectedDims, kReduceDepth);
+
+  // Build each rank's real deepest-level histograms once (identical work for
+  // both algorithms), then time/weigh only the merge.
+  std::vector<std::vector<double>> flat(static_cast<std::size_t>(ranks));
+  {
+    const auto points =
+        clustered_points(shard_rows * static_cast<std::size_t>(ranks),
+                         kInputDims, opt.seed + 11);
+    const auto projection = core::make_projection_matrix(
+        kInputDims, kProjectedDims, opt.seed + 12);
+    core::FusedWorkspace ws;
+    const auto& projected =
+        core::fused_project_envelope(points, projection, kProjectedDims, ws);
+    std::vector<core::Range> ranges(projected.cols());
+    for (std::size_t j = 0; j < projected.cols(); ++j) {
+      ranges[j] = core::Range{ws.env_lo[j], ws.env_hi[j]};
+    }
+    for (int r = 0; r < ranks; ++r) {
+      const auto shard = projected.slice_rows(
+          static_cast<std::size_t>(r) * shard_rows,
+          static_cast<std::size_t>(r + 1) * shard_rows);
+      core::FusedWorkspace shard_ws;
+      auto hists = core::fused_key_bin(shard, ranges, kReduceDepth, shard_ws);
+      flat[static_cast<std::size_t>(r)] = core::flatten_counts(hists);
+    }
+  }
+
+  bench::Series dense_bytes, sparse_bytes, savings;
+  for (int run = 0; run < opt.runs; ++run) {
+    std::vector<std::vector<double>> dense_out(
+        static_cast<std::size_t>(ranks));
+    const auto dense_traffic =
+        comm::run_ranks(ranks, [&](comm::Communicator& c) {
+          const auto r = static_cast<std::size_t>(c.rank());
+          dense_out[r] = c.allreduce(flat[r], comm::ReduceOp::kSum,
+                                     comm::AllreduceAlgo::kTree);
+        });
+    std::vector<std::vector<double>> sparse_out(
+        static_cast<std::size_t>(ranks));
+    const auto sparse_traffic =
+        comm::run_ranks(ranks, [&](comm::Communicator& c) {
+          const auto r = static_cast<std::size_t>(c.rank());
+          sparse_out[r] = c.allreduce(flat[r], comm::ReduceOp::kSum,
+                                      comm::AllreduceAlgo::kRecursiveHalving);
+        });
+    for (int r = 0; r < ranks; ++r) {
+      if (dense_out[static_cast<std::size_t>(r)] !=
+          sparse_out[static_cast<std::size_t>(r)]) {
+        std::fprintf(stderr, "FATAL: dense/sparse merge mismatch, rank %d\n",
+                     r);
+        std::exit(1);
+      }
+    }
+    const auto d = static_cast<double>(dense_traffic.bytes_sent);
+    const auto s = static_cast<double>(sparse_traffic.bytes_sent);
+    dense_bytes.add(d);
+    sparse_bytes.add(s);
+    savings.add(1.0 - s / d);
+    std::printf("run %d: dense tree %.0fB  sparse rh %.0fB  savings %.1f%%\n",
+                run, d, s, 100.0 * (1.0 - s / d));
+  }
+  std::printf("reduce_bytes dense %s | sparse %s | savings %s\n",
+              dense_bytes.str(0).c_str(), sparse_bytes.str(0).c_str(),
+              savings.str(3).c_str());
+  auto& rep = bench::Reporter::global();
+  rep.add_series("reduce_bytes_dense", dense_bytes);
+  rep.add_series("reduce_bytes_sparse", sparse_bytes);
+  rep.add_series("reduce_bytes_savings", savings);
+}
+
+}  // namespace
+}  // namespace keybin2
+
+int main(int argc, char** argv) {
+  auto opt = keybin2::bench::Options::parse(argc, argv);
+  if (opt.full) opt.points_per_rank = 1000000;  // the acceptance configuration
+  keybin2::bench_data_plane(opt);
+  keybin2::bench_reduce_plane(opt);
+  keybin2::bench::Reporter::global().write(opt);
+  return 0;
+}

@@ -18,14 +18,41 @@ constexpr int kTagGather = Communicator::kUserTagLimit + 4;
 constexpr int kTagRingAccumulate = Communicator::kUserTagLimit + 5;
 constexpr int kTagRingDistribute = Communicator::kUserTagLimit + 6;
 constexpr int kTagSubBarrier = Communicator::kUserTagLimit + 7;
+constexpr int kTagRsHalve = Communicator::kUserTagLimit + 8;
+constexpr int kTagRdDouble = Communicator::kUserTagLimit + 9;
+constexpr int kTagRhFold = Communicator::kUserTagLimit + 10;
 
 constexpr std::size_t kFrameHeaderBytes = sizeof(std::uint32_t);
+
+// Block wire format for the recursive-halving exchanges.
+constexpr std::uint8_t kBlockDense = 0;
+constexpr std::uint8_t kBlockSparse = 1;
 
 template <typename T>
 void apply_op(std::vector<T>& acc, const std::vector<T>& in, ReduceOp op) {
   KB2_CHECK_MSG(acc.size() == in.size(),
                 "reduce length mismatch: " << acc.size() << " vs "
                                            << in.size());
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::min(acc[i], in[i]);
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::max(acc[i], in[i]);
+      break;
+  }
+}
+
+void apply_op_span(std::span<double> acc, std::span<const double> in,
+                   ReduceOp op) {
+  KB2_CHECK_MSG(acc.size() == in.size(),
+                "reduce block length mismatch: " << acc.size() << " vs "
+                                                 << in.size());
   switch (op) {
     case ReduceOp::kSum:
       for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
@@ -63,6 +90,9 @@ std::string tag_name(int tag) {
     case kTagRingAccumulate: return "ring_acc";
     case kTagRingDistribute: return "ring_dist";
     case kTagSubBarrier: return "sub_barrier";
+    case kTagRsHalve: return "rs_halve";
+    case kTagRdDouble: return "rd_double";
+    case kTagRhFold: return "rh_fold";
     default:
       if (tag >= 0 && tag < Communicator::kUserTagLimit) {
         return "user:" + std::to_string(tag);
@@ -105,14 +135,17 @@ std::vector<int> Communicator::agree_survivors() {
 
 void Communicator::send_frame(int dest, int tag,
                               std::span<const std::byte> payload) {
-  std::vector<std::byte> framed(kFrameHeaderBytes + payload.size());
+  // The frame is assembled in a member scratch buffer: send() has copied (or
+  // shipped) the bytes by the time it returns, so the allocation is paid
+  // once per endpoint, not once per message.
+  frame_scratch_.resize(kFrameHeaderBytes + payload.size());
   const std::uint32_t crc = crc32(payload);
-  std::memcpy(framed.data(), &crc, sizeof(crc));
+  std::memcpy(frame_scratch_.data(), &crc, sizeof(crc));
   if (!payload.empty()) {
-    std::memcpy(framed.data() + kFrameHeaderBytes, payload.data(),
+    std::memcpy(frame_scratch_.data() + kFrameHeaderBytes, payload.data(),
                 payload.size());
   }
-  send(dest, tag, framed);
+  send(dest, tag, frame_scratch_);
 }
 
 std::vector<std::byte> Communicator::recv_frame(int src, int tag) {
@@ -191,6 +224,7 @@ std::vector<T> Communicator::reduce_impl(std::span<const T> local, ReduceOp op,
         ByteReader reader(bytes);
         auto in = reader.template read_vec<T>();
         apply_op(acc, in, op);
+        recycle_buffer(std::move(bytes));
       }
     } else {
       const int dst = ((rel & ~mask) + root) % p;
@@ -242,6 +276,189 @@ std::vector<std::uint64_t> Communicator::allreduce(
   return allreduce_impl<std::uint64_t>(local, op);
 }
 
+std::vector<double> Communicator::allreduce(std::span<const double> local,
+                                            ReduceOp op, AllreduceAlgo algo,
+                                            ReduceProfile* profile) {
+  bool halving = false;
+  switch (algo) {
+    case AllreduceAlgo::kTree:
+      break;
+    case AllreduceAlgo::kRecursiveHalving:
+      halving = size() > 1;
+      break;
+    case AllreduceAlgo::kAuto:
+      halving = size() > 1 && local.size() >= kRecursiveHalvingMinElements;
+      break;
+  }
+  if (!halving) {
+    if (profile) profile->algo = AllreduceAlgo::kTree;
+    return allreduce(local, op);
+  }
+  if (profile) profile->algo = AllreduceAlgo::kRecursiveHalving;
+  return recursive_halving_allreduce(local, op, profile);
+}
+
+void Communicator::send_reduce_block(int dest, int tag,
+                                     std::span<const double> block,
+                                     bool sparse_ok, ReduceProfile* profile) {
+  ByteWriter w;
+  std::size_t nnz = 0;
+  if (sparse_ok) {
+    for (const double x : block) nnz += (x != 0.0) ? 1 : 0;
+  }
+  // Sparse iff strictly smaller on the wire: 12 bytes per occupied slot
+  // (u32 index + f64 value) plus the nnz prefix, against 8 bytes per slot
+  // dense. Only valid for sum — an omitted entry decodes as 0.
+  const bool sparse =
+      sparse_ok && nnz * 12 + sizeof(std::uint64_t) < block.size() * 8;
+  if (sparse) {
+    w.write<std::uint8_t>(kBlockSparse);
+    w.write<std::uint64_t>(block.size());
+    w.write<std::uint64_t>(nnz);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (block[i] != 0.0) {
+        w.write<std::uint32_t>(static_cast<std::uint32_t>(i));
+        w.write<double>(block[i]);
+      }
+    }
+    if (profile) ++profile->sparse_blocks;
+  } else {
+    w.write<std::uint8_t>(kBlockDense);
+    w.write_span(block);
+    if (profile) ++profile->dense_blocks;
+  }
+  send_frame(dest, tag, w.bytes());
+}
+
+void Communicator::recv_reduce_block(int src, int tag, std::span<double> into,
+                                     ReduceOp op, bool combine) {
+  auto bytes = recv_frame(src, tag);
+  ByteReader r(bytes);
+  const auto mode = r.read<std::uint8_t>();
+  if (mode == kBlockSparse) {
+    const auto n = r.read<std::uint64_t>();
+    KB2_CHECK_MSG(n == into.size(), "sparse block length "
+                                        << n << " != expected " << into.size());
+    const auto nnz = r.read<std::uint64_t>();
+    if (!combine) std::fill(into.begin(), into.end(), 0.0);
+    for (std::uint64_t k = 0; k < nnz; ++k) {
+      const auto idx = r.read<std::uint32_t>();
+      const auto val = r.read<double>();
+      KB2_CHECK_MSG(idx < into.size(), "sparse index " << idx
+                                                       << " out of block size "
+                                                       << into.size());
+      // combine implies sum (sparse blocks only travel under kSum).
+      if (combine) {
+        into[idx] += val;
+      } else {
+        into[idx] = val;
+      }
+    }
+  } else {
+    KB2_CHECK_MSG(mode == kBlockDense, "unknown reduce block mode "
+                                           << static_cast<int>(mode));
+    const auto in = r.read_vec<double>();
+    if (combine) {
+      apply_op_span(into, in, op);
+    } else {
+      KB2_CHECK_MSG(in.size() == into.size(),
+                    "dense block length " << in.size() << " != expected "
+                                          << into.size());
+      std::copy(in.begin(), in.end(), into.begin());
+    }
+  }
+  recycle_buffer(std::move(bytes));
+}
+
+std::vector<double> Communicator::recursive_halving_allreduce(
+    std::span<const double> local, ReduceOp op, ReduceProfile* profile) {
+  const int p = size();
+  const int me = rank();
+  std::vector<double> acc(local.begin(), local.end());
+  const bool sparse_ok = (op == ReduceOp::kSum);
+
+  // Largest power of two <= p; the `rem` extra ranks fold into the core
+  // first (Rabenseifner's non-power-of-two pre-step) and receive the final
+  // vector afterwards.
+  int p2 = 1;
+  while (p2 * 2 <= p) p2 *= 2;
+  const int rem = p - p2;
+
+  int newrank;  // rank inside the power-of-two core, -1 for folded-out ranks
+  if (me < 2 * rem) {
+    if ((me % 2) == 1) {
+      // Odd rank of a fold pair: contribute everything to the even partner,
+      // then wait for the fully reduced vector at the end.
+      send_reduce_block(me - 1, kTagRhFold, acc, sparse_ok, profile);
+      recv_reduce_block(me - 1, kTagRhFold, acc, op, /*combine=*/false);
+      return acc;
+    }
+    recv_reduce_block(me + 1, kTagRhFold, acc, op, /*combine=*/true);
+    newrank = me / 2;
+  } else {
+    newrank = me - rem;
+  }
+  const auto old_of = [&](int nr) { return nr < rem ? nr * 2 : nr + rem; };
+
+  // Reduce-scatter by recursive halving: at each level partners exchange the
+  // half of their current segment they will not own and reduce the half they
+  // keep. Both partners share [lo, hi) entering a level (they differ only in
+  // the current bit), so the midpoint split is agreed without negotiation.
+  std::size_t lo = 0, hi = acc.size();
+  std::vector<std::pair<std::size_t, std::size_t>> segments;  // unwind stack
+  for (int mask = p2 >> 1; mask >= 1; mask >>= 1) {
+    const int partner = old_of(newrank ^ mask);
+    const std::size_t mid = lo + (hi - lo) / 2;
+    std::size_t keep_lo, keep_hi, send_lo, send_hi;
+    if ((newrank & mask) == 0) {
+      keep_lo = lo; keep_hi = mid; send_lo = mid; send_hi = hi;
+    } else {
+      keep_lo = mid; keep_hi = hi; send_lo = lo; send_hi = mid;
+    }
+    // Send first, then receive: safe because send() is non-blocking on every
+    // backend (mailbox enqueue), so the pairwise exchange cannot deadlock.
+    send_reduce_block(partner, kTagRsHalve,
+                      std::span<const double>(acc.data() + send_lo,
+                                              send_hi - send_lo),
+                      sparse_ok, profile);
+    recv_reduce_block(partner, kTagRsHalve,
+                      std::span<double>(acc.data() + keep_lo,
+                                        keep_hi - keep_lo),
+                      op, /*combine=*/true);
+    segments.emplace_back(lo, hi);
+    lo = keep_lo;
+    hi = keep_hi;
+  }
+
+  // Allgather by recursive doubling, unwinding the segment stack: partners
+  // exchange their owned halves to reassemble each parent segment. The
+  // gathered halves are final values, so they ship dense (re-encoding
+  // sparseness would buy nothing once counts are merged, and min/max results
+  // must not pass through the sparse path anyway).
+  for (int mask = 1; mask < p2; mask <<= 1) {
+    const int partner = old_of(newrank ^ mask);
+    const auto [parent_lo, parent_hi] = segments.back();
+    segments.pop_back();
+    const std::size_t other_lo = (lo == parent_lo) ? hi : parent_lo;
+    const std::size_t other_hi = (lo == parent_lo) ? parent_hi : lo;
+    send_reduce_block(partner, kTagRdDouble,
+                      std::span<const double>(acc.data() + lo, hi - lo),
+                      /*sparse_ok=*/sparse_ok, profile);
+    recv_reduce_block(partner, kTagRdDouble,
+                      std::span<double>(acc.data() + other_lo,
+                                        other_hi - other_lo),
+                      op, /*combine=*/false);
+    lo = parent_lo;
+    hi = parent_hi;
+  }
+
+  // Post-step: folded-out odd ranks get the final vector from their partner.
+  if (me < 2 * rem) {
+    send_reduce_block(me + 1, kTagRhFold, acc, sparse_ok, profile);
+  }
+  return acc;
+}
+
 double Communicator::allreduce(double value, ReduceOp op) {
   return allreduce(std::span<const double>(&value, 1), op)[0];
 }
@@ -270,6 +487,7 @@ std::vector<double> Communicator::ring_allreduce(
     auto partial = r.read_vec<double>();
     apply_op(partial, acc, ReduceOp::kSum);
     acc = std::move(partial);
+    recycle_buffer(std::move(bytes));
     if (me != p - 1) {
       ByteWriter w;
       w.write_vec(acc);
@@ -286,6 +504,7 @@ std::vector<double> Communicator::ring_allreduce(
     auto bytes = recv_frame(prev, kTagRingDistribute);
     ByteReader r(bytes);
     acc = r.read_vec<double>();
+    recycle_buffer(std::move(bytes));
     if (next != p - 1) {
       ByteWriter w;
       w.write_vec(acc);

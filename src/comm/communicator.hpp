@@ -91,6 +91,22 @@ class CorruptFrameError final : public CommError {
 /// Reduction operators supported by reduce/allreduce.
 enum class ReduceOp { kSum, kMin, kMax };
 
+/// Allreduce algorithm selection. kAuto picks by payload size: small vectors
+/// go through the latency-optimal binomial tree (reduce + broadcast,
+/// 2·log p rounds shipping the full vector), large ones through the
+/// bandwidth-optimal Rabenseifner scheme (recursive-halving reduce-scatter +
+/// recursive-doubling allgather, which moves ~2·n/p elements per rank per
+/// round instead of n).
+enum class AllreduceAlgo { kAuto, kTree, kRecursiveHalving };
+
+/// What one adaptive allreduce actually did, for metrics attribution
+/// (byte counts come from TrafficStats deltas around the call).
+struct ReduceProfile {
+  AllreduceAlgo algo = AllreduceAlgo::kTree;  // algorithm that ran
+  std::uint64_t sparse_blocks = 0;  // segments shipped as (index,value) pairs
+  std::uint64_t dense_blocks = 0;   // segments shipped dense
+};
+
 /// Per-rank traffic counters; used by benches and the runtime tracer to
 /// report communication volume (the paper claims the histogram exchange is
 /// "as small as several Kbytes"). Send and receive sides are counted
@@ -207,6 +223,12 @@ class Communicator {
   virtual void set_probe(CommProbe* probe) { probe_ = probe; }
   CommProbe* probe() const { return probe_; }
 
+  /// Hand a received buffer back to the transport for reuse (collectives
+  /// call this after parsing a frame). The default drops it; pooled
+  /// transports (ThreadComm) recycle it into their mailbox free list so
+  /// steady-state collectives stop allocating per message.
+  virtual void recycle_buffer(std::vector<std::byte>&& buf) { buf.clear(); }
+
   // ---- Collectives (implemented once, over send/recv) ----
   //
   // Every collective payload is framed with a CRC32 checksum (see
@@ -228,6 +250,23 @@ class Communicator {
   std::vector<double> allreduce(std::span<const double> local, ReduceOp op);
   std::vector<std::uint64_t> allreduce(std::span<const std::uint64_t> local,
                                        ReduceOp op);
+
+  /// Algorithm-selectable allreduce. kAuto switches to recursive halving at
+  /// kRecursiveHalvingMinElements. Under kSum, recursive-halving segments
+  /// whose density makes (index,value) pairs cheaper than the dense block
+  /// travel sparse (mostly-empty deep histograms); min/max always travel
+  /// dense (an absent sparse entry decodes as 0, which is only an identity
+  /// for sum). Note recursive halving re-associates the sum, so floating
+  /// results can differ from the tree by rounding; integer-valued payloads
+  /// (histogram counts) are exact under any order.
+  std::vector<double> allreduce(std::span<const double> local, ReduceOp op,
+                                AllreduceAlgo algo,
+                                ReduceProfile* profile = nullptr);
+
+  /// Payload size, in doubles, at which kAuto switches the allreduce from
+  /// the binomial tree to recursive halving. Below this the tree's
+  /// log-latency wins; above it bandwidth dominates.
+  static constexpr std::size_t kRecursiveHalvingMinElements = 1024;
 
   /// Scalar conveniences.
   double allreduce(double value, ReduceOp op);
@@ -272,8 +311,26 @@ class Communicator {
   template <typename T>
   std::vector<T> allreduce_impl(std::span<const T> local, ReduceOp op);
 
+  /// Rabenseifner allreduce body (size() > 1): non-power-of-two ranks fold
+  /// into a power-of-two core first, then recursive-halving reduce-scatter
+  /// and recursive-doubling allgather over tracked element segments.
+  std::vector<double> recursive_halving_allreduce(std::span<const double> local,
+                                                  ReduceOp op,
+                                                  ReduceProfile* profile);
+
+  /// Ship acc[lo, hi) to `dest`, sparse-encoded when `sparse_ok` and the
+  /// (index,value) form is smaller.
+  void send_reduce_block(int dest, int tag, std::span<const double> block,
+                         bool sparse_ok, ReduceProfile* profile);
+
+  /// Receive a block for [lo, hi), decode (dense or sparse), and either
+  /// reduce into `into` (combine=true) or overwrite it (combine=false).
+  void recv_reduce_block(int src, int tag, std::span<double> into, ReduceOp op,
+                         bool combine);
+
   double timeout_seconds_ = 0.0;
   CommProbe* probe_ = nullptr;
+  std::vector<std::byte> frame_scratch_;  // reused send_frame assembly buffer
 };
 
 /// Single-rank communicator: all collectives are identity operations and

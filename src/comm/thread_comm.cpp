@@ -147,8 +147,17 @@ ThreadCommHub::SendInfo ThreadCommHub::push(int src, int dest, int tag,
   auto& box = *mailboxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard lk(box.mu);
-    box.queues[{src, tag}].push_back(Mailbox::Message{
-        std::vector<std::byte>(data.begin(), data.end()), info.flow_id});
+    // Reuse a recycled delivery buffer when one is available: the capacity
+    // survives the pool round-trip, so steady-state collectives stop paying
+    // one allocation per message.
+    std::vector<std::byte> buf;
+    if (!box.pool.empty()) {
+      buf = std::move(box.pool.back());
+      box.pool.pop_back();
+    }
+    buf.assign(data.begin(), data.end());
+    box.queues[{src, tag}].push_back(
+        Mailbox::Message{std::move(buf), info.flow_id});
     if (want_depth) {
       // Total messages parked in the destination mailbox across all (src,
       // tag) channels — the backlog a slow consumer is accumulating.
@@ -163,6 +172,15 @@ ThreadCommHub::SendInfo ThreadCommHub::push(int src, int dest, int tag,
     t.bytes_sent += data.size();
   }
   return info;
+}
+
+void ThreadCommHub::recycle(int rank, std::vector<std::byte>&& buf) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard lk(box.mu);
+  if (box.pool.size() < kMailboxPoolCap) {
+    buf.clear();
+    box.pool.push_back(std::move(buf));
+  }
 }
 
 std::vector<std::byte> ThreadCommHub::pop(int self, int src, int tag,
@@ -391,6 +409,10 @@ void ThreadComm::barrier() {
 }
 
 TrafficStats ThreadComm::stats() const { return hub_->stats(rank_); }
+
+void ThreadComm::recycle_buffer(std::vector<std::byte>&& buf) {
+  hub_->recycle(rank_, std::move(buf));
+}
 
 std::vector<int> ThreadComm::failed_ranks() const {
   return hub_->failed_ranks();

@@ -50,6 +50,10 @@ class ThreadComm final : public Communicator {
   void barrier() override;
   TrafficStats stats() const override;
 
+  /// Returns the buffer to this rank's mailbox free list: the next message
+  /// pushed at us reuses it instead of allocating.
+  void recycle_buffer(std::vector<std::byte>&& buf) override;
+
   std::vector<int> failed_ranks() const override;
   std::vector<int> agree_survivors() override;
 
@@ -105,7 +109,12 @@ class ThreadCommHub {
     std::mutex mu;
     std::condition_variable cv;
     std::map<std::pair<int, int>, std::deque<Message>> queues;
+    /// Recycled delivery buffers (capacity retained): push() takes from
+    /// here, the owning rank's recycle_buffer() refills it. Bounded so a
+    /// burst cannot pin memory forever.
+    std::vector<std::vector<std::byte>> pool;
   };
+  static constexpr std::size_t kMailboxPoolCap = 32;
 
   /// What push() reports back for the sender's probe: the assigned flow id,
   /// and (only when requested) the destination mailbox depth after enqueue.
@@ -120,6 +129,7 @@ class ThreadCommHub {
 
   SendInfo push(int src, int dest, int tag, std::span<const std::byte> data,
                 bool want_depth);
+  void recycle(int rank, std::vector<std::byte>&& buf);
   std::vector<std::byte> pop(int self, int src, int tag,
                              double timeout_seconds,
                              std::uint64_t* flow_id_out);

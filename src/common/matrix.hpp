@@ -60,6 +60,15 @@ class Matrix {
   /// to an empty matrix.
   void append_row(std::span<const double> v);
 
+  /// Re-dimension in place, reusing the existing allocation when it is large
+  /// enough. Contents are unspecified afterwards; callers overwrite every
+  /// element. This is the scratch-reuse hook for per-trial workspaces.
+  void reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Copy of rows [begin, end).
   Matrix slice_rows(std::size_t begin, std::size_t end) const;
 

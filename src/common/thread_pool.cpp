@@ -1,10 +1,17 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 
 namespace keybin2 {
+
+namespace {
+
+/// Set while a thread is executing inside a pool job, so nested
+/// parallel_for calls degrade to inline execution instead of deadlocking on
+/// the single active-job slot.
+thread_local bool inside_pool_job = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -25,63 +32,96 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::drain(Job& job) {
+  inside_pool_job = true;
   for (;;) {
-    std::function<void()> task;
+    const std::size_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunks) break;
+    const std::size_t begin =
+        c * job.base + std::min(c, job.extra);
+    const std::size_t end = begin + job.base + (c < job.extra ? 1 : 0);
+    try {
+      (*job.fn)(begin, end);
+    } catch (...) {
+      std::lock_guard lk(job.err_mu);
+      if (!job.first_error) job.first_error = std::current_exception();
+    }
+    job.done_chunks.fetch_add(1, std::memory_order_release);
+  }
+  inside_pool_job = false;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job = nullptr;
     {
       std::unique_lock lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      cv_.wait(lk, [&] {
+        return stop_ || (job_ != nullptr && job_generation_ != seen_generation);
+      });
+      if (stop_) return;
+      job = job_;
+      seen_generation = job_generation_;
     }
-    task();
+    drain(*job);
+    // The caller owns job completion (it counts done_chunks); workers just
+    // go back to sleep until the next generation.
+    {
+      std::lock_guard lk(mu_);
+      if (job_ == job && job->done_chunks.load(std::memory_order_acquire) ==
+                             job->chunks) {
+        done_cv_.notify_all();
+      }
+    }
   }
 }
 
 void ThreadPool::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(n, workers_.size());
-  if (chunks <= 1) {
+  if (grain == 0) grain = 1;
+  // At most one chunk per worker (never more chunks than grains fit in n).
+  const std::size_t by_grain = (n + grain - 1) / grain;
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min({n, workers_.size(), by_grain}));
+  if (chunks <= 1 || inside_pool_job) {
     fn(0, n);
     return;
   }
-  std::atomic<std::size_t> done{0};
-  std::exception_ptr first_error;
-  std::mutex err_mu;
-  std::condition_variable done_cv;
-  std::mutex done_mu;
 
-  const std::size_t base = n / chunks, extra = n % chunks;
-  std::size_t begin = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t len = base + (c < extra ? 1 : 0);
-    const std::size_t end = begin + len;
-    auto task = [&, begin, end] {
-      try {
-        fn(begin, end);
-      } catch (...) {
-        std::lock_guard lk(err_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-      if (done.fetch_add(1) + 1 == chunks) {
-        std::lock_guard lk(done_mu);
-        done_cv.notify_one();
-      }
-    };
-    {
-      std::lock_guard lk(mu_);
-      tasks_.push(std::move(task));
-    }
-    cv_.notify_one();
-    begin = end;
-  }
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  job.chunks = chunks;
+  job.base = n / chunks;
+  job.extra = n % chunks;
+
   {
-    std::unique_lock lk(done_mu);
-    done_cv.wait(lk, [&] { return done.load() == chunks; });
+    std::lock_guard lk(mu_);
+    if (job_ != nullptr) {
+      // Another thread's fork-join is in flight (ranks sharing the global
+      // pool): run inline rather than queueing behind it.
+      fn(0, n);
+      return;
+    }
+    job_ = &job;
+    ++job_generation_;
   }
-  if (first_error) std::rethrow_exception(first_error);
+  cv_.notify_all();
+
+  // The caller helps: claim chunks alongside the workers, then wait for the
+  // stragglers.
+  drain(job);
+  {
+    std::unique_lock lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return job.done_chunks.load(std::memory_order_acquire) == job.chunks;
+    });
+    job_ = nullptr;
+  }
+  if (job.first_error) std::rethrow_exception(job.first_error);
 }
 
 ThreadPool& global_pool() {

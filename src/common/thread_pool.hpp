@@ -3,13 +3,22 @@
 // The paper offloads key assignment and histogram construction to a GPU; here
 // the same per-point / per-dimension decomposition runs on a thread pool
 // (CP.4: think in tasks; CP.24: the pool joins in its destructor).
+//
+// parallel_for runs on a no-allocation fork-join path: the caller publishes
+// one borrowed job descriptor, workers (and the caller itself) claim chunk
+// indices from an atomic cursor, and completion is a single counter — no
+// per-chunk std::function allocations, no task queue churn. Grain-size
+// control caps how finely a range is split so small-n stages stop paying
+// dispatch overhead for chunks not worth a wake-up.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -26,19 +35,48 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Run fn(begin, end) over [0, n) split into contiguous chunks, one chunk
-  /// per worker, and wait for completion. Exceptions from tasks are rethrown
+  /// Run fn(begin, end) over [0, n) split into contiguous chunks (at most one
+  /// per worker) and wait for completion. Exceptions from tasks are rethrown
   /// on the calling thread (first one wins).
   void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn) {
+    parallel_for(n, /*grain=*/1, fn);
+  }
+
+  /// Grained variant: no chunk is smaller than `grain` items (except the
+  /// whole range), so a range of n items forks at most
+  /// min(workers, ceil(n / grain)) chunks. Ranges that fit in one grain run
+  /// inline with zero synchronization. A nested call (from inside a worker,
+  /// or while another fork-join is in flight) also runs inline, serially —
+  /// the pool is a flat fork-join, not a scheduler.
+  void parallel_for(std::size_t n, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
+  /// One fork-join job: chunk geometry plus claim/completion cursors. The
+  /// callable is borrowed from the caller's frame, which outlives the job.
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t chunks = 0;
+    std::size_t base = 0;   // chunk c covers base items (+1 for c < extra)
+    std::size_t extra = 0;
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> done_chunks{0};
+    std::exception_ptr first_error;
+    std::mutex err_mu;
+  };
+
   void worker_loop();
+  /// Claim and run chunks of `job` until the cursor is exhausted.
+  static void drain(Job& job);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;       // workers: new job or stop
+  std::condition_variable done_cv_;  // caller: all chunks done
+  Job* job_ = nullptr;               // guarded by mu_
+  std::uint64_t job_generation_ = 0; // guarded by mu_
   bool stop_ = false;
 };
 

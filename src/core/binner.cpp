@@ -34,7 +34,10 @@ std::vector<stats::HierarchicalHistogram> build_histograms(
 
 std::vector<double> flatten_counts(
     const std::vector<stats::HierarchicalHistogram>& hists) {
+  std::size_t total = 0;
+  for (const auto& h : hists) total += h.deepest_counts().size();
   std::vector<double> flat;
+  flat.reserve(total);
   for (const auto& h : hists) {
     auto c = h.deepest_counts();
     flat.insert(flat.end(), c.begin(), c.end());
@@ -48,9 +51,7 @@ void unflatten_counts(std::span<const double> flat,
   for (auto& h : hists) {
     const std::size_t n = h.deepest_counts().size();
     KB2_CHECK_MSG(offset + n <= flat.size(), "unflatten_counts underflow");
-    h.set_deepest_counts(
-        std::vector<double>(flat.begin() + static_cast<std::ptrdiff_t>(offset),
-                            flat.begin() + static_cast<std::ptrdiff_t>(offset + n)));
+    h.set_deepest_counts(flat.subspan(offset, n));
     offset += n;
   }
   KB2_CHECK_MSG(offset == flat.size(), "unflatten_counts length mismatch");

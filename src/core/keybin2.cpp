@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/fused.hpp"
 #include "core/pipeline.hpp"
 #include "core/projection.hpp"
 
@@ -59,31 +61,80 @@ FitResult fit_once(runtime::Context& ctx, const Matrix& local_points,
   trial_seeds.reserve(static_cast<std::size_t>(trials));
   for (int t = 0; t < trials; ++t) trial_seeds.push_back(seed_stream.fork_seed());
 
+  // The trials' projection matrices are independent (each seeded by its own
+  // fork), so generate them in parallel up front; the per-trial loop then
+  // only pays the matmul. Empty matrices select the identity passthrough.
+  std::vector<Matrix> projections(static_cast<std::size_t>(trials));
+  if (params.use_projection) {
+    global_pool().parallel_for(
+        static_cast<std::size_t>(trials), [&](std::size_t b, std::size_t e) {
+          for (std::size_t t = b; t < e; ++t) {
+            projections[t] =
+                make_projection_matrix(global_dims, n_rp, trial_seeds[t]);
+          }
+        });
+  }
+
   BestCandidate best;
   std::vector<TrialDiagnostics> diagnostics;
+  // Cross-trial scratch for the fused data plane (projected matrix, key
+  // table, envelopes, count shards): allocated by the first trial, reused
+  // verbatim by the rest.
+  FusedWorkspace ws;
 
   for (int t = 0; t < trials; ++t) {
     auto trial_scope =
         ctx.tracer().scope("trial" + std::to_string(t));
+    auto& trial_projection = projections[static_cast<std::size_t>(t)];
 
-    // (1) Project into a lower space.
-    auto trial =
-        stage_project(ctx, local_points, global_dims, n_rp,
-                      params.use_projection,
-                      trial_seeds[static_cast<std::size_t>(t)]);
+    // Stages 1-2b produce the same artifacts on either path (identical
+    // trace scopes, bit-identical keys/histograms — tests/test_fused.cpp):
+    // the fused plane runs two traversals (project+envelope, key+bin), the
+    // staged reference runs the four classic ones.
+    std::vector<Range> ranges;
+    std::vector<stats::HierarchicalHistogram> hists;
+    const KeyTable* keys = nullptr;
+    ProjectedTrial staged;  // keeps the staged path's keys alive
+    BinnedTrial staged_binned;
+    if (params.use_fused_kernels) {
+      // (1) Project into a lower space, folding the range envelope into the
+      // same traversal.
+      const Matrix* projected;
+      {
+        auto scope = ctx.tracer().scope("project");
+        projected = &fused_project_envelope(local_points, trial_projection,
+                                            static_cast<std::size_t>(n_rp), ws);
+      }
+      // (2a) Agree on per-dimension key ranges [r_min, r_max].
+      ranges = stage_agree_ranges(ctx, ws.env_lo, ws.env_hi);
+      // (2b) Assign keys and build all local histograms in one pass.
+      {
+        auto scope = ctx.tracer().scope("bin");
+        hists = fused_key_bin(*projected, ranges, params.max_depth, ws);
+        ctx.metrics().add("points_binned", projected->rows());
+      }
+      keys = &ws.keys;
+    } else {
+      // (1) Project into a lower space.
+      staged = stage_project(ctx, local_points, trial_projection);
+      // (2a) Agree on per-dimension key ranges [r_min, r_max].
+      ranges = stage_agree_ranges(ctx, staged.projected,
+                                  static_cast<std::size_t>(n_rp));
+      // (2b) Assign keys; build local histograms.
+      staged_binned =
+          stage_bin(ctx, staged.projected, ranges, params.max_depth);
+      hists = std::move(staged_binned.hists);
+      keys = &staged_binned.keys;
+    }
 
-    // (2a) Agree on per-dimension key ranges [r_min, r_max].
-    const auto ranges = stage_agree_ranges(ctx, trial.projected,
-                                           static_cast<std::size_t>(n_rp));
-
-    // (2b) Assign keys; build local histograms.
-    auto binned = stage_bin(ctx, trial.projected, ranges, params.max_depth);
-
-    // (3) Communicate binning histograms.
-    stage_merge_histograms(ctx, binned.hists, params.topology);
+    // (3) Communicate binning histograms. Batch-fit counts are integral
+    // (weight-1.0 binning), so the merge may take the bandwidth-optimal
+    // adaptive path without perturbing a single bit.
+    stage_merge_histograms(ctx, hists, params.topology,
+                           /*integral_counts=*/true);
 
     // KS-based dimension collapsing.
-    const auto kept_dims = collapse_dimensions(ctx, binned.hists, params);
+    const auto kept_dims = collapse_dimensions(ctx, hists, params);
     // Every dimension collapsed: this projection sees no multimodal
     // structure anywhere, i.e. a single cluster. Register a score-0
     // single-cluster candidate (adopted only if no trial ever finds
@@ -94,7 +145,7 @@ FitResult fit_once(runtime::Context& ctx, const Matrix& local_points,
         if (best.trial < 0) {
           best.score = 0.0;
           best.trial = t;
-          best.projection = trial.projection;
+          best.projection = trial_projection;
           best.ranges = ranges;
         }
       }
@@ -106,11 +157,9 @@ FitResult fit_once(runtime::Context& ctx, const Matrix& local_points,
     // [min_depth, max_depth]; the per-dimension extension lets every kept
     // dimension pick its own depth first, then evaluates that single
     // combined candidate.
-    for (const auto& depths : depth_candidates(binned.hists, kept_dims,
-                                               params)) {
-      auto candidate =
-          stage_partition(ctx, binned.hists, kept_dims, depths, params);
-      auto assessed = stage_assess(ctx, binned.keys, kept_dims, candidate);
+    for (const auto& depths : depth_candidates(hists, kept_dims, params)) {
+      auto candidate = stage_partition(ctx, hists, kept_dims, depths, params);
+      auto assessed = stage_assess(ctx, *keys, kept_dims, candidate);
 
       if (assessed.scored) {
         diagnostics.push_back(TrialDiagnostics{
@@ -124,7 +173,7 @@ FitResult fit_once(runtime::Context& ctx, const Matrix& local_points,
           best.score = assessed.score;
           best.trial = t;
           best.depths = candidate.depths;
-          best.projection = trial.projection;
+          best.projection = trial_projection;
           best.kept_dims = kept_dims;
           best.ranges = ranges;
           best.partitions = std::move(candidate.partitions);

@@ -1,7 +1,7 @@
 #include "core/keys.hpp"
 
 #include <algorithm>
-#include <sstream>
+#include <charconv>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
@@ -39,12 +39,18 @@ KeyTable compute_keys(const Matrix& points, const std::vector<Range>& ranges,
 }
 
 std::string format_key(const KeyTable& keys, std::size_t point, int depth) {
-  std::ostringstream os;
+  // Called from per-point trace loops: one preallocated string, to_chars per
+  // component, no stream machinery.
+  std::string out;
+  out.reserve(keys.dims() * 11);
+  char buf[10];  // uint32 max is 10 digits
   for (std::size_t j = 0; j < keys.dims(); ++j) {
-    if (j) os << '.';
-    os << keys.at_depth(point, j, depth);
+    if (j) out.push_back('.');
+    const auto res =
+        std::to_chars(buf, buf + sizeof(buf), keys.at_depth(point, j, depth));
+    out.append(buf, res.ptr);
   }
-  return os.str();
+  return out;
 }
 
 }  // namespace keybin2::core

@@ -59,6 +59,15 @@ class KeyTable {
     return key_at_depth(at(point, dim), d_max_, depth);
   }
 
+  /// Re-dimension in place, reusing the existing allocation when it is large
+  /// enough. Contents are unspecified afterwards; callers overwrite every
+  /// entry. This is the scratch-reuse hook for per-trial workspaces.
+  void reshape(std::size_t points, std::size_t dims, int d_max) {
+    dims_ = dims;
+    d_max_ = d_max;
+    keys_.resize(points * dims);
+  }
+
  private:
   std::size_t dims_ = 0;
   int d_max_ = 0;

@@ -80,6 +80,15 @@ struct Params {
   /// Histogram-exchange topology (§3 step 3).
   Topology topology = Topology::kTree;
 
+  /// Run the fit's project→key→bin hot path through the fused single-pass
+  /// kernels (core/fused.hpp): bit-identical to the staged reference path —
+  /// keys, histograms, and the final model match exactly — but with the
+  /// per-key range checks and depth shifts hoisted out of the inner loop and
+  /// one traversal instead of four. `false` selects the staged stage_project
+  /// / stage_bin reference path (used by the equivalence property tests and
+  /// as an escape hatch).
+  bool use_fused_kernels = true;
+
   /// Fault tolerance: deadline, in seconds, for any recv/barrier inside the
   /// distributed stages to make progress before throwing a TimeoutError
   /// (0 = wait forever, the classic MPI behaviour). A lost or dropped

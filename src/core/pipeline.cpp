@@ -34,13 +34,22 @@ double single_dimension_score(const stats::Histogram& level,
 ProjectedTrial stage_project(runtime::Context& ctx, const Matrix& local_points,
                              std::size_t input_dims, int n_rp,
                              bool use_projection, std::uint64_t trial_seed) {
+  return stage_project(ctx, local_points,
+                       use_projection
+                           ? make_projection_matrix(input_dims, n_rp,
+                                                    trial_seed)
+                           : Matrix());
+}
+
+ProjectedTrial stage_project(runtime::Context& ctx, const Matrix& local_points,
+                             Matrix projection) {
   auto scope = ctx.tracer().scope("project");
   ProjectedTrial out;
-  if (use_projection) {
-    out.projection = make_projection_matrix(input_dims, n_rp, trial_seed);
-    out.projected = project(local_points, out.projection);
-  } else {
+  if (projection.empty()) {
     out.projected = local_points;
+  } else {
+    out.projected = project(local_points, projection);
+    out.projection = std::move(projection);
   }
   return out;
 }
@@ -95,16 +104,35 @@ BinnedTrial stage_bin(runtime::Context& ctx, const Matrix& projected,
 
 void stage_merge_histograms(runtime::Context& ctx,
                             std::vector<stats::HierarchicalHistogram>& hists,
-                            Topology topology) {
+                            Topology topology, bool integral_counts) {
   auto scope = ctx.tracer().scope("merge_histograms");
   // The only point-derived data that ever crosses ranks,
-  // O(dims * 2^max_depth) doubles — through the tree allreduce or around a
-  // ring (§3 step 3).
-  auto merged = topology == Topology::kRing
-                    ? ctx.comm().ring_allreduce(flatten_counts(hists))
-                    : ctx.comm().allreduce(flatten_counts(hists),
-                                           comm::ReduceOp::kSum);
+  // O(dims * 2^max_depth) doubles — through the tree allreduce (adaptive:
+  // recursive halving with sparse segments once integral counts make
+  // reordering exact and the payload is worth it) or around a ring (§3
+  // step 3).
+  const auto before = ctx.comm().stats();
+  comm::ReduceProfile profile;
+  std::vector<double> merged;
+  if (topology == Topology::kRing) {
+    merged = ctx.comm().ring_allreduce(flatten_counts(hists));
+  } else if (integral_counts) {
+    merged = ctx.comm().allreduce(flatten_counts(hists), comm::ReduceOp::kSum,
+                                  comm::AllreduceAlgo::kAuto, &profile);
+  } else {
+    merged = ctx.comm().allreduce(flatten_counts(hists), comm::ReduceOp::kSum);
+  }
   unflatten_counts(merged, hists);
+  const auto delta = ctx.comm().stats() - before;
+  ctx.metrics().add("reduce_bytes", delta.bytes_sent);
+  if (topology != Topology::kRing) {
+    ctx.metrics().add(profile.algo == comm::AllreduceAlgo::kRecursiveHalving
+                          ? "reduce_algo_rh"
+                          : "reduce_algo_tree");
+    if (profile.sparse_blocks > 0) {
+      ctx.metrics().add("sparse_hits", profile.sparse_blocks);
+    }
+  }
   ctx.metrics().add("histogram_merges");
 }
 

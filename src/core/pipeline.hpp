@@ -48,6 +48,13 @@ ProjectedTrial stage_project(runtime::Context& ctx, const Matrix& local_points,
                              std::size_t input_dims, int n_rp,
                              bool use_projection, std::uint64_t trial_seed);
 
+/// Stage 1 variant [local]: project through a prebuilt matrix (empty =>
+/// identity passthrough). fit_once precomputes every trial's projection in
+/// parallel up front; both the staged and the fused path then consume them
+/// here without touching the Rng again.
+ProjectedTrial stage_project(runtime::Context& ctx, const Matrix& local_points,
+                             Matrix projection);
+
 /// Stage 2 [collective]: agree on per-dimension key ranges [r_min, r_max]
 /// from the local extremes of `projected` via min/max allreduces. Dimensions
 /// for which no rank observed any value (every shard empty) come back as the
@@ -80,9 +87,19 @@ BinnedTrial stage_bin(runtime::Context& ctx, const Matrix& projected,
 /// (elementwise sum of deepest-level counts), through the binomial tree or
 /// around the ring (§3 step 3). On return every rank holds the global
 /// histograms.
+///
+/// `integral_counts` declares that every count is an integer-valued double
+/// (weight-1.0 binning, as in batch fit). Integer sums below 2^53 are exact
+/// under any association, which frees the tree topology to pick the
+/// bandwidth-optimal recursive-halving allreduce with sparse segment
+/// encoding for large payloads (comm::AllreduceAlgo::kAuto). Leave it false
+/// for fractional counts (the streaming engine's rebinned reservoirs), where
+/// re-associating the sum would perturb results by rounding; those always
+/// take the fixed binomial tree. Records reduce_bytes / reduce_algo_* /
+/// sparse_hits metrics either way.
 void stage_merge_histograms(runtime::Context& ctx,
                             std::vector<stats::HierarchicalHistogram>& hists,
-                            Topology topology);
+                            Topology topology, bool integral_counts = false);
 
 /// KS-based dimension collapsing on a mid-level histogram (§3.1): returns
 /// the indices of dimensions showing multimodal structure. [local; input

@@ -98,6 +98,13 @@ void HierarchicalHistogram::set_deepest_counts(std::vector<double> counts) {
   deepest_ = std::move(counts);
 }
 
+void HierarchicalHistogram::set_deepest_counts(std::span<const double> counts) {
+  KB2_CHECK_MSG(counts.size() == deepest_.size(),
+                "deepest counts size " << counts.size() << " != "
+                                       << deepest_.size());
+  deepest_.assign(counts.begin(), counts.end());
+}
+
 double HierarchicalHistogram::total() const {
   return std::accumulate(deepest_.begin(), deepest_.end(), 0.0);
 }

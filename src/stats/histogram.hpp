@@ -89,6 +89,8 @@ class HierarchicalHistogram {
   /// Deepest-level counts (depth == max_depth), for communication.
   std::span<const double> deepest_counts() const { return deepest_; }
   void set_deepest_counts(std::vector<double> counts);
+  /// Copy-assign counts from a borrowed span without reallocating.
+  void set_deepest_counts(std::span<const double> counts);
 
   double total() const;
 

@@ -332,6 +332,154 @@ TEST(Ring, ConsecutiveRingOpsDoNotInterfere) {
   });
 }
 
+// ---- Adaptive allreduce: recursive halving + sparse segments ----
+
+class AlgoSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgoSweep, RecursiveHalvingMatchesTreeForAllOps) {
+  const int p = GetParam();
+  run_ranks(p, [&](Communicator& c) {
+    // Deliberately irregular per-rank values, length above AND below any
+    // internal thresholds.
+    for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{130}}) {
+      std::vector<double> local(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        local[i] = static_cast<double>((c.rank() + 1) * 3 + i) * 0.25 -
+                   static_cast<double>(i % 5);
+      }
+      for (auto op : {ReduceOp::kSum, ReduceOp::kMin, ReduceOp::kMax}) {
+        const auto tree =
+            c.allreduce(local, op, AllreduceAlgo::kTree);
+        const auto rh =
+            c.allreduce(local, op, AllreduceAlgo::kRecursiveHalving);
+        ASSERT_EQ(tree.size(), rh.size());
+        for (std::size_t i = 0; i < n; ++i) {
+          // min/max are association-free; integer-scaled sums here are exact
+          // under any order, so exact equality is the right bar.
+          EXPECT_DOUBLE_EQ(tree[i], rh[i])
+              << "op " << static_cast<int>(op) << " n " << n << " i " << i;
+        }
+      }
+    }
+  });
+}
+
+TEST_P(AlgoSweep, RecursiveHalvingIntegralSumsMatchTreeAndRingExactly) {
+  const int p = GetParam();
+  run_ranks(p, [&](Communicator& c) {
+    // Histogram-like payload: integer-valued doubles, mostly zero.
+    std::vector<double> local(256, 0.0);
+    for (int k = 0; k < 8; ++k) {
+      local[static_cast<std::size_t>((c.rank() * 37 + k * 11) % 256)] +=
+          static_cast<double>(k + 1);
+    }
+    const auto tree = c.allreduce(local, ReduceOp::kSum, AllreduceAlgo::kTree);
+    const auto rh =
+        c.allreduce(local, ReduceOp::kSum, AllreduceAlgo::kRecursiveHalving);
+    const auto ring = c.ring_allreduce(local);
+    ASSERT_EQ(tree.size(), rh.size());
+    ASSERT_EQ(tree.size(), ring.size());
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      EXPECT_EQ(tree[i], rh[i]) << i;   // bitwise: integral sums are exact
+      EXPECT_EQ(tree[i], ring[i]) << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AlgoSizes, AlgoSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(AdaptiveAllreduce, AutoPicksTreeForSmallAndHalvingForLargePayloads) {
+  run_ranks(4, [&](Communicator& c) {
+    std::vector<double> small(Communicator::kRecursiveHalvingMinElements - 1,
+                              1.0);
+    ReduceProfile profile;
+    c.allreduce(small, ReduceOp::kSum, AllreduceAlgo::kAuto, &profile);
+    EXPECT_EQ(profile.algo, AllreduceAlgo::kTree);
+
+    std::vector<double> large(Communicator::kRecursiveHalvingMinElements, 1.0);
+    c.allreduce(large, ReduceOp::kSum, AllreduceAlgo::kAuto, &profile);
+    EXPECT_EQ(profile.algo, AllreduceAlgo::kRecursiveHalving);
+  });
+}
+
+TEST(AdaptiveAllreduce, SingleRankShortCircuitsToTree) {
+  run_ranks(1, [&](Communicator& c) {
+    std::vector<double> v(2048, 2.0);
+    ReduceProfile profile;
+    const auto out =
+        c.allreduce(v, ReduceOp::kSum, AllreduceAlgo::kAuto, &profile);
+    EXPECT_EQ(profile.algo, AllreduceAlgo::kTree);
+    EXPECT_EQ(out, v);
+  });
+}
+
+TEST(AdaptiveAllreduce, SparseSegmentsEngageOnSparsePayloads) {
+  run_ranks(4, [&](Communicator& c) {
+    // 1% density: every sparse-eligible block should take the sparse coding.
+    std::vector<double> local(4096, 0.0);
+    local[static_cast<std::size_t>(c.rank()) * 512] = 1.0;
+    ReduceProfile profile;
+    const auto out = c.allreduce(local, ReduceOp::kSum,
+                                 AllreduceAlgo::kRecursiveHalving, &profile);
+    EXPECT_GT(profile.sparse_blocks, 0u);
+    double total = 0.0;
+    for (double v : out) total += v;
+    EXPECT_DOUBLE_EQ(total, 4.0);
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+    EXPECT_DOUBLE_EQ(out[512], 1.0);
+  });
+}
+
+TEST(AdaptiveAllreduce, DensePayloadsStayDense) {
+  run_ranks(4, [&](Communicator& c) {
+    std::vector<double> local(2048);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      local[i] = static_cast<double>(i + c.rank() + 1);
+    }
+    ReduceProfile profile;
+    c.allreduce(local, ReduceOp::kSum, AllreduceAlgo::kRecursiveHalving,
+                &profile);
+    EXPECT_EQ(profile.sparse_blocks, 0u);
+    EXPECT_GT(profile.dense_blocks, 0u);
+  });
+}
+
+TEST(AdaptiveAllreduce, SparseHalvingSendsFewerBytesThanTree) {
+  constexpr std::size_t kN = 1 << 15;
+  auto sparse_payload = [](int rank) {
+    std::vector<double> v(kN, 0.0);
+    for (int k = 0; k < 16; ++k) {
+      v[static_cast<std::size_t>((rank * 131 + k * 977) % kN)] = 1.0;
+    }
+    return v;
+  };
+  const auto tree_traffic = run_ranks(8, [&](Communicator& c) {
+    auto local = sparse_payload(c.rank());
+    c.allreduce(local, ReduceOp::kSum, AllreduceAlgo::kTree);
+  });
+  const auto rh_traffic = run_ranks(8, [&](Communicator& c) {
+    auto local = sparse_payload(c.rank());
+    c.allreduce(local, ReduceOp::kSum, AllreduceAlgo::kRecursiveHalving);
+  });
+  // Acceptance bar: sparse recursive halving cuts reduce bytes by >= 40%.
+  EXPECT_LT(static_cast<double>(rh_traffic.bytes_sent),
+            0.6 * static_cast<double>(tree_traffic.bytes_sent))
+      << "tree " << tree_traffic.bytes_sent << "B vs rh "
+      << rh_traffic.bytes_sent << "B";
+}
+
+TEST(AdaptiveAllreduce, ConsecutiveAdaptiveOpsDoNotInterfere) {
+  run_ranks(5, [&](Communicator& c) {
+    for (int round = 1; round <= 3; ++round) {
+      std::vector<double> local(1536, static_cast<double>(round));
+      const auto out = c.allreduce(local, ReduceOp::kSum,
+                                   AllreduceAlgo::kRecursiveHalving);
+      for (double v : out) ASSERT_DOUBLE_EQ(v, 5.0 * round);
+    }
+  });
+}
+
 TEST(RunRanks, CollectGathersPerRankResults) {
   auto results = run_ranks_collect<int>(
       4, [](Communicator& c) { return c.rank() * 10; });

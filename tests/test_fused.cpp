@@ -1,0 +1,309 @@
+// Property tests for the fused project→key→bin data plane (core/fused.hpp):
+// the fused kernels must be BIT-IDENTICAL to the staged reference path at
+// every level — individual keys, envelopes, histogram counts, and the final
+// fitted model — across seeds, rank counts, and depths. Any FP reassociation
+// in the fused inner loops shows up here as an exact-equality failure.
+#include "core/fused.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "comm/launch.hpp"
+#include "common/rng.hpp"
+#include "core/binner.hpp"
+#include "core/keybin2.hpp"
+#include "core/keys.hpp"
+#include "core/projection.hpp"
+#include "data/gaussian_mixture.hpp"
+#include "data/partition.hpp"
+
+namespace keybin2::core {
+namespace {
+
+std::uint64_t label_hash(const std::vector<int>& labels) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (int l : labels) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(l));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// ---- Kernel level: fused_key vs key_of ----
+
+TEST(FusedKey, MatchesKeyOfOnRandomValuesAndEdges) {
+  Rng rng(97);
+  for (int d_max : {1, 3, 7, 12, 24}) {
+    const Range range{-2.5, 7.25};
+    const auto scale = make_bin_scale(range, d_max);
+    // Random interior + outside values.
+    for (int i = 0; i < 20000; ++i) {
+      const double x = rng.uniform(range.lo - 2.0, range.hi + 2.0);
+      ASSERT_EQ(fused_key(x, scale), key_of(x, range, d_max))
+          << "x=" << x << " d_max=" << d_max;
+    }
+    // Exact edges and near-edges, including the bin boundaries themselves.
+    const std::size_t bins = std::size_t{1} << static_cast<unsigned>(d_max);
+    std::vector<double> probes{range.lo,
+                               range.hi,
+                               std::nextafter(range.lo, -1e300),
+                               std::nextafter(range.lo, 1e300),
+                               std::nextafter(range.hi, -1e300),
+                               std::nextafter(range.hi, 1e300),
+                               -0.0,
+                               0.0,
+                               -1e300,
+                               1e300};
+    for (std::size_t b = 0; b <= bins && b < 4096; ++b) {
+      const double edge =
+          range.lo + (range.hi - range.lo) * static_cast<double>(b) /
+                         static_cast<double>(bins);
+      probes.push_back(edge);
+      probes.push_back(std::nextafter(edge, -1e300));
+      probes.push_back(std::nextafter(edge, 1e300));
+    }
+    for (double x : probes) {
+      ASSERT_EQ(fused_key(x, scale), key_of(x, range, d_max))
+          << "x=" << x << " d_max=" << d_max;
+    }
+  }
+}
+
+TEST(FusedKey, SignedZeroRangeEdge) {
+  // A range whose lower edge is -0.0: x = +0.0 compares == lo, so both paths
+  // must take the "clamp to bin 0" branch.
+  const Range range{-0.0, 1.0};
+  const auto scale = make_bin_scale(range, 4);
+  for (double x : {-0.0, 0.0, 1e-300}) {
+    EXPECT_EQ(fused_key(x, scale), key_of(x, range, 4)) << x;
+  }
+}
+
+// ---- Pass level: envelopes, keys, histograms ----
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(i, j) = rng.normal(0.0, 3.0);
+    }
+  }
+  return m;
+}
+
+TEST(FusedPasses, ProjectEnvelopeMatchesStagedProjectAndScan) {
+  for (std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    const auto points = random_matrix(4097, 12, seed);
+    const auto projection = make_projection_matrix(12, 5, seed * 31 + 7);
+
+    const auto reference = project(points, projection);
+    std::vector<double> ref_lo(5, std::numeric_limits<double>::infinity());
+    std::vector<double> ref_hi(5, -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < reference.rows(); ++i) {
+      auto row = reference.row(i);
+      for (std::size_t j = 0; j < 5; ++j) {
+        ref_lo[j] = std::min(ref_lo[j], row[j]);
+        ref_hi[j] = std::max(ref_hi[j], row[j]);
+      }
+    }
+
+    FusedWorkspace ws;
+    const auto& fused = fused_project_envelope(points, projection, 5, ws);
+    ASSERT_EQ(fused.rows(), reference.rows());
+    ASSERT_EQ(fused.cols(), reference.cols());
+    for (std::size_t i = 0; i < reference.rows(); ++i) {
+      for (std::size_t j = 0; j < 5; ++j) {
+        ASSERT_EQ(fused(i, j), reference(i, j)) << i << "," << j;
+      }
+    }
+    EXPECT_EQ(ws.env_lo, ref_lo);
+    EXPECT_EQ(ws.env_hi, ref_hi);
+  }
+}
+
+TEST(FusedPasses, IdentityProjectionIsZeroCopyPassthrough) {
+  const auto points = random_matrix(100, 4, 5);
+  FusedWorkspace ws;
+  const auto& out = fused_project_envelope(points, Matrix(), 4, ws);
+  EXPECT_EQ(&out, &points);  // same object, not a copy
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_LE(ws.env_lo[j], ws.env_hi[j]);
+  }
+}
+
+TEST(FusedPasses, EmptyShardStillReportsInfiniteEnvelopes) {
+  // An empty rank must produce dims-sized ±inf envelopes so the group's
+  // min/max allreduce has matching lengths on every rank.
+  Matrix empty;
+  FusedWorkspace ws;
+  const auto& out = fused_project_envelope(empty, Matrix(), 3, ws);
+  EXPECT_EQ(out.rows(), 0u);
+  ASSERT_EQ(ws.env_lo.size(), 3u);
+  ASSERT_EQ(ws.env_hi.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_TRUE(std::isinf(ws.env_lo[j]) && ws.env_lo[j] > 0.0);
+    EXPECT_TRUE(std::isinf(ws.env_hi[j]) && ws.env_hi[j] < 0.0);
+  }
+}
+
+TEST(FusedPasses, KeyBinMatchesComputeKeysAndBuildHistograms) {
+  for (int d_max : {3, 7, 10}) {
+    for (std::uint64_t seed : {21ULL, 22ULL}) {
+      const auto projected = random_matrix(4096 + 33, 4, seed);
+      std::vector<Range> ranges;
+      for (std::size_t j = 0; j < 4; ++j) {
+        double lo = projected(0, j), hi = projected(0, j);
+        for (std::size_t i = 1; i < projected.rows(); ++i) {
+          lo = std::min(lo, projected(i, j));
+          hi = std::max(hi, projected(i, j));
+        }
+        ranges.push_back(Range{lo, hi});
+      }
+
+      const auto ref_keys = compute_keys(projected, ranges, d_max);
+      const auto ref_hists = build_histograms(ref_keys, ranges);
+
+      FusedWorkspace ws;
+      const auto hists = fused_key_bin(projected, ranges, d_max, ws);
+
+      ASSERT_EQ(ws.keys.points(), ref_keys.points());
+      ASSERT_EQ(ws.keys.dims(), ref_keys.dims());
+      for (std::size_t i = 0; i < ref_keys.points(); ++i) {
+        for (std::size_t j = 0; j < ref_keys.dims(); ++j) {
+          ASSERT_EQ(ws.keys.at(i, j), ref_keys.at(i, j)) << i << "," << j;
+        }
+      }
+      ASSERT_EQ(hists.size(), ref_hists.size());
+      for (std::size_t j = 0; j < hists.size(); ++j) {
+        const auto got = hists[j].deepest_counts();
+        const auto want = ref_hists[j].deepest_counts();
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t b = 0; b < got.size(); ++b) {
+          ASSERT_EQ(got[b], want[b]) << "dim " << j << " bin " << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(FusedPasses, WorkspaceReuseAcrossShrinkingInputsStaysCorrect) {
+  // Trial workspaces are reused across trials; a later smaller input must not
+  // see stale rows/counts from an earlier larger one.
+  FusedWorkspace ws;
+  for (std::size_t rows : {5000u, 1200u, 7u}) {
+    const auto projected = random_matrix(rows, 3, rows);
+    std::vector<Range> ranges(3, Range{-12.0, 12.0});
+    const auto ref_keys = compute_keys(projected, ranges, 6);
+    const auto ref_hists = build_histograms(ref_keys, ranges);
+    const auto hists = fused_key_bin(projected, ranges, 6, ws);
+    ASSERT_EQ(ws.keys.points(), rows);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(hists[j].total(), ref_hists[j].total());
+      const auto got = hists[j].deepest_counts();
+      const auto want = ref_hists[j].deepest_counts();
+      for (std::size_t b = 0; b < got.size(); ++b) {
+        ASSERT_EQ(got[b], want[b]);
+      }
+    }
+  }
+}
+
+// ---- Model level: full fit, fused vs staged, serial and distributed ----
+
+struct FitCase {
+  std::uint64_t seed;
+  int max_depth;
+};
+
+class FusedVsStaged : public ::testing::TestWithParam<FitCase> {};
+
+TEST_P(FusedVsStaged, SerialFitIsBitIdentical) {
+  const auto [seed, max_depth] = GetParam();
+  const auto spec = data::make_paper_mixture(25, 4, seed);
+  const auto d = data::sample(spec, 3000, seed + 1);
+
+  Params fused_params;
+  fused_params.max_depth = max_depth;
+  fused_params.use_fused_kernels = true;
+  Params staged_params = fused_params;
+  staged_params.use_fused_kernels = false;
+
+  const auto fused = fit(d.points, fused_params);
+  const auto staged = fit(d.points, staged_params);
+
+  EXPECT_EQ(fused.labels, staged.labels);
+  EXPECT_EQ(fused.model.score(), staged.model.score());  // bitwise
+  EXPECT_EQ(fused.n_clusters(), staged.n_clusters());
+  EXPECT_EQ(label_hash(fused.labels), label_hash(staged.labels));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FusedVsStaged,
+    ::testing::Values(FitCase{101, 7}, FitCase{102, 7}, FitCase{103, 4},
+                      FitCase{104, 10}, FitCase{105, 3}));
+
+class FusedVsStagedRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusedVsStagedRanks, DistributedFitIsBitIdenticalAcrossPaths) {
+  const int ranks = GetParam();
+  const auto spec = data::make_paper_mixture(30, 4, 201);
+  const auto d = data::sample(spec, 2400, 202);
+  const auto shards = data::shard(d, ranks);
+
+  auto run = [&](bool fused_kernels) {
+    Params params;
+    params.use_fused_kernels = fused_kernels;
+    std::vector<int> combined(d.size());
+    std::vector<double> score(1);
+    comm::run_ranks(ranks, [&](comm::Communicator& c) {
+      const auto r = static_cast<std::size_t>(c.rank());
+      const auto result = fit(c, shards[r].points, params);
+      const auto rows = data::partition_rows(d.size(), ranks);
+      std::copy(result.labels.begin(), result.labels.end(),
+                combined.begin() +
+                    static_cast<std::ptrdiff_t>(rows[r].begin));
+      if (c.rank() == 0) score[0] = result.model.score();
+    });
+    return std::pair{combined, score[0]};
+  };
+
+  const auto [fused_labels, fused_score] = run(true);
+  const auto [staged_labels, staged_score] = run(false);
+  EXPECT_EQ(fused_labels, staged_labels);
+  EXPECT_EQ(fused_score, staged_score);  // bitwise
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, FusedVsStagedRanks,
+                         ::testing::Values(1, 2, 8));
+
+TEST(FusedVsStaged, PerDimensionDepthModeIsBitIdentical) {
+  const auto spec = data::make_paper_mixture(20, 4, 301);
+  const auto d = data::sample(spec, 2000, 302);
+  Params params;
+  params.per_dimension_depth = true;
+  const auto fused = fit(d.points, params);
+  params.use_fused_kernels = false;
+  const auto staged = fit(d.points, params);
+  EXPECT_EQ(fused.labels, staged.labels);
+  EXPECT_EQ(fused.model.score(), staged.model.score());
+}
+
+TEST(FusedVsStaged, IdentityProjectionAblationIsBitIdentical) {
+  const auto spec = data::make_paper_mixture(15, 3, 401);
+  const auto d = data::sample(spec, 1500, 402);
+  Params params;
+  params.use_projection = false;
+  const auto fused = fit(d.points, params);
+  params.use_fused_kernels = false;
+  const auto staged = fit(d.points, params);
+  EXPECT_EQ(fused.labels, staged.labels);
+  EXPECT_EQ(fused.model.score(), staged.model.score());
+}
+
+}  // namespace
+}  // namespace keybin2::core

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace keybin2 {
@@ -74,6 +75,60 @@ TEST(ThreadPool, DefaultHasAtLeastOneWorker) {
 
 TEST(ThreadPool, GlobalPoolIsShared) {
   EXPECT_EQ(&global_pool(), &global_pool());
+}
+
+TEST(ThreadPool, GrainBoundsChunkCount) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(1000, /*grain=*/300,
+                    [&](std::size_t begin, std::size_t end) {
+                      chunks.fetch_add(1);
+                      total.fetch_add(end - begin);
+                    });
+  EXPECT_EQ(total.load(), 1000u);
+  // ceil(1000 / 300) = 4 chunks at most, regardless of worker count.
+  EXPECT_LE(chunks.load(), 4);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(8);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> chunks{0};
+  pool.parallel_for(100, /*grain=*/1000,
+                    [&](std::size_t begin, std::size_t end) {
+                      EXPECT_EQ(std::this_thread::get_id(), caller);
+                      EXPECT_EQ(begin, 0u);
+                      EXPECT_EQ(end, 100u);
+                      chunks.fetch_add(1);
+                    });
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // A pool worker (or the caller) re-entering parallel_for must not wait
+      // on the pool it is already servicing; the nested loop runs inline.
+      pool.parallel_for(10, [&](std::size_t b, std::size_t e) {
+        inner_total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80u);
+}
+
+TEST(ThreadPool, BackToBackLoopsProduceStableResults) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> total{0};
+    pool.parallel_for(257, /*grain=*/16, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(e - b);
+    });
+    ASSERT_EQ(total.load(), 257u) << "round " << round;
+  }
 }
 
 class ThreadPoolShapes

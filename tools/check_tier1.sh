@@ -12,6 +12,12 @@
 #                                  # trace JSON (>= 4 rank timelines, >= 1
 #                                  # flow pair), and the printed report must
 #                                  # carry non-empty metrics
+#   tools/check_tier1.sh --bench-smoke
+#                                  # build, then run bench/kernel_fusion at a
+#                                  # small size (fast; the bench itself aborts
+#                                  # on any fused-vs-staged mismatch) and gate
+#                                  # on trace_check --bench validating the
+#                                  # BENCH_kernel_fusion.json schema
 #
 # The sanitizer modes build into their own directories (build-tsan/build-asan)
 # so they never dirty the primary build, and run only the `comm`-labelled
@@ -26,6 +32,7 @@ build_dir="${BUILD_DIR:-${repo_root}/build}"
 
 sanitize=""
 trace_smoke=0
+bench_smoke=0
 ctest_args=()
 for arg in "$@"; do
   case "${arg}" in
@@ -33,6 +40,7 @@ for arg in "$@"; do
     --tsan) sanitize="thread" ;;
     --asan) sanitize="address" ;;
     --trace-smoke) trace_smoke=1 ;;
+    --bench-smoke) bench_smoke=1 ;;
     *) ctest_args+=("${arg}") ;;
   esac
 done
@@ -69,6 +77,21 @@ if [[ "${trace_smoke}" == "1" ]]; then
   grep -q "comm heatmap" "${smoke_dir}/report.txt" \
     || { echo "trace smoke: no traffic heatmap in report" >&2; exit 1; }
   echo "trace smoke: OK"
+  exit 0
+fi
+
+if [[ "${bench_smoke}" == "1" ]]; then
+  # Kernel-fusion smoke: a small run of the fused-vs-staged bench. The bench
+  # exits nonzero on any fused/staged key, count, or merge mismatch, so this
+  # doubles as a bit-identity gate; trace_check then validates the report
+  # schema the perf table is built from.
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  (cd "${smoke_dir}" && "${build_dir}/bench/kernel_fusion" \
+    --points-per-rank 20000 --ranks 4 --runs 1)
+  "${build_dir}/tools/trace_check" --bench \
+    "${smoke_dir}/BENCH_kernel_fusion.json"
+  echo "bench smoke: OK"
   exit 0
 fi
 

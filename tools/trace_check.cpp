@@ -2,16 +2,23 @@
 // `keybin2 cluster --trace-json` (or anything else emitting the same shape).
 //
 //   trace_check trace.json [--min-ranks N] [--min-flows N]
+//   trace_check --bench BENCH_kernel_fusion.json
 //
-// Checks, in order:
+// Default (trace) mode checks, in order:
 //   1. the file parses as a single well-formed JSON value (json_validate),
 //   2. it declares at least --min-ranks rank timelines ("ph":"M" metadata),
 //   3. it holds at least one duration span ("ph":"X") — empty-metrics traces
 //      fail here,
 //   4. it holds at least --min-flows send->recv flow pairs, and the "s" and
 //      "f" ends balance (the exporter only emits completed pairs).
+//
+// --bench mode validates a bench reporter file instead: well-formed JSON, a
+// "series" object, and every series the kernel-fusion gate depends on
+// (staged_seconds, fused_seconds, fused_speedup, reduce_bytes_dense,
+// reduce_bytes_sparse, reduce_bytes_savings) present with a "mean" field.
+//
 // Exit 0 when everything holds, 1 with a diagnostic otherwise — which is
-// what lets check_tier1.sh --trace-smoke gate on it.
+// what lets check_tier1.sh --trace-smoke / --bench-smoke gate on it.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,12 +45,48 @@ int fail(const char* what) {
   return 1;
 }
 
+// Series every BENCH_kernel_fusion.json must carry (bench/kernel_fusion.cpp
+// writes exactly these; the smoke gate fails if any goes missing or is
+// renamed without updating this list).
+constexpr const char* kBenchSeries[] = {
+    "staged_seconds",     "fused_seconds",      "fused_speedup",
+    "reduce_bytes_dense", "reduce_bytes_sparse", "reduce_bytes_savings",
+};
+
+int check_bench(const std::string& text) {
+  if (text.empty()) return fail("file is empty");
+  if (!keybin2::runtime::json_validate(text)) {
+    return fail("not well-formed JSON");
+  }
+  if (text.find("\"series\"") == std::string::npos) {
+    return fail("no series object");
+  }
+  for (const char* name : kBenchSeries) {
+    const auto key = "\"" + std::string(name) + "\"";
+    const auto pos = text.find(key);
+    if (pos == std::string::npos) {
+      std::fprintf(stderr, "trace_check: FAIL: missing series %s\n", name);
+      return 1;
+    }
+    // Each series value is an object holding at least a numeric mean; the
+    // reporter writes "name":{"mean":...,...}.
+    if (text.find("\"mean\"", pos) == std::string::npos) {
+      std::fprintf(stderr, "trace_check: FAIL: series %s has no mean\n", name);
+      return 1;
+    }
+  }
+  std::printf("trace_check: OK: bench report carries all %zu series\n",
+              sizeof(kBenchSeries) / sizeof(kBenchSeries[0]));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
   long min_ranks = 1;
   long min_flows = 0;
+  bool bench_mode = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -56,9 +99,12 @@ int main(int argc, char** argv) {
       min_ranks = std::strtol(next("--min-ranks"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--min-flows")) {
       min_flows = std::strtol(next("--min-flows"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--bench")) {
+      bench_mode = true;
     } else if (!std::strcmp(argv[i], "--help")) {
       std::printf("usage: trace_check trace.json [--min-ranks N] "
-                  "[--min-flows N]\n");
+                  "[--min-flows N]\n"
+                  "       trace_check --bench BENCH_*.json\n");
       return 0;
     } else if (path.empty()) {
       path = argv[i];
@@ -81,6 +127,8 @@ int main(int argc, char** argv) {
   std::ostringstream buf;
   buf << in.rdbuf();
   const std::string text = buf.str();
+
+  if (bench_mode) return check_bench(text);
 
   if (text.empty()) return fail("file is empty");
   if (!keybin2::runtime::json_validate(text)) {
