@@ -17,8 +17,14 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
 
 #include "comm/launch.hpp"
 #include "core/keybin2.hpp"
@@ -190,6 +196,7 @@ class Reporter {
     runtime::JsonWriter w;
     w.begin_object();
     w.key("bench").value(opt.name);
+    emit_machine(w);
     w.key("options").begin_object();
     w.key("points_per_rank").value(static_cast<std::uint64_t>(
         opt.points_per_rank));
@@ -253,6 +260,28 @@ class Reporter {
     runtime::TraceReport trace;
     runtime::MetricsReport metrics;
   };
+
+  /// Machine provenance so a committed baseline records where its numbers
+  /// came from. The perf gate compares options, not machines — but a FAIL
+  /// against a baseline from different hardware is diagnosable from this
+  /// block instead of a mystery.
+  static void emit_machine(runtime::JsonWriter& w) {
+    w.key("machine").begin_object();
+    w.key("hardware_concurrency")
+        .value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+#if defined(__unix__) || defined(__APPLE__)
+    char host[256] = {};
+    if (gethostname(host, sizeof(host) - 1) == 0) {
+      w.key("hostname").value(host);
+    }
+    struct utsname uts{};
+    if (uname(&uts) == 0) {
+      w.key("os").value(std::string(uts.sysname) + " " + uts.release);
+      w.key("arch").value(uts.machine);
+    }
+#endif
+    w.end_object();
+  }
 
   static void emit_series(runtime::JsonWriter& w, std::string_view key,
                           const Series& s) {

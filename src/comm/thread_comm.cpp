@@ -126,7 +126,7 @@ void ThreadCommHub::poison(const std::string& reason) {
 
 ThreadCommHub::SendInfo ThreadCommHub::push(int src, int dest, int tag,
                                             std::span<const std::byte> data,
-                                            bool want_depth) {
+                                            CommProbe* probe) {
   if (shrink_pending_.load()) {
     std::ostringstream os;
     os << "rank " << src << " send(peer=" << dest << ", tag=" << tag
@@ -158,10 +158,15 @@ ThreadCommHub::SendInfo ThreadCommHub::push(int src, int dest, int tag,
     buf.assign(data.begin(), data.end());
     box.queues[{src, tag}].push_back(
         Mailbox::Message{std::move(buf), info.flow_id});
-    if (want_depth) {
+    if (probe != nullptr) {
       // Total messages parked in the destination mailbox across all (src,
       // tag) channels — the backlog a slow consumer is accumulating.
       for (const auto& [key, q] : box.queues) info.queue_depth += q.size();
+      // Fire while the lock is held: the receiver cannot pop this message
+      // until we release box.mu, so the send timestamp the probe records
+      // precedes the matching recv timestamp on the shared clock.
+      probe->on_send(src, dest, tag, data.size(), info.flow_id,
+                     info.queue_depth);
     }
   }
   box.cv.notify_all();
@@ -379,10 +384,7 @@ int ThreadComm::size() const { return hub_->size(); }
 void ThreadComm::send(int dest, int tag, std::span<const std::byte> data) {
   KB2_CHECK_MSG(dest >= 0 && dest < size(),
                 "send dest " << dest << " out of group size " << size());
-  CommProbe* p = probe();
-  const auto info = hub_->push(rank_, dest, tag, data, /*want_depth=*/p != nullptr);
-  if (p) p->on_send(rank_, dest, tag, data.size(), info.flow_id,
-                    info.queue_depth);
+  hub_->push(rank_, dest, tag, data, probe());
 }
 
 std::vector<std::byte> ThreadComm::recv(int src, int tag) {

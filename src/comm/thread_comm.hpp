@@ -127,8 +127,12 @@ class ThreadCommHub {
   // can poll it without taking state_mu_; reasons stay under state_mu_.
   enum : std::uint8_t { kLive = 0, kFailed = 1, kDeparted = 2 };
 
+  /// Enqueue one message. When `probe` is non-null its on_send fires while
+  /// the destination mailbox lock is still held, so the sender's timestamp
+  /// happens-before any receiver can pop (and stamp) this message — the
+  /// send->recv timestamp ordering the trace flow invariants rely on.
   SendInfo push(int src, int dest, int tag, std::span<const std::byte> data,
-                bool want_depth);
+                CommProbe* probe);
   void recycle(int rank, std::vector<std::byte>&& buf);
   std::vector<std::byte> pop(int self, int src, int tag,
                              double timeout_seconds,

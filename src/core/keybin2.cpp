@@ -33,7 +33,7 @@ FitResult fit_once(runtime::Context& ctx, const Matrix& local_points,
                                         << params.max_depth << "]");
   KB2_CHECK_MSG(params.bootstrap_trials >= 1, "need at least one trial");
 
-  auto fit_scope = ctx.tracer().scope("fit");
+  auto fit_scope = ctx.tracer().scope(stage::kFit);
   auto& comm = ctx.comm();
   const auto n_dims = static_cast<std::uint64_t>(local_points.cols());
   // All ranks must agree on the dimensionality (empty shards report the max).
@@ -84,7 +84,7 @@ FitResult fit_once(runtime::Context& ctx, const Matrix& local_points,
 
   for (int t = 0; t < trials; ++t) {
     auto trial_scope =
-        ctx.tracer().scope("trial" + std::to_string(t));
+        ctx.tracer().scope(stage::trial(t));
     auto& trial_projection = projections[static_cast<std::size_t>(t)];
 
     // Stages 1-2b produce the same artifacts on either path (identical
@@ -101,7 +101,7 @@ FitResult fit_once(runtime::Context& ctx, const Matrix& local_points,
       // same traversal.
       const Matrix* projected;
       {
-        auto scope = ctx.tracer().scope("project");
+        auto scope = ctx.tracer().scope(stage::kProject);
         projected = &fused_project_envelope(local_points, trial_projection,
                                             static_cast<std::size_t>(n_rp), ws);
       }
@@ -109,7 +109,7 @@ FitResult fit_once(runtime::Context& ctx, const Matrix& local_points,
       ranges = stage_agree_ranges(ctx, ws.env_lo, ws.env_hi);
       // (2b) Assign keys and build all local histograms in one pass.
       {
-        auto scope = ctx.tracer().scope("bin");
+        auto scope = ctx.tracer().scope(stage::kBin);
         hists = fused_key_bin(*projected, ranges, params.max_depth, ws);
         ctx.metrics().add("points_binned", projected->rows());
       }
@@ -210,7 +210,7 @@ FitResult fit_once(runtime::Context& ctx, const Matrix& local_points,
         for (auto& d : result.trials) d = reader.read<TrialDiagnostics>();
       });
   {
-    auto label_scope = ctx.tracer().scope("label");
+    auto label_scope = ctx.tracer().scope(stage::kLabel);
     result.labels = result.model.predict(local_points);
   }
   return result;

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/serialize.hpp"
 #include "core/checkpoint.hpp"
+#include "core/pipeline.hpp"
 #include "core/streaming.hpp"
 
 namespace keybin2::core {
@@ -95,7 +96,7 @@ OutOfCoreResult fit_from_file(runtime::Context& ctx,
                 "pass cannot restart from one rank's private file offset");
   KB2_CHECK_MSG(!checkpointing || checkpoint.every_chunks >= 1,
                 "checkpoint cadence must be positive");
-  auto ooc_scope = ctx.tracer().scope("out_of_core");
+  auto ooc_scope = ctx.tracer().scope(stage::kOutOfCore);
 
   // Peek the header for the schema.
   BinaryHeader header;
@@ -167,7 +168,7 @@ OutOfCoreResult fit_from_file(runtime::Context& ctx,
   result.dims = header.cols;
   result.chunks = static_cast<std::size_t>(total_chunks);
   {
-    auto pass1_scope = ctx.tracer().scope("pass1_histograms");
+    auto pass1_scope = ctx.tracer().scope(stage::kPass1Histograms);
     std::ifstream in(input_path, std::ios::binary);
     KB2_CHECK_MSG(in.good(), "cannot open " << input_path);
     in.seekg(static_cast<std::streamoff>(
@@ -212,7 +213,7 @@ OutOfCoreResult fit_from_file(runtime::Context& ctx,
   result.model = engine.refit(ctx);
 
   // Pass 2: label every point against the final model, streaming again.
-  auto pass2_scope = ctx.tracer().scope("pass2_label");
+  auto pass2_scope = ctx.tracer().scope(stage::kPass2Label);
   std::ofstream out(labels_path, std::ios::binary);
   KB2_CHECK_MSG(out.good(), "cannot open " << labels_path << " for writing");
   for_each_chunk(input_path, chunk_points, [&](const Matrix& chunk) {

@@ -43,7 +43,7 @@ ProjectedTrial stage_project(runtime::Context& ctx, const Matrix& local_points,
 
 ProjectedTrial stage_project(runtime::Context& ctx, const Matrix& local_points,
                              Matrix projection) {
-  auto scope = ctx.tracer().scope("project");
+  auto scope = ctx.tracer().scope(stage::kProject);
   ProjectedTrial out;
   if (projection.empty()) {
     out.projected = local_points;
@@ -75,7 +75,7 @@ std::vector<Range> stage_agree_ranges(runtime::Context& ctx,
   KB2_CHECK_MSG(local_lo.size() == local_hi.size(),
                 "agree_ranges envelope length mismatch: "
                     << local_lo.size() << " vs " << local_hi.size());
-  auto scope = ctx.tracer().scope("agree_ranges");
+  auto scope = ctx.tracer().scope(stage::kAgreeRanges);
   const auto lo = ctx.comm().allreduce(local_lo, comm::ReduceOp::kMin);
   const auto hi = ctx.comm().allreduce(local_hi, comm::ReduceOp::kMax);
   std::vector<Range> ranges(lo.size());
@@ -94,7 +94,7 @@ std::vector<Range> stage_agree_ranges(runtime::Context& ctx,
 
 BinnedTrial stage_bin(runtime::Context& ctx, const Matrix& projected,
                       const std::vector<Range>& ranges, int max_depth) {
-  auto scope = ctx.tracer().scope("bin");
+  auto scope = ctx.tracer().scope(stage::kBin);
   BinnedTrial out;
   out.keys = compute_keys(projected, ranges, max_depth);
   out.hists = build_histograms(out.keys, ranges);
@@ -105,7 +105,7 @@ BinnedTrial stage_bin(runtime::Context& ctx, const Matrix& projected,
 void stage_merge_histograms(runtime::Context& ctx,
                             std::vector<stats::HierarchicalHistogram>& hists,
                             Topology topology, bool integral_counts) {
-  auto scope = ctx.tracer().scope("merge_histograms");
+  auto scope = ctx.tracer().scope(stage::kMergeHistograms);
   // The only point-derived data that ever crosses ranks,
   // O(dims * 2^max_depth) doubles — through the tree allreduce (adaptive:
   // recursive halving with sparse segments once integral counts make
@@ -140,7 +140,7 @@ std::vector<int> collapse_dimensions(
     runtime::Context& ctx,
     const std::vector<stats::HierarchicalHistogram>& hists,
     const Params& params) {
-  auto scope = ctx.tracer().scope("collapse");
+  auto scope = ctx.tracer().scope(stage::kCollapse);
   // KS-based dimension collapsing on a mid-level histogram (64 bins).
   const int collapse_depth = std::min(params.max_depth, 6);
   std::vector<int> kept_dims;
@@ -193,7 +193,7 @@ PartitionedCandidate stage_partition(
   KB2_CHECK_MSG(depths.size() == kept_dims.size(),
                 "stage_partition: " << depths.size() << " depths for "
                                     << kept_dims.size() << " kept dims");
-  auto scope = ctx.tracer().scope("partition");
+  auto scope = ctx.tracer().scope(stage::kPartition);
   PartitionedCandidate out;
   out.depths = std::move(depths);
   out.dim_hists.reserve(kept_dims.size());
@@ -211,7 +211,7 @@ AssessedCandidate stage_assess(runtime::Context& ctx, const KeyTable& keys,
                                const std::vector<int>& kept_dims,
                                const PartitionedCandidate& candidate,
                                double weight_per_point) {
-  auto scope = ctx.tracer().scope("assess");
+  auto scope = ctx.tracer().scope(stage::kAssess);
   // Occupied cells: local count, merged at the root.
   const auto local_cells = count_cells(keys, kept_dims, candidate.partitions,
                                        candidate.depths, weight_per_point);
@@ -235,7 +235,7 @@ Model stage_share_model(runtime::Context& ctx, std::optional<Model> root_model,
                         const std::function<void(ByteReader&)>& read_extra) {
   KB2_CHECK_MSG(root_model.has_value() == ctx.is_root(),
                 "stage_share_model: exactly the root supplies the model");
-  auto scope = ctx.tracer().scope("share_model");
+  auto scope = ctx.tracer().scope(stage::kShareModel);
   ByteWriter writer;
   if (root_model.has_value()) {
     root_model->serialize(writer);

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/matrix.hpp"
@@ -32,6 +33,36 @@
 #include "stats/histogram.hpp"
 
 namespace keybin2::core {
+
+/// Canonical tracer scope names for the pipeline stages. Every driver opens
+/// its scopes through these constants, so trace consumers — the kb2_analyze
+/// stage table, the HealthMonitor's EWMA baselines, the perf-regression
+/// gate's per-stage metrics — match on one stable spelling instead of
+/// string literals scattered across drivers.
+namespace stage {
+inline constexpr const char* kFit = "fit";
+inline constexpr const char* kProject = "project";
+inline constexpr const char* kAgreeRanges = "agree_ranges";
+inline constexpr const char* kBin = "bin";
+inline constexpr const char* kMergeHistograms = "merge_histograms";
+inline constexpr const char* kCollapse = "collapse";
+inline constexpr const char* kPartition = "partition";
+inline constexpr const char* kAssess = "assess";
+inline constexpr const char* kShareModel = "share_model";
+inline constexpr const char* kLabel = "label";
+inline constexpr const char* kRefit = "refit";
+inline constexpr const char* kRebin = "rebin";
+inline constexpr const char* kReservoirKeys = "reservoir_keys";
+inline constexpr const char* kOutOfCore = "out_of_core";
+inline constexpr const char* kPass1Histograms = "pass1_histograms";
+inline constexpr const char* kPass2Label = "pass2_label";
+
+/// Per-trial scope name "trial<i>"; fold_scope_path collapses every
+/// instance onto the "trial*" baseline key.
+inline std::string trial(int index) {
+  return "trial" + std::to_string(index);
+}
+}  // namespace stage
 
 /// Stage 1 output: one bootstrap trial's projection.
 struct ProjectedTrial {

@@ -97,7 +97,7 @@ void StreamingKeyBin2::push_batch(const Matrix& batch) {
 }
 
 const Model& StreamingKeyBin2::refit_once(runtime::Context& ctx) {
-  auto refit_scope = ctx.tracer().scope("refit");
+  auto refit_scope = ctx.tracer().scope(stage::kRefit);
   const bool is_root = ctx.is_root();
   const double total_points = ctx.comm().allreduce(
       static_cast<double>(points_seen_), comm::ReduceOp::kSum);
@@ -121,7 +121,7 @@ const Model& StreamingKeyBin2::refit_once(runtime::Context& ctx) {
   const auto dims = static_cast<std::size_t>(n_rp_);
   for (std::size_t t = 0; t < trials_.size(); ++t) {
     auto& trial = trials_[t];
-    auto trial_scope = ctx.tracer().scope("trial" + std::to_string(t));
+    auto trial_scope = ctx.tracer().scope(stage::trial(t));
 
     // (2a) Reconcile per-dimension ranges across ranks onto the tight global
     // envelope of observed values (same stage as batch fit, fed from the
@@ -134,7 +134,7 @@ const Model& StreamingKeyBin2::refit_once(runtime::Context& ctx) {
     std::vector<stats::HierarchicalHistogram> merged;
     merged.reserve(dims);
     {
-      auto rebin_scope = ctx.tracer().scope("rebin");
+      auto rebin_scope = ctx.tracer().scope(stage::kRebin);
       for (std::size_t j = 0; j < dims; ++j) {
         if (trial.anchored[j]) {
           if (trial.hists[j].lo() != ranges[j].lo ||
@@ -171,7 +171,7 @@ const Model& StreamingKeyBin2::refit_once(runtime::Context& ctx) {
     // Reservoir keys under this trial's projection and the merged ranges.
     KeyTable keys;
     {
-      auto keys_scope = ctx.tracer().scope("reservoir_keys");
+      auto keys_scope = ctx.tracer().scope(stage::kReservoirKeys);
       Matrix projected_reservoir =
           params_.use_projection ? project(reservoir_, trial.projection)
                                  : reservoir_;

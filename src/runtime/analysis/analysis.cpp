@@ -1,0 +1,560 @@
+#include "runtime/analysis/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "comm/communicator.hpp"
+#include "runtime/json.hpp"
+#include "runtime/metrics.hpp"  // human_bytes (report formatting helpers)
+#include "runtime/timeline.hpp"
+#include "runtime/tracer.hpp"   // fold_scope_path
+
+namespace keybin2::runtime {
+
+namespace {
+
+constexpr std::int64_t kNoTime = std::numeric_limits<std::int64_t>::min();
+
+std::int64_t clamp64(std::int64_t v, std::int64_t lo, std::int64_t hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+/// Deepest (shortest, by strict nesting) span of `tl` containing time t,
+/// or nullptr when the rank was outside every traced scope.
+const Timeline::Span* deepest_at(const Timeline& tl, std::int64_t t) {
+  const Timeline::Span* best = nullptr;
+  for (const auto& s : tl.spans()) {
+    if (s.start_ns <= t && t < s.end_ns) {
+      if (best == nullptr ||
+          (s.end_ns - s.start_ns) < (best->end_ns - best->start_ns)) {
+        best = &s;
+      }
+    }
+  }
+  return best;
+}
+
+std::string stage_at(const Timeline& tl, std::int64_t t) {
+  const auto* s = deepest_at(tl, t);
+  return s == nullptr ? std::string("(untraced)") : fold_scope_path(s->name);
+}
+
+/// A blocking event the backward walk can stop at: a recv that actually
+/// waited, or a barrier. `t_ns` is when the block *ended* (progress
+/// resumed); events are kept sorted by t_ns per rank.
+struct Gate {
+  std::int64_t t_ns = 0;
+  std::int64_t wait_ns = 0;
+  const Timeline::Flow* recv = nullptr;  // nullptr for barrier gates
+  bool consumed = false;
+};
+
+struct FlowEnd {
+  const Timeline::Flow* flow = nullptr;
+  int rank_index = -1;
+};
+
+double pct(std::int64_t part, std::int64_t whole) {
+  return whole <= 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+const char* kind_name(CriticalSegment::Kind k) {
+  switch (k) {
+    case CriticalSegment::Kind::kCompute: return "compute";
+    case CriticalSegment::Kind::kComm: return "comm";
+    case CriticalSegment::Kind::kWait: return "wait";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TraceAnalysis analyze(std::span<const Timeline> ranks) {
+  TraceAnalysis out;
+  out.ranks = static_cast<int>(ranks.size());
+  if (ranks.empty()) return out;
+
+  // ---- Global epoch / end and the rank that finishes last. ----
+  std::int64_t epoch = std::numeric_limits<std::int64_t>::max();
+  std::int64_t end = std::numeric_limits<std::int64_t>::min();
+  int end_rank = 0;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    const auto& tl = ranks[r];
+    std::int64_t rank_end = kNoTime;
+    for (const auto& s : tl.spans()) {
+      epoch = std::min(epoch, s.start_ns);
+      rank_end = std::max(rank_end, s.end_ns);
+    }
+    for (const auto& f : tl.flows()) {
+      epoch = std::min(epoch, f.t_ns - (f.start ? 0 : f.wait_ns));
+      rank_end = std::max(rank_end, f.t_ns);
+    }
+    for (const auto& wt : tl.waits()) {
+      epoch = std::min(epoch, wt.t_ns - wt.wait_ns);
+      rank_end = std::max(rank_end, wt.t_ns);
+    }
+    for (const auto& i : tl.instants()) {
+      epoch = std::min(epoch, i.t_ns);
+      rank_end = std::max(rank_end, i.t_ns);
+    }
+    if (rank_end > end) {
+      end = rank_end;
+      end_rank = static_cast<int>(r);
+    }
+  }
+  if (epoch == std::numeric_limits<std::int64_t>::max()) return out;
+  out.epoch_ns = epoch;
+  out.end_ns = end;
+  out.wall_ns = end - epoch;
+
+  // ---- Pair flows across ranks by id. ----
+  std::map<std::uint64_t, FlowEnd> sends;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    for (const auto& f : ranks[r].flows()) {
+      if (f.start) sends[f.id] = FlowEnd{&f, static_cast<int>(r)};
+    }
+  }
+
+  // ---- Per-rank activity + caused-wait attribution (all recvs, not just
+  // the ones the critical path visits). ----
+  out.per_rank.resize(ranks.size());
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    auto& activity = out.per_rank[r];
+    activity.rank = ranks[r].rank();
+
+    // Busy = union of span coverage (spans nest, so merging is cheap).
+    std::vector<std::pair<std::int64_t, std::int64_t>> iv;
+    for (const auto& s : ranks[r].spans()) iv.emplace_back(s.start_ns, s.end_ns);
+    std::sort(iv.begin(), iv.end());
+    std::int64_t cover_end = kNoTime;
+    for (const auto& [a, b] : iv) {
+      if (a >= cover_end) {
+        activity.busy_ns += b - a;
+        cover_end = b;
+      } else if (b > cover_end) {
+        activity.busy_ns += b - cover_end;
+        cover_end = b;
+      }
+    }
+
+    for (const auto& f : ranks[r].flows()) {
+      if (f.start || f.wait_ns <= 0) continue;
+      activity.wait_ns += f.wait_ns;
+      const auto it = sends.find(f.id);
+      if (it == sends.end()) continue;
+      // Late-sender split: how much of this block elapsed before the
+      // sender even issued the message.
+      const std::int64_t t0 = f.t_ns - f.wait_ns;
+      const std::int64_t caused =
+          clamp64(std::min(it->second.flow->t_ns, f.t_ns) - t0, 0, f.wait_ns);
+      out.per_rank[it->second.rank_index].caused_wait_ns += caused;
+    }
+    for (const auto& wt : ranks[r].waits()) activity.wait_ns += wt.wait_ns;
+  }
+
+  std::int64_t total_caused = 0;
+  for (const auto& a : out.per_rank) total_caused += a.caused_wait_ns;
+  for (const auto& a : out.per_rank) {
+    if (a.caused_wait_ns > out.straggler_caused_wait_ns) {
+      out.straggler_caused_wait_ns = a.caused_wait_ns;
+      out.straggler_rank = a.rank;
+    }
+  }
+  if (total_caused > 0) {
+    out.straggler_share = static_cast<double>(out.straggler_caused_wait_ns) /
+                          static_cast<double>(total_caused);
+  }
+
+  // ---- Stage table: per-rank self time per exact path, folded. ----
+  struct StageAccum {
+    int ranks = 0;
+    std::int64_t total_ns = 0;
+    std::int64_t max_ns = 0;
+    int max_rank = -1;
+    std::int64_t wait_ns = 0;
+    std::int64_t critical_ns = 0;
+  };
+  std::map<std::string, StageAccum> stage_accum;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    std::map<std::string, std::int64_t> path_total;
+    for (const auto& s : ranks[r].spans()) {
+      path_total[s.name] += s.end_ns - s.start_ns;
+    }
+    // Self time = inclusive minus direct children (paths are call contexts:
+    // "fit/trial0" is the unique parent of "fit/trial0/bin").
+    std::map<std::string, std::int64_t> self = path_total;
+    for (const auto& [path, total] : path_total) {
+      const auto slash = path.rfind('/');
+      if (slash == std::string::npos) continue;
+      const auto parent = self.find(path.substr(0, slash));
+      if (parent != self.end()) parent->second -= total;
+    }
+    std::map<std::string, std::int64_t> rank_stage;
+    for (const auto& [path, self_ns] : self) {
+      rank_stage[fold_scope_path(path)] += self_ns;
+    }
+    for (const auto& [stage, self_ns] : rank_stage) {
+      auto& acc = stage_accum[stage];
+      ++acc.ranks;
+      acc.total_ns += self_ns;
+      if (self_ns > acc.max_ns) {
+        acc.max_ns = self_ns;
+        acc.max_rank = ranks[r].rank();
+      }
+    }
+    // Blocked time lands on the stage that was open when the block ended.
+    for (const auto& f : ranks[r].flows()) {
+      if (!f.start && f.wait_ns > 0) {
+        stage_accum[stage_at(ranks[r], f.t_ns)].wait_ns += f.wait_ns;
+      }
+    }
+    for (const auto& wt : ranks[r].waits()) {
+      if (wt.wait_ns > 0) {
+        stage_accum[stage_at(ranks[r], wt.t_ns)].wait_ns += wt.wait_ns;
+      }
+    }
+  }
+
+  // ---- Backward critical-path walk. ----
+  // Gating events per rank index, sorted by block-end time.
+  std::vector<std::vector<Gate>> gates(ranks.size());
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    for (const auto& f : ranks[r].flows()) {
+      if (!f.start && f.wait_ns > 0) {
+        gates[r].push_back(Gate{f.t_ns, f.wait_ns, &f, false});
+      }
+    }
+    for (const auto& wt : ranks[r].waits()) {
+      if (wt.wait_ns > 0) {
+        gates[r].push_back(Gate{wt.t_ns, wt.wait_ns, nullptr, false});
+      }
+    }
+    std::sort(gates[r].begin(), gates[r].end(),
+              [](const Gate& a, const Gate& b) { return a.t_ns < b.t_ns; });
+  }
+
+  // Emits the compute stretch [a, b] on rank `r`, split wherever the
+  // deepest open scope changes so per-stage critical attribution is exact.
+  auto emit_compute = [&](int r, std::int64_t a, std::int64_t b) {
+    if (b <= a) return;
+    const auto& tl = ranks[static_cast<std::size_t>(r)];
+    std::vector<std::int64_t> cuts;
+    cuts.push_back(a);
+    for (const auto& s : tl.spans()) {
+      if (s.start_ns > a && s.start_ns < b) cuts.push_back(s.start_ns);
+      if (s.end_ns > a && s.end_ns < b) cuts.push_back(s.end_ns);
+    }
+    cuts.push_back(b);
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    // The walk runs backward, so emit latest sub-interval first to keep the
+    // whole path vector reverse-chronological until the final reverse.
+    for (std::size_t i = cuts.size() - 1; i > 0; --i) {
+      const std::int64_t lo = cuts[i - 1];
+      const std::int64_t hi = cuts[i];
+      const auto stage = stage_at(tl, lo + (hi - lo) / 2);
+      stage_accum[stage].critical_ns += hi - lo;
+      if (!out.critical_path.empty()) {
+        auto& last = out.critical_path.back();
+        if (last.kind == CriticalSegment::Kind::kCompute &&
+            last.rank == tl.rank() && last.label == stage &&
+            last.start_ns == hi) {
+          last.start_ns = lo;  // coalesce same-stage neighbours
+          continue;
+        }
+      }
+      out.critical_path.push_back(CriticalSegment{
+          CriticalSegment::Kind::kCompute, tl.rank(), stage, lo, hi});
+    }
+  };
+
+  int cursor_rank = end_rank;
+  std::int64_t cursor_t = end;
+  while (cursor_t > epoch) {
+    auto& rank_gates = gates[static_cast<std::size_t>(cursor_rank)];
+    Gate* gate = nullptr;
+    for (auto it = rank_gates.rbegin(); it != rank_gates.rend(); ++it) {
+      if (it->t_ns <= cursor_t && !it->consumed) {
+        gate = &*it;
+        break;
+      }
+    }
+    if (gate == nullptr) {
+      emit_compute(cursor_rank, epoch, cursor_t);
+      break;
+    }
+    gate->consumed = true;
+    emit_compute(cursor_rank, gate->t_ns, cursor_t);
+
+    const std::int64_t t0 =
+        std::max(epoch, gate->t_ns - gate->wait_ns);  // block start
+    const auto send_it =
+        gate->recv != nullptr ? sends.find(gate->recv->id) : sends.end();
+    if (send_it == sends.end()) {
+      // Barrier (or a recv whose send was never captured): the blocked
+      // interval itself goes on the path and the walk stays on this rank.
+      const char* what = gate->recv == nullptr ? "wait:barrier" : "wait:recv";
+      if (gate->t_ns > t0) {
+        out.critical_path.push_back(
+            CriticalSegment{CriticalSegment::Kind::kWait,
+                            ranks[static_cast<std::size_t>(cursor_rank)].rank(),
+                            what, t0, gate->t_ns});
+      }
+      cursor_t = t0;
+      continue;
+    }
+
+    // Paired recv: the path crosses to the sender. The transfer occupies
+    // [jump, t_f]; anything between t0 and the send is covered on the
+    // sender's side after the jump (that idle time is the sender's fault —
+    // it is already tallied in caused_wait_ns above).
+    const auto& send = send_it->second;
+    const std::int64_t jump =
+        std::max(t0, std::min(send.flow->t_ns, gate->t_ns));
+    if (gate->t_ns > jump) {
+      const int tag = send.flow->tag;
+      out.critical_path.push_back(CriticalSegment{
+          CriticalSegment::Kind::kComm,
+          ranks[static_cast<std::size_t>(send.rank_index)].rank(),
+          tag >= 0 ? "comm:" + comm::tag_name(tag) : std::string("comm"),
+          jump, gate->t_ns});
+    }
+    if (send.rank_index != cursor_rank) ++out.rank_jumps;
+    cursor_rank = send.rank_index;
+    cursor_t = jump;
+  }
+
+  std::reverse(out.critical_path.begin(), out.critical_path.end());
+  for (const auto& seg : out.critical_path) {
+    out.critical_total_ns += seg.duration_ns();
+    switch (seg.kind) {
+      case CriticalSegment::Kind::kCompute:
+        out.critical_compute_ns += seg.duration_ns();
+        break;
+      case CriticalSegment::Kind::kComm:
+        out.critical_comm_ns += seg.duration_ns();
+        break;
+      case CriticalSegment::Kind::kWait:
+        out.critical_wait_ns += seg.duration_ns();
+        break;
+    }
+  }
+
+  out.stages.reserve(stage_accum.size());
+  for (const auto& [stage, acc] : stage_accum) {
+    StageRow row;
+    row.stage = stage;
+    row.ranks = acc.ranks;
+    row.total_ns = acc.total_ns;
+    row.max_ns = acc.max_ns;
+    row.max_rank = acc.max_rank;
+    row.wait_ns = acc.wait_ns;
+    row.critical_ns = acc.critical_ns;
+    out.stages.push_back(std::move(row));
+  }
+  std::sort(out.stages.begin(), out.stages.end(),
+            [](const StageRow& a, const StageRow& b) {
+              return a.total_ns != b.total_ns ? a.total_ns > b.total_ns
+                                              : a.stage < b.stage;
+            });
+  return out;
+}
+
+std::string TraceAnalysis::format() const {
+  std::string outs;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "== trace analysis: %d ranks, wall %.3f ms ==\n", ranks,
+                static_cast<double>(wall_ns) * 1e-6);
+  outs += line;
+  std::snprintf(
+      line, sizeof(line),
+      "critical path: %.3f ms (%.1f%% of wall) = compute %.3f ms (%.1f%%)"
+      " + comm %.3f ms (%.1f%%) + wait %.3f ms (%.1f%%)\n",
+      static_cast<double>(critical_total_ns) * 1e-6,
+      pct(critical_total_ns, wall_ns),
+      static_cast<double>(critical_compute_ns) * 1e-6,
+      pct(critical_compute_ns, critical_total_ns),
+      static_cast<double>(critical_comm_ns) * 1e-6,
+      pct(critical_comm_ns, critical_total_ns),
+      static_cast<double>(critical_wait_ns) * 1e-6,
+      pct(critical_wait_ns, critical_total_ns));
+  outs += line;
+  std::snprintf(line, sizeof(line),
+                "               %zu segments, %d cross-rank jumps\n",
+                critical_path.size(), rank_jumps);
+  outs += line;
+
+  std::snprintf(line, sizeof(line), "%-28s %5s %10s %10s %5s %6s %8s %8s\n",
+                "stage", "ranks", "mean(ms)", "max(ms)", "@rank", "imb",
+                "wait(ms)", "crit(ms)");
+  outs += line;
+  for (const auto& s : stages) {
+    std::snprintf(line, sizeof(line),
+                  "%-28s %5d %10.3f %10.3f %5d %6.2f %8.3f %8.3f\n",
+                  s.stage.c_str(), s.ranks, s.mean_ns() * 1e-6,
+                  static_cast<double>(s.max_ns) * 1e-6, s.max_rank,
+                  s.imbalance(), static_cast<double>(s.wait_ns) * 1e-6,
+                  static_cast<double>(s.critical_ns) * 1e-6);
+    outs += line;
+  }
+
+  std::snprintf(line, sizeof(line), "%-6s %12s %12s %16s\n", "rank",
+                "busy(ms)", "wait(ms)", "caused-wait(ms)");
+  outs += line;
+  for (const auto& a : per_rank) {
+    std::snprintf(line, sizeof(line), "%-6d %12.3f %12.3f %16.3f\n", a.rank,
+                  static_cast<double>(a.busy_ns) * 1e-6,
+                  static_cast<double>(a.wait_ns) * 1e-6,
+                  static_cast<double>(a.caused_wait_ns) * 1e-6);
+    outs += line;
+  }
+
+  if (straggler_rank >= 0) {
+    std::snprintf(line, sizeof(line),
+                  "straggler: rank %d caused %.3f ms of peer wait"
+                  " (%.1f%% of all attributed wait)\n",
+                  straggler_rank,
+                  static_cast<double>(straggler_caused_wait_ns) * 1e-6,
+                  100.0 * straggler_share);
+    outs += line;
+  } else {
+    outs += "straggler: none (no attributed wait)\n";
+  }
+  return outs;
+}
+
+void TraceAnalysis::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("ranks").value(ranks);
+  w.key("epoch_ns").value(epoch_ns);
+  w.key("end_ns").value(end_ns);
+  w.key("wall_ns").value(wall_ns);
+
+  w.key("critical_path").begin_object();
+  w.key("total_ns").value(critical_total_ns);
+  w.key("compute_ns").value(critical_compute_ns);
+  w.key("comm_ns").value(critical_comm_ns);
+  w.key("wait_ns").value(critical_wait_ns);
+  w.key("rank_jumps").value(rank_jumps);
+  w.key("segments").begin_array();
+  for (const auto& seg : critical_path) {
+    w.begin_object();
+    w.key("rank").value(seg.rank);
+    w.key("kind").value(kind_name(seg.kind));
+    w.key("label").value(seg.label);
+    w.key("start_ns").value(seg.start_ns);
+    w.key("end_ns").value(seg.end_ns);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("stages").begin_array();
+  for (const auto& s : stages) {
+    w.begin_object();
+    w.key("stage").value(s.stage);
+    w.key("ranks").value(s.ranks);
+    w.key("total_ns").value(s.total_ns);
+    w.key("mean_ns").value(s.mean_ns());
+    w.key("max_ns").value(s.max_ns);
+    w.key("max_rank").value(s.max_rank);
+    w.key("imbalance").value(s.imbalance());
+    w.key("wait_ns").value(s.wait_ns);
+    w.key("critical_ns").value(s.critical_ns);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("per_rank").begin_array();
+  for (const auto& a : per_rank) {
+    w.begin_object();
+    w.key("rank").value(a.rank);
+    w.key("busy_ns").value(a.busy_ns);
+    w.key("wait_ns").value(a.wait_ns);
+    w.key("caused_wait_ns").value(a.caused_wait_ns);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("straggler").begin_object();
+  w.key("rank").value(straggler_rank);
+  w.key("caused_wait_ns").value(straggler_caused_wait_ns);
+  w.key("share").value(straggler_share);
+  w.end_object();
+
+  w.end_object();
+}
+
+std::vector<Timeline> timelines_from_chrome_trace(const JsonValue& doc) {
+  std::vector<Timeline> out;
+  const auto* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) return out;
+
+  auto to_ns = [](double us) {
+    return static_cast<std::int64_t>(std::llround(us * 1000.0));
+  };
+  std::map<int, Timeline> by_pid;
+  auto rank_tl = [&](const JsonValue& ev) -> Timeline* {
+    const auto* pid = ev.find("pid");
+    if (pid == nullptr || !pid->is_number()) return nullptr;
+    const int rank = static_cast<int>(pid->number());
+    return &by_pid.try_emplace(rank, rank).first->second;
+  };
+
+  for (const auto& ev : events->array()) {
+    if (!ev.is_object()) continue;
+    const auto* ph = ev.find("ph");
+    if (ph == nullptr || !ph->is_string()) continue;
+    auto* tl = rank_tl(ev);
+    if (tl == nullptr) continue;
+    const std::int64_t ts =
+        to_ns(JsonValue::number_or(ev.find("ts"), 0.0));
+    const auto* name = ev.find("name");
+    const std::string name_s =
+        name != nullptr && name->is_string() ? name->string() : "";
+
+    if (ph->string() == "X") {
+      const std::int64_t dur =
+          to_ns(JsonValue::number_or(ev.find("dur"), 0.0));
+      const auto* cat = ev.find("cat");
+      if (cat != nullptr && cat->is_string() && cat->string() == "wait") {
+        // Emitted as "wait:<kind>" ending at ts + dur.
+        const auto kind =
+            name_s.rfind("wait:", 0) == 0 ? name_s.substr(5) : name_s;
+        tl->add_wait(kind, ts + dur, dur);
+      } else {
+        tl->add_span(name_s, ts, ts + dur);
+      }
+    } else if (ph->string() == "s" || ph->string() == "f") {
+      const bool start = ph->string() == "s";
+      const auto id = static_cast<std::uint64_t>(
+          JsonValue::number_or(ev.find("id"), 0.0));
+      const int peer = static_cast<int>(JsonValue::number_or(
+          ev.find("args", start ? "dest" : "src"), -1.0));
+      const auto bytes = static_cast<std::uint64_t>(
+          JsonValue::number_or(ev.find("args", "bytes"), 0.0));
+      const std::int64_t wait =
+          to_ns(JsonValue::number_or(ev.find("args", "wait_us"), 0.0));
+      // The document doesn't carry the numeric tag (flows are named
+      // "msg:<tagname>"); -1 marks it unknown.
+      tl->add_flow(id, ts, start, peer, /*tag=*/-1, bytes, wait);
+    } else if (ph->string() == "i") {
+      tl->add_instant(name_s, ts);
+    }
+    // "M" metadata: rank_tl() already registered the pid's lane.
+  }
+
+  out.reserve(by_pid.size());
+  for (auto& [pid, tl] : by_pid) out.push_back(std::move(tl));
+  return out;
+}
+
+}  // namespace keybin2::runtime

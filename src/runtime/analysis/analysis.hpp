@@ -1,0 +1,133 @@
+// Post-mortem trace analytics: distributed critical path, per-stage
+// compute/comm/wait decomposition, and straggler attribution over a set of
+// per-rank Timelines.
+//
+// The core construction is a backward walk over the cross-rank causal
+// graph. Nodes are moments on a rank's timeline; edges are
+//   * local execution  — a rank runs from one event to the next,
+//   * message delivery — a paired send ("s") -> recv ("f") flow, and
+//   * blocking waits   — a recv that found the mailbox empty (wait_ns > 0
+//     provenance recorded by CommProbe) or a barrier wait.
+// Starting from the globally last event, the walk runs backward on the
+// current rank until it hits the latest *gating* block (a recv that
+// actually blocked, or a barrier); at a gating recv it jumps to the sender
+// and continues there. Every step emits one contiguous segment — compute,
+// comm (send->recv transfer), or wait (barrier) — until the walk reaches
+// the global epoch. Because the segments tile [epoch, end] exactly, the
+// critical-path total equals the end-to-end wall time by construction; the
+// interesting output is its decomposition.
+//
+// Late-sender decomposition of a recv that blocked for w ending at t_f,
+// with paired send at t_s (Scalasca's "late sender" pattern): the block
+// started at t0 = t_f - w. The portion before the send even happened,
+//   caused_wait = clamp(min(t_s, t_f) - t0, 0, w),
+// is idle time the *sender* inflicted on this rank; the remainder is
+// transfer. Summing caused_wait per sender over all paired recvs gives the
+// straggler attribution: the rank that made everyone else wait, whether it
+// was slow to compute or its wire was slow (fault-injected delay), tops the
+// table.
+//
+// Stage rows fold spans onto canonical paths (fold_scope_path: trial7 ->
+// trial*) and use *self* time (span minus enclosed child spans) so rows sum
+// to busy time. Imbalance is max-over-ranks / mean-over-ranks of per-rank
+// stage totals — the classic load-balance factor.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace keybin2::runtime {
+
+class JsonWriter;
+class JsonValue;
+class Timeline;
+
+/// One contiguous piece of the distributed critical path.
+struct CriticalSegment {
+  enum class Kind { kCompute, kComm, kWait };
+  Kind kind = Kind::kCompute;
+  int rank = -1;
+  std::string label;  // stage path for compute, "comm:tagname" / "wait:kind"
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+
+  std::int64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+/// Cross-rank roll-up of one canonical stage (folded scope path).
+struct StageRow {
+  std::string stage;
+  int ranks = 0;                 // ranks that executed this stage
+  std::int64_t total_ns = 0;     // sum over ranks of per-rank self time
+  std::int64_t max_ns = 0;       // max over ranks of per-rank self time
+  int max_rank = -1;             // the rank holding that max
+  std::int64_t wait_ns = 0;      // blocked time inside the stage, all ranks
+  std::int64_t critical_ns = 0;  // time this stage spends on the critical path
+
+  double mean_ns() const {
+    return ranks == 0 ? 0.0
+                      : static_cast<double>(total_ns) /
+                            static_cast<double>(ranks);
+  }
+  /// Load-balance factor max/mean (1.0 = perfectly balanced).
+  double imbalance() const {
+    const double mean = mean_ns();
+    return mean <= 0.0 ? 1.0 : static_cast<double>(max_ns) / mean;
+  }
+};
+
+/// Per-rank activity totals plus the wait time this rank *caused* on peers.
+struct RankActivity {
+  int rank = -1;
+  std::int64_t busy_ns = 0;         // union of this rank's span coverage
+  std::int64_t wait_ns = 0;         // recv + barrier blocked time
+  std::int64_t caused_wait_ns = 0;  // late-sender wait inflicted on peers
+};
+
+struct TraceAnalysis {
+  int ranks = 0;
+  std::int64_t epoch_ns = 0;  // earliest event across all ranks
+  std::int64_t end_ns = 0;    // latest event across all ranks
+  std::int64_t wall_ns = 0;   // end - epoch
+
+  // Critical path, in chronological order; durations sum to wall_ns.
+  std::vector<CriticalSegment> critical_path;
+  std::int64_t critical_total_ns = 0;
+  std::int64_t critical_compute_ns = 0;
+  std::int64_t critical_comm_ns = 0;
+  std::int64_t critical_wait_ns = 0;
+  int rank_jumps = 0;  // cross-rank hops the path takes
+
+  std::vector<StageRow> stages;         // sorted by total_ns descending
+  std::vector<RankActivity> per_rank;   // indexed by rank
+
+  // argmax over ranks of caused_wait_ns; -1 when no rank caused any wait.
+  int straggler_rank = -1;
+  std::int64_t straggler_caused_wait_ns = 0;
+  /// straggler's share of all caused wait (0 when none was observed).
+  double straggler_share = 0.0;
+
+  /// Human-readable report: critical-path decomposition, stage table,
+  /// per-rank activity, straggler attribution.
+  std::string format() const;
+
+  /// Machine-readable form consumed by trace_check --analysis and the
+  /// perf-regression gate.
+  void to_json(JsonWriter& w) const;
+};
+
+/// Analyze one timeline per rank (as collected by run_ranks + Context
+/// enable_timeline). Tolerates missing flow pairs (unmatched ends are
+/// ignored for path construction) and empty timelines.
+TraceAnalysis analyze(std::span<const Timeline> ranks);
+
+/// Rebuild per-rank Timelines from a Chrome trace-event JSON document (the
+/// exact shape chrome_trace_json emits: "X" spans with cat "scope"/"wait",
+/// "s"/"f" flow pairs, "M" metadata). Returns one Timeline per pid seen,
+/// ordered by pid; timestamps come back in nanoseconds. Returns empty on
+/// structurally alien documents.
+std::vector<Timeline> timelines_from_chrome_trace(const JsonValue& doc);
+
+}  // namespace keybin2::runtime

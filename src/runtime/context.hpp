@@ -26,6 +26,7 @@
 #include "comm/communicator.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "runtime/health.hpp"
 #include "runtime/log.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/timeline.hpp"
@@ -96,6 +97,23 @@ class Context {
     monitor_->set_timeline(timeline_.get());
   }
 
+  /// Start live health monitoring: an EWMA-baseline HealthMonitor observes
+  /// every tracer scope close and (via the comm probe, enabled as a side
+  /// effect) every recv/barrier wait, emitting stage_latency_anomaly /
+  /// wait_ratio_anomaly events into this context's EventLog. Idempotent;
+  /// the config of the first call wins.
+  void enable_health_monitor(HealthConfig config = {}) {
+    if (health_ == nullptr) {
+      health_ = std::make_unique<HealthMonitor>(&log_, &metrics_, config);
+    }
+    tracer_.set_observer(health_.get());
+    enable_comm_metrics();
+    monitor_->set_health(health_.get());
+  }
+
+  /// Non-null once enable_health_monitor() was called.
+  HealthMonitor* health() { return health_.get(); }
+
   /// Merge all ranks' traces at root (collective; see reduce_report()).
   TraceReport trace_report() { return reduce_report(tracer_, *comm_); }
 
@@ -152,6 +170,7 @@ class Context {
   MetricsRegistry metrics_;
   EventLog log_;
   std::unique_ptr<Timeline> timeline_;
+  std::unique_ptr<HealthMonitor> health_;
   std::unique_ptr<CommMonitor> monitor_;
   std::vector<std::unique_ptr<comm::SubgroupComm>> subgroups_;
   int excluded_ranks_ = 0;

@@ -8,6 +8,7 @@
 
 #include "common/serialize.hpp"
 #include "common/timer.hpp"
+#include "runtime/health.hpp"
 #include "runtime/json.hpp"
 #include "runtime/timeline.hpp"
 
@@ -141,13 +142,19 @@ void CommMonitor::on_recv(int self, int src, int tag, std::size_t bytes,
   (void)self;
   registry_->record_recv(src, tag, bytes, wait_ns);
   if (timeline_ != nullptr) {
-    timeline_->add_flow(flow_id, now_ns(), /*start=*/false, src, tag, bytes);
+    timeline_->add_flow(flow_id, now_ns(), /*start=*/false, src, tag, bytes,
+                        wait_ns);
   }
+  if (health_ != nullptr) health_->record_wait(wait_ns);
 }
 
 void CommMonitor::on_barrier(int self, std::int64_t wait_ns) {
   (void)self;
   registry_->record_barrier(wait_ns);
+  if (timeline_ != nullptr) {
+    timeline_->add_wait("barrier", now_ns(), wait_ns);
+  }
+  if (health_ != nullptr) health_->record_wait(wait_ns);
 }
 
 // ---- merge_metrics / MetricsReport ----

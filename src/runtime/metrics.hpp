@@ -32,6 +32,7 @@ namespace keybin2::runtime {
 
 class JsonWriter;
 class Timeline;
+class HealthMonitor;
 
 /// "1.2 KiB"-style rendering shared by trace and metrics tables.
 std::string human_bytes(std::uint64_t bytes);
@@ -127,8 +128,13 @@ class CommMonitor final : public comm::CommProbe {
  public:
   explicit CommMonitor(MetricsRegistry* registry) : registry_(registry) {}
 
-  /// Also record send/recv flow endpoints into `timeline` (nullptr detaches).
+  /// Also record send/recv flow endpoints (recv side with its blocked-time
+  /// provenance) and barrier waits into `timeline` (nullptr detaches).
   void set_timeline(Timeline* timeline) { timeline_ = timeline; }
+
+  /// Also feed recv/barrier blocked time into `health` (nullptr detaches),
+  /// so its wait-ratio baselines see the same waits the histograms do.
+  void set_health(HealthMonitor* health) { health_ = health; }
 
   void on_send(int self, int dest, int tag, std::size_t bytes,
                std::uint64_t flow_id, std::size_t queue_depth) override;
@@ -139,6 +145,7 @@ class CommMonitor final : public comm::CommProbe {
  private:
   MetricsRegistry* registry_;
   Timeline* timeline_ = nullptr;
+  HealthMonitor* health_ = nullptr;
 };
 
 /// Cross-rank merge of every rank's registry; valid at the merge root.

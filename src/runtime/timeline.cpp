@@ -16,12 +16,27 @@ double to_us(std::int64_t ns, std::int64_t epoch_ns) {
   return static_cast<double>(ns - epoch_ns) / 1000.0;
 }
 
-void event_header(JsonWriter& w, const char* ph, int tid, double ts_us) {
+// Every event of rank r lives in its own process lane (pid = tid = r), so
+// Perfetto groups one rank per labelled track.
+void event_header(JsonWriter& w, const char* ph, int rank, double ts_us) {
   w.begin_object();
   w.key("ph").value(ph);
-  w.key("pid").value(0);
-  w.key("tid").value(tid);
+  w.key("pid").value(rank);
+  w.key("tid").value(rank);
   w.key("ts").value(ts_us);
+}
+
+void metadata_event(JsonWriter& w, int rank, const char* what,
+                    const std::string& label) {
+  w.begin_object();
+  w.key("ph").value("M");
+  w.key("pid").value(rank);
+  w.key("tid").value(rank);
+  w.key("name").value(what);
+  w.key("args").begin_object();
+  w.key("name").value(label);
+  w.end_object();
+  w.end_object();
 }
 
 }  // namespace
@@ -32,6 +47,9 @@ std::string chrome_trace_json(std::span<const Timeline> ranks) {
   for (const auto& tl : ranks) {
     for (const auto& s : tl.spans()) epoch = std::min(epoch, s.start_ns);
     for (const auto& f : tl.flows()) epoch = std::min(epoch, f.t_ns);
+    for (const auto& wt : tl.waits()) {
+      epoch = std::min(epoch, wt.t_ns - wt.wait_ns);
+    }
     for (const auto& i : tl.instants()) epoch = std::min(epoch, i.t_ns);
   }
   if (epoch == std::numeric_limits<std::int64_t>::max()) epoch = 0;
@@ -42,17 +60,11 @@ std::string chrome_trace_json(std::span<const Timeline> ranks) {
   w.begin_array();
 
   for (const auto& tl : ranks) {
-    // Name the track even when the rank captured nothing, so a 4-rank trace
-    // always shows 4 timelines.
-    w.begin_object();
-    w.key("ph").value("M");
-    w.key("pid").value(0);
-    w.key("tid").value(tl.rank());
-    w.key("name").value("thread_name");
-    w.key("args").begin_object();
-    w.key("name").value("rank " + std::to_string(tl.rank()));
-    w.end_object();
-    w.end_object();
+    // Name both the process and thread lanes, even when the rank captured
+    // nothing, so a 4-rank trace always shows 4 stably-labelled timelines.
+    const auto label = "rank " + std::to_string(tl.rank());
+    metadata_event(w, tl.rank(), "process_name", "keybin2 " + label);
+    metadata_event(w, tl.rank(), "thread_name", label);
   }
 
   // Pair flow ends by id; an arrow is only drawn when both ends exist (a
@@ -72,6 +84,13 @@ std::string chrome_trace_json(std::span<const Timeline> ranks) {
       w.key("dur").value(to_us(s.end_ns, s.start_ns));
       w.key("name").value(s.name);
       w.key("cat").value("scope");
+      w.end_object();
+    }
+    for (const auto& wt : tl.waits()) {
+      event_header(w, "X", tl.rank(), to_us(wt.t_ns - wt.wait_ns, epoch));
+      w.key("dur").value(to_us(wt.wait_ns, 0));
+      w.key("name").value("wait:" + wt.kind);
+      w.key("cat").value("wait");
       w.end_object();
     }
     for (const auto& i : tl.instants()) {
@@ -104,6 +123,10 @@ std::string chrome_trace_json(std::span<const Timeline> ranks) {
     w.key("name").value(name);
     w.key("cat").value("flow");
     w.key("bp").value("e");  // bind to the enclosing slice
+    w.key("args").begin_object();
+    w.key("wait_us").value(to_us(rf->wait_ns, 0));
+    w.key("src").value(rf->peer);
+    w.end_object();
     w.end_object();
   }
 

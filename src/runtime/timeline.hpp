@@ -1,17 +1,24 @@
 // Per-rank timeline capture: what each rank was doing, when, and which
 // messages flowed between ranks.
 //
-// A Timeline records three kinds of events, all stamped with now_ns():
+// A Timeline records four kinds of events, all stamped with now_ns():
 //   * Span    — a closed Tracer scope ("fit/trial0/bin") with start/end.
 //   * Flow    — one end of a point-to-point delivery; the hub-unique flow id
-//               pairs the send with the matching recv across ranks.
+//               pairs the send with the matching recv across ranks. The recv
+//               end carries the time the rank blocked for the message
+//               (wait provenance — what the critical-path analysis uses to
+//               decide whether a recv actually gated progress).
+//   * Wait    — a blocking interval with no paired remote event (barrier).
 //   * Instant — a point event (survivor shrink, checkpoint write, ...).
 //
 // chrome_trace_json() renders a set of rank timelines as Chrome trace-event
-// JSON (the format Perfetto and chrome://tracing load): "X" complete events
-// for spans, "s"/"f" flow-event pairs for message arrows, "i" instants, and
-// "M" metadata naming each rank's track. Timestamps are microseconds
-// relative to the earliest event so traces start at t=0.
+// JSON (the format Perfetto and chrome://tracing load): each rank becomes
+// its own process (pid = tid = rank) with "process_name"/"thread_name"
+// metadata so Perfetto shows one stably-labelled lane per rank, "X" complete
+// events for spans (cat "scope") and waits (cat "wait"), "s"/"f" flow-event
+// pairs for message arrows ("f" carries args.wait_us), and "i" instants.
+// Timestamps are microseconds relative to the earliest event so traces start
+// at t=0. kb2_analyze parses this exact shape back into Timelines.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +38,9 @@ class Timeline {
   };
 
   /// One end of a message delivery. `start` is true on the send side.
+  /// `wait_ns` is recv-side provenance: how long the rank blocked before
+  /// this message was delivered (0 on the send side, and on recvs that
+  /// found the message already in the mailbox).
   struct Flow {
     std::uint64_t id = 0;
     std::int64_t t_ns = 0;
@@ -38,6 +48,15 @@ class Timeline {
     int peer = -1;
     int tag = 0;
     std::uint64_t bytes = 0;
+    std::int64_t wait_ns = 0;
+  };
+
+  /// A blocking interval with no remote pairing: `t_ns` is when the block
+  /// ended, `wait_ns` how long it lasted (barrier waits, today).
+  struct Wait {
+    std::string kind;  // "barrier"
+    std::int64_t t_ns = 0;
+    std::int64_t wait_ns = 0;
   };
 
   struct Instant {
@@ -53,8 +72,11 @@ class Timeline {
     spans_.push_back(Span{std::move(name), start_ns, end_ns});
   }
   void add_flow(std::uint64_t id, std::int64_t t_ns, bool start, int peer,
-                int tag, std::uint64_t bytes) {
-    flows_.push_back(Flow{id, t_ns, start, peer, tag, bytes});
+                int tag, std::uint64_t bytes, std::int64_t wait_ns = 0) {
+    flows_.push_back(Flow{id, t_ns, start, peer, tag, bytes, wait_ns});
+  }
+  void add_wait(std::string kind, std::int64_t t_ns, std::int64_t wait_ns) {
+    waits_.push_back(Wait{std::move(kind), t_ns, wait_ns});
   }
   void add_instant(std::string name, std::int64_t t_ns) {
     instants_.push_back(Instant{std::move(name), t_ns});
@@ -62,15 +84,18 @@ class Timeline {
 
   const std::vector<Span>& spans() const { return spans_; }
   const std::vector<Flow>& flows() const { return flows_; }
+  const std::vector<Wait>& waits() const { return waits_; }
   const std::vector<Instant>& instants() const { return instants_; }
 
   bool empty() const {
-    return spans_.empty() && flows_.empty() && instants_.empty();
+    return spans_.empty() && flows_.empty() && waits_.empty() &&
+           instants_.empty();
   }
 
   void clear() {
     spans_.clear();
     flows_.clear();
+    waits_.clear();
     instants_.clear();
   }
 
@@ -78,12 +103,14 @@ class Timeline {
   int rank_;
   std::vector<Span> spans_;
   std::vector<Flow> flows_;
+  std::vector<Wait> waits_;
   std::vector<Instant> instants_;
 };
 
 /// Render one timeline per rank as a Chrome trace-event JSON document
-/// ({"traceEvents": [...]}). Each rank becomes one track (pid 0, tid =
-/// rank); flow pairs appear only when both ends were captured.
+/// ({"traceEvents": [...]}). Each rank becomes its own process lane
+/// (pid = tid = rank) named by process_name/thread_name metadata; flow
+/// pairs appear only when both ends were captured.
 std::string chrome_trace_json(std::span<const Timeline> ranks);
 
 }  // namespace keybin2::runtime

@@ -11,6 +11,28 @@
 
 namespace keybin2::runtime {
 
+std::string fold_scope_path(std::string_view path) {
+  std::string key;
+  key.reserve(path.size());
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    auto slash = path.find('/', start);
+    if (slash == std::string_view::npos) slash = path.size();
+    auto part = path.substr(start, slash - start);
+    // A component with a digit tail is an iteration instance: trial0,
+    // trial17, chunk3 all fold onto one stage.
+    std::size_t digits = part.size();
+    while (digits > 0 && part[digits - 1] >= '0' && part[digits - 1] <= '9') {
+      --digits;
+    }
+    if (!key.empty()) key += '/';
+    key += part.substr(0, digits);
+    if (digits != part.size()) key += '*';
+    start = slash + 1;
+  }
+  return key;
+}
+
 Tracer::Scope& Tracer::Scope::operator=(Scope&& o) noexcept {
   if (this != &o) {
     close();
@@ -36,6 +58,7 @@ Tracer::Scope Tracer::scope(std::string_view name) {
   frame.path += name;
   if (comm_ != nullptr) frame.at_open = comm_->stats();
   stack_.push_back(std::move(frame));
+  if (observer_ != nullptr) observer_->on_scope_open(stack_.back().path);
   return Scope(this);
 }
 
@@ -47,6 +70,9 @@ void Tracer::close_top() {
   const std::int64_t t1 = now_ns();
   if (timeline_ != nullptr) {
     timeline_->add_span(frame.path, frame.t0_ns, t1);
+  }
+  if (observer_ != nullptr) {
+    observer_->on_scope_close(frame.path, t1 - frame.t0_ns);
   }
   auto& entry = entries_[frame.path];
   ++entry.calls;

@@ -26,6 +26,24 @@ namespace keybin2::runtime {
 
 class Timeline;
 
+/// "fit/trial12/bin" -> "fit/trial*/bin": fold per-iteration scope instances
+/// onto one canonical stage path (a digit-tailed component becomes "name*").
+/// Shared by the HealthMonitor's EWMA baselines and the post-mortem stage
+/// table, so live anomalies and kb2_analyze rows use identical keys.
+std::string fold_scope_path(std::string_view path);
+
+/// Live observation of scope boundaries, for in-process monitors (the
+/// HealthMonitor keeps EWMA latency baselines from these). Calls arrive on
+/// the tracer's own rank thread, strictly nested, open/close balanced from
+/// the moment the observer is attached (an observer attached with scopes
+/// already open sees their closes without the opens and must tolerate it).
+class ScopeObserver {
+ public:
+  virtual ~ScopeObserver() = default;
+  virtual void on_scope_open(std::string_view path) = 0;
+  virtual void on_scope_close(std::string_view path, std::int64_t wall_ns) = 0;
+};
+
 class Tracer {
  public:
   /// Accumulated measurements of one scope path on one rank.
@@ -50,6 +68,10 @@ class Tracer {
   /// Scope timestamps come from the shared now_ns() clock, so spans line up
   /// with the timeline's flow events and the event log.
   void set_timeline(Timeline* timeline) { timeline_ = timeline; }
+
+  /// Notify `observer` of every scope open/close (nullptr detaches). The
+  /// observer must outlive its attachment.
+  void set_observer(ScopeObserver* observer) { observer_ = observer; }
 
   /// RAII handle closing its scope on destruction. Scopes must nest: close
   /// (destroy) inner scopes before outer ones.
@@ -102,6 +124,7 @@ class Tracer {
 
   const comm::Communicator* comm_;
   Timeline* timeline_ = nullptr;
+  ScopeObserver* observer_ = nullptr;
   std::vector<Frame> stack_;
   std::map<std::string, Entry> entries_;
   std::map<std::string, double> counters_;

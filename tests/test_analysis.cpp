@@ -1,0 +1,469 @@
+// Trace analytics: hand-built timelines with a known critical path, the
+// wall-coverage guarantee on a real distributed fit, straggler attribution
+// under injected per-rank delay, HealthMonitor anomaly baselines, the
+// JSON parser the tooling reads documents back with, and the
+// baseline/current perf-regression comparison.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "comm/launch.hpp"
+#include "core/keybin2.hpp"
+#include "data/gaussian_mixture.hpp"
+#include "data/partition.hpp"
+#include "runtime/analysis/analysis.hpp"
+#include "runtime/analysis/compare.hpp"
+#include "runtime/context.hpp"
+#include "runtime/health.hpp"
+#include "runtime/json.hpp"
+#include "runtime/log.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/timeline.hpp"
+#include "runtime/tracer.hpp"
+
+namespace keybin2::runtime {
+namespace {
+
+TEST(FoldScopePath, FoldsDigitTailedComponents) {
+  EXPECT_EQ(fold_scope_path("fit/trial12/bin"), "fit/trial*/bin");
+  EXPECT_EQ(fold_scope_path("fit"), "fit");
+  EXPECT_EQ(fold_scope_path("refit/chunk3"), "refit/chunk*");
+  EXPECT_EQ(fold_scope_path("pass1_histograms"), "pass1_histograms");
+  // The HealthMonitor's baseline keys are the same folding.
+  EXPECT_EQ(HealthMonitor::baseline_key("fit/trial7"), "fit/trial*");
+}
+
+// The scenario from the design discussion: rank 0 computes for 1000 ns and
+// sends; rank 1 finishes its own work at 400 ns, blocks until the message
+// lands at 1500 ns (wait 1100), then computes until 2000 ns.
+//
+//   rank 0:  [==== work 0..1000 ====] --send-->
+//   rank 1:  [early 0..400] ....blocked.... recv@1500 [late 1500..2000]
+//
+// Critical path: rank 0 compute [0,1000] -> transfer [1000,1500] -> rank 1
+// compute [1500,2000]. Total 2000 == wall. Rank 0 caused 600 ns of rank 1's
+// 1100 ns block (the 400..1000 stretch before the send existed).
+std::vector<Timeline> two_rank_handoff() {
+  std::vector<Timeline> tls;
+  tls.emplace_back(0);
+  tls.emplace_back(1);
+  tls[0].add_span("work", 0, 1000);
+  tls[0].add_flow(1, 1000, /*start=*/true, /*peer=*/1, /*tag=*/9, 64);
+  tls[1].add_span("early", 0, 400);
+  tls[1].add_flow(1, 1500, /*start=*/false, /*peer=*/0, /*tag=*/9, 64,
+                  /*wait_ns=*/1100);
+  tls[1].add_span("late", 1500, 2000);
+  return tls;
+}
+
+TEST(Analyze, HandBuiltHandoffCriticalPath) {
+  const auto tls = two_rank_handoff();
+  const auto a = analyze(tls);
+
+  EXPECT_EQ(a.ranks, 2);
+  EXPECT_EQ(a.wall_ns, 2000);
+  EXPECT_EQ(a.critical_total_ns, a.wall_ns);  // exact by construction
+  EXPECT_EQ(a.critical_compute_ns, 1500);
+  EXPECT_EQ(a.critical_comm_ns, 500);
+  EXPECT_EQ(a.critical_wait_ns, 0);
+  EXPECT_EQ(a.rank_jumps, 1);
+
+  ASSERT_EQ(a.critical_path.size(), 3u);
+  EXPECT_EQ(a.critical_path[0].rank, 0);
+  EXPECT_EQ(a.critical_path[0].label, "work");
+  EXPECT_EQ(a.critical_path[0].start_ns, 0);
+  EXPECT_EQ(a.critical_path[0].end_ns, 1000);
+  EXPECT_EQ(a.critical_path[1].kind, CriticalSegment::Kind::kComm);
+  EXPECT_EQ(a.critical_path[1].start_ns, 1000);
+  EXPECT_EQ(a.critical_path[1].end_ns, 1500);
+  EXPECT_EQ(a.critical_path[2].rank, 1);
+  EXPECT_EQ(a.critical_path[2].label, "late");
+
+  // Late-sender attribution: rank 1 blocked 1100; 600 of that predates the
+  // send and lands on rank 0.
+  EXPECT_EQ(a.per_rank[1].wait_ns, 1100);
+  EXPECT_EQ(a.per_rank[0].caused_wait_ns, 600);
+  EXPECT_EQ(a.straggler_rank, 0);
+  EXPECT_EQ(a.straggler_caused_wait_ns, 600);
+
+  const auto text = a.format();
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+  EXPECT_NE(text.find("straggler: rank 0"), std::string::npos);
+}
+
+TEST(Analyze, BarrierWaitLandsOnPath) {
+  std::vector<Timeline> tls;
+  tls.emplace_back(0);
+  tls[0].add_span("step", 0, 1000);
+  tls[0].add_wait("barrier", 800, 300);  // blocked 500..800
+  const auto a = analyze(tls);
+  EXPECT_EQ(a.wall_ns, 1000);
+  EXPECT_EQ(a.critical_total_ns, 1000);
+  EXPECT_EQ(a.critical_wait_ns, 300);
+  EXPECT_EQ(a.critical_compute_ns, 700);
+  EXPECT_EQ(a.critical_comm_ns, 0);
+}
+
+TEST(Analyze, StageTableImbalance) {
+  std::vector<Timeline> tls;
+  tls.emplace_back(0);
+  tls.emplace_back(1);
+  tls[0].add_span("fit/bin", 0, 100);
+  tls[1].add_span("fit/bin", 0, 300);
+  const auto a = analyze(tls);
+  ASSERT_FALSE(a.stages.empty());
+  const auto& row = a.stages.front();
+  EXPECT_EQ(row.stage, "fit/bin");
+  EXPECT_EQ(row.ranks, 2);
+  EXPECT_EQ(row.max_ns, 300);
+  EXPECT_EQ(row.max_rank, 1);
+  EXPECT_DOUBLE_EQ(row.mean_ns(), 200.0);
+  EXPECT_DOUBLE_EQ(row.imbalance(), 1.5);
+}
+
+TEST(Analyze, SelfTimeExcludesChildren) {
+  std::vector<Timeline> tls;
+  tls.emplace_back(0);
+  tls[0].add_span("fit", 0, 1000);
+  tls[0].add_span("fit/bin", 100, 700);
+  const auto a = analyze(tls);
+  ASSERT_EQ(a.stages.size(), 2u);
+  // Sorted by total: the 600 ns child outranks the 400 ns parent remainder.
+  EXPECT_EQ(a.stages[0].stage, "fit/bin");
+  EXPECT_EQ(a.stages[0].total_ns, 600);
+  EXPECT_EQ(a.stages[1].stage, "fit");
+  EXPECT_EQ(a.stages[1].total_ns, 400);
+}
+
+TEST(Analyze, EmptyInputYieldsEmptyAnalysis) {
+  const auto a = analyze(std::vector<Timeline>{});
+  EXPECT_EQ(a.ranks, 0);
+  EXPECT_EQ(a.wall_ns, 0);
+  EXPECT_TRUE(a.critical_path.empty());
+}
+
+TEST(Analyze, ToJsonIsWellFormedAndSelfConsistent) {
+  const auto a = analyze(two_rank_handoff());
+  JsonWriter w;
+  a.to_json(w);
+  ASSERT_TRUE(json_validate(w.str()));
+  const auto doc = json_parse(w.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(JsonValue::number_or(doc->find("wall_ns"), -1), 2000.0);
+  EXPECT_EQ(JsonValue::number_or(doc->find("critical_path", "total_ns"), -1),
+            2000.0);
+  EXPECT_EQ(JsonValue::number_or(doc->find("straggler", "rank"), -1), 0.0);
+}
+
+/// Run a 4-rank instrumented fit and hand back every rank's timeline.
+std::vector<Timeline> traced_fit(
+    const comm::fault::FaultSchedule* rank2_schedule = nullptr) {
+  const auto spec = data::make_paper_mixture(8, 3, 11);
+  const auto d = data::sample(spec, 1200, 12);
+  const auto shards = data::shard(d, 4);
+  std::vector<Timeline> tls(4);
+  comm::run_ranks(4, [&](comm::Communicator& c) {
+    core::Params params;
+    params.seed = 5;
+    params.bootstrap_trials = 2;
+    params.comm_timeout_seconds = 20.0;
+    auto body = [&](comm::Communicator& endpoint) {
+      Context ctx(endpoint, params.seed);
+      ctx.enable_timeline();
+      (void)core::fit(ctx, shards[static_cast<std::size_t>(c.rank())].points,
+                      params);
+      tls[static_cast<std::size_t>(c.rank())] = std::move(*ctx.timeline());
+    };
+    if (rank2_schedule != nullptr && c.rank() == 2) {
+      comm::fault::FaultyComm faulty(c, *rank2_schedule);
+      body(faulty);
+    } else {
+      body(c);
+    }
+  });
+  return tls;
+}
+
+TEST(Analyze, RealFitCriticalPathCoversWall) {
+  const auto tls = traced_fit();
+  const auto a = analyze(tls);
+  ASSERT_GT(a.wall_ns, 0);
+  // The acceptance guarantee: path total equals end-to-end wall within 1%
+  // (by construction it is exact; the margin guards the assertion itself).
+  EXPECT_NEAR(static_cast<double>(a.critical_total_ns),
+              static_cast<double>(a.wall_ns),
+              0.01 * static_cast<double>(a.wall_ns));
+  EXPECT_GT(a.critical_path.size(), 1u);
+  EXPECT_GT(a.rank_jumps, 0);
+  // All four ranks show up with busy time.
+  ASSERT_EQ(a.per_rank.size(), 4u);
+  for (const auto& r : a.per_rank) EXPECT_GT(r.busy_ns, 0);
+}
+
+TEST(Analyze, ChromeTraceRoundTripPreservesAnalysis) {
+  const auto tls = traced_fit();
+  const auto direct = analyze(tls);
+
+  const auto json = chrome_trace_json(tls);
+  const auto doc = json_parse(json);
+  ASSERT_TRUE(doc.has_value());
+  const auto back = timelines_from_chrome_trace(*doc);
+  ASSERT_EQ(back.size(), tls.size());
+  const auto parsed = analyze(back);
+
+  // Timestamps quantize to microseconds with 1 ns rounding in the document;
+  // the analysis must agree to well under a percent.
+  ASSERT_GT(direct.wall_ns, 0);
+  EXPECT_NEAR(static_cast<double>(parsed.wall_ns),
+              static_cast<double>(direct.wall_ns),
+              0.005 * static_cast<double>(direct.wall_ns) + 2000.0);
+  EXPECT_EQ(parsed.critical_total_ns, parsed.wall_ns);
+  EXPECT_EQ(parsed.ranks, direct.ranks);
+}
+
+TEST(Analyze, InjectedDelayIsAttributedToTheFaultyRank) {
+  // Rank 2's wire delays every message by 2 ms before it is even sent, so
+  // every peer blocked on rank 2 accumulates late-sender wait pointing at
+  // it. The analysis must name rank 2 the straggler.
+  comm::fault::FaultSchedule schedule;
+  schedule.delay_prob = 1.0;
+  schedule.delay_ms = 2.0;
+  const auto tls = traced_fit(&schedule);
+  const auto a = analyze(tls);
+  EXPECT_EQ(a.straggler_rank, 2);
+  EXPECT_GT(a.straggler_caused_wait_ns, 1'000'000);  // >= one 2 ms delay
+  EXPECT_GT(a.straggler_share, 0.4);
+}
+
+// ---- HealthMonitor ----
+
+HealthConfig tight_config() {
+  HealthConfig cfg;
+  cfg.warmup = 2;
+  cfg.min_wall_ns = 0;
+  cfg.latency_factor = 2.0;
+  cfg.wait_ratio_slack = 0.3;
+  return cfg;
+}
+
+TEST(HealthMonitor, LatencyAnomalyAfterWarmup) {
+  auto sink = std::make_shared<MemorySink>();
+  EventLog log(0);
+  log.set_sink(sink);
+  MetricsRegistry metrics;
+  HealthMonitor hm(&log, &metrics, tight_config());
+
+  // Three 1 ms baselines (trial index varies: all fold to one key), then a
+  // 10 ms outlier must alarm; the baseline updates after the check.
+  for (int i = 0; i < 3; ++i) {
+    hm.on_scope_open("fit/trial" + std::to_string(i));
+    hm.on_scope_close("fit/trial" + std::to_string(i), 1'000'000);
+  }
+  EXPECT_EQ(hm.anomalies(), 0u);
+  hm.on_scope_open("fit/trial3");
+  hm.on_scope_close("fit/trial3", 10'000'000);
+  EXPECT_EQ(hm.anomalies(), 1u);
+  const auto events = sink->events_named("stage_latency_anomaly");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(metrics.counters().at("health_latency_anomalies"), 1u);
+}
+
+TEST(HealthMonitor, WaitRatioAnomaly) {
+  auto sink = std::make_shared<MemorySink>();
+  EventLog log(0);
+  log.set_sink(sink);
+  MetricsRegistry metrics;
+  HealthMonitor hm(&log, &metrics, tight_config());
+
+  // Baselines with no blocked time...
+  for (int i = 0; i < 3; ++i) {
+    hm.on_scope_open("merge" + std::to_string(i));
+    hm.on_scope_close("merge" + std::to_string(i), 1'000'000);
+  }
+  // ...then a scope spending 80% of its wall blocked.
+  hm.on_scope_open("merge3");
+  hm.record_wait(800'000);
+  hm.on_scope_close("merge3", 1'000'000);
+  EXPECT_EQ(sink->events_named("wait_ratio_anomaly").size(), 1u);
+}
+
+TEST(HealthMonitor, ToleratesAttachMidRun) {
+  EventLog log(0);
+  MetricsRegistry metrics;
+  HealthMonitor hm(&log, &metrics, tight_config());
+  // A close with no recorded open (observer attached inside the scope) must
+  // not crash or mis-attribute waits.
+  hm.on_scope_close("fit", 1'000'000);
+  EXPECT_EQ(hm.anomalies(), 0u);
+}
+
+TEST(HealthMonitor, ContextIntegrationRunsClean) {
+  const auto spec = data::make_paper_mixture(8, 3, 3);
+  const auto d = data::sample(spec, 600, 4);
+  Context ctx(/*seed=*/5);
+  ctx.enable_health_monitor();
+  core::Params params;
+  params.seed = 5;
+  params.bootstrap_trials = 2;
+  (void)core::fit(ctx, d.points, params);
+  ASSERT_NE(ctx.health(), nullptr);
+  // A healthy serial fit must not page anyone.
+  EXPECT_EQ(ctx.health()->anomalies(), 0u);
+}
+
+// ---- JSON parser ----
+
+TEST(JsonParse, BuildsDocumentTree) {
+  const auto doc = json_parse(
+      R"({"a": [1, 2.5, -3e2], "b": "text", "c": true, "d": null, )"
+      R"("nested": {"x": 7}})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const auto* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array()[2].number(), -300.0);
+  EXPECT_EQ(doc->find("b")->string(), "text");
+  EXPECT_TRUE(doc->find("c")->boolean());
+  EXPECT_EQ(doc->find("d")->kind(), JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(JsonValue::number_or(doc->find("nested", "x"), -1), 7.0);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_FALSE(json_parse("{\"a\": }").has_value());
+  EXPECT_FALSE(json_parse("[1, 2,]").has_value());
+  EXPECT_FALSE(json_parse("").has_value());
+  EXPECT_FALSE(json_parse("{} trailing").has_value());
+}
+
+TEST(JsonParse, DecodesEscapesIncludingSurrogatePairs) {
+  const auto doc = json_parse(R"({"s": "héllo 😀"})");
+  ASSERT_TRUE(doc.has_value());
+  // U+00E9 = C3 A9, U+1F600 = F0 9F 98 80.
+  EXPECT_EQ(doc->find("s")->string(), "h\xc3\xa9llo \xf0\x9f\x98\x80");
+}
+
+TEST(JsonEscape, EmitsPureAscii) {
+  const auto escaped = json_escape("h\xc3\xa9llo");  // "héllo" in UTF-8
+  EXPECT_EQ(escaped, "h\\u00e9llo");
+  for (const char ch : json_escape("\xf0\x9f\x98\x80")) {
+    EXPECT_LT(static_cast<unsigned char>(ch), 0x80u);
+  }
+  // Escaped output must round-trip through the parser.
+  const auto doc = json_parse("\"" + json_escape("sp\xc3\xa4n \x01") + "\"");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string(), "sp\xc3\xa4n \x01");
+}
+
+TEST(JsonEscape, NonAsciiSpanNamesSurviveChromeExport) {
+  std::vector<Timeline> tls;
+  tls.emplace_back(0);
+  tls[0].add_span("r\xc3\xa9gion", 0, 100);  // non-ASCII scope name
+  const auto json = chrome_trace_json(tls);
+  ASSERT_TRUE(json_validate(json));
+  for (const char ch : json) {
+    EXPECT_LT(static_cast<unsigned char>(ch), 0x80u);
+  }
+  EXPECT_NE(json.find("r\\u00e9gion"), std::string::npos);
+}
+
+// ---- perf-regression compare ----
+
+std::string bench_doc(double mean_s, double stddev_s, double bytes) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      R"({"bench":"b","options":{"points_per_rank":100,"ranks":4,"runs":3,)"
+      R"("seed":42,"full":false},"rows":[],)"
+      R"("series":{"staged_seconds":{"mean":%g,"stddev":%g},)"
+      R"("reduce_bytes_dense":{"mean":%g,"stddev":0}},"captures":[]})",
+      mean_s, stddev_s, bytes);
+  return buf;
+}
+
+JsonValue parse_or_die(const std::string& text) {
+  auto doc = json_parse(text);
+  EXPECT_TRUE(doc.has_value());
+  return *doc;
+}
+
+TEST(Compare, PassesWithinNoiseBand) {
+  const auto base = parse_or_die(bench_doc(1.0, 0.05, 1000));
+  const auto cur = parse_or_die(bench_doc(1.2, 0.05, 1000));
+  const auto result = compare_reports(base, cur);
+  EXPECT_TRUE(result.ok()) << result.format();
+}
+
+TEST(Compare, SyntheticTwoFoldSlowdownAlwaysFails) {
+  const auto base = parse_or_die(bench_doc(1.0, 0.05, 1000));
+  const auto cur = parse_or_die(bench_doc(1.0, 0.05, 1000));
+  CompareOptions opts;
+  opts.scale_time = 2.0;
+  const auto result = compare_reports(base, cur, opts);
+  EXPECT_FALSE(result.ok());
+  EXPECT_GT(result.regressions(), 0);
+  EXPECT_NE(result.format().find("REGRESSED"), std::string::npos);
+}
+
+TEST(Compare, NoisyBaselineWidensToleranceButCapsAtTwoFold) {
+  // cv = 0.5 -> band = min(0.9, 3 * 0.5) = 0.9: 1.85x passes, 2x fails.
+  const auto base = parse_or_die(bench_doc(1.0, 0.5, 1000));
+  EXPECT_TRUE(
+      compare_reports(base, parse_or_die(bench_doc(1.85, 0.5, 1000))).ok());
+  EXPECT_FALSE(
+      compare_reports(base, parse_or_die(bench_doc(2.05, 0.5, 1000))).ok());
+}
+
+TEST(Compare, DeterministicBytesGetTightTolerance) {
+  const auto base = parse_or_die(bench_doc(1.0, 0.05, 1000));
+  EXPECT_TRUE(
+      compare_reports(base, parse_or_die(bench_doc(1.0, 0.05, 1050))).ok());
+  const auto result =
+      compare_reports(base, parse_or_die(bench_doc(1.0, 0.05, 1200)));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Compare, MissingMetricIsAnError) {
+  const auto base = parse_or_die(bench_doc(1.0, 0.05, 1000));
+  const auto cur = parse_or_die(
+      R"({"bench":"b","options":{"points_per_rank":100,"ranks":4,"runs":3,)"
+      R"("seed":42,"full":false},"rows":[],"series":{},"captures":[]})");
+  const auto result = compare_reports(base, cur);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.errors.empty());
+}
+
+TEST(Compare, OptionMismatchIsAnError) {
+  const auto base = parse_or_die(bench_doc(1.0, 0.05, 1000));
+  auto text = bench_doc(1.0, 0.05, 1000);
+  const auto pos = text.find("\"ranks\":4");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 9, "\"ranks\":8");
+  const auto result = compare_reports(base, parse_or_die(text));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Compare, AnalysisReportsCompareOnCriticalPath) {
+  auto analysis_doc = [&](std::int64_t scale) {
+    const auto tls = two_rank_handoff();
+    auto a = analyze(tls);
+    a.wall_ns *= scale;
+    a.critical_total_ns *= scale;
+    a.critical_compute_ns *= scale;
+    a.critical_comm_ns *= scale;
+    JsonWriter w;
+    a.to_json(w);
+    return parse_or_die(w.str());
+  };
+  const auto base = analysis_doc(1);
+  EXPECT_TRUE(compare_reports(base, analysis_doc(1)).ok());
+  const auto result = compare_reports(base, analysis_doc(3));
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace keybin2::runtime

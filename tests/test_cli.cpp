@@ -145,7 +145,8 @@ TEST_F(CliTest, TraceJsonExportsLoadableRankTimelines) {
     }
     return c;
   };
-  EXPECT_EQ(count("\"ph\":\"M\""), 4u);  // one named track per rank
+  // process_name + thread_name metadata per rank lane.
+  EXPECT_EQ(count("\"ph\":\"M\""), 8u);
   EXPECT_GE(count("\"ph\":\"X\""), 4u);
   EXPECT_GE(count("\"ph\":\"s\""), 1u);
   EXPECT_EQ(count("\"ph\":\"s\""), count("\"ph\":\"f\""));

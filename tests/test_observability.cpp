@@ -238,7 +238,8 @@ TEST(Timeline, ChromeTraceJsonPairsFlows) {
     }
     return n;
   };
-  EXPECT_EQ(count("\"ph\":\"M\""), 2u);  // one track per rank
+  // process_name + thread_name per rank (pid = tid = rank lanes).
+  EXPECT_EQ(count("\"ph\":\"M\""), 4u);
   EXPECT_EQ(count("\"ph\":\"X\""), 2u);
   EXPECT_EQ(count("\"ph\":\"s\""), 1u);  // only the completed pair
   EXPECT_EQ(count("\"ph\":\"f\""), 1u);

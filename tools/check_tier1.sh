@@ -18,6 +18,22 @@
 #                                  # on any fused-vs-staged mismatch) and gate
 #                                  # on trace_check --bench validating the
 #                                  # BENCH_kernel_fusion.json schema
+#   tools/check_tier1.sh --analyze-smoke
+#                                  # build, then run an instrumented 8-rank
+#                                  # cluster and gate on the trace-analytics
+#                                  # chain: trace_check validates the trace's
+#                                  # flow-pairing/nesting invariants,
+#                                  # kb2_analyze must report a critical path
+#                                  # covering the wall, and trace_check
+#                                  # --analysis validates the JSON report
+#   tools/check_tier1.sh --perf-gate
+#                                  # build, rerun bench/kernel_fusion with the
+#                                  # committed baseline's exact options, and
+#                                  # gate with kb2_analyze --compare against
+#                                  # bench/baselines/BENCH_kernel_fusion.json;
+#                                  # also self-tests the gate by proving a
+#                                  # synthetic 2x slowdown (--scale-time 2)
+#                                  # fails
 #
 # The sanitizer modes build into their own directories (build-tsan/build-asan)
 # so they never dirty the primary build, and run only the `comm`-labelled
@@ -33,6 +49,8 @@ build_dir="${BUILD_DIR:-${repo_root}/build}"
 sanitize=""
 trace_smoke=0
 bench_smoke=0
+analyze_smoke=0
+perf_gate=0
 ctest_args=()
 for arg in "$@"; do
   case "${arg}" in
@@ -41,6 +59,8 @@ for arg in "$@"; do
     --asan) sanitize="address" ;;
     --trace-smoke) trace_smoke=1 ;;
     --bench-smoke) bench_smoke=1 ;;
+    --analyze-smoke) analyze_smoke=1 ;;
+    --perf-gate) perf_gate=1 ;;
     *) ctest_args+=("${arg}") ;;
   esac
 done
@@ -92,6 +112,53 @@ if [[ "${bench_smoke}" == "1" ]]; then
   "${build_dir}/tools/trace_check" --bench \
     "${smoke_dir}/BENCH_kernel_fusion.json"
   echo "bench smoke: OK"
+  exit 0
+fi
+
+if [[ "${analyze_smoke}" == "1" ]]; then
+  # Trace-analytics smoke: an 8-rank instrumented run must yield a trace
+  # whose invariants hold, a critical path that tiles the wall, and a
+  # machine-readable analysis report the perf gate could consume.
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  "${build_dir}/tools/keybin2" generate "${smoke_dir}/points.csv" \
+    --points 4000 --dims 8 --k 3 --seed 7
+  "${build_dir}/tools/keybin2" cluster "${smoke_dir}/points.csv" \
+    --ranks 8 --trace-json "${smoke_dir}/trace.json"
+  "${build_dir}/tools/trace_check" "${smoke_dir}/trace.json" \
+    --min-ranks 8 --min-flows 1
+  "${build_dir}/tools/kb2_analyze" "${smoke_dir}/trace.json" \
+    | tee "${smoke_dir}/analysis.txt"
+  grep -q "100.0% of wall" "${smoke_dir}/analysis.txt" \
+    || { echo "analyze smoke: critical path does not cover wall" >&2; exit 1; }
+  grep -q "straggler" "${smoke_dir}/analysis.txt" \
+    || { echo "analyze smoke: no straggler attribution" >&2; exit 1; }
+  "${build_dir}/tools/kb2_analyze" "${smoke_dir}/trace.json" --json \
+    > "${smoke_dir}/analysis.json"
+  "${build_dir}/tools/trace_check" --analysis "${smoke_dir}/analysis.json"
+  echo "analyze smoke: OK"
+  exit 0
+fi
+
+if [[ "${perf_gate}" == "1" ]]; then
+  # Continuous perf-regression gate: rerun the kernel-fusion bench with the
+  # committed baseline's exact options and compare. The second compare
+  # proves the gate itself still trips: a synthetic 2x slowdown must FAIL.
+  baseline="${repo_root}/bench/baselines/BENCH_kernel_fusion.json"
+  [[ -f "${baseline}" ]] \
+    || { echo "perf gate: missing baseline ${baseline}" >&2; exit 1; }
+  gate_dir="$(mktemp -d)"
+  trap 'rm -rf "${gate_dir}"' EXIT
+  (cd "${gate_dir}" && "${build_dir}/bench/kernel_fusion" \
+    --points-per-rank 20000 --ranks 4 --runs 3 --seed 42)
+  "${build_dir}/tools/kb2_analyze" --compare "${baseline}" \
+    "${gate_dir}/BENCH_kernel_fusion.json"
+  if "${build_dir}/tools/kb2_analyze" --compare "${baseline}" \
+    "${gate_dir}/BENCH_kernel_fusion.json" --scale-time 2.0 >/dev/null; then
+    echo "perf gate: self-test failed (2x slowdown passed)" >&2
+    exit 1
+  fi
+  echo "perf gate: OK (and self-test trips on synthetic 2x slowdown)"
   exit 0
 fi
 

@@ -1,0 +1,133 @@
+// kb2_analyze: post-mortem trace analytics and the perf-regression gate.
+//
+//   kb2_analyze trace.json [--json]
+//       Parse a Chrome trace-event document (written by
+//       `keybin2 cluster --trace-json`) back into per-rank timelines and run
+//       the distributed critical-path analysis: path decomposition into
+//       compute/comm/wait, per-stage imbalance, and straggler attribution.
+//       --json emits the machine-readable report (the shape trace_check
+//       --analysis validates) instead of the human table.
+//
+//   kb2_analyze --compare baseline.json current.json [--scale-time F]
+//               [--time-tol F] [--bytes-tol F] [--imbalance-tol F]
+//               [--noise-k F]
+//       Diff two bench reports (BENCH_*.json) or two analysis reports.
+//       Exits 0 when no gated metric regressed beyond its noise-calibrated
+//       tolerance, 1 otherwise — check_tier1.sh --perf-gate builds on this.
+//       --scale-time injects a synthetic slowdown into `current` so the
+//       gate can prove it would catch a real one.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "runtime/analysis/analysis.hpp"
+#include "runtime/analysis/compare.hpp"
+#include "runtime/json.hpp"
+#include "runtime/timeline.hpp"
+
+namespace {
+
+std::optional<keybin2::runtime::JsonValue> load_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "kb2_analyze: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto doc = keybin2::runtime::json_parse(buf.str());
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "kb2_analyze: %s is not well-formed JSON\n",
+                 path.c_str());
+  }
+  return doc;
+}
+
+int usage(int code) {
+  std::printf(
+      "usage: kb2_analyze trace.json [--json]\n"
+      "       kb2_analyze --compare baseline.json current.json\n"
+      "                   [--scale-time F] [--time-tol F] [--bytes-tol F]\n"
+      "                   [--imbalance-tol F] [--noise-k F]\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool compare_mode = false;
+  bool json_out = false;
+  keybin2::runtime::CompareOptions copts;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "kb2_analyze: missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--compare")) {
+      compare_mode = true;
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json_out = true;
+    } else if (!std::strcmp(argv[i], "--scale-time")) {
+      copts.scale_time = std::strtod(next("--scale-time"), nullptr);
+    } else if (!std::strcmp(argv[i], "--time-tol")) {
+      copts.time_tol = std::strtod(next("--time-tol"), nullptr);
+    } else if (!std::strcmp(argv[i], "--bytes-tol")) {
+      copts.bytes_tol = std::strtod(next("--bytes-tol"), nullptr);
+    } else if (!std::strcmp(argv[i], "--imbalance-tol")) {
+      copts.imbalance_tol = std::strtod(next("--imbalance-tol"), nullptr);
+    } else if (!std::strcmp(argv[i], "--noise-k")) {
+      copts.noise_k = std::strtod(next("--noise-k"), nullptr);
+    } else if (!std::strcmp(argv[i], "--help")) {
+      return usage(0);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "kb2_analyze: unknown flag %s (try --help)\n",
+                   argv[i]);
+      return 2;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+
+  if (compare_mode) {
+    if (paths.size() != 2) return usage(2);
+    const auto baseline = load_json(paths[0]);
+    const auto current = load_json(paths[1]);
+    if (!baseline.has_value() || !current.has_value()) return 1;
+    const auto result =
+        keybin2::runtime::compare_reports(*baseline, *current, copts);
+    std::fputs(result.format().c_str(), stdout);
+    return result.ok() ? 0 : 1;
+  }
+
+  if (paths.size() != 1) return usage(2);
+  const auto doc = load_json(paths[0]);
+  if (!doc.has_value()) return 1;
+  const auto timelines =
+      keybin2::runtime::timelines_from_chrome_trace(*doc);
+  if (timelines.empty()) {
+    std::fprintf(stderr,
+                 "kb2_analyze: %s holds no rank timelines (is it a "
+                 "--trace-json document?)\n",
+                 paths[0].c_str());
+    return 1;
+  }
+  const auto analysis = keybin2::runtime::analyze(timelines);
+  if (json_out) {
+    keybin2::runtime::JsonWriter w;
+    analysis.to_json(w);
+    std::fputs(w.str().c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::fputs(analysis.format().c_str(), stdout);
+  }
+  return 0;
+}

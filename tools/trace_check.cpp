@@ -1,44 +1,54 @@
-// trace_check: validate a Chrome trace-event JSON file produced by
-// `keybin2 cluster --trace-json` (or anything else emitting the same shape).
+// trace_check: structural validation of the observability JSON artifacts.
 //
 //   trace_check trace.json [--min-ranks N] [--min-flows N]
 //   trace_check --bench BENCH_kernel_fusion.json
+//   trace_check --analysis analysis.json
 //
-// Default (trace) mode checks, in order:
-//   1. the file parses as a single well-formed JSON value (json_validate),
-//   2. it declares at least --min-ranks rank timelines ("ph":"M" metadata),
-//   3. it holds at least one duration span ("ph":"X") — empty-metrics traces
-//      fail here,
-//   4. it holds at least --min-flows send->recv flow pairs, and the "s" and
-//      "f" ends balance (the exporter only emits completed pairs).
+// Default (trace) mode parses a Chrome trace-event document (what
+// `keybin2 cluster --trace-json` writes) into a JsonValue tree and checks
+// the invariants the exporter promises:
+//   1. the file is one well-formed JSON value with a traceEvents array,
+//   2. at least --min-ranks distinct rank lanes (pids) carry process_name
+//      AND thread_name metadata,
+//   3. at least one duration span, every span with dur >= 0,
+//   4. spans nest: on each lane, two spans either don't overlap or one
+//      contains the other (a child must lie within its parent's bounds),
+//   5. flow pairing: every "s" has exactly one matching "f" by id and vice
+//      versa — orphaned ends are listed — and each pair's recv does not
+//      precede its send; at least --min-flows pairs exist,
+//   6. "f" events carry args.wait_us >= 0 (the wait-provenance the
+//      critical-path analysis depends on).
 //
-// --bench mode validates a bench reporter file instead: well-formed JSON, a
-// "series" object, and every series the kernel-fusion gate depends on
-// (staged_seconds, fused_seconds, fused_speedup, reduce_bytes_dense,
-// reduce_bytes_sparse, reduce_bytes_savings) present with a "mean" field.
+// --bench mode validates a bench reporter file: well-formed, a "series"
+// object, and every series the kernel-fusion gate depends on present with
+// a numeric mean.
+//
+// --analysis mode validates a `kb2_analyze --json` report: required
+// sections present, the compute/comm/wait split sums to the critical-path
+// total, and the critical-path total equals the end-to-end wall time within
+// 1% — the construction guarantee that makes the decomposition trustworthy.
 //
 // Exit 0 when everything holds, 1 with a diagnostic otherwise — which is
-// what lets check_tier1.sh --trace-smoke / --bench-smoke gate on it.
+// what lets check_tier1.sh --trace-smoke / --bench-smoke / --analyze-smoke
+// gate on it.
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "runtime/json.hpp"
 
 namespace {
 
-std::size_t count_occurrences(std::string_view text, std::string_view needle) {
-  std::size_t n = 0;
-  for (auto pos = text.find(needle); pos != std::string_view::npos;
-       pos = text.find(needle, pos + needle.size())) {
-    ++n;
-  }
-  return n;
-}
+using keybin2::runtime::JsonValue;
 
 int fail(const char* what) {
   std::fprintf(stderr, "trace_check: FAIL: %s\n", what);
@@ -53,30 +63,259 @@ constexpr const char* kBenchSeries[] = {
     "reduce_bytes_dense", "reduce_bytes_sparse", "reduce_bytes_savings",
 };
 
-int check_bench(const std::string& text) {
-  if (text.empty()) return fail("file is empty");
-  if (!keybin2::runtime::json_validate(text)) {
-    return fail("not well-formed JSON");
-  }
-  if (text.find("\"series\"") == std::string::npos) {
+int check_bench(const JsonValue& doc) {
+  const auto* series = doc.find("series");
+  if (series == nullptr || !series->is_object()) {
     return fail("no series object");
   }
   for (const char* name : kBenchSeries) {
-    const auto key = "\"" + std::string(name) + "\"";
-    const auto pos = text.find(key);
-    if (pos == std::string::npos) {
+    const auto* s = series->find(name);
+    if (s == nullptr) {
       std::fprintf(stderr, "trace_check: FAIL: missing series %s\n", name);
       return 1;
     }
-    // Each series value is an object holding at least a numeric mean; the
-    // reporter writes "name":{"mean":...,...}.
-    if (text.find("\"mean\"", pos) == std::string::npos) {
+    const auto* mean = s->find("mean");
+    if (mean == nullptr || !mean->is_number()) {
       std::fprintf(stderr, "trace_check: FAIL: series %s has no mean\n", name);
       return 1;
     }
   }
   std::printf("trace_check: OK: bench report carries all %zu series\n",
               sizeof(kBenchSeries) / sizeof(kBenchSeries[0]));
+  return 0;
+}
+
+int check_analysis(const JsonValue& doc) {
+  for (const char* key : {"ranks", "wall_ns"}) {
+    const auto* v = doc.find(key);
+    if (v == nullptr || !v->is_number()) {
+      std::fprintf(stderr, "trace_check: FAIL: analysis missing %s\n", key);
+      return 1;
+    }
+  }
+  const auto* cp = doc.find("critical_path");
+  if (cp == nullptr || !cp->is_object()) {
+    return fail("analysis missing critical_path");
+  }
+  for (const char* key : {"total_ns", "compute_ns", "comm_ns", "wait_ns"}) {
+    const auto* v = cp->find(key);
+    if (v == nullptr || !v->is_number()) {
+      std::fprintf(stderr, "trace_check: FAIL: critical_path missing %s\n",
+                   key);
+      return 1;
+    }
+  }
+  for (const char* key : {"segments"}) {
+    const auto* v = cp->find(key);
+    if (v == nullptr || !v->is_array()) {
+      return fail("critical_path missing segments array");
+    }
+  }
+  for (const char* key : {"stages", "per_rank"}) {
+    const auto* v = doc.find(key);
+    if (v == nullptr || !v->is_array()) {
+      std::fprintf(stderr, "trace_check: FAIL: analysis missing %s array\n",
+                   key);
+      return 1;
+    }
+  }
+  if (doc.find("straggler", "rank") == nullptr) {
+    return fail("analysis missing straggler attribution");
+  }
+
+  const double total = cp->find("total_ns")->number();
+  const double split = cp->find("compute_ns")->number() +
+                       cp->find("comm_ns")->number() +
+                       cp->find("wait_ns")->number();
+  if (std::fabs(split - total) > 0.5) {  // integer sums; allow rounding only
+    std::fprintf(stderr,
+                 "trace_check: FAIL: compute+comm+wait = %.0f != total %.0f\n",
+                 split, total);
+    return 1;
+  }
+  const double wall = doc.find("wall_ns")->number();
+  if (wall <= 0.0) return fail("analysis wall_ns not positive");
+  const double err = std::fabs(total - wall) / wall;
+  if (err > 0.01) {
+    std::fprintf(stderr,
+                 "trace_check: FAIL: critical path %.0f ns vs wall %.0f ns "
+                 "(%.2f%% apart, need <= 1%%)\n",
+                 total, wall, 100.0 * err);
+    return 1;
+  }
+  std::printf(
+      "trace_check: OK: analysis critical path covers wall within %.3f%%, "
+      "%zu segment(s)\n",
+      100.0 * err, cp->find("segments")->array().size());
+  return 0;
+}
+
+struct SpanRec {
+  double start = 0.0;
+  double end = 0.0;
+  const std::string* name = nullptr;
+};
+
+int check_trace(const JsonValue& doc, long min_ranks, long min_flows) {
+  const auto* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail("no traceEvents array");
+  }
+
+  // lane -> which metadata names it carries.
+  std::map<int, std::pair<bool, bool>> lanes;
+  std::map<int, std::vector<SpanRec>> spans_by_lane;
+  struct FlowEnd {
+    double ts = 0.0;
+    int count = 0;
+  };
+  std::map<std::uint64_t, FlowEnd> sends;
+  std::map<std::uint64_t, FlowEnd> recvs;
+  std::size_t span_count = 0;
+
+  for (const auto& ev : events->array()) {
+    if (!ev.is_object()) return fail("traceEvents holds a non-object");
+    const auto* ph = ev.find("ph");
+    if (ph == nullptr || !ph->is_string()) return fail("event without ph");
+    const int pid =
+        static_cast<int>(JsonValue::number_or(ev.find("pid"), -1.0));
+    const double ts = JsonValue::number_or(ev.find("ts"), 0.0);
+    const auto* name = ev.find("name");
+
+    if (ph->string() == "M") {
+      if (name != nullptr && name->is_string()) {
+        if (name->string() == "process_name") lanes[pid].first = true;
+        if (name->string() == "thread_name") lanes[pid].second = true;
+      }
+    } else if (ph->string() == "X") {
+      const double dur = JsonValue::number_or(ev.find("dur"), -1.0);
+      if (dur < 0.0) {
+        std::fprintf(stderr,
+                     "trace_check: FAIL: span '%s' has negative duration\n",
+                     name != nullptr && name->is_string()
+                         ? name->string().c_str()
+                         : "?");
+        return 1;
+      }
+      ++span_count;
+      spans_by_lane[pid].push_back(SpanRec{
+          ts, ts + dur,
+          name != nullptr && name->is_string() ? &name->string() : nullptr});
+    } else if (ph->string() == "s" || ph->string() == "f") {
+      const auto* id = ev.find("id");
+      if (id == nullptr || !id->is_number()) {
+        return fail("flow event without numeric id");
+      }
+      auto& end = (ph->string() == "s" ? sends : recvs)[static_cast<
+          std::uint64_t>(id->number())];
+      end.ts = ts;
+      ++end.count;
+      if (ph->string() == "f") {
+        const double wait = JsonValue::number_or(
+            ev.find("args", "wait_us"), 0.0);
+        if (wait < 0.0) return fail("flow 'f' with negative args.wait_us");
+      }
+    }
+  }
+
+  long named_lanes = 0;
+  for (const auto& [pid, meta] : lanes) {
+    if (meta.first && meta.second) ++named_lanes;
+    else {
+      std::fprintf(stderr,
+                   "trace_check: FAIL: lane %d missing %s metadata\n", pid,
+                   meta.first ? "thread_name" : "process_name");
+      return 1;
+    }
+  }
+  if (named_lanes < min_ranks) {
+    std::fprintf(stderr,
+                 "trace_check: FAIL: %ld rank timeline(s), need >= %ld\n",
+                 named_lanes, min_ranks);
+    return 1;
+  }
+  if (span_count == 0) return fail("no duration spans (empty metrics?)");
+
+  // Nesting: sort (start asc, end desc) puts parents before children; a
+  // span overlapping the top of the open stack without being contained
+  // breaks strict nesting.
+  for (auto& [pid, spans] : spans_by_lane) {
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanRec& a, const SpanRec& b) {
+                return a.start != b.start ? a.start < b.start : a.end > b.end;
+              });
+    std::vector<const SpanRec*> open;
+    for (const auto& s : spans) {
+      while (!open.empty() && open.back()->end <= s.start) open.pop_back();
+      if (!open.empty() && s.end > open.back()->end) {
+        std::fprintf(stderr,
+                     "trace_check: FAIL: lane %d span '%s' [%.3f, %.3f] "
+                     "escapes parent '%s' [%.3f, %.3f]\n",
+                     pid, s.name != nullptr ? s.name->c_str() : "?", s.start,
+                     s.end,
+                     open.back()->name != nullptr ? open.back()->name->c_str()
+                                                  : "?",
+                     open.back()->start, open.back()->end);
+        return 1;
+      }
+      open.push_back(&s);
+    }
+  }
+
+  // Flow pairing: exactly one send and one recv per id, recv not before
+  // send (all timestamps come from the shared monotone clock).
+  std::size_t pairs = 0;
+  std::size_t orphans = 0;
+  auto orphan = [&orphans](const char* side, std::uint64_t id, int count) {
+    ++orphans;
+    if (orphans <= 8) {
+      std::fprintf(stderr,
+                   "trace_check: orphaned flow id %" PRIu64
+                   ": %d '%s' end(s) without partner\n",
+                   id, count, side);
+    }
+  };
+  for (const auto& [id, s] : sends) {
+    const auto r = recvs.find(id);
+    if (r == recvs.end()) {
+      orphan("s", id, s.count);
+      continue;
+    }
+    if (s.count != 1 || r->second.count != 1) {
+      std::fprintf(stderr,
+                   "trace_check: FAIL: flow id %" PRIu64
+                   " duplicated (%d sends, %d recvs)\n",
+                   id, s.count, r->second.count);
+      return 1;
+    }
+    if (r->second.ts < s.ts) {
+      std::fprintf(stderr,
+                   "trace_check: FAIL: flow id %" PRIu64
+                   " delivered at %.3f us before its send at %.3f us\n",
+                   id, r->second.ts, s.ts);
+      return 1;
+    }
+    ++pairs;
+  }
+  for (const auto& [id, r] : recvs) {
+    if (sends.find(id) == sends.end()) orphan("f", id, r.count);
+  }
+  if (orphans > 0) {
+    std::fprintf(stderr, "trace_check: FAIL: %zu orphaned flow end(s)\n",
+                 orphans);
+    return 1;
+  }
+  if (pairs < static_cast<std::size_t>(min_flows)) {
+    std::fprintf(stderr,
+                 "trace_check: FAIL: %zu flow pair(s), need >= %ld\n", pairs,
+                 min_flows);
+    return 1;
+  }
+
+  std::printf(
+      "trace_check: OK: %ld rank timeline(s), %zu span(s), %zu flow "
+      "pair(s), nesting and pairing invariants hold\n",
+      named_lanes, span_count, pairs);
   return 0;
 }
 
@@ -87,6 +326,7 @@ int main(int argc, char** argv) {
   long min_ranks = 1;
   long min_flows = 0;
   bool bench_mode = false;
+  bool analysis_mode = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -101,10 +341,13 @@ int main(int argc, char** argv) {
       min_flows = std::strtol(next("--min-flows"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--bench")) {
       bench_mode = true;
+    } else if (!std::strcmp(argv[i], "--analysis")) {
+      analysis_mode = true;
     } else if (!std::strcmp(argv[i], "--help")) {
       std::printf("usage: trace_check trace.json [--min-ranks N] "
                   "[--min-flows N]\n"
-                  "       trace_check --bench BENCH_*.json\n");
+                  "       trace_check --bench BENCH_*.json\n"
+                  "       trace_check --analysis analysis.json\n");
       return 0;
     } else if (path.empty()) {
       path = argv[i];
@@ -115,7 +358,7 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) {
     std::fprintf(stderr, "usage: trace_check trace.json [--min-ranks N] "
-                 "[--min-flows N]\n");
+                 "[--min-flows N] | --bench | --analysis\n");
     return 2;
   }
 
@@ -127,47 +370,12 @@ int main(int argc, char** argv) {
   std::ostringstream buf;
   buf << in.rdbuf();
   const std::string text = buf.str();
-
-  if (bench_mode) return check_bench(text);
-
   if (text.empty()) return fail("file is empty");
-  if (!keybin2::runtime::json_validate(text)) {
-    return fail("not well-formed JSON");
-  }
-  if (text.find("\"traceEvents\"") == std::string::npos) {
-    return fail("no traceEvents array");
-  }
 
-  // The exporter writes events with "ph" first, so these fixed substrings
-  // are reliable for its own output (json_validate above already guarantees
-  // we are not counting inside broken syntax).
-  const auto ranks = count_occurrences(text, "\"ph\":\"M\"");
-  const auto spans = count_occurrences(text, "\"ph\":\"X\"");
-  const auto flow_starts = count_occurrences(text, "\"ph\":\"s\"");
-  const auto flow_ends = count_occurrences(text, "\"ph\":\"f\"");
+  const auto doc = keybin2::runtime::json_parse(text);
+  if (!doc.has_value()) return fail("not well-formed JSON");
 
-  if (ranks < static_cast<std::size_t>(min_ranks)) {
-    std::fprintf(stderr,
-                 "trace_check: FAIL: %zu rank timeline(s), need >= %ld\n",
-                 ranks, min_ranks);
-    return 1;
-  }
-  if (spans == 0) return fail("no duration spans (empty metrics?)");
-  if (flow_starts != flow_ends) {
-    std::fprintf(stderr,
-                 "trace_check: FAIL: %zu flow starts vs %zu flow ends\n",
-                 flow_starts, flow_ends);
-    return 1;
-  }
-  if (flow_starts < static_cast<std::size_t>(min_flows)) {
-    std::fprintf(stderr,
-                 "trace_check: FAIL: %zu flow pair(s), need >= %ld\n",
-                 flow_starts, min_flows);
-    return 1;
-  }
-
-  std::printf(
-      "trace_check: OK: %zu rank timeline(s), %zu span(s), %zu flow pair(s)\n",
-      ranks, spans, flow_starts);
-  return 0;
+  if (bench_mode) return check_bench(*doc);
+  if (analysis_mode) return check_analysis(*doc);
+  return check_trace(*doc, min_ranks, min_flows);
 }
