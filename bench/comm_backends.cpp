@@ -1,0 +1,187 @@
+// Transport-overhead benchmark: thread-backed vs process-backed ranks
+// (DESIGN.md §6).
+//
+// Two planes:
+//   * fit plane — the full distributed fit at --points-per-rank per rank,
+//     once over ThreadComm (in-process mailboxes) and once over ProcComm
+//     (forked children + shared-memory rings). Model bytes and every rank's
+//     labels are compared on every run: the transport may not leak into the
+//     math, and the bench aborts on the first divergence.
+//   * p2p plane — a 2-rank ping-pong (many small frames) timing the raw
+//     per-message transport cost without any clustering work on top.
+//
+// Series written to BENCH_comm_backends.json (the *_seconds series are
+// gated lower-is-better by the perf-regression comparison):
+//   thread_fit_seconds, proc_fit_seconds,
+//   thread_p2p_seconds, proc_p2p_seconds,
+//   proc_overhead_ratio (informational: proc fit wall / thread fit wall)
+//
+// The process backend pays for fork, page-table duplication, and futex
+// wakeups across address spaces; the acceptance bar is proc_overhead_ratio
+// < 2.0 at the committed baseline's options (--points-per-rank 20000
+// --ranks 4 --runs 3 --seed 42), and the bench exits nonzero beyond it.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/serialize.hpp"
+#include "core/keybin2.hpp"
+
+#ifndef __linux__
+int main() {
+  std::fprintf(stderr,
+               "comm_backends: the process backend requires Linux; skipping\n");
+  return 0;
+}
+#else
+
+namespace keybin2 {
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+comm::LaunchOptions backend_options(comm::Backend b) {
+  comm::LaunchOptions o;
+  o.backend = b;
+  return o;
+}
+
+/// One distributed fit over `backend`; returns the wall seconds and fills
+/// `fingerprints` with each rank's {model bytes, labels} blob.
+double timed_fit(comm::Backend backend,
+                 const std::vector<data::Dataset>& shards,
+                 const core::Params& params,
+                 std::vector<std::vector<std::byte>>& fingerprints) {
+  const int ranks = static_cast<int>(shards.size());
+  const double t0 = now_seconds();
+  fingerprints = comm::run_ranks_collect_bytes(
+      backend_options(backend), ranks,
+      [&](comm::Communicator& c) -> std::vector<std::byte> {
+        const auto r = static_cast<std::size_t>(c.rank());
+        const auto result = core::fit(c, shards[r].points, params);
+        ByteWriter w;
+        result.model.serialize(w);
+        w.write_vec(result.labels);
+        return w.take();
+      });
+  return now_seconds() - t0;
+}
+
+void bench_fit_plane(const bench::Options& opt, bench::Series& thread_s,
+                     bench::Series& proc_s, bench::Series& overhead) {
+  const auto spec = data::make_paper_mixture(8, 4, opt.seed);
+  const auto d = data::sample(
+      spec, opt.points_per_rank * static_cast<std::size_t>(opt.ranks),
+      static_cast<unsigned>(opt.seed + 1));
+  const auto shards = data::shard(d, opt.ranks);
+  core::Params params;
+  params.seed = opt.seed;
+
+  std::printf("== fit plane: %d ranks x %zu points ==\n", opt.ranks,
+              opt.points_per_rank);
+  for (int run = 0; run < opt.runs; ++run) {
+    std::vector<std::vector<std::byte>> thread_fp, proc_fp;
+    const double tt = timed_fit(comm::Backend::kThread, shards, params,
+                                thread_fp);
+    const double tp = timed_fit(comm::Backend::kProcess, shards, params,
+                                proc_fp);
+    // Bit-identity audit on every run: the transport may not change the
+    // model or a single label.
+    for (std::size_t r = 0; r < thread_fp.size(); ++r) {
+      if (thread_fp[r] != proc_fp[r]) {
+        std::fprintf(stderr,
+                     "FATAL: thread/process fit fingerprints diverge on "
+                     "rank %zu\n",
+                     r);
+        std::exit(1);
+      }
+    }
+    thread_s.add(tt);
+    proc_s.add(tp);
+    overhead.add(tp / tt);
+    std::printf("run %d: thread %.3fs  proc %.3fs  overhead %.2fx\n", run,
+                tt, tp, tp / tt);
+  }
+  std::printf("thread %s s | proc %s s | overhead %s\n",
+              thread_s.str().c_str(), proc_s.str().c_str(),
+              overhead.str(2).c_str());
+}
+
+void bench_p2p_plane(const bench::Options& opt, bench::Series& thread_s,
+                     bench::Series& proc_s) {
+  // 2 ranks, ping-pong of small frames: latency-dominated, the worst case
+  // for a transport that pays a futex wake per delivery.
+  constexpr int kRoundTrips = 2000;
+  constexpr std::size_t kBytes = 1024;
+  const auto body = [](comm::Communicator& c) -> std::vector<std::byte> {
+    std::vector<std::byte> payload(kBytes, std::byte{0x5a});
+    for (int i = 0; i < kRoundTrips; ++i) {
+      if (c.rank() == 0) {
+        c.send(1, 1, payload);
+        payload = c.recv(1, 2);
+      } else {
+        payload = c.recv(0, 1);
+        c.send(0, 2, payload);
+      }
+    }
+    return {};
+  };
+  std::printf("== p2p plane: %d round trips x %zu bytes ==\n", kRoundTrips,
+              kBytes);
+  for (int run = 0; run < opt.runs; ++run) {
+    double t0 = now_seconds();
+    comm::run_ranks_collect_bytes(backend_options(comm::Backend::kThread), 2,
+                                  body);
+    const double tt = now_seconds() - t0;
+    t0 = now_seconds();
+    comm::run_ranks_collect_bytes(backend_options(comm::Backend::kProcess), 2,
+                                  body);
+    const double tp = now_seconds() - t0;
+    thread_s.add(tt);
+    proc_s.add(tp);
+    std::printf("run %d: thread %.3fs  proc %.3fs\n", run, tt, tp);
+  }
+  std::printf("thread %s s | proc %s s\n", thread_s.str().c_str(),
+              proc_s.str().c_str());
+}
+
+int run_bench(const bench::Options& opt) {
+  bench::Series thread_fit, proc_fit, overhead, thread_p2p, proc_p2p;
+  bench_fit_plane(opt, thread_fit, proc_fit, overhead);
+  bench_p2p_plane(opt, thread_p2p, proc_p2p);
+
+  auto& rep = bench::Reporter::global();
+  rep.add_series("thread_fit_seconds", thread_fit);
+  rep.add_series("proc_fit_seconds", proc_fit);
+  rep.add_series("thread_p2p_seconds", thread_p2p);
+  rep.add_series("proc_p2p_seconds", proc_p2p);
+  rep.add_series("proc_overhead_ratio", overhead);
+  rep.write(opt);
+
+  if (overhead.mean() >= 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: process-backend fit overhead %.2fx >= 2.0x "
+                 "acceptance bar\n",
+                 overhead.mean());
+    return 1;
+  }
+  std::printf("comm_backends: OK (proc fit overhead %.2fx < 2.0x)\n",
+              overhead.mean());
+  return 0;
+}
+
+}  // namespace
+}  // namespace keybin2
+
+int main(int argc, char** argv) {
+  const auto opt = keybin2::bench::Options::parse(argc, argv);
+  return keybin2::run_bench(opt);
+}
+
+#endif  // __linux__

@@ -206,6 +206,13 @@ class Communicator {
   /// Ranks of this group known to have failed (empty for healthy backends).
   virtual std::vector<int> failed_ranks() const { return {}; }
 
+  /// True when this group's ranks are isolated OS processes (ProcComm): a
+  /// rank can really die — SIGKILL and all — without taking the others with
+  /// it. Fault injectors consult this before escalating a simulated kill to
+  /// a real signal; decorators and subgroup views forward to the leaf
+  /// transport.
+  virtual bool process_isolated() const { return false; }
+
   /// Collective among the *live* ranks: agree on the surviving member set
   /// after a failure and return it (in this communicator's rank space, so
   /// the result can seed a SubgroupComm). Dead and departed ranks are
@@ -381,6 +388,9 @@ class SubgroupComm final : public Communicator {
   void set_probe(CommProbe* probe) override;
   std::vector<int> failed_ranks() const override;
   std::vector<int> agree_survivors() override;
+  bool process_isolated() const override {
+    return parent_->process_isolated();
+  }
 
   const std::vector<int>& members() const { return members_; }
 

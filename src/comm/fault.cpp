@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <sstream>
 #include <thread>
@@ -37,6 +38,14 @@ FaultyComm::FaultyComm(Communicator& inner, FaultSchedule schedule)
 void FaultyComm::count_op_and_maybe_kill() {
   ++ops_;
   if (schedule_.kill_at_op > 0 && ops_ >= schedule_.kill_at_op) {
+#ifdef SIGKILL
+    if (schedule_.hard_kill && inner_->process_isolated()) {
+      // The honest node death: no unwinding, no destructors, no goodbye.
+      // Only possible when this rank is a real OS process — the parent's
+      // waitpid() turns the corpse into a RankFailedError for the peers.
+      ::raise(SIGKILL);
+    }
+#endif
     std::ostringstream os;
     os << "rank " << inner_->rank() << " killed by fault schedule at op "
        << ops_ << " (kill_at_op=" << schedule_.kill_at_op << ")";

@@ -60,6 +60,14 @@ struct FaultSchedule {
   /// operation also throws — a dead rank stays dead.
   std::uint64_t kill_at_op = 0;
 
+  /// Escalate kill_at_op from a thrown KilledError to a real SIGKILL of the
+  /// calling process — the honest form of "a node died", with no stack
+  /// unwinding, no destructors, no chance to flush. Only honored when the
+  /// inner transport reports process_isolated() (ProcComm); under a threaded
+  /// backend a real SIGKILL would take down every rank plus the test runner,
+  /// so it falls back to the thrown form.
+  bool hard_kill = false;
+
   /// When true, mutations recompute a valid CRC32 frame header over the
   /// corrupted payload, so the damage penetrates the transport checksum and
   /// must be caught by the serialize layer's own bounds checks. Default
@@ -92,6 +100,9 @@ class FaultyComm final : public Communicator {
     return inner_->failed_ranks();
   }
   std::vector<int> agree_survivors() override;
+  bool process_isolated() const override {
+    return inner_->process_isolated();
+  }
 
   /// Operations performed so far (send/recv/barrier/agree).
   std::uint64_t ops() const { return ops_; }

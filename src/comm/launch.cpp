@@ -1,8 +1,34 @@
 #include "comm/launch.hpp"
 
+#include <cstdlib>
+#include <string>
+
+#include "comm/proc_comm.hpp"
 #include "common/error.hpp"
 
 namespace keybin2::comm {
+
+const char* backend_name(Backend b) {
+  return b == Backend::kProcess ? "process" : "thread";
+}
+
+LaunchOptions LaunchOptions::from_env() {
+  LaunchOptions opt;
+  if (const char* v = std::getenv("KB2_BACKEND")) {
+    const std::string s(v);
+    if (s == "proc" || s == "process") {
+      opt.backend = Backend::kProcess;
+    } else if (s == "thread" || s.empty()) {
+      opt.backend = Backend::kThread;
+    } else {
+      throw Error("KB2_BACKEND must be 'thread' or 'proc', got '" + s + "'");
+    }
+  }
+  if (const char* v = std::getenv("KB2_PROC_RING_BYTES")) {
+    opt.ring_bytes = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  }
+  return opt;
+}
 
 TrafficStats run_ranks(int n_ranks,
                        const std::function<void(Communicator&)>& fn) {
@@ -45,6 +71,57 @@ TrafficStats run_ranks(int n_ranks,
   TrafficStats total;
   for (int r = 0; r < n_ranks; ++r) total += hub.stats(r);
   return total;
+}
+
+TrafficStats run_ranks(const LaunchOptions& options, int n_ranks,
+                       const std::function<void(Communicator&)>& fn) {
+  if (options.backend == Backend::kThread) return run_ranks(n_ranks, fn);
+  ProcRunResult res = proc_run_ranks(
+      n_ranks, options.ring_bytes, [&](Communicator& c) {
+        fn(c);
+        return std::vector<std::byte>{};
+      });
+  if (res.first_error) std::rethrow_exception(res.first_error);
+  return res.total_stats;
+}
+
+std::vector<std::vector<std::byte>> run_ranks_collect_bytes(
+    const LaunchOptions& options, int n_ranks,
+    const std::function<std::vector<std::byte>(Communicator&)>& fn,
+    TrafficStats* total, std::exception_ptr* first_error) {
+  if (options.backend == Backend::kProcess) {
+    ProcRunResult res = proc_run_ranks(n_ranks, options.ring_bytes, fn);
+    if (total != nullptr) *total = res.total_stats;
+    if (first_error != nullptr) {
+      *first_error = res.first_error;
+    } else if (res.first_error) {
+      std::rethrow_exception(res.first_error);
+    }
+    return std::move(res.results);
+  }
+
+  // Thread backend: same contract (blobs indexed by rank, errors optionally
+  // captured instead of thrown), delivered through shared memory the easy
+  // way — the results vector is shared by reference and each rank writes
+  // only its own slot.
+  std::vector<std::vector<std::byte>> results(
+      static_cast<std::size_t>(n_ranks));
+  TrafficStats stats;
+  std::exception_ptr err;
+  try {
+    stats = run_ranks(n_ranks, [&](Communicator& c) {
+      results[static_cast<std::size_t>(c.rank())] = fn(c);
+    });
+  } catch (...) {
+    err = std::current_exception();
+  }
+  if (total != nullptr) *total = stats;
+  if (first_error != nullptr) {
+    *first_error = err;
+  } else if (err) {
+    std::rethrow_exception(err);
+  }
+  return results;
 }
 
 }  // namespace keybin2::comm

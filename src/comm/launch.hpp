@@ -1,10 +1,23 @@
 // SPMD launch harness: run the same function on N simulated ranks.
 //
-// run_ranks() is the moral equivalent of `mpirun -np N`: it spawns one thread
-// per rank, hands each a Communicator endpoint, joins them, and rethrows the
-// first rank exception on the caller (so tests see failures).
+// run_ranks() is the moral equivalent of `mpirun -np N`. Two backends
+// implement it:
+//
+//   Backend::kThread   one thread per rank in this process (ThreadComm).
+//   Backend::kProcess  one forked child per rank talking through shared
+//                      memory (ProcComm, Linux) — real address-space
+//                      isolation, real SIGKILL-able ranks.
+//
+// The classic run_ranks(n, fn) form stays thread-backed by contract: test
+// lambdas routinely mutate captured locals by reference (EXPECT counters,
+// result slots), which works across threads and silently cannot work across
+// processes (each child writes a copy-on-write snapshot that dies with it).
+// Code that wants the process backend opts in explicitly with a
+// LaunchOptions, and gets data out the honest way: as returned bytes,
+// through run_ranks_collect_bytes().
 #pragma once
 
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -16,13 +29,57 @@
 
 namespace keybin2::comm {
 
+enum class Backend {
+  kThread,
+  kProcess,
+};
+
+struct LaunchOptions {
+  Backend backend = Backend::kThread;
+
+  /// Process backend only: per-(src, dest) shared-memory ring capacity in
+  /// bytes; 0 selects the built-in default (1 MiB).
+  std::size_t ring_bytes = 0;
+
+  /// Read the backend from the environment: KB2_BACKEND=proc (or "process")
+  /// selects the process backend, "thread" / unset the thread backend; any
+  /// other value throws. KB2_PROC_RING_BYTES, when set, overrides
+  /// ring_bytes.
+  static LaunchOptions from_env();
+};
+
+/// Human-readable backend name ("thread" / "process") for logs and banners.
+const char* backend_name(Backend b);
+
 /// Run `fn(comm)` on `n_ranks` simulated ranks; blocks until all complete.
-/// Returns the aggregate traffic stats (sum over ranks).
+/// Returns the aggregate traffic stats (sum over ranks). Always
+/// thread-backed — see the header comment; pass LaunchOptions to choose.
 TrafficStats run_ranks(int n_ranks,
                        const std::function<void(Communicator&)>& fn);
 
+/// Backend-selectable launch. Under Backend::kProcess, `fn` executes in a
+/// forked child: by-reference captures see a snapshot of the parent and
+/// writes to them do NOT propagate back — return data instead
+/// (run_ranks_collect_bytes). The first rank exception is rethrown here
+/// with its original type on either backend.
+TrafficStats run_ranks(const LaunchOptions& options, int n_ranks,
+                       const std::function<void(Communicator&)>& fn);
+
+/// Run `fn(comm) -> bytes` on every rank and collect the per-rank blobs,
+/// indexed by rank — the one data path that works identically on both
+/// backends (process-backed ranks ship their blob to the parent over a
+/// pipe). A rank that died without reporting leaves an empty blob; the
+/// first rank exception is rethrown unless `first_error` is non-null, in
+/// which case it is stored there instead (so callers can inspect partial
+/// results from the survivors). `total` (optional) receives the aggregate
+/// traffic stats.
+std::vector<std::vector<std::byte>> run_ranks_collect_bytes(
+    const LaunchOptions& options, int n_ranks,
+    const std::function<std::vector<std::byte>(Communicator&)>& fn,
+    TrafficStats* total = nullptr, std::exception_ptr* first_error = nullptr);
+
 /// Run `fn(comm) -> T` on `n_ranks` ranks and collect per-rank results,
-/// indexed by rank.
+/// indexed by rank. Thread-backed (results cross by reference).
 template <typename T>
 std::vector<T> run_ranks_collect(
     int n_ranks, const std::function<T(Communicator&)>& fn) {

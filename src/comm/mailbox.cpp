@@ -1,0 +1,62 @@
+#include "comm/mailbox.hpp"
+
+#include <sstream>
+
+namespace keybin2::comm {
+
+std::string abandoned_message(int self, const char* op, int peer, int tag) {
+  std::ostringstream os;
+  os << "rank " << self << " " << op;
+  if (peer >= 0) {
+    os << "(peer=" << peer << ", tag=" << tag << ")";
+  } else {
+    os << "()";
+  }
+  os << " abandoned: survivor agreement in progress";
+  return os.str();
+}
+
+std::string send_departed_message(int self, int dest, int tag) {
+  std::ostringstream os;
+  os << "rank " << self << " send(peer=" << dest << ", tag=" << tag
+     << ") aborted: rank " << dest << " left the group";
+  return os.str();
+}
+
+std::string recv_departed_message(int self, int src, int tag) {
+  std::ostringstream os;
+  os << "rank " << self << " recv(peer=" << src << ", tag=" << tag
+     << ") will never complete: rank " << src << " left the group";
+  return os.str();
+}
+
+std::string rank_failed_prefix(const char* op, int self, int peer, int tag) {
+  std::ostringstream os;
+  os << "rank " << self << " " << op;
+  if (peer >= 0) os << "(peer=" << peer << ", tag=" << tag << ")";
+  os << " aborted:";
+  return os.str();
+}
+
+void throw_recv_timeout(int self, int src, int tag, double elapsed_seconds) {
+  std::ostringstream os;
+  os << "rank " << self << " recv(peer=" << src << ", tag=" << tag
+     << ") timed out after " << elapsed_seconds << "s";
+  throw TimeoutError(os.str(), self, src, tag, elapsed_seconds);
+}
+
+void throw_barrier_timeout(int self, double elapsed_seconds) {
+  std::ostringstream os;
+  os << "rank " << self << " barrier() timed out after " << elapsed_seconds
+     << "s";
+  throw TimeoutError(os.str(), self, /*src=*/-1, /*tag=*/-1, elapsed_seconds);
+}
+
+void throw_agree_timeout(int self, double elapsed_seconds) {
+  std::ostringstream os;
+  os << "rank " << self << " agree_survivors() timed out after "
+     << elapsed_seconds << "s waiting for the live ranks to converge";
+  throw TimeoutError(os.str(), self, /*src=*/-1, /*tag=*/-1, elapsed_seconds);
+}
+
+}  // namespace keybin2::comm

@@ -1,0 +1,153 @@
+// Transport-neutral mailbox core shared by ThreadComm and ProcComm.
+//
+// Both backends present the same Communicator contract over the same
+// delivery model: a per-rank stash of messages keyed by (source, tag),
+// FIFO within a channel, plus a bounded buffer pool so steady-state
+// collectives stop paying one allocation per message. What differs is only
+// how bytes cross the rank boundary — ThreadComm pushes directly into the
+// destination's stash under a mutex, ProcComm drains shared-memory rings
+// into a rank-private stash — so the stash, the rank-lifecycle states, the
+// deadline arithmetic, and the exact error-message composers live here,
+// written once. The composers matter: tests assert these strings verbatim,
+// and a driver's retry logic keys off error_kind(), so the two transports
+// must fail with byte-identical narratives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace keybin2::comm {
+
+/// Per-rank lifecycle, shared by both transports (and, for ProcComm, stored
+/// in shared memory — keep it byte-sized and trivially copyable).
+enum class RankState : std::uint8_t { kLive = 0, kFailed = 1, kDeparted = 2 };
+
+/// One queued delivery, stamped with the group-unique flow id assigned at
+/// send time so a probe can pair the send with the matching recv.
+struct Message {
+  std::vector<std::byte> bytes;
+  std::uint64_t flow_id = 0;
+};
+
+/// A rank's message store: FIFO queues keyed by (source, tag) plus a bounded
+/// free list of recycled delivery buffers. Not thread-safe — ThreadComm
+/// guards one per rank with the mailbox mutex; ProcComm owns one privately
+/// per process.
+class MessageStash {
+ public:
+  /// Buffers retained by the pool; a burst cannot pin memory forever.
+  static constexpr std::size_t kPoolCap = 32;
+
+  /// Take a recycled buffer (capacity retained) or a fresh one.
+  std::vector<std::byte> take_buffer() {
+    if (pool_.empty()) return {};
+    auto buf = std::move(pool_.back());
+    pool_.pop_back();
+    return buf;
+  }
+
+  void push(int src, int tag, Message&& msg) {
+    queues_[{src, tag}].push_back(std::move(msg));
+  }
+
+  /// True when at least one message is queued on (src, tag).
+  bool has_message(int src, int tag) const {
+    const auto it = queues_.find({src, tag});
+    return it != queues_.end() && !it->second.empty();
+  }
+
+  /// Pop the oldest message on (src, tag); false when the channel is empty.
+  bool try_pop(int src, int tag, Message* out) {
+    const auto it = queues_.find({src, tag});
+    if (it == queues_.end() || it->second.empty()) return false;
+    *out = std::move(it->second.front());
+    it->second.pop_front();
+    return true;
+  }
+
+  /// Total messages parked across all (src, tag) channels — the backlog a
+  /// slow consumer is accumulating (what a probe reports as queue depth).
+  std::size_t total_depth() const {
+    std::size_t depth = 0;
+    for (const auto& [key, q] : queues_) depth += q.size();
+    return depth;
+  }
+
+  void recycle(std::vector<std::byte>&& buf) {
+    if (pool_.size() < kPoolCap) {
+      buf.clear();
+      pool_.push_back(std::move(buf));
+    }
+  }
+
+  /// Drop every queued message (survivor agreement purges in-flight traffic
+  /// so nothing stale leaks into the retried protocol). The pool survives.
+  void clear() { queues_.clear(); }
+
+ private:
+  std::map<std::pair<int, int>, std::deque<Message>> queues_;
+  std::vector<std::vector<std::byte>> pool_;
+};
+
+// ---- Deadline arithmetic ----
+
+using CommClock = std::chrono::steady_clock;
+
+inline CommClock::time_point comm_deadline(CommClock::time_point start,
+                                           double seconds) {
+  return start + std::chrono::duration_cast<CommClock::duration>(
+                     std::chrono::duration<double>(seconds));
+}
+
+inline double comm_seconds_since(CommClock::time_point start) {
+  return std::chrono::duration<double>(CommClock::now() - start).count();
+}
+
+// ---- Error-message composers (strings must match across transports) ----
+
+/// "rank N recv(peer=P, tag=T) abandoned: survivor agreement in progress";
+/// pass peer < 0 for the barrier form ("rank N barrier() abandoned: ...").
+std::string abandoned_message(int self, const char* op, int peer, int tag);
+
+/// "rank N send(peer=P, tag=T) aborted: rank P left the group"
+std::string send_departed_message(int self, int dest, int tag);
+
+/// "rank N recv(peer=P, tag=T) will never complete: rank P left the group"
+std::string recv_departed_message(int self, int src, int tag);
+
+/// "rank N op(peer=P, tag=T) aborted:" (peer omitted when < 0).
+std::string rank_failed_prefix(const char* op, int self, int peer, int tag);
+
+/// "rank N op(peer=P, tag=T) aborted: [rank R failed: reason] ..." — the
+/// caller supplies per-rank state and failure reasons (however it stores
+/// them) via the two accessors.
+template <typename StateFn, typename ReasonFn>
+std::string rank_failed_message(const char* op, int self, int peer, int tag,
+                                int size, StateFn&& state_of,
+                                ReasonFn&& reason_of) {
+  std::string msg = rank_failed_prefix(op, self, peer, tag);
+  for (int r = 0; r < size; ++r) {
+    const RankState st = state_of(r);
+    if (st == RankState::kFailed) {
+      msg += " [rank " + std::to_string(r) + " failed: " + reason_of(r) + "]";
+    } else if (st == RankState::kDeparted) {
+      msg += " [rank " + std::to_string(r) + " left the group]";
+    }
+  }
+  return msg;
+}
+
+[[noreturn]] void throw_recv_timeout(int self, int src, int tag,
+                                     double elapsed_seconds);
+[[noreturn]] void throw_barrier_timeout(int self, double elapsed_seconds);
+[[noreturn]] void throw_agree_timeout(int self, double elapsed_seconds);
+
+}  // namespace keybin2::comm

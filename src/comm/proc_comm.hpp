@@ -1,0 +1,113 @@
+// ProcComm: a group of ranks backed by real OS processes (Linux).
+//
+// Where ThreadComm simulates ranks with threads in one address space,
+// ProcComm forks one child process per rank and routes every message through
+// a POSIX shared-memory segment (shm_open + mmap, unlinked immediately so
+// the mapping is inherited by fork and nothing leaks on crash). The segment
+// holds one single-producer/single-consumer byte ring per (source,
+// destination) pair, a per-rank lifecycle/traffic table, and the futex words
+// for the barrier and the survivor-agreement rendezvous:
+//
+//   GroupHeader  flow-id counter · unacked-failure count ·
+//                barrier word {count, seq} · shrink word {arrived, gen} ·
+//                survivors bitmask · spill directory
+//   PerRank[n]   state (live/failed/departed) · failure reason ·
+//                traffic counters (messages/bytes, sent/received)
+//   Ring[n*n]    head/tail cursors · futex wake words · frame bytes
+//
+// A sender copies a complete frame ({size, flow_id, tag, flags} + payload)
+// into the destination ring and only then publishes the head cursor
+// (release), so a rank SIGKILLed mid-send can never expose a torn frame.
+// Frames larger than half a ring spill their payload to a file in the
+// group's spill directory (tmpfs when available) and ship only the path, so
+// no payload size can deadlock a ring. The receiver drains its incoming
+// rings into a rank-private MessageStash (the same (src, tag)-keyed store
+// ThreadComm uses — comm/mailbox.hpp) and delivers from there, preserving
+// per-channel FIFO order and the exact timeout/failure narratives of the
+// thread transport.
+//
+// Failure model: the parent process is the failure detector. It drains each
+// child's result pipe and reaps children with waitpid(); a child that dies
+// by signal (a real SIGKILL mid-fit) is marked failed in the shared table
+// with "killed by signal N", the unacked-failure count is bumped, and every
+// futex is woken — surviving ranks observe exactly what ThreadComm's
+// mark_failed() produces: blocked recv()/barrier() calls throw
+// RankFailedError naming the dead rank, and agree_survivors() converges the
+// survivors, purges every ring, snapshots the survivor bitmask, and lets the
+// shrunken group continue. failed_ranks() is therefore waitpid-accurate
+// liveness, read from the table the parent maintains.
+//
+// Blocking waits use the shared (cross-process) futex form in bounded
+// slices, so a lost wakeup can only ever cost one slice, never a hang.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/mailbox.hpp"
+
+namespace keybin2::comm {
+
+namespace detail {
+struct ProcShared;  // the mmap'ed segment layout (proc_comm.cpp)
+}
+
+/// A rank's endpoint over the shared-memory segment. Constructed inside the
+/// forked child by proc_run_ranks(); satisfies the full Communicator
+/// contract, including the fault surface.
+class ProcComm final : public Communicator {
+ public:
+  ProcComm(detail::ProcShared* shared, int rank);
+
+  int rank() const override { return rank_; }
+  int size() const override;
+  void send(int dest, int tag, std::span<const std::byte> data) override;
+  std::vector<std::byte> recv(int src, int tag) override;
+  void barrier() override;
+  TrafficStats stats() const override;
+
+  void recycle_buffer(std::vector<std::byte>&& buf) override;
+  std::vector<int> failed_ranks() const override;
+  std::vector<int> agree_survivors() override;
+  bool process_isolated() const override { return true; }
+
+ private:
+  /// Move every frame parked in the incoming rings into the local stash.
+  /// Draining all sources (not just the awaited one) keeps senders from
+  /// blocking on a full ring while we wait on somebody else.
+  void drain_rings();
+  [[noreturn]] void throw_rank_failed(const char* op, int self, int peer,
+                                      int tag);
+
+  detail::ProcShared* g_;
+  int rank_;
+  MessageStash stash_;
+};
+
+/// Everything one process-backed launch produced, collected by the parent.
+struct ProcRunResult {
+  /// Sum of every rank's traffic counters (read from shared memory after
+  /// all children are reaped).
+  TrafficStats total_stats;
+  /// Per-rank result blobs; empty for ranks that died without reporting.
+  std::vector<std::vector<std::byte>> results;
+  /// First error any rank reported over its result pipe (reconstructed with
+  /// its original type), or null. A child killed by a signal reports
+  /// nothing: its death is the survivors' problem, exactly like a dead node.
+  std::exception_ptr first_error;
+};
+
+/// Fork `n_ranks` child processes, run `fn(comm)` in each over a shared
+/// ProcComm group, and collect results/errors in the parent. `ring_bytes`
+/// is the per-(src, dest) ring capacity (0 = default). Blocks until every
+/// child is reaped. Linux-only; throws Error elsewhere.
+ProcRunResult proc_run_ranks(
+    int n_ranks, std::size_t ring_bytes,
+    const std::function<std::vector<std::byte>(Communicator&)>& fn);
+
+}  // namespace keybin2::comm

@@ -1,27 +1,9 @@
 #include "comm/thread_comm.hpp"
 
-#include <chrono>
-#include <sstream>
-
 #include "common/error.hpp"
 #include "common/timer.hpp"
 
 namespace keybin2::comm {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-Clock::time_point deadline_after(Clock::time_point start, double seconds) {
-  return start + std::chrono::duration_cast<Clock::duration>(
-                     std::chrono::duration<double>(seconds));
-}
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
 
 ThreadCommHub::ThreadCommHub(int size) {
   KB2_CHECK_MSG(size >= 1, "hub size must be >= 1, got " << size);
@@ -31,8 +13,8 @@ ThreadCommHub::ThreadCommHub(int size) {
   }
   traffic_.resize(static_cast<std::size_t>(size));
   rank_state_ =
-      std::make_unique<std::atomic<std::uint8_t>[]>(static_cast<std::size_t>(size));
-  for (int i = 0; i < size; ++i) rank_state_[i].store(kLive);
+      std::make_unique<std::atomic<RankState>[]>(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) rank_state_[i].store(RankState::kLive);
   fail_reasons_.resize(static_cast<std::size_t>(size));
 }
 
@@ -50,7 +32,7 @@ TrafficStats ThreadCommHub::stats(int rank) const {
 int ThreadCommHub::live_count_locked() const {
   int live = 0;
   for (int r = 0; r < size(); ++r) {
-    if (rank_state_[r].load() == kLive) ++live;
+    if (rank_state_[r].load() == RankState::kLive) ++live;
   }
   return live;
 }
@@ -64,30 +46,22 @@ void ThreadCommHub::wake_everyone() {
 
 void ThreadCommHub::throw_rank_failed(const char* op, int self, int peer,
                                       int tag) {
-  std::ostringstream os;
-  os << "rank " << self << " " << op;
-  if (peer >= 0) os << "(peer=" << peer << ", tag=" << tag << ")";
-  os << " aborted:";
+  std::string msg;
   {
     std::lock_guard lk(state_mu_);
-    for (int r = 0; r < size(); ++r) {
-      const auto st = rank_state_[r].load();
-      if (st == kFailed) {
-        os << " [rank " << r << " failed: "
-           << fail_reasons_[static_cast<std::size_t>(r)] << "]";
-      } else if (st == kDeparted) {
-        os << " [rank " << r << " left the group]";
-      }
-    }
+    msg = rank_failed_message(
+        op, self, peer, tag, size(),
+        [&](int r) { return rank_state_[r].load(); },
+        [&](int r) { return fail_reasons_[static_cast<std::size_t>(r)]; });
   }
-  throw RankFailedError(os.str());
+  throw RankFailedError(msg);
 }
 
 void ThreadCommHub::mark_failed(int rank, const std::string& reason) {
   {
     std::lock_guard lk(state_mu_);
-    if (rank_state_[rank].load() != kLive) return;
-    rank_state_[rank].store(kFailed);
+    if (rank_state_[rank].load() != RankState::kLive) return;
+    rank_state_[rank].store(RankState::kFailed);
     fail_reasons_[static_cast<std::size_t>(rank)] = reason;
     unacked_failures_.fetch_add(1);
     // The dead rank will never arrive at a pending agreement; re-check the
@@ -102,8 +76,8 @@ void ThreadCommHub::mark_failed(int rank, const std::string& reason) {
 void ThreadCommHub::mark_departed(int rank) {
   {
     std::lock_guard lk(state_mu_);
-    if (rank_state_[rank].load() != kLive) return;
-    rank_state_[rank].store(kDeparted);
+    if (rank_state_[rank].load() != RankState::kLive) return;
+    rank_state_[rank].store(RankState::kDeparted);
     maybe_finalize_shrink_locked();
     barrier_cv_.notify_all();
     shrink_cv_.notify_all();
@@ -115,7 +89,7 @@ std::vector<int> ThreadCommHub::failed_ranks() const {
   std::lock_guard lk(state_mu_);
   std::vector<int> out;
   for (int r = 0; r < size(); ++r) {
-    if (rank_state_[r].load() == kFailed) out.push_back(r);
+    if (rank_state_[r].load() == RankState::kFailed) out.push_back(r);
   }
   return out;
 }
@@ -128,18 +102,14 @@ ThreadCommHub::SendInfo ThreadCommHub::push(int src, int dest, int tag,
                                             std::span<const std::byte> data,
                                             CommProbe* probe) {
   if (shrink_pending_.load()) {
-    std::ostringstream os;
-    os << "rank " << src << " send(peer=" << dest << ", tag=" << tag
-       << ") abandoned: survivor agreement in progress";
-    throw RecoveryError(os.str());
+    throw RecoveryError(abandoned_message(src, "send", dest, tag));
   }
   const auto dest_state = rank_state_[dest].load();
-  if (dest_state == kFailed) throw_rank_failed("send", src, dest, tag);
-  if (dest_state == kDeparted) {
-    std::ostringstream os;
-    os << "rank " << src << " send(peer=" << dest << ", tag=" << tag
-       << ") aborted: rank " << dest << " left the group";
-    throw RankFailedError(os.str());
+  if (dest_state == RankState::kFailed) {
+    throw_rank_failed("send", src, dest, tag);
+  }
+  if (dest_state == RankState::kDeparted) {
+    throw RankFailedError(send_departed_message(src, dest, tag));
   }
 
   SendInfo info;
@@ -150,18 +120,13 @@ ThreadCommHub::SendInfo ThreadCommHub::push(int src, int dest, int tag,
     // Reuse a recycled delivery buffer when one is available: the capacity
     // survives the pool round-trip, so steady-state collectives stop paying
     // one allocation per message.
-    std::vector<std::byte> buf;
-    if (!box.pool.empty()) {
-      buf = std::move(box.pool.back());
-      box.pool.pop_back();
-    }
+    auto buf = box.stash.take_buffer();
     buf.assign(data.begin(), data.end());
-    box.queues[{src, tag}].push_back(
-        Mailbox::Message{std::move(buf), info.flow_id});
+    box.stash.push(src, tag, Message{std::move(buf), info.flow_id});
     if (probe != nullptr) {
       // Total messages parked in the destination mailbox across all (src,
       // tag) channels — the backlog a slow consumer is accumulating.
-      for (const auto& [key, q] : box.queues) info.queue_depth += q.size();
+      info.queue_depth = box.stash.total_depth();
       // Fire while the lock is held: the receiver cannot pop this message
       // until we release box.mu, so the send timestamp the probe records
       // precedes the matching recv timestamp on the shared clock.
@@ -182,43 +147,36 @@ ThreadCommHub::SendInfo ThreadCommHub::push(int src, int dest, int tag,
 void ThreadCommHub::recycle(int rank, std::vector<std::byte>&& buf) {
   auto& box = *mailboxes_[static_cast<std::size_t>(rank)];
   std::lock_guard lk(box.mu);
-  if (box.pool.size() < kMailboxPoolCap) {
-    buf.clear();
-    box.pool.push_back(std::move(buf));
-  }
+  box.stash.recycle(std::move(buf));
 }
 
 std::vector<std::byte> ThreadCommHub::pop(int self, int src, int tag,
                                           double timeout_seconds,
                                           std::uint64_t* flow_id_out) {
   auto& box = *mailboxes_[static_cast<std::size_t>(self)];
-  const auto key = std::make_pair(src, tag);
-  const auto start = Clock::now();
+  const auto start = CommClock::now();
   std::unique_lock lk(box.mu);
 
   for (;;) {
     const auto ready = [&] {
       if (shrink_pending_.load() || unacked_failures_.load() > 0 ||
-          rank_state_[src].load() == kDeparted) {
+          rank_state_[src].load() == RankState::kDeparted) {
         return true;
       }
-      auto it = box.queues.find(key);
-      return it != box.queues.end() && !it->second.empty();
+      return box.stash.has_message(src, tag);
     };
     bool timed_out = false;
     if (timeout_seconds > 0.0) {
       timed_out =
-          !box.cv.wait_until(lk, deadline_after(start, timeout_seconds), ready);
+          !box.cv.wait_until(lk, comm_deadline(start, timeout_seconds), ready);
     } else {
       box.cv.wait(lk, ready);
     }
 
     // Deliver pending messages even when the group is disturbed: in-flight
     // traffic drains; only block-forever is fatal.
-    auto it = box.queues.find(key);
-    if (it != box.queues.end() && !it->second.empty()) {
-      auto msg = std::move(it->second.front());
-      it->second.pop_front();
+    Message msg;
+    if (box.stash.try_pop(src, tag, &msg)) {
       lk.unlock();
       if (flow_id_out) *flow_id_out = msg.flow_id;
       {
@@ -232,29 +190,19 @@ std::vector<std::byte> ThreadCommHub::pop(int self, int src, int tag,
 
     if (shrink_pending_.load()) {
       lk.unlock();
-      std::ostringstream os;
-      os << "rank " << self << " recv(peer=" << src << ", tag=" << tag
-         << ") abandoned: survivor agreement in progress";
-      throw RecoveryError(os.str());
+      throw RecoveryError(abandoned_message(self, "recv", src, tag));
     }
     if (unacked_failures_.load() > 0) {
       lk.unlock();
       throw_rank_failed("recv", self, src, tag);
     }
-    if (rank_state_[src].load() == kDeparted) {
+    if (rank_state_[src].load() == RankState::kDeparted) {
       lk.unlock();
-      std::ostringstream os;
-      os << "rank " << self << " recv(peer=" << src << ", tag=" << tag
-         << ") will never complete: rank " << src << " left the group";
-      throw RankFailedError(os.str());
+      throw RankFailedError(recv_departed_message(self, src, tag));
     }
     if (timed_out) {
       lk.unlock();
-      const double elapsed = seconds_since(start);
-      std::ostringstream os;
-      os << "rank " << self << " recv(peer=" << src << ", tag=" << tag
-         << ") timed out after " << elapsed << "s";
-      throw TimeoutError(os.str(), self, src, tag, elapsed);
+      throw_recv_timeout(self, src, tag, comm_seconds_since(start));
     }
     // A disturbance was acknowledged between the wake-up and the checks
     // above (possible but rare); go back to waiting.
@@ -262,14 +210,11 @@ std::vector<std::byte> ThreadCommHub::pop(int self, int src, int tag,
 }
 
 void ThreadCommHub::barrier_wait(int self, double timeout_seconds) {
-  const auto start = Clock::now();
+  const auto start = CommClock::now();
   std::unique_lock lk(state_mu_);
   if (shrink_pending_.load()) {
     lk.unlock();
-    std::ostringstream os;
-    os << "rank " << self
-       << " barrier() abandoned: survivor agreement in progress";
-    throw RecoveryError(os.str());
+    throw RecoveryError(abandoned_message(self, "barrier", -1, -1));
   }
   // The hub barrier is a full-group collective: once any rank is dead or
   // gone it can never complete, acknowledged failure or not. (Shrunken
@@ -294,7 +239,7 @@ void ThreadCommHub::barrier_wait(int self, double timeout_seconds) {
   bool timed_out = false;
   if (timeout_seconds > 0.0) {
     timed_out = !barrier_cv_.wait_until(
-        lk, deadline_after(start, timeout_seconds), woken);
+        lk, comm_deadline(start, timeout_seconds), woken);
   } else {
     barrier_cv_.wait(lk, woken);
   }
@@ -303,10 +248,7 @@ void ThreadCommHub::barrier_wait(int self, double timeout_seconds) {
   --barrier_count_;  // withdraw so a later barrier is not miscounted
   if (shrink_pending_.load()) {
     lk.unlock();
-    std::ostringstream os;
-    os << "rank " << self
-       << " barrier() abandoned: survivor agreement in progress";
-    throw RecoveryError(os.str());
+    throw RecoveryError(abandoned_message(self, "barrier", -1, -1));
   }
   if (unacked_failures_.load() > 0) {
     lk.unlock();
@@ -314,10 +256,7 @@ void ThreadCommHub::barrier_wait(int self, double timeout_seconds) {
   }
   lk.unlock();
   KB2_CHECK_MSG(timed_out, "barrier woke without progress or failure");
-  const double elapsed = seconds_since(start);
-  std::ostringstream os;
-  os << "rank " << self << " barrier() timed out after " << elapsed << "s";
-  throw TimeoutError(os.str(), self, /*src=*/-1, /*tag=*/-1, elapsed);
+  throw_barrier_timeout(self, comm_seconds_since(start));
 }
 
 void ThreadCommHub::maybe_finalize_shrink_locked() {
@@ -327,11 +266,11 @@ void ThreadCommHub::maybe_finalize_shrink_locked() {
   // after the purge below the retried protocol starts from a clean slate.
   survivors_.clear();
   for (int r = 0; r < size(); ++r) {
-    if (rank_state_[r].load() == kLive) survivors_.push_back(r);
+    if (rank_state_[r].load() == RankState::kLive) survivors_.push_back(r);
   }
   for (auto& box : mailboxes_) {
     std::lock_guard blk(box->mu);
-    box->queues.clear();
+    box->stash.clear();
   }
   unacked_failures_.store(0);
   shrink_arrived_ = 0;
@@ -343,7 +282,7 @@ void ThreadCommHub::maybe_finalize_shrink_locked() {
 
 std::vector<int> ThreadCommHub::agree_survivors(int self,
                                                 double timeout_seconds) {
-  const auto start = Clock::now();
+  const auto start = CommClock::now();
   std::unique_lock lk(state_mu_);
   if (!shrink_pending_.load()) {
     shrink_pending_.store(true);
@@ -362,18 +301,14 @@ std::vector<int> ThreadCommHub::agree_survivors(int self,
     bool timed_out = false;
     if (timeout_seconds > 0.0) {
       timed_out = !shrink_cv_.wait_until(
-          lk, deadline_after(start, timeout_seconds), done);
+          lk, comm_deadline(start, timeout_seconds), done);
     } else {
       shrink_cv_.wait(lk, done);
     }
     if (timed_out) {
       --shrink_arrived_;  // withdraw; a retry will re-arrive
       lk.unlock();
-      const double elapsed = seconds_since(start);
-      std::ostringstream os;
-      os << "rank " << self << " agree_survivors() timed out after " << elapsed
-         << "s waiting for the live ranks to converge";
-      throw TimeoutError(os.str(), self, /*src=*/-1, /*tag=*/-1, elapsed);
+      throw_agree_timeout(self, comm_seconds_since(start));
     }
   }
   return survivors_;

@@ -1,13 +1,16 @@
 // ThreadComm: an in-process group of ranks backed by threads.
 //
-// A Hub owns one mailbox per rank; a mailbox is a FIFO of messages keyed by
-// (source, tag). send() enqueues into the destination's mailbox; recv()
-// blocks on the destination's condition variable until a matching message is
-// available. The barrier is a classic generation-counting central barrier.
+// A Hub owns one mailbox per rank; a mailbox is a MessageStash (the
+// transport-neutral (source, tag)-keyed FIFO store shared with ProcComm —
+// see comm/mailbox.hpp) guarded by a mutex/condvar pair. send() enqueues
+// into the destination's stash; recv() blocks on the destination's
+// condition variable until a matching message is available. The barrier is
+// a classic generation-counting central barrier.
 //
 // This gives the distributed KeyBin2 driver a faithful stand-in for MPI on a
 // single node: real concurrency, real serialization, rank-private memory by
-// convention (each rank only touches its own data slices).
+// convention (each rank only touches its own data slices). ProcComm
+// (comm/proc_comm.hpp) is the same contract over real OS processes.
 //
 // Failure model (DESIGN.md §4b): the hub tracks per-rank status — live,
 // failed (the rank's function threw), or departed (it returned normally).
@@ -27,14 +30,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "comm/mailbox.hpp"
 
 namespace keybin2::comm {
 
@@ -99,22 +101,13 @@ class ThreadCommHub {
  private:
   friend class ThreadComm;
 
+  /// One rank's inbox: the shared stash structure plus this transport's
+  /// thread synchronization around it.
   struct Mailbox {
-    /// A queued delivery, stamped with the hub-unique flow id assigned at
-    /// send time so a probe can pair the send with the matching recv.
-    struct Message {
-      std::vector<std::byte> bytes;
-      std::uint64_t flow_id = 0;
-    };
     std::mutex mu;
     std::condition_variable cv;
-    std::map<std::pair<int, int>, std::deque<Message>> queues;
-    /// Recycled delivery buffers (capacity retained): push() takes from
-    /// here, the owning rank's recycle_buffer() refills it. Bounded so a
-    /// burst cannot pin memory forever.
-    std::vector<std::vector<std::byte>> pool;
+    MessageStash stash;
   };
-  static constexpr std::size_t kMailboxPoolCap = 32;
 
   /// What push() reports back for the sender's probe: the assigned flow id,
   /// and (only when requested) the destination mailbox depth after enqueue.
@@ -122,10 +115,6 @@ class ThreadCommHub {
     std::uint64_t flow_id = 0;
     std::size_t queue_depth = 0;
   };
-
-  // Per-rank lifecycle. The enum lives in an atomic array so mailbox waits
-  // can poll it without taking state_mu_; reasons stay under state_mu_.
-  enum : std::uint8_t { kLive = 0, kFailed = 1, kDeparted = 2 };
 
   /// Enqueue one message. When `probe` is non-null its on_send fires while
   /// the destination mailbox lock is still held, so the sender's timestamp
@@ -155,7 +144,7 @@ class ThreadCommHub {
 
   // Lock order: state_mu_ before any Mailbox::mu; never the reverse.
   mutable std::mutex state_mu_;
-  std::unique_ptr<std::atomic<std::uint8_t>[]> rank_state_;
+  std::unique_ptr<std::atomic<RankState>[]> rank_state_;
   std::vector<std::string> fail_reasons_;
   /// Failed ranks not yet acknowledged by a completed survivor agreement;
   /// nonzero wakes every blocked operation.

@@ -5,6 +5,8 @@
 // bounds-checked packing of trivially-copyable scalars, vectors, and strings.
 #pragma once
 
+#include <bit>
+#include <climits>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -16,6 +18,19 @@
 #include "common/error.hpp"
 
 namespace keybin2 {
+
+// Serialized bytes are raw memcpy'd object representations: they cross rank
+// boundaries (which, under the process backend, are real process boundaries
+// and in an MPI deployment would be real machines) and land in checkpoint
+// files that a restarted run reads back. That is only well-defined while
+// every producer and consumer agrees on byte order and byte width — assert
+// the assumption once, here, instead of corrupting data quietly on an
+// exotic target.
+static_assert(std::endian::native == std::endian::little,
+              "keybin2 serialization assumes little-endian object "
+              "representations (frames and checkpoints are raw memcpy)");
+static_assert(CHAR_BIT == 8,
+              "keybin2 serialization assumes 8-bit bytes");
 
 class ByteWriter {
  public:

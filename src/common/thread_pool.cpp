@@ -124,9 +124,33 @@ void ThreadPool::parallel_for(
   if (job.first_error) std::rethrow_exception(job.first_error);
 }
 
+namespace {
+
+// The global pool lives behind an atomic pointer (not a function-local
+// static) so a forked child can swap in a fork-safe replacement without
+// touching the parent's pool, whose worker threads do not exist in the child.
+std::atomic<ThreadPool*> g_pool{nullptr};
+std::mutex g_pool_mu;
+
+}  // namespace
+
 ThreadPool& global_pool() {
-  static ThreadPool pool;
-  return pool;
+  ThreadPool* p = g_pool.load(std::memory_order_acquire);
+  if (p != nullptr) return *p;
+  std::lock_guard lk(g_pool_mu);
+  p = g_pool.load(std::memory_order_relaxed);
+  if (p == nullptr) {
+    p = new ThreadPool();
+    g_pool.store(p, std::memory_order_release);
+  }
+  return *p;
+}
+
+void reset_global_pool_after_fork() {
+  // Runs in a single-threaded child: a plain store suffices, and it must not
+  // take g_pool_mu (the fork may have captured it locked by another thread).
+  // Later global_pool() calls see the non-null pointer and never lock.
+  g_pool.store(new ThreadPool(ThreadPool::Inline{}), std::memory_order_release);
 }
 
 }  // namespace keybin2

@@ -30,6 +30,12 @@ class ThreadPool {
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
+  /// Tag selecting a zero-worker pool: every parallel_for runs inline on the
+  /// calling thread. The only pool that may exist in a freshly forked child
+  /// of a multi-threaded process, where starting threads is not an option.
+  struct Inline {};
+  explicit ThreadPool(Inline) {}
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
@@ -82,5 +88,13 @@ class ThreadPool {
 
 /// Process-wide pool shared by kernels that do not need a private pool.
 ThreadPool& global_pool();
+
+/// Install a zero-worker inline pool as the global pool. Must be called in a
+/// child process immediately after fork(): the parent's worker threads do not
+/// exist in the child, so any previously created pool is unusable there (and
+/// under TSan, starting replacement threads after a multi-threaded fork
+/// aborts). The old pool object is deliberately leaked — its threads are not
+/// ours to join from the child.
+void reset_global_pool_after_fork();
 
 }  // namespace keybin2

@@ -50,8 +50,8 @@ std::vector<LogEvent> MemorySink::events_named(const std::string& name) const {
   return out;
 }
 
-JsonlFileSink::JsonlFileSink(const std::string& path)
-    : file_(std::fopen(path.c_str(), "w")) {}
+JsonlFileSink::JsonlFileSink(const std::string& path, bool append)
+    : file_(std::fopen(path.c_str(), append ? "a" : "w")) {}
 
 JsonlFileSink::~JsonlFileSink() {
   if (file_ != nullptr) std::fclose(file_);

@@ -66,9 +66,15 @@ class MemorySink final : public LogSink {
 
 /// Appends one JSON line per event to a file. Open once, share across the
 /// rank contexts of a run.
+///
+/// With `append = true` the file is opened in O_APPEND mode and left as-is:
+/// process-backed ranks each open their own append-mode sink on the same
+/// path (the parent truncates the file once before forking), and because
+/// every emit flushes exactly one line per write(2), lines from different
+/// processes interleave without tearing.
 class JsonlFileSink final : public LogSink {
  public:
-  explicit JsonlFileSink(const std::string& path);
+  explicit JsonlFileSink(const std::string& path, bool append = false);
   ~JsonlFileSink() override;
 
   bool ok() const { return file_ != nullptr; }

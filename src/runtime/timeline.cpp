@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "comm/communicator.hpp"
+#include "common/serialize.hpp"
 #include "runtime/json.hpp"
 
 namespace keybin2::runtime {
@@ -40,6 +41,71 @@ void metadata_event(JsonWriter& w, int rank, const char* what,
 }
 
 }  // namespace
+
+void Timeline::serialize(ByteWriter& w) const {
+  w.write<std::int32_t>(rank_);
+  w.write<std::uint64_t>(spans_.size());
+  for (const auto& s : spans_) {
+    w.write_string(s.name);
+    w.write<std::int64_t>(s.start_ns);
+    w.write<std::int64_t>(s.end_ns);
+  }
+  w.write<std::uint64_t>(flows_.size());
+  for (const auto& f : flows_) {
+    w.write<std::uint64_t>(f.id);
+    w.write<std::int64_t>(f.t_ns);
+    w.write<std::uint8_t>(f.start ? 1 : 0);
+    w.write<std::int32_t>(f.peer);
+    w.write<std::int32_t>(f.tag);
+    w.write<std::uint64_t>(f.bytes);
+    w.write<std::int64_t>(f.wait_ns);
+  }
+  w.write<std::uint64_t>(waits_.size());
+  for (const auto& b : waits_) {
+    w.write_string(b.kind);
+    w.write<std::int64_t>(b.t_ns);
+    w.write<std::int64_t>(b.wait_ns);
+  }
+  w.write<std::uint64_t>(instants_.size());
+  for (const auto& i : instants_) {
+    w.write_string(i.name);
+    w.write<std::int64_t>(i.t_ns);
+  }
+}
+
+Timeline Timeline::deserialize(ByteReader& r) {
+  Timeline tl(r.read<std::int32_t>());
+  const auto n_spans = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n_spans; ++i) {
+    auto name = r.read_string();
+    const auto start_ns = r.read<std::int64_t>();
+    tl.add_span(std::move(name), start_ns, r.read<std::int64_t>());
+  }
+  const auto n_flows = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n_flows; ++i) {
+    Flow f;
+    f.id = r.read<std::uint64_t>();
+    f.t_ns = r.read<std::int64_t>();
+    f.start = r.read<std::uint8_t>() != 0;
+    f.peer = r.read<std::int32_t>();
+    f.tag = r.read<std::int32_t>();
+    f.bytes = r.read<std::uint64_t>();
+    f.wait_ns = r.read<std::int64_t>();
+    tl.add_flow(f.id, f.t_ns, f.start, f.peer, f.tag, f.bytes, f.wait_ns);
+  }
+  const auto n_waits = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n_waits; ++i) {
+    auto kind = r.read_string();
+    const auto t_ns = r.read<std::int64_t>();
+    tl.add_wait(std::move(kind), t_ns, r.read<std::int64_t>());
+  }
+  const auto n_instants = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n_instants; ++i) {
+    auto name = r.read_string();
+    tl.add_instant(std::move(name), r.read<std::int64_t>());
+  }
+  return tl;
+}
 
 std::string chrome_trace_json(std::span<const Timeline> ranks) {
   // Shift all timestamps so the earliest captured event is t=0.

@@ -27,6 +27,11 @@
 #include <string>
 #include <vector>
 
+namespace keybin2 {
+class ByteWriter;
+class ByteReader;
+}  // namespace keybin2
+
 namespace keybin2::runtime {
 
 class Timeline {
@@ -81,6 +86,13 @@ class Timeline {
   void add_instant(std::string name, std::int64_t t_ns) {
     instants_.push_back(Instant{std::move(name), t_ns});
   }
+
+  /// Flatten every event into a byte blob. Under the process-backed
+  /// launcher each rank's timeline lives in a different address space, so
+  /// this (with deserialize()) is how per-rank timelines reach the parent
+  /// for flow pairing and Chrome trace export.
+  void serialize(ByteWriter& w) const;
+  static Timeline deserialize(ByteReader& r);
 
   const std::vector<Span>& spans() const { return spans_; }
   const std::vector<Flow>& flows() const { return flows_; }

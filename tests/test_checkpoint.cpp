@@ -12,14 +12,13 @@
 #include <string>
 #include <vector>
 
-#include <unistd.h>
-
 #include "common/error.hpp"
 #include "common/serialize.hpp"
 #include "core/out_of_core.hpp"
 #include "core/streaming.hpp"
 #include "data/gaussian_mixture.hpp"
 #include "data/io.hpp"
+#include "test_util.hpp"
 
 namespace keybin2::core {
 namespace {
@@ -48,10 +47,8 @@ void spit(const std::string& path, const std::vector<char>& raw) {
 
 class CheckpointFile : public ::testing::Test {
  protected:
-  void SetUp() override {
-    path_ = "/tmp/kb2_ckpt_" + std::to_string(getpid()) + ".bin";
-  }
-  void TearDown() override { std::remove(path_.c_str()); }
+  void SetUp() override { path_ = tmp_.make("kb2_ckpt", ".bin"); }
+  testutil::TempPaths tmp_;
   std::string path_;
 };
 
@@ -147,14 +144,13 @@ TEST(StreamingCheckpoint, ResumedEngineContinuesTheStreamBitForBit) {
   // doubling, reservoir RNG draws, envelope tracking — would show up in the
   // final serialized bytes.
   const auto d = stream_data(1200, 6);
-  const std::string path =
-      "/tmp/kb2_ckpt_stream_" + std::to_string(getpid()) + ".bin";
+  testutil::TempPaths tmp;
+  const std::string path = tmp.make("kb2_ckpt_stream", ".bin");
 
   StreamingKeyBin2 original(6);
   for (std::size_t i = 0; i < 600; ++i) original.push(d.points.row(i));
   original.save_checkpoint(path);
   auto resumed = StreamingKeyBin2::resume_from(path);
-  std::remove(path.c_str());
 
   for (std::size_t i = 600; i < 1200; ++i) {
     original.push(d.points.row(i));
@@ -184,11 +180,10 @@ TEST(StreamingCheckpoint, RestoreRejectsTrailingGarbage) {
   a.serialize(w);
   w.write<std::uint32_t>(0xDEADBEEF);  // bytes serialize() never wrote
 
-  const std::string path =
-      "/tmp/kb2_ckpt_trail_" + std::to_string(getpid()) + ".bin";
+  testutil::TempPaths tmp;
+  const std::string path = tmp.make("kb2_ckpt_trail", ".bin");
   write_checkpoint_file(path, w.bytes());
   EXPECT_THROW(StreamingKeyBin2::resume_from(path), Error);
-  std::remove(path.c_str());
 }
 
 // ---- Out-of-core kill-and-resume ----
@@ -196,18 +191,13 @@ TEST(StreamingCheckpoint, RestoreRejectsTrailingGarbage) {
 class OutOfCoreCheckpoint : public ::testing::Test {
  protected:
   void SetUp() override {
-    const std::string tag = std::to_string(getpid());
-    input_ = "/tmp/kb2_ckpt_input_" + tag + ".bin";
-    labels_ = "/tmp/kb2_ckpt_labels_" + tag + ".bin";
-    ckpt_ = "/tmp/kb2_ckpt_state_" + tag + ".bin";
+    input_ = tmp_.make("kb2_ckpt_input", ".bin");
+    labels_ = tmp_.make("kb2_ckpt_labels", ".bin");
+    ckpt_ = tmp_.make("kb2_ckpt_state", ".bin");
     const auto spec = data::make_paper_mixture(10, 3, 1);
     data::write_binary(data::sample(spec, 4000, 2), input_);
   }
-  void TearDown() override {
-    std::remove(input_.c_str());
-    std::remove(labels_.c_str());
-    std::remove(ckpt_.c_str());
-  }
+  testutil::TempPaths tmp_;
   std::string input_, labels_, ckpt_;
 };
 

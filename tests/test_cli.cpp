@@ -6,10 +6,9 @@
 #include <cstdio>
 #include <string>
 
-#include <unistd.h>
-
 #include "data/io.hpp"
 #include "stats/metrics.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -36,22 +35,14 @@ CommandResult run(const std::string& args) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    // ctest runs each discovered test as its own process, possibly in
-    // parallel — unique paths keep one test's teardown from deleting a
-    // file another test is still reading.
-    const std::string tag = std::to_string(getpid());
-    data_path_ = "/tmp/kb2_cli_test_data_" + tag + ".csv";
-    out_path_ = "/tmp/kb2_cli_test_out_" + tag + ".csv";
+    data_path_ = tmp_.make("kb2_cli_test_data", ".csv");
+    out_path_ = tmp_.make("kb2_cli_test_out", ".csv");
     const auto gen = run("generate " + data_path_ +
                          " --points 1500 --dims 8 --k 3 --seed 5");
     ASSERT_EQ(gen.exit_code, 0) << gen.output;
   }
 
-  void TearDown() override {
-    std::remove(data_path_.c_str());
-    std::remove(out_path_.c_str());
-  }
-
+  keybin2::testutil::TempPaths tmp_;
   std::string data_path_, out_path_;
 };
 
@@ -109,10 +100,8 @@ TEST_F(CliTest, DistributedRunAcceptsFaultToleranceKnobs) {
 }
 
 TEST_F(CliTest, TraceJsonExportsLoadableRankTimelines) {
-  const std::string trace_path =
-      "/tmp/kb2_cli_test_trace_" + std::to_string(getpid()) + ".json";
-  const std::string log_path =
-      "/tmp/kb2_cli_test_events_" + std::to_string(getpid()) + ".jsonl";
+  const std::string trace_path = tmp_.make("kb2_cli_test_trace", ".json");
+  const std::string log_path = tmp_.make("kb2_cli_test_events", ".jsonl");
   const auto r = run("cluster " + data_path_ +
                      " --ranks 4 --trace --trace-json " + trace_path +
                      " --log " + log_path);
@@ -156,29 +145,82 @@ TEST_F(CliTest, TraceJsonExportsLoadableRankTimelines) {
   std::FILE* lf = std::fopen(log_path.c_str(), "rb");
   EXPECT_NE(lf, nullptr);
   if (lf) std::fclose(lf);
-
-  std::remove(trace_path.c_str());
-  std::remove(log_path.c_str());
 }
+
+#ifdef __linux__
+TEST_F(CliTest, ProcessBackendMatchesThreadBackendEndToEnd) {
+  // Same input, both transports: identical assignments, and the merged
+  // trace artifacts (per-stage table, Chrome trace, event log) must come
+  // out of the forked children just like they do from threads.
+  const std::string thread_out = tmp_.make("kb2_cli_test_thr", ".csv");
+  const std::string trace_path = tmp_.make("kb2_cli_test_ptrace", ".json");
+  const std::string log_path = tmp_.make("kb2_cli_test_pevents", ".jsonl");
+  const auto t = run("cluster " + data_path_ +
+                     " --ranks 4 --backend thread --out " + thread_out);
+  ASSERT_EQ(t.exit_code, 0) << t.output;
+
+  const auto p = run("cluster " + data_path_ +
+                     " --ranks 4 --backend proc --trace --trace-json " +
+                     trace_path + " --log " + log_path + " --out " +
+                     out_path_);
+  ASSERT_EQ(p.exit_code, 0) << p.output;
+  EXPECT_NE(p.output.find("on 4 ranks (process backend)"),
+            std::string::npos)
+      << p.output;
+  EXPECT_NE(p.output.find("stage"), std::string::npos) << p.output;
+  EXPECT_NE(p.output.find("comm heatmap"), std::string::npos) << p.output;
+
+  const auto thread_labels = keybin2::data::read_csv(thread_out);
+  const auto proc_labels = keybin2::data::read_csv(out_path_);
+  EXPECT_EQ(proc_labels.labels, thread_labels.labels)
+      << "transport leaked into the math";
+
+  // The exported trace has all four rank lanes with paired flows, exactly
+  // like the thread backend's (kb2_analyze parses this shape).
+  std::string trace;
+  {
+    std::FILE* f = std::fopen(trace_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::array<char, 4096> chunk{};
+    std::size_t n = 0;
+    while ((n = std::fread(chunk.data(), 1, chunk.size(), f)) > 0) {
+      trace.append(chunk.data(), n);
+    }
+    std::fclose(f);
+  }
+  auto count = [&](const std::string& needle) {
+    std::size_t c = 0;
+    for (auto pos = trace.find(needle); pos != std::string::npos;
+         pos = trace.find(needle, pos + needle.size())) {
+      ++c;
+    }
+    return c;
+  };
+  EXPECT_EQ(count("\"ph\":\"M\""), 8u);
+  EXPECT_GE(count("\"ph\":\"X\""), 4u);
+  EXPECT_GE(count("\"ph\":\"s\""), 1u);
+  EXPECT_EQ(count("\"ph\":\"s\""), count("\"ph\":\"f\""));
+
+  // --log left a (possibly empty) file behind, truncated by the parent and
+  // appended by the children.
+  std::FILE* lf = std::fopen(log_path.c_str(), "rb");
+  EXPECT_NE(lf, nullptr);
+  if (lf) std::fclose(lf);
+}
+#endif  // __linux__
 
 class CliFitFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    const std::string tag = std::to_string(getpid());
-    bin_path_ = "/tmp/kb2_cli_test_bin_" + tag + ".bin";
-    labels_path_ = "/tmp/kb2_cli_test_bin_labels_" + tag + ".bin";
-    ckpt_path_ = "/tmp/kb2_cli_test_ckpt_" + tag + ".bin";
+    bin_path_ = tmp_.make("kb2_cli_test_bin", ".bin");
+    labels_path_ = tmp_.make("kb2_cli_test_bin_labels", ".bin");
+    ckpt_path_ = tmp_.make("kb2_cli_test_ckpt", ".bin");
     const auto gen = run("generate " + bin_path_ +
                          " --points 2000 --dims 8 --k 3 --seed 5 --binary");
     ASSERT_EQ(gen.exit_code, 0) << gen.output;
   }
 
-  void TearDown() override {
-    std::remove(bin_path_.c_str());
-    std::remove(labels_path_.c_str());
-    std::remove(ckpt_path_.c_str());
-  }
-
+  keybin2::testutil::TempPaths tmp_;
   std::string bin_path_, labels_path_, ckpt_path_;
 };
 

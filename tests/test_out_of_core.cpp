@@ -5,13 +5,12 @@
 #include <cstdio>
 #include <string>
 
-#include <unistd.h>
-
 #include "common/error.hpp"
 #include "core/streaming.hpp"
 #include "data/gaussian_mixture.hpp"
 #include "data/io.hpp"
 #include "stats/metrics.hpp"
+#include "test_util.hpp"
 
 namespace keybin2::core {
 namespace {
@@ -19,21 +18,14 @@ namespace {
 class OutOfCoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    // Unique per process: parallel ctest runs each test in its own process
-    // and a shared path would let one teardown delete another's input.
-    const std::string tag = std::to_string(getpid());
-    input_ = "/tmp/kb2_ooc_input_" + tag + ".bin";
-    labels_ = "/tmp/kb2_ooc_labels_" + tag + ".bin";
+    input_ = tmp_.make("kb2_ooc_input", ".bin");
+    labels_ = tmp_.make("kb2_ooc_labels", ".bin");
     const auto spec = data::make_paper_mixture(12, 3, 1);
     dataset_ = data::sample(spec, 6000, 2);
     data::write_binary(dataset_, input_);
   }
 
-  void TearDown() override {
-    std::remove(input_.c_str());
-    std::remove(labels_.c_str());
-  }
-
+  testutil::TempPaths tmp_;
   std::string input_, labels_;
   data::Dataset dataset_;
 };
@@ -87,14 +79,14 @@ TEST(OutOfCore, MissingOrCorruptInputsThrow) {
                Error);
   EXPECT_THROW(read_labels("/tmp/kb2_no_such_labels.bin"), Error);
 
-  const std::string junk = "/tmp/kb2_ooc_junk.bin";
+  testutil::TempPaths tmp;
+  const std::string junk = tmp.make("kb2_ooc_junk", ".bin");
   {
     std::FILE* f = std::fopen(junk.c_str(), "wb");
     std::fputs("definitely not a dataset", f);
     std::fclose(f);
   }
   EXPECT_THROW(fit_from_file(junk, "/tmp/out.bin"), Error);
-  std::remove(junk.c_str());
 }
 
 TEST(OutOfCore, ZeroChunkRejected) {

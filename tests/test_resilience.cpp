@@ -6,11 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
+#include <thread>
 
 #include "comm/fault.hpp"
 #include "comm/launch.hpp"
+#include "common/serialize.hpp"
 #include "common/error.hpp"
 #include "core/keybin2.hpp"
 #include "core/out_of_core.hpp"
@@ -230,6 +234,148 @@ TEST(Resilience, RetriesExhaustIntoAnErrorNotAHang) {
                 }),
       comm::CommError);
 }
+
+// ---- Survivor agreement under simultaneous multi-rank failures ----
+//
+// The single-failure soak above exercises the common case; these pin the
+// harder corners of agree_survivors() on BOTH transports: two ranks dying
+// at once (the agreement must converge despite racing failure marks), and
+// a live rank that never joins the agreement (the callers must time out
+// with full attribution, never hang).
+
+TEST(Resilience, TwoSimultaneousFailuresConvergeOnThreadBackend) {
+  std::atomic<int> recovered{0};
+  EXPECT_THROW(
+      run_ranks(5,
+                [&](Communicator& c) {
+                  if (c.rank() == 2 || c.rank() == 3) {
+                    throw Error("double node death");
+                  }
+                  try {
+                    const double sum = c.allreduce(1.0, comm::ReduceOp::kSum);
+                    ADD_FAILURE() << "allreduce survived two deaths: " << sum;
+                  } catch (const comm::CommError&) {
+                    const auto survivors = c.agree_survivors();
+                    EXPECT_EQ(survivors, (std::vector<int>{0, 1, 4}));
+                    comm::SubgroupComm sub(c, survivors);
+                    EXPECT_DOUBLE_EQ(sub.allreduce(1.0, comm::ReduceOp::kSum),
+                                     3.0);
+                    recovered.fetch_add(1);
+                  }
+                }),
+      Error);
+  EXPECT_EQ(recovered.load(), 3);
+}
+
+TEST(Resilience, AgreeTimesOutWhenALiveRankNeverJoinsThreadBackend) {
+  // Rank 2 stays alive but never calls agree_survivors(): the two callers
+  // must throw an attributed TimeoutError mentioning the agreement — a
+  // stuck peer must never become a hang.
+  std::atomic<int> timed_out{0};
+  run_ranks(3, [&](Communicator& c) {
+    if (c.rank() == 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(900));
+      return;
+    }
+    c.set_timeout(0.3);
+    try {
+      (void)c.agree_survivors();
+      ADD_FAILURE() << "agreement converged without rank 2";
+    } catch (const comm::TimeoutError& e) {
+      EXPECT_EQ(e.self(), c.rank());
+      EXPECT_GE(e.elapsed_seconds(), 0.3);
+      EXPECT_NE(std::string(e.what()).find("agree_survivors"),
+                std::string::npos);
+      timed_out.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(timed_out.load(), 2);
+}
+
+#ifdef __linux__
+
+TEST(Resilience, TwoSimultaneousSigkillsConvergeOnProcessBackend) {
+  // The process-backed version is the honest one: ranks 2 and 3 are
+  // SIGKILLed at the same moment, so the parent's waitpid loop marks two
+  // failures racing each other, and the three surviving processes must
+  // still converge on the same survivor set and run collectives in the
+  // shrunken subgroup.
+  comm::LaunchOptions opt;
+  opt.backend = comm::Backend::kProcess;
+  std::exception_ptr err;
+  const auto blobs = comm::run_ranks_collect_bytes(
+      opt, 5,
+      [](Communicator& c) -> std::vector<std::byte> {
+        c.barrier();
+        if (c.rank() == 2 || c.rank() == 3) ::raise(SIGKILL);
+        // Generous failure-path-only bounds: sanitizer runs at full -j load
+        // can stall a child well past a "reasonable" wall.
+        c.set_timeout(120.0);
+        // Wait until the parent has reaped BOTH deaths, so the agreement
+        // below really does start from two simultaneous failure marks.
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(120);
+        while (c.failed_ranks().size() < 2 &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        const auto survivors = c.agree_survivors();
+        comm::SubgroupComm sub(c, survivors);
+        const double sum = sub.allreduce(1.0, comm::ReduceOp::kSum);
+        ByteWriter w;
+        w.write<std::uint64_t>(survivors.size());
+        for (const int s : survivors) w.write<std::int32_t>(s);
+        w.write<double>(sum);
+        return w.take();
+      },
+      nullptr, &err);
+  EXPECT_TRUE(err == nullptr);
+  EXPECT_TRUE(blobs[2].empty());
+  EXPECT_TRUE(blobs[3].empty());
+  for (const int rank : {0, 1, 4}) {
+    ByteReader r(blobs[static_cast<std::size_t>(rank)]);
+    ASSERT_EQ(r.read<std::uint64_t>(), 3u) << "rank " << rank;
+    EXPECT_EQ(r.read<std::int32_t>(), 0);
+    EXPECT_EQ(r.read<std::int32_t>(), 1);
+    EXPECT_EQ(r.read<std::int32_t>(), 4);
+    EXPECT_DOUBLE_EQ(r.read<double>(), 3.0);
+  }
+}
+
+TEST(Resilience, AgreeTimesOutWhenALiveRankNeverJoinsProcessBackend) {
+  comm::LaunchOptions opt;
+  opt.backend = comm::Backend::kProcess;
+  std::exception_ptr err;
+  const auto blobs = comm::run_ranks_collect_bytes(
+      opt, 3,
+      [](Communicator& c) -> std::vector<std::byte> {
+        if (c.rank() == 2) {
+          // Alive, healthy, and never joining the agreement.
+          std::this_thread::sleep_for(std::chrono::milliseconds(900));
+          return {};
+        }
+        c.set_timeout(0.3);
+        ByteWriter w;
+        try {
+          (void)c.agree_survivors();
+          w.write_string("converged-without-rank-2");
+        } catch (const comm::TimeoutError& e) {
+          w.write_string(std::string(e.what()).find("agree_survivors") !=
+                                 std::string::npos
+                             ? "timeout"
+                             : "timeout-wrong-message");
+        }
+        return w.take();
+      },
+      nullptr, &err);
+  EXPECT_TRUE(err == nullptr);
+  for (const int rank : {0, 1}) {
+    ByteReader r(blobs[static_cast<std::size_t>(rank)]);
+    EXPECT_EQ(r.read_string(), "timeout") << "rank " << rank;
+  }
+}
+
+#endif  // __linux__
 
 }  // namespace
 }  // namespace keybin2

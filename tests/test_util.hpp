@@ -1,0 +1,47 @@
+// Shared filesystem helpers for tests.
+//
+// Several suites stage inputs and outputs under /tmp. ctest runs each
+// discovered test as its own process, possibly in parallel, so every path
+// must be unique per process — otherwise one test's teardown deletes a file
+// another test is still reading. These helpers centralize that convention
+// (previously copy-pasted into every fixture) and add RAII cleanup, so a
+// failing assertion can no longer leak temp files past the test.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+namespace keybin2::testutil {
+
+/// A /tmp path unique to this process: "/tmp/<stem>_<pid><suffix>".
+inline std::string temp_path(const std::string& stem,
+                             const std::string& suffix) {
+  return "/tmp/" + stem + "_" + std::to_string(::getpid()) + suffix;
+}
+
+/// Owns a set of temp paths and deletes them on destruction (whether or not
+/// anything was ever written there). Typical use: a fixture member whose
+/// make() replaces both SetUp path assembly and TearDown removal.
+class TempPaths {
+ public:
+  TempPaths() = default;
+  ~TempPaths() {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+  TempPaths(const TempPaths&) = delete;
+  TempPaths& operator=(const TempPaths&) = delete;
+
+  /// Build a unique-per-process path and register it for cleanup.
+  std::string make(const std::string& stem, const std::string& suffix) {
+    paths_.push_back(temp_path(stem, suffix));
+    return paths_.back();
+  }
+
+ private:
+  std::vector<std::string> paths_;
+};
+
+}  // namespace keybin2::testutil

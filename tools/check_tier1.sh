@@ -26,12 +26,20 @@
 #                                  # kb2_analyze must report a critical path
 #                                  # covering the wall, and trace_check
 #                                  # --analysis validates the JSON report
+#   tools/check_tier1.sh --proc-smoke
+#                                  # build, then exercise the process-backed
+#                                  # transport end to end: an 8-rank
+#                                  # --backend proc fit whose merged trace
+#                                  # must satisfy kb2_analyze, the honest
+#                                  # SIGKILL-one-child recovery tests, and a
+#                                  # thread-vs-proc fingerprint parity check
 #   tools/check_tier1.sh --perf-gate
-#                                  # build, rerun bench/kernel_fusion with the
-#                                  # committed baseline's exact options, and
-#                                  # gate with kb2_analyze --compare against
-#                                  # bench/baselines/BENCH_kernel_fusion.json;
-#                                  # also self-tests the gate by proving a
+#                                  # build, rerun bench/kernel_fusion and
+#                                  # bench/comm_backends with the committed
+#                                  # baselines' exact options, and gate with
+#                                  # kb2_analyze --compare against
+#                                  # bench/baselines/BENCH_*.json; also
+#                                  # self-tests the gate by proving a
 #                                  # synthetic 2x slowdown (--scale-time 2)
 #                                  # fails
 #
@@ -50,6 +58,7 @@ sanitize=""
 trace_smoke=0
 bench_smoke=0
 analyze_smoke=0
+proc_smoke=0
 perf_gate=0
 ctest_args=()
 for arg in "$@"; do
@@ -60,6 +69,7 @@ for arg in "$@"; do
     --trace-smoke) trace_smoke=1 ;;
     --bench-smoke) bench_smoke=1 ;;
     --analyze-smoke) analyze_smoke=1 ;;
+    --proc-smoke) proc_smoke=1 ;;
     --perf-gate) perf_gate=1 ;;
     *) ctest_args+=("${arg}") ;;
   esac
@@ -140,24 +150,61 @@ if [[ "${analyze_smoke}" == "1" ]]; then
   exit 0
 fi
 
+if [[ "${proc_smoke}" == "1" ]]; then
+  # Process-backend smoke: forked ranks over shared memory must carry the
+  # full product surface — an instrumented 8-rank fit whose merged trace
+  # satisfies the analytics chain, the honest SIGKILL-mid-fit recovery
+  # tests, and bit-identical results across transports.
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  "${build_dir}/tools/keybin2" generate "${smoke_dir}/points.csv" \
+    --points 4000 --dims 8 --k 3 --seed 7
+  "${build_dir}/tools/keybin2" cluster "${smoke_dir}/points.csv" \
+    --ranks 8 --backend proc --trace \
+    --trace-json "${smoke_dir}/trace.json" \
+    --out "${smoke_dir}/proc_out.csv" | tee "${smoke_dir}/report.txt"
+  grep -q "process backend" "${smoke_dir}/report.txt" \
+    || { echo "proc smoke: run did not use the process backend" >&2; exit 1; }
+  grep -q "comm heatmap" "${smoke_dir}/report.txt" \
+    || { echo "proc smoke: no merged traffic heatmap" >&2; exit 1; }
+  "${build_dir}/tools/trace_check" "${smoke_dir}/trace.json" \
+    --min-ranks 8 --min-flows 1
+  "${build_dir}/tools/kb2_analyze" "${smoke_dir}/trace.json" \
+    | grep -q "100.0% of wall" \
+    || { echo "proc smoke: critical path does not cover wall" >&2; exit 1; }
+  # Same input over threads: the transport may not leak into the math.
+  KB2_BACKEND=thread "${build_dir}/tools/keybin2" cluster \
+    "${smoke_dir}/points.csv" --ranks 8 --out "${smoke_dir}/thread_out.csv" \
+    > /dev/null
+  cmp "${smoke_dir}/proc_out.csv" "${smoke_dir}/thread_out.csv" \
+    || { echo "proc smoke: thread/proc outputs diverge" >&2; exit 1; }
+  # The honest failure stories: a real SIGKILLed child mid-fit, survivor
+  # agreement, and checkpoint/restart across a genuine process death.
+  "${build_dir}/tests/test_proc_comm" --gtest_filter='ProcComm.HonestSigkill*:ProcComm.Sigkilled*:ProcComm.CheckpointSurvives*'
+  echo "proc smoke: OK"
+  exit 0
+fi
+
 if [[ "${perf_gate}" == "1" ]]; then
-  # Continuous perf-regression gate: rerun the kernel-fusion bench with the
-  # committed baseline's exact options and compare. The second compare
-  # proves the gate itself still trips: a synthetic 2x slowdown must FAIL.
-  baseline="${repo_root}/bench/baselines/BENCH_kernel_fusion.json"
-  [[ -f "${baseline}" ]] \
-    || { echo "perf gate: missing baseline ${baseline}" >&2; exit 1; }
+  # Continuous perf-regression gate: rerun each bench with its committed
+  # baseline's exact options and compare. The second compare proves the
+  # gate itself still trips: a synthetic 2x slowdown must FAIL.
   gate_dir="$(mktemp -d)"
   trap 'rm -rf "${gate_dir}"' EXIT
-  (cd "${gate_dir}" && "${build_dir}/bench/kernel_fusion" \
-    --points-per-rank 20000 --ranks 4 --runs 3 --seed 42)
-  "${build_dir}/tools/kb2_analyze" --compare "${baseline}" \
-    "${gate_dir}/BENCH_kernel_fusion.json"
-  if "${build_dir}/tools/kb2_analyze" --compare "${baseline}" \
-    "${gate_dir}/BENCH_kernel_fusion.json" --scale-time 2.0 >/dev/null; then
-    echo "perf gate: self-test failed (2x slowdown passed)" >&2
-    exit 1
-  fi
+  for bench in kernel_fusion comm_backends; do
+    baseline="${repo_root}/bench/baselines/BENCH_${bench}.json"
+    [[ -f "${baseline}" ]] \
+      || { echo "perf gate: missing baseline ${baseline}" >&2; exit 1; }
+    (cd "${gate_dir}" && "${build_dir}/bench/${bench}" \
+      --points-per-rank 20000 --ranks 4 --runs 3 --seed 42)
+    "${build_dir}/tools/kb2_analyze" --compare "${baseline}" \
+      "${gate_dir}/BENCH_${bench}.json"
+    if "${build_dir}/tools/kb2_analyze" --compare "${baseline}" \
+      "${gate_dir}/BENCH_${bench}.json" --scale-time 2.0 >/dev/null; then
+      echo "perf gate: self-test failed (2x slowdown passed ${bench})" >&2
+      exit 1
+    fi
+  done
   echo "perf gate: OK (and self-test trips on synthetic 2x slowdown)"
   exit 0
 fi

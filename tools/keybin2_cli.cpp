@@ -17,7 +17,14 @@
 // out-of-core binary format instead of CSV).
 //
 // `--ranks N` (keybin2 only) shards the input across N simulated ranks and
-// runs the distributed fit over the thread-backed communicator; `--trace`
+// runs the distributed fit over the selected transport: `--backend thread`
+// (default) simulates ranks with threads in this process, `--backend proc`
+// forks one child process per rank talking through POSIX shared memory —
+// real address-space isolation, the honest version of a cluster job. The
+// KB2_BACKEND environment variable supplies the default. Every rank ships
+// its labels, traffic counters, and timeline back to the parent as a
+// serialized blob, so `--trace`, `--trace-json`, and `--log` produce the
+// same merged reports on either backend; `--trace`
 // prints the per-stage wall-time / traffic report merged across ranks, plus
 // the metrics report (counters, recv/barrier wait latency quantiles, and the
 // rank-by-rank comm heatmap). `--trace-json FILE` captures per-rank
@@ -46,6 +53,7 @@
 #include "baselines/xmeans.hpp"
 #include "comm/launch.hpp"
 #include "common/error.hpp"
+#include "common/serialize.hpp"
 #include "common/timer.hpp"
 #include "core/keybin2.hpp"
 #include "core/out_of_core.hpp"
@@ -79,6 +87,7 @@ struct CliArgs {
   bool binary = false;
   double timeout = 0.0;  // comm deadline, 0 = wait forever
   int retries = 2;       // shrink-and-continue restarts
+  comm::LaunchOptions launch;  // transport for --ranks > 1 (KB2_BACKEND)
   std::string checkpoint;
   std::size_t chunk = 8192;
   std::size_t budget_chunks = 0;
@@ -92,9 +101,10 @@ struct CliArgs {
       "kmeans|xmeans|dbscan]\n"
       "                  [--k K] [--eps E] [--min-points P] [--trials T] "
       "[--seed S]\n"
-      "                  [--ranks N] [--trace] [--trace-json out.json] "
-      "[--log events.jsonl]\n"
-      "                  [--timeout SEC] [--retries N]\n"
+      "                  [--ranks N] [--backend thread|proc] [--trace] "
+      "[--trace-json out.json]\n"
+      "                  [--log events.jsonl] [--timeout SEC] "
+      "[--retries N]\n"
       "  keybin2 fit-file <input.bin> [--out labels.bin] [--chunk N] "
       "[--checkpoint path]\n"
       "                  [--budget-chunks N] [--trials T] [--seed S] "
@@ -107,6 +117,7 @@ struct CliArgs {
 CliArgs parse(int argc, char** argv) {
   if (argc < 3) usage(2);
   CliArgs a;
+  a.launch = comm::LaunchOptions::from_env();  // KB2_BACKEND default
   a.command = argv[1];
   a.input = argv[2];
   for (int i = 3; i < argc; ++i) {
@@ -139,6 +150,16 @@ CliArgs parse(int argc, char** argv) {
       a.ranks = std::atoi(next("--ranks"));
       if (a.ranks < 1) {
         std::fprintf(stderr, "--ranks must be >= 1\n");
+        usage(2);
+      }
+    } else if (!std::strcmp(argv[i], "--backend")) {
+      const std::string b = next("--backend");
+      if (b == "thread") {
+        a.launch.backend = comm::Backend::kThread;
+      } else if (b == "proc" || b == "process") {
+        a.launch.backend = comm::Backend::kProcess;
+      } else {
+        std::fprintf(stderr, "--backend must be 'thread' or 'proc'\n");
         usage(2);
       }
     } else if (!std::strcmp(argv[i], "--trace")) {
@@ -256,51 +277,89 @@ int run_cluster(const CliArgs& a) {
     std::string trace_text, metrics_text;
     const auto sink = open_log_sink(a);
     if (a.ranks > 1) {
-      // Shard contiguously across simulated (thread-backed) ranks; labels
-      // concatenate back in input order.
+      // Shard contiguously across simulated ranks; labels concatenate back
+      // in input order. Every rank — thread- or process-backed — returns
+      // one serialized blob {labels, stats, timeline?, root extras}, the
+      // only data path that crosses a process boundary; by-reference
+      // capture mutation would silently vanish under --backend proc.
+      // Under --backend proc the parent's truncating open above still did
+      // useful work (reset the file, surfaced open errors pre-fork), but
+      // each child re-opens the path append-mode for itself.
+      const bool proc = a.launch.backend == comm::Backend::kProcess;
       const auto shards = data::shard(d, a.ranks);
-      std::vector<std::vector<int>> rank_labels(
-          static_cast<std::size_t>(a.ranks));
-      std::vector<comm::TrafficStats> rank_stats(
-          static_cast<std::size_t>(a.ranks));
-      std::vector<runtime::Timeline> timelines(
-          static_cast<std::size_t>(a.ranks));
-      comm::run_ranks(a.ranks, [&](comm::Communicator& comm) {
-        runtime::Context ctx(comm, params.seed);
-        if (a.trace) ctx.enable_comm_metrics();
-        if (!a.trace_json.empty()) ctx.enable_timeline();
-        if (sink != nullptr) ctx.log().set_sink(sink);
-        auto result = core::fit(
-            ctx, shards[static_cast<std::size_t>(comm.rank())].points,
-            params);
-        if (a.trace) {
-          // Snapshot stats before the trace gather, so the printed totals
-          // cover exactly what the per-stage table attributes.
-          rank_stats[static_cast<std::size_t>(comm.rank())] = comm.stats();
-          auto report = ctx.trace_report();      // collective
-          auto metrics = ctx.metrics_report();   // collective
-          if (ctx.is_root()) {
-            trace_text = report.format();
-            metrics_text = metrics.format();
-          }
-        }
-        if (ctx.is_root()) {
-          score = result.model.score();
-          n_clusters = result.n_clusters();
-        }
-        rank_labels[static_cast<std::size_t>(comm.rank())] =
-            std::move(result.labels);
-        // The timeline outlives the context so the export below can pair
-        // flows across every rank of the group.
-        if (auto* tl = ctx.timeline()) {
-          timelines[static_cast<std::size_t>(comm.rank())] = std::move(*tl);
-        }
-      });
-      for (auto& part : rank_labels)
+      std::exception_ptr fit_error;
+      const auto blobs = comm::run_ranks_collect_bytes(
+          a.launch, a.ranks,
+          [&](comm::Communicator& comm) -> std::vector<std::byte> {
+            runtime::Context ctx(comm, params.seed);
+            if (a.trace) ctx.enable_comm_metrics();
+            if (!a.trace_json.empty()) ctx.enable_timeline();
+            if (proc && !a.log_path.empty()) {
+              // This rank is a forked child: the parent's FILE* is useless
+              // here, so append to the (parent-truncated) file directly.
+              ctx.log().set_sink(std::make_shared<runtime::JsonlFileSink>(
+                  a.log_path, /*append=*/true));
+            } else if (sink != nullptr) {
+              ctx.log().set_sink(sink);
+            }
+            auto result = core::fit(
+                ctx, shards[static_cast<std::size_t>(comm.rank())].points,
+                params);
+            ByteWriter w;
+            w.write_vec(result.labels);
+            std::string rank_trace, rank_metrics;
+            comm::TrafficStats stats;
+            if (a.trace) {
+              // Snapshot stats before the trace gather, so the printed
+              // totals cover exactly what the per-stage table attributes.
+              stats = comm.stats();
+              auto report = ctx.trace_report();     // collective
+              auto metrics = ctx.metrics_report();  // collective
+              if (ctx.is_root()) {
+                rank_trace = report.format();
+                rank_metrics = metrics.format();
+              }
+            }
+            w.write<comm::TrafficStats>(stats);
+            w.write<std::uint8_t>(ctx.is_root() ? 1 : 0);
+            if (ctx.is_root()) {
+              w.write<double>(result.model.score());
+              w.write<std::int32_t>(result.n_clusters());
+              w.write_string(rank_trace);
+              w.write_string(rank_metrics);
+            }
+            const auto* tl = ctx.timeline();
+            w.write<std::uint8_t>(tl != nullptr ? 1 : 0);
+            if (tl != nullptr) tl->serialize(w);
+            return w.take();
+          },
+          nullptr, &fit_error);
+      if (fit_error != nullptr) std::rethrow_exception(fit_error);
+
+      // Merge the per-rank blobs (rank order = input order for labels).
+      std::vector<comm::TrafficStats> rank_stats;
+      std::vector<runtime::Timeline> timelines;
+      for (const auto& blob : blobs) {
+        KB2_CHECK_MSG(!blob.empty(), "a rank returned no result blob");
+        ByteReader r(blob);
+        const auto part = r.read_vec<int>();
         labels.insert(labels.end(), part.begin(), part.end());
-      std::printf("keybin2: %d clusters (model score %.1f) on %d ranks in "
-                  "%.3f s\n",
-                  n_clusters, score, a.ranks, timer.seconds());
+        rank_stats.push_back(r.read<comm::TrafficStats>());
+        if (r.read<std::uint8_t>() != 0) {
+          score = r.read<double>();
+          n_clusters = r.read<std::int32_t>();
+          trace_text = r.read_string();
+          metrics_text = r.read_string();
+        }
+        if (r.read<std::uint8_t>() != 0) {
+          timelines.push_back(runtime::Timeline::deserialize(r));
+        }
+        KB2_CHECK_MSG(r.exhausted(), "trailing bytes in a rank result blob");
+      }
+      std::printf("keybin2: %d clusters (model score %.1f) on %d ranks "
+                  "(%s backend) in %.3f s\n",
+                  n_clusters, score, a.ranks,
+                  comm::backend_name(a.launch.backend), timer.seconds());
       if (a.trace) {
         std::fputs(trace_text.c_str(), stdout);
         comm::TrafficStats totals;
