@@ -1,0 +1,98 @@
+#include "comm/chaos/chaos.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "comm/recovery.hpp"
+
+namespace keybin2::comm::chaos {
+
+namespace {
+
+/// Stateful splitmix64 draw sequence over the schedule seed.
+struct Draws {
+  std::uint64_t state;
+  std::uint64_t next() { return state = detail::mix64(state + 1); }
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next() % (hi - lo + 1);
+  }
+  bool chance(std::uint64_t one_in) { return next() % one_in == 0; }
+};
+
+}  // namespace
+
+fault::FaultSchedule ChaosSchedule::fault_for(int rank,
+                                              int incarnation) const {
+  fault::FaultSchedule s;
+  s.seed = detail::mix64(seed ^ (static_cast<std::uint64_t>(rank) << 8) ^
+                         static_cast<std::uint64_t>(incarnation));
+  if (rank == victim) {
+    if (incarnation == 0) {
+      s.kill_at_op = kill_at_op;
+      s.hard_kill = true;
+    } else if (incarnation == 1 && kill_respawn) {
+      s.kill_at_op = respawn_kill_at_op;
+      s.hard_kill = true;
+    }
+    // Incarnation 2+ runs clean: the ladder either succeeded by now or the
+    // budget ran out and the group shrank without this slot.
+  }
+  if (rank == delay_rank) {
+    s.delay_prob = delay_prob;
+    s.delay_ms = delay_ms;
+  }
+  return s;
+}
+
+std::string ChaosSchedule::describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (victim >= 0 && kill_at_op > 0) {
+    os << " kill r" << victim << "@op" << kill_at_op;
+    if (kill_respawn) os << " +respawn@op" << respawn_kill_at_op;
+  } else {
+    os << " no-kill";
+  }
+  if (delay_rank >= 0) {
+    os << " delay r" << delay_rank << " p=" << delay_prob << " " << delay_ms
+       << "ms";
+  }
+  if (corrupt_checkpoint >= 0) os << " ckpt-corrupt#" << corrupt_checkpoint;
+  return os.str();
+}
+
+ChaosSchedule make_chaos_schedule(std::uint64_t seed, int n_ranks) {
+  ChaosSchedule s;
+  s.seed = seed;
+  Draws d{detail::mix64(seed)};
+  if (!d.chance(4)) {  // 3/4 of seeds kill a rank
+    s.victim = static_cast<int>(d.next() % static_cast<std::uint64_t>(
+                                               n_ranks > 0 ? n_ranks : 1));
+    // Early enough to land mid-protocol on small fits, late enough that the
+    // group has real state to recover.
+    s.kill_at_op = d.next_in(4, 48);
+    if (d.chance(4)) {  // 1/4 of kills also take out the replacement
+      s.kill_respawn = true;
+      s.respawn_kill_at_op = d.next_in(4, 48);
+    }
+  }
+  if (d.chance(2)) {  // half the seeds delay somebody's sends
+    s.delay_rank = static_cast<int>(
+        d.next() % static_cast<std::uint64_t>(n_ranks > 0 ? n_ranks : 1));
+    s.delay_prob = 0.05 + 0.01 * static_cast<double>(d.next() % 20);
+    s.delay_ms = 1.0 + static_cast<double>(d.next() % 4);
+  }
+  if (d.chance(3)) {  // a third of the seeds damage the checkpoint file
+    s.corrupt_checkpoint = static_cast<int>(d.next() % 5);
+  }
+  return s;
+}
+
+std::uint64_t chaos_seed_from_env(std::uint64_t fallback) {
+  if (const char* v = std::getenv("KB2_CHAOS_SEED")) {
+    return std::strtoull(v, nullptr, 10);
+  }
+  return fallback;
+}
+
+}  // namespace keybin2::comm::chaos

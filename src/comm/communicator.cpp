@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "comm/recovery.hpp"
 #include "common/crc32.hpp"
 #include "common/error.hpp"
 
@@ -102,6 +103,7 @@ std::string tag_name(int tag) {
 }
 
 const char* error_kind(const CommError& e) {
+  if (dynamic_cast<const FitAbortedError*>(&e) != nullptr) return "fit_aborted";
   if (dynamic_cast<const TimeoutError*>(&e) != nullptr) return "timeout";
   if (dynamic_cast<const RankFailedError*>(&e) != nullptr) return "rank_failed";
   if (dynamic_cast<const RecoveryError*>(&e) != nullptr) return "recovery";

@@ -206,6 +206,13 @@ class Communicator {
   /// Ranks of this group known to have failed (empty for healthy backends).
   virtual std::vector<int> failed_ranks() const { return {}; }
 
+  /// How many times this rank's slot has been respawned by a supervisor
+  /// (ProcComm's recovery ladder). 0 on the original incarnation and on
+  /// backends without respawn; a driver seeing > 0 knows it is a
+  /// replacement and may restore state from a checkpoint before rejoining
+  /// the protocol. Decorators and subgroup views forward to the leaf.
+  virtual int incarnation() const { return 0; }
+
   /// True when this group's ranks are isolated OS processes (ProcComm): a
   /// rank can really die — SIGKILL and all — without taking the others with
   /// it. Fault injectors consult this before escalating a simulated kill to
@@ -391,6 +398,7 @@ class SubgroupComm final : public Communicator {
   bool process_isolated() const override {
     return parent_->process_isolated();
   }
+  int incarnation() const override { return parent_->incarnation(); }
 
   const std::vector<int>& members() const { return members_; }
 

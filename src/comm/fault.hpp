@@ -103,6 +103,7 @@ class FaultyComm final : public Communicator {
   bool process_isolated() const override {
     return inner_->process_isolated();
   }
+  int incarnation() const override { return inner_->incarnation(); }
 
   /// Operations performed so far (send/recv/barrier/agree).
   std::uint64_t ops() const { return ops_; }

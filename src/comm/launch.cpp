@@ -27,6 +27,9 @@ LaunchOptions LaunchOptions::from_env() {
   if (const char* v = std::getenv("KB2_PROC_RING_BYTES")) {
     opt.ring_bytes = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
   }
+  if (const char* v = std::getenv("KB2_MAX_RESPAWNS")) {
+    opt.recovery.max_respawns = static_cast<int>(std::strtol(v, nullptr, 10));
+  }
   return opt;
 }
 
@@ -77,7 +80,7 @@ TrafficStats run_ranks(const LaunchOptions& options, int n_ranks,
                        const std::function<void(Communicator&)>& fn) {
   if (options.backend == Backend::kThread) return run_ranks(n_ranks, fn);
   ProcRunResult res = proc_run_ranks(
-      n_ranks, options.ring_bytes, [&](Communicator& c) {
+      n_ranks, options.ring_bytes, options.recovery, [&](Communicator& c) {
         fn(c);
         return std::vector<std::byte>{};
       });
@@ -90,7 +93,8 @@ std::vector<std::vector<std::byte>> run_ranks_collect_bytes(
     const std::function<std::vector<std::byte>(Communicator&)>& fn,
     TrafficStats* total, std::exception_ptr* first_error) {
   if (options.backend == Backend::kProcess) {
-    ProcRunResult res = proc_run_ranks(n_ranks, options.ring_bytes, fn);
+    ProcRunResult res =
+        proc_run_ranks(n_ranks, options.ring_bytes, options.recovery, fn);
     if (total != nullptr) *total = res.total_stats;
     if (first_error != nullptr) {
       *first_error = res.first_error;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "comm/recovery.hpp"
 #include "comm/thread_comm.hpp"
 
 namespace keybin2::comm {
@@ -41,10 +42,15 @@ struct LaunchOptions {
   /// bytes; 0 selects the built-in default (1 MiB).
   std::size_t ring_bytes = 0;
 
+  /// Process backend only: respawn rung of the recovery ladder (see
+  /// comm/recovery.hpp). The default zero budget keeps the classic
+  /// shrink-and-continue behaviour.
+  RecoveryPolicy recovery;
+
   /// Read the backend from the environment: KB2_BACKEND=proc (or "process")
   /// selects the process backend, "thread" / unset the thread backend; any
   /// other value throws. KB2_PROC_RING_BYTES, when set, overrides
-  /// ring_bytes.
+  /// ring_bytes; KB2_MAX_RESPAWNS overrides recovery.max_respawns.
   static LaunchOptions from_env();
 };
 

@@ -5,9 +5,11 @@
 #include <atomic>
 #include <bit>
 #include <cerrno>
+#include <chrono>
 #include <climits>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 
 #include "comm/fault.hpp"
 #include "common/error.hpp"
@@ -58,6 +60,7 @@ enum : std::uint32_t {
   kErrKilled = 6,
   kErrPlain = 7,
   kErrUnknown = 8,
+  kErrFitAborted = 9,
 };
 
 constexpr std::uint64_t align8(std::uint64_t n) { return (n + 7) & ~7ull; }
@@ -92,8 +95,15 @@ static_assert(std::is_trivially_copyable_v<FrameHeader>);
 /// any reader that observes a dead state (acquire) sees the full reason.
 struct alignas(64) PerRank {
   std::atomic<std::uint8_t> state;        // RankState
+  /// Set by whoever marks this rank failed while respawn budget remains:
+  /// the parent supervisor owes this slot a replacement fork. Cleared when
+  /// the respawn happens or is cancelled (flap).
+  std::atomic<std::uint8_t> respawn_reserved;
   std::atomic<std::uint32_t> reason_kind; // kErr* of the recorded failure
   std::atomic<std::uint32_t> reason_len;
+  /// Times this slot has been respawned; the original child reads 0.
+  /// Bumped by the parent before the slot flips back to kLive.
+  std::atomic<std::uint32_t> incarnation;
   std::atomic<std::uint64_t> messages_sent;
   std::atomic<std::uint64_t> bytes_sent;
   std::atomic<std::uint64_t> messages_received;
@@ -131,6 +141,17 @@ struct alignas(64) GroupHeader {
   /// Bit r set = rank r survived the last completed agreement. Written
   /// before the shrink generation bump (release) by whoever finalizes.
   std::atomic<std::uint64_t> survivors_mask{0};
+  /// Respawn ladder (comm/recovery.hpp). `respawn_budget` is decremented by
+  /// whoever marks a live rank failed, reserving one replacement fork;
+  /// `respawn_pending` counts reservations the parent has not yet resolved.
+  /// A nonzero pending count holds the survivor agreement open
+  /// (try_finalize_shrink refuses quorum) so the survivors wait for the
+  /// regrown full-width group instead of shrinking around a rank that is
+  /// about to come back.
+  std::atomic<std::int32_t> respawn_budget{0};
+  std::atomic<std::int32_t> respawn_pending{0};
+  std::atomic<std::uint32_t> respawns_total{0};
+  std::atomic<std::uint32_t> regrow_epochs{0};
   char spill_dir[256] = {};
 };
 
@@ -277,15 +298,50 @@ void wake_group(const ProcShared& g) {
   futex_wake_all(gen_half(&g.hdr->shrink_word));
 }
 
+/// Drop every frame parked in every ring. Walks the frames rather than just
+/// snapping tail to head so that spilled payloads are unlinked along with
+/// the ring bytes that referenced them — otherwise an abandoned protocol
+/// leaks one file per in-flight oversized frame. Only safe when no rank is
+/// mid-send/mid-recv (the finalize rendezvous guarantees that).
 void purge_rings(const ProcShared& g) {
   for (int s = 0; s < g.size; ++s) {
     for (int d = 0; d < g.size; ++d) {
       RingHeader* r = g.ring(s, d);
-      r->tail.store(r->head.load(std::memory_order_acquire),
-                    std::memory_order_release);
+      std::uint64_t tail = r->tail.load(std::memory_order_acquire);
+      const std::uint64_t head = r->head.load(std::memory_order_acquire);
+      while (tail != head) {
+        FrameHeader fh{};
+        ring_read(g, r, tail, &fh, sizeof(fh));
+        if ((fh.flags & kFrameSpilled) != 0) {
+          std::string path(static_cast<std::size_t>(fh.size), '\0');
+          ring_read(g, r, tail + sizeof(fh), path.data(), path.size());
+          ::unlink(path.c_str());
+        }
+        tail += align8(sizeof(fh) + fh.size);
+      }
+      r->tail.store(head, std::memory_order_release);
       r->msg_count.store(0, std::memory_order_relaxed);
     }
   }
+}
+
+/// Unlink every spill file rank `src` wrote (names end in ".<src>"): a rank
+/// killed between writing a spill file and publishing the ring frame that
+/// references it leaves a file nothing will ever read. Called during
+/// finalize for each dead rank, when nobody can still be consuming from it.
+void sweep_rank_spills(const ProcShared& g, int src) {
+  DIR* d = ::opendir(g.hdr->spill_dir);
+  if (d == nullptr) return;
+  const std::string suffix = "." + std::to_string(src);
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      ::unlink((std::string(g.hdr->spill_dir) + "/" + name).c_str());
+    }
+  }
+  ::closedir(d);
 }
 
 /// Complete a pending survivor agreement if every live rank has arrived.
@@ -298,18 +354,38 @@ void try_finalize_shrink(const ProcShared& g) {
   for (;;) {
     std::uint64_t w = g.hdr->shrink_word.load(std::memory_order_acquire);
     if ((lo32(w) & kShrinkPendingBit) == 0) return;
+    // A reserved-but-unresolved respawn holds the agreement open: the dead
+    // slot will flip back to kLive and its replacement must be counted in
+    // the quorum, or the survivors would finalize a shrink around a rank
+    // that is about to rejoin.
+    if (g.hdr->respawn_pending.load(std::memory_order_acquire) > 0) return;
     std::uint64_t mask = 0;
     int live = 0;
+    bool has_respawned_member = false;
     for (int r = 0; r < g.size; ++r) {
       if (g.state_of(r) == RankState::kLive) {
         mask |= 1ull << r;
         ++live;
+        if (g.ranks[r].incarnation.load(std::memory_order_acquire) > 0) {
+          has_respawned_member = true;
+        }
       }
     }
     const std::uint32_t arrived = lo32(w) & ~kShrinkPendingBit;
     if (static_cast<int>(arrived) < live) return;
+    // A regrow epoch: the agreed group is wider than the last agreement
+    // (or this is the first agreement and a replacement incarnation is
+    // already among the members) — a respawned rank made it back.
+    const std::uint64_t prev =
+        g.hdr->survivors_mask.load(std::memory_order_relaxed);
+    const bool regrew = (prev != 0 && (mask & ~prev) != 0) ||
+                        (prev == 0 && has_respawned_member);
+    if (regrew) g.hdr->regrow_epochs.fetch_add(1, std::memory_order_relaxed);
     g.hdr->survivors_mask.store(mask, std::memory_order_release);
     purge_rings(g);
+    for (int r = 0; r < g.size; ++r) {
+      if (g.state_of(r) == RankState::kFailed) sweep_rank_spills(g, r);
+    }
     g.hdr->unacked_failures.store(0, std::memory_order_release);
     // A rank that died inside the barrier never withdrew its arrival; reset
     // the count (nobody is mid-barrier — see above).
@@ -334,6 +410,21 @@ bool mark_failed_in_shared(const ProcShared& g, int rank,
   if (p.state.load(std::memory_order_acquire) !=
       static_cast<std::uint8_t>(expected)) {
     return false;
+  }
+  if (expected == RankState::kLive) {
+    // Reserve a respawn while budget remains — atomically with publishing
+    // the failure, so no observer can finalize a shrink in the window
+    // between "rank died" and "a replacement is owed". A kDeparted rank
+    // (finished, result lost) is never respawned: its work is done.
+    std::int32_t budget =
+        g.hdr->respawn_budget.load(std::memory_order_acquire);
+    while (budget > 0 && !g.hdr->respawn_budget.compare_exchange_weak(
+                             budget, budget - 1, std::memory_order_acq_rel)) {
+    }
+    if (budget > 0) {
+      p.respawn_reserved.store(1, std::memory_order_relaxed);
+      g.hdr->respawn_pending.fetch_add(1, std::memory_order_acq_rel);
+    }
   }
   const std::size_t n = std::min(reason.size(), sizeof(p.reason));
   std::memcpy(p.reason, reason.data(), n);
@@ -702,6 +793,11 @@ std::vector<int> ProcComm::failed_ranks() const {
   return out;
 }
 
+int ProcComm::incarnation() const {
+  return static_cast<int>(
+      g_->ranks[rank_].incarnation.load(std::memory_order_acquire));
+}
+
 // ---- parent side: segment construction, fork, monitor, collection ----
 
 namespace detail {
@@ -814,6 +910,8 @@ struct ChildReport {
   std::string err_what;
   int t_self = 0, t_src = 0, t_tag = 0;  // kErrTimeout attribution
   double t_elapsed = 0.0;
+  int a_attempts = 0;                    // kErrFitAborted attribution
+  std::string a_last_kind;
 };
 
 ChildReport parse_report(const std::string& buf) {
@@ -834,6 +932,9 @@ ChildReport parse_report(const std::string& buf) {
         rep.t_src = rd.read<std::int32_t>();
         rep.t_tag = rd.read<std::int32_t>();
         rep.t_elapsed = rd.read<double>();
+      } else if (rep.err_kind == kErrFitAborted) {
+        rep.a_attempts = rd.read<std::int32_t>();
+        rep.a_last_kind = rd.read_string();
       }
     }
     rep.complete = rd.exhausted();
@@ -858,6 +959,9 @@ std::exception_ptr reconstruct_error(const ChildReport& rep) {
       return std::make_exception_ptr(CommError(rep.err_what));
     case kErrKilled:
       return std::make_exception_ptr(fault::KilledError(rep.err_what));
+    case kErrFitAborted:
+      return std::make_exception_ptr(
+          FitAbortedError(rep.err_what, rep.a_attempts, rep.a_last_kind));
     default:
       return std::make_exception_ptr(Error(rep.err_what));
   }
@@ -880,7 +984,8 @@ void write_all(int fd, std::span<const std::byte> data) {
 /// descriptors, gtest state, and stdio buffers, none of which it owns.
 [[noreturn]] void child_main(
     ProcShared& g, int rank, int pipe_fd,
-    const std::function<std::vector<std::byte>(Communicator&)>& fn) {
+    const std::function<std::vector<std::byte>(Communicator&)>& fn,
+    bool rejoin) {
   ::prctl(PR_SET_PDEATHSIG, SIGKILL);  // no orphans if the parent dies
   reset_global_pool_after_fork();
 
@@ -896,7 +1001,22 @@ void write_all(int fd, std::span<const std::byte> data) {
 
   ProcComm comm(&g, rank);
   try {
-    std::vector<std::byte> result = fn(comm);
+    Communicator* endpoint = &comm;
+    std::optional<SubgroupComm> sub;
+    if (rejoin) {
+      // A replacement incarnation: converge through the survivor rendezvous
+      // before touching the protocol. The survivors are parked in (or
+      // converging into) agree_survivors() — the agreement was held open
+      // for us — and the agreed set tells us which group to run over: the
+      // regrown full group, or (after earlier terminal losses) the same
+      // shrunken subgroup the survivors retry on.
+      auto survivors = comm.agree_survivors();
+      if (static_cast<int>(survivors.size()) < comm.size()) {
+        sub.emplace(comm, std::move(survivors));
+        endpoint = &*sub;
+      }
+    }
+    std::vector<std::byte> result = fn(*endpoint);
     // Departed before reporting: survivors blocked on us (or waiting for us
     // in agree_survivors) wake rather than hang on a rank that finished.
     g.ranks[rank].state.store(static_cast<std::uint8_t>(RankState::kDeparted),
@@ -911,6 +1031,10 @@ void write_all(int fd, std::span<const std::byte> data) {
     out.write<std::int32_t>(e.src());
     out.write<std::int32_t>(e.tag());
     out.write<double>(e.elapsed_seconds());
+  } catch (const FitAbortedError& e) {
+    record_failure(kErrFitAborted, e.what());
+    out.write<std::int32_t>(e.attempts());
+    out.write_string(e.last_kind());
   } catch (const RankFailedError& e) {
     record_failure(kErrRankFailed, e.what());
   } catch (const RecoveryError& e) {
@@ -936,7 +1060,7 @@ void write_all(int fd, std::span<const std::byte> data) {
 }  // namespace detail
 
 ProcRunResult proc_run_ranks(
-    int n_ranks, std::size_t ring_bytes,
+    int n_ranks, std::size_t ring_bytes, const RecoveryPolicy& policy,
     const std::function<std::vector<std::byte>(Communicator&)>& fn) {
   KB2_CHECK_MSG(n_ranks >= 1, "need at least one rank, got " << n_ranks);
   KB2_CHECK_MSG(n_ranks <= detail::kMaxProcRanks,
@@ -945,6 +1069,7 @@ ProcRunResult proc_run_ranks(
                                                     << n_ranks);
   detail::MappedGroup group(n_ranks, ring_bytes);
   detail::ProcShared& g = group.shared();
+  g.hdr->respawn_budget.store(policy.max_respawns, std::memory_order_relaxed);
 
   struct Child {
     pid_t pid = -1;
@@ -954,48 +1079,61 @@ ProcRunResult proc_run_ranks(
     bool reaped = false;
     bool evaluated = false;
     int status = 0;       // waitpid status once reaped
+    int incarnation = 0;  // how many times this slot has been respawned
+    bool respawn_due = false;            // a replacement fork is scheduled
+    CommClock::time_point respawn_at{};  // when the backoff elapses
+    CommClock::time_point last_spawn{};  // flap-window reference point
   };
   std::vector<Child> children(static_cast<std::size_t>(n_ranks));
+  std::vector<int> error_order;  // ranks with error reports, arrival order
+  std::vector<detail::ChildReport> reports(static_cast<std::size_t>(n_ranks));
+  int open_pipes = 0;
+  int alive = 0;
+  int scheduled_respawns = 0;
 
-  // All pipes exist before the first fork so every child can close every
-  // descriptor that is not its own write end.
-  std::vector<std::array<int, 2>> pipes(static_cast<std::size_t>(n_ranks));
-  for (auto& p : pipes) {
+  // Fork one rank with clean stdio: a child that exits (or is killed) must
+  // not flush a duplicated copy of the parent's buffered output. The child
+  // closes every other live child's read end (their write ends were already
+  // closed in the parent right after their own fork), so a dead sibling's
+  // pipe still delivers EOF to the parent alone.
+  const auto spawn = [&](int r, bool rejoin) {
+    std::array<int, 2> p{};
     KB2_CHECK_MSG(::pipe(p.data()) == 0, "ProcComm: pipe() failed");
-  }
-
-  // Fork with clean stdio: a child that exits (or is killed) must not flush
-  // a duplicated copy of the parent's buffered output.
-  std::fflush(stdout);
-  std::fflush(stderr);
-  for (int r = 0; r < n_ranks; ++r) {
+    std::fflush(stdout);
+    std::fflush(stderr);
     const pid_t pid = ::fork();
     KB2_CHECK_MSG(pid >= 0, "ProcComm: fork() failed for rank " << r);
     if (pid == 0) {
-      for (int i = 0; i < n_ranks; ++i) {
-        ::close(pipes[static_cast<std::size_t>(i)][0]);
-        if (i != r) ::close(pipes[static_cast<std::size_t>(i)][1]);
+      ::close(p[0]);
+      for (const Child& sibling : children) {
+        if (sibling.fd >= 0 && !sibling.eof) ::close(sibling.fd);
       }
-      detail::child_main(g, r, pipes[static_cast<std::size_t>(r)][1], fn);
+      detail::child_main(g, r, p[1], fn, rejoin);
     }
-    children[static_cast<std::size_t>(r)].pid = pid;
-    children[static_cast<std::size_t>(r)].fd =
-        pipes[static_cast<std::size_t>(r)][0];
-    ::close(pipes[static_cast<std::size_t>(r)][1]);
-  }
+    Child& c = children[static_cast<std::size_t>(r)];
+    c.pid = pid;
+    c.fd = p[0];
+    ::close(p[1]);
+    c.buf.clear();
+    c.eof = c.reaped = c.evaluated = false;
+    c.status = 0;
+    c.last_spawn = CommClock::now();
+    ++open_pipes;
+    ++alive;
+  };
+  for (int r = 0; r < n_ranks; ++r) spawn(r, /*rejoin=*/false);
 
   // Monitor: drain result pipes and reap children until both are done. The
   // parent is the group's failure detector — a child that dies by signal
   // (or exits without a complete report) is marked failed in shared memory
   // so the survivors' blocked operations wake with an attributed error.
-  std::vector<int> error_order;  // ranks with error reports, arrival order
-  std::vector<detail::ChildReport> reports(static_cast<std::size_t>(n_ranks));
-  int open_pipes = n_ranks;
-  int alive = n_ranks;
+  // While respawn budget remains, it is also the recovery supervisor: a
+  // failed slot whose death reserved budget is forked again after a
+  // deterministic backoff and rejoins through the held-open agreement.
   std::vector<pollfd> fds;
   std::vector<int> fd_rank;
   char chunk[65536];
-  while (open_pipes > 0 || alive > 0) {
+  while (open_pipes > 0 || alive > 0 || scheduled_respawns > 0) {
     fds.clear();
     fd_rank.clear();
     for (int r = 0; r < n_ranks; ++r) {
@@ -1062,6 +1200,70 @@ ProcRunResult proc_run_ranks(
                                       RankState::kDeparted);
       }
     }
+    // Schedule reserved respawns. A death that won budget (respawn_reserved
+    // set inside mark_failed_in_shared, before the state flip) gets a
+    // replacement fork after a deterministic backoff — unless the slot is
+    // flapping (died again too soon after its last respawn), in which case
+    // the reservation is cancelled and the held-open agreement finalizes as
+    // an ordinary shrink: the ladder falls to the next rung.
+    for (int r = 0; r < n_ranks; ++r) {
+      Child& c = children[static_cast<std::size_t>(r)];
+      if (!c.evaluated || c.respawn_due) continue;
+      detail::PerRank& p = g.ranks[r];
+      if (p.respawn_reserved.load(std::memory_order_acquire) == 0) continue;
+      const auto now = CommClock::now();
+      if (policy.flap_window_seconds > 0.0 && c.incarnation > 0 &&
+          std::chrono::duration<double>(now - c.last_spawn).count() <
+              policy.flap_window_seconds) {
+        p.respawn_reserved.store(0, std::memory_order_relaxed);
+        g.hdr->respawn_pending.fetch_sub(1, std::memory_order_acq_rel);
+        detail::try_finalize_shrink(g);
+        detail::wake_group(g);
+        continue;
+      }
+      const double delay = backoff_ms(
+          policy, c.incarnation,
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) << 32) ^
+              static_cast<std::uint64_t>(c.incarnation));
+      c.respawn_at = now + std::chrono::microseconds(
+                               static_cast<std::int64_t>(delay * 1000.0));
+      c.respawn_due = true;
+      ++scheduled_respawns;
+    }
+    // Fire due respawns: resurrect the slot in shared memory, fork the
+    // replacement, then release the held-open agreement. Ordering matters —
+    // the slot must read kLive before respawn_pending drops, so a waiter
+    // re-scanning at that instant needs the newcomer for quorum and the
+    // agreement can never finalize at shrunken width in the gap.
+    for (int r = 0; r < n_ranks; ++r) {
+      Child& c = children[static_cast<std::size_t>(r)];
+      if (!c.respawn_due || CommClock::now() < c.respawn_at) continue;
+      detail::PerRank& p = g.ranks[r];
+      p.reason_len.store(0, std::memory_order_relaxed);
+      p.reason_kind.store(0, std::memory_order_relaxed);
+      p.respawn_reserved.store(0, std::memory_order_relaxed);
+      p.incarnation.fetch_add(1, std::memory_order_relaxed);
+      p.state.store(static_cast<std::uint8_t>(RankState::kLive),
+                    std::memory_order_release);
+      // The dead incarnation no longer speaks for this slot: its report and
+      // place in the error order are superseded by whatever the replacement
+      // produces.
+      reports[static_cast<std::size_t>(r)] = {};
+      std::erase(error_order, r);
+      c.respawn_due = false;
+      --scheduled_respawns;
+      ++c.incarnation;
+      spawn(r, /*rejoin=*/true);
+      g.hdr->respawns_total.fetch_add(1, std::memory_order_relaxed);
+      g.hdr->respawn_pending.fetch_sub(1, std::memory_order_acq_rel);
+      detail::wake_group(g);
+    }
+    if (fds.empty() && scheduled_respawns > 0) {
+      // Every pipe is closed but a replacement fork is pending: nap through
+      // the backoff instead of spinning.
+      const timespec nap{0, 2'000'000};
+      ::nanosleep(&nap, nullptr);
+    }
   }
 
   ProcRunResult out;
@@ -1086,7 +1288,17 @@ ProcRunResult proc_run_ranks(
         p.bytes_received.load(std::memory_order_relaxed),
     };
   }
+  out.respawns_total = static_cast<int>(
+      g.hdr->respawns_total.load(std::memory_order_relaxed));
+  out.regrow_epochs = static_cast<int>(
+      g.hdr->regrow_epochs.load(std::memory_order_relaxed));
   return out;
+}
+
+ProcRunResult proc_run_ranks(
+    int n_ranks, std::size_t ring_bytes,
+    const std::function<std::vector<std::byte>(Communicator&)>& fn) {
+  return proc_run_ranks(n_ranks, ring_bytes, RecoveryPolicy{}, fn);
 }
 
 #else  // !__linux__
@@ -1112,8 +1324,15 @@ TrafficStats ProcComm::stats() const { no_proc_backend(); }
 void ProcComm::recycle_buffer(std::vector<std::byte>&&) { no_proc_backend(); }
 std::vector<int> ProcComm::failed_ranks() const { no_proc_backend(); }
 std::vector<int> ProcComm::agree_survivors() { no_proc_backend(); }
+int ProcComm::incarnation() const { no_proc_backend(); }
 void ProcComm::drain_rings() { no_proc_backend(); }
 void ProcComm::throw_rank_failed(const char*, int, int, int) {
+  no_proc_backend();
+}
+
+ProcRunResult proc_run_ranks(
+    int, std::size_t, const RecoveryPolicy&,
+    const std::function<std::vector<std::byte>(Communicator&)>&) {
   no_proc_backend();
 }
 

@@ -50,6 +50,7 @@
 
 #include "comm/communicator.hpp"
 #include "comm/mailbox.hpp"
+#include "comm/recovery.hpp"
 
 namespace keybin2::comm {
 
@@ -75,6 +76,7 @@ class ProcComm final : public Communicator {
   std::vector<int> failed_ranks() const override;
   std::vector<int> agree_survivors() override;
   bool process_isolated() const override { return true; }
+  int incarnation() const override;
 
  private:
   /// Move every frame parked in the incoming rings into the local stash.
@@ -99,13 +101,33 @@ struct ProcRunResult {
   /// First error any rank reported over its result pipe (reconstructed with
   /// its original type), or null. A child killed by a signal reports
   /// nothing: its death is the survivors' problem, exactly like a dead node.
+  /// An error superseded by a successful respawn of the same rank does not
+  /// count — the slot's final incarnation speaks for it.
   std::exception_ptr first_error;
+  /// Recovery-ladder accounting: replacement forks the supervisor performed,
+  /// and survivor agreements that finalized with the group grown back (a
+  /// respawned rank rejoined).
+  int respawns_total = 0;
+  int regrow_epochs = 0;
 };
 
 /// Fork `n_ranks` child processes, run `fn(comm)` in each over a shared
 /// ProcComm group, and collect results/errors in the parent. `ring_bytes`
 /// is the per-(src, dest) ring capacity (0 = default). Blocks until every
 /// child is reaped. Linux-only; throws Error elsewhere.
+///
+/// `policy` arms the respawn rung of the recovery ladder: while
+/// `policy.max_respawns` budget remains, a rank that dies (signal or thrown
+/// error) is forked again after a deterministic backoff, the survivor
+/// agreement is held open until the replacement arrives, and the group
+/// regrows to full width — `fn` simply reruns in the new incarnation
+/// (comm.incarnation() > 0). With the default zero budget every death is
+/// terminal for its slot and the survivors shrink-and-continue, exactly the
+/// pre-ladder behaviour.
+ProcRunResult proc_run_ranks(
+    int n_ranks, std::size_t ring_bytes, const RecoveryPolicy& policy,
+    const std::function<std::vector<std::byte>(Communicator&)>& fn);
+
 ProcRunResult proc_run_ranks(
     int n_ranks, std::size_t ring_bytes,
     const std::function<std::vector<std::byte>(Communicator&)>& fn);

@@ -1,0 +1,106 @@
+// Recovery policy shared by the supervised respawn ladder and the driver
+// retry loops (DESIGN.md §7).
+//
+// When a rank dies, the fault story climbs an explicit ladder:
+//
+//   1. immediate retry       — transient failure (corrupt frame, timeout
+//                              with every rank alive): rerun over the same
+//                              group after a backoff.
+//   2. respawn + rejoin      — ProcComm's parent supervisor forks a
+//                              replacement for the dead rank (while
+//                              `max_respawns` budget remains) and the group
+//                              regrows to full width through the survivor
+//                              rendezvous.
+//   3. shrink-and-continue   — budget exhausted (or flap detected): the
+//                              survivors agree on the reduced group and
+//                              continue degraded.
+//   4. FitAbortedError       — `max_shrink_retries` exhausted: the driver
+//                              stops looping and throws a typed, attributed
+//                              abort.
+//
+// Every delay drawn from the policy is deterministic in (jitter_seed, salt,
+// attempt), so a failing schedule replays exactly from its seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "comm/communicator.hpp"
+
+namespace keybin2::comm {
+
+/// Knobs of the recovery ladder. The zero-respawn default keeps the classic
+/// shrink-and-continue behaviour: respawning is an opt-in (launch options,
+/// CLI --respawns, KB2_MAX_RESPAWNS) because it changes what survivors
+/// observe after a death — the group heals to full width instead of
+/// shrinking around the corpse.
+struct RecoveryPolicy {
+  /// Total replacement forks the ProcComm supervisor may spend across the
+  /// whole run (all ranks together). 0 disables the respawn rung.
+  int max_respawns = 0;
+
+  /// Exponential backoff for retries and respawns: attempt k waits
+  /// base * 2^k, capped, plus deterministic jitter (see backoff_ms).
+  double backoff_base_ms = 5.0;
+  double backoff_cap_ms = 250.0;
+
+  /// Seed of the deterministic jitter stream. Mixed with a caller salt
+  /// (rank, incarnation) so ranks don't thunder in phase.
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+
+  /// A rank that dies again within this many seconds of its last respawn is
+  /// flapping: its reservation is cancelled and the ladder falls through to
+  /// shrink-and-continue. 0 disables flap detection.
+  double flap_window_seconds = 0.0;
+};
+
+namespace detail {
+/// splitmix64: the standard 64-bit finalizer-style mixer; good enough to
+/// decorrelate (seed, salt, attempt) triples into jitter draws.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace detail
+
+/// Deterministic exponential backoff with jitter, in milliseconds: attempt k
+/// (0-based) yields slot = min(base * 2^k, cap), then slot/2 + jitter in
+/// [0, slot/2) drawn from mix64(jitter_seed ^ salt, k). Monotone
+/// non-decreasing in expectation, capped, and identical for identical
+/// (policy, attempt, salt).
+inline double backoff_ms(const RecoveryPolicy& p, int attempt,
+                         std::uint64_t salt) {
+  if (p.backoff_base_ms <= 0.0) return 0.0;
+  double slot = p.backoff_base_ms;
+  for (int k = 0; k < attempt && slot < p.backoff_cap_ms; ++k) slot *= 2.0;
+  slot = std::min(slot, std::max(p.backoff_cap_ms, p.backoff_base_ms));
+  const std::uint64_t draw = detail::mix64(
+      detail::mix64(p.jitter_seed ^ salt) ^ static_cast<std::uint64_t>(attempt));
+  const double unit =
+      static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+  return slot / 2.0 + unit * (slot / 2.0);
+}
+
+/// The ladder's terminal rung: fit()/refit() exhausted max_shrink_retries.
+/// Carries the attempt count and the kind of the last underlying failure
+/// ("timeout", "rank_failed", ...). Derives CommError so existing callers
+/// that treat transport failures uniformly keep working, but drivers never
+/// retry it themselves — it *is* the retry loop's verdict.
+class FitAbortedError final : public CommError {
+ public:
+  FitAbortedError(const std::string& what, int attempts,
+                  std::string last_kind)
+      : CommError(what), attempts_(attempts),
+        last_kind_(std::move(last_kind)) {}
+
+  int attempts() const { return attempts_; }
+  const std::string& last_kind() const { return last_kind_; }
+
+ private:
+  int attempts_;
+  std::string last_kind_;
+};
+
+}  // namespace keybin2::comm

@@ -1,9 +1,12 @@
 #include "core/keybin2.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include "common/error.hpp"
+#include "comm/recovery.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/fused.hpp"
@@ -239,16 +242,33 @@ FitResult fit(runtime::Context& ctx, const Matrix& local_points,
     try {
       if (recover) {
         recover = false;
+        // Deterministic backoff before re-entering the protocol: ranks that
+        // detected the failure at different points pause comparably (same
+        // policy, same attempt, rank-salted jitter), so nobody hammers the
+        // rendezvous while stragglers are still unwinding.
+        const double pause_ms = comm::backoff_ms(
+            params.recovery, attempt - 1,
+            static_cast<std::uint64_t>(ctx.comm().rank()));
+        if (pause_ms > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+              pause_ms));
+        }
         ctx.shrink_to_survivors();
         if (ctx.is_root()) ctx.tracer().counter("fit_retries", 1.0);
       }
       return fit_once(ctx, local_points, params);
+    } catch (const comm::FitAbortedError&) {
+      throw;  // already the terminal rung; never re-wrapped or retried
     } catch (const comm::CommError& e) {
       if (attempt >= params.max_shrink_retries) {
         ctx.log().error("fit_abandoned",
                         {{"kind", comm::error_kind(e)},
                          {"attempts", std::to_string(attempt)}});
-        throw;
+        throw comm::FitAbortedError(
+            std::string("fit aborted after ") + std::to_string(attempt) +
+                " retries; last failure [" + comm::error_kind(e) +
+                "]: " + e.what(),
+            attempt, comm::error_kind(e));
       }
       ++attempt;
       recover = true;

@@ -118,7 +118,7 @@ OutOfCoreResult fit_from_file(runtime::Context& ctx,
   if (checkpointing) {
     if (std::ifstream probe(checkpoint.path, std::ios::binary);
         probe.is_open()) {
-      const auto payload = read_checkpoint_file(checkpoint.path);
+      const auto payload = read_checkpoint_file_or_previous(checkpoint.path);
       ByteReader r(payload);
       chunks_done = r.read<std::uint64_t>();
       const auto saved_chunk_points = r.read<std::uint64_t>();
@@ -222,8 +222,12 @@ OutOfCoreResult fit_from_file(runtime::Context& ctx,
               static_cast<std::streamsize>(labels.size() * sizeof(int)));
   });
   KB2_CHECK_MSG(out.good(), "write to " << labels_path << " failed");
-  // The run finished; a stale checkpoint would otherwise resurrect it.
-  if (checkpointing) std::remove(checkpoint.path.c_str());
+  // The run finished; a stale checkpoint (or its demoted .prev generation)
+  // would otherwise resurrect it.
+  if (checkpointing) {
+    std::remove(checkpoint.path.c_str());
+    std::remove((checkpoint.path + ".prev").c_str());
+  }
   return result;
 }
 

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "comm/recovery.hpp"
+
 namespace keybin2::core {
 
 /// Histogram smoothing used by the partitioner. The paper's method is the
@@ -100,6 +102,13 @@ struct Params {
   /// rerun; transient corruption -> rerun over the same group) before the
   /// error propagates.
   int max_shrink_retries = 2;
+
+  /// Fault tolerance: retry pacing and respawn budget for the recovery
+  /// ladder (comm/recovery.hpp). fit()/refit() sleep a deterministic
+  /// backoff-with-jitter between retries, and exhausting
+  /// `max_shrink_retries` raises a typed FitAbortedError instead of the
+  /// bare triggering failure.
+  comm::RecoveryPolicy recovery;
 };
 
 }  // namespace keybin2::core

@@ -1,10 +1,13 @@
 #include "core/streaming.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <string>
+#include <thread>
 
+#include "comm/recovery.hpp"
 #include "common/error.hpp"
 #include "common/serialize.hpp"
 #include "core/checkpoint.hpp"
@@ -229,16 +232,29 @@ const Model& StreamingKeyBin2::refit(runtime::Context& ctx) {
     try {
       if (recover) {
         recover = false;
+        const double pause_ms = comm::backoff_ms(
+            params_.recovery, attempt - 1,
+            static_cast<std::uint64_t>(ctx.comm().rank()));
+        if (pause_ms > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+              pause_ms));
+        }
         ctx.shrink_to_survivors();
         if (ctx.is_root()) ctx.tracer().counter("fit_retries", 1.0);
       }
       return refit_once(ctx);
+    } catch (const comm::FitAbortedError&) {
+      throw;
     } catch (const comm::CommError& e) {
       if (attempt >= params_.max_shrink_retries) {
         ctx.log().error("refit_abandoned",
                         {{"kind", comm::error_kind(e)},
                          {"attempts", std::to_string(attempt)}});
-        throw;
+        throw comm::FitAbortedError(
+            std::string("refit aborted after ") + std::to_string(attempt) +
+                " retries; last failure [" + comm::error_kind(e) +
+                "]: " + e.what(),
+            attempt, comm::error_kind(e));
       }
       ++attempt;
       recover = true;
@@ -419,7 +435,10 @@ void StreamingKeyBin2::save_checkpoint(const std::string& path) const {
 StreamingKeyBin2 StreamingKeyBin2::resume_from(const std::string& path,
                                                Params params,
                                                std::size_t reservoir_capacity) {
-  const auto payload = read_checkpoint_file(path);
+  // A corrupt or missing primary falls back to the ".prev" generation the
+  // atomic writer demoted; only when both are unreadable does the typed
+  // CheckpointError (naming the primary and its defect) propagate.
+  const auto payload = read_checkpoint_file_or_previous(path);
   ByteReader peek(payload);
   const auto dims = peek.read<std::uint64_t>();
   StreamingKeyBin2 engine(static_cast<std::size_t>(dims), params,

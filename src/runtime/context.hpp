@@ -20,6 +20,7 @@
 // communication volume, and randomness are owned in exactly one place.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 
@@ -131,9 +132,27 @@ class Context {
   /// failure was transient (e.g. a corrupt frame) and the caller should
   /// simply retry over the same group.
   bool shrink_to_survivors() {
+    // Failures visible before the rendezvous tell regrow apart from a plain
+    // transient retry: if somebody was dead going in but the agreed set is
+    // still full-width, a respawned incarnation rejoined and the group grew
+    // back (process backend, recovery ladder rung 3).
+    const bool had_failures = !comm_->failed_ranks().empty();
+    const auto t0 = std::chrono::steady_clock::now();
     auto survivors = comm_->agree_survivors();
+    const std::int64_t latency_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    metrics_.histogram("recovery_latency_ns").record(latency_ns);
     const int lost = comm_->size() - static_cast<int>(survivors.size());
-    if (lost == 0) return false;
+    if (lost == 0) {
+      if (had_failures) {
+        metrics_.add("regrow_epochs");
+        log_.warn("regrow", {{"size", std::to_string(comm_->size())}});
+        if (timeline_ != nullptr) timeline_->add_instant("regrow", now_ns());
+      }
+      return false;
+    }
     auto sub =
         std::make_unique<comm::SubgroupComm>(*comm_, std::move(survivors));
     comm_ = sub.get();

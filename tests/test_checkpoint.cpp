@@ -112,6 +112,73 @@ TEST_F(CheckpointFile, RejectsBadMagicAndVersion) {
   EXPECT_THROW(read_checkpoint_file(path_), Error);
 }
 
+TEST_F(CheckpointFile, DefectsAreTypedAndAttributed) {
+  // Every rejection is a CheckpointError carrying the path and a defect
+  // class — the recovery ladder and the chaos gate dispatch on these, so
+  // the mapping from damage to defect string is contractual.
+  const std::vector<std::byte> payload(256, std::byte{3});
+  const std::vector<std::pair<CheckpointCorruption, std::string>> cases = {
+      {CheckpointCorruption::kTruncateHeader, "truncated"},
+      {CheckpointCorruption::kTruncatePayload, "truncated"},
+      {CheckpointCorruption::kZeroSpan, "crc_mismatch"},
+      {CheckpointCorruption::kFlipBit, "crc_mismatch"},
+      {CheckpointCorruption::kBadMagic, "bad_magic"},
+  };
+  for (const auto& [mode, defect] : cases) {
+    write_checkpoint_file(path_, payload);
+    corrupt_checkpoint_file(path_, mode, /*seed=*/7);
+    try {
+      (void)read_checkpoint_file(path_);
+      FAIL() << "corruption mode " << static_cast<int>(mode)
+             << " went undetected";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.defect(), defect)
+          << "mode " << static_cast<int>(mode) << ": " << e.what();
+      EXPECT_EQ(e.path(), path_);
+    }
+  }
+  try {
+    (void)read_checkpoint_file("/tmp/kb2_no_such_ckpt.bin");
+    FAIL() << "missing file went undetected";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.defect(), "missing");
+  }
+}
+
+TEST_F(CheckpointFile, RewriteDemotesThePreviousGeneration) {
+  const std::vector<std::byte> v1(64, std::byte{1});
+  const std::vector<std::byte> v2(64, std::byte{2});
+  write_checkpoint_file(path_, v1);
+  write_checkpoint_file(path_, v2);
+  EXPECT_EQ(read_checkpoint_file(path_), v2);
+  EXPECT_EQ(read_checkpoint_file(path_ + ".prev"), v1);
+  std::remove((path_ + ".prev").c_str());
+}
+
+TEST_F(CheckpointFile, FallbackRestoresFromPrevWhenPrimaryIsCorrupt) {
+  const std::vector<std::byte> v1(64, std::byte{1});
+  const std::vector<std::byte> v2(64, std::byte{2});
+  write_checkpoint_file(path_, v1);
+  write_checkpoint_file(path_, v2);
+  corrupt_checkpoint_file(path_, CheckpointCorruption::kFlipBit, 3);
+
+  bool used_previous = false;
+  EXPECT_EQ(read_checkpoint_file_or_previous(path_, &used_previous), v1);
+  EXPECT_TRUE(used_previous);
+
+  // Both generations corrupt: the PRIMARY's typed error propagates (it
+  // names the checkpoint the caller asked for, not the fallback).
+  corrupt_checkpoint_file(path_ + ".prev", CheckpointCorruption::kZeroSpan, 3);
+  try {
+    (void)read_checkpoint_file_or_previous(path_);
+    FAIL() << "two corrupt generations must not restore";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.path(), path_);
+    EXPECT_EQ(e.defect(), "crc_mismatch");
+  }
+  std::remove((path_ + ".prev").c_str());
+}
+
 // ---- Streaming engine state capture ----
 
 data::Dataset stream_data(std::size_t n, unsigned seed) {
@@ -267,7 +334,12 @@ TEST_F(OutOfCoreCheckpoint, ResumeRejectsMismatchedChunkSize) {
   EXPECT_THROW(fit_from_file(input_, labels_, {}, 256, opts), Error);
 }
 
-TEST_F(OutOfCoreCheckpoint, ResumeRejectsCorruptedCheckpoint) {
+TEST_F(OutOfCoreCheckpoint, ResumeFallsBackToPrevThenRejectsWhenBothCorrupt) {
+  // Two checkpoint generations land (every_chunks=1, max_chunks=2), so the
+  // atomic writer demoted the first to ".prev". Corrupting the primary must
+  // NOT kill the resume anymore — it restores one generation earlier and
+  // completes (each remaining chunk is processed exactly once either way).
+  // Only when BOTH generations are damaged does the typed error surface.
   CheckpointOptions opts;
   opts.path = ckpt_;
   opts.every_chunks = 1;
@@ -279,7 +351,23 @@ TEST_F(OutOfCoreCheckpoint, ResumeRejectsCorruptedCheckpoint) {
   raw[raw.size() - 3] ^= 0x10;
   spit(ckpt_, raw);
   opts.max_chunks = 0;
-  EXPECT_THROW(fit_from_file(input_, labels_, {}, 512, opts), Error);
+  EXPECT_TRUE(fit_from_file(input_, labels_, {}, 512, opts).completed)
+      << "a corrupt primary with a good .prev generation must resume";
+
+  // The completed run reclaims its checkpoints; pause again to get two
+  // fresh generations, then damage both.
+  opts.max_chunks = 2;
+  ASSERT_FALSE(fit_from_file(input_, labels_, {}, 512, opts).completed);
+  opts.max_chunks = 0;
+  corrupt_checkpoint_file(ckpt_, CheckpointCorruption::kFlipBit, 5);
+  corrupt_checkpoint_file(ckpt_ + ".prev", CheckpointCorruption::kZeroSpan, 5);
+  try {
+    (void)fit_from_file(input_, labels_, {}, 512, opts);
+    FAIL() << "two corrupt generations must not resume";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.path(), ckpt_);
+  }
+  std::remove((ckpt_ + ".prev").c_str());
 }
 
 TEST_F(OutOfCoreCheckpoint, CadenceValidationRejectsZeroEveryChunks) {

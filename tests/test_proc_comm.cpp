@@ -21,6 +21,12 @@
 #include <thread>
 #include <vector>
 
+#ifdef __linux__
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 #include "comm/fault.hpp"
 #include "comm/launch.hpp"
 #include "common/error.hpp"
@@ -490,6 +496,208 @@ TEST(ProcComm, RunRanksOptionsOverloadRethrowsWithOriginalType) {
                 }),
       TimeoutError);
 }
+
+TEST(ProcRecovery, RespawnRejoinsAndFitFingerprintIsBitIdentical) {
+  // Rank 2's first incarnation takes a real SIGKILL mid-fit. With respawn
+  // budget armed, the supervisor forks a replacement, the survivors'
+  // agreement is held open until it arrives, and the regrown full-width
+  // group reruns the fit — whose model bytes and every rank's labels must
+  // equal the undisturbed thread-backend run bit for bit. Recovery may not
+  // leak into the math.
+  const auto spec = data::make_paper_mixture(8, 3, 1);
+  const auto d = data::sample(spec, 1000, 3);
+  const auto shards = data::shard(d, 4);
+  core::Params params;
+  params.comm_timeout_seconds = 30.0;
+
+  const auto clean = [&](Communicator& c) -> std::vector<std::byte> {
+    const auto result =
+        core::fit(c, shards[static_cast<std::size_t>(c.rank())].points,
+                  params);
+    ByteWriter w;
+    result.model.serialize(w);
+    w.write_vec(result.labels);
+    return w.take();
+  };
+  const auto body = [&](Communicator& c) -> std::vector<std::byte> {
+    fault::FaultSchedule s;
+    if (c.rank() == 2 && c.incarnation() == 0) {
+      s.kill_at_op = 15;
+      s.hard_kill = true;
+    }
+    fault::FaultyComm f(c, s);
+    const auto result =
+        core::fit(f, shards[static_cast<std::size_t>(c.rank())].points,
+                  params);
+    ByteWriter w;
+    result.model.serialize(w);
+    w.write_vec(result.labels);
+    return w.take();
+  };
+
+  const auto reference = run_ranks_collect_bytes(LaunchOptions{}, 4, clean);
+  RecoveryPolicy pol;
+  pol.max_respawns = 1;
+  pol.backoff_base_ms = 1.0;
+  pol.backoff_cap_ms = 4.0;
+  const auto res = proc_run_ranks(4, 0, pol, body);
+  EXPECT_FALSE(res.first_error) << "regrown run should succeed";
+  EXPECT_EQ(res.respawns_total, 1);
+  EXPECT_GE(res.regrow_epochs, 1);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(res.results[static_cast<std::size_t>(r)],
+              reference[static_cast<std::size_t>(r)])
+        << "fingerprint diverged on rank " << r;
+  }
+}
+
+TEST(ProcRecovery, DoubleFailureDuringRegrowFallsDownTheLadder) {
+  // The replacement incarnation dies too, and the budget (1) is spent: the
+  // reservation drains without a second respawn and the ladder falls to
+  // shrink-and-continue. The survivors finish degraded — no error, no
+  // hang, the victim's slot simply reports nothing.
+  const auto spec = data::make_paper_mixture(8, 3, 1);
+  const auto d = data::sample(spec, 1000, 3);
+  const auto shards = data::shard(d, 4);
+  core::Params params;
+  params.comm_timeout_seconds = 30.0;
+
+  const auto body = [&](Communicator& c) -> std::vector<std::byte> {
+    fault::FaultSchedule s;
+    if (c.rank() == 2 && c.incarnation() <= 1) {
+      s.kill_at_op = 15;
+      s.hard_kill = true;
+    }
+    fault::FaultyComm f(c, s);
+    const auto result =
+        core::fit(f, shards[static_cast<std::size_t>(c.rank())].points,
+                  params);
+    ByteWriter w;
+    result.model.serialize(w);
+    w.write_vec(result.labels);
+    return w.take();
+  };
+
+  RecoveryPolicy pol;
+  pol.max_respawns = 1;
+  pol.backoff_base_ms = 1.0;
+  pol.backoff_cap_ms = 4.0;
+  const auto res = proc_run_ranks(4, 0, pol, body);
+  EXPECT_FALSE(res.first_error)
+      << "survivors should shrink-and-continue, not error";
+  EXPECT_EQ(res.respawns_total, 1) << "budget allowed exactly one respawn";
+  EXPECT_TRUE(res.results[2].empty()) << "the dead slot reports nothing";
+  for (const int r : {0, 1, 3}) {
+    EXPECT_FALSE(res.results[static_cast<std::size_t>(r)].empty())
+        << "survivor " << r << " should have finished";
+  }
+}
+
+TEST(ProcRecovery, SpillFilesOfAKilledRankAreReclaimedMidRun) {
+  // Rank 2 parks an oversized (spilled) frame in rank 0's ring and dies by
+  // SIGKILL before anyone receives it. The survivor agreement must reclaim
+  // the orphaned spill file as part of purging the rings — long-lived
+  // groups must not accumulate dead ranks' payloads on tmpfs.
+  const auto spill_parent = [] {
+    struct stat st{};
+    return (::stat("/dev/shm", &st) == 0 && S_ISDIR(st.st_mode))
+               ? std::string("/dev/shm")
+               : std::string("/tmp");
+  };
+  const auto count_victim_spills = [&] {
+    // Spill dirs are named kb2-spill-<parent pid>-...; spilled frames are
+    // f<flow>.<src>. Count files from src rank 2 across this parent's dirs.
+    int found = 0;
+    const std::string prefix =
+        "kb2-spill-" + std::to_string(::getppid()) + "-";
+    DIR* top = ::opendir(spill_parent().c_str());
+    if (top == nullptr) return -1;
+    while (dirent* e = ::readdir(top)) {
+      if (std::strncmp(e->d_name, prefix.c_str(), prefix.size()) != 0) {
+        continue;
+      }
+      const std::string dir = spill_parent() + "/" + e->d_name;
+      if (DIR* in = ::opendir(dir.c_str())) {
+        while (dirent* f = ::readdir(in)) {
+          const std::string name = f->d_name;
+          if (name.size() > 2 && name.substr(name.size() - 2) == ".2") {
+            ++found;
+          }
+        }
+        ::closedir(in);
+      }
+    }
+    ::closedir(top);
+    return found;
+  };
+
+  const auto blobs = run_ranks_collect_bytes(
+      proc_options(/*ring_bytes=*/4096), 3,
+      [&](Communicator& c) -> std::vector<std::byte> {
+        if (c.rank() == 2) {
+          // 4 KiB payload > ring_bytes/2: lands as a spill file.
+          c.send(0, 5, std::vector<std::byte>(4096));
+          ::raise(SIGKILL);
+        }
+        // Survivors: wait for the death to be detected, observe the
+        // orphaned spill, agree, then observe the reclaim.
+        while (c.failed_ranks().empty()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        const int before = c.rank() == 0 ? count_victim_spills() : 0;
+        (void)c.agree_survivors();
+        const int after = c.rank() == 0 ? count_victim_spills() : 0;
+        ByteWriter w;
+        w.write<std::int32_t>(before);
+        w.write<std::int32_t>(after);
+        return w.take();
+      });
+  ASSERT_FALSE(blobs[0].empty());
+  ByteReader r(blobs[0]);
+  EXPECT_GT(r.read<std::int32_t>(), 0)
+      << "the spilled frame should be on disk before the agreement";
+  EXPECT_EQ(r.read<std::int32_t>(), 0)
+      << "the agreement should have reclaimed the dead rank's spill files";
+}
+
+/// Satellite leak gate: after every test in this binary, no shared-memory
+/// segment or spill directory created by THIS process may remain. The shm
+/// segment is unlinked at birth and spill dirs die with MappedGroup — a
+/// name surviving to teardown is a leak, typically from an abnormal-death
+/// path that skipped reclamation.
+class ProcResidueCheck final : public ::testing::EmptyTestEventListener {
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    const std::string pid = std::to_string(::getpid());
+    const std::string leaks = find_residue(pid);
+    EXPECT_TRUE(leaks.empty())
+        << "test " << info.test_suite_name() << "." << info.name()
+        << " leaked process-backend residue: " << leaks;
+  }
+
+  static std::string find_residue(const std::string& pid) {
+    std::string found;
+    for (const char* parent : {"/dev/shm", "/tmp"}) {
+      DIR* d = ::opendir(parent);
+      if (d == nullptr) continue;
+      const std::string spill = "kb2-spill-" + pid + "-";
+      const std::string shm = "kb2-proc-" + pid + "-";
+      while (dirent* e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.rfind(spill, 0) == 0 || name.rfind(shm, 0) == 0) {
+          found += std::string(parent) + "/" + name + " ";
+        }
+      }
+      ::closedir(d);
+    }
+    return found;
+  }
+};
+
+const bool kResidueCheckInstalled = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new ProcResidueCheck);
+  return true;
+}();
 
 #else  // !__linux__
 

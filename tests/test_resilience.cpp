@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <memory>
@@ -14,6 +15,7 @@
 
 #include "comm/fault.hpp"
 #include "comm/launch.hpp"
+#include "comm/recovery.hpp"
 #include "common/serialize.hpp"
 #include "common/error.hpp"
 #include "core/keybin2.hpp"
@@ -77,9 +79,11 @@ TEST(Resilience, SoakKillOneRankMidTrialCompletesOnSurvivors) {
       EXPECT_EQ(result.labels.size(), shards[r].points.rows());
       for (const int label : result.labels) EXPECT_GE(label, 0);
 
-      // The retry loop recorded itself in this rank's metrics registry.
+      // The retry loop recorded itself in this rank's metrics registry,
+      // including the latency of every survivor-agreement rendezvous.
       EXPECT_GE(ctx.metrics().counters().at("fit_retries"), 1u);
       EXPECT_GE(ctx.metrics().counters().at("survivor_shrinks"), 1u);
+      EXPECT_GE(ctx.metrics().histogram("recovery_latency_ns").count(), 1u);
 
       // Degraded-mode statistics surface in the merged trace report...
       const auto report = ctx.trace_report();
@@ -93,6 +97,8 @@ TEST(Resilience, SoakKillOneRankMidTrialCompletesOnSurvivors) {
         EXPECT_GE(report.counters.count("fit_retries"), 1u);
         EXPECT_GE(metrics.counters.at("fit_retries"), 3u);  // every survivor
         EXPECT_GE(metrics.counters.at("survivor_shrinks"), 3u);
+        ASSERT_EQ(metrics.histograms.count("recovery_latency_ns"), 1u);
+        EXPECT_GE(metrics.histograms.at("recovery_latency_ns").count(), 3u);
         EXPECT_NE(metrics.deterministic_fingerprint().find("fit_retries"),
                   std::string::npos);
       }
@@ -213,26 +219,56 @@ TEST(Resilience, TransientCorruptionRetriesWithoutShrinking) {
   EXPECT_EQ(completed.load(), 4);
 }
 
-TEST(Resilience, RetriesExhaustIntoAnErrorNotAHang) {
+TEST(Resilience, RetriesExhaustIntoATypedAbortNotAHang) {
   // A permanently corrupting rank defeats every retry; the run must end in
-  // a CommError once max_shrink_retries is spent — never a hang.
+  // a typed FitAbortedError once max_shrink_retries is spent — never a
+  // hang, never the bare underlying failure (the abort carries the attempt
+  // count and the last failure's kind for attribution).
   const auto spec = data::make_paper_mixture(8, 3, 1);
   const auto d = data::sample(spec, 400, 2);
   const auto shards = data::shard(d, 2);
   core::Params params;
   params.comm_timeout_seconds = 1.0;
   params.max_shrink_retries = 1;
+  params.recovery.backoff_base_ms = 1.0;
+  params.recovery.backoff_cap_ms = 4.0;
 
-  EXPECT_THROW(
-      run_ranks(2,
-                [&](Communicator& c) {
-                  const auto r = static_cast<std::size_t>(c.rank());
-                  comm::fault::FaultSchedule s;
-                  if (c.rank() == 1) s.zero_fill_prob = 1.0;
-                  comm::fault::FaultyComm faulty(c, s);
-                  core::fit(faulty, shards[r].points, params);
-                }),
-      comm::CommError);
+  try {
+    run_ranks(2, [&](Communicator& c) {
+      const auto r = static_cast<std::size_t>(c.rank());
+      comm::fault::FaultSchedule s;
+      if (c.rank() == 1) s.zero_fill_prob = 1.0;
+      comm::fault::FaultyComm faulty(c, s);
+      core::fit(faulty, shards[r].points, params);
+    });
+    FAIL() << "a permanently corrupting rank must abort the fit";
+  } catch (const comm::FitAbortedError& e) {
+    EXPECT_EQ(e.attempts(), params.max_shrink_retries);
+    EXPECT_FALSE(e.last_kind().empty());
+  }
+}
+
+TEST(Resilience, BackoffIsDeterministicCappedAndSalted) {
+  // Same (policy, attempt, salt) -> same delay; attempts grow toward the
+  // cap; different salts de-phase the ranks. All pure arithmetic — the
+  // chaos soak replays schedules from seeds, so any nondeterminism here
+  // breaks reproducibility.
+  comm::RecoveryPolicy p;
+  p.backoff_base_ms = 4.0;
+  p.backoff_cap_ms = 64.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const double a = comm::backoff_ms(p, attempt, /*salt=*/7);
+    const double b = comm::backoff_ms(p, attempt, /*salt=*/7);
+    EXPECT_EQ(a, b) << "backoff must replay exactly, attempt " << attempt;
+    const double slot = std::min(4.0 * std::pow(2.0, attempt), 64.0);
+    EXPECT_GE(a, slot / 2.0);
+    EXPECT_LT(a, slot);
+  }
+  EXPECT_NE(comm::backoff_ms(p, 3, 7), comm::backoff_ms(p, 3, 8))
+      << "different salts should draw different jitter";
+  comm::RecoveryPolicy zero;
+  zero.backoff_base_ms = 0.0;
+  EXPECT_EQ(comm::backoff_ms(zero, 5, 1), 0.0) << "zero base disables backoff";
 }
 
 // ---- Survivor agreement under simultaneous multi-rank failures ----

@@ -33,6 +33,17 @@
 #                                  # must satisfy kb2_analyze, the honest
 #                                  # SIGKILL-one-child recovery tests, and a
 #                                  # thread-vs-proc fingerprint parity check
+#   tools/check_tier1.sh --chaos-smoke
+#                                  # build, then run the seeded chaos-soak
+#                                  # engine (tools/kb2_soak) over a handful of
+#                                  # fault schedules: every schedule must
+#                                  # either converge to the fault-free fit
+#                                  # fingerprint or end in a typed, attributed
+#                                  # error — never a hang, never a silent
+#                                  # wrong answer — and the emitted
+#                                  # BENCH_chaos_soak.json must satisfy
+#                                  # trace_check --soak (legal outcomes,
+#                                  # recovery aggregates, acceptable == 1)
 #   tools/check_tier1.sh --perf-gate
 #                                  # build, rerun bench/kernel_fusion and
 #                                  # bench/comm_backends with the committed
@@ -59,6 +70,7 @@ trace_smoke=0
 bench_smoke=0
 analyze_smoke=0
 proc_smoke=0
+chaos_smoke=0
 perf_gate=0
 ctest_args=()
 for arg in "$@"; do
@@ -70,6 +82,7 @@ for arg in "$@"; do
     --bench-smoke) bench_smoke=1 ;;
     --analyze-smoke) analyze_smoke=1 ;;
     --proc-smoke) proc_smoke=1 ;;
+    --chaos-smoke) chaos_smoke=1 ;;
     --perf-gate) perf_gate=1 ;;
     *) ctest_args+=("${arg}") ;;
   esac
@@ -182,6 +195,28 @@ if [[ "${proc_smoke}" == "1" ]]; then
   # agreement, and checkpoint/restart across a genuine process death.
   "${build_dir}/tests/test_proc_comm" --gtest_filter='ProcComm.HonestSigkill*:ProcComm.Sigkilled*:ProcComm.CheckpointSurvives*'
   echo "proc smoke: OK"
+  exit 0
+fi
+
+if [[ "${chaos_smoke}" == "1" ]]; then
+  # Chaos-soak smoke: seeded fault schedules (SIGKILL mid-protocol, killed
+  # respawns, delayed ranks, damaged checkpoints) against real forked ranks.
+  # kb2_soak exits nonzero on any hang (watchdog) or silent mismatch, so the
+  # gate is its exit code plus the schema of the soak report it emits.
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  (cd "${smoke_dir}" && "${build_dir}/tools/kb2_soak" \
+    --schedules 8 --ranks 4 --points-per-rank 1500 --seed 42) \
+    | tee "${smoke_dir}/soak.txt"
+  grep -q "kb2_soak: PASS" "${smoke_dir}/soak.txt" \
+    || { echo "chaos smoke: soak did not report PASS" >&2; exit 1; }
+  # A soak where no schedule ever recovered would pass vacuously; require
+  # at least one respawn-and-regrow to have actually happened.
+  grep -q "regrow=[1-9]" "${smoke_dir}/soak.txt" \
+    || { echo "chaos smoke: no schedule exercised respawn/regrow" >&2; exit 1; }
+  "${build_dir}/tools/trace_check" --soak \
+    "${smoke_dir}/BENCH_chaos_soak.json"
+  echo "chaos smoke: OK"
   exit 0
 fi
 

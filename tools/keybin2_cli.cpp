@@ -104,7 +104,7 @@ struct CliArgs {
       "                  [--ranks N] [--backend thread|proc] [--trace] "
       "[--trace-json out.json]\n"
       "                  [--log events.jsonl] [--timeout SEC] "
-      "[--retries N]\n"
+      "[--retries N] [--respawns N]\n"
       "  keybin2 fit-file <input.bin> [--out labels.bin] [--chunk N] "
       "[--checkpoint path]\n"
       "                  [--budget-chunks N] [--trials T] [--seed S] "
@@ -174,6 +174,8 @@ CliArgs parse(int argc, char** argv) {
       a.timeout = std::strtod(next("--timeout"), nullptr);
     } else if (!std::strcmp(argv[i], "--retries")) {
       a.retries = std::atoi(next("--retries"));
+    } else if (!std::strcmp(argv[i], "--respawns")) {
+      a.launch.recovery.max_respawns = std::atoi(next("--respawns"));
     } else if (!std::strcmp(argv[i], "--checkpoint")) {
       a.checkpoint = next("--checkpoint");
     } else if (!std::strcmp(argv[i], "--chunk")) {
@@ -272,6 +274,7 @@ int run_cluster(const CliArgs& a) {
     params.bootstrap_trials = a.trials;
     params.comm_timeout_seconds = a.timeout;
     params.max_shrink_retries = a.retries;
+    params.recovery = a.launch.recovery;
     double score = 0.0;
     int n_clusters = 0;
     std::string trace_text, metrics_text;

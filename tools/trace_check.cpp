@@ -2,6 +2,7 @@
 //
 //   trace_check trace.json [--min-ranks N] [--min-flows N]
 //   trace_check --bench BENCH_kernel_fusion.json
+//   trace_check --soak BENCH_chaos_soak.json
 //   trace_check --analysis analysis.json
 //
 // Default (trace) mode parses a Chrome trace-event document (what
@@ -22,6 +23,11 @@
 // --bench mode validates a bench reporter file: well-formed, a "series"
 // object, and every series the kernel-fusion gate depends on present with
 // a numeric mean.
+//
+// --soak mode validates a kb2_soak chaos report: the recovery aggregates
+// (acceptable/respawns/regrow_epochs/typed_errors) are numeric, every
+// schedule_* series ended in a legal outcome (clean, recovered, or an
+// attributed typed_error:*), and acceptable == 1.
 //
 // --analysis mode validates a `kb2_analyze --json` report: required
 // sections present, the compute/comm/wait split sums to the critical-path
@@ -82,6 +88,73 @@ int check_bench(const JsonValue& doc) {
   }
   std::printf("trace_check: OK: bench report carries all %zu series\n",
               sizeof(kBenchSeries) / sizeof(kBenchSeries[0]));
+  return 0;
+}
+
+// Legal outcomes for a schedule_* series in a chaos_soak report: the run
+// converged untouched ("clean"), converged after respawn/regrow
+// ("recovered"), or died with an attributed typed error ("typed_error:…").
+// Anything else — above all "silent_mismatch" or "untyped_error" — is
+// exactly the defect the soak gate exists to catch, so its presence in a
+// report that claims PASS means the reporter and the gate disagree.
+bool soak_outcome_legal(const std::string& outcome) {
+  return outcome == "clean" || outcome == "recovered" ||
+         outcome.rfind("typed_error:", 0) == 0;
+}
+
+int check_soak(const JsonValue& doc) {
+  const auto* bench = doc.find("bench");
+  if (bench == nullptr || !bench->is_string() ||
+      bench->string() != "chaos_soak") {
+    return fail("not a chaos_soak report (bench name mismatch)");
+  }
+  const auto* series = doc.find("series");
+  if (series == nullptr || !series->is_object()) {
+    return fail("no series object");
+  }
+  // The aggregates the ladder's observability promises.
+  for (const char* name :
+       {"acceptable", "respawns", "regrow_epochs", "typed_errors"}) {
+    const auto* s = series->find(name);
+    if (s == nullptr || !s->find("mean") || !s->find("mean")->is_number()) {
+      std::fprintf(stderr,
+                   "trace_check: FAIL: soak report missing numeric series %s\n",
+                   name);
+      return 1;
+    }
+  }
+  // Every schedule must be present and must have ended in a legal outcome.
+  std::size_t schedules = 0;
+  for (const auto& [name, value] : series->members()) {
+    if (name.rfind("schedule_", 0) != 0) continue;
+    ++schedules;
+    const auto colon = name.find(':');
+    const std::string outcome =
+        colon == std::string::npos ? "" : name.substr(colon + 1);
+    if (!soak_outcome_legal(outcome)) {
+      std::fprintf(stderr,
+                   "trace_check: FAIL: schedule series %s has illegal "
+                   "outcome '%s'\n",
+                   name.c_str(), outcome.c_str());
+      return 1;
+    }
+    if (JsonValue::number_or(value.find("mean"), 0.0) != 1.0) {
+      std::fprintf(stderr, "trace_check: FAIL: schedule series %s mean != 1\n",
+                   name.c_str());
+      return 1;
+    }
+  }
+  if (schedules == 0) return fail("soak report carries no schedule series");
+  // acceptable is the fraction of schedules that met the gate; a report that
+  // was written at all must have 100% (kb2_soak exits nonzero otherwise).
+  if (JsonValue::number_or(series->find("acceptable")->find("mean"), 0.0) !=
+      1.0) {
+    return fail("soak report written with acceptable < 1");
+  }
+  std::printf(
+      "trace_check: OK: soak report carries %zu schedules, all outcomes "
+      "legal, acceptable=1\n",
+      schedules);
   return 0;
 }
 
@@ -326,6 +399,7 @@ int main(int argc, char** argv) {
   long min_ranks = 1;
   long min_flows = 0;
   bool bench_mode = false;
+  bool soak_mode = false;
   bool analysis_mode = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -341,12 +415,15 @@ int main(int argc, char** argv) {
       min_flows = std::strtol(next("--min-flows"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--bench")) {
       bench_mode = true;
+    } else if (!std::strcmp(argv[i], "--soak")) {
+      soak_mode = true;
     } else if (!std::strcmp(argv[i], "--analysis")) {
       analysis_mode = true;
     } else if (!std::strcmp(argv[i], "--help")) {
       std::printf("usage: trace_check trace.json [--min-ranks N] "
                   "[--min-flows N]\n"
                   "       trace_check --bench BENCH_*.json\n"
+                  "       trace_check --soak BENCH_chaos_soak.json\n"
                   "       trace_check --analysis analysis.json\n");
       return 0;
     } else if (path.empty()) {
@@ -358,7 +435,7 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) {
     std::fprintf(stderr, "usage: trace_check trace.json [--min-ranks N] "
-                 "[--min-flows N] | --bench | --analysis\n");
+                 "[--min-flows N] | --bench | --soak | --analysis\n");
     return 2;
   }
 
@@ -376,6 +453,7 @@ int main(int argc, char** argv) {
   if (!doc.has_value()) return fail("not well-formed JSON");
 
   if (bench_mode) return check_bench(*doc);
+  if (soak_mode) return check_soak(*doc);
   if (analysis_mode) return check_analysis(*doc);
   return check_trace(*doc, min_ranks, min_flows);
 }
