@@ -37,6 +37,22 @@
 #include "stats/distributions.hpp"
 #include "stats/metrics.hpp"
 
+// Build provenance, injected by the kb2_provenance CMake interface target.
+// The fallbacks keep bench_util.hpp compilable from targets that don't link
+// it — their reports just say "unknown", and the compare warns accordingly.
+#ifndef KB2_GIT_SHA
+#define KB2_GIT_SHA "unknown"
+#endif
+#ifndef KB2_COMPILER_ID
+#define KB2_COMPILER_ID "unknown"
+#endif
+#ifndef KB2_COMPILER_VERSION
+#define KB2_COMPILER_VERSION ""
+#endif
+#ifndef KB2_BUILD_FLAGS
+#define KB2_BUILD_FLAGS "unknown"
+#endif
+
 namespace keybin2::bench {
 
 struct Options {
@@ -197,6 +213,7 @@ class Reporter {
     w.begin_object();
     w.key("bench").value(opt.name);
     emit_machine(w);
+    emit_provenance(w);
     w.key("options").begin_object();
     w.key("points_per_rank").value(static_cast<std::uint64_t>(
         opt.points_per_rank));
@@ -280,6 +297,19 @@ class Reporter {
       w.key("arch").value(uts.machine);
     }
 #endif
+    w.end_object();
+  }
+
+  /// Build provenance next to the machine block: which commit, compiler,
+  /// and flags produced these numbers. kb2_analyze --compare warns (never
+  /// fails) when a report and its baseline disagree here — a regression
+  /// measured against a baseline from another compiler is a different
+  /// conversation than one from the same build.
+  static void emit_provenance(runtime::JsonWriter& w) {
+    w.key("provenance").begin_object();
+    w.key("git_sha").value(KB2_GIT_SHA);
+    w.key("compiler").value(KB2_COMPILER_ID " " KB2_COMPILER_VERSION);
+    w.key("flags").value(KB2_BUILD_FLAGS);
     w.end_object();
   }
 

@@ -501,12 +501,19 @@ std::vector<Timeline> timelines_from_chrome_trace(const JsonValue& doc) {
   auto to_ns = [](double us) {
     return static_cast<std::int64_t>(std::llround(us * 1000.0));
   };
-  std::map<int, Timeline> by_pid;
+  // A track is (rank, incarnation): the writer emits pid=rank, tid=inc so
+  // a respawned rank's pre- and post-kill spans live on separate lanes.
+  // Keying by the pair keeps them separate through the round-trip too.
+  std::map<std::pair<int, int>, Timeline> by_track;
   auto rank_tl = [&](const JsonValue& ev) -> Timeline* {
     const auto* pid = ev.find("pid");
     if (pid == nullptr || !pid->is_number()) return nullptr;
     const int rank = static_cast<int>(pid->number());
-    return &by_pid.try_emplace(rank, rank).first->second;
+    const int inc =
+        static_cast<int>(JsonValue::number_or(ev.find("tid"), 0.0));
+    auto [it, inserted] = by_track.try_emplace({rank, inc}, rank);
+    if (inserted) it->second.set_incarnation(inc);
+    return &it->second;
   };
 
   for (const auto& ev : events->array()) {
@@ -548,12 +555,15 @@ std::vector<Timeline> timelines_from_chrome_trace(const JsonValue& doc) {
       tl->add_flow(id, ts, start, peer, /*tag=*/-1, bytes, wait);
     } else if (ph->string() == "i") {
       tl->add_instant(name_s, ts);
+    } else if (ph->string() == "C") {
+      tl->add_counter(name_s, ts,
+                      JsonValue::number_or(ev.find("args", "value"), 0.0));
     }
-    // "M" metadata: rank_tl() already registered the pid's lane.
+    // "M" metadata: rank_tl() already registered the track's lane.
   }
 
-  out.reserve(by_pid.size());
-  for (auto& [pid, tl] : by_pid) out.push_back(std::move(tl));
+  out.reserve(by_track.size());
+  for (auto& [key, tl] : by_track) out.push_back(std::move(tl));
   return out;
 }
 

@@ -69,6 +69,8 @@ class Comparer {
 
   void error(std::string msg) { out_->errors.push_back(std::move(msg)); }
 
+  void warn(std::string msg) { out_->warnings.push_back(std::move(msg)); }
+
   void metric(const std::string& name, Rule rule, MetricValue base,
               MetricValue cur) {
     if (!base.present) return;  // baseline never tracked it: nothing to hold
@@ -151,9 +153,38 @@ void compare_options_block(const JsonValue& base, const JsonValue& cur,
   }
 }
 
+/// Provenance drift is advisory only: reports produced by a different
+/// commit, compiler, or flag set are still comparable numbers, but the
+/// reader should know the code under test changed. Old baselines predate
+/// the provenance block entirely, so the check only fires when both
+/// documents carry one.
+void compare_provenance(const JsonValue& base, const JsonValue& cur,
+                        Comparer& c) {
+  const auto* bp = base.find("provenance");
+  const auto* cp = cur.find("provenance");
+  if (bp == nullptr || !bp->is_object() || cp == nullptr ||
+      !cp->is_object()) {
+    return;
+  }
+  static constexpr const char* kKeys[] = {"git_sha", "compiler", "flags"};
+  for (const char* key : kKeys) {
+    const auto* bv = bp->find(key);
+    const auto* cv = cp->find(key);
+    const std::string bs =
+        bv != nullptr && bv->is_string() ? bv->string() : "?";
+    const std::string cs =
+        cv != nullptr && cv->is_string() ? cv->string() : "?";
+    if (bs != cs) {
+      c.warn("provenance mismatch: " + std::string(key) + " baseline='" +
+             bs + "' current='" + cs + "'");
+    }
+  }
+}
+
 void compare_bench(const JsonValue& base, const JsonValue& cur,
                    const CompareOptions& opts, Comparer& c) {
   compare_options_block(base, cur, c);
+  compare_provenance(base, cur, c);
 
   // Named scalar series.
   const auto* bs = base.find("series");
@@ -333,6 +364,11 @@ std::string CompareResult::format() const {
                   f.metric.c_str(), f.baseline, f.current, f.ratio,
                   f.tolerance, verdict);
     out += line;
+  }
+  for (const auto& w : warnings) {
+    out += "warning: ";
+    out += w;
+    out += '\n';
   }
   for (const auto& e : errors) {
     out += "error: ";

@@ -58,6 +58,11 @@ struct CompareFinding {
 struct CompareResult {
   std::vector<CompareFinding> findings;
   std::vector<std::string> errors;  // structural problems; any entry fails
+  // Advisory notes that never gate: provenance drift (different commit,
+  // compiler, or flags between baseline and current) changes what a timing
+  // difference *means* but is a legitimate state during development, so it
+  // is surfaced loudly in format() without failing ok().
+  std::vector<std::string> warnings;
 
   bool ok() const {
     if (!errors.empty()) return false;

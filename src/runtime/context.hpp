@@ -30,6 +30,7 @@
 #include "runtime/health.hpp"
 #include "runtime/log.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/profile/profiler.hpp"
 #include "runtime/timeline.hpp"
 #include "runtime/tracer.hpp"
 
@@ -59,6 +60,9 @@ class Context {
     // The communicator may be borrowed and outlive us; never leave it
     // holding a probe into this context's (about to die) monitor.
     if (monitor_ != nullptr) comm_->set_probe(nullptr);
+    // The profiler dies before the tracer (reverse declaration order);
+    // detach it so a scope racing destruction can't call a dead observer.
+    if (profiler_ != nullptr) tracer_.remove_observer(profiler_.get());
   }
 
   comm::Communicator& comm() { return *comm_; }
@@ -92,6 +96,9 @@ class Context {
   void enable_timeline() {
     if (timeline_ == nullptr) {
       timeline_ = std::make_unique<Timeline>(comm_->rank());
+      // A respawned rank's events render on their own track ("rank N
+      // (inc I)") in the Chrome export.
+      timeline_->set_incarnation(comm_->incarnation());
     }
     tracer_.set_timeline(timeline_.get());
     enable_comm_metrics();
@@ -107,13 +114,39 @@ class Context {
     if (health_ == nullptr) {
       health_ = std::make_unique<HealthMonitor>(&log_, &metrics_, config);
     }
-    tracer_.set_observer(health_.get());
+    tracer_.add_observer(health_.get());
     enable_comm_metrics();
     monitor_->set_health(health_.get());
   }
 
   /// Non-null once enable_health_monitor() was called.
   HealthMonitor* health() { return health_.get(); }
+
+  /// Start the continuous profiler (DESIGN.md §8): a sampling profiler over
+  /// the tracer's stage scopes, per-stage hardware counters (degrading to
+  /// timing-only where perf_event_open is refused), and — when `slot` is
+  /// non-null — live telemetry publishes into that slot of the launcher's
+  /// TelemetrySegment. Deep comm metrics come on as a side effect (the
+  /// telemetry wait ratio needs the wait histograms). Idempotent; the
+  /// config of the first call wins. The profiler flushes its gauges and
+  /// density counters at stop() — called here from the Context destructor
+  /// path via ~Profiler, or explicitly for mid-run reports.
+  void enable_profiler(profile::ProfilerConfig config = {},
+                       profile::TelemetrySlot* slot = nullptr) {
+    if (profiler_ == nullptr) {
+      profiler_ = std::make_unique<profile::Profiler>(comm_, &metrics_, &log_,
+                                                      config);
+      tracer_.add_observer(profiler_.get());
+    }
+    enable_comm_metrics();
+    if (timeline_ != nullptr) profiler_->set_timeline(timeline_.get());
+    if (health_ != nullptr) profiler_->set_health(health_.get());
+    if (slot != nullptr) profiler_->set_telemetry_slot(slot);
+    profiler_->start();
+  }
+
+  /// Non-null once enable_profiler() was called.
+  profile::Profiler* profiler() { return profiler_.get(); }
 
   /// Merge all ranks' traces at root (collective; see reduce_report()).
   TraceReport trace_report() { return reduce_report(tracer_, *comm_); }
@@ -191,6 +224,7 @@ class Context {
   std::unique_ptr<Timeline> timeline_;
   std::unique_ptr<HealthMonitor> health_;
   std::unique_ptr<CommMonitor> monitor_;
+  std::unique_ptr<profile::Profiler> profiler_;
   std::vector<std::unique_ptr<comm::SubgroupComm>> subgroups_;
   int excluded_ranks_ = 0;
 };

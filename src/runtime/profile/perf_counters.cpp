@@ -1,0 +1,110 @@
+#include "runtime/profile/perf_counters.hpp"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace keybin2::runtime::profile {
+
+#if defined(__linux__)
+
+namespace {
+
+long perf_event_open_syscall(perf_event_attr* attr, pid_t pid, int cpu,
+                             int group_fd, unsigned long flags) {
+  // glibc ships no wrapper for perf_event_open; raw syscall is the
+  // documented interface (perf_event_open(2)).
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+// Layout of one group read with PERF_FORMAT_GROUP | PERF_FORMAT_ID.
+struct GroupReading {
+  std::uint64_t nr;
+  struct {
+    std::uint64_t value;
+    std::uint64_t id;
+  } values[3];
+};
+
+}  // namespace
+
+int PerfCounterGroup::open_event(std::uint32_t type, std::uint64_t config,
+                                 int group_fd) {
+  perf_event_attr attr = {};
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = (group_fd == -1) ? 1 : 0;  // leader starts the group
+  attr.exclude_kernel = 1;  // self-monitoring works under paranoid<=2
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+  return static_cast<int>(
+      perf_event_open_syscall(&attr, 0 /* self */, -1 /* any cpu */, group_fd,
+                              PERF_FLAG_FD_CLOEXEC));
+}
+
+PerfCounterGroup::PerfCounterGroup() {
+  fd_cycles_ = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (fd_cycles_ < 0) return;
+  fd_instructions_ =
+      open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, fd_cycles_);
+  fd_llc_misses_ =
+      open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, fd_cycles_);
+  if (fd_instructions_ < 0 || fd_llc_misses_ < 0) {
+    // All-or-nothing: a partial group would report misleading ratios.
+    close_all();
+    return;
+  }
+  ioctl(fd_cycles_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fd_cycles_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  // Some sandboxes let the open succeed but refuse the counters at read
+  // time; probe one read so available() is trustworthy.
+  PerfSample probe;
+  if (!read(&probe)) close_all();
+}
+
+PerfCounterGroup::~PerfCounterGroup() { close_all(); }
+
+void PerfCounterGroup::close_all() {
+  if (fd_llc_misses_ >= 0) close(fd_llc_misses_);
+  if (fd_instructions_ >= 0) close(fd_instructions_);
+  if (fd_cycles_ >= 0) close(fd_cycles_);
+  fd_cycles_ = fd_instructions_ = fd_llc_misses_ = -1;
+}
+
+bool PerfCounterGroup::read(PerfSample* out) const {
+  *out = PerfSample{};
+  if (fd_cycles_ < 0) return false;
+  GroupReading reading = {};
+  const ssize_t n = ::read(fd_cycles_, &reading, sizeof(reading));
+  if (n < static_cast<ssize_t>(sizeof(std::uint64_t)) || reading.nr != 3) {
+    return false;
+  }
+  // Group members read back in insertion order: cycles, instructions, LLC.
+  out->cycles = reading.values[0].value;
+  out->instructions = reading.values[1].value;
+  out->llc_misses = reading.values[2].value;
+  return true;
+}
+
+#else  // !__linux__
+
+int PerfCounterGroup::open_event(std::uint32_t, std::uint64_t, int) {
+  return -1;
+}
+PerfCounterGroup::PerfCounterGroup() = default;
+PerfCounterGroup::~PerfCounterGroup() = default;
+void PerfCounterGroup::close_all() {}
+bool PerfCounterGroup::read(PerfSample* out) const {
+  *out = PerfSample{};
+  return false;
+}
+
+#endif
+
+}  // namespace keybin2::runtime::profile

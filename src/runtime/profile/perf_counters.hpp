@@ -1,0 +1,62 @@
+// Per-stage hardware counters via perf_event_open (DESIGN.md §8).
+//
+// A PerfCounterGroup opens one self-monitoring event group on the calling
+// thread — cycles (leader), instructions, LLC misses — and reads all three
+// with a single read() syscall. The profiler snapshots the group at scope
+// open/close and accumulates deltas per folded stage path, which surface as
+// perf/<stage>/ipc and perf/<stage>/llc_miss_rate gauges.
+//
+// perf_event_open is privileged-ish: containers and CI runners commonly run
+// with perf_event_paranoid high enough (or seccomp tight enough) that even
+// self-monitoring is refused. available() probes this once at construction;
+// when the answer is no, the profiler degrades to timing-only and records a
+// single `profiler_degraded` event instead of failing the run.
+#pragma once
+
+#include <cstdint>
+
+namespace keybin2::runtime::profile {
+
+/// One read() snapshot of the group, in raw event counts.
+struct PerfSample {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+
+  PerfSample operator-(const PerfSample& o) const {
+    return {cycles - o.cycles, instructions - o.instructions,
+            llc_misses - o.llc_misses};
+  }
+  PerfSample& operator+=(const PerfSample& o) {
+    cycles += o.cycles;
+    instructions += o.instructions;
+    llc_misses += o.llc_misses;
+    return *this;
+  }
+};
+
+class PerfCounterGroup {
+ public:
+  /// Opens the group on the calling thread. Check available() afterwards;
+  /// a refused open (EPERM/EACCES/ENOSYS/missing PMU) is not an error.
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  bool available() const { return fd_cycles_ >= 0; }
+
+  /// Current cumulative counts since construction. Returns false (zeroed
+  /// sample) when unavailable or the read fails.
+  bool read(PerfSample* out) const;
+
+ private:
+  int open_event(std::uint32_t type, std::uint64_t config, int group_fd);
+  void close_all();
+
+  int fd_cycles_ = -1;
+  int fd_instructions_ = -1;
+  int fd_llc_misses_ = -1;
+};
+
+}  // namespace keybin2::runtime::profile

@@ -1,0 +1,234 @@
+#include "runtime/profile/sampler.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__)
+#include <csignal>
+#include <sys/time.h>
+#endif
+
+#include "common/timer.hpp"
+
+namespace keybin2::runtime::profile {
+
+std::string collapse_stack(std::string_view folded_path) {
+  std::string out(folded_path);
+  for (char& c : out) {
+    if (c == '/') c = ';';
+  }
+  return out;
+}
+
+namespace {
+
+/// Account one cursor snapshot into the sampler's table. Signal-safe: the
+/// buffer lives on the caller's stack, record() never allocates. An empty
+/// cursor (between top-level scopes) is a real observation — it lands
+/// under "(unscoped)" so totals still reconcile.
+void account(StageCursor* cursor, SampleTable* table, DensitySeries* density,
+             std::int64_t t_ns) {
+  char buf[StageCursor::kMaxPath];
+  std::uint32_t len = 0;
+  if (!cursor->snapshot(buf, &len)) {
+    table->drop();
+  } else if (len == 0) {
+    static constexpr char kUnscoped[] = "(unscoped)";
+    table->record(kUnscoped, sizeof(kUnscoped) - 1);
+  } else {
+    table->record(buf, len);
+  }
+  if (density != nullptr) density->record(t_ns);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Hub thread engine (ThreadComm): one process-wide thread walks every
+// registered sampler at its interval. Namespace-scope (not anonymous) so the
+// Sampler's friend declaration reaches it.
+
+class SamplerHub {
+ public:
+  static SamplerHub& instance() {
+    static SamplerHub hub;
+    return hub;
+  }
+
+  void add(Sampler* s, std::int64_t interval_us) {
+    std::unique_lock<std::mutex> lock(mu_);
+    entries_.push_back(Entry{s, interval_us * 1000, now_ns()});
+    if (!thread_.joinable()) {
+      stop_ = false;
+      thread_ = std::thread([this] { run(); });
+    }
+    cv_.notify_all();
+  }
+
+  void remove(Sampler* s) {
+    std::thread reap;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      std::erase_if(entries_, [s](const Entry& e) { return e.sampler == s; });
+      if (entries_.empty() && thread_.joinable()) {
+        stop_ = true;
+        cv_.notify_all();
+        reap = std::move(thread_);
+      }
+    }
+    // Join outside the lock; the hub thread takes mu_ on its way out.
+    if (reap.joinable()) reap.join();
+  }
+
+ private:
+  struct Entry {
+    Sampler* sampler;
+    std::int64_t interval_ns;
+    std::int64_t next_due_ns;
+  };
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      const std::int64_t now = now_ns();
+      std::int64_t next = now + 10'000'000;  // idle tick cap: 10 ms
+      for (Entry& e : entries_) {
+        if (now >= e.next_due_ns) {
+          e.sampler->sample_once(now);
+          e.next_due_ns = now + e.interval_ns;
+        }
+        if (e.next_due_ns < next) next = e.next_due_ns;
+      }
+      cv_.wait_for(lock, std::chrono::nanoseconds(next - now));
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  std::thread thread_;
+  bool stop_ = false;
+};
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// SIGPROF engine (ProcComm): the kernel's profiling timer interrupts the
+// rank on its own CPU time; the handler walks no locks and allocates
+// nothing. One per process.
+
+#if defined(__unix__)
+
+struct SignalTarget {
+  StageCursor* cursor;
+  SampleTable* table;
+  DensitySeries* density;
+};
+
+std::atomic<SignalTarget*> g_signal_target{nullptr};
+struct sigaction g_prev_action;  // restored at stop()
+
+void on_sigprof(int) {
+  const int saved_errno = errno;
+  SignalTarget* t = g_signal_target.load(std::memory_order_acquire);
+  if (t != nullptr) account(t->cursor, t->table, t->density, now_ns());
+  errno = saved_errno;
+}
+
+#endif  // __unix__
+
+}  // namespace
+
+SamplerMode Sampler::start(SamplerMode mode, std::int64_t interval_us,
+                           bool process_isolated) {
+  if (running_) return active_;
+  if (mode == SamplerMode::kAuto) {
+    mode = process_isolated ? SamplerMode::kSignal : SamplerMode::kThread;
+  }
+
+#if defined(__unix__)
+  if (mode == SamplerMode::kSignal) {
+    // Claim the per-process signal slot; a second signal sampler in the
+    // same process (not a configuration ProcComm produces, but tests can)
+    // degrades to the hub thread instead of fighting over the handler.
+    auto* target = new SignalTarget{cursor_, table_, density_};
+    SignalTarget* expected = nullptr;
+    if (g_signal_target.compare_exchange_strong(expected, target,
+                                                std::memory_order_acq_rel)) {
+      struct sigaction sa = {};
+      sa.sa_handler = on_sigprof;
+      sa.sa_flags = SA_RESTART;
+      sigemptyset(&sa.sa_mask);
+      itimerval timer = {};
+      timer.it_interval.tv_sec = interval_us / 1'000'000;
+      timer.it_interval.tv_usec = interval_us % 1'000'000;
+      timer.it_value = timer.it_interval;
+      if (sigaction(SIGPROF, &sa, &g_prev_action) == 0 &&
+          setitimer(ITIMER_PROF, &timer, nullptr) == 0) {
+        running_ = true;
+        active_ = SamplerMode::kSignal;
+        return active_;
+      }
+      // Timer refused (unusual rlimit/seccomp): release the slot and fall
+      // through to the hub thread.
+      sigaction(SIGPROF, &g_prev_action, nullptr);
+      g_signal_target.store(nullptr, std::memory_order_release);
+    }
+    delete target;
+    mode = SamplerMode::kThread;
+  }
+#else
+  mode = SamplerMode::kThread;
+#endif
+
+  SamplerHub::instance().add(this, interval_us);
+  running_ = true;
+  active_ = SamplerMode::kThread;
+  return active_;
+}
+
+void Sampler::stop() {
+  if (!running_) return;
+#if defined(__unix__)
+  if (active_ == SamplerMode::kSignal) {
+    itimerval off = {};
+    setitimer(ITIMER_PROF, &off, nullptr);
+    sigaction(SIGPROF, &g_prev_action, nullptr);
+    SignalTarget* t = g_signal_target.exchange(nullptr,
+                                               std::memory_order_acq_rel);
+    // A tick already in flight re-checks the global before touching the
+    // target; after the exchange nobody dereferences it.
+    delete t;
+    running_ = false;
+    return;
+  }
+#endif
+  SamplerHub::instance().remove(this);
+  running_ = false;
+}
+
+void Sampler::sample_once(std::int64_t t_ns) {
+  // Hub-thread path: the writer is another live thread, so one immediate
+  // retry on a torn read is cheap and usually wins; after that, drop.
+  char buf[StageCursor::kMaxPath];
+  std::uint32_t len = 0;
+  if (cursor_->snapshot(buf, &len) || cursor_->snapshot(buf, &len)) {
+    if (len == 0) {
+      static constexpr char kUnscoped[] = "(unscoped)";
+      table_->record(kUnscoped, sizeof(kUnscoped) - 1);
+    } else {
+      table_->record(buf, len);
+    }
+    if (density_ != nullptr) density_->record(t_ns);
+    return;
+  }
+  table_->drop();
+  if (density_ != nullptr) density_->record(t_ns);
+}
+
+}  // namespace keybin2::runtime::profile

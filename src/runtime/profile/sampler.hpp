@@ -1,0 +1,61 @@
+// The sampling half of the continuous profiler (DESIGN.md §8).
+//
+// A Sampler periodically snapshots one rank's StageCursor into its
+// SampleTable (and DensitySeries). Two engines, selected by backend:
+//
+//   * kSignal — timer-driven SIGPROF (setitimer ITIMER_PROF) in the rank's
+//     own process. The handler reads the cursor with the seqlock protocol
+//     and drops the sample on a torn read: the interrupted writer cannot
+//     make progress until the handler returns, so retrying would deadlock.
+//     ITIMER_PROF counts CPU time, which is exactly what a profiler wants —
+//     a rank parked in a futex accrues no samples. One signal sampler per
+//     process (one rank per process under ProcComm); a second concurrent
+//     start falls back to the hub thread.
+//   * kThread — a process-wide hub thread sampling every registered rank's
+//     cursor on a wall-clock tick. This is the ThreadComm engine, where all
+//     ranks share one process and per-rank signals don't exist.
+//
+// kAuto picks kSignal when the communicator is process-isolated, kThread
+// otherwise. start()/stop() are idempotent; stop() must be called on the
+// rank thread before the cursor/table are destroyed.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/profile/stage_cursor.hpp"
+
+namespace keybin2::runtime::profile {
+
+enum class SamplerMode { kAuto, kThread, kSignal };
+
+class Sampler {
+ public:
+  Sampler(StageCursor* cursor, SampleTable* table, DensitySeries* density)
+      : cursor_(cursor), table_(table), density_(density) {}
+  ~Sampler() { stop(); }
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Begin sampling every `interval_us` microseconds. `process_isolated`
+  /// steers kAuto (true -> SIGPROF, false -> hub thread). Returns the mode
+  /// actually started.
+  SamplerMode start(SamplerMode mode, std::int64_t interval_us,
+                    bool process_isolated);
+  void stop();
+
+  bool running() const { return running_; }
+
+ private:
+  friend class SamplerHub;
+
+  /// One sampling tick (hub thread): read the cursor, account the sample.
+  void sample_once(std::int64_t t_ns);
+
+  StageCursor* cursor_;
+  SampleTable* table_;
+  DensitySeries* density_;
+  bool running_ = false;
+  SamplerMode active_ = SamplerMode::kAuto;
+};
+
+}  // namespace keybin2::runtime::profile

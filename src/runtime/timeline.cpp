@@ -17,22 +17,24 @@ double to_us(std::int64_t ns, std::int64_t epoch_ns) {
   return static_cast<double>(ns - epoch_ns) / 1000.0;
 }
 
-// Every event of rank r lives in its own process lane (pid = tid = r), so
-// Perfetto groups one rank per labelled track.
-void event_header(JsonWriter& w, const char* ph, int rank, double ts_us) {
+// Every event of rank r lives in its own process lane (pid = r); the tid
+// carries the rank's incarnation, so after a respawn the replacement's
+// activity gets its own track ("rank 3 (inc 1)") under the same process.
+void event_header(JsonWriter& w, const char* ph, int rank, int incarnation,
+                  double ts_us) {
   w.begin_object();
   w.key("ph").value(ph);
   w.key("pid").value(rank);
-  w.key("tid").value(rank);
+  w.key("tid").value(incarnation);
   w.key("ts").value(ts_us);
 }
 
-void metadata_event(JsonWriter& w, int rank, const char* what,
+void metadata_event(JsonWriter& w, int rank, int incarnation, const char* what,
                     const std::string& label) {
   w.begin_object();
   w.key("ph").value("M");
   w.key("pid").value(rank);
-  w.key("tid").value(rank);
+  w.key("tid").value(incarnation);
   w.key("name").value(what);
   w.key("args").begin_object();
   w.key("name").value(label);
@@ -40,10 +42,19 @@ void metadata_event(JsonWriter& w, int rank, const char* what,
   w.end_object();
 }
 
+std::string track_label(int rank, int incarnation) {
+  std::string label = "rank " + std::to_string(rank);
+  if (incarnation > 0) {
+    label += " (inc " + std::to_string(incarnation) + ")";
+  }
+  return label;
+}
+
 }  // namespace
 
 void Timeline::serialize(ByteWriter& w) const {
   w.write<std::int32_t>(rank_);
+  w.write<std::int32_t>(incarnation_);
   w.write<std::uint64_t>(spans_.size());
   for (const auto& s : spans_) {
     w.write_string(s.name);
@@ -71,10 +82,17 @@ void Timeline::serialize(ByteWriter& w) const {
     w.write_string(i.name);
     w.write<std::int64_t>(i.t_ns);
   }
+  w.write<std::uint64_t>(counters_.size());
+  for (const auto& c : counters_) {
+    w.write_string(c.name);
+    w.write<std::int64_t>(c.t_ns);
+    w.write<double>(c.value);
+  }
 }
 
 Timeline Timeline::deserialize(ByteReader& r) {
   Timeline tl(r.read<std::int32_t>());
+  tl.set_incarnation(r.read<std::int32_t>());
   const auto n_spans = r.read<std::uint64_t>();
   for (std::uint64_t i = 0; i < n_spans; ++i) {
     auto name = r.read_string();
@@ -104,6 +122,12 @@ Timeline Timeline::deserialize(ByteReader& r) {
     auto name = r.read_string();
     tl.add_instant(std::move(name), r.read<std::int64_t>());
   }
+  const auto n_counters = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    auto name = r.read_string();
+    const auto t_ns = r.read<std::int64_t>();
+    tl.add_counter(std::move(name), t_ns, r.read<double>());
+  }
   return tl;
 }
 
@@ -117,6 +141,7 @@ std::string chrome_trace_json(std::span<const Timeline> ranks) {
       epoch = std::min(epoch, wt.t_ns - wt.wait_ns);
     }
     for (const auto& i : tl.instants()) epoch = std::min(epoch, i.t_ns);
+    for (const auto& c : tl.counters()) epoch = std::min(epoch, c.t_ns);
   }
   if (epoch == std::numeric_limits<std::int64_t>::max()) epoch = 0;
 
@@ -128,9 +153,10 @@ std::string chrome_trace_json(std::span<const Timeline> ranks) {
   for (const auto& tl : ranks) {
     // Name both the process and thread lanes, even when the rank captured
     // nothing, so a 4-rank trace always shows 4 stably-labelled timelines.
-    const auto label = "rank " + std::to_string(tl.rank());
-    metadata_event(w, tl.rank(), "process_name", "keybin2 " + label);
-    metadata_event(w, tl.rank(), "thread_name", label);
+    const auto label = track_label(tl.rank(), tl.incarnation());
+    metadata_event(w, tl.rank(), tl.incarnation(), "process_name",
+                   "keybin2 rank " + std::to_string(tl.rank()));
+    metadata_event(w, tl.rank(), tl.incarnation(), "thread_name", label);
   }
 
   // Pair flow ends by id; an arrow is only drawn when both ends exist (a
@@ -138,31 +164,42 @@ std::string chrome_trace_json(std::span<const Timeline> ranks) {
   // has no pair and is dropped).
   std::map<std::uint64_t, std::pair<const Timeline::Flow*, int>> sends;
   std::map<std::uint64_t, std::pair<const Timeline::Flow*, int>> recvs;
+  std::map<int, int> incarnation_of;  // rank -> incarnation of its timeline
   for (const auto& tl : ranks) {
+    incarnation_of[tl.rank()] = tl.incarnation();
     for (const auto& f : tl.flows()) {
       (f.start ? sends : recvs)[f.id] = {&f, tl.rank()};
     }
   }
 
   for (const auto& tl : ranks) {
+    const int inc = tl.incarnation();
     for (const auto& s : tl.spans()) {
-      event_header(w, "X", tl.rank(), to_us(s.start_ns, epoch));
+      event_header(w, "X", tl.rank(), inc, to_us(s.start_ns, epoch));
       w.key("dur").value(to_us(s.end_ns, s.start_ns));
       w.key("name").value(s.name);
       w.key("cat").value("scope");
       w.end_object();
     }
     for (const auto& wt : tl.waits()) {
-      event_header(w, "X", tl.rank(), to_us(wt.t_ns - wt.wait_ns, epoch));
+      event_header(w, "X", tl.rank(), inc, to_us(wt.t_ns - wt.wait_ns, epoch));
       w.key("dur").value(to_us(wt.wait_ns, 0));
       w.key("name").value("wait:" + wt.kind);
       w.key("cat").value("wait");
       w.end_object();
     }
     for (const auto& i : tl.instants()) {
-      event_header(w, "i", tl.rank(), to_us(i.t_ns, epoch));
+      event_header(w, "i", tl.rank(), inc, to_us(i.t_ns, epoch));
       w.key("name").value(i.name);
       w.key("s").value("t");  // thread-scoped instant
+      w.end_object();
+    }
+    for (const auto& c : tl.counters()) {
+      event_header(w, "C", tl.rank(), inc, to_us(c.t_ns, epoch));
+      w.key("name").value(c.name);
+      w.key("args").begin_object();
+      w.key("value").value(c.value);
+      w.end_object();
       w.end_object();
     }
   }
@@ -174,7 +211,8 @@ std::string chrome_trace_json(std::span<const Timeline> ranks) {
     const auto& [rf, recv_rank] = recv_it->second;
     const std::string name = "msg:" + comm::tag_name(sf->tag);
 
-    event_header(w, "s", send_rank, to_us(sf->t_ns, epoch));
+    event_header(w, "s", send_rank, incarnation_of[send_rank],
+                 to_us(sf->t_ns, epoch));
     w.key("id").value(std::uint64_t(id));
     w.key("name").value(name);
     w.key("cat").value("flow");
@@ -184,7 +222,8 @@ std::string chrome_trace_json(std::span<const Timeline> ranks) {
     w.end_object();
     w.end_object();
 
-    event_header(w, "f", recv_rank, to_us(rf->t_ns, epoch));
+    event_header(w, "f", recv_rank, incarnation_of[recv_rank],
+                 to_us(rf->t_ns, epoch));
     w.key("id").value(std::uint64_t(id));
     w.key("name").value(name);
     w.key("cat").value("flow");

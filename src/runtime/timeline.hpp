@@ -69,9 +69,25 @@ class Timeline {
     std::int64_t t_ns = 0;
   };
 
+  /// A sampled numeric series ("C" counter events in the Chrome trace —
+  /// profiler sample density, points/sec).
+  struct Counter {
+    std::string name;
+    std::int64_t t_ns = 0;
+    double value = 0.0;
+  };
+
   explicit Timeline(int rank = 0) : rank_(rank) {}
 
   int rank() const { return rank_; }
+
+  /// Which life of this rank captured the events: 0 for the original
+  /// process, bumped each time the recovery ladder respawns the rank. The
+  /// Chrome export renders incarnations as separate threads of the rank's
+  /// process ("rank 3 (inc 2)"), so a respawned rank's activity is visually
+  /// distinct from its predecessor's.
+  int incarnation() const { return incarnation_; }
+  void set_incarnation(int incarnation) { incarnation_ = incarnation; }
 
   void add_span(std::string name, std::int64_t start_ns, std::int64_t end_ns) {
     spans_.push_back(Span{std::move(name), start_ns, end_ns});
@@ -86,6 +102,9 @@ class Timeline {
   void add_instant(std::string name, std::int64_t t_ns) {
     instants_.push_back(Instant{std::move(name), t_ns});
   }
+  void add_counter(std::string name, std::int64_t t_ns, double value) {
+    counters_.push_back(Counter{std::move(name), t_ns, value});
+  }
 
   /// Flatten every event into a byte blob. Under the process-backed
   /// launcher each rank's timeline lives in a different address space, so
@@ -98,10 +117,11 @@ class Timeline {
   const std::vector<Flow>& flows() const { return flows_; }
   const std::vector<Wait>& waits() const { return waits_; }
   const std::vector<Instant>& instants() const { return instants_; }
+  const std::vector<Counter>& counters() const { return counters_; }
 
   bool empty() const {
     return spans_.empty() && flows_.empty() && waits_.empty() &&
-           instants_.empty();
+           instants_.empty() && counters_.empty();
   }
 
   void clear() {
@@ -109,14 +129,17 @@ class Timeline {
     flows_.clear();
     waits_.clear();
     instants_.clear();
+    counters_.clear();
   }
 
  private:
   int rank_;
+  int incarnation_ = 0;
   std::vector<Span> spans_;
   std::vector<Flow> flows_;
   std::vector<Wait> waits_;
   std::vector<Instant> instants_;
+  std::vector<Counter> counters_;
 };
 
 /// Render one timeline per rank as a Chrome trace-event JSON document

@@ -58,7 +58,7 @@ Tracer::Scope Tracer::scope(std::string_view name) {
   frame.path += name;
   if (comm_ != nullptr) frame.at_open = comm_->stats();
   stack_.push_back(std::move(frame));
-  if (observer_ != nullptr) observer_->on_scope_open(stack_.back().path);
+  for (auto* o : observers_) o->on_scope_open(stack_.back().path);
   return Scope(this);
 }
 
@@ -71,9 +71,7 @@ void Tracer::close_top() {
   if (timeline_ != nullptr) {
     timeline_->add_span(frame.path, frame.t0_ns, t1);
   }
-  if (observer_ != nullptr) {
-    observer_->on_scope_close(frame.path, t1 - frame.t0_ns);
-  }
+  for (auto* o : observers_) o->on_scope_close(frame.path, t1 - frame.t0_ns);
   auto& entry = entries_[frame.path];
   ++entry.calls;
   entry.seconds += static_cast<double>(t1 - frame.t0_ns) * 1e-9;

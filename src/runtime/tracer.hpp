@@ -69,9 +69,21 @@ class Tracer {
   /// with the timeline's flow events and the event log.
   void set_timeline(Timeline* timeline) { timeline_ = timeline; }
 
-  /// Notify `observer` of every scope open/close (nullptr detaches). The
-  /// observer must outlive its attachment.
-  void set_observer(ScopeObserver* observer) { observer_ = observer; }
+  /// Notify `observer` of every scope open/close, in attachment order.
+  /// Multiple observers may coexist (the HealthMonitor and the continuous
+  /// profiler both listen); attaching an already-attached observer is a
+  /// no-op. Observers must outlive their attachment.
+  void add_observer(ScopeObserver* observer) {
+    if (observer == nullptr) return;
+    for (auto* o : observers_) {
+      if (o == observer) return;
+    }
+    observers_.push_back(observer);
+  }
+
+  void remove_observer(ScopeObserver* observer) {
+    std::erase(observers_, observer);
+  }
 
   /// RAII handle closing its scope on destruction. Scopes must nest: close
   /// (destroy) inner scopes before outer ones.
@@ -124,7 +136,7 @@ class Tracer {
 
   const comm::Communicator* comm_;
   Timeline* timeline_ = nullptr;
-  ScopeObserver* observer_ = nullptr;
+  std::vector<ScopeObserver*> observers_;
   std::vector<Frame> stack_;
   std::map<std::string, Entry> entries_;
   std::map<std::string, double> counters_;

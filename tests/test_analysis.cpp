@@ -224,6 +224,46 @@ TEST(Analyze, ChromeTraceRoundTripPreservesAnalysis) {
   EXPECT_EQ(parsed.ranks, direct.ranks);
 }
 
+TEST(Analyze, ChromeTraceRoundTripKeepsIncarnationTracksAndCounters) {
+  // A respawned rank exports two tracks (pid = rank, tid = incarnation).
+  // The parser must keep them apart — folding a new incarnation's spans
+  // onto the dead one's lane would fabricate overlap — and must carry
+  // counter samples ("C" events) through the round trip.
+  std::vector<Timeline> tls;
+  Timeline first(/*rank=*/1);
+  first.add_span("fit", 1000, 5000);
+  first.add_counter("sample_density", 2000, 3.0);
+  tls.push_back(std::move(first));
+  Timeline second(/*rank=*/1);
+  second.set_incarnation(2);
+  second.add_span("fit", 6000, 9000);
+  second.add_counter("sample_density", 7000, 5.0);
+  tls.push_back(std::move(second));
+
+  const auto json = chrome_trace_json(tls);
+  EXPECT_NE(json.find("rank 1 (inc 2)"), std::string::npos);
+  const auto doc = json_parse(json);
+  ASSERT_TRUE(doc.has_value());
+  auto back = timelines_from_chrome_trace(*doc);
+  ASSERT_EQ(back.size(), 2u);
+  // by_track ordering: (1, 0) before (1, 2).
+  EXPECT_EQ(back[0].rank(), 1);
+  EXPECT_EQ(back[0].incarnation(), 0);
+  EXPECT_EQ(back[1].rank(), 1);
+  EXPECT_EQ(back[1].incarnation(), 2);
+  for (const auto& tl : back) {
+    ASSERT_EQ(tl.spans().size(), 1u);
+    ASSERT_EQ(tl.counters().size(), 1u);
+    EXPECT_EQ(tl.counters()[0].name, "sample_density");
+  }
+  EXPECT_DOUBLE_EQ(back[0].counters()[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(back[1].counters()[0].value, 5.0);
+  // The document rebases to the epoch min; relative layout and durations
+  // survive exactly.
+  EXPECT_EQ(back[1].spans()[0].start_ns - back[0].spans()[0].start_ns, 5000);
+  EXPECT_EQ(back[1].spans()[0].end_ns - back[1].spans()[0].start_ns, 3000);
+}
+
 TEST(Analyze, InjectedDelayIsAttributedToTheFaultyRank) {
   // Rank 2's wire delays every message by 2 ms before it is even sent, so
   // every peer blocked on rank 2 accumulates late-sender wait pointing at

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "comm/launch.hpp"
@@ -197,6 +199,107 @@ TEST(Metrics, ReportJsonSeparatesDeterministicFromTiming) {
   EXPECT_LT(channels, timing);
   // ...quantiles in the timing section.
   EXPECT_GT(w.str().find("\"p99_us\""), timing);
+}
+
+TEST(Metrics, MergeOfEmptyRegistriesYieldsEmptyReport) {
+  // All ranks enter the collective with untouched registries: the merge
+  // must complete (it's a collective — a hang here deadlocks the job) and
+  // produce a structurally empty report whose fingerprint is still a
+  // stable string, not garbage.
+  MetricsReport out;
+  comm::run_ranks(3, [&](comm::Communicator& c) {
+    MetricsRegistry empty;
+    auto report = merge_metrics(empty, c);
+    if (c.rank() == 0) out = std::move(report);
+  });
+  EXPECT_EQ(out.ranks, 3);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(out.counters.empty());
+  EXPECT_TRUE(out.histograms.empty());
+  EXPECT_TRUE(out.channels.empty());
+  const auto fp = out.deterministic_fingerprint();
+  EXPECT_EQ(fp, out.deterministic_fingerprint());
+  // And formatting an empty report must not crash or emit channel rows.
+  EXPECT_EQ(out.heatmap().find("src 3"), std::string::npos);
+}
+
+TEST(LatencyHistogram, SaturatedTopBucketSurvivesMerge) {
+  // Values at the top of the representable range all collapse into the
+  // highest reachable log-2 bucket (62: bit_width(INT64_MAX) - 1). Counts,
+  // extremes, and quantile clamping must survive a merge of two such
+  // saturated histograms without overflow artifacts.
+  constexpr std::int64_t kHuge = std::numeric_limits<std::int64_t>::max();
+  LatencyHistogram a, b;
+  for (int i = 0; i < 5; ++i) a.record(kHuge);
+  for (int i = 0; i < 7; ++i) b.record(kHuge - 1);
+  b.record((std::int64_t{1} << 62) + 1);  // same bucket, different value
+  EXPECT_EQ(a.buckets()[62], 5u);
+  EXPECT_EQ(b.buckets()[62], 8u);
+
+  a.merge(b);
+  EXPECT_EQ(a.count(), 13u);
+  EXPECT_EQ(a.buckets()[62], 13u);
+  EXPECT_EQ(a.max_ns(), kHuge);
+  EXPECT_EQ(a.min_ns(), (std::int64_t{1} << 62) + 1);
+  // Quantiles clamp to the observed max instead of reporting the bucket's
+  // upper edge 2^63 (which would overflow back to a wrong magnitude).
+  EXPECT_LE(a.quantile(0.99), static_cast<double>(kHuge));
+  EXPECT_GE(a.quantile(0.5), static_cast<double>(a.min_ns()));
+  // Merging an empty histogram in either direction is the identity.
+  LatencyHistogram empty;
+  const auto before = a.count();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), before);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), before);
+  EXPECT_EQ(empty.max_ns(), kHuge);
+}
+
+TEST(Metrics, FingerprintInvariantUnderMergeOrderPermutation) {
+  // merge_metrics gathers rank-by-rank, so the merged maps are built in a
+  // different insertion order depending on which rank held which data. The
+  // fingerprint covers counters and histogram counts (rank-agnostic
+  // fields); permuting the data-to-rank assignment must not change it.
+  // Channels are deliberately absent: their (src, dst, tag) keys encode
+  // rank identity, so they are *expected* to move with the permutation.
+  const std::vector<std::vector<std::pair<const char*, std::uint64_t>>>
+      datasets = {
+          {{"points_binned", 101}, {"retries", 3}},
+          {{"points_binned", 202}, {"collapses", 9}},
+          {{"points_binned", 303}, {"retries", 1}, {"spills", 4}},
+      };
+  auto fingerprint_with = [&](const std::vector<int>& assign) {
+    std::string fp;
+    comm::run_ranks(3, [&](comm::Communicator& c) {
+      MetricsRegistry m;
+      for (const auto& [name, v] :
+           datasets[static_cast<std::size_t>(assign[
+               static_cast<std::size_t>(c.rank())])]) {
+        m.add(name, v);
+      }
+      // Histogram observation counts are fingerprinted too; give each
+      // dataset a distinct count so a mis-merge would show.
+      auto& h = m.histogram("stage_wall");
+      for (std::uint64_t i = 0;
+           i <= datasets[static_cast<std::size_t>(
+                    assign[static_cast<std::size_t>(c.rank())])][0].second;
+           i += 50) {
+        h.record(static_cast<std::int64_t>(i) + 1);
+      }
+      auto report = merge_metrics(m, c);
+      if (c.rank() == 0) fp = report.deterministic_fingerprint();
+    });
+    return fp;
+  };
+
+  const auto base = fingerprint_with({0, 1, 2});
+  ASSERT_FALSE(base.empty());
+  EXPECT_NE(base.find("points_binned"), std::string::npos);
+  for (const auto& perm : std::vector<std::vector<int>>{
+           {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}) {
+    EXPECT_EQ(fingerprint_with(perm), base)
+        << "fingerprint changed under assignment permutation";
+  }
 }
 
 TEST(Timeline, TracerScopesBecomeSpans) {

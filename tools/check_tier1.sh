@@ -44,9 +44,19 @@
 #                                  # BENCH_chaos_soak.json must satisfy
 #                                  # trace_check --soak (legal outcomes,
 #                                  # recovery aggregates, acceptable == 1)
+#   tools/check_tier1.sh --profile-smoke
+#                                  # build, then run a profiled fit with a
+#                                  # live telemetry segment under BOTH
+#                                  # backends: attach kb2_top --once --json
+#                                  # mid-run and validate the snapshot with
+#                                  # trace_check --profile (published ranks,
+#                                  # full schema, a fit stage observed live),
+#                                  # then validate the merged collapsed-stack
+#                                  # output with trace_check --folded
 #   tools/check_tier1.sh --perf-gate
-#                                  # build, rerun bench/kernel_fusion and
-#                                  # bench/comm_backends with the committed
+#                                  # build, rerun bench/kernel_fusion,
+#                                  # bench/comm_backends, and
+#                                  # bench/profile_overhead with the committed
 #                                  # baselines' exact options, and gate with
 #                                  # kb2_analyze --compare against
 #                                  # bench/baselines/BENCH_*.json; also
@@ -71,6 +81,7 @@ bench_smoke=0
 analyze_smoke=0
 proc_smoke=0
 chaos_smoke=0
+profile_smoke=0
 perf_gate=0
 ctest_args=()
 for arg in "$@"; do
@@ -83,6 +94,7 @@ for arg in "$@"; do
     --analyze-smoke) analyze_smoke=1 ;;
     --proc-smoke) proc_smoke=1 ;;
     --chaos-smoke) chaos_smoke=1 ;;
+    --profile-smoke) profile_smoke=1 ;;
     --perf-gate) perf_gate=1 ;;
     *) ctest_args+=("${arg}") ;;
   esac
@@ -220,13 +232,58 @@ if [[ "${chaos_smoke}" == "1" ]]; then
   exit 0
 fi
 
+if [[ "${profile_smoke}" == "1" ]]; then
+  # Telemetry-plane smoke: a profiled fit must be attachable from outside
+  # while it runs, under both transport backends. The input is sized so the
+  # fit outlives several kb2_top polls; the snapshot must carry a live
+  # fit/* stage (stage-accurate, not just non-empty), and the merged folded
+  # stacks must be schema-valid with a positive sample total.
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  "${build_dir}/tools/keybin2" generate "${smoke_dir}/points.csv" \
+    --points 160000 --dims 8 --k 3 --seed 7
+  for backend in thread proc; do
+    seg="kb2smoke$$${backend}"
+    "${build_dir}/tools/keybin2" cluster "${smoke_dir}/points.csv" \
+      --ranks 4 --backend "${backend}" --profile \
+      --profile-folded "${smoke_dir}/${backend}.folded" \
+      --telemetry "${seg}" > "${smoke_dir}/${backend}.txt" 2>&1 &
+    fit_pid=$!
+    # Poll until a snapshot shows a live fit stage; the segment appears
+    # (and the magic publishes) strictly before the ranks launch, so the
+    # only race is the fit finishing first — sized away above.
+    got_stage=0
+    for _ in $(seq 1 100); do
+      if "${build_dir}/tools/kb2_top" --segment "${seg}" --once --json \
+        > "${smoke_dir}/${backend}.snap.json" 2>/dev/null \
+        && grep -q '"stage": "fit' "${smoke_dir}/${backend}.snap.json"; then
+        got_stage=1
+        break
+      fi
+      sleep 0.05
+    done
+    wait "${fit_pid}" \
+      || { echo "profile smoke: ${backend} fit failed" >&2; exit 1; }
+    [[ "${got_stage}" == "1" ]] \
+      || { echo "profile smoke: never observed a live fit stage over \
+${backend}" >&2; exit 1; }
+    "${build_dir}/tools/trace_check" --profile \
+      "${smoke_dir}/${backend}.snap.json" --min-ranks 1
+    "${build_dir}/tools/trace_check" --folded \
+      "${smoke_dir}/${backend}.folded"
+    echo "profile smoke: ${backend} backend OK"
+  done
+  echo "profile smoke: OK"
+  exit 0
+fi
+
 if [[ "${perf_gate}" == "1" ]]; then
   # Continuous perf-regression gate: rerun each bench with its committed
   # baseline's exact options and compare. The second compare proves the
   # gate itself still trips: a synthetic 2x slowdown must FAIL.
   gate_dir="$(mktemp -d)"
   trap 'rm -rf "${gate_dir}"' EXIT
-  for bench in kernel_fusion comm_backends; do
+  for bench in kernel_fusion comm_backends profile_overhead; do
     baseline="${repo_root}/bench/baselines/BENCH_${bench}.json"
     [[ -f "${baseline}" ]] \
       || { echo "perf gate: missing baseline ${baseline}" >&2; exit 1; }

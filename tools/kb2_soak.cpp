@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -39,6 +40,7 @@
 #include "common/serialize.hpp"
 #include "core/checkpoint.hpp"
 #include "core/streaming.hpp"
+#include "runtime/profile/telemetry.hpp"
 
 namespace {
 
@@ -49,6 +51,7 @@ struct SoakArgs {
   int ranks = 4;
   std::size_t points_per_rank = 1200;
   std::uint64_t seed = 0;  // resolved against KB2_CHAOS_SEED below
+  std::string telemetry;   // live telemetry segment name (kb2_top attaches)
 };
 
 SoakArgs parse(int argc, char** argv) {
@@ -71,10 +74,12 @@ SoakArgs parse(int argc, char** argv) {
           std::strtoull(next("--points-per-rank"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--seed")) {
       a.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--telemetry")) {
+      a.telemetry = next("--telemetry");
     } else if (!std::strcmp(argv[i], "--help")) {
       std::printf(
           "usage: kb2_soak [--schedules N] [--ranks N] "
-          "[--points-per-rank N] [--seed S]\n");
+          "[--points-per-rank N] [--seed S] [--telemetry SEGMENT]\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
@@ -179,6 +184,18 @@ int run_soak(const SoakArgs& args) {
   params.recovery.backoff_base_ms = 2.0;
   params.recovery.backoff_cap_ms = 20.0;
 
+  // With --telemetry, every schedule's ranks publish live snapshots into
+  // one segment created up front — the chaos soak is exactly where watching
+  // incarnations climb in kb2_top is interesting. Created before any fork
+  // so children (respawns included) inherit the mapping.
+  std::unique_ptr<runtime::profile::TelemetrySegment> tele;
+  if (!args.telemetry.empty()) {
+    tele = std::make_unique<runtime::profile::TelemetrySegment>(
+        args.telemetry, args.ranks, "chaos soak");
+    std::printf("telemetry: %s (attach with kb2_top --segment %s)\n",
+                tele->name().c_str(), tele->name().c_str());
+  }
+
   const auto body = [&](const comm::chaos::ChaosSchedule* sched) {
     return [&, sched](comm::Communicator& c) -> std::vector<std::byte> {
       std::optional<comm::fault::FaultyComm> faulty;
@@ -188,7 +205,12 @@ int run_soak(const SoakArgs& args) {
         ep = &*faulty;
       }
       const auto r = static_cast<std::size_t>(c.rank());
-      const auto result = core::fit(*ep, shards[r].points, params);
+      runtime::Context ctx(*ep, params.seed);
+      if (tele != nullptr) {
+        ctx.enable_profiler({}, tele->slot(c.rank()));
+      }
+      const auto result = core::fit(ctx, shards[r].points, params);
+      if (ctx.profiler() != nullptr) ctx.profiler()->stop();
       ByteWriter w;
       result.model.serialize(w);
       w.write_vec(result.labels);

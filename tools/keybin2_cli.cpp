@@ -44,6 +44,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -61,6 +62,7 @@
 #include "data/io.hpp"
 #include "data/partition.hpp"
 #include "runtime/log.hpp"
+#include "runtime/profile/telemetry.hpp"
 #include "runtime/timeline.hpp"
 #include "stats/metrics.hpp"
 
@@ -84,6 +86,9 @@ struct CliArgs {
   bool trace = false;
   std::string trace_json;  // Chrome trace-event output path
   std::string log_path;    // JSONL event-log output path
+  bool profile = false;           // continuous profiler (DESIGN.md §8)
+  std::string profile_folded;     // collapsed-stack output path
+  std::string telemetry;          // live telemetry shm segment name
   bool binary = false;
   double timeout = 0.0;  // comm deadline, 0 = wait forever
   int retries = 2;       // shrink-and-continue restarts
@@ -105,6 +110,8 @@ struct CliArgs {
       "[--trace-json out.json]\n"
       "                  [--log events.jsonl] [--timeout SEC] "
       "[--retries N] [--respawns N]\n"
+      "                  [--profile] [--profile-folded out.folded] "
+      "[--telemetry SEGMENT]\n"
       "  keybin2 fit-file <input.bin> [--out labels.bin] [--chunk N] "
       "[--checkpoint path]\n"
       "                  [--budget-chunks N] [--trials T] [--seed S] "
@@ -168,6 +175,14 @@ CliArgs parse(int argc, char** argv) {
       a.trace_json = next("--trace-json");
     } else if (!std::strcmp(argv[i], "--log")) {
       a.log_path = next("--log");
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      a.profile = true;
+    } else if (!std::strcmp(argv[i], "--profile-folded")) {
+      a.profile_folded = next("--profile-folded");
+      a.profile = true;
+    } else if (!std::strcmp(argv[i], "--telemetry")) {
+      a.telemetry = next("--telemetry");
+      a.profile = true;  // publishes ride the profiler's scope callbacks
     } else if (!std::strcmp(argv[i], "--binary")) {
       a.binary = true;
     } else if (!std::strcmp(argv[i], "--timeout")) {
@@ -290,6 +305,18 @@ int run_cluster(const CliArgs& a) {
       // each child re-opens the path append-mode for itself.
       const bool proc = a.launch.backend == comm::Backend::kProcess;
       const auto shards = data::shard(d, a.ranks);
+      // The telemetry segment must exist before the ranks launch: under
+      // --backend proc every child (respawns included — they fork from this
+      // parent) inherits the MAP_SHARED mapping, so slot pointers captured
+      // below stay valid in every address space. Destroyed (and unlinked)
+      // when run_cluster returns, which is what ends an attached kb2_top.
+      std::unique_ptr<runtime::profile::TelemetrySegment> tele;
+      if (!a.telemetry.empty()) {
+        tele = std::make_unique<runtime::profile::TelemetrySegment>(
+            a.telemetry, a.ranks, "cluster " + a.input);
+        std::printf("telemetry: %s (attach with kb2_top --segment %s)\n",
+                    tele->name().c_str(), tele->name().c_str());
+      }
       std::exception_ptr fit_error;
       const auto blobs = comm::run_ranks_collect_bytes(
           a.launch, a.ranks,
@@ -297,6 +324,10 @@ int run_cluster(const CliArgs& a) {
             runtime::Context ctx(comm, params.seed);
             if (a.trace) ctx.enable_comm_metrics();
             if (!a.trace_json.empty()) ctx.enable_timeline();
+            if (a.profile) {
+              ctx.enable_profiler(
+                  {}, tele != nullptr ? tele->slot(comm.rank()) : nullptr);
+            }
             if (proc && !a.log_path.empty()) {
               // This rank is a forked child: the parent's FILE* is useless
               // here, so append to the (parent-truncated) file directly.
@@ -308,6 +339,13 @@ int run_cluster(const CliArgs& a) {
             auto result = core::fit(
                 ctx, shards[static_cast<std::size_t>(comm.rank())].points,
                 params);
+            std::string folded;
+            if (ctx.profiler() != nullptr) {
+              // Stop before the report collectives so the profiler's gauges
+              // and density counters are flushed into what they gather.
+              ctx.profiler()->stop();
+              folded = ctx.profiler()->folded_output();
+            }
             ByteWriter w;
             w.write_vec(result.labels);
             std::string rank_trace, rank_metrics;
@@ -334,6 +372,7 @@ int run_cluster(const CliArgs& a) {
             const auto* tl = ctx.timeline();
             w.write<std::uint8_t>(tl != nullptr ? 1 : 0);
             if (tl != nullptr) tl->serialize(w);
+            w.write_string(folded);
             return w.take();
           },
           nullptr, &fit_error);
@@ -342,6 +381,7 @@ int run_cluster(const CliArgs& a) {
       // Merge the per-rank blobs (rank order = input order for labels).
       std::vector<comm::TrafficStats> rank_stats;
       std::vector<runtime::Timeline> timelines;
+      std::map<std::string, std::uint64_t> folded_merged;
       for (const auto& blob : blobs) {
         KB2_CHECK_MSG(!blob.empty(), "a rank returned no result blob");
         ByteReader r(blob);
@@ -356,6 +396,20 @@ int run_cluster(const CliArgs& a) {
         }
         if (r.read<std::uint8_t>() != 0) {
           timelines.push_back(runtime::Timeline::deserialize(r));
+        }
+        // Sum per-rank collapsed stacks ("stack count" lines) into one
+        // job-wide flamegraph input.
+        const auto folded = r.read_string();
+        for (std::size_t pos = 0; pos < folded.size();) {
+          auto eol = folded.find('\n', pos);
+          if (eol == std::string::npos) eol = folded.size();
+          const std::string_view line(folded.data() + pos, eol - pos);
+          const auto space = line.rfind(' ');
+          if (space != std::string_view::npos) {
+            folded_merged[std::string(line.substr(0, space))] +=
+                std::strtoull(line.data() + space + 1, nullptr, 10);
+          }
+          pos = eol + 1;
         }
         KB2_CHECK_MSG(r.exhausted(), "trailing bytes in a rank result blob");
       }
@@ -376,12 +430,50 @@ int run_cluster(const CliArgs& a) {
         std::fputs(metrics_text.c_str(), stdout);
       }
       if (!a.trace_json.empty()) write_trace_json(a.trace_json, timelines);
+      if (!a.profile_folded.empty()) {
+        std::ofstream f(a.profile_folded);
+        KB2_CHECK_MSG(f.good(),
+                      "cannot open " << a.profile_folded << " for writing");
+        std::uint64_t total = 0;
+        for (const auto& [stack, count] : folded_merged) {
+          f << stack << ' ' << count << '\n';
+          total += count;
+        }
+        std::printf("wrote %zu collapsed stacks (%llu samples) to %s\n",
+                    folded_merged.size(),
+                    static_cast<unsigned long long>(total),
+                    a.profile_folded.c_str());
+      }
     } else {
+      std::unique_ptr<runtime::profile::TelemetrySegment> tele;
+      if (!a.telemetry.empty()) {
+        tele = std::make_unique<runtime::profile::TelemetrySegment>(
+            a.telemetry, 1, "cluster " + a.input);
+        std::printf("telemetry: %s (attach with kb2_top --segment %s)\n",
+                    tele->name().c_str(), tele->name().c_str());
+      }
       runtime::Context ctx(params.seed);
       if (a.trace) ctx.enable_comm_metrics();
       if (!a.trace_json.empty()) ctx.enable_timeline();
+      if (a.profile) {
+        ctx.enable_profiler({},
+                            tele != nullptr ? tele->slot(0) : nullptr);
+      }
       if (sink != nullptr) ctx.log().set_sink(sink);
       auto result = core::fit(ctx, d.points, params);
+      if (ctx.profiler() != nullptr) {
+        ctx.profiler()->stop();
+        if (!a.profile_folded.empty()) {
+          std::ofstream f(a.profile_folded);
+          KB2_CHECK_MSG(f.good(),
+                        "cannot open " << a.profile_folded << " for writing");
+          f << ctx.profiler()->folded_output();
+          std::printf("wrote collapsed stacks (%llu samples) to %s\n",
+                      static_cast<unsigned long long>(
+                          ctx.profiler()->samples()),
+                      a.profile_folded.c_str());
+        }
+      }
       labels = std::move(result.labels);
       score = result.model.score();
       n_clusters = result.n_clusters();

@@ -4,13 +4,17 @@
 //   trace_check --bench BENCH_kernel_fusion.json
 //   trace_check --soak BENCH_chaos_soak.json
 //   trace_check --analysis analysis.json
+//   trace_check --profile snapshot.json [--min-ranks N]
+//   trace_check --folded profile.folded
 //
 // Default (trace) mode parses a Chrome trace-event document (what
 // `keybin2 cluster --trace-json` writes) into a JsonValue tree and checks
 // the invariants the exporter promises:
 //   1. the file is one well-formed JSON value with a traceEvents array,
-//   2. at least --min-ranks distinct rank lanes (pids) carry process_name
-//      AND thread_name metadata,
+//   2. at least --min-ranks distinct rank lanes carry process_name AND
+//      thread_name metadata — a lane is (pid, tid) = (rank, incarnation),
+//      so a respawned rank's pre- and post-kill tracks are checked
+//      separately,
 //   3. at least one duration span, every span with dur >= 0,
 //   4. spans nest: on each lane, two spans either don't overlap or one
 //      contains the other (a child must lie within its parent's bounds),
@@ -28,6 +32,17 @@
 // (acceptable/respawns/regrow_epochs/typed_errors) are numeric, every
 // schedule_* series ended in a legal outcome (clean, recovered, or an
 // attributed typed_error:*), and acceptable == 1.
+//
+// --profile mode validates a `kb2_top --once --json` telemetry snapshot:
+// header fields present, every rank entry carries the full numeric schema
+// (state/incarnation/pid/points/wait_ratio/rss/samples/heartbeat), wait
+// ratios within [0, 1], and at least --min-ranks ranks actually published
+// (state != empty) with a non-empty stage string recorded.
+//
+// --folded mode validates a collapsed-stack flamegraph file (what
+// `keybin2 cluster --profile-folded` writes): every line is
+// "frame;frame;... count" with a positive integer count, and the total
+// sample count across stacks is positive.
 //
 // --analysis mode validates a `kb2_analyze --json` report: required
 // sections present, the compute/comm/wait split sums to the critical-path
@@ -223,6 +238,136 @@ int check_analysis(const JsonValue& doc) {
   return 0;
 }
 
+// kb2_top --once --json schema. Slot states mirror telemetry.hpp: "empty"
+// (rank never published — legal for a snapshot taken before the first
+// publish), "live", "done". Published ranks must carry the full field set
+// with sane ranges; --min-ranks sets how many ranks must have actually
+// published.
+int check_profile(const JsonValue& doc, long min_ranks) {
+  const auto* ranks = doc.find("ranks");
+  if (ranks == nullptr || !ranks->is_array()) {
+    return fail("profile snapshot has no ranks array");
+  }
+  const double n_ranks = JsonValue::number_or(doc.find("n_ranks"), -1.0);
+  if (n_ranks <= 0.0) return fail("profile snapshot n_ranks not positive");
+  if (doc.find("job") == nullptr || !doc.find("job")->is_string()) {
+    return fail("profile snapshot missing job string");
+  }
+  if (ranks->array().size() != static_cast<std::size_t>(n_ranks)) {
+    return fail("profile snapshot ranks array size != n_ranks");
+  }
+
+  long published = 0;
+  for (const auto& r : ranks->array()) {
+    const int rank =
+        static_cast<int>(JsonValue::number_or(r.find("rank"), -1.0));
+    for (const char* key :
+         {"rank", "incarnation", "pid", "points_per_sec", "points_total",
+          "wait_ratio", "rss_kb", "samples", "anomalies",
+          "heartbeat_age_ms"}) {
+      const auto* v = r.find(key);
+      if (v == nullptr || !v->is_number()) {
+        std::fprintf(stderr,
+                     "trace_check: FAIL: rank %d entry missing numeric %s\n",
+                     rank, key);
+        return 1;
+      }
+    }
+    const auto* stage = r.find("stage");
+    if (stage == nullptr || !stage->is_string()) {
+      std::fprintf(stderr,
+                   "trace_check: FAIL: rank %d entry missing stage string\n",
+                   rank);
+      return 1;
+    }
+    const auto* state_v = r.find("state");
+    if (state_v == nullptr || !state_v->is_string()) {
+      std::fprintf(stderr,
+                   "trace_check: FAIL: rank %d entry missing state string\n",
+                   rank);
+      return 1;
+    }
+    const std::string& state = state_v->string();
+    if (state != "empty" && state != "live" && state != "done") {
+      std::fprintf(stderr,
+                   "trace_check: FAIL: rank %d illegal state '%s'\n", rank,
+                   state.c_str());
+      return 1;
+    }
+    const double wait = r.find("wait_ratio")->number();
+    if (wait < 0.0 || wait > 1.0) {
+      std::fprintf(stderr,
+                   "trace_check: FAIL: rank %d wait_ratio %g outside "
+                   "[0, 1]\n",
+                   rank, wait);
+      return 1;
+    }
+    if (state != "empty") {
+      ++published;
+      if (r.find("incarnation")->number() < 0.0 ||
+          r.find("pid")->number() <= 0.0) {
+        std::fprintf(stderr,
+                     "trace_check: FAIL: published rank %d has bad "
+                     "incarnation/pid\n",
+                     rank);
+        return 1;
+      }
+    }
+  }
+  if (published < min_ranks) {
+    std::fprintf(stderr,
+                 "trace_check: FAIL: %ld published rank(s), need >= %ld\n",
+                 published, min_ranks);
+    return 1;
+  }
+  std::printf(
+      "trace_check: OK: profile snapshot covers %g slot(s), %ld "
+      "published, schema holds\n",
+      n_ranks, published);
+  return 0;
+}
+
+// Collapsed-stack file: "frame;frame;... count" per line. The "(dropped)"
+// pseudo-stack (sampler ring overflow) is legal; real stacks must be
+// non-empty and the grand total positive (a profiled fit with zero samples
+// means the sampler never ran).
+int check_folded(const std::string& text) {
+  std::size_t stacks = 0;
+  unsigned long long total = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0 || sp + 1 >= line.size()) {
+      std::fprintf(stderr,
+                   "trace_check: FAIL: folded line without 'stack count': "
+                   "%s\n",
+                   line.c_str());
+      return 1;
+    }
+    char* end = nullptr;
+    const unsigned long long count =
+        std::strtoull(line.c_str() + sp + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || count == 0) {
+      std::fprintf(stderr,
+                   "trace_check: FAIL: folded line with non-positive "
+                   "count: %s\n",
+                   line.c_str());
+      return 1;
+    }
+    ++stacks;
+    if (line.rfind("(dropped)", 0) != 0) total += count;
+  }
+  if (stacks == 0) return fail("folded file carries no stacks");
+  if (total == 0) return fail("folded file has zero non-dropped samples");
+  std::printf(
+      "trace_check: OK: folded profile carries %zu stack(s), %llu "
+      "sample(s)\n",
+      stacks, total);
+  return 0;
+}
+
 struct SpanRec {
   double start = 0.0;
   double end = 0.0;
@@ -235,9 +380,12 @@ int check_trace(const JsonValue& doc, long min_ranks, long min_flows) {
     return fail("no traceEvents array");
   }
 
-  // lane -> which metadata names it carries.
-  std::map<int, std::pair<bool, bool>> lanes;
-  std::map<int, std::vector<SpanRec>> spans_by_lane;
+  // lane = (pid, tid) = (rank, incarnation) -> which metadata names it
+  // carries. A respawned rank gets a fresh tid lane; its spans must nest
+  // within their own track, not against the dead incarnation's.
+  using Lane = std::pair<int, int>;
+  std::map<Lane, std::pair<bool, bool>> lanes;
+  std::map<Lane, std::vector<SpanRec>> spans_by_lane;
   struct FlowEnd {
     double ts = 0.0;
     int count = 0;
@@ -252,13 +400,16 @@ int check_trace(const JsonValue& doc, long min_ranks, long min_flows) {
     if (ph == nullptr || !ph->is_string()) return fail("event without ph");
     const int pid =
         static_cast<int>(JsonValue::number_or(ev.find("pid"), -1.0));
+    const int tid =
+        static_cast<int>(JsonValue::number_or(ev.find("tid"), 0.0));
+    const Lane lane{pid, tid};
     const double ts = JsonValue::number_or(ev.find("ts"), 0.0);
     const auto* name = ev.find("name");
 
     if (ph->string() == "M") {
       if (name != nullptr && name->is_string()) {
-        if (name->string() == "process_name") lanes[pid].first = true;
-        if (name->string() == "thread_name") lanes[pid].second = true;
+        if (name->string() == "process_name") lanes[lane].first = true;
+        if (name->string() == "thread_name") lanes[lane].second = true;
       }
     } else if (ph->string() == "X") {
       const double dur = JsonValue::number_or(ev.find("dur"), -1.0);
@@ -271,7 +422,7 @@ int check_trace(const JsonValue& doc, long min_ranks, long min_flows) {
         return 1;
       }
       ++span_count;
-      spans_by_lane[pid].push_back(SpanRec{
+      spans_by_lane[lane].push_back(SpanRec{
           ts, ts + dur,
           name != nullptr && name->is_string() ? &name->string() : nullptr});
     } else if (ph->string() == "s" || ph->string() == "f") {
@@ -291,16 +442,22 @@ int check_trace(const JsonValue& doc, long min_ranks, long min_flows) {
     }
   }
 
-  long named_lanes = 0;
-  for (const auto& [pid, meta] : lanes) {
-    if (meta.first && meta.second) ++named_lanes;
-    else {
+  // Every track needs both metadata names; min_ranks counts distinct
+  // ranks, not tracks (a rank with two incarnations is still one rank).
+  std::map<int, int> ranks_named;
+  for (const auto& [lane, meta] : lanes) {
+    if (meta.first && meta.second) {
+      ++ranks_named[lane.first];
+    } else {
       std::fprintf(stderr,
-                   "trace_check: FAIL: lane %d missing %s metadata\n", pid,
+                   "trace_check: FAIL: lane (%d, inc %d) missing %s "
+                   "metadata\n",
+                   lane.first, lane.second,
                    meta.first ? "thread_name" : "process_name");
       return 1;
     }
   }
+  const long named_lanes = static_cast<long>(ranks_named.size());
   if (named_lanes < min_ranks) {
     std::fprintf(stderr,
                  "trace_check: FAIL: %ld rank timeline(s), need >= %ld\n",
@@ -312,7 +469,7 @@ int check_trace(const JsonValue& doc, long min_ranks, long min_flows) {
   // Nesting: sort (start asc, end desc) puts parents before children; a
   // span overlapping the top of the open stack without being contained
   // breaks strict nesting.
-  for (auto& [pid, spans] : spans_by_lane) {
+  for (auto& [lane, spans] : spans_by_lane) {
     std::sort(spans.begin(), spans.end(),
               [](const SpanRec& a, const SpanRec& b) {
                 return a.start != b.start ? a.start < b.start : a.end > b.end;
@@ -322,9 +479,10 @@ int check_trace(const JsonValue& doc, long min_ranks, long min_flows) {
       while (!open.empty() && open.back()->end <= s.start) open.pop_back();
       if (!open.empty() && s.end > open.back()->end) {
         std::fprintf(stderr,
-                     "trace_check: FAIL: lane %d span '%s' [%.3f, %.3f] "
-                     "escapes parent '%s' [%.3f, %.3f]\n",
-                     pid, s.name != nullptr ? s.name->c_str() : "?", s.start,
+                     "trace_check: FAIL: lane (%d, inc %d) span '%s' "
+                     "[%.3f, %.3f] escapes parent '%s' [%.3f, %.3f]\n",
+                     lane.first, lane.second,
+                     s.name != nullptr ? s.name->c_str() : "?", s.start,
                      s.end,
                      open.back()->name != nullptr ? open.back()->name->c_str()
                                                   : "?",
@@ -401,6 +559,8 @@ int main(int argc, char** argv) {
   bool bench_mode = false;
   bool soak_mode = false;
   bool analysis_mode = false;
+  bool profile_mode = false;
+  bool folded_mode = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -419,12 +579,19 @@ int main(int argc, char** argv) {
       soak_mode = true;
     } else if (!std::strcmp(argv[i], "--analysis")) {
       analysis_mode = true;
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      profile_mode = true;
+    } else if (!std::strcmp(argv[i], "--folded")) {
+      folded_mode = true;
     } else if (!std::strcmp(argv[i], "--help")) {
       std::printf("usage: trace_check trace.json [--min-ranks N] "
                   "[--min-flows N]\n"
                   "       trace_check --bench BENCH_*.json\n"
                   "       trace_check --soak BENCH_chaos_soak.json\n"
-                  "       trace_check --analysis analysis.json\n");
+                  "       trace_check --analysis analysis.json\n"
+                  "       trace_check --profile snapshot.json "
+                  "[--min-ranks N]\n"
+                  "       trace_check --folded profile.folded\n");
       return 0;
     } else if (path.empty()) {
       path = argv[i];
@@ -449,11 +616,14 @@ int main(int argc, char** argv) {
   const std::string text = buf.str();
   if (text.empty()) return fail("file is empty");
 
+  if (folded_mode) return check_folded(text);  // line format, not JSON
+
   const auto doc = keybin2::runtime::json_parse(text);
   if (!doc.has_value()) return fail("not well-formed JSON");
 
   if (bench_mode) return check_bench(*doc);
   if (soak_mode) return check_soak(*doc);
   if (analysis_mode) return check_analysis(*doc);
+  if (profile_mode) return check_profile(*doc, min_ranks);
   return check_trace(*doc, min_ranks, min_flows);
 }
