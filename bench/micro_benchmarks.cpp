@@ -8,6 +8,11 @@
 //   * collectives            O(message size), the only communication
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
 #include "bench/bench_util.hpp"
 #include "comm/launch.hpp"
 #include "common/rng.hpp"
@@ -18,6 +23,73 @@
 #include "core/partitioner.hpp"
 #include "core/projection.hpp"
 #include "data/gaussian_mixture.hpp"
+
+// Global-allocation tally for BM_ReduceSteadyStateAllocs: every heap
+// allocation in the process is counted while g_count_allocs is on. The
+// overrides replace the global operators for this binary only; counting is
+// a relaxed atomic increment, negligible next to malloc itself.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_count_allocs{false};
+
+void* counted_alloc(std::size_t n) noexcept {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::malloc(n ? n : 1);
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) noexcept {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::size_t rounded = (n + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded ? rounded : align);
+}
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (void* p = counted_alloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  if (void* p = counted_alloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  if (void* p = counted_aligned_alloc(n, static_cast<std::size_t>(al))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  if (void* p = counted_aligned_alloc(n, static_cast<std::size_t>(al))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -123,6 +195,61 @@ void BM_AllreduceHistograms(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AllreduceHistograms)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ReduceSteadyStateAllocs(benchmark::State& state) {
+  // Satellite contract: the reduce hot loop holds pooled scratch
+  // (block_scratch_ / recv_block_scratch_ / frame pools), so steady-state
+  // allreduces must not allocate per round beyond the caller-visible result
+  // vector. The budget below is calibrated ~2x the pooled steady state;
+  // losing the pooling (a fresh ByteWriter per segment per round) blows
+  // through it by an order of magnitude, and this harness then fails hard.
+  constexpr int kRanks = 8;
+  constexpr std::size_t kLen = 16 * 4096;
+  constexpr int kOps = 8;
+  constexpr double kAllocBudgetPerReducePerRank = 8.0;
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    comm::run_ranks(kRanks, [&](comm::Communicator& c) {
+      std::vector<double> local(kLen, 0.0);
+      for (int k = 0; k < 32; ++k) {
+        local[static_cast<std::size_t>((c.rank() * 977 + k * 131) % kLen)] =
+            1.0;
+      }
+      // Two warmup rounds grow every pool to its steady-state capacity.
+      for (int i = 0; i < 2; ++i) {
+        benchmark::DoNotOptimize(c.allreduce(
+            local, comm::ReduceOp::kSum, comm::AllreduceAlgo::kRecursiveHalving));
+      }
+      c.barrier();
+      if (c.rank() == 0) {
+        g_alloc_count.store(0);
+        g_count_allocs.store(true);
+      }
+      c.barrier();  // every rank is between the toggles only via barriers
+      for (int i = 0; i < kOps; ++i) {
+        benchmark::DoNotOptimize(c.allreduce(
+            local, comm::ReduceOp::kSum, comm::AllreduceAlgo::kRecursiveHalving));
+      }
+      c.barrier();
+      if (c.rank() == 0) {
+        g_count_allocs.store(false);
+        allocs = g_alloc_count.load();
+      }
+      c.barrier();  // teardown (thread join, vector frees) stays uncounted
+    });
+  }
+  const double per_op =
+      static_cast<double>(allocs) / (kOps * static_cast<double>(kRanks));
+  state.counters["allocs_per_reduce_per_rank"] = per_op;
+  if (per_op > kAllocBudgetPerReducePerRank) {
+    std::fprintf(stderr,
+                 "BM_ReduceSteadyStateAllocs: %.1f allocs per reduce per rank "
+                 "exceeds budget %.1f — reduce hot loop is allocating\n",
+                 per_op, kAllocBudgetPerReducePerRank);
+    std::exit(1);
+  }
+}
+BENCHMARK(BM_ReduceSteadyStateAllocs)->Iterations(1);
 
 void BM_EndToEndFit(benchmark::State& state) {
   const auto dims = static_cast<std::size_t>(state.range(0));

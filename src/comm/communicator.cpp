@@ -22,6 +22,7 @@ constexpr int kTagSubBarrier = Communicator::kUserTagLimit + 7;
 constexpr int kTagRsHalve = Communicator::kUserTagLimit + 8;
 constexpr int kTagRdDouble = Communicator::kUserTagLimit + 9;
 constexpr int kTagRhFold = Communicator::kUserTagLimit + 10;
+constexpr int kTagCoreset = Communicator::kUserTagLimit + 11;
 
 constexpr std::size_t kFrameHeaderBytes = sizeof(std::uint32_t);
 
@@ -94,6 +95,7 @@ std::string tag_name(int tag) {
     case kTagRsHalve: return "rs_halve";
     case kTagRdDouble: return "rd_double";
     case kTagRhFold: return "rh_fold";
+    case kTagCoreset: return "coreset";
     default:
       if (tag >= 0 && tag < Communicator::kUserTagLimit) {
         return "user:" + std::to_string(tag);
@@ -281,9 +283,13 @@ std::vector<std::uint64_t> Communicator::allreduce(
 std::vector<double> Communicator::allreduce(std::span<const double> local,
                                             ReduceOp op, AllreduceAlgo algo,
                                             ReduceProfile* profile) {
+  if (algo == AllreduceAlgo::kCoreset) {
+    return coreset_allreduce(local, coreset::Options{}, profile);
+  }
   bool halving = false;
   switch (algo) {
     case AllreduceAlgo::kTree:
+    case AllreduceAlgo::kCoreset:  // handled above
       break;
     case AllreduceAlgo::kRecursiveHalving:
       halving = size() > 1;
@@ -292,18 +298,28 @@ std::vector<double> Communicator::allreduce(std::span<const double> local,
       halving = size() > 1 && local.size() >= kRecursiveHalvingMinElements;
       break;
   }
+  const std::uint64_t sent_before = stats().bytes_sent;
+  std::vector<double> result;
   if (!halving) {
     if (profile) profile->algo = AllreduceAlgo::kTree;
-    return allreduce(local, op);
+    result = allreduce(local, op);
+  } else {
+    if (profile) profile->algo = AllreduceAlgo::kRecursiveHalving;
+    result = recursive_halving_allreduce(local, op, profile);
   }
-  if (profile) profile->algo = AllreduceAlgo::kRecursiveHalving;
-  return recursive_halving_allreduce(local, op, profile);
+  // TrafficStats count framed sizes, so this delta includes the CRC header
+  // and sparse-segment prefixes — it reconciles with the CommProbe matrix.
+  if (profile) profile->bytes += stats().bytes_sent - sent_before;
+  return result;
 }
 
 void Communicator::send_reduce_block(int dest, int tag,
                                      std::span<const double> block,
                                      bool sparse_ok, ReduceProfile* profile) {
-  ByteWriter w;
+  // send_frame() has copied the encoding into its own scratch by the time it
+  // returns, so one member writer can serve every block of every round.
+  ByteWriter& w = block_scratch_;
+  w.clear();
   std::size_t nnz = 0;
   if (sparse_ok) {
     for (const double x : block) nnz += (x != 0.0) ? 1 : 0;
@@ -359,14 +375,25 @@ void Communicator::recv_reduce_block(int src, int tag, std::span<double> into,
   } else {
     KB2_CHECK_MSG(mode == kBlockDense, "unknown reduce block mode "
                                            << static_cast<int>(mode));
-    const auto in = r.read_vec<double>();
+    // Decode into pooled scratch (read_vec would allocate a fresh vector per
+    // block); the length prefix is bounds-checked the same way read_vec does.
+    const auto n = r.read<std::uint64_t>();
+    KB2_CHECK_MSG(n <= r.remaining() / sizeof(double),
+                  "dense block length " << n << " exceeds remaining "
+                                        << r.remaining() << " bytes");
+    KB2_CHECK_MSG(n == into.size(), "dense block length "
+                                        << n << " != expected " << into.size());
+    recv_block_scratch_.resize(n);
+    // Payload layout here is [u8 mode][u64 n][n doubles]; memcpy because the
+    // doubles sit at offset 9 and are not suitably aligned for a direct view.
+    std::memcpy(recv_block_scratch_.data(),
+                bytes.data() + sizeof(std::uint8_t) + sizeof(std::uint64_t),
+                n * sizeof(double));
     if (combine) {
-      apply_op_span(into, in, op);
+      apply_op_span(into, recv_block_scratch_, op);
     } else {
-      KB2_CHECK_MSG(in.size() == into.size(),
-                    "dense block length " << in.size() << " != expected "
-                                          << into.size());
-      std::copy(in.begin(), in.end(), into.begin());
+      std::copy(recv_block_scratch_.begin(), recv_block_scratch_.end(),
+                into.begin());
     }
   }
   recycle_buffer(std::move(bytes));
@@ -459,6 +486,70 @@ std::vector<double> Communicator::recursive_halving_allreduce(
     send_reduce_block(me + 1, kTagRhFold, acc, sparse_ok, profile);
   }
   return acc;
+}
+
+std::vector<double> Communicator::coreset_allreduce(
+    std::span<const double> local, const coreset::Options& opts,
+    ReduceProfile* profile) {
+  const std::uint64_t sent_before = stats().bytes_sent;
+  if (profile) profile->algo = AllreduceAlgo::kCoreset;
+  const int p = size();
+  const int me = rank();
+
+  // Every sampling decision forks from (rank, tree level), so the collective
+  // is reproducible per opts.seed on any backend and any group size.
+  auto sketch =
+      coreset::build(local, opts, coreset::fork_seed(opts.seed, me, 0));
+  double my_drops = sketch.mass_dropped;  // drops this rank performed
+
+  // Binomial-tree reduce to rank 0: receivers merge the child sketch, then
+  // re-compress to the cap before the next level, so no framed message —
+  // up the tree or down the broadcast — ever exceeds opts.max_cells entries.
+  int mask = 1;
+  std::uint64_t level = 1;
+  while (mask < p) {
+    if ((me & mask) == 0) {
+      const int src = me | mask;
+      if (src < p) {
+        auto bytes = recv_frame(src, kTagCoreset);
+        ByteReader r(bytes);
+        const auto other = coreset::decode(r);
+        coreset::merge(sketch, other);
+        recycle_buffer(std::move(bytes));
+        const double drops_before = sketch.mass_dropped;
+        coreset::compress(sketch, opts,
+                          coreset::fork_seed(opts.seed, me, level));
+        my_drops += sketch.mass_dropped - drops_before;
+      }
+    } else {
+      const int dst = me & ~mask;
+      ByteWriter w;
+      coreset::encode(sketch, w);
+      send_frame(dst, kTagCoreset, w.bytes());
+      if (profile) profile->coreset_cells += sketch.entries();
+      break;
+    }
+    mask <<= 1;
+    ++level;
+  }
+
+  // Rank 0 holds the merged sketch; fan it out and expand everywhere.
+  ByteWriter w;
+  if (me == 0) coreset::encode(sketch, w);
+  auto bytes = w.take();
+  broadcast(bytes, /*root=*/0);
+  if (me != 0) {
+    ByteReader r(bytes);
+    sketch = coreset::decode(r);
+  } else if (p > 1 && profile) {
+    profile->coreset_cells += sketch.entries();
+  }
+
+  if (profile) {
+    profile->coreset_mass_dropped += my_drops;
+    profile->bytes += stats().bytes_sent - sent_before;
+  }
+  return coreset::expand(sketch);
 }
 
 double Communicator::allreduce(double value, ReduceOp op) {

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/coreset.hpp"
 #include "common/error.hpp"
 #include "common/serialize.hpp"
 
@@ -96,15 +97,28 @@ enum class ReduceOp { kSum, kMin, kMax };
 /// 2·log p rounds shipping the full vector), large ones through the
 /// bandwidth-optimal Rabenseifner scheme (recursive-halving reduce-scatter +
 /// recursive-doubling allgather, which moves ~2·n/p elements per rank per
-/// round instead of n).
-enum class AllreduceAlgo { kAuto, kTree, kRecursiveHalving };
+/// round instead of n). kCoreset trades exactness for sublinear traffic:
+/// each hop ships a capped weighted sketch (comm/coreset.hpp), sum only.
+enum class AllreduceAlgo { kAuto, kTree, kRecursiveHalving, kCoreset };
 
-/// What one adaptive allreduce actually did, for metrics attribution
-/// (byte counts come from TrafficStats deltas around the call).
+/// What one adaptive allreduce actually did, for metrics attribution.
 struct ReduceProfile {
   AllreduceAlgo algo = AllreduceAlgo::kTree;  // algorithm that ran
   std::uint64_t sparse_blocks = 0;  // segments shipped as (index,value) pairs
   std::uint64_t dense_blocks = 0;   // segments shipped dense
+
+  /// Bytes this rank sent inside the call, measured as a TrafficStats delta
+  /// around the collective — so CRC frame headers and sparse-segment
+  /// prefixes are included and the number reconciles with the CommProbe
+  /// per-(peer, tag) traffic matrix.
+  std::uint64_t bytes = 0;
+
+  /// kCoreset only: weighted cells this rank transmitted (tree sends plus,
+  /// on the broadcast root, the final sketch fan-out payload), and the
+  /// original mass its sampling passes left unselected. Summing the latter
+  /// over ranks gives the global sampled-away mass of the reduction.
+  std::uint64_t coreset_cells = 0;
+  double coreset_mass_dropped = 0.0;
 };
 
 /// Per-rank traffic counters; used by benches and the runtime tracer to
@@ -282,6 +296,19 @@ class Communicator {
   /// log-latency wins; above it bandwidth dominates.
   static constexpr std::size_t kRecursiveHalvingMinElements = 1024;
 
+  /// Approximate sum-allreduce through capped weighted sketches
+  /// (comm/coreset.hpp): each rank builds a sketch of its vector, sketches
+  /// merge up a binomial tree with re-compression at every hop (so no
+  /// framed message ever carries more than opts.max_cells entries), the
+  /// root broadcasts the final sketch, and every rank expands it densely.
+  /// Deterministic per opts.seed; heavy hitters (>= epsilon of total mass)
+  /// are exact. Plugs into the same framed send/recv machinery as every
+  /// other collective, so CRC checking, timeout/shrink, and CommProbe
+  /// observation work unchanged on all backends.
+  std::vector<double> coreset_allreduce(std::span<const double> local,
+                                        const coreset::Options& opts,
+                                        ReduceProfile* profile = nullptr);
+
   /// Scalar conveniences.
   double allreduce(double value, ReduceOp op);
   std::uint64_t allreduce(std::uint64_t value, ReduceOp op);
@@ -345,6 +372,12 @@ class Communicator {
   double timeout_seconds_ = 0.0;
   CommProbe* probe_ = nullptr;
   std::vector<std::byte> frame_scratch_;  // reused send_frame assembly buffer
+
+  // Reduce hot-loop scratch, pooled across blocks, rounds, and calls so the
+  // steady-state recursive-halving exchange performs no allocations (the
+  // micro bench BM_ReduceSteadyStateAllocs enforces this).
+  ByteWriter block_scratch_;               // send-side block encoding
+  std::vector<double> recv_block_scratch_;  // recv-side dense block decode
 };
 
 /// Single-rank communicator: all collectives are identity operations and

@@ -1,0 +1,212 @@
+#include "comm/coreset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace keybin2::comm::coreset {
+
+namespace {
+
+double clamped_epsilon(const Options& opts) {
+  KB2_CHECK_MSG(opts.max_cells >= 2,
+                "coreset: max_cells must be >= 2, got " << opts.max_cells);
+  const double floor_eps = 2.0 / static_cast<double>(opts.max_cells);
+  return std::clamp(opts.epsilon, floor_eps, 1.0);
+}
+
+}  // namespace
+
+std::uint64_t fork_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  // Mix the coordinates with distinct odd constants before SplitMix64 so
+  // (a, b) and (b, a) land on unrelated streams.
+  return SplitMix64(seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                    (b * 0xd1b54a32d192ed03ULL))
+      .next();
+}
+
+Selection select_weighted(std::span<const double> masses, const Options& opts,
+                          std::uint64_t draw_seed) {
+  Selection sel;
+  double total = 0.0;
+  std::size_t nnz = 0;
+  for (const double m : masses) {
+    KB2_CHECK_MSG(m >= 0.0, "coreset: negative mass " << m);
+    if (m > 0.0) {
+      total += m;
+      ++nnz;
+    }
+  }
+  if (nnz <= opts.max_cells) {
+    sel.kept.reserve(nnz);
+    for (std::size_t i = 0; i < masses.size(); ++i) {
+      if (masses[i] > 0.0) sel.kept.emplace_back(i, masses[i]);
+    }
+    return sel;
+  }
+
+  // Heavy hitters travel exactly. epsilon is clamped to 2/max_cells, so at
+  // most max_cells/2 cells can each hold that fraction of the total.
+  const double threshold = clamped_epsilon(opts) * total;
+  double light_total = 0.0;
+  std::size_t heavy = 0;
+  for (const double m : masses) {
+    if (m <= 0.0) continue;
+    if (m >= threshold) {
+      ++heavy;
+    } else {
+      light_total += m;
+    }
+  }
+
+  const std::size_t slots = opts.max_cells - heavy;
+  sel.kept.reserve(opts.max_cells);
+  if (light_total <= 0.0 || slots == 0) {
+    for (std::size_t i = 0; i < masses.size(); ++i) {
+      if (masses[i] >= threshold && masses[i] > 0.0) {
+        sel.kept.emplace_back(i, masses[i]);
+      } else if (masses[i] > 0.0) {
+        sel.mass_dropped += masses[i];
+      }
+    }
+    return sel;
+  }
+
+  // Systematic resampling of the light mass: lay sample points at
+  // offset + j * stride over the cumulative light mass. A cell crossed by
+  // h sample points keeps weight h * stride, so the kept light weights sum
+  // to exactly slots * stride == light_total, and any contiguous index
+  // range's light mass is preserved to within one stride — which is what
+  // keeps the shallower derived histogram levels accurate.
+  const double stride = light_total / static_cast<double>(slots);
+  Rng rng(draw_seed);
+  double next_sample = rng.uniform() * stride;
+  double cum = 0.0;
+  std::size_t taken = 0;
+  for (std::size_t i = 0; i < masses.size(); ++i) {
+    const double m = masses[i];
+    if (m <= 0.0) continue;
+    if (m >= threshold) {
+      sel.kept.emplace_back(i, m);
+      continue;
+    }
+    cum += m;
+    std::size_t hits = 0;
+    while (taken < slots && next_sample < cum) {
+      ++hits;
+      ++taken;
+      next_sample += stride;
+    }
+    if (hits > 0) {
+      sel.kept.emplace_back(i, static_cast<double>(hits) * stride);
+    } else {
+      sel.mass_dropped += m;
+    }
+  }
+  return sel;
+}
+
+Sketch build(std::span<const double> dense, const Options& opts,
+             std::uint64_t draw_seed) {
+  Sketch s;
+  s.length = dense.size();
+  auto sel = select_weighted(dense, opts, draw_seed);
+  s.index.reserve(sel.kept.size());
+  s.weight.reserve(sel.kept.size());
+  for (const auto& [pos, w] : sel.kept) {
+    s.index.push_back(static_cast<std::uint32_t>(pos));
+    s.weight.push_back(w);
+  }
+  s.mass_dropped = sel.mass_dropped;
+  return s;
+}
+
+void merge(Sketch& into, const Sketch& other) {
+  KB2_CHECK_MSG(into.length == other.length,
+                "coreset merge: length mismatch " << into.length << " vs "
+                                                  << other.length);
+  std::vector<std::uint32_t> index;
+  std::vector<double> weight;
+  index.reserve(into.entries() + other.entries());
+  weight.reserve(into.entries() + other.entries());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < into.entries() || b < other.entries()) {
+    if (b >= other.entries() ||
+        (a < into.entries() && into.index[a] < other.index[b])) {
+      index.push_back(into.index[a]);
+      weight.push_back(into.weight[a]);
+      ++a;
+    } else if (a >= into.entries() || other.index[b] < into.index[a]) {
+      index.push_back(other.index[b]);
+      weight.push_back(other.weight[b]);
+      ++b;
+    } else {
+      index.push_back(into.index[a]);
+      weight.push_back(into.weight[a] + other.weight[b]);
+      ++a;
+      ++b;
+    }
+  }
+  into.index = std::move(index);
+  into.weight = std::move(weight);
+  into.mass_dropped += other.mass_dropped;
+}
+
+void compress(Sketch& sketch, const Options& opts, std::uint64_t draw_seed) {
+  if (sketch.entries() <= opts.max_cells) return;
+  auto sel = select_weighted(sketch.weight, opts, draw_seed);
+  std::vector<std::uint32_t> index;
+  std::vector<double> weight;
+  index.reserve(sel.kept.size());
+  weight.reserve(sel.kept.size());
+  for (const auto& [pos, w] : sel.kept) {
+    index.push_back(sketch.index[pos]);
+    weight.push_back(w);
+  }
+  sketch.index = std::move(index);
+  sketch.weight = std::move(weight);
+  sketch.mass_dropped += sel.mass_dropped;
+}
+
+std::vector<double> expand(const Sketch& sketch) {
+  std::vector<double> dense(sketch.length, 0.0);
+  for (std::size_t i = 0; i < sketch.entries(); ++i) {
+    dense[sketch.index[i]] = sketch.weight[i];
+  }
+  return dense;
+}
+
+void encode(const Sketch& sketch, ByteWriter& w) {
+  w.write<std::uint64_t>(sketch.length);
+  w.write<double>(sketch.mass_dropped);
+  w.write_vec(sketch.index);
+  w.write_vec(sketch.weight);
+}
+
+Sketch decode(ByteReader& r) {
+  Sketch s;
+  s.length = r.read<std::uint64_t>();
+  s.mass_dropped = r.read<double>();
+  s.index = r.read_vec<std::uint32_t>();
+  s.weight = r.read_vec<double>();
+  KB2_CHECK_MSG(s.weight.size() == s.index.size(),
+                "coreset decode: " << s.index.size() << " indices but "
+                                   << s.weight.size() << " weights");
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (const std::uint32_t idx : s.index) {
+    KB2_CHECK_MSG(idx < s.length,
+                  "coreset decode: index " << idx << " out of range "
+                                           << s.length);
+    KB2_CHECK_MSG(first || idx > prev,
+                  "coreset decode: indices not strictly ascending at " << idx);
+    prev = idx;
+    first = false;
+  }
+  return s;
+}
+
+}  // namespace keybin2::comm::coreset

@@ -1,0 +1,97 @@
+// Weighted coreset sketches for sublinear histogram reduction (DESIGN.md §9).
+//
+// A Sketch is a sorted, weighted subset of a dense non-negative vector: the
+// heavy hitters (mass >= epsilon * total) are carried through exactly, and
+// the remaining "light" mass is systematic-resampled at a seeded offset so
+// the sketch never exceeds `max_cells` entries while preserving the total
+// mass bit-for-bit in expectation-free arithmetic (the retained light mass
+// equals the original light mass exactly; only its placement is sampled).
+//
+// Size-cap proof sketch: with epsilon_eff = max(epsilon, 2/max_cells), at
+// most 1/epsilon_eff <= max_cells/2 cells can individually hold
+// epsilon_eff of the total, so the heavy set leaves at least max_cells/2
+// slots for the light sample. Merging two capped sketches can at most sum
+// their entry counts, and every merge re-compresses before the result is
+// framed, so no message ever carries more than max_cells entries.
+//
+// Determinism: every sampling decision derives from a caller-provided draw
+// seed (see fork_seed), so the same seed over the same input yields the
+// same sketch — byte-identical across ThreadComm and ProcComm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace keybin2::comm::coreset {
+
+struct Options {
+  /// Hard cap on entries per sketch (and therefore per framed message).
+  std::size_t max_cells = 4096;
+
+  /// Heavy-hitter threshold as a fraction of total mass; cells at or above
+  /// epsilon * total are transmitted exactly. Clamped internally to
+  /// [2/max_cells, 1] so the heavy set fits in half the cap.
+  double epsilon = 0.001;
+
+  /// Base seed; per-(rank, round) draws are forked from it (fork_seed).
+  std::uint64_t seed = 42;
+};
+
+/// A compressed view of a dense vector: ascending unique indices with
+/// positive weights, plus the cumulative original mass that sampling left
+/// unrepresented (diagnostic only — the *retained* total mass equals the
+/// input's total mass; mass_dropped records how much of it moved between
+/// cells rather than vanishing).
+struct Sketch {
+  std::uint64_t length = 0;  // dense length this sketch abbreviates
+  std::vector<std::uint32_t> index;
+  std::vector<double> weight;
+  double mass_dropped = 0.0;
+
+  std::size_t entries() const { return index.size(); }
+};
+
+/// Deterministic per-(a, b) seed derivation, used so each rank/round pair
+/// samples independently but reproducibly from one base seed.
+std::uint64_t fork_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b);
+
+/// Core sampler shared by the dense-vector sketch and the weighted-cell
+/// coreset (core/cells.cpp): choose at most opts.max_cells positions from a
+/// non-negative mass array. Heavy positions keep their exact mass; light
+/// positions are systematic-resampled (stride = light_total / slots, seeded
+/// offset), so the kept light weights sum to the original light total
+/// exactly. Positions with zero mass are never selected.
+struct Selection {
+  std::vector<std::pair<std::size_t, double>> kept;  // ascending positions
+  double mass_dropped = 0.0;  // sum of original masses at unselected positions
+};
+Selection select_weighted(std::span<const double> masses, const Options& opts,
+                          std::uint64_t draw_seed);
+
+/// Build a sketch of a dense non-negative vector. Exact (every non-zero
+/// carried, mass_dropped == 0) whenever the vector has at most
+/// opts.max_cells non-zeros.
+Sketch build(std::span<const double> dense, const Options& opts,
+             std::uint64_t draw_seed);
+
+/// Weighted union: sum weights of shared indices, keep the rest. The result
+/// may exceed the cap — callers re-compress before transmitting.
+void merge(Sketch& into, const Sketch& other);
+
+/// Re-apply the size cap to an oversized sketch in place. No-op when the
+/// sketch already fits.
+void compress(Sketch& sketch, const Options& opts, std::uint64_t draw_seed);
+
+/// Expand back to the dense vector the sketch abbreviates.
+std::vector<double> expand(const Sketch& sketch);
+
+/// Wire codec (framed by the transport's CRC layer like any other message).
+void encode(const Sketch& sketch, ByteWriter& w);
+Sketch decode(ByteReader& r);
+
+}  // namespace keybin2::comm::coreset

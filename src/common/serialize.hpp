@@ -73,6 +73,10 @@ class ByteWriter {
   const std::vector<std::byte>& bytes() const { return buf_; }
   std::vector<std::byte> take() { return std::move(buf_); }
 
+  /// Drop the contents but keep the capacity, so a long-lived writer can be
+  /// reused across messages without reallocating (reduce hot loop).
+  void clear() { buf_.clear(); }
+
  private:
   std::vector<std::byte> buf_;
 };

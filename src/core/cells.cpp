@@ -1,5 +1,6 @@
 #include "core/cells.hpp"
 
+#include "comm/coreset.hpp"
 #include "common/serialize.hpp"
 
 namespace keybin2::core {
@@ -44,6 +45,36 @@ void merge_cells(CellMap& into, std::span<const std::byte> bytes) {
     const auto density = r.read<double>();
     into[std::move(coord)] += density;
   }
+}
+
+CellMap coreset_cells(const CellMap& cells, std::size_t max_cells,
+                      double epsilon, std::uint64_t seed,
+                      double* mass_dropped) {
+  if (mass_dropped != nullptr) *mass_dropped = 0.0;
+  if (cells.size() <= max_cells) return cells;
+
+  // Run the shared weighted sampler over the map's (already deterministic)
+  // iteration order, then rebuild the surviving subset.
+  std::vector<const CellMap::value_type*> entries;
+  std::vector<double> masses;
+  entries.reserve(cells.size());
+  masses.reserve(cells.size());
+  for (const auto& entry : cells) {
+    entries.push_back(&entry);
+    masses.push_back(entry.second);
+  }
+  comm::coreset::Options opts;
+  opts.max_cells = max_cells;
+  opts.epsilon = epsilon;
+  opts.seed = seed;
+  const auto sel = comm::coreset::select_weighted(masses, opts, seed);
+
+  CellMap out;
+  for (const auto& [pos, weight] : sel.kept) {
+    out.emplace(entries[pos]->first, weight);
+  }
+  if (mass_dropped != nullptr) *mass_dropped = sel.mass_dropped;
+  return out;
 }
 
 std::vector<Cell> to_cell_vector(const CellMap& cells) {

@@ -34,6 +34,17 @@ CellMap count_cells(const KeyTable& keys, const std::vector<int>& kept_dims,
 std::vector<std::byte> serialize_cells(const CellMap& cells);
 void merge_cells(CellMap& into, std::span<const std::byte> bytes);
 
+/// Coreset of a weighted cell map (comm/coreset.hpp sampler over map
+/// order): at most `max_cells` cells survive, cells holding at least
+/// `epsilon` of the total density are kept exactly, and the sampled light
+/// cells are reweighted so total density is preserved. Used by the kCoreset
+/// comm mode to cap the assess-stage gather the same way the histogram
+/// merge is capped. `mass_dropped` (optional) receives the original density
+/// of the cells sampled away.
+CellMap coreset_cells(const CellMap& cells, std::size_t max_cells,
+                      double epsilon, std::uint64_t seed,
+                      double* mass_dropped = nullptr);
+
 /// Flatten to the Model's Cell representation (labels unassigned).
 std::vector<Cell> to_cell_vector(const CellMap& cells);
 

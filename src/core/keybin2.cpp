@@ -80,6 +80,11 @@ FitResult fit_once(runtime::Context& ctx, const Matrix& local_points,
 
   BestCandidate best;
   std::vector<TrialDiagnostics> diagnostics;
+  // Merged-histogram density carried across trials for the kAuto comm mode:
+  // trial 0 merges exactly, later trials may switch to the coreset plane
+  // once the previous merge re-densified. All ranks derive it from the
+  // identical merged vector, so the protocol choice never diverges.
+  std::uint64_t merged_nnz = 0;
   // Cross-trial scratch for the fused data plane (projected matrix, key
   // table, envelopes, count shards): allocated by the first trial, reused
   // verbatim by the rest.
@@ -132,9 +137,10 @@ FitResult fit_once(runtime::Context& ctx, const Matrix& local_points,
 
     // (3) Communicate binning histograms. Batch-fit counts are integral
     // (weight-1.0 binning), so the merge may take the bandwidth-optimal
-    // adaptive path without perturbing a single bit.
-    stage_merge_histograms(ctx, hists, params.topology,
-                           /*integral_counts=*/true);
+    // adaptive path without perturbing a single bit; the comm-mode dispatch
+    // may further swap in the capped coreset plane (DESIGN.md §9).
+    stage_merge_histograms(ctx, hists, params, /*integral_counts=*/true,
+                           &merged_nnz);
 
     // KS-based dimension collapsing.
     const auto kept_dims = collapse_dimensions(ctx, hists, params);
@@ -162,7 +168,7 @@ FitResult fit_once(runtime::Context& ctx, const Matrix& local_points,
     // combined candidate.
     for (const auto& depths : depth_candidates(hists, kept_dims, params)) {
       auto candidate = stage_partition(ctx, hists, kept_dims, depths, params);
-      auto assessed = stage_assess(ctx, *keys, kept_dims, candidate);
+      auto assessed = stage_assess(ctx, *keys, kept_dims, candidate, params);
 
       if (assessed.scored) {
         diagnostics.push_back(TrialDiagnostics{

@@ -6,6 +6,7 @@
 // `use_discrete_opt` to recover KeyBin-v1 behaviour.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "comm/recovery.hpp"
@@ -27,6 +28,20 @@ enum class Smoothing {
 enum class Topology {
   kTree,  // binomial-tree reduce + broadcast (MPI-style allreduce)
   kRing,  // ring pass: each rank adds its histograms and forwards
+};
+
+/// How much of each rank's histogram content crosses the wire during the
+/// merge (DESIGN.md §9). Dense ships every bin; sparse lets the transport
+/// pick per-block dense/sparse encodings (bit-identical to dense); coreset
+/// ships a weighted, seeded sample of the occupied bins under a hard
+/// per-message size cap (`coreset_max_cells`) — sublinear traffic, bounded
+/// error. Auto starts on the sparse plane and switches to coreset once the
+/// observed merged density shows sparse re-densifying.
+enum class CommMode {
+  kDense,
+  kSparse,
+  kCoreset,
+  kAuto,
 };
 
 struct Params {
@@ -81,6 +96,25 @@ struct Params {
 
   /// Histogram-exchange topology (§3 step 3).
   Topology topology = Topology::kTree;
+
+  /// Histogram-merge communication mode (DESIGN.md §9). kAuto is
+  /// conservative: it reproduces the sparse plane bit-for-bit unless the
+  /// previous trial's merged histogram was dense enough that sparse
+  /// encoding has re-densified (global nnz >= 4 * coreset_max_cells), so
+  /// default-parameter fits keep their pinned fingerprints.
+  CommMode comm_mode = CommMode::kAuto;
+
+  /// Coreset plane: hard cap on the number of weighted cells any single
+  /// rank-to-rank message may carry. Every merge re-compresses to this cap
+  /// before forwarding, so peak reduce traffic is O(coreset_max_cells) per
+  /// hop regardless of histogram occupancy.
+  std::size_t coreset_max_cells = 4096;
+
+  /// Coreset plane accuracy knob: any bin holding at least
+  /// `coreset_epsilon` of the total mass is carried through exactly (never
+  /// sampled away). Internally clamped to 2/coreset_max_cells so the heavy
+  /// set can occupy at most half the cap (size-cap proof, DESIGN.md §9).
+  double coreset_epsilon = 0.001;
 
   /// Run the fit's project→key→bin hot path through the fused single-pass
   /// kernels (core/fused.hpp): bit-identical to the staged reference path —

@@ -29,6 +29,104 @@ double single_dimension_score(const stats::Histogram& level,
   return histogram_calinski_harabasz({level}, {partition}, cells);
 }
 
+/// Coarse depth for the coreset merge's exact calibration pass: level-6
+/// histograms are 64 bins per dimension — O(dims) doubles, negligible next
+/// to the sketch — and shipping them exactly pins every derived level at or
+/// above this depth to the exact answer.
+constexpr int kCoresetCalibrationDepth = 6;
+
+/// The coreset comm plane's histogram merge (DESIGN.md §9): a capped sketch
+/// of the deepest level plus an exact allreduce of the tiny coarse level
+/// (with one extra element carrying each rank's dropped mass), then a
+/// per-block reconciliation so each coarse bin's children sum to the exact
+/// coarse count:
+///
+///   * nothing dropped anywhere -> the sketch is exact; pass it through;
+///   * mass was dropped -> inside each coarse block, only entries above the
+///     heavy-hitter threshold (>= epsilon_eff * global mass, carried exactly
+///     by the sampler's contract) keep their placement; the block's residual
+///     exact mass spreads uniformly across the other children. Sampled light
+///     entries have meaningful MASS but arbitrary placement, and leaving
+///     them as spikes seeds phantom cuts in the deep-level partitioner.
+///
+/// Shallow levels (collapse, moderate partition depths) come out exact;
+/// deep levels are exact at block granularity with genuine heavy structure
+/// preserved bin-exact. Both collectives charge `profile`, so reduce_bytes
+/// covers the calibration traffic too.
+std::vector<double> coreset_merge_histograms(
+    runtime::Context& ctx,
+    const std::vector<stats::HierarchicalHistogram>& hists,
+    std::span<const double> flat, const comm::coreset::Options& opts,
+    comm::ReduceProfile* profile) {
+  const double drops_before = profile->coreset_mass_dropped;
+  auto merged = ctx.comm().coreset_allreduce(flat, opts, profile);
+  if (hists.empty()) return merged;
+
+  const int max_depth = hists[0].max_depth();
+  const int coarse_depth = std::min(max_depth, kCoresetCalibrationDepth);
+  std::vector<double> coarse_local;
+  coarse_local.reserve((hists.size() << coarse_depth) + 1);
+  for (const auto& h : hists) {
+    const auto level = h.level(coarse_depth);
+    coarse_local.insert(coarse_local.end(), level.counts().begin(),
+                        level.counts().end());
+  }
+  // Every drop happens at exactly one rank (build or a tree-hop compress),
+  // so the sum of the per-rank deltas is the global dropped mass.
+  coarse_local.push_back(profile->coreset_mass_dropped - drops_before);
+  const auto coarse = ctx.comm().allreduce(
+      coarse_local, comm::ReduceOp::kSum, comm::AllreduceAlgo::kTree, profile);
+  const double global_drops = coarse.back();
+  if (global_drops == 0.0) return merged;  // sketch is exact end to end
+
+  double global_mass = 0.0;
+  for (std::size_t i = 0; i + 1 < coarse.size(); ++i) global_mass += coarse[i];
+  const double heavy_threshold =
+      std::clamp(opts.epsilon,
+                 2.0 / static_cast<double>(std::max<std::size_t>(
+                           opts.max_cells, 2)),
+                 1.0) *
+      global_mass;
+
+  const std::size_t coarse_bins = std::size_t{1} << coarse_depth;
+  const std::size_t children = std::size_t{1} << (max_depth - coarse_depth);
+  std::size_t deep_off = 0;
+  std::size_t coarse_off = 0;
+  for (std::size_t j = 0; j < hists.size(); ++j) {
+    for (std::size_t c = 0; c < coarse_bins; ++c) {
+      const double exact = coarse[coarse_off + c];
+      double* block = merged.data() + deep_off + c * children;
+      double heavy_mass = 0.0;
+      std::size_t heavy_count = 0;
+      for (std::size_t k = 0; k < children; ++k) {
+        if (block[k] >= heavy_threshold) {
+          heavy_mass += block[k];
+          ++heavy_count;
+        }
+      }
+      if (heavy_count == children ||
+          (heavy_mass >= exact && heavy_mass > 0.0)) {
+        // Merged heavies overshoot the block (drops elsewhere): keep their
+        // relative placement, scaled onto the exact block mass.
+        const double scale = exact / heavy_mass;
+        for (std::size_t k = 0; k < children; ++k) {
+          block[k] = block[k] >= heavy_threshold ? block[k] * scale : 0.0;
+        }
+      } else {
+        const double light_each =
+            (exact - heavy_mass) /
+            static_cast<double>(children - heavy_count);
+        for (std::size_t k = 0; k < children; ++k) {
+          if (block[k] < heavy_threshold) block[k] = light_each;
+        }
+      }
+    }
+    deep_off += hists[j].deepest_counts().size();
+    coarse_off += coarse_bins;
+  }
+  return merged;
+}
+
 }  // namespace
 
 ProjectedTrial stage_project(runtime::Context& ctx, const Matrix& local_points,
@@ -105,30 +203,96 @@ BinnedTrial stage_bin(runtime::Context& ctx, const Matrix& projected,
 void stage_merge_histograms(runtime::Context& ctx,
                             std::vector<stats::HierarchicalHistogram>& hists,
                             Topology topology, bool integral_counts) {
+  // The classic adaptive dense/sparse plane (pre-comm-mode behaviour);
+  // callers with a full Params use the comm-mode dispatch below.
+  Params params;
+  params.topology = topology;
+  params.comm_mode = CommMode::kSparse;
+  stage_merge_histograms(ctx, hists, params, integral_counts, nullptr);
+}
+
+void stage_merge_histograms(runtime::Context& ctx,
+                            std::vector<stats::HierarchicalHistogram>& hists,
+                            const Params& params, bool integral_counts,
+                            std::uint64_t* observed_nnz) {
   auto scope = ctx.tracer().scope(stage::kMergeHistograms);
   // The only point-derived data that ever crosses ranks,
   // O(dims * 2^max_depth) doubles — through the tree allreduce (adaptive:
   // recursive halving with sparse segments once integral counts make
-  // reordering exact and the payload is worth it) or around a ring (§3
-  // step 3).
+  // reordering exact and the payload is worth it), around a ring (§3
+  // step 3), or through capped coreset sketches (DESIGN.md §9).
+  const auto flat = flatten_counts(hists);
   const auto before = ctx.comm().stats();
   comm::ReduceProfile profile;
   std::vector<double> merged;
-  if (topology == Topology::kRing) {
-    merged = ctx.comm().ring_allreduce(flatten_counts(hists));
-  } else if (integral_counts) {
-    merged = ctx.comm().allreduce(flatten_counts(hists), comm::ReduceOp::kSum,
-                                  comm::AllreduceAlgo::kAuto, &profile);
+  bool coreset = false;
+  if (params.topology == Topology::kRing) {
+    merged = ctx.comm().ring_allreduce(flat);
+    // Ring traffic is not profiled; charge the stats delta instead (both
+    // accountings count framed bytes, so they agree where they overlap).
+    profile.bytes = (ctx.comm().stats() - before).bytes_sent;
   } else {
-    merged = ctx.comm().allreduce(flatten_counts(hists), comm::ReduceOp::kSum);
+    comm::coreset::Options copts;
+    copts.max_cells = params.coreset_max_cells;
+    copts.epsilon = params.coreset_epsilon;
+    copts.seed = params.seed;
+    // Non-integral (fractional) counts never take the adaptive
+    // recursive-halving path: re-associating an FP sum would perturb
+    // results by rounding. A *forced* kCoreset still runs (it is
+    // approximate by contract); kAuto stays exact for fractional counts.
+    const auto exact_algo = integral_counts ? comm::AllreduceAlgo::kAuto
+                                            : comm::AllreduceAlgo::kTree;
+    switch (params.comm_mode) {
+      case CommMode::kDense:
+        merged = ctx.comm().allreduce(flat, comm::ReduceOp::kSum,
+                                      comm::AllreduceAlgo::kTree, &profile);
+        break;
+      case CommMode::kSparse:
+        merged = ctx.comm().allreduce(flat, comm::ReduceOp::kSum, exact_algo,
+                                      &profile);
+        break;
+      case CommMode::kCoreset:
+        merged = coreset_merge_histograms(ctx, hists, flat, copts, &profile);
+        coreset = true;
+        break;
+      case CommMode::kAuto: {
+        const bool dense_enough =
+            observed_nnz != nullptr &&
+            *observed_nnz >=
+                kCoresetAutoDensityFactor *
+                    static_cast<std::uint64_t>(params.coreset_max_cells);
+        if (integral_counts && dense_enough) {
+          merged = coreset_merge_histograms(ctx, hists, flat, copts, &profile);
+          coreset = true;
+        } else {
+          merged = ctx.comm().allreduce(flat, comm::ReduceOp::kSum, exact_algo,
+                                        &profile);
+        }
+        break;
+      }
+    }
   }
   unflatten_counts(merged, hists);
-  const auto delta = ctx.comm().stats() - before;
-  ctx.metrics().add("reduce_bytes", delta.bytes_sent);
-  if (topology != Topology::kRing) {
-    ctx.metrics().add(profile.algo == comm::AllreduceAlgo::kRecursiveHalving
-                          ? "reduce_algo_rh"
-                          : "reduce_algo_tree");
+  if (observed_nnz != nullptr) {
+    std::uint64_t nnz = 0;
+    for (const double v : merged) nnz += (v != 0.0) ? 1 : 0;
+    *observed_nnz = nnz;
+  }
+  ctx.metrics().add("reduce_bytes", profile.bytes);
+  if (params.topology != Topology::kRing) {
+    if (coreset) {
+      ctx.metrics().add("reduce_algo_coreset");
+      ctx.metrics().add("coreset_cells_sent", profile.coreset_cells);
+      // Counters are integers; for integral histogram counts the rounded
+      // dropped mass is exact.
+      ctx.metrics().add("coreset_mass_dropped",
+                        static_cast<std::uint64_t>(
+                            std::llround(profile.coreset_mass_dropped)));
+    } else {
+      ctx.metrics().add(profile.algo == comm::AllreduceAlgo::kRecursiveHalving
+                            ? "reduce_algo_rh"
+                            : "reduce_algo_tree");
+    }
     if (profile.sparse_blocks > 0) {
       ctx.metrics().add("sparse_hits", profile.sparse_blocks);
     }
@@ -211,10 +375,34 @@ AssessedCandidate stage_assess(runtime::Context& ctx, const KeyTable& keys,
                                const std::vector<int>& kept_dims,
                                const PartitionedCandidate& candidate,
                                double weight_per_point) {
+  return stage_assess(ctx, keys, kept_dims, candidate, Params{},
+                      weight_per_point);
+}
+
+AssessedCandidate stage_assess(runtime::Context& ctx, const KeyTable& keys,
+                               const std::vector<int>& kept_dims,
+                               const PartitionedCandidate& candidate,
+                               const Params& params, double weight_per_point) {
   auto scope = ctx.tracer().scope(stage::kAssess);
   // Occupied cells: local count, merged at the root.
-  const auto local_cells = count_cells(keys, kept_dims, candidate.partitions,
-                                       candidate.depths, weight_per_point);
+  auto local_cells = count_cells(keys, kept_dims, candidate.partitions,
+                                 candidate.depths, weight_per_point);
+  if (params.comm_mode == CommMode::kCoreset &&
+      local_cells.size() > params.coreset_max_cells) {
+    // Forced coreset mode caps the assess gather too. kAuto deliberately
+    // does not: cell maps are usually far smaller than deep histograms, and
+    // keeping them exact preserves default-mode fingerprints.
+    double dropped = 0.0;
+    local_cells = coreset_cells(
+        local_cells, params.coreset_max_cells, params.coreset_epsilon,
+        comm::coreset::fork_seed(params.seed,
+                                 static_cast<std::uint64_t>(ctx.comm().rank()),
+                                 /*b=*/0x5eedULL),
+        &dropped);
+    ctx.metrics().add("cells_coreset");
+    ctx.metrics().add("coreset_mass_dropped",
+                      static_cast<std::uint64_t>(std::llround(dropped)));
+  }
   ctx.metrics().add("cells_assessed", local_cells.size());
   auto gathered = ctx.comm().gather(serialize_cells(local_cells), /*root=*/0);
 

@@ -132,6 +132,29 @@ void stage_merge_histograms(runtime::Context& ctx,
                             std::vector<stats::HierarchicalHistogram>& hists,
                             Topology topology, bool integral_counts = false);
 
+/// kAuto comm-mode density rule: switch the merge to the coreset plane once
+/// the previous merge's global non-zero count reaches this multiple of
+/// `coreset_max_cells` — the regime where sparse encoding has re-densified
+/// and per-rank traffic grows with occupancy instead of staying capped.
+inline constexpr std::uint64_t kCoresetAutoDensityFactor = 4;
+
+/// Stage 4 variant [collective]: full comm-mode dispatch (DESIGN.md §9).
+/// `params.comm_mode` selects the plane: kDense pins the binomial tree,
+/// kSparse is the classic adaptive dense/sparse allreduce (what the
+/// Topology overload above runs), kCoreset ships capped weighted sketches
+/// (approximate, sum-only, deterministic per seed), and kAuto upgrades
+/// sparse to coreset using the density observed on the *previous* merge.
+///
+/// `observed_nnz` (optional) carries that density across calls: on entry it
+/// is the last merge's global non-zero count (0 = unknown, stay exact); on
+/// return it holds this merge's. Every rank computes it from the identical
+/// merged vector, so the kAuto protocol choice needs no extra
+/// communication and can never diverge across ranks.
+void stage_merge_histograms(runtime::Context& ctx,
+                            std::vector<stats::HierarchicalHistogram>& hists,
+                            const Params& params, bool integral_counts,
+                            std::uint64_t* observed_nnz = nullptr);
+
 /// KS-based dimension collapsing on a mid-level histogram (§3.1): returns
 /// the indices of dimensions showing multimodal structure. [local; input
 /// histograms are already global, so all ranks agree.]
@@ -179,6 +202,17 @@ struct AssessedCandidate {
 AssessedCandidate stage_assess(runtime::Context& ctx, const KeyTable& keys,
                                const std::vector<int>& kept_dims,
                                const PartitionedCandidate& candidate,
+                               double weight_per_point = 1.0);
+
+/// Stage 6 variant [collective]: comm-mode aware. Under `CommMode::kCoreset`
+/// a rank whose occupied-cell map exceeds `coreset_max_cells` gathers a
+/// weighted coreset of it (cells.hpp coreset_cells) instead of the full
+/// map, capping the assess-stage traffic the same way the histogram merge
+/// is capped. Every other mode gathers exact cells.
+AssessedCandidate stage_assess(runtime::Context& ctx, const KeyTable& keys,
+                               const std::vector<int>& kept_dims,
+                               const PartitionedCandidate& candidate,
+                               const Params& params,
                                double weight_per_point = 1.0);
 
 /// Final stage [collective]: root serializes the winning model (plus any

@@ -469,6 +469,67 @@ TEST(AdaptiveAllreduce, SparseHalvingSendsFewerBytesThanTree) {
       << rh_traffic.bytes_sent << "B";
 }
 
+/// Per-rank sent-byte tally over the probe's on_send hook: the independent
+/// accounting that ReduceProfile::bytes must reconcile with.
+class SentBytesProbe : public CommProbe {
+ public:
+  explicit SentBytesProbe(int ranks) : sent_(static_cast<std::size_t>(ranks)) {
+    for (auto& s : sent_) s.store(0);
+  }
+  void on_send(int self, int /*dest*/, int /*tag*/, std::size_t bytes,
+               std::uint64_t /*flow*/, std::size_t /*queue*/) override {
+    sent_[static_cast<std::size_t>(self)].fetch_add(bytes);
+  }
+  void on_recv(int, int, int, std::size_t, std::uint64_t,
+               std::int64_t) override {}
+  void on_barrier(int, std::int64_t) override {}
+  std::uint64_t sent(int rank) const {
+    return sent_[static_cast<std::size_t>(rank)].load();
+  }
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> sent_;
+};
+
+TEST(ReduceProfileBytes, ReconcileWithStatsAndProbeAcrossAlgos) {
+  // Satellite contract: ReduceProfile::bytes is the TrafficStats bytes_sent
+  // delta (CRC frame + sparse-segment headers included), so it must equal
+  // both the stats delta and the probe's per-rank on_send sum — for the
+  // exact algos and for the coreset plane alike.
+  constexpr int kRanks = 4;
+  SentBytesProbe probe(kRanks);
+  run_ranks(kRanks, [&](Communicator& c) {
+    c.set_probe(&probe);
+    std::vector<double> local(4096, 0.0);
+    for (int k = 0; k < 24; ++k) {
+      local[static_cast<std::size_t>((c.rank() * 131 + k * 977) % 4096)] = 1.0;
+    }
+    for (const auto algo :
+         {AllreduceAlgo::kTree, AllreduceAlgo::kRecursiveHalving}) {
+      const auto probe_before = probe.sent(c.rank());
+      const auto stats_before = c.stats().bytes_sent;
+      ReduceProfile profile;
+      c.allreduce(local, ReduceOp::kSum, algo, &profile);
+      c.barrier();  // all sends land before reading the tallies
+      EXPECT_EQ(profile.bytes, c.stats().bytes_sent - stats_before);
+      EXPECT_EQ(profile.bytes, probe.sent(c.rank()) - probe_before);
+      EXPECT_GT(profile.bytes, 0u);
+    }
+    {
+      const auto probe_before = probe.sent(c.rank());
+      const auto stats_before = c.stats().bytes_sent;
+      ReduceProfile profile;
+      coreset::Options opts;
+      opts.max_cells = 256;
+      c.coreset_allreduce(local, opts, &profile);
+      c.barrier();
+      EXPECT_EQ(profile.bytes, c.stats().bytes_sent - stats_before);
+      EXPECT_EQ(profile.bytes, probe.sent(c.rank()) - probe_before);
+    }
+    c.set_probe(nullptr);
+  });
+}
+
 TEST(AdaptiveAllreduce, ConsecutiveAdaptiveOpsDoNotInterfere) {
   run_ranks(5, [&](Communicator& c) {
     for (int round = 1; round <= 3; ++round) {

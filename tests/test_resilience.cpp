@@ -328,7 +328,121 @@ TEST(Resilience, AgreeTimesOutWhenALiveRankNeverJoinsThreadBackend) {
   EXPECT_EQ(timed_out.load(), 2);
 }
 
+TEST(Resilience, CoresetFitSurvivesKillMidTrialOnThreadBackend) {
+  // The coreset comm plane under the recovery ladder: a forced-kCoreset fit
+  // (cap far below deep-histogram occupancy, so every merge really ships
+  // sketches) loses a rank mid-trial and must shrink and complete on the
+  // survivors, still merging through the coreset plane after the retry.
+  const auto spec = data::make_paper_mixture(8, 3, 21);
+  const auto d = data::sample(spec, 1600, 22);
+  const auto shards = data::shard(d, 4);
+  auto params = resilient_params();
+  params.comm_mode = core::CommMode::kCoreset;
+  params.coreset_max_cells = 128;
+  params.bootstrap_trials = 2;
+
+  std::atomic<int> survivors_done{0};
+  std::atomic<bool> killed_rank_died{false};
+  std::atomic<std::uint64_t> coreset_merges{0};
+  run_ranks(4, [&](Communicator& c) {
+    const auto r = static_cast<std::size_t>(c.rank());
+    comm::fault::FaultSchedule s;
+    s.seed = 77;
+    if (c.rank() == 1) s.kill_at_op = 30;  // dies inside the first trial
+    comm::fault::FaultyComm faulty(c, s);
+    runtime::Context ctx(faulty, params.seed);
+    try {
+      const auto result = core::fit(ctx, shards[r].points, params);
+      EXPECT_TRUE(ctx.degraded());
+      EXPECT_EQ(ctx.size(), 3);
+      EXPECT_EQ(result.labels.size(), shards[r].points.rows());
+      for (const int label : result.labels) EXPECT_GE(label, 0);
+      const auto metrics = ctx.metrics_report();
+      if (ctx.is_root()) {
+        coreset_merges.store(metrics.counters.at("reduce_algo_coreset"));
+      }
+      survivors_done.fetch_add(1);
+    } catch (const comm::fault::KilledError&) {
+      killed_rank_died.store(true);
+    }
+  });
+  EXPECT_TRUE(killed_rank_died.load());
+  EXPECT_EQ(survivors_done.load(), 3);
+  // The survivors' merges (including every post-shrink retry) went through
+  // the coreset plane, not a silent fallback to the exact one.
+  EXPECT_GE(coreset_merges.load(), 1u);
+}
+
 #ifdef __linux__
+
+TEST(Resilience, SigkillMidCoresetReduceShrinksAndRetriesProcessBackend) {
+  // The honest version of a mid-reduce death: rank 2 SIGKILLs itself right
+  // before entering coreset_allreduce, so the root's tree recv hits a dead
+  // rank and every other survivor times out in the result broadcast. The
+  // survivors then run the shrink ladder (agree_survivors -> SubgroupComm)
+  // and retry the same coreset reduce over the shrunken group; with
+  // disjoint under-cap supports the retried merge is exact, so the dead
+  // rank's contribution — and only it — is missing.
+  comm::LaunchOptions opt;
+  opt.backend = comm::Backend::kProcess;
+  std::exception_ptr err;
+  const auto blobs = comm::run_ranks_collect_bytes(
+      opt, 5,
+      [](Communicator& c) -> std::vector<std::byte> {
+        const auto original_rank = static_cast<std::size_t>(c.rank());
+        constexpr std::size_t kLen = 1 << 14;
+        std::vector<double> local(kLen, 0.0);
+        for (std::size_t k = 0; k < 8; ++k) {
+          local[original_rank * 1024 + k] = static_cast<double>(k + 1);
+        }
+        comm::coreset::Options opts;
+        opts.max_cells = 512;
+        c.barrier();
+        if (original_rank == 2) ::raise(SIGKILL);
+        c.set_timeout(5.0);
+        bool first_attempt_failed = false;
+        try {
+          (void)c.coreset_allreduce(local, opts);
+        } catch (const comm::CommError&) {
+          first_attempt_failed = true;
+        }
+        // Generous failure-path-only bounds, as in the SIGKILL tests above.
+        c.set_timeout(120.0);
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(120);
+        while (c.failed_ranks().empty() &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        const auto survivors = c.agree_survivors();
+        comm::SubgroupComm sub(c, survivors);
+        const auto merged = sub.coreset_allreduce(local, opts);
+        ByteWriter w;
+        w.write<std::uint8_t>(first_attempt_failed ? 1 : 0);
+        w.write<std::uint64_t>(survivors.size());
+        double total = 0.0;
+        for (const double v : merged) total += v;
+        w.write<double>(total);
+        w.write<double>(merged[2 * 1024]);  // the dead rank's spike
+        for (const std::size_t r : {0u, 1u, 3u, 4u}) {
+          w.write<double>(merged[r * 1024 + 7]);
+        }
+        return w.take();
+      },
+      nullptr, &err);
+  EXPECT_TRUE(err == nullptr);
+  EXPECT_TRUE(blobs[2].empty());
+  for (const int rank : {0, 1, 3, 4}) {
+    ByteReader r(blobs[static_cast<std::size_t>(rank)]);
+    EXPECT_EQ(r.read<std::uint8_t>(), 1u) << "rank " << rank;
+    ASSERT_EQ(r.read<std::uint64_t>(), 4u) << "rank " << rank;
+    EXPECT_DOUBLE_EQ(r.read<double>(), 4.0 * 36.0) << "rank " << rank;
+    EXPECT_DOUBLE_EQ(r.read<double>(), 0.0) << "rank " << rank;
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_DOUBLE_EQ(r.read<double>(), 8.0) << "rank " << rank;
+    }
+  }
+}
 
 TEST(Resilience, TwoSimultaneousSigkillsConvergeOnProcessBackend) {
   // The process-backed version is the honest one: ranks 2 and 3 are

@@ -53,10 +53,20 @@
 #                                  # full schema, a fit stage observed live),
 #                                  # then validate the merged collapsed-stack
 #                                  # output with trace_check --folded
+#   tools/check_tier1.sh --coreset-smoke
+#                                  # build, then gate the coreset comm plane:
+#                                  # run the test_coreset suite, a small
+#                                  # table2_scaling comm-mode sweep (the bench
+#                                  # itself aborts on the bytes/ARI/auto bars
+#                                  # at representative scale; the smoke size
+#                                  # only checks it runs end to end), and
+#                                  # trace_check --bench validating the new
+#                                  # coreset series schema
 #   tools/check_tier1.sh --perf-gate
 #                                  # build, rerun bench/kernel_fusion,
-#                                  # bench/comm_backends, and
-#                                  # bench/profile_overhead with the committed
+#                                  # bench/comm_backends,
+#                                  # bench/profile_overhead, and
+#                                  # bench/table2_scaling with the committed
 #                                  # baselines' exact options, and gate with
 #                                  # kb2_analyze --compare against
 #                                  # bench/baselines/BENCH_*.json; also
@@ -82,6 +92,7 @@ analyze_smoke=0
 proc_smoke=0
 chaos_smoke=0
 profile_smoke=0
+coreset_smoke=0
 perf_gate=0
 ctest_args=()
 for arg in "$@"; do
@@ -95,6 +106,7 @@ for arg in "$@"; do
     --proc-smoke) proc_smoke=1 ;;
     --chaos-smoke) chaos_smoke=1 ;;
     --profile-smoke) profile_smoke=1 ;;
+    --coreset-smoke) coreset_smoke=1 ;;
     --perf-gate) perf_gate=1 ;;
     *) ctest_args+=("${arg}") ;;
   esac
@@ -277,22 +289,57 @@ ${backend}" >&2; exit 1; }
   exit 0
 fi
 
+if [[ "${coreset_smoke}" == "1" ]]; then
+  # Coreset comm-plane smoke: the dedicated suite (samplers, merge algebra,
+  # determinism, auto-selection, both transports), then a small end-to-end
+  # comm-mode sweep and the schema of the report the perf gate consumes.
+  # The acceptance bars (>= 5x bytes vs sparse, ARI >= 0.95, kAuto picks
+  # coreset) are enforced by the bench itself at representative scale — the
+  # perf-gate invocation below runs exactly that; the smoke size here only
+  # proves the plumbing end to end.
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  "${build_dir}/tests/test_coreset"
+  (cd "${smoke_dir}" && "${build_dir}/bench/table2_scaling" \
+    --points-per-rank 500 --runs 1 --seed 42)
+  "${build_dir}/tools/trace_check" --bench \
+    "${smoke_dir}/BENCH_table2_scaling.json"
+  echo "coreset smoke: OK"
+  exit 0
+fi
+
 if [[ "${perf_gate}" == "1" ]]; then
   # Continuous perf-regression gate: rerun each bench with its committed
   # baseline's exact options and compare. The second compare proves the
   # gate itself still trips: a synthetic 2x slowdown must FAIL.
+  # table2_scaling runs its comm-mode sweep at full gate scale, so its
+  # nonzero exit on a missed bytes/ARI/auto-selection bar fails the gate
+  # before the baseline comparison does.
   gate_dir="$(mktemp -d)"
   trap 'rm -rf "${gate_dir}"' EXIT
-  for bench in kernel_fusion comm_backends profile_overhead; do
+  for bench in kernel_fusion comm_backends profile_overhead table2_scaling; do
     baseline="${repo_root}/bench/baselines/BENCH_${bench}.json"
     [[ -f "${baseline}" ]] \
       || { echo "perf gate: missing baseline ${baseline}" >&2; exit 1; }
-    (cd "${gate_dir}" && "${build_dir}/bench/${bench}" \
-      --points-per-rank 20000 --ranks 4 --runs 3 --seed 42)
+    case "${bench}" in
+      # table2 runs its stages at small per-rank sizes, so sub-50ms stage
+      # walls are scheduler jitter: judge only bytes (still gated for every
+      # stage) and the big stage imbalances there.
+      table2_scaling)
+        bench_opts=(--points-per-rank 2000 --runs 2 --seed 42)
+        compare_opts=(--min-stage-seconds 0.05)
+        ;;
+      *)
+        bench_opts=(--points-per-rank 20000 --ranks 4 --runs 3 --seed 42)
+        compare_opts=()
+        ;;
+    esac
+    (cd "${gate_dir}" && "${build_dir}/bench/${bench}" "${bench_opts[@]}")
     "${build_dir}/tools/kb2_analyze" --compare "${baseline}" \
-      "${gate_dir}/BENCH_${bench}.json"
+      "${gate_dir}/BENCH_${bench}.json" "${compare_opts[@]}"
     if "${build_dir}/tools/kb2_analyze" --compare "${baseline}" \
-      "${gate_dir}/BENCH_${bench}.json" --scale-time 2.0 >/dev/null; then
+      "${gate_dir}/BENCH_${bench}.json" "${compare_opts[@]}" \
+      --scale-time 2.0 >/dev/null; then
       echo "perf gate: self-test failed (2x slowdown passed ${bench})" >&2
       exit 1
     fi

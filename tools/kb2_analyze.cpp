@@ -10,7 +10,7 @@
 //
 //   kb2_analyze --compare baseline.json current.json [--scale-time F]
 //               [--time-tol F] [--bytes-tol F] [--imbalance-tol F]
-//               [--noise-k F]
+//               [--noise-k F] [--min-stage-seconds F]
 //       Diff two bench reports (BENCH_*.json) or two analysis reports.
 //       Exits 0 when no gated metric regressed beyond its noise-calibrated
 //       tolerance, 1 otherwise — check_tier1.sh --perf-gate builds on this.
@@ -52,7 +52,8 @@ int usage(int code) {
       "usage: kb2_analyze trace.json [--json]\n"
       "       kb2_analyze --compare baseline.json current.json\n"
       "                   [--scale-time F] [--time-tol F] [--bytes-tol F]\n"
-      "                   [--imbalance-tol F] [--noise-k F]\n");
+      "                   [--imbalance-tol F] [--noise-k F]\n"
+      "                   [--min-stage-seconds F]\n");
   return code;
 }
 
@@ -84,6 +85,9 @@ int main(int argc, char** argv) {
       copts.bytes_tol = std::strtod(next("--bytes-tol"), nullptr);
     } else if (!std::strcmp(argv[i], "--imbalance-tol")) {
       copts.imbalance_tol = std::strtod(next("--imbalance-tol"), nullptr);
+    } else if (!std::strcmp(argv[i], "--min-stage-seconds")) {
+      copts.min_stage_seconds =
+          std::strtod(next("--min-stage-seconds"), nullptr);
     } else if (!std::strcmp(argv[i], "--noise-k")) {
       copts.noise_k = std::strtod(next("--noise-k"), nullptr);
     } else if (!std::strcmp(argv[i], "--help")) {

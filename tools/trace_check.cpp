@@ -84,12 +84,34 @@ constexpr const char* kBenchSeries[] = {
     "reduce_bytes_dense", "reduce_bytes_sparse", "reduce_bytes_savings",
 };
 
+// Series every BENCH_table2_scaling.json must carry since the comm-mode
+// sweep landed (bench/table2_scaling.cpp run_comm_mode_sweep writes these;
+// the perf gate's bytes comparison and the README frontier table both read
+// them).
+constexpr const char* kCommModeSeries[] = {
+    "reduce_bytes_mode_dense",  "reduce_bytes_mode_sparse",
+    "reduce_bytes_mode_coreset", "coreset_vs_sparse_ratio",
+    "coreset_ari",              "coreset_cells_sent",
+    "coreset_mass_dropped",     "auto_picks_coreset",
+};
+
 int check_bench(const JsonValue& doc) {
   const auto* series = doc.find("series");
   if (series == nullptr || !series->is_object()) {
     return fail("no series object");
   }
-  for (const char* name : kBenchSeries) {
+  // Dispatch the required-series list on the report's bench name; files
+  // from before the name field (or other benches) keep the kernel-fusion
+  // contract this mode was introduced for.
+  const auto* bench_name = doc.find("bench");
+  const bool comm_sweep = bench_name != nullptr && bench_name->is_string() &&
+                          bench_name->string() == "table2_scaling";
+  const char* const* names = comm_sweep ? kCommModeSeries : kBenchSeries;
+  const std::size_t count =
+      comm_sweep ? sizeof(kCommModeSeries) / sizeof(kCommModeSeries[0])
+                 : sizeof(kBenchSeries) / sizeof(kBenchSeries[0]);
+  for (std::size_t i = 0; i < count; ++i) {
+    const char* name = names[i];
     const auto* s = series->find(name);
     if (s == nullptr) {
       std::fprintf(stderr, "trace_check: FAIL: missing series %s\n", name);
@@ -102,7 +124,7 @@ int check_bench(const JsonValue& doc) {
     }
   }
   std::printf("trace_check: OK: bench report carries all %zu series\n",
-              sizeof(kBenchSeries) / sizeof(kBenchSeries[0]));
+              count);
   return 0;
 }
 
