@@ -180,6 +180,34 @@ class CommProbe {
   virtual void on_barrier(int self, std::int64_t wait_ns) = 0;
 };
 
+/// Black-box hook a communicator fires at the *start* and *end* of every
+/// blocking operation, in contrast to CommProbe which only observes
+/// completions. The begin/end pairing is what makes post-mortem attribution
+/// possible: a rank killed (or hung) mid-operation leaves a begin with no
+/// matching end in its flight ring, naming exactly the op, peer, and tag it
+/// died inside. Implementations must be lock-free and allocation-free — the
+/// runtime's flight recorder writes a seqlock-published ring slot — because
+/// begins fire before any blocking wait and may be interleaved with signal
+/// handlers. Decorators and subgroup views forward set_flight_hook() to the
+/// leaf transport; fault injectors additionally record a begin for the op a
+/// simulated kill interrupts, so the simulated death leaves the same
+/// evidence a real SIGKILL would.
+class FlightHook {
+ public:
+  enum Op : int { kSend = 0, kRecv = 1, kBarrier = 2, kAgree = 3 };
+
+  virtual ~FlightHook() = default;
+
+  /// `self` is entering a blocking operation. peer/tag are -1 where not
+  /// meaningful (barrier, agreement).
+  virtual void on_op_begin(Op op, int peer, int tag, std::size_t bytes) = 0;
+
+  /// The operation completed successfully. An exception path deliberately
+  /// records no end: "last record is an unmatched begin" is the in-flight /
+  /// waiting-on evidence the post-mortem reads.
+  virtual void on_op_end(Op op, int peer, int tag, std::size_t bytes) = 0;
+};
+
 /// Human-readable name for a message tag: user tags print as "user:<n>",
 /// the reserved collective tags above kUserTagLimit print as the collective
 /// that owns them ("bcast", "gather", ...). Used by heatmap/metrics output.
@@ -250,6 +278,19 @@ class Communicator {
   /// detached first. Disabled (the default) costs one branch per operation.
   virtual void set_probe(CommProbe* probe) { probe_ = probe; }
   CommProbe* probe() const { return probe_; }
+
+  /// Attach a flight-recorder hook (nullptr detaches). Same forwarding
+  /// discipline as set_probe: leaf transports fire it, decorators forward.
+  virtual void set_flight_hook(FlightHook* hook) { flight_hook_ = hook; }
+  FlightHook* flight_hook() const { return flight_hook_; }
+
+  /// Recovery-ladder counters, group-wide: replacement forks spent and
+  /// regrow epochs completed so far. Live on ProcComm (read from the shared
+  /// group header, so every rank sees supervisor activity as it happens);
+  /// 0 on backends without a respawn supervisor. Decorators and subgroup
+  /// views forward to the leaf.
+  virtual std::uint64_t respawns_total() const { return 0; }
+  virtual std::uint64_t regrow_epochs() const { return 0; }
 
   /// Hand a received buffer back to the transport for reuse (collectives
   /// call this after parsing a frame). The default drops it; pooled
@@ -371,6 +412,7 @@ class Communicator {
 
   double timeout_seconds_ = 0.0;
   CommProbe* probe_ = nullptr;
+  FlightHook* flight_hook_ = nullptr;
   std::vector<std::byte> frame_scratch_;  // reused send_frame assembly buffer
 
   // Reduce hot-loop scratch, pooled across blocks, rounds, and calls so the
@@ -426,12 +468,21 @@ class SubgroupComm final : public Communicator {
 
   void set_timeout(double seconds) override;
   void set_probe(CommProbe* probe) override;
+  void set_flight_hook(FlightHook* hook) override {
+    parent_->set_flight_hook(hook);
+  }
   std::vector<int> failed_ranks() const override;
   std::vector<int> agree_survivors() override;
   bool process_isolated() const override {
     return parent_->process_isolated();
   }
   int incarnation() const override { return parent_->incarnation(); }
+  std::uint64_t respawns_total() const override {
+    return parent_->respawns_total();
+  }
+  std::uint64_t regrow_epochs() const override {
+    return parent_->regrow_epochs();
+  }
 
   const std::vector<int>& members() const { return members_; }
 

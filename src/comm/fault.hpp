@@ -96,6 +96,13 @@ class FaultyComm final : public Communicator {
     // observed (matching TrafficStats, which also only counts real pushes).
     inner_->set_probe(probe);
   }
+  void set_flight_hook(FlightHook* hook) override {
+    // Kept locally too: a simulated kill fires before the inner op runs, so
+    // the kill site must record the interrupted op's begin itself — the
+    // thread-backend equivalent of SIGKILL evidence.
+    Communicator::set_flight_hook(hook);
+    inner_->set_flight_hook(hook);
+  }
   std::vector<int> failed_ranks() const override {
     return inner_->failed_ranks();
   }
@@ -104,12 +111,22 @@ class FaultyComm final : public Communicator {
     return inner_->process_isolated();
   }
   int incarnation() const override { return inner_->incarnation(); }
+  std::uint64_t respawns_total() const override {
+    return inner_->respawns_total();
+  }
+  std::uint64_t regrow_epochs() const override {
+    return inner_->regrow_epochs();
+  }
 
   /// Operations performed so far (send/recv/barrier/agree).
   std::uint64_t ops() const { return ops_; }
 
  private:
-  void count_op_and_maybe_kill();
+  /// Counts the op and, if the kill step is reached, records the interrupted
+  /// op's flight-hook begin (the in-flight evidence a real SIGKILL would
+  /// leave) before killing the rank.
+  void count_op_and_maybe_kill(FlightHook::Op op, int peer, int tag,
+                               std::size_t bytes);
 
   Communicator* inner_;
   FaultSchedule schedule_;

@@ -33,8 +33,11 @@ LaunchOptions LaunchOptions::from_env() {
   return opt;
 }
 
-TrafficStats run_ranks(int n_ranks,
-                       const std::function<void(Communicator&)>& fn) {
+namespace {
+
+TrafficStats run_ranks_thread(int n_ranks,
+                              const std::function<void(Communicator&)>& fn,
+                              const AbnormalDeathFn& on_abnormal_death) {
   KB2_CHECK_MSG(n_ranks >= 1, "need at least one rank, got " << n_ranks);
   ThreadCommHub hub(n_ranks);
 
@@ -59,12 +62,16 @@ TrafficStats run_ranks(int n_ranks,
         // Per-rank failure flag: peers blocked on this rank wake with a
         // RankFailedError naming it, and may shrink-and-continue without it.
         hub.mark_failed(r, e.what());
+        // Thread ranks can't be SIGKILLed; a thrown death is the backend's
+        // abnormal exit, reported to the same forensics seam.
+        if (on_abnormal_death) on_abnormal_death(r, 0, e.what());
       } catch (...) {
         {
           std::lock_guard lk(err_mu);
           if (!first_error) first_error = std::current_exception();
         }
         hub.mark_failed(r, "unknown exception");
+        if (on_abnormal_death) on_abnormal_death(r, 0, "unknown exception");
       }
     });
   }
@@ -76,14 +83,25 @@ TrafficStats run_ranks(int n_ranks,
   return total;
 }
 
+}  // namespace
+
+TrafficStats run_ranks(int n_ranks,
+                       const std::function<void(Communicator&)>& fn) {
+  return run_ranks_thread(n_ranks, fn, {});
+}
+
 TrafficStats run_ranks(const LaunchOptions& options, int n_ranks,
                        const std::function<void(Communicator&)>& fn) {
-  if (options.backend == Backend::kThread) return run_ranks(n_ranks, fn);
+  if (options.backend == Backend::kThread) {
+    return run_ranks_thread(n_ranks, fn, options.on_abnormal_death);
+  }
   ProcRunResult res = proc_run_ranks(
-      n_ranks, options.ring_bytes, options.recovery, [&](Communicator& c) {
+      n_ranks, options.ring_bytes, options.recovery,
+      [&](Communicator& c) {
         fn(c);
         return std::vector<std::byte>{};
-      });
+      },
+      options.on_abnormal_death);
   if (res.first_error) std::rethrow_exception(res.first_error);
   return res.total_stats;
 }
@@ -94,7 +112,8 @@ std::vector<std::vector<std::byte>> run_ranks_collect_bytes(
     TrafficStats* total, std::exception_ptr* first_error) {
   if (options.backend == Backend::kProcess) {
     ProcRunResult res =
-        proc_run_ranks(n_ranks, options.ring_bytes, options.recovery, fn);
+        proc_run_ranks(n_ranks, options.ring_bytes, options.recovery, fn,
+                       options.on_abnormal_death);
     if (total != nullptr) *total = res.total_stats;
     if (first_error != nullptr) {
       *first_error = res.first_error;
@@ -113,9 +132,12 @@ std::vector<std::vector<std::byte>> run_ranks_collect_bytes(
   TrafficStats stats;
   std::exception_ptr err;
   try {
-    stats = run_ranks(n_ranks, [&](Communicator& c) {
-      results[static_cast<std::size_t>(c.rank())] = fn(c);
-    });
+    stats = run_ranks_thread(
+        n_ranks,
+        [&](Communicator& c) {
+          results[static_cast<std::size_t>(c.rank())] = fn(c);
+        },
+        options.on_abnormal_death);
   } catch (...) {
     err = std::current_exception();
   }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "comm/proc_comm.hpp"
 #include "comm/recovery.hpp"
 #include "comm/thread_comm.hpp"
 
@@ -46,6 +47,13 @@ struct LaunchOptions {
   /// comm/recovery.hpp). The default zero budget keeps the classic
   /// shrink-and-continue behaviour.
   RecoveryPolicy recovery;
+
+  /// Abnormal-death observer (see comm/proc_comm.hpp). Under the process
+  /// backend the supervisor invokes it when a rank dies without a complete
+  /// report (real SIGKILL); under the thread backend the launcher invokes it
+  /// when a rank's function throws, so forensics hooks see the same event on
+  /// either backend.
+  AbnormalDeathFn on_abnormal_death;
 
   /// Read the backend from the environment: KB2_BACKEND=proc (or "process")
   /// selects the process backend, "thread" / unset the thread backend; any

@@ -499,6 +499,12 @@ void ProcComm::drain_rings() {
 void ProcComm::send(int dest, int tag, std::span<const std::byte> data) {
   KB2_CHECK_MSG(dest >= 0 && dest < size(),
                 "send dest " << dest << " out of group size " << size());
+  // Flight begin before any throw or blocking wait; the matching end fires
+  // only on the success path, so a SIGKILL inside the ring-full wait (or a
+  // thrown abandonment) leaves the unmatched begin the post-mortem reads.
+  if (FlightHook* f = flight_hook()) {
+    f->on_op_begin(FlightHook::kSend, dest, tag, data.size());
+  }
   if (g_->shrink_pending()) {
     throw RecoveryError(abandoned_message(rank_, "send", dest, tag));
   }
@@ -558,6 +564,9 @@ void ProcComm::send(int dest, int tag, std::span<const std::byte> data) {
       detail::PerRank& me = g_->ranks[rank_];
       me.messages_sent.fetch_add(1, std::memory_order_relaxed);
       me.bytes_sent.fetch_add(data.size(), std::memory_order_relaxed);
+      if (FlightHook* f = flight_hook()) {
+        f->on_op_end(FlightHook::kSend, dest, tag, data.size());
+      }
       return;
     }
 
@@ -594,6 +603,9 @@ void ProcComm::send(int dest, int tag, std::span<const std::byte> data) {
 std::vector<std::byte> ProcComm::recv(int src, int tag) {
   KB2_CHECK_MSG(src >= 0 && src < size(),
                 "recv src " << src << " out of group size " << size());
+  if (FlightHook* f = flight_hook()) {
+    f->on_op_begin(FlightHook::kRecv, src, tag, 0);
+  }
   const auto start = CommClock::now();
   const std::int64_t t0 = now_ns();
   const double tmo = timeout();
@@ -608,6 +620,9 @@ std::vector<std::byte> ProcComm::recv(int src, int tag) {
       if (CommProbe* p = probe()) {
         p->on_recv(rank_, src, tag, msg.bytes.size(), msg.flow_id,
                    now_ns() - t0);
+      }
+      if (FlightHook* f = flight_hook()) {
+        f->on_op_end(FlightHook::kRecv, src, tag, msg.bytes.size());
       }
       return std::move(msg.bytes);
     }
@@ -639,6 +654,11 @@ void ProcComm::barrier() {
   const auto start = CommClock::now();
   const std::int64_t t0 = now_ns();
   const double tmo = timeout();
+  // Flight end fires only on completion; an abandoned barrier leaves the
+  // unmatched begin as evidence of where the rank was parked.
+  if (FlightHook* f = flight_hook()) {
+    f->on_op_begin(FlightHook::kBarrier, -1, -1, 0);
+  }
   if (g_->shrink_pending()) {
     throw RecoveryError(abandoned_message(rank_, "barrier", -1, -1));
   }
@@ -662,6 +682,9 @@ void ProcComm::barrier() {
                                    std::memory_order_acq_rel)) {
         detail::futex_wake_all(detail::gen_half(&bw));
         if (CommProbe* p = probe()) p->on_barrier(rank_, now_ns() - t0);
+        if (FlightHook* f = flight_hook()) {
+          f->on_op_end(FlightHook::kBarrier, -1, -1, 0);
+        }
         return;
       }
     } else if (bw.compare_exchange_weak(
@@ -690,6 +713,9 @@ void ProcComm::barrier() {
     w = bw.load(std::memory_order_acquire);
     if (detail::hi32(w) != my_generation) {
       if (CommProbe* p = probe()) p->on_barrier(rank_, now_ns() - t0);
+      if (FlightHook* f = flight_hook()) {
+        f->on_op_end(FlightHook::kBarrier, -1, -1, 0);
+      }
       return;
     }
     if (g_->shrink_pending()) {
@@ -712,6 +738,9 @@ void ProcComm::barrier() {
 std::vector<int> ProcComm::agree_survivors() {
   const auto start = CommClock::now();
   const double tmo = timeout();
+  if (FlightHook* f = flight_hook()) {
+    f->on_op_begin(FlightHook::kAgree, -1, -1, 0);
+  }
   std::atomic<std::uint64_t>& sw = g_->hdr->shrink_word;
 
   // Arrive: set the pending bit (waking blocked peers into RecoveryError so
@@ -768,6 +797,9 @@ std::vector<int> ProcComm::agree_survivors() {
   for (int r = 0; r < size(); ++r) {
     if ((mask >> r) & 1u) survivors.push_back(r);
   }
+  if (FlightHook* f = flight_hook()) {
+    f->on_op_end(FlightHook::kAgree, -1, -1, survivors.size());
+  }
   return survivors;
 }
 
@@ -796,6 +828,14 @@ std::vector<int> ProcComm::failed_ranks() const {
 int ProcComm::incarnation() const {
   return static_cast<int>(
       g_->ranks[rank_].incarnation.load(std::memory_order_acquire));
+}
+
+std::uint64_t ProcComm::respawns_total() const {
+  return g_->hdr->respawns_total.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ProcComm::regrow_epochs() const {
+  return g_->hdr->regrow_epochs.load(std::memory_order_relaxed);
 }
 
 // ---- parent side: segment construction, fork, monitor, collection ----
@@ -1061,7 +1101,8 @@ void write_all(int fd, std::span<const std::byte> data) {
 
 ProcRunResult proc_run_ranks(
     int n_ranks, std::size_t ring_bytes, const RecoveryPolicy& policy,
-    const std::function<std::vector<std::byte>(Communicator&)>& fn) {
+    const std::function<std::vector<std::byte>(Communicator&)>& fn,
+    const AbnormalDeathFn& on_abnormal_death) {
   KB2_CHECK_MSG(n_ranks >= 1, "need at least one rank, got " << n_ranks);
   KB2_CHECK_MSG(n_ranks <= detail::kMaxProcRanks,
                 "process backend supports at most " << detail::kMaxProcRanks
@@ -1199,6 +1240,9 @@ ProcRunResult proc_run_ranks(
                                       detail::kErrUnknown,
                                       RankState::kDeparted);
       }
+      // Abnormal death observed at the supervisor: let the forensics layer
+      // freeze and dump the black-box rings before any respawn reuses them.
+      if (on_abnormal_death) on_abnormal_death(r, c.incarnation, reason);
     }
     // Schedule reserved respawns. A death that won budget (respawn_reserved
     // set inside mark_failed_in_shared, before the state flip) gets a
@@ -1325,6 +1369,8 @@ void ProcComm::recycle_buffer(std::vector<std::byte>&&) { no_proc_backend(); }
 std::vector<int> ProcComm::failed_ranks() const { no_proc_backend(); }
 std::vector<int> ProcComm::agree_survivors() { no_proc_backend(); }
 int ProcComm::incarnation() const { no_proc_backend(); }
+std::uint64_t ProcComm::respawns_total() const { no_proc_backend(); }
+std::uint64_t ProcComm::regrow_epochs() const { no_proc_backend(); }
 void ProcComm::drain_rings() { no_proc_backend(); }
 void ProcComm::throw_rank_failed(const char*, int, int, int) {
   no_proc_backend();
@@ -1332,7 +1378,8 @@ void ProcComm::throw_rank_failed(const char*, int, int, int) {
 
 ProcRunResult proc_run_ranks(
     int, std::size_t, const RecoveryPolicy&,
-    const std::function<std::vector<std::byte>(Communicator&)>&) {
+    const std::function<std::vector<std::byte>(Communicator&)>&,
+    const AbnormalDeathFn&) {
   no_proc_backend();
 }
 

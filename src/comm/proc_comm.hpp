@@ -77,6 +77,8 @@ class ProcComm final : public Communicator {
   std::vector<int> agree_survivors() override;
   bool process_isolated() const override { return true; }
   int incarnation() const override;
+  std::uint64_t respawns_total() const override;
+  std::uint64_t regrow_epochs() const override;
 
  private:
   /// Move every frame parked in the incoming rings into the local stash.
@@ -111,6 +113,15 @@ struct ProcRunResult {
   int regrow_epochs = 0;
 };
 
+/// Invoked by the parent supervisor, in the parent, whenever a rank is
+/// recorded dead without a complete report — killed by a signal, or exited
+/// without reporting. Arguments: rank, incarnation that died, and the
+/// attributed reason ("killed by signal 9", ...). The flight recorder's
+/// launcher hooks this to freeze the black-box rings and write a post-mortem
+/// dump at the moment of death, before any respawn reuses the ring.
+using AbnormalDeathFn =
+    std::function<void(int rank, int incarnation, const std::string& reason)>;
+
 /// Fork `n_ranks` child processes, run `fn(comm)` in each over a shared
 /// ProcComm group, and collect results/errors in the parent. `ring_bytes`
 /// is the per-(src, dest) ring capacity (0 = default). Blocks until every
@@ -126,7 +137,8 @@ struct ProcRunResult {
 /// pre-ladder behaviour.
 ProcRunResult proc_run_ranks(
     int n_ranks, std::size_t ring_bytes, const RecoveryPolicy& policy,
-    const std::function<std::vector<std::byte>(Communicator&)>& fn);
+    const std::function<std::vector<std::byte>(Communicator&)>& fn,
+    const AbnormalDeathFn& on_abnormal_death = {});
 
 ProcRunResult proc_run_ranks(
     int n_ranks, std::size_t ring_bytes,

@@ -319,30 +319,55 @@ int ThreadComm::size() const { return hub_->size(); }
 void ThreadComm::send(int dest, int tag, std::span<const std::byte> data) {
   KB2_CHECK_MSG(dest >= 0 && dest < size(),
                 "send dest " << dest << " out of group size " << size());
+  // Begin before the (potentially blocking) push, end only on success: an
+  // exception or death mid-push leaves an unmatched begin in the flight
+  // ring, which is the post-mortem's in-flight evidence.
+  if (FlightHook* f = flight_hook()) {
+    f->on_op_begin(FlightHook::kSend, dest, tag, data.size());
+  }
   hub_->push(rank_, dest, tag, data, probe());
+  if (FlightHook* f = flight_hook()) {
+    f->on_op_end(FlightHook::kSend, dest, tag, data.size());
+  }
 }
 
 std::vector<std::byte> ThreadComm::recv(int src, int tag) {
   KB2_CHECK_MSG(src >= 0 && src < size(),
                 "recv src " << src << " out of group size " << size());
+  if (FlightHook* f = flight_hook()) {
+    f->on_op_begin(FlightHook::kRecv, src, tag, 0);
+  }
   CommProbe* p = probe();
-  if (!p) return hub_->pop(rank_, src, tag, timeout(), nullptr);
-  std::uint64_t flow = 0;
-  const std::int64_t t0 = now_ns();
-  auto data = hub_->pop(rank_, src, tag, timeout(), &flow);
-  p->on_recv(rank_, src, tag, data.size(), flow, now_ns() - t0);
+  std::vector<std::byte> data;
+  if (!p) {
+    data = hub_->pop(rank_, src, tag, timeout(), nullptr);
+  } else {
+    std::uint64_t flow = 0;
+    const std::int64_t t0 = now_ns();
+    data = hub_->pop(rank_, src, tag, timeout(), &flow);
+    p->on_recv(rank_, src, tag, data.size(), flow, now_ns() - t0);
+  }
+  if (FlightHook* f = flight_hook()) {
+    f->on_op_end(FlightHook::kRecv, src, tag, data.size());
+  }
   return data;
 }
 
 void ThreadComm::barrier() {
+  if (FlightHook* f = flight_hook()) {
+    f->on_op_begin(FlightHook::kBarrier, -1, -1, 0);
+  }
   CommProbe* p = probe();
   if (!p) {
     hub_->barrier_wait(rank_, timeout());
-    return;
+  } else {
+    const std::int64_t t0 = now_ns();
+    hub_->barrier_wait(rank_, timeout());
+    p->on_barrier(rank_, now_ns() - t0);
   }
-  const std::int64_t t0 = now_ns();
-  hub_->barrier_wait(rank_, timeout());
-  p->on_barrier(rank_, now_ns() - t0);
+  if (FlightHook* f = flight_hook()) {
+    f->on_op_end(FlightHook::kBarrier, -1, -1, 0);
+  }
 }
 
 TrafficStats ThreadComm::stats() const { return hub_->stats(rank_); }
@@ -356,7 +381,14 @@ std::vector<int> ThreadComm::failed_ranks() const {
 }
 
 std::vector<int> ThreadComm::agree_survivors() {
-  return hub_->agree_survivors(rank_, timeout());
+  if (FlightHook* f = flight_hook()) {
+    f->on_op_begin(FlightHook::kAgree, -1, -1, 0);
+  }
+  auto survivors = hub_->agree_survivors(rank_, timeout());
+  if (FlightHook* f = flight_hook()) {
+    f->on_op_end(FlightHook::kAgree, -1, -1, survivors.size());
+  }
+  return survivors;
 }
 
 }  // namespace keybin2::comm

@@ -146,6 +146,10 @@ OutOfCoreResult fit_from_file(runtime::Context& ctx,
       ctx.log().info("checkpoint_restore",
                      {{"path", checkpoint.path},
                       {"chunks_done", std::to_string(chunks_done)}});
+      if (ctx.flight() != nullptr) {
+        ctx.flight()->event(runtime::flight::EventType::kCheckpoint,
+                            "restore", chunks_done);
+      }
     }
   }
 
@@ -159,6 +163,10 @@ OutOfCoreResult fit_from_file(runtime::Context& ctx,
                    {{"path", checkpoint.path},
                     {"chunks_done", std::to_string(cursor)},
                     {"reason", why}});
+    if (ctx.flight() != nullptr) {
+      ctx.flight()->event(runtime::flight::EventType::kCheckpoint, why,
+                          cursor);
+    }
   };
 
   // Pass 1: histograms (and reservoir) only. With a resume cursor, seek the

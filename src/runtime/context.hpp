@@ -27,6 +27,7 @@
 #include "comm/communicator.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "runtime/flight/flight.hpp"
 #include "runtime/health.hpp"
 #include "runtime/log.hpp"
 #include "runtime/metrics.hpp"
@@ -60,9 +61,11 @@ class Context {
     // The communicator may be borrowed and outlive us; never leave it
     // holding a probe into this context's (about to die) monitor.
     if (monitor_ != nullptr) comm_->set_probe(nullptr);
+    if (flight_ != nullptr) comm_->set_flight_hook(nullptr);
     // The profiler dies before the tracer (reverse declaration order);
     // detach it so a scope racing destruction can't call a dead observer.
     if (profiler_ != nullptr) tracer_.remove_observer(profiler_.get());
+    if (flight_ != nullptr) tracer_.remove_observer(flight_.get());
   }
 
   comm::Communicator& comm() { return *comm_; }
@@ -97,8 +100,10 @@ class Context {
     if (timeline_ == nullptr) {
       timeline_ = std::make_unique<Timeline>(comm_->rank());
       // A respawned rank's events render on their own track ("rank N
-      // (inc I)") in the Chrome export.
+      // (inc I)") in the Chrome export, and the capture epoch anchors the
+      // lane so incarnations stay aligned in merged traces.
       timeline_->set_incarnation(comm_->incarnation());
+      timeline_->set_epoch_ns(now_ns());
     }
     tracer_.set_timeline(timeline_.get());
     enable_comm_metrics();
@@ -141,12 +146,32 @@ class Context {
     enable_comm_metrics();
     if (timeline_ != nullptr) profiler_->set_timeline(timeline_.get());
     if (health_ != nullptr) profiler_->set_health(health_.get());
+    if (flight_ != nullptr) profiler_->set_flight(flight_.get());
     if (slot != nullptr) profiler_->set_telemetry_slot(slot);
     profiler_->start();
   }
 
   /// Non-null once enable_profiler() was called.
   profile::Profiler* profiler() { return profiler_.get(); }
+
+  /// Attach this rank to the launcher's pre-fork flight-recorder segment
+  /// (DESIGN.md §10): stage transitions (tracer observer) and comm op
+  /// begin/end (FlightHook on the communicator) stream into the rank's
+  /// black-box ring, which the supervisor dumps on abnormal death.
+  /// Idempotent; the first segment wins.
+  void enable_flight_recorder(flight::FlightSegment* seg) {
+    if (seg == nullptr) return;
+    if (flight_ == nullptr) {
+      flight_ = std::make_unique<flight::FlightRecorder>(
+          seg, comm_->rank(), comm_->incarnation());
+      tracer_.add_observer(flight_.get());
+    }
+    comm_->set_flight_hook(flight_.get());
+    if (profiler_ != nullptr) profiler_->set_flight(flight_.get());
+  }
+
+  /// Non-null once enable_flight_recorder() was called.
+  flight::FlightRecorder* flight() { return flight_.get(); }
 
   /// Merge all ranks' traces at root (collective; see reduce_report()).
   TraceReport trace_report() { return reduce_report(tracer_, *comm_); }
@@ -183,6 +208,10 @@ class Context {
         metrics_.add("regrow_epochs");
         log_.warn("regrow", {{"size", std::to_string(comm_->size())}});
         if (timeline_ != nullptr) timeline_->add_instant("regrow", now_ns());
+        if (flight_ != nullptr) {
+          flight_->event(flight::EventType::kRecovery, "regrow",
+                         static_cast<std::uint64_t>(comm_->size()));
+        }
       }
       return false;
     }
@@ -200,6 +229,10 @@ class Context {
                {"survivors", std::to_string(comm_->size())}});
     if (timeline_ != nullptr) {
       timeline_->add_instant("survivor_shrink", now_ns());
+    }
+    if (flight_ != nullptr) {
+      flight_->event(flight::EventType::kRecovery, "shrink",
+                     static_cast<std::uint64_t>(comm_->size()));
     }
     if (comm_->rank() == 0) {
       tracer_.counter("degraded_ranks", static_cast<double>(lost));
@@ -225,6 +258,7 @@ class Context {
   std::unique_ptr<HealthMonitor> health_;
   std::unique_ptr<CommMonitor> monitor_;
   std::unique_ptr<profile::Profiler> profiler_;
+  std::unique_ptr<flight::FlightRecorder> flight_;
   std::vector<std::unique_ptr<comm::SubgroupComm>> subgroups_;
   int excluded_ranks_ = 0;
 };

@@ -1,0 +1,248 @@
+// Crash-forensics flight recorder (DESIGN.md §10).
+//
+// Every rank owns a fixed-size ring of 64-byte FlightRecords in a shared
+// mapping created by the launcher *before* any fork, so forked ranks (and
+// their respawned incarnations) inherit the same memory and the supervisor
+// can still read a rank's trail after SIGKILL. Records cover stage
+// transitions (via the Tracer's ScopeObserver), comm operations (begin/end
+// from the comm::FlightHook seam — an unmatched begin is the in-flight
+// evidence), checkpoint/recovery events, and mailbox-depth snapshots.
+//
+// Signal-safety argument: record() performs only std::atomic_ref stores over
+// plain POD fields plus one clock_gettime — no locks, no allocation, no
+// syscalls that can block — so it is safe from a SIGPROF handler and from
+// two incarnations of a rank racing across a respawn. Each slot is
+// seqlock-published with a position-derived sequence (odd while writing,
+// 2*pos+2 when record `pos` is complete); a reader that snapshots
+// concurrently drops torn or overwritten slots instead of blocking.
+//
+// On abnormal death the supervisor freezes all rings (one shared flag every
+// writer polls) and serializes them into a versioned, CRC-checked dump file
+// with the same container discipline as core/checkpoint:
+//   [u64 magic][u32 version][u64 payload_size][u32 crc32][payload]
+// kb2_postmortem reads the dump and reconstructs the cross-rank story.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "common/error.hpp"
+#include "runtime/tracer.hpp"
+
+namespace keybin2::runtime::flight {
+
+/// What one flight record describes.
+enum class EventType : std::uint8_t {
+  kStage = 0,      // pipeline scope open/close (detail = stage path tail)
+  kSend = 1,       // comm op, peer/tag/bytes meaningful
+  kRecv = 2,
+  kBarrier = 3,
+  kAgree = 4,      // survivor agreement
+  kCheckpoint = 5, // checkpoint written/restored (detail says which)
+  kRecovery = 6,   // shrink/regrow/retry ladder event (detail says which)
+  kMailbox = 7,    // mailbox-depth snapshot (bytes = depth)
+};
+
+enum class EventPhase : std::uint8_t {
+  kBegin = 0,
+  kEnd = 1,
+  kPoint = 2,  // instantaneous event
+};
+
+/// One ring slot. 64 bytes, trivially copyable, shared across processes.
+/// `seq` is the seqlock word: 2*pos+1 while the writer fills the slot,
+/// 2*pos+2 once record number `pos` is complete. A reader expecting position
+/// `pos` accepts the slot only at exactly 2*pos+2 — anything else is torn or
+/// already overwritten by a later lap.
+struct FlightRecord {
+  std::uint64_t seq;
+  std::int64_t t_ns;
+  std::uint32_t incarnation;
+  std::uint8_t type;   // EventType
+  std::uint8_t phase;  // EventPhase
+  std::uint16_t pad;
+  std::int32_t peer;   // -1 where not meaningful
+  std::int32_t tag;    // -1 where not meaningful
+  std::uint64_t bytes;
+  char detail[24];     // NUL-padded tail of the stage path / event label
+};
+static_assert(sizeof(FlightRecord) == 64);
+static_assert(std::is_trivially_copyable_v<FlightRecord>);
+
+/// Per-rank control block ahead of that rank's slots. Single writer (the
+/// rank's current incarnation); read concurrently by the dumping supervisor.
+struct alignas(64) RankControl {
+  std::uint64_t head;         // records ever written (atomic_ref, release)
+  std::uint32_t incarnation;  // stamped by the writer when it binds
+  std::uint32_t bound;        // a writer ever bound to this ring
+  std::int64_t epoch_ns;      // when that incarnation bound (satellite: keeps
+                              // respawn trails separable in merged traces)
+  std::uint64_t dropped;      // records refused because the ring was frozen
+};
+static_assert(sizeof(RankControl) == 64);
+
+/// Segment-wide control block.
+struct SegmentControl {
+  std::uint32_t n_ranks;
+  std::uint32_t slots_per_rank;
+  std::uint32_t frozen;  // atomic_ref; writers drop records once set
+  std::uint32_t version;
+  std::int64_t created_ns;
+  char job[64];
+};
+
+/// The pre-fork shared mapping: [SegmentControl][per-rank RankControl +
+/// slots]. Created with MAP_SHARED|MAP_ANONYMOUS (no name to leak, no
+/// unlink path to race) so fork() children inherit it at the same address;
+/// under the thread backend every rank simply writes its own region.
+class FlightSegment {
+ public:
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kDefaultSlots = 1024;
+
+  FlightSegment(int n_ranks, const std::string& job,
+                std::uint32_t slots_per_rank = kDefaultSlots);
+  ~FlightSegment();
+  FlightSegment(const FlightSegment&) = delete;
+  FlightSegment& operator=(const FlightSegment&) = delete;
+
+  int n_ranks() const;
+  std::uint32_t slots_per_rank() const;
+
+  /// Stop every writer (they observe the flag on their next record and bump
+  /// `dropped` instead). Safe from any process sharing the mapping.
+  void freeze();
+  /// Re-arm writers after a dump — the supervisor snapshots the death moment
+  /// and lets a respawned incarnation keep recording.
+  void unfreeze();
+  bool frozen() const;
+
+  SegmentControl* control() const;
+  RankControl* rank_control(int rank) const;
+  FlightRecord* slots(int rank) const;
+
+ private:
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool mapped_ = false;  // heap fallback on platforms without mmap
+};
+
+/// Lock-free single-writer handle for one rank's ring. Binding stamps the
+/// control block with (incarnation, epoch_ns); record() publishes one slot.
+class FlightWriter {
+ public:
+  FlightWriter() = default;
+  FlightWriter(FlightSegment* seg, int rank, int incarnation);
+
+  bool bound() const { return seg_ != nullptr; }
+
+  /// Async-signal-safe: atomic_ref stores over shared POD plus one
+  /// monotonic-clock read. Drops (and counts) the record while frozen.
+  void record(EventType type, EventPhase phase, int peer, int tag,
+              std::uint64_t bytes, const char* detail);
+
+ private:
+  FlightSegment* seg_ = nullptr;
+  RankControl* ctl_ = nullptr;
+  FlightRecord* slots_ = nullptr;
+  std::uint32_t n_slots_ = 0;
+  std::uint32_t incarnation_ = 0;
+};
+
+/// The runtime-facing recorder: a Tracer ScopeObserver (stage transitions)
+/// plus the comm FlightHook (op begin/end), both writing the same ring.
+class FlightRecorder final : public ScopeObserver, public comm::FlightHook {
+ public:
+  FlightRecorder(FlightSegment* seg, int rank, int incarnation);
+
+  // Stage transitions.
+  void on_scope_open(std::string_view path) override;
+  void on_scope_close(std::string_view path, std::int64_t wall_ns) override;
+
+  // Comm operations.
+  void on_op_begin(Op op, int peer, int tag, std::size_t bytes) override;
+  void on_op_end(Op op, int peer, int tag, std::size_t bytes) override;
+
+  /// Checkpoint / recovery / mailbox-depth point events.
+  void event(EventType type, const char* detail, std::uint64_t bytes = 0);
+
+  FlightWriter& writer() { return writer_; }
+
+ private:
+  FlightWriter writer_;
+};
+
+// ---- dump container ----
+
+/// A dump read back from disk: the frozen story of every rank's ring, plus
+/// the deaths the supervisor attributed at dump time.
+struct RankTrail {
+  int rank = 0;
+  std::uint32_t incarnation = 0;  // latest writer's incarnation
+  std::int64_t epoch_ns = 0;      // when that incarnation bound its writer
+  std::uint64_t records_total = 0;
+  std::uint64_t dropped = 0;
+  bool dead = false;
+  std::string death_reason;
+  std::vector<FlightRecord> records;  // valid tail, oldest first
+};
+
+struct FlightDump {
+  std::string job;
+  std::string reason;  // why the dump was taken
+  std::int64_t dump_t_ns = 0;
+  std::vector<RankTrail> ranks;
+};
+
+/// One rank's death as attributed by the supervisor (waitpid signal reap,
+/// fatal error report, watchdog expiry).
+struct FlightDeath {
+  int rank = -1;
+  int incarnation = 0;
+  std::string reason;
+};
+
+/// Typed defect in a dump file; `defect` is one of "missing", "truncated",
+/// "bad_magic", "version_skew", "crc_mismatch", "malformed", "io" — the
+/// vocabulary kb2_postmortem reports instead of crashing.
+class FlightDumpError final : public Error {
+ public:
+  FlightDumpError(const std::string& what, std::string path,
+                  std::string defect)
+      : Error(what), path_(std::move(path)), defect_(std::move(defect)) {}
+
+  const std::string& path() const { return path_; }
+  const std::string& defect() const { return defect_; }
+
+ private:
+  std::string path_;
+  std::string defect_;
+};
+
+/// Snapshot every ring (seqlock-validated, torn slots dropped) and write the
+/// CRC-checked dump. The caller freezes first if it wants a consistent
+/// death-moment snapshot; a concurrent writer only costs dropped slots.
+void write_flight_dump(const std::string& path, const FlightSegment& seg,
+                       const std::string& reason,
+                       std::span<const FlightDeath> deaths);
+
+/// Read and verify a dump; throws FlightDumpError naming the defect.
+FlightDump read_flight_dump(const std::string& path);
+
+/// Deliberate damage for robustness tests, mirroring
+/// core::corrupt_checkpoint_file's five modes.
+enum class DumpCorruption {
+  kTruncateHeader,
+  kTruncatePayload,
+  kZeroSpan,
+  kFlipBit,
+  kBadMagic,
+};
+void corrupt_flight_dump(const std::string& path, DumpCorruption mode,
+                         std::uint64_t seed = 1);
+
+}  // namespace keybin2::runtime::flight

@@ -1,0 +1,428 @@
+#include "runtime/flight/postmortem.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "runtime/json.hpp"
+
+namespace keybin2::runtime::flight {
+
+const char* event_type_name(EventType t) {
+  switch (t) {
+    case EventType::kStage: return "stage";
+    case EventType::kSend: return "send";
+    case EventType::kRecv: return "recv";
+    case EventType::kBarrier: return "barrier";
+    case EventType::kAgree: return "agree";
+    case EventType::kCheckpoint: return "checkpoint";
+    case EventType::kRecovery: return "recovery";
+    case EventType::kMailbox: return "mailbox";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool is_comm(std::uint8_t type) {
+  return type == static_cast<std::uint8_t>(EventType::kSend) ||
+         type == static_cast<std::uint8_t>(EventType::kRecv) ||
+         type == static_cast<std::uint8_t>(EventType::kBarrier) ||
+         type == static_cast<std::uint8_t>(EventType::kAgree);
+}
+
+bool is_collective(std::uint8_t type) {
+  return type == static_cast<std::uint8_t>(EventType::kBarrier) ||
+         type == static_cast<std::uint8_t>(EventType::kAgree);
+}
+
+std::string detail_str(const FlightRecord& r) {
+  return std::string(r.detail,
+                     strnlen(r.detail, sizeof(r.detail)));
+}
+
+RankStory replay(const RankTrail& trail) {
+  RankStory s;
+  s.rank = trail.rank;
+  s.incarnation = trail.incarnation;
+  s.epoch_ns = trail.epoch_ns;
+  s.dead = trail.dead;
+  s.death_reason = trail.death_reason;
+  s.records_total = trail.records_total;
+  s.records_valid = trail.records.size();
+  s.dropped = trail.dropped;
+
+  // Replay only the latest incarnation's records: a respawned rank shares
+  // its predecessor's ring and the dead incarnation's leftover tail must not
+  // contaminate the replacement's story (it has its own epoch).
+  std::vector<std::string> stage_stack;
+  const FlightRecord* last_comm = nullptr;
+  for (const FlightRecord& r : trail.records) {
+    if (r.incarnation != trail.incarnation) continue;
+    if (r.type == static_cast<std::uint8_t>(EventType::kStage)) {
+      const std::string d = detail_str(r);
+      if (r.phase == static_cast<std::uint8_t>(EventPhase::kBegin)) {
+        stage_stack.push_back(d);
+      } else if (!stage_stack.empty()) {
+        // The ring is bounded: an unmatched close (its open scrolled off or
+        // predates the observer) just unwinds whatever is innermost.
+        stage_stack.pop_back();
+      }
+    } else if (is_comm(r.type)) {
+      last_comm = &r;
+    }
+  }
+  if (!stage_stack.empty()) {
+    s.last_stage = stage_stack.back();
+  } else {
+    // Every scope closed (or none recorded): fall back to the most recent
+    // stage label so "last stage" is still informative.
+    for (auto it = trail.records.rbegin(); it != trail.records.rend(); ++it) {
+      if (it->incarnation == trail.incarnation &&
+          it->type == static_cast<std::uint8_t>(EventType::kStage)) {
+        s.last_stage = detail_str(*it);
+        break;
+      }
+    }
+  }
+  if (last_comm != nullptr &&
+      last_comm->phase == static_cast<std::uint8_t>(EventPhase::kBegin)) {
+    s.in_flight = *last_comm;
+    s.waiting_on = is_collective(last_comm->type) ? -2 : last_comm->peer;
+  }
+  return s;
+}
+
+/// Find one cycle in the wait graph via iterative DFS with colors. Edges may
+/// fan out (collectives), so this is a general digraph search.
+std::vector<int> find_cycle(int n,
+                            const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const auto& [a, b] : edges) {
+    if (a >= 0 && a < n && b >= 0 && b < n) {
+      adj[static_cast<std::size_t>(a)].push_back(b);
+    }
+  }
+  std::vector<int> color(static_cast<std::size_t>(n), 0);  // 0 new 1 open 2 done
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  for (int root = 0; root < n; ++root) {
+    if (color[static_cast<std::size_t>(root)] != 0) continue;
+    std::vector<std::pair<int, std::size_t>> stack{{root, 0}};
+    color[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < adj[static_cast<std::size_t>(u)].size()) {
+        const int v = adj[static_cast<std::size_t>(u)][next++];
+        if (color[static_cast<std::size_t>(v)] == 1) {
+          // Back edge u -> v: walk parents from u back to v.
+          std::vector<int> cycle{v};
+          for (int w = u; w != v; w = parent[static_cast<std::size_t>(w)]) {
+            cycle.push_back(w);
+          }
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return cycle;
+        }
+        if (color[static_cast<std::size_t>(v)] == 0) {
+          color[static_cast<std::size_t>(v)] = 1;
+          parent[static_cast<std::size_t>(v)] = u;
+          stack.push_back({v, 0});
+        }
+      } else {
+        color[static_cast<std::size_t>(u)] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::string op_label(const FlightRecord& r) {
+  std::ostringstream os;
+  os << event_type_name(static_cast<EventType>(r.type));
+  if (r.peer >= 0) os << " peer=" << r.peer;
+  if (r.tag >= 0) os << " tag=" << r.tag;
+  if (r.bytes > 0) os << " bytes=" << r.bytes;
+  return os.str();
+}
+
+}  // namespace
+
+PostmortemReport analyze_dump(const FlightDump& dump) {
+  PostmortemReport rep;
+  rep.job = dump.job;
+  rep.reason = dump.reason;
+  rep.dump_t_ns = dump.dump_t_ns;
+  const int n = static_cast<int>(dump.ranks.size());
+  rep.ranks.reserve(dump.ranks.size());
+  for (const RankTrail& t : dump.ranks) rep.ranks.push_back(replay(t));
+
+  for (const RankStory& s : rep.ranks) {
+    if (s.dead) rep.dead_ranks.push_back(s.rank);
+  }
+
+  // Wait edges. Point-to-point waits name their peer directly; a collective
+  // waits on every rank that has not also arrived in a collective (dead or
+  // still computing or blocked elsewhere).
+  for (const RankStory& s : rep.ranks) {
+    if (!s.in_flight.has_value()) continue;
+    if (s.waiting_on >= 0) {
+      rep.wait_edges.emplace_back(s.rank, s.waiting_on);
+    } else if (s.waiting_on == -2) {
+      for (const RankStory& o : rep.ranks) {
+        if (o.rank == s.rank) continue;
+        const bool arrived = o.in_flight.has_value() &&
+                             is_collective(o.in_flight->type);
+        if (!arrived) rep.wait_edges.emplace_back(s.rank, o.rank);
+      }
+    }
+  }
+
+  if (!rep.dead_ranks.empty()) {
+    rep.verdict = "victim";
+    return rep;
+  }
+  rep.cycle = find_cycle(n, rep.wait_edges);
+  if (!rep.cycle.empty()) {
+    rep.verdict = "deadlock";
+    return rep;
+  }
+  // Straggler: the most-waited-on rank that is not itself waiting.
+  std::vector<int> waited(static_cast<std::size_t>(n), 0);
+  for (const auto& [a, b] : rep.wait_edges) {
+    if (b >= 0 && b < n) ++waited[static_cast<std::size_t>(b)];
+  }
+  int best = -1;
+  for (int r = 0; r < n; ++r) {
+    if (waited[static_cast<std::size_t>(r)] == 0) continue;
+    if (rep.ranks[static_cast<std::size_t>(r)].in_flight.has_value()) continue;
+    if (best < 0 || waited[static_cast<std::size_t>(r)] >
+                        waited[static_cast<std::size_t>(best)]) {
+      best = r;
+    }
+  }
+  if (best >= 0) {
+    rep.straggler = best;
+    rep.verdict = "straggler";
+    return rep;
+  }
+  rep.verdict = "clean";
+  return rep;
+}
+
+std::string render_text(const PostmortemReport& rep) {
+  std::ostringstream os;
+  os << "== kb2 post-mortem ==\n";
+  os << "job     : " << (rep.job.empty() ? "(unnamed)" : rep.job) << "\n";
+  os << "trigger : " << rep.reason << "\n";
+  os << "verdict : " << rep.verdict;
+  if (rep.verdict == "victim") {
+    os << " (dead:";
+    for (int r : rep.dead_ranks) os << " " << r;
+    os << ")";
+  } else if (rep.verdict == "deadlock") {
+    os << " (cycle:";
+    for (int r : rep.cycle) os << " " << r;
+    os << ")";
+  } else if (rep.verdict == "straggler") {
+    os << " (rank " << rep.straggler << ")";
+  }
+  os << "\n\n";
+  for (const RankStory& s : rep.ranks) {
+    os << "rank " << s.rank << " inc " << s.incarnation;
+    if (s.dead) {
+      os << "  DEAD (" << s.death_reason << ")";
+    }
+    os << "\n";
+    os << "  last stage : "
+       << (s.last_stage.empty() ? "(none recorded)" : s.last_stage) << "\n";
+    if (s.in_flight.has_value()) {
+      os << "  in flight  : " << op_label(*s.in_flight) << "\n";
+      if (s.waiting_on >= 0) {
+        os << "  waiting on : rank " << s.waiting_on << "\n";
+      } else if (s.waiting_on == -2) {
+        os << "  waiting on : group collective\n";
+      }
+    }
+    os << "  records    : " << s.records_valid << " valid / "
+       << s.records_total << " written";
+    if (s.dropped > 0) os << " (" << s.dropped << " dropped while frozen)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string render_json(const PostmortemReport& rep) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("job").value(rep.job);
+  w.key("reason").value(rep.reason);
+  w.key("dump_t_ns").value(static_cast<std::int64_t>(rep.dump_t_ns));
+  w.key("verdict").value(rep.verdict);
+  w.key("dead_ranks").begin_array();
+  for (int r : rep.dead_ranks) w.value(r);
+  w.end_array();
+  w.key("cycle").begin_array();
+  for (int r : rep.cycle) w.value(r);
+  w.end_array();
+  w.key("straggler").value(rep.straggler);
+  w.key("ranks").begin_array();
+  for (const RankStory& s : rep.ranks) {
+    w.begin_object();
+    w.key("rank").value(s.rank);
+    w.key("incarnation").value(static_cast<std::uint64_t>(s.incarnation));
+    w.key("epoch_ns").value(static_cast<std::int64_t>(s.epoch_ns));
+    w.key("dead").value(s.dead);
+    w.key("death_reason").value(s.death_reason);
+    w.key("last_stage").value(s.last_stage);
+    if (s.in_flight.has_value()) {
+      const FlightRecord& r = *s.in_flight;
+      w.key("in_flight").begin_object();
+      w.key("op").value(event_type_name(static_cast<EventType>(r.type)));
+      w.key("peer").value(r.peer);
+      w.key("tag").value(r.tag);
+      w.key("bytes").value(r.bytes);
+      w.key("t_ns").value(static_cast<std::int64_t>(r.t_ns));
+      w.end_object();
+    } else {
+      w.key("in_flight").raw("null");
+    }
+    w.key("waiting_on").value(s.waiting_on);
+    w.key("records_valid").value(s.records_valid);
+    w.key("records_total").value(s.records_total);
+    w.key("dropped").value(s.dropped);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("wait_edges").begin_array();
+  for (const auto& [a, b] : rep.wait_edges) {
+    w.begin_array();
+    w.value(a);
+    w.value(b);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string render_trace_json(const FlightDump& dump) {
+  // Shared epoch: the earliest timestamp across every rank's tail, so all
+  // lanes share one time axis (the rings share the process-wide monotonic
+  // clock).
+  std::int64_t epoch = std::numeric_limits<std::int64_t>::max();
+  for (const RankTrail& t : dump.ranks) {
+    for (const FlightRecord& r : t.records) epoch = std::min(epoch, r.t_ns);
+  }
+  if (epoch == std::numeric_limits<std::int64_t>::max()) epoch = 0;
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const RankTrail& t : dump.ranks) {
+    // Lane metadata: one pid per rank, one tid per incarnation seen in the
+    // tail — a respawn's records land in their own lane.
+    std::vector<std::uint32_t> incs;
+    for (const FlightRecord& r : t.records) {
+      if (std::find(incs.begin(), incs.end(), r.incarnation) == incs.end()) {
+        incs.push_back(r.incarnation);
+      }
+    }
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("name").value("process_name");
+    w.key("pid").value(t.rank);
+    w.key("args").begin_object();
+    w.key("name").value("rank " + std::to_string(t.rank) +
+                        (t.dead ? " (dead)" : ""));
+    w.end_object();
+    w.end_object();
+    for (std::uint32_t inc : incs) {
+      w.begin_object();
+      w.key("ph").value("M");
+      w.key("name").value("thread_name");
+      w.key("pid").value(t.rank);
+      w.key("tid").value(static_cast<std::uint64_t>(inc));
+      w.key("args").begin_object();
+      w.key("name").value("inc " + std::to_string(inc));
+      w.end_object();
+      w.end_object();
+    }
+
+    // Matched begin/end pairs become complete slices; unmatched begins and
+    // point events become instants. Matching is a per-(incarnation, type)
+    // stack — ops never overlap within one writer.
+    std::vector<std::vector<std::size_t>> open_stage(incs.size());
+    std::vector<std::vector<std::size_t>> open_comm(incs.size());
+    auto lane_of = [&](std::uint32_t inc) {
+      return static_cast<std::size_t>(
+          std::find(incs.begin(), incs.end(), inc) - incs.begin());
+    };
+    auto emit_slice = [&](const FlightRecord& b, const FlightRecord& e,
+                          const std::string& name, const char* cat) {
+      w.begin_object();
+      w.key("ph").value("X");
+      w.key("name").value(name);
+      w.key("cat").value(cat);
+      w.key("pid").value(t.rank);
+      w.key("tid").value(static_cast<std::uint64_t>(b.incarnation));
+      w.key("ts").value(static_cast<double>(b.t_ns - epoch) / 1000.0);
+      w.key("dur").value(static_cast<double>(e.t_ns - b.t_ns) / 1000.0);
+      w.end_object();
+    };
+    auto emit_instant = [&](const FlightRecord& r, const std::string& name,
+                            const char* cat) {
+      w.begin_object();
+      w.key("ph").value("i");
+      w.key("s").value("t");
+      w.key("name").value(name);
+      w.key("cat").value(cat);
+      w.key("pid").value(t.rank);
+      w.key("tid").value(static_cast<std::uint64_t>(r.incarnation));
+      w.key("ts").value(static_cast<double>(r.t_ns - epoch) / 1000.0);
+      w.end_object();
+    };
+    for (std::size_t i = 0; i < t.records.size(); ++i) {
+      const FlightRecord& r = t.records[i];
+      const std::size_t lane = lane_of(r.incarnation);
+      const bool stage =
+          r.type == static_cast<std::uint8_t>(EventType::kStage);
+      auto& open = stage ? open_stage[lane] : open_comm[lane];
+      if (r.phase == static_cast<std::uint8_t>(EventPhase::kBegin) &&
+          (stage || is_comm(r.type))) {
+        open.push_back(i);
+      } else if (r.phase == static_cast<std::uint8_t>(EventPhase::kEnd) &&
+                 (stage || is_comm(r.type))) {
+        if (!open.empty()) {
+          const FlightRecord& b = t.records[open.back()];
+          open.pop_back();
+          emit_slice(b, r, stage ? detail_str(b) : op_label(b),
+                     stage ? "stage" : "comm");
+        }
+      } else {
+        emit_instant(r,
+                     std::string(event_type_name(
+                         static_cast<EventType>(r.type))) +
+                         (detail_str(r).empty() ? "" : ":" + detail_str(r)),
+                     "event");
+      }
+    }
+    // Whatever is still open is the in-flight evidence.
+    for (std::size_t lane = 0; lane < incs.size(); ++lane) {
+      for (std::size_t idx : open_comm[lane]) {
+        emit_instant(t.records[idx],
+                     "in-flight " + op_label(t.records[idx]), "inflight");
+      }
+      for (std::size_t idx : open_stage[lane]) {
+        emit_instant(t.records[idx],
+                     "open stage " + detail_str(t.records[idx]), "inflight");
+      }
+    }
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace keybin2::runtime::flight

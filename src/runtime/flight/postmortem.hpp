@@ -1,0 +1,75 @@
+// Post-mortem reconstruction over a flight dump (DESIGN.md §10).
+//
+// The analysis replays each rank's ring tail to recover its last pipeline
+// stage and last comm operation, derives per-rank "waiting on whom" edges
+// from unmatched operation begins, and classifies the failure:
+//   * victim    — at least one rank is dead; ranks blocked on a dead rank
+//                 are its collateral.
+//   * deadlock  — nobody is dead but the wait edges contain a cycle.
+//   * straggler — nobody is dead, no cycle, but some rank everyone waits on
+//                 is itself still computing.
+//   * clean     — no dead ranks and no waiters.
+// Shared by tools/kb2_postmortem and the test suite so the attribution
+// algorithm is exercised directly, not just through the CLI.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/flight/flight.hpp"
+
+namespace keybin2::runtime::flight {
+
+/// One rank's reconstructed story.
+struct RankStory {
+  int rank = 0;
+  std::uint32_t incarnation = 0;
+  std::int64_t epoch_ns = 0;
+  bool dead = false;
+  std::string death_reason;
+  std::string last_stage;  // innermost open scope at the tail ("" if none)
+  /// Last comm record when it was an unmatched begin: the op the rank was
+  /// inside when the story ends.
+  std::optional<FlightRecord> in_flight;
+  /// Peer this rank was blocked on: a rank id, -1 (not waiting), or -2
+  /// (collective — waiting on the whole group).
+  int waiting_on = -1;
+  std::uint64_t records_total = 0;
+  std::uint64_t records_valid = 0;
+  std::uint64_t dropped = 0;
+};
+
+struct PostmortemReport {
+  std::string job;
+  std::string reason;
+  std::int64_t dump_t_ns = 0;
+  std::vector<RankStory> ranks;
+  std::vector<std::pair<int, int>> wait_edges;  // waiter -> waited-on
+  std::vector<int> dead_ranks;
+  std::vector<int> cycle;   // one deadlock cycle, when found
+  int straggler = -1;
+  std::string verdict;      // "victim" | "deadlock" | "straggler" | "clean"
+};
+
+PostmortemReport analyze_dump(const FlightDump& dump);
+
+/// Human-readable report.
+std::string render_text(const PostmortemReport& report);
+
+/// Machine-readable report (shares runtime/json's writer; schema checked by
+/// trace_check --postmortem).
+std::string render_json(const PostmortemReport& report);
+
+/// The ring tails as a Perfetto/Chrome-compatible trace snippet: matched
+/// begin/end pairs become complete slices, unmatched begins and point events
+/// become instants. Lanes are (pid = rank, tid = incarnation), so a
+/// respawned incarnation's records never interleave with its dead
+/// predecessor's.
+std::string render_trace_json(const FlightDump& dump);
+
+/// Short op label ("send", "recv", "barrier", "agree", ...) for an event
+/// type.
+const char* event_type_name(EventType t);
+
+}  // namespace keybin2::runtime::flight

@@ -50,8 +50,16 @@ std::vector<LogEvent> MemorySink::events_named(const std::string& name) const {
   return out;
 }
 
-JsonlFileSink::JsonlFileSink(const std::string& path, bool append)
-    : file_(std::fopen(path.c_str(), append ? "a" : "w")) {}
+JsonlFileSink::JsonlFileSink(const std::string& path, bool append,
+                             std::size_t max_bytes)
+    : file_(std::fopen(path.c_str(), append ? "a" : "w")), path_(path),
+      append_(append), max_bytes_(max_bytes) {
+  if (file_ != nullptr && append) {
+    // Rotation accounting would need the existing size; rotation is disabled
+    // in append mode anyway (see header), so just leave written_ at 0.
+    std::fseek(file_, 0, SEEK_END);
+  }
+}
 
 JsonlFileSink::~JsonlFileSink() {
   if (file_ != nullptr) std::fclose(file_);
@@ -61,9 +69,22 @@ void JsonlFileSink::emit(const LogEvent& event) {
   if (file_ == nullptr) return;
   const std::string line = event.to_json();
   std::lock_guard lk(mu_);
+  if (max_bytes_ > 0 && !append_ && written_ > 0 &&
+      written_ + line.size() + 1 > max_bytes_) {
+    // Roll over: the current generation becomes <path>.1 (clobbering the
+    // previous one) and a fresh <path> takes new lines. rename(2) is atomic,
+    // so a tail-reading observer sees either generation, never a torn file.
+    std::fclose(file_);
+    std::rename(path_.c_str(), (path_ + ".1").c_str());
+    file_ = std::fopen(path_.c_str(), "w");
+    written_ = 0;
+    ++rotations_;
+    if (file_ == nullptr) return;
+  }
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fputc('\n', file_);
   std::fflush(file_);  // events must survive the rank dying right after
+  written_ += line.size() + 1;
 }
 
 void EventLog::event(LogLevel level, std::string_view name,

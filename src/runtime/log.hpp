@@ -72,18 +72,32 @@ class MemorySink final : public LogSink {
 /// path (the parent truncates the file once before forking), and because
 /// every emit flushes exactly one line per write(2), lines from different
 /// processes interleave without tearing.
+/// Size-based rotation: when `max_bytes > 0` and an emit would push the
+/// current file past it, the file is closed, renamed to `<path>.1`
+/// (replacing any previous generation), and a fresh `<path>` is opened —
+/// so a long soak keeps at most two generations (~2 * max_bytes) on disk.
+/// Rotation is skipped in append mode: multiple processes share that file
+/// and an uncoordinated rename would orphan their handles.
 class JsonlFileSink final : public LogSink {
  public:
-  explicit JsonlFileSink(const std::string& path, bool append = false);
+  explicit JsonlFileSink(const std::string& path, bool append = false,
+                         std::size_t max_bytes = 0);
   ~JsonlFileSink() override;
 
   bool ok() const { return file_ != nullptr; }
+  /// Times the sink rolled `<path>` over to `<path>.1`.
+  std::uint64_t rotations() const { return rotations_; }
 
   void emit(const LogEvent& event) override;
 
  private:
   std::mutex mu_;
   std::FILE* file_ = nullptr;
+  std::string path_;
+  bool append_ = false;
+  std::size_t max_bytes_ = 0;
+  std::size_t written_ = 0;
+  std::uint64_t rotations_ = 0;
 };
 
 /// Per-rank logging front end. Cheap to construct; emits only when a sink is

@@ -5,6 +5,7 @@
 
 #include "comm/communicator.hpp"
 #include "common/timer.hpp"
+#include "runtime/flight/flight.hpp"
 #include "runtime/health.hpp"
 #include "runtime/log.hpp"
 #include "runtime/metrics.hpp"
@@ -193,10 +194,41 @@ TelemetryPublisher::Update Profiler::telemetry_update(std::uint32_t state) {
     u.wait_ratio = wall_ns > 0 ? std::min(1.0, wait_ns / wall_ns) : 0.0;
   }
   if (health_ != nullptr) u.anomalies = health_->anomalies();
+  // Recovery-ladder accounting (telemetry v2): group-wide respawn/regrow
+  // totals from the transport, per-rank latency quantiles from the
+  // shrink_to_survivors() histogram. All timing-derived values stay out of
+  // the counters (fingerprint discipline).
+  if (comm_ != nullptr) {
+    u.respawns_total = comm_->respawns_total();
+    u.regrow_epochs = comm_->regrow_epochs();
+  }
+  if (metrics_ != nullptr) {
+    const auto hit = metrics_->histograms().find("recovery_latency_ns");
+    if (hit != metrics_->histograms().end() && hit->second.count() > 0) {
+      u.recovery_p50_ns =
+          static_cast<std::int64_t>(hit->second.quantile(0.5));
+      u.recovery_p99_ns =
+          static_cast<std::int64_t>(hit->second.quantile(0.99));
+    }
+  }
   return u;
 }
 
 void Profiler::publish_telemetry(bool force, std::uint32_t state) {
+  // Mailbox-depth snapshots into the black-box ring, at telemetry cadence.
+  // Runs on the rank thread (scope boundaries), never from SIGPROF.
+  if (flight_ != nullptr && metrics_ != nullptr) {
+    const std::int64_t t = now_ns();
+    if (force || t - flight_last_ns_ >= config_.telemetry_cadence_ns) {
+      flight_last_ns_ = t;
+      const auto git = metrics_->gauges().find("mailbox_depth");
+      const std::uint64_t depth =
+          git != metrics_->gauges().end()
+              ? static_cast<std::uint64_t>(git->second)
+              : 0;
+      flight_->event(flight::EventType::kMailbox, "depth", depth);
+    }
+  }
   if (telemetry_ == nullptr) return;
   const auto u = telemetry_update(state);
   if (force) {

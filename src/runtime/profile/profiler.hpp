@@ -38,6 +38,9 @@ class MetricsRegistry;
 class EventLog;
 class Timeline;
 class HealthMonitor;
+namespace flight {
+class FlightRecorder;
+}
 }  // namespace runtime
 }  // namespace keybin2
 
@@ -62,6 +65,9 @@ class Profiler : public ScopeObserver {
   /// timeline; anomaly counts flow from the health monitor into telemetry.
   void set_timeline(Timeline* timeline) { timeline_ = timeline; }
   void set_health(HealthMonitor* health) { health_ = health; }
+  /// Flight recorder to feed periodic mailbox-depth snapshots (at telemetry
+  /// cadence, from the rank thread — never the SIGPROF handler).
+  void set_flight(flight::FlightRecorder* flight) { flight_ = flight; }
   /// Attach this rank's telemetry slot (from the launcher's
   /// TelemetrySegment). The publisher caches the pointer; the segment must
   /// outlive the profiler.
@@ -101,6 +107,7 @@ class Profiler : public ScopeObserver {
   EventLog* log_;
   Timeline* timeline_ = nullptr;
   HealthMonitor* health_ = nullptr;
+  flight::FlightRecorder* flight_ = nullptr;
   ProfilerConfig config_;
 
   StageCursor cursor_;
@@ -125,6 +132,7 @@ class Profiler : public ScopeObserver {
   std::uint64_t rate_last_points_ = 0;
   std::int64_t rate_last_ns_ = 0;
   double rate_value_ = 0.0;
+  std::int64_t flight_last_ns_ = 0;  // last mailbox-depth flight snapshot
 };
 
 }  // namespace keybin2::runtime::profile

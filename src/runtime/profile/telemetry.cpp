@@ -52,6 +52,10 @@ void fill_slot(TelemetrySlot* slot, const TelemetryPublisher::Update& u,
   slot->wait_ratio = u.wait_ratio;
   slot->rss_kb = read_rss_kb();
   slot->anomalies = u.anomalies;
+  slot->respawns_total = u.respawns_total;
+  slot->regrow_epochs = u.regrow_epochs;
+  slot->recovery_p50_ns = u.recovery_p50_ns;
+  slot->recovery_p99_ns = u.recovery_p99_ns;
   auto stage = u.stage;
   if (stage.size() > TelemetrySlot::kMaxStage - 1) {
     stage.remove_prefix(stage.size() - (TelemetrySlot::kMaxStage - 1));
@@ -124,7 +128,7 @@ TelemetrySegment::TelemetrySegment(std::string name, int n_ranks,
   }
   // Stays linked — that is the attach surface for kb2_top.
   auto* hdr = new (base_) TelemetryHeader();
-  hdr->version = 1;
+  hdr->version = 2;
   hdr->n_ranks = static_cast<std::uint32_t>(n_ranks);
   hdr->creator_pid = static_cast<std::int32_t>(::getpid());
   hdr->created_ns = now_ns();
@@ -166,7 +170,7 @@ std::unique_ptr<TelemetryReader> TelemetryReader::attach(
   TelemetryHeader hdr = {};
   const ssize_t n = ::read(fd, &hdr, sizeof(hdr));
   if (n != static_cast<ssize_t>(sizeof(hdr)) ||
-      hdr.magic != TelemetryHeader::kMagic || hdr.version != 1 ||
+      hdr.magic != TelemetryHeader::kMagic || hdr.version != 2 ||
       hdr.n_ranks == 0 || hdr.n_ranks > 4096) {
     ::close(fd);
     if (error != nullptr) *error = norm + " is not a telemetry segment";
@@ -306,6 +310,10 @@ std::string top_snapshot_json(const TelemetryReader& reader,
     out += ", \"rss_kb\": " + std::to_string(s.slot.rss_kb);
     out += ", \"samples\": " + std::to_string(s.slot.samples);
     out += ", \"anomalies\": " + std::to_string(s.slot.anomalies);
+    out += ", \"respawns_total\": " + std::to_string(s.slot.respawns_total);
+    out += ", \"regrow_epochs\": " + std::to_string(s.slot.regrow_epochs);
+    out += ", \"recovery_p50_ns\": " + std::to_string(s.slot.recovery_p50_ns);
+    out += ", \"recovery_p99_ns\": " + std::to_string(s.slot.recovery_p99_ns);
     const double age_ms = s.slot.published_ns == 0
                               ? -1.0
                               : static_cast<double>(now_ns_arg -

@@ -52,6 +52,12 @@ struct alignas(256) TelemetrySlot {
   double wait_ratio = 0.0;        // recv+barrier wait / wall
   std::uint64_t rss_kb = 0;
   std::uint64_t anomalies = 0;    // HealthMonitor::anomalies()
+  // Recovery-ladder accounting (v2): group-wide respawn/regrow totals from
+  // the communicator, plus this rank's recovery-latency quantiles.
+  std::uint64_t respawns_total = 0;
+  std::uint64_t regrow_epochs = 0;
+  std::int64_t recovery_p50_ns = 0;
+  std::int64_t recovery_p99_ns = 0;
   char stage[kMaxStage] = {};     // current scope path (tail-truncated)
 };
 
@@ -112,6 +118,10 @@ class TelemetryPublisher {
     double points_per_sec = 0.0;
     double wait_ratio = 0.0;
     std::uint64_t anomalies = 0;
+    std::uint64_t respawns_total = 0;
+    std::uint64_t regrow_epochs = 0;
+    std::int64_t recovery_p50_ns = 0;
+    std::int64_t recovery_p99_ns = 0;
     std::string_view stage;
   };
 

@@ -55,6 +55,7 @@ std::string track_label(int rank, int incarnation) {
 void Timeline::serialize(ByteWriter& w) const {
   w.write<std::int32_t>(rank_);
   w.write<std::int32_t>(incarnation_);
+  w.write<std::int64_t>(epoch_ns_);
   w.write<std::uint64_t>(spans_.size());
   for (const auto& s : spans_) {
     w.write_string(s.name);
@@ -93,6 +94,7 @@ void Timeline::serialize(ByteWriter& w) const {
 Timeline Timeline::deserialize(ByteReader& r) {
   Timeline tl(r.read<std::int32_t>());
   tl.set_incarnation(r.read<std::int32_t>());
+  tl.set_epoch_ns(r.read<std::int64_t>());
   const auto n_spans = r.read<std::uint64_t>();
   for (std::uint64_t i = 0; i < n_spans; ++i) {
     auto name = r.read_string();
@@ -135,6 +137,9 @@ std::string chrome_trace_json(std::span<const Timeline> ranks) {
   // Shift all timestamps so the earliest captured event is t=0.
   std::int64_t epoch = std::numeric_limits<std::int64_t>::max();
   for (const auto& tl : ranks) {
+    // A stamped capture epoch anchors its lane even when the first event
+    // lands later; unstamped (legacy) lanes fall back to their events.
+    if (tl.epoch_ns() > 0) epoch = std::min(epoch, tl.epoch_ns());
     for (const auto& s : tl.spans()) epoch = std::min(epoch, s.start_ns);
     for (const auto& f : tl.flows()) epoch = std::min(epoch, f.t_ns);
     for (const auto& wt : tl.waits()) {
@@ -174,7 +179,12 @@ std::string chrome_trace_json(std::span<const Timeline> ranks) {
 
   for (const auto& tl : ranks) {
     const int inc = tl.incarnation();
+    // Events stamped before this incarnation's own capture epoch are
+    // pre-respawn residue (deserialized from a predecessor's blob or left
+    // in a reused buffer) — drop them rather than draw a misleading lane.
+    const std::int64_t own = tl.epoch_ns();
     for (const auto& s : tl.spans()) {
+      if (own > 0 && s.start_ns < own) continue;
       event_header(w, "X", tl.rank(), inc, to_us(s.start_ns, epoch));
       w.key("dur").value(to_us(s.end_ns, s.start_ns));
       w.key("name").value(s.name);
@@ -182,6 +192,7 @@ std::string chrome_trace_json(std::span<const Timeline> ranks) {
       w.end_object();
     }
     for (const auto& wt : tl.waits()) {
+      if (own > 0 && wt.t_ns - wt.wait_ns < own) continue;
       event_header(w, "X", tl.rank(), inc, to_us(wt.t_ns - wt.wait_ns, epoch));
       w.key("dur").value(to_us(wt.wait_ns, 0));
       w.key("name").value("wait:" + wt.kind);
@@ -189,12 +200,14 @@ std::string chrome_trace_json(std::span<const Timeline> ranks) {
       w.end_object();
     }
     for (const auto& i : tl.instants()) {
+      if (own > 0 && i.t_ns < own) continue;
       event_header(w, "i", tl.rank(), inc, to_us(i.t_ns, epoch));
       w.key("name").value(i.name);
       w.key("s").value("t");  // thread-scoped instant
       w.end_object();
     }
     for (const auto& c : tl.counters()) {
+      if (own > 0 && c.t_ns < own) continue;
       event_header(w, "C", tl.rank(), inc, to_us(c.t_ns, epoch));
       w.key("name").value(c.name);
       w.key("args").begin_object();

@@ -89,6 +89,13 @@ class Timeline {
   int incarnation() const { return incarnation_; }
   void set_incarnation(int incarnation) { incarnation_ = incarnation; }
 
+  /// When this (rank, incarnation) started capturing, on the shared
+  /// now_ns() clock; 0 = unknown (legacy captures). Merged exports align
+  /// lanes on the earliest epoch and drop events stamped before their own
+  /// timeline's epoch — residue inherited from a pre-respawn predecessor.
+  std::int64_t epoch_ns() const { return epoch_ns_; }
+  void set_epoch_ns(std::int64_t epoch_ns) { epoch_ns_ = epoch_ns; }
+
   void add_span(std::string name, std::int64_t start_ns, std::int64_t end_ns) {
     spans_.push_back(Span{std::move(name), start_ns, end_ns});
   }
@@ -135,6 +142,7 @@ class Timeline {
  private:
   int rank_;
   int incarnation_ = 0;
+  std::int64_t epoch_ns_ = 0;
   std::vector<Span> spans_;
   std::vector<Flow> flows_;
   std::vector<Wait> waits_;

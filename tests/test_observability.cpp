@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <string>
 #include <utility>
@@ -383,6 +385,57 @@ TEST(EventLog, MemorySinkCapturesLeveledEvents) {
   // Each event renders as one valid JSONL line.
   EXPECT_TRUE(json_validate(retry[0].to_json()));
   EXPECT_NE(retry[0].to_json().find("\"level\":\"warn\""), std::string::npos);
+}
+
+TEST(EventLog, JsonlFileSinkRotatesAtSizeCap) {
+  const std::string path =
+      ::testing::TempDir() + "kb2_rotate_test.jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+
+  EventLog log(/*rank=*/0);
+  auto sink = std::make_shared<JsonlFileSink>(path, /*append=*/false,
+                                              /*max_bytes=*/512);
+  ASSERT_TRUE(sink->ok());
+  log.set_sink(sink);
+  // Each line is ~70 bytes, so a few dozen events must roll the file over
+  // at least once (and likely several times — only the last two generations
+  // survive, current plus .1).
+  for (int i = 0; i < 40; ++i) {
+    log.info("rotation_filler", {{"i", std::to_string(i)}});
+  }
+  EXPECT_GE(sink->rotations(), 1u);
+
+  // Both generations exist, every surviving line is valid JSONL, the
+  // current generation respects the cap, and together they hold the newest
+  // events (the tail is never lost to rotation).
+  std::size_t current_bytes = 0;
+  bool saw_last = false;
+  for (const auto& p : {path, path + ".1"}) {
+    std::ifstream in(p);
+    ASSERT_TRUE(in.good()) << p;
+    std::string line;
+    std::size_t bytes = 0;
+    while (std::getline(in, line)) {
+      EXPECT_TRUE(json_validate(line)) << line;
+      bytes += line.size() + 1;
+      if (line.find("\"i\":\"39\"") != std::string::npos) saw_last = true;
+    }
+    if (p == path) current_bytes = bytes;
+  }
+  EXPECT_LE(current_bytes, 512u);
+  EXPECT_TRUE(saw_last);
+
+  // Append mode never rotates: rotation accounting can't know the shared
+  // file's true size when several rank processes append to it.
+  auto shared = std::make_shared<JsonlFileSink>(path, /*append=*/true,
+                                                /*max_bytes=*/64);
+  log.set_sink(shared);
+  for (int i = 0; i < 10; ++i) log.info("append_mode_filler");
+  EXPECT_EQ(shared->rotations(), 0u);
+
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
 }
 
 TEST(TracerRebind, SubgroupShrinkKeepsTrafficMonotone) {

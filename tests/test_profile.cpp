@@ -261,6 +261,12 @@ TEST(Telemetry, TopSnapshotJsonMatchesSchema) {
   // Published just above with a now_ns()+1 reference clock: a tiny positive
   // age, never the -1 "never published" sentinel.
   EXPECT_GE(JsonValue::number_or(r0.find("heartbeat_age_ms"), -99), 0.0);
+  // Recovery-ladder columns (v2 schema): present even when zero, so kb2_top
+  // and trace_check --profile can rely on them unconditionally.
+  EXPECT_EQ(JsonValue::number_or(r0.find("respawns_total"), -1), 0.0);
+  EXPECT_EQ(JsonValue::number_or(r0.find("regrow_epochs"), -1), 0.0);
+  EXPECT_EQ(JsonValue::number_or(r0.find("recovery_p50_ns"), -1), 0.0);
+  EXPECT_EQ(JsonValue::number_or(r0.find("recovery_p99_ns"), -1), 0.0);
 
   const auto& r1 = ranks->array()[1];
   EXPECT_EQ(r1.find("state")->string(), "empty");

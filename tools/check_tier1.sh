@@ -62,10 +62,21 @@
 #                                  # only checks it runs end to end), and
 #                                  # trace_check --bench validating the new
 #                                  # coreset series schema
+#   tools/check_tier1.sh --postmortem-smoke
+#                                  # build, then exercise the crash-forensics
+#                                  # chain under BOTH backends: a seeded kill
+#                                  # of one rank mid-fit (real SIGKILL under
+#                                  # proc, thrown KilledError under thread)
+#                                  # must leave a flight dump whose
+#                                  # kb2_postmortem report names the dead
+#                                  # rank, its last stage, and the in-flight
+#                                  # comm op, and whose --json output passes
+#                                  # trace_check --postmortem
 #   tools/check_tier1.sh --perf-gate
 #                                  # build, rerun bench/kernel_fusion,
 #                                  # bench/comm_backends,
-#                                  # bench/profile_overhead, and
+#                                  # bench/profile_overhead,
+#                                  # bench/flight_overhead, and
 #                                  # bench/table2_scaling with the committed
 #                                  # baselines' exact options, and gate with
 #                                  # kb2_analyze --compare against
@@ -93,6 +104,7 @@ proc_smoke=0
 chaos_smoke=0
 profile_smoke=0
 coreset_smoke=0
+postmortem_smoke=0
 perf_gate=0
 ctest_args=()
 for arg in "$@"; do
@@ -107,6 +119,7 @@ for arg in "$@"; do
     --chaos-smoke) chaos_smoke=1 ;;
     --profile-smoke) profile_smoke=1 ;;
     --coreset-smoke) coreset_smoke=1 ;;
+    --postmortem-smoke) postmortem_smoke=1 ;;
     --perf-gate) perf_gate=1 ;;
     *) ctest_args+=("${arg}") ;;
   esac
@@ -308,6 +321,55 @@ if [[ "${coreset_smoke}" == "1" ]]; then
   exit 0
 fi
 
+if [[ "${postmortem_smoke}" == "1" ]]; then
+  # Crash-forensics smoke: a seeded kill of rank 2 at its 25th comm op must
+  # leave a readable flight dump on both backends. Under proc the kill is a
+  # real SIGKILL and the respawn ladder recovers the job (exit 0); under
+  # thread it is a thrown KilledError and the CLI exits nonzero — either
+  # way the dump and its post-mortem story are what the gate judges.
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  "${build_dir}/tools/keybin2" generate "${smoke_dir}/points.csv" \
+    --points 4000 --dims 8 --k 3 --seed 7
+  for backend in proc thread; do
+    dump="${smoke_dir}/${backend}_flight.dump"
+    "${build_dir}/tools/keybin2" cluster "${smoke_dir}/points.csv" \
+      --ranks 4 --backend "${backend}" --timeout 15 \
+      --kill-rank 2 --kill-at-op 25 --respawns 1 --retries 3 \
+      --flight-recorder --flight-dump "${dump}" \
+      > "${smoke_dir}/${backend}.txt" 2>&1 || true
+    [[ -f "${dump}" ]] \
+      || { echo "postmortem smoke: no flight dump from ${backend}" >&2
+           cat "${smoke_dir}/${backend}.txt" >&2; exit 1; }
+    "${build_dir}/tools/kb2_postmortem" "${dump}" \
+      | tee "${smoke_dir}/${backend}_report.txt"
+    # The report must name the dead rank, its last pipeline stage, and the
+    # comm op it died inside (peer + tag) — the whole point of the recorder.
+    grep -q "rank 2 inc 0  DEAD" "${smoke_dir}/${backend}_report.txt" \
+      || { echo "postmortem smoke: ${backend} report misses dead rank" >&2
+           exit 1; }
+    grep -Eq "last stage : fit" "${smoke_dir}/${backend}_report.txt" \
+      || { echo "postmortem smoke: ${backend} report misses last stage" >&2
+           exit 1; }
+    grep -Eq "in flight  : (send|recv|barrier|agree)" \
+      "${smoke_dir}/${backend}_report.txt" \
+      || { echo "postmortem smoke: ${backend} report misses in-flight op" >&2
+           exit 1; }
+    "${build_dir}/tools/kb2_postmortem" "${dump}" --json \
+      > "${smoke_dir}/${backend}_report.json"
+    "${build_dir}/tools/trace_check" --postmortem \
+      "${smoke_dir}/${backend}_report.json"
+    echo "postmortem smoke: ${backend} backend OK"
+  done
+  # Under proc the SIGKILL was real and the ladder must still have finished
+  # the job — forensics without forfeiting the answer.
+  grep -q "keybin2: .* clusters" "${smoke_dir}/proc.txt" \
+    || { echo "postmortem smoke: proc run did not recover to a result" >&2
+         exit 1; }
+  echo "postmortem smoke: OK"
+  exit 0
+fi
+
 if [[ "${perf_gate}" == "1" ]]; then
   # Continuous perf-regression gate: rerun each bench with its committed
   # baseline's exact options and compare. The second compare proves the
@@ -317,7 +379,8 @@ if [[ "${perf_gate}" == "1" ]]; then
   # before the baseline comparison does.
   gate_dir="$(mktemp -d)"
   trap 'rm -rf "${gate_dir}"' EXIT
-  for bench in kernel_fusion comm_backends profile_overhead table2_scaling; do
+  for bench in kernel_fusion comm_backends profile_overhead flight_overhead \
+               table2_scaling; do
     baseline="${repo_root}/bench/baselines/BENCH_${bench}.json"
     [[ -f "${baseline}" ]] \
       || { echo "perf gate: missing baseline ${baseline}" >&2; exit 1; }

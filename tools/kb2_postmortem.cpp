@@ -1,0 +1,97 @@
+// kb2_postmortem: reconstruct the cross-rank story from a flight dump.
+//
+//   kb2_postmortem kb2_flight.dump            # human-readable report
+//   kb2_postmortem kb2_flight.dump --json     # machine-readable (schema
+//                                             #   checked by trace_check
+//                                             #   --postmortem)
+//   kb2_postmortem kb2_flight.dump --trace out.json
+//                                             # also write a Perfetto/Chrome
+//                                             #   trace snippet of the rings
+//
+// The dump is the supervisor's freeze-moment snapshot of every rank's
+// black-box ring (runtime/flight). The analysis replays each ring tail to
+// recover the rank's last pipeline stage and in-flight comm operation,
+// derives "waiting on whom" edges, and classifies the failure as
+// victim / deadlock / straggler / clean (runtime/flight/postmortem.hpp).
+//
+// A damaged dump is reported as a typed defect (missing, truncated,
+// bad_magic, version_skew, crc_mismatch, malformed) with exit code 2 —
+// never a crash: this tool runs exactly when everything else already went
+// wrong.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "runtime/flight/flight.hpp"
+#include "runtime/flight/postmortem.hpp"
+
+namespace flight = keybin2::runtime::flight;
+
+namespace {
+
+int usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: kb2_postmortem <dump> [--json] [--trace out.json]\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string trace_path;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json")) {
+      json = true;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "kb2_postmortem: missing value for --trace\n");
+        return 2;
+      }
+      trace_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--help")) {
+      return usage(0);
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "kb2_postmortem: unexpected argument %s\n",
+                   argv[i]);
+      return usage(2);
+    }
+  }
+  if (path.empty()) return usage(2);
+
+  flight::FlightDump dump;
+  try {
+    dump = flight::read_flight_dump(path);
+  } catch (const flight::FlightDumpError& e) {
+    // The defect taxonomy is the contract: scripted callers match on the
+    // "defect=<word>" token, humans read the sentence.
+    std::fprintf(stderr, "kb2_postmortem: unreadable dump (defect=%s): %s\n",
+                 e.defect().c_str(), e.what());
+    return 2;
+  }
+
+  const flight::PostmortemReport report = flight::analyze_dump(dump);
+  if (json) {
+    std::fputs(flight::render_json(report).c_str(), stdout);
+  } else {
+    std::fputs(flight::render_text(report).c_str(), stdout);
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      std::fprintf(stderr, "kb2_postmortem: cannot write %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    out << flight::render_trace_json(dump);
+    if (!json) {
+      std::printf("trace snippet written to %s\n", trace_path.c_str());
+    }
+  }
+  return 0;
+}

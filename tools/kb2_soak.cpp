@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -40,6 +41,7 @@
 #include "common/serialize.hpp"
 #include "core/checkpoint.hpp"
 #include "core/streaming.hpp"
+#include "runtime/flight/flight.hpp"
 #include "runtime/profile/telemetry.hpp"
 
 namespace {
@@ -196,6 +198,20 @@ int run_soak(const SoakArgs& args) {
                 tele->name().c_str(), tele->name().c_str());
   }
 
+  // Black-box rings for the whole soak, created pre-fork like the telemetry
+  // segment: when the watchdog declares a hang, the rings are the only
+  // evidence of where each (possibly SIGKILLed) rank was parked, and the
+  // dump happens on the way to _Exit.
+  auto fseg = std::make_unique<runtime::flight::FlightSegment>(
+      args.ranks, "chaos soak");
+  std::mutex deaths_mu;
+  std::vector<runtime::flight::FlightDeath> deaths;
+  const comm::AbnormalDeathFn on_death = [&](int rank, int incarnation,
+                                             const std::string& reason) {
+    std::lock_guard lk(deaths_mu);
+    deaths.push_back({rank, incarnation, reason});
+  };
+
   const auto body = [&](const comm::chaos::ChaosSchedule* sched) {
     return [&, sched](comm::Communicator& c) -> std::vector<std::byte> {
       std::optional<comm::fault::FaultyComm> faulty;
@@ -206,6 +222,7 @@ int run_soak(const SoakArgs& args) {
       }
       const auto r = static_cast<std::size_t>(c.rank());
       runtime::Context ctx(*ep, params.seed);
+      ctx.enable_flight_recorder(fseg.get());
       if (tele != nullptr) {
         ctx.enable_profiler({}, tele->slot(c.rank()));
       }
@@ -246,6 +263,19 @@ int run_soak(const SoakArgs& args) {
         std::fprintf(stderr,
                      "kb2_soak: HANG — schedule %d made no progress in %d s\n",
                      last, kDeadlineSeconds);
+        // Last act before the hard exit: freeze every ring and dump the
+        // flight story so the hang is debuggable after the fact.
+        try {
+          fseg->freeze();
+          std::lock_guard lk(deaths_mu);
+          runtime::flight::write_flight_dump("kb2_soak_flight.dump", *fseg,
+                                             "soak watchdog expiry", deaths);
+          std::fprintf(stderr,
+                       "kb2_soak: flight rings dumped to kb2_soak_flight.dump"
+                       " (inspect with kb2_postmortem)\n");
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "kb2_soak: flight dump failed: %s\n", e.what());
+        }
         std::fflush(nullptr);
         std::_Exit(3);
       }
@@ -266,7 +296,7 @@ int run_soak(const SoakArgs& args) {
     comm::ProcRunResult res;
     try {
       res = comm::proc_run_ranks(args.ranks, /*ring_bytes=*/0, ladder,
-                                 body(&sched));
+                                 body(&sched), on_death);
     } catch (const std::exception& e) {
       out.label = std::string("launch_error:") + e.what();
     }

@@ -51,9 +51,11 @@ void print_table(const TelemetryReader& reader, bool clear_screen) {
   const auto& hdr = reader.header();
   std::printf("kb2_top — job \"%s\" (launcher pid %d, %u ranks)\n\n",
               hdr.job, hdr.creator_pid, hdr.n_ranks);
-  std::printf("%4s %5s %-7s %3s %-28s %12s %8s %9s %8s %6s %8s\n", "rank",
-              "pid", "state", "inc", "stage", "points/s", "wait", "rss",
-              "samples", "anom", "beat(ms)");
+  std::printf("%4s %5s %-7s %3s %-28s %12s %8s %9s %8s %6s %4s %4s %8s %8s "
+              "%8s\n",
+              "rank", "pid", "state", "inc", "stage", "points/s", "wait",
+              "rss", "samples", "anom", "rsp", "rgr", "rec-p50", "rec-p99",
+              "beat(ms)");
   const std::int64_t now = keybin2::now_ns();
   for (const auto& s : reader.snapshot()) {
     const double age_ms =
@@ -64,14 +66,30 @@ void print_table(const TelemetryReader& reader, bool clear_screen) {
     const char* stage = s.slot.stage;
     const std::size_t len = std::strlen(stage);
     if (len > 28) stage += len - 28;
+    // Recovery latencies render in milliseconds; a rank that never ran the
+    // survivor rendezvous shows "-" rather than a misleading zero.
+    char p50[16];
+    char p99[16];
+    if (s.slot.recovery_p50_ns > 0) {
+      std::snprintf(p50, sizeof(p50), "%.1fms",
+                    static_cast<double>(s.slot.recovery_p50_ns) * 1e-6);
+      std::snprintf(p99, sizeof(p99), "%.1fms",
+                    static_cast<double>(s.slot.recovery_p99_ns) * 1e-6);
+    } else {
+      std::snprintf(p50, sizeof(p50), "-");
+      std::snprintf(p99, sizeof(p99), "-");
+    }
     std::printf("%4d %5d %-7s %3u %-28s %12.0f %7.1f%% %8lluK %8llu %6llu "
-                "%8.0f\n",
+                "%4llu %4llu %8s %8s %8.0f\n",
                 s.rank, s.slot.pid, state_name(s.slot.state),
                 s.slot.incarnation, stage, s.slot.points_per_sec,
                 s.slot.wait_ratio * 100.0,
                 static_cast<unsigned long long>(s.slot.rss_kb),
                 static_cast<unsigned long long>(s.slot.samples),
-                static_cast<unsigned long long>(s.slot.anomalies), age_ms);
+                static_cast<unsigned long long>(s.slot.anomalies),
+                static_cast<unsigned long long>(s.slot.respawns_total),
+                static_cast<unsigned long long>(s.slot.regrow_epochs), p50,
+                p99, age_ms);
   }
   std::fflush(stdout);
 }

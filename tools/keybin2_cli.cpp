@@ -46,12 +46,14 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "baselines/dbscan.hpp"
 #include "baselines/kmeans.hpp"
 #include "baselines/xmeans.hpp"
+#include "comm/fault.hpp"
 #include "comm/launch.hpp"
 #include "common/error.hpp"
 #include "common/serialize.hpp"
@@ -61,6 +63,7 @@
 #include "data/gaussian_mixture.hpp"
 #include "data/io.hpp"
 #include "data/partition.hpp"
+#include "runtime/flight/flight.hpp"
 #include "runtime/log.hpp"
 #include "runtime/profile/telemetry.hpp"
 #include "runtime/timeline.hpp"
@@ -93,6 +96,16 @@ struct CliArgs {
   double timeout = 0.0;  // comm deadline, 0 = wait forever
   int retries = 2;       // shrink-and-continue restarts
   comm::LaunchOptions launch;  // transport for --ranks > 1 (KB2_BACKEND)
+  // Flight recorder (DESIGN.md §10): -1 = auto (on under --backend proc,
+  // where ranks can die abruptly and the supervisor can dump; off under
+  // thread, where an exception already carries the story), 0/1 = forced.
+  int flight = -1;
+  std::string flight_dump = "kb2_flight.dump";
+  // Chaos flags for the post-mortem smoke (check_tier1.sh): kill one rank
+  // when its comm-op count reaches --kill-at-op. Under --backend proc the
+  // kill is a real SIGKILL; under thread it degrades to a thrown KilledError.
+  int kill_rank = -1;
+  std::uint64_t kill_at_op = 0;
   std::string checkpoint;
   std::size_t chunk = 8192;
   std::size_t budget_chunks = 0;
@@ -112,6 +125,8 @@ struct CliArgs {
       "[--retries N] [--respawns N]\n"
       "                  [--profile] [--profile-folded out.folded] "
       "[--telemetry SEGMENT]\n"
+      "                  [--flight-recorder | --no-flight-recorder] "
+      "[--flight-dump PATH]\n"
       "  keybin2 fit-file <input.bin> [--out labels.bin] [--chunk N] "
       "[--checkpoint path]\n"
       "                  [--budget-chunks N] [--trials T] [--seed S] "
@@ -191,6 +206,17 @@ CliArgs parse(int argc, char** argv) {
       a.retries = std::atoi(next("--retries"));
     } else if (!std::strcmp(argv[i], "--respawns")) {
       a.launch.recovery.max_respawns = std::atoi(next("--respawns"));
+    } else if (!std::strcmp(argv[i], "--flight-recorder")) {
+      a.flight = 1;
+    } else if (!std::strcmp(argv[i], "--no-flight-recorder")) {
+      a.flight = 0;
+    } else if (!std::strcmp(argv[i], "--flight-dump")) {
+      a.flight_dump = next("--flight-dump");
+      if (a.flight == -1) a.flight = 1;
+    } else if (!std::strcmp(argv[i], "--kill-rank")) {
+      a.kill_rank = std::atoi(next("--kill-rank"));
+    } else if (!std::strcmp(argv[i], "--kill-at-op")) {
+      a.kill_at_op = std::strtoull(next("--kill-at-op"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--checkpoint")) {
       a.checkpoint = next("--checkpoint");
     } else if (!std::strcmp(argv[i], "--chunk")) {
@@ -317,11 +343,62 @@ int run_cluster(const CliArgs& a) {
         std::printf("telemetry: %s (attach with kb2_top --segment %s)\n",
                     tele->name().c_str(), tele->name().c_str());
       }
+      // The flight-recorder segment likewise predates every fork, so each
+      // rank's black-box ring is readable from this parent even after a
+      // SIGKILL. Default on under --backend proc (a dead child can't tell
+      // its own story), off under thread unless forced.
+      const bool flight_on = a.flight == 1 || (a.flight == -1 && proc);
+      std::unique_ptr<runtime::flight::FlightSegment> fseg;
+      if (flight_on) {
+        fseg = std::make_unique<runtime::flight::FlightSegment>(
+            a.ranks, "cluster " + a.input);
+      }
+      // Abnormal deaths (signal reaps, ladder exhaustion, rank throws) get
+      // the death-moment snapshot: freeze every ring, write the cumulative
+      // dump, re-arm so a respawned incarnation keeps recording. Under the
+      // thread backend rank functions fail concurrently, hence the mutex.
+      auto launch = a.launch;
+      std::mutex flight_mu;
+      std::vector<runtime::flight::FlightDeath> deaths;
+      if (fseg != nullptr) {
+        launch.on_abnormal_death = [&](int rank, int incarnation,
+                                       const std::string& reason) {
+          std::lock_guard lk(flight_mu);
+          fseg->freeze();
+          deaths.push_back({rank, incarnation, reason});
+          runtime::flight::write_flight_dump(a.flight_dump, *fseg,
+                                             "abnormal rank death", deaths);
+          fseg->unfreeze();
+          std::fprintf(stderr,
+                       "flight: rank %d (inc %d) died: %s — dump written to "
+                       "%s (inspect with kb2_postmortem)\n",
+                       rank, incarnation, reason.c_str(),
+                       a.flight_dump.c_str());
+        };
+      }
       std::exception_ptr fit_error;
       const auto blobs = comm::run_ranks_collect_bytes(
-          a.launch, a.ranks,
+          launch, a.ranks,
           [&](comm::Communicator& comm) -> std::vector<std::byte> {
-            runtime::Context ctx(comm, params.seed);
+            // Chaos injection for the post-mortem smoke: the designated rank
+            // dies at its Nth comm op — SIGKILL under proc (FaultyComm
+            // escalates when the transport is process-isolated), a thrown
+            // KilledError under thread. Either way the flight ring keeps the
+            // interrupted op's unmatched begin.
+            std::optional<comm::fault::FaultyComm> faulty;
+            comm::Communicator* endpoint = &comm;
+            // Incarnation 0 only: the respawned replacement must survive, or
+            // the kill would repeat until the ladder exhausts its budget.
+            if (a.kill_rank == comm.rank() && a.kill_at_op > 0 &&
+                comm.incarnation() == 0) {
+              comm::fault::FaultSchedule chaos;
+              chaos.kill_at_op = a.kill_at_op;
+              chaos.hard_kill = true;
+              faulty.emplace(comm, chaos);
+              endpoint = &*faulty;
+            }
+            runtime::Context ctx(*endpoint, params.seed);
+            if (fseg != nullptr) ctx.enable_flight_recorder(fseg.get());
             if (a.trace) ctx.enable_comm_metrics();
             if (!a.trace_json.empty()) ctx.enable_timeline();
             if (a.profile) {

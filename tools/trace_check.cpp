@@ -6,6 +6,7 @@
 //   trace_check --analysis analysis.json
 //   trace_check --profile snapshot.json [--min-ranks N]
 //   trace_check --folded profile.folded
+//   trace_check --postmortem postmortem.json
 //
 // Default (trace) mode parses a Chrome trace-event document (what
 // `keybin2 cluster --trace-json` writes) into a JsonValue tree and checks
@@ -38,6 +39,11 @@
 // (state/incarnation/pid/points/wait_ratio/rss/samples/heartbeat), wait
 // ratios within [0, 1], and at least --min-ranks ranks actually published
 // (state != empty) with a non-empty stage string recorded.
+//
+// --postmortem mode validates a `kb2_postmortem --json` report: verdict is
+// one of victim/deadlock/straggler/clean, every rank story carries the full
+// schema, dead_ranks agrees with the per-rank dead flags, a deadlock comes
+// with its cycle, and wait edges are [waiter, waited-on] pairs.
 //
 // --folded mode validates a collapsed-stack flamegraph file (what
 // `keybin2 cluster --profile-folded` writes): every line is
@@ -285,7 +291,8 @@ int check_profile(const JsonValue& doc, long min_ranks) {
         static_cast<int>(JsonValue::number_or(r.find("rank"), -1.0));
     for (const char* key :
          {"rank", "incarnation", "pid", "points_per_sec", "points_total",
-          "wait_ratio", "rss_kb", "samples", "anomalies",
+          "wait_ratio", "rss_kb", "samples", "anomalies", "respawns_total",
+          "regrow_epochs", "recovery_p50_ns", "recovery_p99_ns",
           "heartbeat_age_ms"}) {
       const auto* v = r.find(key);
       if (v == nullptr || !v->is_number()) {
@@ -346,6 +353,99 @@ int check_profile(const JsonValue& doc, long min_ranks) {
       "trace_check: OK: profile snapshot covers %g slot(s), %ld "
       "published, schema holds\n",
       n_ranks, published);
+  return 0;
+}
+
+// kb2_postmortem --json schema: top-level job/reason/verdict (one of the
+// four attribution classes), a ranks array where every entry carries the
+// reconstructed story (rank/incarnation/dead/last_stage/waiting_on and the
+// record accounting), plus dead_ranks and wait_edges arrays. A deadlock
+// verdict must come with a non-empty cycle; a victim verdict with a
+// non-empty dead_ranks.
+int check_postmortem(const JsonValue& doc) {
+  for (const char* key : {"job", "reason", "verdict"}) {
+    const auto* v = doc.find(key);
+    if (v == nullptr || !v->is_string()) {
+      std::fprintf(stderr, "trace_check: FAIL: postmortem missing %s string\n",
+                   key);
+      return 1;
+    }
+  }
+  const std::string& verdict = doc.find("verdict")->string();
+  if (verdict != "victim" && verdict != "deadlock" && verdict != "straggler" &&
+      verdict != "clean") {
+    std::fprintf(stderr, "trace_check: FAIL: illegal verdict '%s'\n",
+                 verdict.c_str());
+    return 1;
+  }
+  for (const char* key : {"ranks", "dead_ranks", "wait_edges", "cycle"}) {
+    const auto* v = doc.find(key);
+    if (v == nullptr || !v->is_array()) {
+      std::fprintf(stderr, "trace_check: FAIL: postmortem missing %s array\n",
+                   key);
+      return 1;
+    }
+  }
+  const auto& ranks = doc.find("ranks")->array();
+  if (ranks.empty()) return fail("postmortem report covers no ranks");
+  std::size_t dead = 0;
+  for (const auto& r : ranks) {
+    const int rank =
+        static_cast<int>(JsonValue::number_or(r.find("rank"), -1.0));
+    for (const char* key : {"rank", "incarnation", "epoch_ns", "waiting_on",
+                            "records_valid", "records_total", "dropped"}) {
+      const auto* v = r.find(key);
+      if (v == nullptr || !v->is_number()) {
+        std::fprintf(stderr,
+                     "trace_check: FAIL: rank %d story missing numeric %s\n",
+                     rank, key);
+        return 1;
+      }
+    }
+    const auto* d = r.find("dead");
+    if (d == nullptr || d->kind() != JsonValue::Kind::kBool) {
+      std::fprintf(stderr, "trace_check: FAIL: rank %d story missing dead\n",
+                   rank);
+      return 1;
+    }
+    if (d->boolean()) ++dead;
+    for (const char* key : {"last_stage", "death_reason"}) {
+      const auto* v = r.find(key);
+      if (v == nullptr || !v->is_string()) {
+        std::fprintf(stderr,
+                     "trace_check: FAIL: rank %d story missing %s string\n",
+                     rank, key);
+        return 1;
+      }
+    }
+    const double waiting_on = r.find("waiting_on")->number();
+    if (waiting_on < -2.0 ||
+        waiting_on >= static_cast<double>(ranks.size())) {
+      std::fprintf(stderr,
+                   "trace_check: FAIL: rank %d waiting_on %g out of range\n",
+                   rank, waiting_on);
+      return 1;
+    }
+  }
+  if (verdict == "victim" && doc.find("dead_ranks")->array().empty()) {
+    return fail("victim verdict with empty dead_ranks");
+  }
+  if (dead != doc.find("dead_ranks")->array().size()) {
+    return fail("dead_ranks array disagrees with per-rank dead flags");
+  }
+  if (verdict == "deadlock" && doc.find("cycle")->array().empty()) {
+    return fail("deadlock verdict with empty cycle");
+  }
+  for (const auto& e : doc.find("wait_edges")->array()) {
+    if (!e.is_array() || e.array().size() != 2) {
+      return fail("wait_edges entry is not a [waiter, waited-on] pair");
+    }
+  }
+  std::printf(
+      "trace_check: OK: postmortem verdict '%s', %zu rank(s), %zu dead, "
+      "%zu wait edge(s)\n",
+      verdict.c_str(), ranks.size(), dead,
+      doc.find("wait_edges")->array().size());
   return 0;
 }
 
@@ -583,6 +683,7 @@ int main(int argc, char** argv) {
   bool analysis_mode = false;
   bool profile_mode = false;
   bool folded_mode = false;
+  bool postmortem_mode = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -605,6 +706,8 @@ int main(int argc, char** argv) {
       profile_mode = true;
     } else if (!std::strcmp(argv[i], "--folded")) {
       folded_mode = true;
+    } else if (!std::strcmp(argv[i], "--postmortem")) {
+      postmortem_mode = true;
     } else if (!std::strcmp(argv[i], "--help")) {
       std::printf("usage: trace_check trace.json [--min-ranks N] "
                   "[--min-flows N]\n"
@@ -613,7 +716,8 @@ int main(int argc, char** argv) {
                   "       trace_check --analysis analysis.json\n"
                   "       trace_check --profile snapshot.json "
                   "[--min-ranks N]\n"
-                  "       trace_check --folded profile.folded\n");
+                  "       trace_check --folded profile.folded\n"
+                  "       trace_check --postmortem postmortem.json\n");
       return 0;
     } else if (path.empty()) {
       path = argv[i];
@@ -647,5 +751,6 @@ int main(int argc, char** argv) {
   if (soak_mode) return check_soak(*doc);
   if (analysis_mode) return check_analysis(*doc);
   if (profile_mode) return check_profile(*doc, min_ranks);
+  if (postmortem_mode) return check_postmortem(*doc);
   return check_trace(*doc, min_ranks, min_flows);
 }
